@@ -1,0 +1,217 @@
+package dlfs
+
+// Benchmark harness: one benchmark per figure of the paper's evaluation
+// (§IV). Each benchmark regenerates its figure through internal/figures
+// and prints the table once, so
+//
+//	go test -bench=Fig -benchtime=1x
+//
+// reproduces the whole evaluation. Headline series are also reported as
+// benchmark metrics so regressions show up in benchstat diffs.
+
+import (
+	"fmt"
+	"strconv"
+	"sync"
+	"testing"
+
+	"dlfs/internal/figures"
+	"dlfs/internal/metrics"
+)
+
+// benchScale trades precision for time; 1x scale regenerates the figures
+// at full measurement volume. Override with -benchscale via env if needed.
+const benchScale = 1.0
+
+var printOnce sync.Map
+
+func emit(b *testing.B, tab *metrics.Table) {
+	if _, done := printOnce.LoadOrStore(tab.Title, true); !done {
+		fmt.Printf("\n%s\n", tab.String())
+	}
+}
+
+func cellOf(tab *metrics.Table, row int, col string) float64 {
+	for i, h := range tab.Header() {
+		if h == col {
+			v, err := strconv.ParseFloat(tab.Rows()[row][i], 64)
+			if err != nil {
+				return 0
+			}
+			return v
+		}
+	}
+	return 0
+}
+
+// BenchmarkFig1SampleSizeCDF regenerates Fig 1 (dataset size CDFs).
+func BenchmarkFig1SampleSizeCDF(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tab := figures.Fig1(benchScale)
+		emit(b, tab)
+	}
+}
+
+// BenchmarkFig6SingleNodeThroughput regenerates Fig 6 (single-node random
+// read throughput, four systems × seven sample sizes).
+func BenchmarkFig6SingleNodeThroughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tab := figures.Fig6(benchScale)
+		emit(b, tab)
+		b.ReportMetric(cellOf(tab, 0, "dlfs"), "dlfs-512B-samples/s")
+		b.ReportMetric(cellOf(tab, 0, "ext4-base"), "ext4-512B-samples/s")
+	}
+}
+
+// BenchmarkFig7aCoreSaturation regenerates Fig 7a (cores needed to
+// saturate the SSD).
+func BenchmarkFig7aCoreSaturation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tab := figures.Fig7a(benchScale)
+		emit(b, tab)
+		b.ReportMetric(cellOf(tab, 0, "dlfs-128K"), "dlfs-1core-GB/s")
+	}
+}
+
+// BenchmarkFig7bComputeOverlap regenerates Fig 7b (compute hidden in the
+// poll loop).
+func BenchmarkFig7bComputeOverlap(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tab := figures.Fig7b(benchScale)
+		emit(b, tab)
+	}
+}
+
+// BenchmarkFig8SixteenNodeThroughput regenerates Fig 8 (aggregate
+// throughput over 16 nodes vs sample size).
+func BenchmarkFig8SixteenNodeThroughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tab := figures.Fig8(benchScale)
+		emit(b, tab)
+		b.ReportMetric(cellOf(tab, 0, "dlfs")/cellOf(tab, 0, "ext4"), "dlfs/ext4-512B-x")
+	}
+}
+
+// BenchmarkFig9Scalability regenerates Fig 9 (scalability, 2–16 nodes).
+func BenchmarkFig9Scalability(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tab := figures.Fig9(benchScale)
+		emit(b, tab)
+		b.ReportMetric(cellOf(tab, 3, "dlfs-512B")/cellOf(tab, 0, "dlfs-512B"), "dlfs-512B-scaling-x")
+	}
+}
+
+// BenchmarkFig10LookupTime regenerates Fig 10 (sample lookup time for 1M
+// samples).
+func BenchmarkFig10LookupTime(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tab := figures.Fig10(benchScale)
+		emit(b, tab)
+		b.ReportMetric(cellOf(tab, 0, "ext4-open")/cellOf(tab, 0, "dlfs"), "ext4/dlfs-lookup-x")
+	}
+}
+
+// BenchmarkFig11Disaggregation regenerates Fig 11 (effective throughput
+// on disaggregated devices vs the analytic ideal).
+func BenchmarkFig11Disaggregation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tab := figures.Fig11(benchScale)
+		emit(b, tab)
+		b.ReportMetric(100*cellOf(tab, 0, "dlfs-1c")/cellOf(tab, 0, "nvme-1c-ideal"), "dlfs-1c-%of-ideal")
+	}
+}
+
+// BenchmarkFig12TFImport regenerates Fig 12 (TensorFlow import throughput
+// on the three file systems).
+func BenchmarkFig12TFImport(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tab := figures.Fig12(benchScale)
+		emit(b, tab)
+	}
+}
+
+// BenchmarkFig13TrainingAccuracy regenerates Fig 13 (training accuracy:
+// Full_Rand vs DLFS-determined order).
+func BenchmarkFig13TrainingAccuracy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tab := figures.Fig13(benchScale)
+		emit(b, tab)
+		last := tab.NumRows() - 1
+		b.ReportMetric(cellOf(tab, last, "Full_Rand")-cellOf(tab, last, "DLFS"), "accuracy-gap")
+	}
+}
+
+// BenchmarkEpochThroughputAblation compares DLFS configurations head to
+// head — full batching, sample-level only, and the synchronous base path —
+// the ablation DESIGN.md calls out for the batching design choices.
+func BenchmarkEpochThroughputAblation(b *testing.B) {
+	for _, mode := range []string{"chunk-batched", "sample-level", "sync-base"} {
+		b.Run(mode, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.ReportMetric(figures.AblationPoint(mode, benchScale), "samples/s")
+			}
+		})
+	}
+}
+
+// BenchmarkLivePathEpoch measures the real-concurrency TCP path in wall
+// time: mount over localhost targets, drain one chunk-batched epoch.
+// Unlike the figure benchmarks this one reports genuine wall-clock
+// throughput of this machine's loopback stack.
+func BenchmarkLivePathEpoch(b *testing.B) {
+	const targets, samples, size = 3, 2000, 8 << 10
+	addrs := make([]string, targets)
+	for i := range addrs {
+		tgt, err := StartTarget("127.0.0.1:0", 1<<30, 64)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer tgt.Close() //nolint:errcheck
+		addrs[i] = tgt.Addr
+	}
+	ds := GenerateDataset(DatasetConfig{Label: "bench-live", Seed: 77, NumSamples: samples, Dist: FixedDist(size)})
+	fs, err := MountLive(addrs, ds, LiveConfig{ChunkSize: 64 << 10, Prefetchers: 6})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer fs.Close() //nolint:errcheck
+	b.SetBytes(int64(samples) * size)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ep, err := fs.Sequence(int64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		items, err := ep.Drain()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(items) != samples {
+			b.Fatalf("delivered %d of %d", len(items), samples)
+		}
+	}
+	b.ReportMetric(float64(samples)*float64(b.N)/b.Elapsed().Seconds(), "samples/s")
+}
+
+// BenchmarkDirectoryLookup measures raw directory lookups (Go wall time,
+// not simulated): the per-sample metadata cost the design minimises.
+func BenchmarkDirectoryLookup(b *testing.B) {
+	sim := NewSimulation(4)
+	defer sim.Close()
+	ds := GenerateDataset(DatasetConfig{Label: "bench-dir", Seed: 78, NumSamples: 100_000, Dist: FixedDist(64)})
+	fss, err := sim.MountAll(ds, DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	dir := fss[0].Directory()
+	keys := make([]uint64, ds.Len())
+	for i := range keys {
+		keys[i] = ds.Samples[i].Key()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, _, ok := dir.Lookup(keys[i%len(keys)]); !ok {
+			b.Fatal("lost key")
+		}
+	}
+}

@@ -1,0 +1,199 @@
+// Command dlfsctl inspects and exercises DLFS interactively:
+//
+//	dlfsctl info -nodes 8 -n 100000        # mount in simulation, print directory stats
+//	dlfsctl smoke -targets 3 -n 500        # live path: spin up local TCP targets,
+//	                                       # mount, read an epoch, verify checksums
+//	dlfsctl lookup -nodes 4 -n 100000 -name <sample>  # decode one directory entry
+//	dlfsctl trace -nodes 2 -n 2000 -out trace.json    # record a pipeline trace
+//	                                                  # (open in chrome://tracing)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"dlfs/internal/core"
+	"dlfs/internal/dataset"
+	"dlfs/internal/live"
+	"dlfs/internal/metrics"
+	"dlfs/internal/sim"
+	"dlfs/internal/workload"
+
+	"dlfs/internal/blockdev"
+	"dlfs/internal/nvmetcp"
+	"dlfs/internal/trace"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	switch cmd {
+	case "info":
+		cmdInfo(args)
+	case "smoke":
+		cmdSmoke(args)
+	case "lookup":
+		cmdLookup(args)
+	case "trace":
+		cmdTrace(args)
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: dlfsctl {info|smoke|lookup|trace} [flags]")
+	os.Exit(2)
+}
+
+func mountSim(nodes, n int, sizeDist string) ([]*core.FS, *dataset.Dataset) {
+	var d dataset.SizeDist
+	switch sizeDist {
+	case "imagenet":
+		d = dataset.ImageNetDist()
+	case "imdb":
+		d = dataset.IMDBDist()
+	default:
+		d = dataset.Fixed(128 << 10)
+	}
+	ds := dataset.Generate(dataset.Config{Label: "ctl", Seed: 1, NumSamples: n, Dist: d})
+	e := sim.NewEngine()
+	job := workload.NewJob(e, nodes, 20, false)
+	fss, err := workload.MountDLFS(e, job, ds, core.Config{})
+	if err != nil {
+		fatal(err)
+	}
+	return fss, ds
+}
+
+func cmdInfo(args []string) {
+	fs := flag.NewFlagSet("info", flag.ExitOnError)
+	nodes := fs.Int("nodes", 4, "cluster nodes")
+	n := fs.Int("n", 10000, "samples")
+	dist := fs.String("dist", "imdb", "size distribution")
+	fs.Parse(args) //nolint:errcheck
+
+	fss, ds := mountSim(*nodes, *n, *dist)
+	dir := fss[0].Directory()
+	tab := metrics.NewTable("DLFS in-memory sample directory", "node", "entries", "serialized")
+	for nid := 0; nid < dir.NumNodes(); nid++ {
+		p := dir.Partition(uint16(nid))
+		tab.AddRow(nid, p.Len(), metrics.HumanBytes(int64(p.Len()*16)))
+	}
+	fmt.Println(tab)
+	fmt.Printf("samples: %d   dataset: %s   directory memory: %s per replica\n",
+		ds.Len(), metrics.HumanBytes(ds.TotalBytes()), metrics.HumanBytes(dir.MemoryBytes()))
+	fmt.Printf("replica fingerprint: %#x (identical on all %d nodes)\n", dir.Fingerprint(), *nodes)
+}
+
+func cmdLookup(args []string) {
+	fs := flag.NewFlagSet("lookup", flag.ExitOnError)
+	nodes := fs.Int("nodes", 4, "cluster nodes")
+	n := fs.Int("n", 10000, "samples")
+	idx := fs.Int("i", 0, "sample index to resolve")
+	fs.Parse(args) //nolint:errcheck
+
+	fss, ds := mountSim(*nodes, *n, "imdb")
+	if *idx < 0 || *idx >= ds.Len() {
+		fatal(fmt.Errorf("index %d out of range", *idx))
+	}
+	s := ds.Samples[*idx]
+	e, _, depth, ok := fss[0].Directory().LookupName(s.Name, fmt.Sprintf("class%d", s.Class))
+	if !ok {
+		fatal(fmt.Errorf("sample %q not found", s.Name))
+	}
+	fmt.Printf("name:   %s\nkey:    %#x\nentry:  %s\ndepth:  %d tree nodes\n", s.Name, s.Key(), e, depth)
+}
+
+func cmdSmoke(args []string) {
+	fs := flag.NewFlagSet("smoke", flag.ExitOnError)
+	targets := fs.Int("targets", 3, "local TCP targets to start")
+	n := fs.Int("n", 500, "samples")
+	size := fs.Int("size", 4096, "sample size")
+	fs.Parse(args) //nolint:errcheck
+
+	addrs := make([]string, *targets)
+	for i := range addrs {
+		tgt := nvmetcp.NewTarget(blockdev.New(1<<30), 64)
+		addr, err := tgt.Listen("127.0.0.1:0")
+		if err != nil {
+			fatal(err)
+		}
+		defer tgt.Close() //nolint:errcheck
+		addrs[i] = addr
+		fmt.Printf("target %d: %s\n", i, addr)
+	}
+	ds := dataset.Generate(dataset.Config{Label: "smoke", Seed: 2, NumSamples: *n, Dist: dataset.Fixed(*size)})
+	start := time.Now()
+	lfs, err := live.Mount(addrs, ds, live.Config{})
+	if err != nil {
+		fatal(err)
+	}
+	defer lfs.Close() //nolint:errcheck
+	fmt.Printf("mounted %d samples (%s) in %.2fs\n", ds.Len(),
+		metrics.HumanBytes(ds.TotalBytes()), time.Since(start).Seconds())
+
+	ep, err := lfs.Sequence(time.Now().UnixNano())
+	if err != nil {
+		fatal(err)
+	}
+	start = time.Now()
+	items, err := ep.Drain()
+	if err != nil {
+		fatal(err)
+	}
+	elapsed := time.Since(start)
+	bad := 0
+	for _, it := range items {
+		if dataset.ChecksumBytes(it.Data) != ds.Checksum(it.Index) {
+			bad++
+		}
+	}
+	fmt.Printf("epoch: %d samples in %.3fs (%s), %d checksum failures\n",
+		len(items), elapsed.Seconds(),
+		metrics.HumanRate(float64(len(items))/elapsed.Seconds()), bad)
+	if bad > 0 {
+		os.Exit(1)
+	}
+}
+
+func cmdTrace(args []string) {
+	fs := flag.NewFlagSet("trace", flag.ExitOnError)
+	nodes := fs.Int("nodes", 2, "cluster nodes")
+	n := fs.Int("n", 2000, "samples")
+	size := fs.Int("size", 16<<10, "sample size")
+	out := fs.String("out", "trace.json", "Chrome trace-event output file")
+	fs.Parse(args) //nolint:errcheck
+
+	rec := trace.New(0)
+	e := sim.NewEngine()
+	job := workload.NewJob(e, *nodes, 20, false)
+	ds := dataset.Generate(dataset.Config{Label: "trace", Seed: 4, NumSamples: *n, Dist: dataset.Fixed(*size)})
+	fss, err := workload.MountDLFS(e, job, ds, core.Config{Trace: rec})
+	if err != nil {
+		fatal(err)
+	}
+	res := workload.RunDLFSEpoch(e, fss, 1)
+	sum := rec.Summarize()
+	fmt.Printf("epoch: %d samples in %v virtual (%s)\n", res.Samples, res.Elapsed, metrics.HumanRate(res.PerSec()))
+	fmt.Printf("trace: %d events; fetch latency p50=%v p99=%v max=%v; mean residency %v\n",
+		rec.Len(), sum.FetchP50, sum.FetchP99, sum.FetchMax, sum.UnitsResident)
+	f, err := os.Create(*out)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close() //nolint:errcheck
+	if err := rec.WriteChromeJSON(f); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s (open in chrome://tracing or ui.perfetto.dev)\n", *out)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dlfsctl:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,103 @@
+// Command dlfsd runs a standalone NVMe-oF-style TCP block target — the
+// storage-node daemon of the live disaggregation path. Start one per
+// storage node, then point clients (dlfsctl smoke with explicit targets,
+// or code using dlfs.MountLive) at the printed addresses.
+//
+//	dlfsd -listen 127.0.0.1:4420 -capacity 4GiB -depth 64
+//
+// The daemon serves until interrupted, printing a stats line every
+// -stats interval.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"dlfs/internal/blockdev"
+	"dlfs/internal/metrics"
+	"dlfs/internal/nvmetcp"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:4420", "address to serve on")
+	capacity := flag.String("capacity", "1GiB", "exported capacity (supports KiB/MiB/GiB suffixes)")
+	depth := flag.Int("depth", 64, "per-connection queue depth")
+	stats := flag.Duration("stats", 10*time.Second, "stats print interval (0 disables)")
+	flag.Parse()
+
+	capBytes, err := parseBytes(*capacity)
+	if err != nil {
+		fatal(err)
+	}
+	tgt := nvmetcp.NewTarget(blockdev.New(capBytes), *depth)
+	addr, err := tgt.Listen(*listen)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("dlfsd: serving %s (%d bytes) on %s, queue depth %d\n",
+		metrics.HumanBytes(capBytes), capBytes, addr, *depth)
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+
+	var ticker *time.Ticker
+	var tick <-chan time.Time
+	if *stats > 0 {
+		ticker = time.NewTicker(*stats)
+		tick = ticker.C
+		defer ticker.Stop()
+	}
+	for {
+		select {
+		case <-tick:
+			cmds, bytes := tgt.Served()
+			fmt.Printf("dlfsd: served %d commands, %s\n", cmds, metrics.HumanBytes(bytes))
+		case sig := <-stop:
+			fmt.Printf("dlfsd: %v, shutting down\n", sig)
+			if err := tgt.Close(); err != nil {
+				fatal(err)
+			}
+			cmds, bytes := tgt.Served()
+			fmt.Printf("dlfsd: final: %d commands, %s\n", cmds, metrics.HumanBytes(bytes))
+			return
+		}
+	}
+}
+
+// parseBytes parses "512", "4KiB", "1MiB", "2GiB" (also accepts KB/MB/GB
+// as binary for convenience).
+func parseBytes(s string) (int64, error) {
+	s = strings.TrimSpace(s)
+	mult := int64(1)
+	lower := strings.ToLower(s)
+	for _, suf := range []struct {
+		tag string
+		m   int64
+	}{
+		{"gib", 1 << 30}, {"gb", 1 << 30}, {"g", 1 << 30},
+		{"mib", 1 << 20}, {"mb", 1 << 20}, {"m", 1 << 20},
+		{"kib", 1 << 10}, {"kb", 1 << 10}, {"k", 1 << 10},
+	} {
+		if strings.HasSuffix(lower, suf.tag) {
+			mult = suf.m
+			s = s[:len(s)-len(suf.tag)]
+			break
+		}
+	}
+	v, err := strconv.ParseInt(strings.TrimSpace(s), 10, 64)
+	if err != nil || v <= 0 {
+		return 0, fmt.Errorf("dlfsd: bad size %q", s)
+	}
+	return v * mult, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

@@ -1,0 +1,26 @@
+package main
+
+import "testing"
+
+func TestParseBytes(t *testing.T) {
+	cases := map[string]int64{
+		"512":     512,
+		"4KiB":    4 << 10,
+		"4kb":     4 << 10,
+		"1MiB":    1 << 20,
+		"2GiB":    2 << 30,
+		"3g":      3 << 30,
+		" 8 MiB ": 8 << 20,
+	}
+	for in, want := range cases {
+		got, err := parseBytes(in)
+		if err != nil || got != want {
+			t.Errorf("parseBytes(%q) = %d, %v; want %d", in, got, err, want)
+		}
+	}
+	for _, bad := range []string{"", "abc", "-1", "0", "12Q"} {
+		if _, err := parseBytes(bad); err == nil {
+			t.Errorf("parseBytes(%q) accepted", bad)
+		}
+	}
+}

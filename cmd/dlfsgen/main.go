@@ -1,0 +1,111 @@
+// Command dlfsgen generates synthetic dataset artifacts: a manifest of
+// sample names/sizes/classes (JSON), optional TFRecord-style batched
+// container files, and the size-CDF table behind Fig 1.
+//
+// Usage:
+//
+//	dlfsgen -dist imagenet -n 10000 -out manifest.json
+//	dlfsgen -dist imdb -n 50000 -cdf
+//	dlfsgen -dist fixed -size 4096 -n 1000 -container parts/ -per 250
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"dlfs/internal/dataset"
+	"dlfs/internal/metrics"
+)
+
+func main() {
+	dist := flag.String("dist", "imagenet", "size distribution: imagenet, imdb, fixed")
+	size := flag.Int("size", 128<<10, "sample size for -dist fixed")
+	n := flag.Int("n", 10000, "number of samples")
+	seed := flag.Int64("seed", 1, "generator seed")
+	label := flag.String("label", "dataset", "dataset label (prefixes sample names)")
+	classes := flag.Int("classes", 10, "number of classes")
+	out := flag.String("out", "", "write the manifest as JSON to this file ('-' for stdout)")
+	cdf := flag.Bool("cdf", false, "print the size CDF (Fig 1 style)")
+	container := flag.String("container", "", "write TFRecord-style container files into this directory")
+	per := flag.Int("per", 1000, "samples per container file")
+	flag.Parse()
+
+	var d dataset.SizeDist
+	switch *dist {
+	case "imagenet":
+		d = dataset.ImageNetDist()
+	case "imdb":
+		d = dataset.IMDBDist()
+	case "fixed":
+		d = dataset.Fixed(*size)
+	default:
+		fmt.Fprintf(os.Stderr, "dlfsgen: unknown distribution %q\n", *dist)
+		os.Exit(2)
+	}
+
+	ds := dataset.Generate(dataset.Config{
+		Label: *label, Seed: *seed, NumSamples: *n, NumClasses: *classes, Dist: d,
+	})
+	fmt.Printf("generated %d samples, %s total, mean %s (dist=%s seed=%d)\n",
+		ds.Len(), metrics.HumanBytes(ds.TotalBytes()),
+		metrics.HumanBytes(int64(ds.MeanSize())), d.Name(), *seed)
+
+	if *cdf {
+		tab := metrics.NewTable("Sample size CDF", "percentile", "size")
+		for _, pt := range ds.SizeCDF([]float64{10, 25, 50, 75, 90, 95, 99}) {
+			tab.AddRow(fmt.Sprintf("p%.0f", pt.Percentile), metrics.HumanBytes(int64(pt.SizeBytes)))
+		}
+		fmt.Println(tab)
+	}
+
+	if *out != "" {
+		blob, err := json.MarshalIndent(struct {
+			Label   string
+			Seed    int64
+			Samples []dataset.Sample
+		}{ds.Label, ds.Seed, ds.Samples}, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if *out == "-" {
+			os.Stdout.Write(blob) //nolint:errcheck
+			fmt.Println()
+		} else if err := os.WriteFile(*out, blob, 0o644); err != nil {
+			fatal(err)
+		} else {
+			fmt.Printf("manifest: %s (%d bytes)\n", *out, len(blob))
+		}
+	}
+
+	if *container != "" {
+		if err := os.MkdirAll(*container, 0o755); err != nil {
+			fatal(err)
+		}
+		part := 0
+		for lo := 0; lo < ds.Len(); lo += *per {
+			hi := lo + *per
+			if hi > ds.Len() {
+				hi = ds.Len()
+			}
+			indices := make([]int, 0, hi-lo)
+			for i := lo; i < hi; i++ {
+				indices = append(indices, i)
+			}
+			c := dataset.BuildContainer(ds, fmt.Sprintf("part-%05d", part), indices)
+			path := filepath.Join(*container, c.Name+".rec")
+			if err := os.WriteFile(path, c.Data, 0o644); err != nil {
+				fatal(err)
+			}
+			part++
+		}
+		fmt.Printf("containers: %d files under %s\n", part, *container)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dlfsgen:", err)
+	os.Exit(1)
+}

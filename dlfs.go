@@ -1,0 +1,217 @@
+// Package dlfs is the public API of this repository: a reproduction of
+// "Efficient User-Level Storage Disaggregation for Deep Learning"
+// (Zhu et al., IEEE CLUSTER 2019) — the Deep Learning File System (DLFS),
+// a user-level, read-optimized, ephemeral file system that disaggregates
+// NVMe devices to parallel training tasks over NVMe-oF.
+//
+// Two complete implementations share the directory, sample-entry and
+// chunk-planning code:
+//
+//   - The simulated path (NewSimulation/MountAll) runs the full design —
+//     SPDK-style queue pairs, NVMe device and fabric models, kernel-Ext4
+//     and Octopus baselines — under a deterministic discrete-event engine,
+//     and regenerates every figure of the paper's evaluation
+//     (see bench_test.go and cmd/dlfsbench).
+//
+//   - The live path (MountLive) runs the same client design on goroutines
+//     against real TCP block targets (StartTarget), moving real bytes over
+//     real sockets.
+//
+// Quick start (simulated, 4 nodes):
+//
+//	sim := dlfs.NewSimulation(4)
+//	ds := dlfs.GenerateDataset(dlfs.DatasetConfig{Label: "demo", Seed: 1,
+//		NumSamples: 1000, Dist: dlfs.ImageNetDist()})
+//	fss, err := sim.MountAll(ds, dlfs.DefaultConfig())
+//	...
+//	sim.Run(func(p *dlfs.Proc) {
+//		epoch := fss[0].Sequence(42)
+//		for {
+//			batch, ok := epoch.NextBatch(p)
+//			if !ok { break }
+//			train(batch)
+//		}
+//	})
+package dlfs
+
+import (
+	"fmt"
+
+	"dlfs/internal/blockdev"
+	"dlfs/internal/cluster"
+	"dlfs/internal/core"
+	"dlfs/internal/dataset"
+	"dlfs/internal/live"
+	"dlfs/internal/nvme"
+	"dlfs/internal/nvmetcp"
+	"dlfs/internal/sim"
+)
+
+// Core DLFS types (simulated path).
+type (
+	// Config tunes a DLFS instance; see core.Config for field docs.
+	Config = core.Config
+	// FS is one compute node's DLFS instance.
+	FS = core.FS
+	// Epoch is one dlfs_sequence/dlfs_bread pass.
+	Epoch = core.Epoch
+	// Item is a delivered sample.
+	Item = core.Item
+	// Handle is an open sample (dlfs_open).
+	Handle = core.Handle
+	// Stats are per-instance counters.
+	Stats = core.Stats
+	// Proc is a simulated process; FS methods run on one.
+	Proc = sim.Proc
+	// Job is the simulated cluster job.
+	Job = cluster.Job
+)
+
+// Dataset types.
+type (
+	// Dataset is a synthetic training-set manifest with deterministic
+	// contents.
+	Dataset = dataset.Dataset
+	// DatasetConfig parameterises GenerateDataset.
+	DatasetConfig = dataset.Config
+	// SizeDist generates sample sizes.
+	SizeDist = dataset.SizeDist
+)
+
+// Live-path types.
+type (
+	// LiveFS is the real-concurrency TCP-backed client.
+	LiveFS = live.FS
+	// LiveConfig tunes it.
+	LiveConfig = live.Config
+	// LiveEpoch is its batched epoch.
+	LiveEpoch = live.Epoch
+	// LiveItem is a delivered sample on the live path.
+	LiveItem = live.Item
+)
+
+// DefaultConfig returns the paper's DLFS defaults (256 KB chunks, queue
+// depth 128, 4 copy threads, chunk batching on).
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// GenerateDataset builds a synthetic dataset manifest.
+func GenerateDataset(cfg DatasetConfig) *Dataset { return dataset.Generate(cfg) }
+
+// FixedDist returns a fixed-size sample distribution.
+func FixedDist(bytes int) SizeDist { return dataset.Fixed(bytes) }
+
+// ImageNetDist returns the ImageNet-calibrated size distribution (Fig 1).
+func ImageNetDist() SizeDist { return dataset.ImageNetDist() }
+
+// IMDBDist returns the IMDB-calibrated size distribution (Fig 1).
+func IMDBDist() SizeDist { return dataset.IMDBDist() }
+
+// ChecksumBytes hashes sample contents for end-to-end verification.
+func ChecksumBytes(b []byte) uint32 { return dataset.ChecksumBytes(b) }
+
+// Simulation bundles a discrete-event engine with a cluster job: the
+// environment the simulated DLFS runs in.
+type Simulation struct {
+	eng *sim.Engine
+	job *cluster.Job
+}
+
+// SimOption customises NewSimulation.
+type SimOption func(*cluster.NodeSpec)
+
+// WithCores sets CPU cores per node (default 20, the paper's testbed).
+func WithCores(n int) SimOption {
+	return func(s *cluster.NodeSpec) { s.Cores = n }
+}
+
+// WithOptane equips nodes with the real-Optane device model instead of
+// the emulated multi-node device.
+func WithOptane() SimOption {
+	return func(s *cluster.NodeSpec) {
+		d := nvme.OptaneSpec()
+		s.Device = &d
+	}
+}
+
+// NewSimulation creates an n-node job on a fresh virtual cluster.
+func NewSimulation(n int, opts ...SimOption) *Simulation {
+	spec := cluster.DefaultNodeSpec()
+	for _, o := range opts {
+		o(&spec)
+	}
+	e := sim.NewEngine()
+	return &Simulation{eng: e, job: cluster.NewJob(e, n, spec)}
+}
+
+// Job exposes the underlying cluster job.
+func (s *Simulation) Job() *cluster.Job { return s.job }
+
+// MountAll performs the collective dlfs_mount on every node and returns
+// the per-node instances.
+func (s *Simulation) MountAll(ds *Dataset, cfg Config) ([]*FS, error) {
+	fss := make([]*FS, s.job.N())
+	errs := make([]error, s.job.N())
+	for i := 0; i < s.job.N(); i++ {
+		i := i
+		s.eng.Go(fmt.Sprintf("mount%d", i), func(p *sim.Proc) {
+			fss[i], errs[i] = core.Mount(p, s.job, i, ds, cfg)
+		})
+	}
+	s.eng.RunAll()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("dlfs: mount node %d: %w", i, err)
+		}
+	}
+	return fss, nil
+}
+
+// Run executes fn as a simulated process and drives the virtual clock
+// until all scheduled work completes, returning the final virtual time.
+func (s *Simulation) Run(fn func(p *Proc)) sim.Time {
+	s.eng.Go("user", fn)
+	return s.eng.RunAll()
+}
+
+// Go starts an additional simulated process without running the clock;
+// combine with Run for multi-client scenarios.
+func (s *Simulation) Go(name string, fn func(p *Proc)) {
+	s.eng.Go(name, fn)
+}
+
+// Now reports the current virtual time.
+func (s *Simulation) Now() sim.Time { return s.eng.Now() }
+
+// Close releases the simulation's parked process goroutines so the whole
+// virtual cluster can be garbage-collected. Call it when building many
+// simulations in one process; the simulation is unusable afterwards.
+func (s *Simulation) Close() { s.eng.Shutdown() }
+
+// MountLive connects to TCP block targets, uploads the dataset shards and
+// builds the directory — the real-socket dlfs_mount.
+func MountLive(addrs []string, ds *Dataset, cfg LiveConfig) (*LiveFS, error) {
+	return live.Mount(addrs, ds, cfg)
+}
+
+// BlockTarget is a running TCP NVMe-oF-style target.
+type BlockTarget struct {
+	tgt  *nvmetcp.Target
+	Addr string
+}
+
+// StartTarget starts a TCP block target of the given capacity on addr
+// (use "127.0.0.1:0" for an ephemeral port) and returns its handle.
+func StartTarget(addr string, capacity int64, depth int) (*BlockTarget, error) {
+	tgt := nvmetcp.NewTarget(blockdev.New(capacity), depth)
+	bound, err := tgt.Listen(addr)
+	if err != nil {
+		return nil, err
+	}
+	return &BlockTarget{tgt: tgt, Addr: bound}, nil
+}
+
+// Served reports commands and bytes the target served.
+func (b *BlockTarget) Served() (cmds, bytes int64) { return b.tgt.Served() }
+
+// Close stops the target.
+func (b *BlockTarget) Close() error { return b.tgt.Close() }

@@ -1,0 +1,102 @@
+package dlfs
+
+import (
+	"testing"
+)
+
+// TestPublicAPISimulatedPath drives the public API end to end: build a
+// simulation, mount, run an epoch, verify every delivered sample.
+func TestPublicAPISimulatedPath(t *testing.T) {
+	sim := NewSimulation(4)
+	ds := GenerateDataset(DatasetConfig{Label: "pub", Seed: 42, NumSamples: 400, Dist: IMDBDist()})
+	fss, err := sim.MountAll(ds, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	delivered := make(chan int, 4)
+	for i := 1; i < 4; i++ {
+		i := i
+		sim.Go("client", func(p *Proc) {
+			items := fss[i].Sequence(7).DrainAll(p)
+			for _, it := range items {
+				if ChecksumBytes(it.Data) != ds.Checksum(it.Index) {
+					t.Errorf("node %d sample %d corrupt", i, it.Index)
+				}
+			}
+			delivered <- len(items)
+		})
+	}
+	sim.Run(func(p *Proc) {
+		items := fss[0].Sequence(7).DrainAll(p)
+		delivered <- len(items)
+	})
+	total := 0
+	for i := 0; i < 4; i++ {
+		total += <-delivered
+	}
+	if total != 400 {
+		t.Fatalf("delivered %d of 400", total)
+	}
+	if sim.Now() == 0 {
+		t.Fatal("no virtual time elapsed")
+	}
+}
+
+func TestPublicAPIOptaneOption(t *testing.T) {
+	sim := NewSimulation(1, WithOptane(), WithCores(4))
+	if sim.Job().Node(0).Device.Spec().Name != "optane-480g@node0" {
+		t.Fatalf("device: %s", sim.Job().Node(0).Device.Spec().Name)
+	}
+	if sim.Job().Node(0).CPU.Capacity() != 4 {
+		t.Fatal("cores option ignored")
+	}
+}
+
+func TestPublicAPILivePath(t *testing.T) {
+	tgts := make([]*BlockTarget, 2)
+	addrs := make([]string, 2)
+	for i := range tgts {
+		tg, err := StartTarget("127.0.0.1:0", 64<<20, 32)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer tg.Close() //nolint:errcheck
+		tgts[i] = tg
+		addrs[i] = tg.Addr
+	}
+	ds := GenerateDataset(DatasetConfig{Label: "pub-live", Seed: 9, NumSamples: 120, Dist: FixedDist(2048)})
+	fs, err := MountLive(addrs, ds, LiveConfig{ChunkSize: 8 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Close() //nolint:errcheck
+	ep, err := fs.Sequence(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	items, err := ep.Drain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(items) != 120 {
+		t.Fatalf("delivered %d", len(items))
+	}
+	for _, it := range items {
+		if ChecksumBytes(it.Data) != ds.Checksum(it.Index) {
+			t.Fatalf("sample %d corrupt over live path", it.Index)
+		}
+	}
+	cmds, bytes := tgts[0].Served()
+	if cmds == 0 || bytes == 0 {
+		t.Fatal("target 0 unused")
+	}
+}
+
+func TestDistributions(t *testing.T) {
+	if FixedDist(512).Name() != "fixed-512B" {
+		t.Fatal("fixed dist")
+	}
+	if ImageNetDist().Name() != "imagenet" || IMDBDist().Name() != "imdb" {
+		t.Fatal("calibrated dists")
+	}
+}

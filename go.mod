@@ -1,0 +1,3 @@
+module dlfs
+
+go 1.22

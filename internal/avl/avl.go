@@ -1,0 +1,387 @@
+// Package avl implements a height-balanced AVL search tree keyed by uint64
+// with a generic value type. It is the building block of the DLFS
+// in-memory sample directory (DESIGN.md §III-B): each storage node owns one
+// tree holding the sample entries resident on that node.
+//
+// The tree supports ordered iteration and rank queries (Select/Rank) in
+// O(log n), which the directory uses to pick the i-th sample of a node
+// without materialising a slice.
+package avl
+
+// Tree is an AVL tree mapping uint64 keys to values of type V. The zero
+// value is an empty tree ready for use.
+type Tree[V any] struct {
+	root *node[V]
+	size int
+}
+
+type node[V any] struct {
+	key         uint64
+	val         V
+	left, right *node[V]
+	height      int8
+	count       int // subtree size, for rank queries
+}
+
+func height[V any](n *node[V]) int8 {
+	if n == nil {
+		return 0
+	}
+	return n.height
+}
+
+func count[V any](n *node[V]) int {
+	if n == nil {
+		return 0
+	}
+	return n.count
+}
+
+func (n *node[V]) update() {
+	hl, hr := height(n.left), height(n.right)
+	if hl > hr {
+		n.height = hl + 1
+	} else {
+		n.height = hr + 1
+	}
+	n.count = 1 + count(n.left) + count(n.right)
+}
+
+func (n *node[V]) balanceFactor() int { return int(height(n.left)) - int(height(n.right)) }
+
+func rotateRight[V any](y *node[V]) *node[V] {
+	x := y.left
+	y.left = x.right
+	x.right = y
+	y.update()
+	x.update()
+	return x
+}
+
+func rotateLeft[V any](x *node[V]) *node[V] {
+	y := x.right
+	x.right = y.left
+	y.left = x
+	x.update()
+	y.update()
+	return y
+}
+
+func rebalance[V any](n *node[V]) *node[V] {
+	n.update()
+	switch bf := n.balanceFactor(); {
+	case bf > 1:
+		if n.left.balanceFactor() < 0 {
+			n.left = rotateLeft(n.left)
+		}
+		return rotateRight(n)
+	case bf < -1:
+		if n.right.balanceFactor() > 0 {
+			n.right = rotateRight(n.right)
+		}
+		return rotateLeft(n)
+	}
+	return n
+}
+
+// Len reports the number of keys stored.
+func (t *Tree[V]) Len() int { return t.size }
+
+// Height reports the tree height (0 for empty).
+func (t *Tree[V]) Height() int { return int(height(t.root)) }
+
+// Insert stores val under key, replacing any existing value. It reports
+// whether the key was newly inserted.
+func (t *Tree[V]) Insert(key uint64, val V) bool {
+	var added bool
+	t.root, added = insert(t.root, key, val)
+	if added {
+		t.size++
+	}
+	return added
+}
+
+func insert[V any](n *node[V], key uint64, val V) (*node[V], bool) {
+	if n == nil {
+		return &node[V]{key: key, val: val, height: 1, count: 1}, true
+	}
+	var added bool
+	switch {
+	case key < n.key:
+		n.left, added = insert(n.left, key, val)
+	case key > n.key:
+		n.right, added = insert(n.right, key, val)
+	default:
+		n.val = val
+		return n, false
+	}
+	return rebalance(n), added
+}
+
+// Get returns the value for key and whether it is present.
+func (t *Tree[V]) Get(key uint64) (V, bool) {
+	n := t.root
+	for n != nil {
+		switch {
+		case key < n.key:
+			n = n.left
+		case key > n.key:
+			n = n.right
+		default:
+			return n.val, true
+		}
+	}
+	var zero V
+	return zero, false
+}
+
+// GetDepth is Get but additionally reports the number of nodes visited,
+// which the directory uses to account lookup CPU cost.
+func (t *Tree[V]) GetDepth(key uint64) (V, bool, int) {
+	n := t.root
+	depth := 0
+	for n != nil {
+		depth++
+		switch {
+		case key < n.key:
+			n = n.left
+		case key > n.key:
+			n = n.right
+		default:
+			return n.val, true, depth
+		}
+	}
+	var zero V
+	return zero, false, depth
+}
+
+// Delete removes key, reporting whether it was present.
+func (t *Tree[V]) Delete(key uint64) bool {
+	var removed bool
+	t.root, removed = remove(t.root, key)
+	if removed {
+		t.size--
+	}
+	return removed
+}
+
+func remove[V any](n *node[V], key uint64) (*node[V], bool) {
+	if n == nil {
+		return nil, false
+	}
+	var removed bool
+	switch {
+	case key < n.key:
+		n.left, removed = remove(n.left, key)
+	case key > n.key:
+		n.right, removed = remove(n.right, key)
+	default:
+		removed = true
+		if n.left == nil {
+			return n.right, true
+		}
+		if n.right == nil {
+			return n.left, true
+		}
+		// Replace with in-order successor.
+		succ := n.right
+		for succ.left != nil {
+			succ = succ.left
+		}
+		n.key, n.val = succ.key, succ.val
+		n.right, _ = remove(n.right, succ.key)
+	}
+	if n == nil {
+		return nil, removed
+	}
+	return rebalance(n), removed
+}
+
+// Min returns the smallest key and its value; ok is false for an empty
+// tree.
+func (t *Tree[V]) Min() (key uint64, val V, ok bool) {
+	n := t.root
+	if n == nil {
+		var zero V
+		return 0, zero, false
+	}
+	for n.left != nil {
+		n = n.left
+	}
+	return n.key, n.val, true
+}
+
+// Max returns the largest key and its value.
+func (t *Tree[V]) Max() (key uint64, val V, ok bool) {
+	n := t.root
+	if n == nil {
+		var zero V
+		return 0, zero, false
+	}
+	for n.right != nil {
+		n = n.right
+	}
+	return n.key, n.val, true
+}
+
+// Ceil returns the smallest key >= key.
+func (t *Tree[V]) Ceil(key uint64) (k uint64, val V, ok bool) {
+	n := t.root
+	var best *node[V]
+	for n != nil {
+		switch {
+		case key < n.key:
+			best = n
+			n = n.left
+		case key > n.key:
+			n = n.right
+		default:
+			return n.key, n.val, true
+		}
+	}
+	if best == nil {
+		var zero V
+		return 0, zero, false
+	}
+	return best.key, best.val, true
+}
+
+// Floor returns the largest key <= key.
+func (t *Tree[V]) Floor(key uint64) (k uint64, val V, ok bool) {
+	n := t.root
+	var best *node[V]
+	for n != nil {
+		switch {
+		case key > n.key:
+			best = n
+			n = n.right
+		case key < n.key:
+			n = n.left
+		default:
+			return n.key, n.val, true
+		}
+	}
+	if best == nil {
+		var zero V
+		return 0, zero, false
+	}
+	return best.key, best.val, true
+}
+
+// Select returns the i-th smallest key (0-based) in O(log n).
+func (t *Tree[V]) Select(i int) (key uint64, val V, ok bool) {
+	if i < 0 || i >= t.size {
+		var zero V
+		return 0, zero, false
+	}
+	n := t.root
+	for {
+		l := count(n.left)
+		switch {
+		case i < l:
+			n = n.left
+		case i > l:
+			i -= l + 1
+			n = n.right
+		default:
+			return n.key, n.val, true
+		}
+	}
+}
+
+// Rank returns the number of keys strictly less than key.
+func (t *Tree[V]) Rank(key uint64) int {
+	n := t.root
+	rank := 0
+	for n != nil {
+		switch {
+		case key < n.key:
+			n = n.left
+		case key > n.key:
+			rank += count(n.left) + 1
+			n = n.right
+		default:
+			return rank + count(n.left)
+		}
+	}
+	return rank
+}
+
+// Ascend calls fn for every key/value in increasing key order; fn returning
+// false stops the walk.
+func (t *Tree[V]) Ascend(fn func(key uint64, val V) bool) {
+	ascend(t.root, fn)
+}
+
+func ascend[V any](n *node[V], fn func(uint64, V) bool) bool {
+	if n == nil {
+		return true
+	}
+	if !ascend(n.left, fn) {
+		return false
+	}
+	if !fn(n.key, n.val) {
+		return false
+	}
+	return ascend(n.right, fn)
+}
+
+// Keys returns all keys in increasing order.
+func (t *Tree[V]) Keys() []uint64 {
+	out := make([]uint64, 0, t.size)
+	t.Ascend(func(k uint64, _ V) bool {
+		out = append(out, k)
+		return true
+	})
+	return out
+}
+
+// CheckInvariants verifies AVL balance, BST order and size bookkeeping,
+// returning false with a reason when violated. It is exported for tests
+// and for directory self-checks.
+func (t *Tree[V]) CheckInvariants() (bool, string) {
+	n, ok, why := check(t.root)
+	if !ok {
+		return false, why
+	}
+	if n != t.size {
+		return false, "size mismatch"
+	}
+	return true, ""
+}
+
+func check[V any](n *node[V]) (int, bool, string) {
+	if n == nil {
+		return 0, true, ""
+	}
+	ln, ok, why := check(n.left)
+	if !ok {
+		return 0, false, why
+	}
+	rn, ok, why := check(n.right)
+	if !ok {
+		return 0, false, why
+	}
+	if n.left != nil && n.left.key >= n.key {
+		return 0, false, "BST order violated on left"
+	}
+	if n.right != nil && n.right.key <= n.key {
+		return 0, false, "BST order violated on right"
+	}
+	bf := n.balanceFactor()
+	if bf < -1 || bf > 1 {
+		return 0, false, "balance factor out of range"
+	}
+	hl, hr := height(n.left), height(n.right)
+	want := hl
+	if hr > hl {
+		want = hr
+	}
+	if n.height != want+1 {
+		return 0, false, "stale height"
+	}
+	if n.count != 1+ln+rn {
+		return 0, false, "stale count"
+	}
+	return 1 + ln + rn, true, ""
+}

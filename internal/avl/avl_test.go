@@ -1,0 +1,264 @@
+package avl
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func mustInvariants(t *testing.T, tr *Tree[int]) {
+	t.Helper()
+	if ok, why := tr.CheckInvariants(); !ok {
+		t.Fatalf("invariants violated: %s", why)
+	}
+}
+
+func TestInsertGet(t *testing.T) {
+	var tr Tree[int]
+	for i := 0; i < 100; i++ {
+		if !tr.Insert(uint64(i*7%100), i) {
+			t.Fatalf("key %d inserted twice", i*7%100)
+		}
+	}
+	if tr.Len() != 100 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	mustInvariants(t, &tr)
+	for i := 0; i < 100; i++ {
+		if _, ok := tr.Get(uint64(i)); !ok {
+			t.Fatalf("missing key %d", i)
+		}
+	}
+	if _, ok := tr.Get(1000); ok {
+		t.Fatal("found absent key")
+	}
+}
+
+func TestInsertReplace(t *testing.T) {
+	var tr Tree[int]
+	tr.Insert(5, 1)
+	if tr.Insert(5, 2) {
+		t.Fatal("replace reported as new insert")
+	}
+	v, _ := tr.Get(5)
+	if v != 2 || tr.Len() != 1 {
+		t.Fatalf("v=%d len=%d", v, tr.Len())
+	}
+}
+
+func TestDelete(t *testing.T) {
+	var tr Tree[int]
+	for i := 0; i < 50; i++ {
+		tr.Insert(uint64(i), i)
+	}
+	for i := 0; i < 50; i += 2 {
+		if !tr.Delete(uint64(i)) {
+			t.Fatalf("delete %d failed", i)
+		}
+	}
+	if tr.Delete(0) {
+		t.Fatal("double delete succeeded")
+	}
+	if tr.Len() != 25 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	mustInvariants(t, &tr)
+	for i := 0; i < 50; i++ {
+		_, ok := tr.Get(uint64(i))
+		if (i%2 == 0) == ok {
+			t.Fatalf("key %d presence = %v", i, ok)
+		}
+	}
+}
+
+func TestHeightLogarithmic(t *testing.T) {
+	var tr Tree[int]
+	// Sequential insert is the classic worst case for unbalanced BSTs.
+	for i := 0; i < 1<<12; i++ {
+		tr.Insert(uint64(i), i)
+	}
+	// AVL height bound: 1.44*log2(n+2). For 4096 nodes that is < 19.
+	if h := tr.Height(); h > 19 {
+		t.Fatalf("height %d too large for 4096 nodes", h)
+	}
+	mustInvariants(t, &tr)
+}
+
+func TestMinMaxCeilFloor(t *testing.T) {
+	var tr Tree[int]
+	for _, k := range []uint64{10, 20, 30, 40} {
+		tr.Insert(k, int(k))
+	}
+	if k, _, _ := tr.Min(); k != 10 {
+		t.Fatalf("Min = %d", k)
+	}
+	if k, _, _ := tr.Max(); k != 40 {
+		t.Fatalf("Max = %d", k)
+	}
+	if k, _, ok := tr.Ceil(25); !ok || k != 30 {
+		t.Fatalf("Ceil(25) = %d,%v", k, ok)
+	}
+	if k, _, ok := tr.Ceil(30); !ok || k != 30 {
+		t.Fatalf("Ceil(30) = %d,%v", k, ok)
+	}
+	if _, _, ok := tr.Ceil(41); ok {
+		t.Fatal("Ceil(41) should miss")
+	}
+	if k, _, ok := tr.Floor(25); !ok || k != 20 {
+		t.Fatalf("Floor(25) = %d,%v", k, ok)
+	}
+	if _, _, ok := tr.Floor(5); ok {
+		t.Fatal("Floor(5) should miss")
+	}
+	var empty Tree[int]
+	if _, _, ok := empty.Min(); ok {
+		t.Fatal("Min on empty")
+	}
+	if _, _, ok := empty.Max(); ok {
+		t.Fatal("Max on empty")
+	}
+}
+
+func TestSelectRank(t *testing.T) {
+	var tr Tree[int]
+	keys := []uint64{50, 10, 70, 30, 90}
+	for _, k := range keys {
+		tr.Insert(k, 0)
+	}
+	sorted := []uint64{10, 30, 50, 70, 90}
+	for i, want := range sorted {
+		k, _, ok := tr.Select(i)
+		if !ok || k != want {
+			t.Fatalf("Select(%d) = %d,%v want %d", i, k, ok, want)
+		}
+		if r := tr.Rank(want); r != i {
+			t.Fatalf("Rank(%d) = %d, want %d", want, r, i)
+		}
+	}
+	if _, _, ok := tr.Select(-1); ok {
+		t.Fatal("Select(-1)")
+	}
+	if _, _, ok := tr.Select(5); ok {
+		t.Fatal("Select(len)")
+	}
+	if r := tr.Rank(60); r != 3 {
+		t.Fatalf("Rank(60) = %d", r)
+	}
+	if r := tr.Rank(5); r != 0 {
+		t.Fatalf("Rank(5) = %d", r)
+	}
+	if r := tr.Rank(100); r != 5 {
+		t.Fatalf("Rank(100) = %d", r)
+	}
+}
+
+func TestAscendSortedAndEarlyStop(t *testing.T) {
+	var tr Tree[int]
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 500; i++ {
+		tr.Insert(rng.Uint64()%10000, i)
+	}
+	keys := tr.Keys()
+	if !sort.SliceIsSorted(keys, func(i, j int) bool { return keys[i] < keys[j] }) {
+		t.Fatal("Keys not sorted")
+	}
+	seen := 0
+	tr.Ascend(func(uint64, int) bool {
+		seen++
+		return seen < 10
+	})
+	if seen != 10 {
+		t.Fatalf("early stop saw %d", seen)
+	}
+}
+
+func TestGetDepth(t *testing.T) {
+	var tr Tree[int]
+	for i := 0; i < 1000; i++ {
+		tr.Insert(uint64(i), i)
+	}
+	_, ok, depth := tr.GetDepth(500)
+	if !ok || depth < 1 || depth > tr.Height() {
+		t.Fatalf("depth = %d, height = %d", depth, tr.Height())
+	}
+	_, ok, depth = tr.GetDepth(99999)
+	if ok || depth > tr.Height() {
+		t.Fatalf("miss depth = %d", depth)
+	}
+}
+
+// Property: after any interleaved sequence of inserts and deletes the tree
+// matches a map oracle and all invariants hold.
+func TestTreeMatchesOracleProperty(t *testing.T) {
+	f := func(ops []uint16, seed int64) bool {
+		var tr Tree[int]
+		oracle := map[uint64]int{}
+		rng := rand.New(rand.NewSource(seed))
+		for i, op := range ops {
+			key := uint64(op % 512)
+			if rng.Intn(3) == 0 {
+				delete(oracle, key)
+				tr.Delete(key)
+			} else {
+				oracle[key] = i
+				tr.Insert(key, i)
+			}
+		}
+		if ok, _ := tr.CheckInvariants(); !ok {
+			return false
+		}
+		if tr.Len() != len(oracle) {
+			return false
+		}
+		for k, v := range oracle {
+			got, ok := tr.Get(k)
+			if !ok || got != v {
+				return false
+			}
+		}
+		keys := tr.Keys()
+		return sort.SliceIsSorted(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Select and Rank are inverse over the stored keys.
+func TestSelectRankInverseProperty(t *testing.T) {
+	f := func(raw []uint32) bool {
+		var tr Tree[int]
+		for _, k := range raw {
+			tr.Insert(uint64(k), 0)
+		}
+		for i := 0; i < tr.Len(); i++ {
+			k, _, ok := tr.Select(i)
+			if !ok || tr.Rank(k) != i {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkInsert(b *testing.B) {
+	var tr Tree[int]
+	for i := 0; i < b.N; i++ {
+		tr.Insert(uint64(i), i)
+	}
+}
+
+func BenchmarkGet(b *testing.B) {
+	var tr Tree[int]
+	for i := 0; i < 1<<20; i++ {
+		tr.Insert(uint64(i), i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Get(uint64(i) & (1<<20 - 1))
+	}
+}

@@ -1,0 +1,118 @@
+// Package blockdev provides the in-memory backing store that stands in for
+// NVMe media. It stores real bytes in fixed-size extents allocated lazily,
+// so a 1 TiB-addressable device costs memory only for the regions actually
+// written. All reads and writes are byte-addressed; alignment to media
+// blocks is the concern of the device model above it.
+//
+// Store is safe for concurrent use: the live (non-simulated) DLFS path
+// reads from many goroutines, and TCP targets serve requests concurrently.
+package blockdev
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// extentSize is the allocation granule. 1 MiB keeps the extent map small
+// while bounding slack for small datasets.
+const extentSize = 1 << 20
+
+// Store is a sparse in-memory byte store of fixed capacity.
+type Store struct {
+	mu       sync.RWMutex
+	capacity int64
+	extents  map[int64][]byte // extent index -> extentSize bytes
+	written  int64            // high-water mark of bytes stored (for stats)
+}
+
+// ErrOutOfRange reports access beyond the device capacity.
+var ErrOutOfRange = errors.New("blockdev: access out of range")
+
+// New returns a store with the given capacity in bytes.
+func New(capacity int64) *Store {
+	if capacity <= 0 {
+		panic("blockdev: capacity must be positive")
+	}
+	return &Store{capacity: capacity, extents: make(map[int64][]byte)}
+}
+
+// Capacity returns the device capacity in bytes.
+func (s *Store) Capacity() int64 { return s.capacity }
+
+// AllocatedBytes reports how much extent memory is materialised.
+func (s *Store) AllocatedBytes() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return int64(len(s.extents)) * extentSize
+}
+
+func (s *Store) check(off int64, n int) error {
+	if off < 0 || n < 0 || off+int64(n) > s.capacity {
+		return fmt.Errorf("%w: off=%d len=%d cap=%d", ErrOutOfRange, off, n, s.capacity)
+	}
+	return nil
+}
+
+// WriteAt stores p at byte offset off.
+func (s *Store) WriteAt(p []byte, off int64) (int, error) {
+	if err := s.check(off, len(p)); err != nil {
+		return 0, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if end := off + int64(len(p)); end > s.written {
+		s.written = end
+	}
+	n := 0
+	for n < len(p) {
+		ext := (off + int64(n)) / extentSize
+		within := (off + int64(n)) % extentSize
+		buf, ok := s.extents[ext]
+		if !ok {
+			buf = make([]byte, extentSize)
+			s.extents[ext] = buf
+		}
+		n += copy(buf[within:], p[n:])
+	}
+	return n, nil
+}
+
+// ReadAt fills p from byte offset off. Unwritten regions read as zeros,
+// like fresh flash after a format.
+func (s *Store) ReadAt(p []byte, off int64) (int, error) {
+	if err := s.check(off, len(p)); err != nil {
+		return 0, err
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	n := 0
+	for n < len(p) {
+		ext := (off + int64(n)) / extentSize
+		within := (off + int64(n)) % extentSize
+		chunk := extentSize - int(within)
+		if rem := len(p) - n; chunk > rem {
+			chunk = rem
+		}
+		if buf, ok := s.extents[ext]; ok {
+			copy(p[n:n+chunk], buf[within:])
+		} else {
+			zero(p[n : n+chunk])
+		}
+		n += chunk
+	}
+	return n, nil
+}
+
+func zero(b []byte) {
+	for i := range b {
+		b[i] = 0
+	}
+}
+
+// HighWater reports one past the largest byte offset ever written.
+func (s *Store) HighWater() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.written
+}

@@ -1,0 +1,165 @@
+package blockdev
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestReadAfterWrite(t *testing.T) {
+	s := New(10 << 20)
+	data := []byte("hello nvme world")
+	if _, err := s.WriteAt(data, 12345); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(data))
+	if _, err := s.ReadAt(got, 12345); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestUnwrittenReadsZero(t *testing.T) {
+	s := New(4 << 20)
+	buf := make([]byte, 100)
+	for i := range buf {
+		buf[i] = 0xFF
+	}
+	if _, err := s.ReadAt(buf, 3<<20); err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range buf {
+		if b != 0 {
+			t.Fatalf("byte %d = %#x, want 0", i, b)
+		}
+	}
+}
+
+func TestCrossExtentWriteRead(t *testing.T) {
+	s := New(8 << 20)
+	data := make([]byte, 3<<20) // spans 4 extents when offset is unaligned
+	for i := range data {
+		data[i] = byte(i * 7)
+	}
+	off := int64(1<<20 - 13)
+	if _, err := s.WriteAt(data, off); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(data))
+	if _, err := s.ReadAt(got, off); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("cross-extent round trip mismatch")
+	}
+}
+
+func TestPartialOverlapReads(t *testing.T) {
+	s := New(1 << 20)
+	s.WriteAt([]byte{1, 2, 3, 4}, 100) //nolint:errcheck
+	got := make([]byte, 8)
+	s.ReadAt(got, 98) //nolint:errcheck
+	want := []byte{0, 0, 1, 2, 3, 4, 0, 0}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+}
+
+func TestOutOfRange(t *testing.T) {
+	s := New(1000)
+	if _, err := s.WriteAt(make([]byte, 10), 995); !errors.Is(err, ErrOutOfRange) {
+		t.Fatalf("write past end: %v", err)
+	}
+	if _, err := s.ReadAt(make([]byte, 10), -1); !errors.Is(err, ErrOutOfRange) {
+		t.Fatalf("negative read: %v", err)
+	}
+	if _, err := s.WriteAt(make([]byte, 1000), 0); err != nil {
+		t.Fatalf("exact-fit write: %v", err)
+	}
+}
+
+func TestCapacityAndStats(t *testing.T) {
+	s := New(64 << 20)
+	if s.Capacity() != 64<<20 {
+		t.Fatal("capacity")
+	}
+	if s.AllocatedBytes() != 0 {
+		t.Fatal("fresh store has allocation")
+	}
+	s.WriteAt([]byte{1}, 5<<20) //nolint:errcheck
+	if s.AllocatedBytes() != 1<<20 {
+		t.Fatalf("allocated %d", s.AllocatedBytes())
+	}
+	if s.HighWater() != 5<<20+1 {
+		t.Fatalf("high water %d", s.HighWater())
+	}
+}
+
+func TestNewPanicsOnBadCapacity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	New(0)
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	s := New(32 << 20)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			buf := make([]byte, 4096)
+			for i := range buf {
+				buf[i] = byte(g)
+			}
+			off := int64(g) * (1 << 20)
+			for iter := 0; iter < 200; iter++ {
+				if _, err := s.WriteAt(buf, off); err != nil {
+					t.Error(err)
+					return
+				}
+				got := make([]byte, 4096)
+				if _, err := s.ReadAt(got, off); err != nil {
+					t.Error(err)
+					return
+				}
+				if !bytes.Equal(got, buf) {
+					t.Errorf("goroutine %d read mismatch", g)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Property: read-after-write returns the written bytes at arbitrary
+// offsets and lengths, including extent-straddling ones.
+func TestReadAfterWriteProperty(t *testing.T) {
+	s := New(16 << 20)
+	f := func(offRaw uint32, data []byte) bool {
+		if len(data) == 0 {
+			return true
+		}
+		off := int64(offRaw) % (16<<20 - int64(len(data)))
+		if _, err := s.WriteAt(data, off); err != nil {
+			return false
+		}
+		got := make([]byte, len(data))
+		if _, err := s.ReadAt(got, off); err != nil {
+			return false
+		}
+		return bytes.Equal(got, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,207 @@
+// Package cluster assembles simulated compute nodes into a training job:
+// each node has CPU cores, a NIC on the shared fabric, and (optionally) an
+// NVMe device exported through an NVMe-oF target. It also provides the
+// collective operations DLFS mount needs — a barrier and the allgather
+// that replicates every node's AVL directory partition to all nodes
+// (paper §III-B2).
+package cluster
+
+import (
+	"fmt"
+
+	"dlfs/internal/fabric"
+	"dlfs/internal/nvme"
+	"dlfs/internal/sim"
+)
+
+// NodeSpec configures one node.
+type NodeSpec struct {
+	Cores        int        // CPU cores (paper testbed: dual-socket E5-2650)
+	NICBandwidth int64      // bytes/sec per direction
+	Device       *nvme.Spec // nil for diskless client nodes
+}
+
+// DefaultNodeSpec mirrors the paper's testbed nodes with an emulated NVMe
+// device each.
+func DefaultNodeSpec() NodeSpec {
+	d := nvme.EmulatedSpec()
+	return NodeSpec{Cores: 20, NICBandwidth: fabric.FDRBandwidth, Device: &d}
+}
+
+// Node is one simulated machine in the job.
+type Node struct {
+	ID     int
+	CPU    *sim.Server    // capacity = cores; hold a unit to run on a core
+	Device *nvme.Device   // nil if diskless
+	Target *fabric.Target // NVMe-oF export of Device, nil if diskless
+	job    *Job
+}
+
+// Job is a set of nodes on one fabric.
+type Job struct {
+	eng      *sim.Engine
+	net      *fabric.Network
+	nodes    []*Node
+	barriers map[string]*barrierState
+	gathers  map[string]*gatherState
+}
+
+// NewJob builds n identical nodes from spec on a fresh fabric.
+func NewJob(e *sim.Engine, n int, spec NodeSpec) *Job {
+	if n <= 0 {
+		panic("cluster: job needs at least one node")
+	}
+	specs := make([]NodeSpec, n)
+	for i := range specs {
+		specs[i] = spec
+	}
+	return NewJobMixed(e, specs)
+}
+
+// NewJobMixed builds one node per spec, allowing heterogeneous jobs —
+// e.g. diskless training clients next to storage-only nodes for the
+// disaggregation experiments.
+func NewJobMixed(e *sim.Engine, specs []NodeSpec) *Job {
+	return NewJobMixedNet(e, specs, fabric.DefaultLatency)
+}
+
+// NewJobMixedNet additionally sets the fabric's one-way latency, for
+// sensitivity studies over the interconnect model.
+func NewJobMixedNet(e *sim.Engine, specs []NodeSpec, latency sim.Duration) *Job {
+	if len(specs) == 0 {
+		panic("cluster: job needs at least one node")
+	}
+	j := &Job{
+		eng:      e,
+		net:      fabric.New(e, latency),
+		barriers: make(map[string]*barrierState),
+		gathers:  make(map[string]*gatherState),
+	}
+	for i, spec := range specs {
+		if spec.Cores <= 0 {
+			spec.Cores = 1
+		}
+		j.net.AddNode(i, spec.NICBandwidth)
+		node := &Node{
+			ID:  i,
+			CPU: sim.NewServer(e, fmt.Sprintf("node%d/cpu", i), spec.Cores),
+			job: j,
+		}
+		if spec.Device != nil {
+			ds := *spec.Device
+			ds.Name = fmt.Sprintf("%s@node%d", ds.Name, i)
+			node.Device = nvme.NewDevice(e, ds)
+			node.Target = fabric.NewTarget(j.net, i, node.Device, fabric.DefaultTargetSpec())
+		}
+		j.nodes = append(j.nodes, node)
+	}
+	return j
+}
+
+// Engine returns the simulation engine.
+func (j *Job) Engine() *sim.Engine { return j.eng }
+
+// Network returns the job's fabric.
+func (j *Job) Network() *fabric.Network { return j.net }
+
+// N returns the number of nodes.
+func (j *Job) N() int { return len(j.nodes) }
+
+// Node returns node i.
+func (j *Job) Node(i int) *Node { return j.nodes[i] }
+
+// Nodes returns all nodes in id order.
+func (j *Job) Nodes() []*Node { return j.nodes }
+
+// Job returns the job this node belongs to.
+func (n *Node) Job() *Job { return n.job }
+
+// Compute occupies one of the node's cores for d: the model of "the
+// application computes for d".
+func (n *Node) Compute(p *sim.Proc, d sim.Duration) { n.CPU.Use(p, d) }
+
+type barrierState struct {
+	arrived int
+	gen     int
+	sig     *sim.Signal
+}
+
+// Barrier blocks the calling node's process until all N nodes have called
+// Barrier with the same name for the current generation. Names let a
+// program use several independent barriers.
+func (j *Job) Barrier(p *sim.Proc, name string) {
+	b := j.barriers[name]
+	if b == nil {
+		b = &barrierState{sig: sim.NewSignal(j.eng)}
+		j.barriers[name] = b
+	}
+	b.arrived++
+	if b.arrived == len(j.nodes) {
+		b.arrived = 0
+		b.gen++
+		b.sig.Broadcast()
+		// A barrier rendezvous costs one fabric round trip of control
+		// traffic for the non-trivial case.
+		if len(j.nodes) > 1 {
+			p.Sleep(2 * j.net.Latency())
+		}
+		return
+	}
+	gen := b.gen
+	for b.gen == gen {
+		b.sig.Wait(p)
+	}
+}
+
+type gatherState struct {
+	blobs   map[int][]byte
+	sig     *sim.Signal
+	results map[int][][]byte
+	gen     int
+}
+
+// Allgather is a collective: every node contributes a blob; once all have
+// arrived, each node pulls every other node's blob across the fabric
+// (modelled as pairwise transfers into its NIC) and receives the blobs
+// indexed by node ID. Blob 0..N-1 ordering is preserved for determinism.
+//
+// This is the mount-time directory exchange of §III-B2: "all nodes then
+// invoke a collective communication to gather all AVL trees, forming an
+// identical copy of the in-memory sample directory at every node."
+func (j *Job) Allgather(p *sim.Proc, name string, node int, blob []byte) [][]byte {
+	g := j.gathers[name]
+	if g == nil {
+		g = &gatherState{blobs: make(map[int][]byte), sig: sim.NewSignal(j.eng), results: make(map[int][][]byte)}
+		j.gathers[name] = g
+	}
+	if _, dup := g.blobs[node]; dup {
+		panic(fmt.Sprintf("cluster: node %d contributed twice to allgather %q", node, name))
+	}
+	g.blobs[node] = blob
+	gen := g.gen
+	if len(g.blobs) < len(j.nodes) {
+		for g.gen == gen {
+			g.sig.Wait(p)
+		}
+	} else {
+		// Last arriver releases everyone.
+		for id := range j.nodes {
+			out := make([][]byte, len(j.nodes))
+			for src, b := range g.blobs {
+				out[src] = b
+			}
+			g.results[id] = out
+		}
+		g.blobs = make(map[int][]byte)
+		g.gen++
+		g.sig.Broadcast()
+	}
+	// Each node pays to pull the other nodes' blobs over the fabric.
+	res := g.results[node]
+	for src, b := range res {
+		if src != node && len(b) > 0 {
+			j.net.Transfer(p, src, node, int64(len(b)))
+		}
+	}
+	return res
+}

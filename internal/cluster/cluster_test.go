@@ -1,0 +1,213 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+
+	"dlfs/internal/nvme"
+	"dlfs/internal/sim"
+)
+
+func TestJobConstruction(t *testing.T) {
+	e := sim.NewEngine()
+	j := NewJob(e, 4, DefaultNodeSpec())
+	if j.N() != 4 || len(j.Nodes()) != 4 {
+		t.Fatal("node count")
+	}
+	for i, n := range j.Nodes() {
+		if n.ID != i {
+			t.Fatalf("node %d has ID %d", i, n.ID)
+		}
+		if n.Device == nil || n.Target == nil {
+			t.Fatalf("node %d missing device/target", i)
+		}
+		if n.Target.Node() != i {
+			t.Fatalf("target at wrong node")
+		}
+		if n.Job() != j {
+			t.Fatal("job backref")
+		}
+	}
+	if j.Engine() != e || j.Network() == nil {
+		t.Fatal("accessors")
+	}
+}
+
+func TestDisklessNodes(t *testing.T) {
+	e := sim.NewEngine()
+	j := NewJob(e, 2, NodeSpec{Cores: 4, NICBandwidth: 1 << 30})
+	if j.Node(0).Device != nil || j.Node(0).Target != nil {
+		t.Fatal("diskless node has a device")
+	}
+}
+
+func TestZeroNodesPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewJob(sim.NewEngine(), 0, DefaultNodeSpec())
+}
+
+func TestComputeOccupiesCore(t *testing.T) {
+	e := sim.NewEngine()
+	j := NewJob(e, 1, NodeSpec{Cores: 1, NICBandwidth: 1 << 30})
+	n := j.Node(0)
+	var t1, t2 sim.Time
+	e.Go("a", func(p *sim.Proc) { n.Compute(p, 1000); t1 = p.Now() })
+	e.Go("b", func(p *sim.Proc) { n.Compute(p, 1000); t2 = p.Now() })
+	e.RunAll()
+	if t1 != 1000 || t2 != 2000 {
+		t.Fatalf("single core did not serialize: %v %v", t1, t2)
+	}
+}
+
+func TestBarrierSynchronizes(t *testing.T) {
+	e := sim.NewEngine()
+	j := NewJob(e, 4, DefaultNodeSpec())
+	var release []sim.Time
+	for i := 0; i < 4; i++ {
+		i := i
+		e.Go(fmt.Sprintf("n%d", i), func(p *sim.Proc) {
+			p.Sleep(sim.Duration(i * 1000)) // staggered arrival
+			j.Barrier(p, "b")
+			release = append(release, p.Now())
+		})
+	}
+	e.RunAll()
+	if len(release) != 4 {
+		t.Fatalf("released %d", len(release))
+	}
+	for _, r := range release {
+		if r < 3000 {
+			t.Fatalf("node released at %v before last arrival", r)
+		}
+	}
+}
+
+func TestBarrierReusable(t *testing.T) {
+	e := sim.NewEngine()
+	j := NewJob(e, 2, DefaultNodeSpec())
+	rounds := make([]int, 2)
+	for i := 0; i < 2; i++ {
+		i := i
+		e.Go("n", func(p *sim.Proc) {
+			for r := 0; r < 3; r++ {
+				p.Sleep(sim.Duration((i + 1) * 100))
+				j.Barrier(p, "loop")
+				rounds[i]++
+			}
+		})
+	}
+	e.RunAll()
+	if rounds[0] != 3 || rounds[1] != 3 {
+		t.Fatalf("rounds = %v", rounds)
+	}
+	if dl := e.Deadlocked(); dl != nil {
+		t.Fatalf("deadlock: %v", dl)
+	}
+}
+
+func TestAllgatherDeliversAllBlobs(t *testing.T) {
+	e := sim.NewEngine()
+	j := NewJob(e, 4, DefaultNodeSpec())
+	results := make([][][]byte, 4)
+	for i := 0; i < 4; i++ {
+		i := i
+		e.Go(fmt.Sprintf("n%d", i), func(p *sim.Proc) {
+			blob := []byte(fmt.Sprintf("tree-from-%d", i))
+			results[i] = j.Allgather(p, "dir", i, blob)
+		})
+	}
+	e.RunAll()
+	for i, res := range results {
+		if len(res) != 4 {
+			t.Fatalf("node %d got %d blobs", i, len(res))
+		}
+		for src, b := range res {
+			want := fmt.Sprintf("tree-from-%d", src)
+			if string(b) != want {
+				t.Fatalf("node %d blob[%d] = %q, want %q", i, src, b, want)
+			}
+		}
+	}
+	if e.Now() == 0 {
+		t.Fatal("allgather cost no time")
+	}
+}
+
+func TestAllgatherTimeScalesWithBlobSize(t *testing.T) {
+	run := func(blobSize int) sim.Time {
+		e := sim.NewEngine()
+		j := NewJob(e, 4, DefaultNodeSpec())
+		for i := 0; i < 4; i++ {
+			i := i
+			e.Go("n", func(p *sim.Proc) {
+				j.Allgather(p, "dir", i, make([]byte, blobSize))
+			})
+		}
+		return e.RunAll()
+	}
+	small := run(1 << 10)
+	large := run(16 << 20)
+	if large <= small*10 {
+		t.Fatalf("16MiB allgather (%v) not much slower than 1KiB (%v)", large, small)
+	}
+}
+
+func TestAllgatherDoubleContributePanics(t *testing.T) {
+	e := sim.NewEngine()
+	j := NewJob(e, 2, DefaultNodeSpec())
+	e.Go("bad", func(p *sim.Proc) {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic")
+			}
+			// Unblock the collective so the engine can drain: the other
+			// participant never arrives in this test.
+		}()
+		j.Allgather(p, "g", 0, []byte("x"))
+		j.Allgather(p, "g", 0, []byte("y"))
+	})
+	e.Run(sim.Time(1e9))
+}
+
+func TestDeviceReachableThroughTarget(t *testing.T) {
+	e := sim.NewEngine()
+	j := NewJob(e, 2, DefaultNodeSpec())
+	// Node 0 reads from node 1's device over the fabric.
+	e.Go("c", func(p *sim.Proc) {
+		q := j.Node(1).Target.Connect(0, 8)
+		buf := make([]byte, 4096)
+		if err := q.Submit(&nvme.Command{Op: nvme.OpRead, Buf: buf}); err != nil {
+			t.Error(err)
+		}
+		for len(q.Poll(0)) == 0 {
+			p.Sleep(500)
+		}
+	})
+	e.RunAll()
+	if j.Node(1).Target.Served() != 1 {
+		t.Fatal("remote read did not reach target")
+	}
+}
+
+func TestNewJobMixed(t *testing.T) {
+	e := sim.NewEngine()
+	spec := DefaultNodeSpec()
+	diskless := NodeSpec{Cores: 8, NICBandwidth: spec.NICBandwidth}
+	j := NewJobMixed(e, []NodeSpec{spec, diskless, spec})
+	if j.N() != 3 {
+		t.Fatal("node count")
+	}
+	if j.Node(0).Device == nil || j.Node(2).Device == nil {
+		t.Fatal("storage nodes missing devices")
+	}
+	if j.Node(1).Device != nil {
+		t.Fatal("diskless node has a device")
+	}
+	if j.Node(1).CPU.Capacity() != 8 {
+		t.Fatal("per-spec cores not applied")
+	}
+}

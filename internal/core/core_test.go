@@ -1,0 +1,486 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"dlfs/internal/cluster"
+	"dlfs/internal/dataset"
+	"dlfs/internal/plan"
+	"dlfs/internal/sim"
+	"dlfs/internal/trace"
+)
+
+// mountAll mounts DLFS on every node of a fresh job and returns the
+// instances once the collective completes.
+func mountAll(t *testing.T, e *sim.Engine, nodes int, ds *dataset.Dataset, cfg Config) []*FS {
+	t.Helper()
+	job := cluster.NewJob(e, nodes, cluster.DefaultNodeSpec())
+	fss := make([]*FS, nodes)
+	for i := 0; i < nodes; i++ {
+		i := i
+		e.Go(fmt.Sprintf("mount%d", i), func(p *sim.Proc) {
+			fs, err := Mount(p, job, i, ds, cfg)
+			if err != nil {
+				t.Errorf("mount node %d: %v", i, err)
+				return
+			}
+			fss[i] = fs
+		})
+	}
+	e.RunAll()
+	for i, fs := range fss {
+		if fs == nil {
+			t.Fatalf("node %d failed to mount", i)
+		}
+	}
+	return fss
+}
+
+func smallDataset(n int, size int) *dataset.Dataset {
+	return dataset.Generate(dataset.Config{Label: "c", Seed: 11, NumSamples: n, Dist: dataset.Fixed(size)})
+}
+
+func TestMountBuildsIdenticalReplicas(t *testing.T) {
+	e := sim.NewEngine()
+	ds := smallDataset(200, 2048)
+	fss := mountAll(t, e, 4, ds, Config{})
+	fp := fss[0].Directory().Fingerprint()
+	for i, fs := range fss {
+		if fs.Directory().NumSamples() != 200 {
+			t.Fatalf("node %d directory has %d samples", i, fs.Directory().NumSamples())
+		}
+		if fs.Directory().Fingerprint() != fp {
+			t.Fatalf("node %d replica differs", i)
+		}
+	}
+}
+
+func TestMountRejectsBadConfig(t *testing.T) {
+	e := sim.NewEngine()
+	job := cluster.NewJob(e, 1, cluster.DefaultNodeSpec())
+	ds := smallDataset(4, 128)
+	e.Go("m", func(p *sim.Proc) {
+		_, err := Mount(p, job, 0, ds, Config{CacheBytes: 1024, ChunkSize: 4096})
+		if err == nil {
+			t.Error("cache < chunk accepted")
+		}
+	})
+	e.RunAll()
+}
+
+func TestMountDisklessNodeFails(t *testing.T) {
+	e := sim.NewEngine()
+	job := cluster.NewJob(e, 1, cluster.NodeSpec{Cores: 2, NICBandwidth: 1 << 30})
+	e.Go("m", func(p *sim.Proc) {
+		if _, err := Mount(p, job, 0, smallDataset(2, 64), Config{}); err == nil {
+			t.Error("diskless mount accepted")
+		}
+	})
+	e.RunAll()
+}
+
+func TestOpenReadCloseIntegrity(t *testing.T) {
+	e := sim.NewEngine()
+	ds := smallDataset(64, 3000)
+	fss := mountAll(t, e, 2, ds, Config{})
+	e.Go("reader", func(p *sim.Proc) {
+		fs := fss[0]
+		for i := 0; i < ds.Len(); i++ {
+			buf := make([]byte, ds.Samples[i].Size)
+			n, err := fs.ReadSample(p, i, buf)
+			if err != nil || n != ds.Samples[i].Size {
+				t.Errorf("sample %d: n=%d err=%v", i, n, err)
+				return
+			}
+			if dataset.ChecksumBytes(buf) != ds.Checksum(i) {
+				t.Errorf("sample %d corrupt through DLFS (local+remote mix)", i)
+				return
+			}
+		}
+	})
+	e.RunAll()
+	if fss[0].Stats().SamplesRead != 64 {
+		t.Fatalf("stats.SamplesRead = %d", fss[0].Stats().SamplesRead)
+	}
+}
+
+func TestOpenErrors(t *testing.T) {
+	e := sim.NewEngine()
+	ds := smallDataset(4, 128)
+	fss := mountAll(t, e, 1, ds, Config{})
+	e.Go("r", func(p *sim.Proc) {
+		fs := fss[0]
+		if _, err := fs.Open(p, "no-such-sample"); !errors.Is(err, ErrNotFound) {
+			t.Errorf("missing open: %v", err)
+		}
+		if _, err := fs.Lookup(p, "nope"); !errors.Is(err, ErrNotFound) {
+			t.Errorf("missing lookup: %v", err)
+		}
+		h, err := fs.Open(p, ds.Samples[0].Name, "class"+itoa(ds.Samples[0].Class))
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if h.Size() != 128 || h.Index() != 0 {
+			t.Errorf("handle size=%d idx=%d", h.Size(), h.Index())
+		}
+		if err := fs.Close(h); err != nil {
+			t.Error(err)
+		}
+		if err := fs.Close(h); !errors.Is(err, ErrHandle) {
+			t.Errorf("double close: %v", err)
+		}
+		if _, err := fs.Read(p, h, make([]byte, 10)); !errors.Is(err, ErrHandle) {
+			t.Errorf("read closed: %v", err)
+		}
+		if _, err := fs.ReadSample(p, -1, nil); !errors.Is(err, ErrNotFound) {
+			t.Errorf("negative index: %v", err)
+		}
+	})
+	e.RunAll()
+}
+
+func itoa(n int) string { return fmt.Sprintf("%d", n) }
+
+func TestVBitCacheHit(t *testing.T) {
+	e := sim.NewEngine()
+	ds := smallDataset(8, 4096)
+	fss := mountAll(t, e, 1, ds, Config{})
+	var cold, warm sim.Time
+	e.Go("r", func(p *sim.Proc) {
+		fs := fss[0]
+		buf := make([]byte, 4096)
+		start := p.Now()
+		fs.ReadSample(p, 3, buf) //nolint:errcheck
+		cold = p.Now() - start
+		start = p.Now()
+		fs.ReadSample(p, 3, buf) //nolint:errcheck
+		warm = p.Now() - start
+		// The V bit must be set while cached.
+		ref, ok := fs.vRefOf(3)
+		if !ok || !fs.Directory().At(ref).V() {
+			t.Error("V bit not set for cached sample")
+		}
+	})
+	e.RunAll()
+	if fss[0].Stats().CacheHits != 1 {
+		t.Fatalf("cache hits = %d", fss[0].Stats().CacheHits)
+	}
+	if warm*2 >= cold {
+		t.Fatalf("warm read %v not ≪ cold %v", warm, cold)
+	}
+}
+
+func TestReadCacheEviction(t *testing.T) {
+	e := sim.NewEngine()
+	// Cache of 2 MiB with 256K chunks = 8 chunks; 16 samples of 200K each
+	// need one chunk apiece, so reading all of them forces eviction.
+	ds := smallDataset(16, 200<<10)
+	fss := mountAll(t, e, 1, ds, Config{CacheBytes: 2 << 20})
+	e.Go("r", func(p *sim.Proc) {
+		fs := fss[0]
+		buf := make([]byte, 200<<10)
+		for i := 0; i < 16; i++ {
+			if _, err := fs.ReadSample(p, i, buf); err != nil {
+				t.Errorf("read %d: %v", i, err)
+				return
+			}
+			if dataset.ChecksumBytes(buf) != ds.Checksum(i) {
+				t.Errorf("sample %d corrupt", i)
+			}
+		}
+		// Sample 0 was evicted: its V bit must be clear.
+		ref, _ := fs.vRefOf(0)
+		if fs.Directory().At(ref).V() {
+			t.Error("evicted sample still has V set")
+		}
+	})
+	e.RunAll()
+}
+
+func drainEpochs(t *testing.T, e *sim.Engine, fss []*FS, seed int64) [][]Item {
+	t.Helper()
+	out := make([][]Item, len(fss))
+	for i, fs := range fss {
+		i, fs := i, fs
+		e.Go(fmt.Sprintf("epoch%d", i), func(p *sim.Proc) {
+			out[i] = fs.Sequence(seed).DrainAll(p)
+		})
+	}
+	e.RunAll()
+	return out
+}
+
+func verifyEpochCoverage(t *testing.T, ds *dataset.Dataset, perNode [][]Item) {
+	t.Helper()
+	seen := make([]int, ds.Len())
+	for node, items := range perNode {
+		for _, it := range items {
+			seen[it.Index]++
+			if len(it.Data) != ds.Samples[it.Index].Size {
+				t.Fatalf("node %d sample %d: %d bytes", node, it.Index, len(it.Data))
+			}
+			if dataset.ChecksumBytes(it.Data) != ds.Checksum(it.Index) {
+				t.Fatalf("node %d sample %d corrupt", node, it.Index)
+			}
+		}
+	}
+	for i, n := range seen {
+		if n != 1 {
+			t.Fatalf("sample %d delivered %d times this epoch", i, n)
+		}
+	}
+}
+
+func TestEpochChunkModeDeliversEverySampleOnce(t *testing.T) {
+	e := sim.NewEngine()
+	ds := dataset.Generate(dataset.Config{Label: "ck", Seed: 21, NumSamples: 400, Dist: dataset.IMDBDist()})
+	fss := mountAll(t, e, 4, ds, Config{ChunkSize: 16 << 10, CacheBytes: 8 << 20})
+	perNode := drainEpochs(t, e, fss, 99)
+	verifyEpochCoverage(t, ds, perNode)
+	st := fss[0].Stats()
+	if st.Commands == 0 || st.BytesFetched == 0 || st.CopyJobs == 0 {
+		t.Fatalf("suspicious stats: %+v", st)
+	}
+	// Chunk batching must need far fewer commands than samples.
+	totalCmds := int64(0)
+	totalSamples := int64(0)
+	for _, fs := range fss {
+		totalCmds += fs.Stats().Commands
+		totalSamples += fs.Stats().SamplesRead
+	}
+	if totalCmds*3 > totalSamples {
+		t.Fatalf("%d commands for %d samples: chunk batching ineffective", totalCmds, totalSamples)
+	}
+}
+
+func TestEpochSampleModeDeliversSequenceOrder(t *testing.T) {
+	e := sim.NewEngine()
+	ds := smallDataset(200, 1024)
+	fss := mountAll(t, e, 2, ds, Config{DisableChunkBatching: true})
+	perNode := drainEpochs(t, e, fss, 7)
+	verifyEpochCoverage(t, ds, perNode)
+	// Ordered mode: each node's delivery order equals its sequence slices.
+	// Rebuild the expectation from the plan.
+	for node, items := range perNode {
+		fs := fss[node]
+		_ = fs
+		var want []int
+		seq := newSeqForTest(7, ds.Len(), fss[0].Config().BatchSize, 2, node)
+		want = append(want, seq...)
+		if len(items) != len(want) {
+			t.Fatalf("node %d delivered %d, want %d", node, len(items), len(want))
+		}
+		for i := range want {
+			if items[i].Index != want[i] {
+				t.Fatalf("node %d position %d: got %d want %d", node, i, items[i].Index, want[i])
+			}
+		}
+	}
+}
+
+// newSeqForTest mirrors the plan the FS builds internally.
+func newSeqForTest(seed int64, n, batch, nodes, node int) []int {
+	s := plan.NewSequence(seed, n, batch, nodes)
+	var out []int
+	for b := 0; b < s.NumBatches(); b++ {
+		out = append(out, s.NodeBatch(node, b)...)
+	}
+	return out
+}
+
+func TestEpochArenaNoLeak(t *testing.T) {
+	e := sim.NewEngine()
+	ds := dataset.Generate(dataset.Config{Label: "lk", Seed: 31, NumSamples: 300, Dist: dataset.IMDBDist()})
+	fss := mountAll(t, e, 2, ds, Config{ChunkSize: 16 << 10, CacheBytes: 4 << 20})
+	perNode := drainEpochs(t, e, fss, 3)
+	verifyEpochCoverage(t, ds, perNode)
+	for i, fs := range fss {
+		if got := fs.Arena().InUse(); got != 0 {
+			t.Fatalf("node %d leaked %d cache chunks after epoch", i, got)
+		}
+	}
+}
+
+func TestEpochDeterministic(t *testing.T) {
+	run := func() []int {
+		e := sim.NewEngine()
+		ds := smallDataset(120, 900)
+		fss := mountAll(t, e, 2, ds, Config{ChunkSize: 8 << 10, CacheBytes: 4 << 20})
+		perNode := drainEpochs(t, e, fss, 5)
+		var order []int
+		for _, items := range perNode {
+			for _, it := range items {
+				order = append(order, it.Index)
+			}
+		}
+		return order
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic length")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("delivery order diverged at %d", i)
+		}
+	}
+}
+
+func TestTwoEpochsDifferentSeedsDifferentOrder(t *testing.T) {
+	e := sim.NewEngine()
+	ds := smallDataset(150, 700)
+	fss := mountAll(t, e, 1, ds, Config{ChunkSize: 8 << 10})
+	var o1, o2 []int
+	e.Go("r", func(p *sim.Proc) {
+		for _, it := range fss[0].Sequence(1).DrainAll(p) {
+			o1 = append(o1, it.Index)
+		}
+		for _, it := range fss[0].Sequence(2).DrainAll(p) {
+			o2 = append(o2, it.Index)
+		}
+	})
+	e.RunAll()
+	if len(o1) != 150 || len(o2) != 150 {
+		t.Fatalf("epoch lengths %d %d", len(o1), len(o2))
+	}
+	same := true
+	for i := range o1 {
+		if o1[i] != o2[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical order")
+	}
+}
+
+func TestNextBatchSizes(t *testing.T) {
+	e := sim.NewEngine()
+	ds := smallDataset(100, 512)
+	fss := mountAll(t, e, 4, ds, Config{BatchSize: 32, ChunkSize: 8 << 10})
+	e.Go("r", func(p *sim.Proc) {
+		ep := fss[0].Sequence(9)
+		total := 0
+		for {
+			items, ok := ep.NextBatch(p)
+			if !ok {
+				break
+			}
+			if len(items) > 8 { // 32 / 4 nodes
+				t.Errorf("batch of %d exceeds per-node share 8", len(items))
+			}
+			total += len(items)
+		}
+		if total != ep.Len() || ep.Remaining() != 0 {
+			t.Errorf("delivered %d of %d", total, ep.Len())
+		}
+	})
+	e.RunAll()
+}
+
+func TestUnmountIdempotent(t *testing.T) {
+	e := sim.NewEngine()
+	ds := smallDataset(10, 256)
+	fss := mountAll(t, e, 1, ds, Config{})
+	fss[0].Unmount()
+	fss[0].Unmount() // second call must not panic
+	e.RunAll()
+	if dl := e.Deadlocked(); dl != nil {
+		t.Fatalf("copy pool stuck after unmount: %v", dl)
+	}
+}
+
+func TestEdgeSamplesHandled(t *testing.T) {
+	// Samples deliberately larger than half a chunk so many straddle.
+	e := sim.NewEngine()
+	ds := smallDataset(60, 5000)
+	fss := mountAll(t, e, 2, ds, Config{ChunkSize: 8192, CacheBytes: 4 << 20})
+	perNode := drainEpochs(t, e, fss, 13)
+	verifyEpochCoverage(t, ds, perNode)
+	edges := int64(0)
+	for _, fs := range fss {
+		edges += fs.Stats().EdgeSamples
+	}
+	if edges == 0 {
+		t.Fatal("expected edge samples with 5000B samples in 8192B chunks")
+	}
+}
+
+func TestSampleLargerThanChunk(t *testing.T) {
+	// A sample bigger than the chunk size must be disassembled into
+	// multiple SPDK requests (§III-C1).
+	e := sim.NewEngine()
+	ds := smallDataset(10, 150<<10)
+	fss := mountAll(t, e, 1, ds, Config{DisableChunkBatching: true, ChunkSize: 64 << 10})
+	e.Go("r", func(p *sim.Proc) {
+		buf := make([]byte, 150<<10)
+		if _, err := fss[0].ReadSample(p, 0, buf); err != nil {
+			t.Error(err)
+			return
+		}
+		if dataset.ChecksumBytes(buf) != ds.Checksum(0) {
+			t.Error("multi-chunk sample corrupt")
+		}
+	})
+	e.RunAll()
+	if fss[0].Stats().Commands < 3 {
+		t.Fatalf("150K sample in 64K chunks used %d commands, want 3", fss[0].Stats().Commands)
+	}
+}
+
+func TestSingleCoreNoStarvation(t *testing.T) {
+	// With a single core the poller and copy threads time-share; the epoch
+	// must still complete.
+	e := sim.NewEngine()
+	ds := smallDataset(80, 2048)
+	job := cluster.NewJob(e, 1, cluster.NodeSpec{Cores: 1, NICBandwidth: 1 << 30, Device: cluster.DefaultNodeSpec().Device})
+	var fs *FS
+	e.Go("m", func(p *sim.Proc) {
+		var err error
+		fs, err = Mount(p, job, 0, ds, Config{ChunkSize: 8 << 10, CacheBytes: 2 << 20, CopyThreads: 2})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		items := fs.Sequence(1).DrainAll(p)
+		if len(items) != 80 {
+			t.Errorf("delivered %d of 80", len(items))
+		}
+		fs.Unmount() // let the idle copy threads exit
+	})
+	e.RunAll()
+	if dl := e.Deadlocked(); dl != nil {
+		t.Fatalf("deadlock on single core: %v", dl)
+	}
+}
+
+func TestTraceRecordsPipeline(t *testing.T) {
+	e := sim.NewEngine()
+	ds := smallDataset(60, 2048)
+	rec := trace.New(0)
+	fss := mountAll(t, e, 1, ds, Config{ChunkSize: 8 << 10, CacheBytes: 2 << 20, Trace: rec})
+	perNode := drainEpochs(t, e, fss, 2)
+	verifyEpochCoverage(t, ds, perNode)
+	sum := rec.Summarize()
+	if sum.Counts[trace.KindEmit] != 60 {
+		t.Fatalf("emits = %d, want 60", sum.Counts[trace.KindEmit])
+	}
+	if sum.Counts[trace.KindPost] == 0 || sum.Counts[trace.KindPost] != sum.Counts[trace.KindComplete] {
+		t.Fatalf("posts %d vs completes %d", sum.Counts[trace.KindPost], sum.Counts[trace.KindComplete])
+	}
+	if sum.Counts[trace.KindFree] != sum.Counts[trace.KindPost] {
+		t.Fatalf("frees %d vs posts %d: units leaked or double-freed", sum.Counts[trace.KindFree], sum.Counts[trace.KindPost])
+	}
+	if sum.FetchP50 <= 0 {
+		t.Fatal("no fetch latency recorded")
+	}
+	var buf bytes.Buffer
+	if err := rec.WriteChromeJSON(&buf); err != nil || buf.Len() == 0 {
+		t.Fatalf("chrome json: %v", err)
+	}
+}

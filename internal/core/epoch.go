@@ -1,0 +1,339 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"dlfs/internal/directory"
+	"dlfs/internal/plan"
+	"dlfs/internal/sim"
+	"dlfs/internal/trace"
+)
+
+// Item is one delivered sample: its dataset index and its bytes in an
+// application buffer.
+type Item struct {
+	Index int
+	Data  []byte
+}
+
+// Epoch is one pass over this node's share of the dataset, created by
+// Sequence (dlfs_sequence) and consumed by NextBatch (dlfs_bread).
+type Epoch struct {
+	fs    *FS
+	seed  int64
+	rng   *rand.Rand
+	units []*unit // posting order; for ordered mode also emission order
+
+	// lookupDepth per unit, charged at prep time.
+	lookupDepth []int
+
+	ordered  bool // sample-level mode: deliver the global-sequence order
+	posted   int
+	resident []*unit // opportunistic mode: ready units with samples left
+	pending  []*unit // posted, awaiting readiness
+	emitIdx  []int   // per-unit next sample to emit (parallel to units)
+
+	perBatch int
+	total    int
+	emitted  int
+	nextUnit int // ordered mode: unit being drained
+	failed   error
+}
+
+// Sequence starts an epoch with the given seed (dlfs_sequence): every node
+// calling it with the same seed derives the identical global plan and
+// reads only its own share. Chunk batching follows Config.DisableChunkBatching.
+func (fs *FS) Sequence(seed int64) *Epoch {
+	ep := &Epoch{
+		fs:   fs,
+		seed: seed,
+		rng:  rand.New(rand.NewSource(seed ^ int64(fs.node.ID)<<32)),
+	}
+	readers := fs.cfg.ReaderNodes
+	if readers == nil {
+		readers = make([]int, fs.job.N())
+		for i := range readers {
+			readers[i] = i
+		}
+	}
+	pos := -1
+	for i, r := range readers {
+		if r == fs.node.ID {
+			pos = i
+		}
+	}
+	ep.perBatch = fs.cfg.BatchSize / len(readers)
+	if ep.perBatch < 1 {
+		ep.perBatch = 1
+	}
+	if pos >= 0 {
+		if fs.cfg.DisableChunkBatching {
+			ep.buildSampleUnits(seed, pos, len(readers))
+		} else {
+			ep.buildChunkUnits(seed, pos, len(readers))
+		}
+	}
+	ep.emitIdx = make([]int, len(ep.units))
+	for _, u := range ep.units {
+		ep.total += len(u.samples)
+	}
+	return ep
+}
+
+// buildChunkUnits cuts the global layout into data chunks and edge samples
+// (§III-D2) and takes this node's round-robin share of the access lists.
+func (ep *Epoch) buildChunkUnits(seed int64, pos, readers int) {
+	fs := ep.fs
+	n := fs.job.N()
+	layout := &plan.Layout{NodeSamples: make([][]plan.Placed, n), ChunkSize: int64(fs.cfg.ChunkSize)}
+	for idx, pl := range fs.placedByIdx {
+		nid := fs.nodeOfIdx[idx]
+		layout.NodeSamples[nid] = append(layout.NodeSamples[nid], pl)
+	}
+	for nid := range layout.NodeSamples {
+		s := layout.NodeSamples[nid]
+		sort.Slice(s, func(i, j int) bool { return s[i].Offset < s[j].Offset })
+	}
+	cp, err := plan.BuildChunkPlan(layout)
+	if err != nil {
+		// The layout came from our own mount; a failure here is a bug.
+		panic("dlfs: " + err.Error())
+	}
+	for i, c := range cp.Chunks {
+		if i%readers != pos {
+			continue
+		}
+		ep.units = append(ep.units, &unit{
+			node:      c.Node,
+			offset:    c.Offset,
+			length:    c.Length,
+			samples:   c.Samples,
+			remaining: len(c.Samples),
+		})
+		fs.stats.ChunksFetched++
+	}
+	for i, e := range cp.Edges {
+		if i%readers != pos {
+			continue
+		}
+		ep.units = append(ep.units, &unit{
+			node:      e.Node,
+			offset:    e.Placed.Offset,
+			length:    e.Placed.Len,
+			samples:   []plan.Placed{e.Placed},
+			remaining: 1,
+		})
+		fs.stats.EdgeSamples++
+	}
+	// Randomise the posting order with the shared seed so devices are hit
+	// uniformly; the emission itself re-randomises over resident chunks.
+	shuf := rand.New(rand.NewSource(seed ^ 0x5DEECE66D ^ int64(fs.node.ID)))
+	shuf.Shuffle(len(ep.units), func(i, j int) { ep.units[i], ep.units[j] = ep.units[j], ep.units[i] })
+	ep.finishUnits()
+}
+
+// buildSampleUnits prepares sample-level batching (§III-D1): the seeded
+// global sequence, this node's slice of every mini-batch, one fetch unit
+// per sample, delivered in exactly that order.
+func (ep *Epoch) buildSampleUnits(seed int64, pos, readers int) {
+	fs := ep.fs
+	seq := plan.NewSequence(seed, fs.ds.Len(), fs.cfg.BatchSize, readers)
+	ep.ordered = true
+	for b := 0; b < seq.NumBatches(); b++ {
+		for _, idx := range seq.NodeBatch(pos, b) {
+			pl := fs.placedByIdx[idx]
+			ep.units = append(ep.units, &unit{
+				node:      fs.nodeOfIdx[idx],
+				offset:    pl.Offset,
+				length:    pl.Len,
+				samples:   []plan.Placed{pl},
+				remaining: 1,
+			})
+		}
+	}
+	ep.finishUnits()
+}
+
+// finishUnits resolves directory refs and lookup depths for every unit.
+func (ep *Epoch) finishUnits() {
+	fs := ep.fs
+	ep.lookupDepth = make([]int, len(ep.units))
+	for i, u := range ep.units {
+		u.epIdx = i
+		total := 0
+		for _, pl := range u.samples {
+			key := fs.ds.Samples[pl.Sample].Key()
+			_, ref, depth, ok := fs.dir.Lookup(key)
+			total += depth
+			if ok {
+				u.refs = append(u.refs, ref)
+			}
+		}
+		ep.lookupDepth[i] = total
+		fs.stats.LookupVisits += int64(total)
+	}
+}
+
+// Err reports the device error that ended the epoch early, if any. Check
+// it when NextBatch returns ok == false before the epoch is exhausted.
+func (ep *Epoch) Err() error { return ep.failed }
+
+// Remaining reports samples not yet delivered this epoch.
+func (ep *Epoch) Remaining() int { return ep.total - ep.emitted }
+
+// Len reports this node's share of the epoch.
+func (ep *Epoch) Len() int { return ep.total }
+
+// pump posts units in order while queue depth and cache chunks allow. The
+// caller holds the node CPU.
+func (ep *Epoch) pump(p *sim.Proc) {
+	fs := ep.fs
+	cs := fs.cfg.ChunkSize
+	for ep.posted < len(ep.units) {
+		u := ep.units[ep.posted]
+		nChunks := (int(u.length) + cs - 1) / cs
+		q := fs.queues[u.node]
+		if q.Inflight()+nChunks > q.Depth() {
+			return
+		}
+		if fs.arena.FreeChunks() < nChunks && !fs.evictOneRead() {
+			return
+		}
+		// Charge the directory walk that located this unit's samples.
+		p.Sleep(sim.Duration(ep.lookupDepth[ep.posted]) * fs.cfg.LookupVisitCPU)
+		fs.stats.PrepTime += sim.Duration(ep.lookupDepth[ep.posted]) * fs.cfg.LookupVisitCPU
+		if err := fs.postUnit(p, u); err != nil {
+			panic("dlfs: post failed: " + err.Error())
+		}
+		ep.pending = append(ep.pending, u)
+		ep.posted++
+	}
+}
+
+// harvest moves newly ready pending units into the resident set.
+func (ep *Epoch) harvest() {
+	keep := ep.pending[:0]
+	for _, u := range ep.pending {
+		if u.ready {
+			ep.resident = append(ep.resident, u)
+		} else {
+			keep = append(keep, u)
+		}
+	}
+	ep.pending = keep
+}
+
+// NextBatch delivers this node's next mini-batch portion (dlfs_bread): it
+// keeps the queue pairs full, busy-polls completions on the caller's core
+// — optionally overlapping Config.OverlapCompute of application work in
+// the polling window — and hands ready samples to the copy threads. It
+// returns false when the epoch is exhausted.
+func (ep *Epoch) NextBatch(p *sim.Proc) ([]Item, bool) {
+	fs := ep.fs
+	if ep.failed != nil || ep.emitted >= ep.total {
+		return nil, false
+	}
+	k := ep.perBatch
+	if rem := ep.total - ep.emitted; rem < k {
+		k = rem
+	}
+	items := make([]Item, 0, k)
+	wg := sim.NewWaitGroup(fs.job.Engine())
+
+	fs.node.CPU.Acquire(p)
+	ep.pump(p)
+	if fs.cfg.OverlapCompute > 0 {
+		// The Fig 7b experiment: computation placed inside the polling
+		// loop, on the polling core, while the posted I/O proceeds.
+		p.Sleep(fs.cfg.OverlapCompute)
+	}
+	for len(items) < k {
+		u, ui := ep.takeReadyUnit(p)
+		if u.fetchErr != nil {
+			// A device error poisons the epoch: release the core, free the
+			// failed unit, and surface through Err().
+			ep.failed = fmt.Errorf("%w: %v", ErrIO, u.fetchErr)
+			for _, c := range u.chunks {
+				fs.arena.Free(c) //nolint:errcheck
+			}
+			u.chunks = nil
+			fs.node.CPU.Release()
+			wg.Wait(p)
+			return items, len(items) > 0
+		}
+		pl := u.samples[ep.emitIdx[ui]]
+		ep.emitIdx[ui]++
+		fs.cfg.Trace.Record(p.Now(), trace.KindEmit, u.traceID, u.node, int(pl.Len))
+		buf := make([]byte, pl.Len)
+		items = append(items, Item{Index: pl.Sample, Data: buf})
+		wg.Add(1)
+		fs.copyQ.Push(copyJob{u: u, p: pl, dst: buf, wg: wg})
+	}
+	fs.node.CPU.Release()
+	wg.Wait(p)
+	ep.emitted += k
+	fs.stats.SamplesRead += int64(k)
+	return items, true
+}
+
+// takeReadyUnit returns a unit with an unemitted sample, polling until one
+// is available. In ordered mode it is the next unit of the sequence; in
+// opportunistic mode a uniformly random resident chunk, per §III-D2.
+// Returns the unit and its index in ep.units (for emitIdx bookkeeping).
+func (ep *Epoch) takeReadyUnit(p *sim.Proc) (*unit, int) {
+	fs := ep.fs
+	if ep.ordered {
+		// Advance past fully emitted units.
+		for ep.emitIdx[ep.nextUnit] >= len(ep.units[ep.nextUnit].samples) {
+			ep.nextUnit++
+		}
+		u := ep.units[ep.nextUnit]
+		for !u.ready {
+			ep.pump(p)
+			fs.pollAll()
+			fs.pollWait(p)
+		}
+		return u, ep.nextUnit
+	}
+	for {
+		// Drop exhausted units from the resident set.
+		live := ep.resident[:0]
+		for _, u := range ep.resident {
+			if ep.emitIdxOf(u) < len(u.samples) {
+				live = append(live, u)
+			}
+		}
+		ep.resident = live
+		if len(ep.resident) > 0 {
+			u := ep.resident[ep.rng.Intn(len(ep.resident))]
+			return u, u.epIdx
+		}
+		ep.pump(p)
+		fs.pollAll()
+		ep.harvest()
+		fs.pollWait(p)
+	}
+}
+
+func (ep *Epoch) emitIdxOf(u *unit) int { return ep.emitIdx[u.epIdx] }
+
+// DrainAll runs the whole epoch, returning every delivered item in order
+// of delivery. Convenience for tests and examples.
+func (ep *Epoch) DrainAll(p *sim.Proc) []Item {
+	var all []Item
+	for {
+		items, ok := ep.NextBatch(p)
+		if !ok {
+			return all
+		}
+		all = append(all, items...)
+	}
+}
+
+// vRefOf exposes a sample's directory ref for tests.
+func (fs *FS) vRefOf(idx int) (directory.EntryRef, bool) {
+	_, ref, _, ok := fs.dir.Lookup(fs.ds.Samples[idx].Key())
+	return ref, ok
+}

@@ -1,0 +1,134 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"dlfs/internal/nvme"
+	"dlfs/internal/sim"
+)
+
+var errMedia = errors.New("simulated media error")
+
+// failFirstRead fails the n-th read command on the device and succeeds
+// afterwards.
+func failNthRead(dev *nvme.Device, n int) {
+	count := 0
+	dev.InjectFault(func(c *nvme.Command) error {
+		if c.Op != nvme.OpRead {
+			return nil
+		}
+		count++
+		if count == n {
+			return errMedia
+		}
+		return nil
+	})
+}
+
+func TestReadSurfacesDeviceError(t *testing.T) {
+	e := sim.NewEngine()
+	ds := smallDataset(8, 4096)
+	fss := mountAll(t, e, 1, ds, Config{})
+	failNthRead(fss[0].Node().Device, 1)
+	e.Go("r", func(p *sim.Proc) {
+		buf := make([]byte, 4096)
+		if _, err := fss[0].ReadSample(p, 2, buf); !errors.Is(err, ErrIO) {
+			t.Errorf("ReadSample under fault: %v, want ErrIO", err)
+		}
+		// The failed sample must not have been cached as valid.
+		ref, _ := fss[0].vRefOf(2)
+		if fss[0].Directory().At(ref).V() {
+			t.Error("failed fetch set the V bit")
+		}
+		// The cache chunks were reclaimed.
+		if fss[0].Arena().InUse() != 0 {
+			t.Errorf("failed read leaked %d chunks", fss[0].Arena().InUse())
+		}
+		// Clearing the fault, the same sample reads fine.
+		fss[0].Node().Device.InjectFault(nil)
+		if _, err := fss[0].ReadSample(p, 2, buf); err != nil {
+			t.Errorf("read after fault cleared: %v", err)
+		}
+	})
+	e.RunAll()
+}
+
+func TestEpochSurfacesDeviceError(t *testing.T) {
+	e := sim.NewEngine()
+	ds := smallDataset(200, 2048)
+	fss := mountAll(t, e, 1, ds, Config{ChunkSize: 8 << 10, CacheBytes: 2 << 20})
+	// Fail the 5th chunk fetch: the epoch starts fine, then dies.
+	failNthRead(fss[0].Node().Device, 5)
+	e.Go("r", func(p *sim.Proc) {
+		ep := fss[0].Sequence(3)
+		delivered := 0
+		for {
+			items, ok := ep.NextBatch(p)
+			delivered += len(items)
+			if !ok {
+				break
+			}
+		}
+		if ep.Err() == nil {
+			t.Errorf("epoch completed %d/%d samples without surfacing the fault", delivered, ep.Len())
+		} else if !errors.Is(ep.Err(), ErrIO) {
+			t.Errorf("epoch error = %v, want ErrIO", ep.Err())
+		}
+		if delivered >= ep.Len() {
+			t.Error("epoch claims full delivery despite device error")
+		}
+		// Subsequent NextBatch stays terminated.
+		if _, ok := ep.NextBatch(p); ok {
+			t.Error("NextBatch continued after failure")
+		}
+	})
+	e.RunAll()
+}
+
+func TestEpochSucceedsWithoutErrWhenHealthy(t *testing.T) {
+	e := sim.NewEngine()
+	ds := smallDataset(100, 1024)
+	fss := mountAll(t, e, 2, ds, Config{ChunkSize: 8 << 10})
+	e.Go("r", func(p *sim.Proc) {
+		ep := fss[0].Sequence(4)
+		ep.DrainAll(p)
+		if ep.Err() != nil {
+			t.Errorf("healthy epoch reported %v", ep.Err())
+		}
+	})
+	e.RunAll()
+}
+
+func TestRemoteFaultPropagatesThroughFabric(t *testing.T) {
+	// The fault occurs on a *remote* node's device; the NVMe-oF completion
+	// carries it back across the fabric to the reading client.
+	e := sim.NewEngine()
+	ds := smallDataset(40, 2048)
+	fss := mountAll(t, e, 2, ds, Config{})
+	// Find a sample stored on node 1 and fail node 1's device.
+	remoteIdx := -1
+	for i := 0; i < ds.Len(); i++ {
+		e2, _, _, ok := fss[0].Directory().LookupName(ds.Samples[i].Name, "class"+itoa(ds.Samples[i].Class))
+		if ok && e2.NID() == 1 {
+			remoteIdx = i
+			break
+		}
+	}
+	if remoteIdx < 0 {
+		t.Skip("no sample landed on node 1")
+	}
+	fss[0].Node().Job().Node(1).Device.InjectFault(func(c *nvme.Command) error {
+		if c.Op == nvme.OpRead {
+			return errMedia
+		}
+		return nil
+	})
+	e.Go("r", func(p *sim.Proc) {
+		buf := make([]byte, 2048)
+		if _, err := fss[0].ReadSample(p, remoteIdx, buf); !errors.Is(err, ErrIO) {
+			t.Errorf("remote fault: %v, want ErrIO", err)
+		}
+	})
+	e.RunAll()
+}

@@ -1,0 +1,192 @@
+package core
+
+import (
+	"fmt"
+
+	"dlfs/internal/cluster"
+	"dlfs/internal/dataset"
+	"dlfs/internal/directory"
+	"dlfs/internal/nvme"
+	"dlfs/internal/plan"
+	"dlfs/internal/sample"
+	"dlfs/internal/sim"
+	"dlfs/internal/spdk"
+)
+
+// Mount is the collective dlfs_mount (§III-A, §III-B2): every node of the
+// job calls it from its own process with the same dataset and config.
+//
+// Node nid uploads the samples whose keys home to nid onto its local NVMe
+// device (back to back, the layout plan.SequentialLayout describes),
+// builds its AVL partition, and exchanges partitions with an allgather so
+// each node returns holding an identical full directory plus open I/O
+// queue pairs to every storage node's device — local via PCIe, remote via
+// the NVMe-oF target.
+//
+// The upload itself is staged before training starts and is not part of
+// any measured window, so it moves bytes without consuming virtual time;
+// the directory exchange does cost fabric time.
+func Mount(p *sim.Proc, job *cluster.Job, nodeID int, ds *dataset.Dataset, cfg Config) (*FS, error) {
+	cfg = cfg.withDefaults()
+	node := job.Node(nodeID)
+	if int64(cfg.ChunkSize) > cfg.CacheBytes {
+		return nil, fmt.Errorf("dlfs: cache (%d) smaller than one chunk (%d)", cfg.CacheBytes, cfg.ChunkSize)
+	}
+
+	n := job.N()
+	storage := cfg.StorageNodes
+	if storage == nil {
+		storage = make([]int, n)
+		for i := range storage {
+			storage[i] = i
+		}
+	}
+	isStorage := false
+	for _, s := range storage {
+		if s < 0 || s >= n {
+			return nil, fmt.Errorf("dlfs: storage node %d outside job of %d nodes", s, n)
+		}
+		if job.Node(s).Device == nil {
+			return nil, fmt.Errorf("dlfs: storage node %d has no NVMe device", s)
+		}
+		if s == nodeID {
+			isStorage = true
+		}
+	}
+	// Resolve every sample's home node and key once; all nodes derive the
+	// identical mapping from the shared manifest.
+	keys := make([]uint64, ds.Len())
+	homes := make([]uint16, ds.Len())
+	keyToIdx := make(map[uint64]int, ds.Len())
+	for i := 0; i < ds.Len(); i++ {
+		k := ds.Samples[i].Key()
+		if prev, dup := keyToIdx[k]; dup {
+			return nil, fmt.Errorf("dlfs: samples %d and %d collide on key %#x; rename one", prev, i, k)
+		}
+		keyToIdx[k] = i
+		keys[i] = k
+		homes[i] = uint16(storage[directory.HomeNode(k, len(storage))])
+	}
+
+	// Upload this node's shard sequentially and build the partition.
+	// Diskless clients contribute an empty partition to the allgather.
+	part := directory.NewPartition(uint16(nodeID))
+	var off int64
+	for i := 0; isStorage && i < ds.Len(); i++ {
+		if homes[i] != uint16(nodeID) {
+			continue
+		}
+		content := ds.Content(i)
+		if cfg.StageIn != nil {
+			// Stage the file in from the backend PFS: one open + stream.
+			cfg.StageIn.ReadFile(p, int64(len(content)))
+		}
+		if _, err := node.Device.Store().WriteAt(content, off); err != nil {
+			return nil, fmt.Errorf("dlfs: uploading sample %d: %w", i, err)
+		}
+		e, err := sample.NewEntry(uint16(nodeID), keys[i], off, int32(len(content)))
+		if err != nil {
+			return nil, fmt.Errorf("dlfs: sample %d: %w", i, err)
+		}
+		if err := part.Add(e); err != nil {
+			return nil, err
+		}
+		off += int64(len(content))
+	}
+
+	// Creating entries from the raw dataset (stat, hash, tree insert) is
+	// the expensive part §III-B2 parallelises: each node only indexes its
+	// own shard.
+	node.Compute(p, sim.Duration(part.Len())*cfg.EntryBuildCPU)
+
+	// Collective exchange of partitions; every node reconstructs the full
+	// directory from the gathered blobs. Rebuilding a pre-serialized
+	// entry is much cheaper than creating it (no stat, no hashing).
+	blobs := job.Allgather(p, "dlfs-mount-dir", nodeID, part.Serialize())
+	remoteEntries := 0
+	for i, b := range blobs {
+		if i != nodeID {
+			remoteEntries += len(b) / 16
+		}
+	}
+	node.Compute(p, sim.Duration(remoteEntries)*cfg.EntryInsertCPU)
+	dir, err := directory.FromBlobs(blobs)
+	if err != nil {
+		return nil, err
+	}
+	if dir.NumSamples() != ds.Len() {
+		return nil, fmt.Errorf("dlfs: directory holds %d samples, dataset has %d", dir.NumSamples(), ds.Len())
+	}
+
+	// Derive the global physical layout from the directory (identical on
+	// all nodes).
+	placed := make([]plan.Placed, ds.Len())
+	nodeOf := make([]uint16, ds.Len())
+	for nid := 0; nid < n; nid++ {
+		dir.Partition(uint16(nid)).Ascend(func(e sample.Entry) bool {
+			idx, ok := keyToIdx[e.Key()]
+			if !ok {
+				err = fmt.Errorf("dlfs: directory key %#x not in manifest", e.Key())
+				return false
+			}
+			placed[idx] = plan.Placed{Sample: idx, Offset: e.Offset(), Len: e.Len()}
+			nodeOf[idx] = e.NID()
+			return true
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Initialise the SPDK environment: the huge-page pool backing the
+	// sample cache, plus controller attachment for every storage device —
+	// local over PCIe, remote through the NVMe-oF target. One I/O queue
+	// pair per device is the per-device RPQ binding of Fig 4(b);
+	// non-storage slots stay nil and are never addressed.
+	env, err := spdk.NewEnv(job.Engine(), cfg.CacheBytes, cfg.ChunkSize)
+	if err != nil {
+		return nil, err
+	}
+	queues := make([]nvme.Queue, n)
+	group := spdk.NewPollGroup()
+	for _, nid := range storage {
+		var ctrl spdk.Controller
+		if nid == nodeID {
+			ctrl, err = env.AttachLocal(fmt.Sprintf("node%d", nid), node.Device)
+		} else {
+			tgt := job.Node(nid).Target
+			if tgt == nil {
+				return nil, fmt.Errorf("dlfs: node %d exports no NVMe-oF target", nid)
+			}
+			ctrl, err = env.AttachRemote(fmt.Sprintf("node%d", nid), tgt, nodeID)
+		}
+		if err != nil {
+			return nil, err
+		}
+		queues[nid] = ctrl.AllocQPair(cfg.QueueDepth)
+		group.Add(queues[nid])
+	}
+	arena := env.Arena()
+
+	fs := &FS{
+		cfg:         cfg,
+		node:        node,
+		job:         job,
+		ds:          ds,
+		dir:         dir,
+		env:         env,
+		arena:       arena,
+		queues:      queues,
+		pollGroup:   group,
+		keyToIdx:    keyToIdx,
+		placedByIdx: placed,
+		nodeOfIdx:   nodeOf,
+		copyQ:       sim.NewQueue[copyJob](job.Engine()),
+		readCache:   make(map[int]*unit),
+	}
+	fs.startCopyPool()
+
+	// All nodes leave mount together, with verified-identical replicas.
+	job.Barrier(p, "dlfs-mount-done")
+	return fs, nil
+}

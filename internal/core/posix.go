@@ -1,0 +1,294 @@
+package core
+
+import (
+	"fmt"
+
+	"dlfs/internal/directory"
+	"dlfs/internal/nvme"
+	"dlfs/internal/plan"
+	"dlfs/internal/sample"
+	"dlfs/internal/sim"
+	"dlfs/internal/trace"
+)
+
+// Handle is an open sample, the dlfs_open result.
+type Handle struct {
+	fs    *FS
+	idx   int
+	entry sample.Entry
+	ref   directory.EntryRef
+	open  bool
+}
+
+// Size returns the sample's length in bytes.
+func (h *Handle) Size() int { return int(h.entry.Len()) }
+
+// Index returns the dataset sample index.
+func (h *Handle) Index() int { return h.idx }
+
+// Lookup resolves a sample name through the in-memory directory, charging
+// the tree-walk CPU. It is the operation Fig 10 times.
+func (fs *FS) Lookup(p *sim.Proc, name string, attrs ...string) (sample.Entry, error) {
+	e, _, depth, ok := fs.dir.LookupName(name, attrs...)
+	fs.stats.LookupVisits += int64(depth)
+	fs.node.CPU.Use(p, sim.Duration(depth)*fs.cfg.LookupVisitCPU)
+	if !ok {
+		return sample.Entry{}, fmt.Errorf("%w: %s", ErrNotFound, name)
+	}
+	return e, nil
+}
+
+// Open resolves a sample and returns a handle (dlfs_open).
+func (fs *FS) Open(p *sim.Proc, name string, attrs ...string) (*Handle, error) {
+	e, ref, depth, ok := fs.dir.LookupName(name, attrs...)
+	fs.stats.LookupVisits += int64(depth)
+	fs.node.CPU.Use(p, sim.Duration(depth)*fs.cfg.LookupVisitCPU)
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, name)
+	}
+	idx, ok := fs.keyToIdx[e.Key()]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s (stale directory)", ErrNotFound, name)
+	}
+	return &Handle{fs: fs, idx: idx, entry: e, ref: ref, open: true}, nil
+}
+
+// Close invalidates the handle (dlfs_close). Metadata-only: no kernel, no
+// device interaction.
+func (fs *FS) Close(h *Handle) error {
+	if h == nil || h.fs != fs || !h.open {
+		return ErrHandle
+	}
+	h.open = false
+	return nil
+}
+
+// Read performs the synchronous per-sample read of §III-C1 (dlfs_read, the
+// DLFS-Base configuration): check the V bit; on a miss run prep → post →
+// poll for this one sample, then copy from the sample cache into buf.
+func (fs *FS) Read(p *sim.Proc, h *Handle, buf []byte) (int, error) {
+	if h == nil || h.fs != fs || !h.open {
+		return 0, ErrHandle
+	}
+	n := int(h.entry.Len())
+	if len(buf) < n {
+		n = len(buf)
+	}
+	u, hit := fs.readCache[h.idx]
+	if hit && u.ready {
+		fs.stats.CacheHits++
+	} else {
+		var err error
+		u, err = fs.fetchSampleSync(p, h.idx)
+		if err != nil {
+			return 0, err
+		}
+	}
+	fs.touchReadCache(h.idx)
+	// Copy stage: a copy thread moves the bytes to the application buffer.
+	wg := sim.NewWaitGroup(fs.job.Engine())
+	wg.Add(1)
+	pl := fs.placedByIdx[h.idx]
+	pl.Len = int32(n)
+	fs.copyQ.Push(copyJob{u: u, p: pl, dst: buf[:n], wg: wg})
+	wg.Wait(p)
+	fs.stats.SamplesRead++
+	return n, nil
+}
+
+// ReadSample is Open+Read+Close by dataset index, the micro-benchmark
+// loop's inner operation.
+func (fs *FS) ReadSample(p *sim.Proc, idx int, buf []byte) (int, error) {
+	if idx < 0 || idx >= fs.ds.Len() {
+		return 0, fmt.Errorf("%w: index %d", ErrNotFound, idx)
+	}
+	h, err := fs.Open(p, fs.ds.Samples[idx].Name, fmt.Sprintf("class%d", fs.ds.Samples[idx].Class))
+	if err != nil {
+		return 0, err
+	}
+	defer fs.Close(h) //nolint:errcheck
+	return fs.Read(p, h, buf)
+}
+
+// fetchSampleSync brings one sample into the cache as its own unit,
+// synchronously: the basic DLFS I/O flow without batching.
+func (fs *FS) fetchSampleSync(p *sim.Proc, idx int) (*unit, error) {
+	pl := fs.placedByIdx[idx]
+	u := &unit{
+		node:      fs.nodeOfIdx[idx],
+		offset:    pl.Offset,
+		length:    pl.Len,
+		samples:   []plan.Placed{pl},
+		remaining: 1 << 30, // pinned in the read cache until evicted
+	}
+	_, ref, _, ok := fs.dir.Lookup(fs.ds.Samples[idx].Key())
+	if ok {
+		u.refs = []directory.EntryRef{ref}
+	}
+	fs.node.CPU.Acquire(p)
+	if err := fs.postUnit(p, u); err != nil {
+		fs.node.CPU.Release()
+		return nil, err
+	}
+	q := fs.queues[u.node]
+	for !u.ready {
+		fs.handleCompletions(q)
+		fs.pollWait(p)
+	}
+	fs.node.CPU.Release()
+	if u.fetchErr != nil {
+		for _, c := range u.chunks {
+			fs.arena.Free(c) //nolint:errcheck
+		}
+		u.chunks = nil
+		return nil, fmt.Errorf("%w: sample %d: %v", ErrIO, idx, u.fetchErr)
+	}
+	fs.readCache[idx] = u
+	fs.readLRU = append(fs.readLRU, idx)
+	return u, nil
+}
+
+// touchReadCache refreshes LRU order for idx.
+func (fs *FS) touchReadCache(idx int) {
+	for i, v := range fs.readLRU {
+		if v == idx {
+			fs.readLRU = append(fs.readLRU[:i], fs.readLRU[i+1:]...)
+			fs.readLRU = append(fs.readLRU, idx)
+			return
+		}
+	}
+}
+
+// evictOneRead frees the least-recently-used read-cache unit, returning
+// false if there is nothing to evict.
+func (fs *FS) evictOneRead() bool {
+	for len(fs.readLRU) > 0 {
+		idx := fs.readLRU[0]
+		fs.readLRU = fs.readLRU[1:]
+		u, ok := fs.readCache[idx]
+		if !ok {
+			continue
+		}
+		delete(fs.readCache, idx)
+		for _, ref := range u.refs {
+			fs.dir.SetV(ref, false)
+		}
+		for _, c := range u.chunks {
+			fs.arena.Free(c) //nolint:errcheck
+		}
+		u.chunks = nil
+		return true
+	}
+	return false
+}
+
+// cmdCtx links a device completion back to its unit.
+type cmdCtx struct{ u *unit }
+
+// postUnit allocates cache chunks for the unit and posts its SPDK
+// commands: the prep and post stages. The caller must hold the node CPU.
+// If the queue or the arena is momentarily full it polls in place until
+// the unit is fully posted.
+func (fs *FS) postUnit(p *sim.Proc, u *unit) error {
+	cs := fs.cfg.ChunkSize
+	nChunks := (int(u.length) + cs - 1) / cs
+	// prep: build the request(s), resolve locations.
+	p.Sleep(fs.cfg.PrepCPU * sim.Duration(nChunks))
+	fs.stats.PrepTime += fs.cfg.PrepCPU * sim.Duration(nChunks)
+	for {
+		chunks, err := fs.arena.AllocN(nChunks)
+		if err == nil {
+			u.chunks = chunks
+			break
+		}
+		// Cache full: reclaim a read-cache entry or wait for copy drains.
+		if !fs.evictOneRead() {
+			fs.pollAll()
+			fs.pollWait(p)
+		}
+	}
+	u.pending = nChunks
+	q := fs.queues[u.node]
+	for i := 0; i < nChunks; i++ {
+		segOff := u.offset + int64(i*cs)
+		segLen := cs
+		if rem := int(u.length) - i*cs; rem < segLen {
+			segLen = rem
+		}
+		cmd := &nvme.Command{
+			Op:     nvme.OpRead,
+			Offset: segOff,
+			Buf:    u.chunks[i].Bytes()[:segLen],
+			Ctx:    cmdCtx{u: u},
+		}
+		p.Sleep(fs.cfg.PostCPU)
+		fs.stats.PostTime += fs.cfg.PostCPU
+		for q.Submit(cmd) != nil {
+			// Queue full: drain completions until a slot frees.
+			fs.handleCompletions(q)
+			fs.pollWait(p)
+		}
+		fs.stats.Commands++
+		fs.stats.BytesFetched += int64(segLen)
+	}
+	fs.unitSeq++
+	u.traceID = fs.unitSeq
+	fs.cfg.Trace.Record(p.Now(), trace.KindPost, u.traceID, u.node, int(u.length))
+	return nil
+}
+
+// handleCompletions drains one queue's completion ring, updating units:
+// the poll stage.
+func (fs *FS) handleCompletions(q nvme.Queue) int {
+	done := q.Poll(0)
+	fs.dispatch(done)
+	return len(done)
+}
+
+// dispatch applies completions to their units. When a unit's last command
+// lands, its samples' V bits are set — the data now has a copy in the
+// local sample cache.
+func (fs *FS) dispatch(done []nvme.Completion) {
+	for _, c := range done {
+		ctx, ok := c.Cmd.Ctx.(cmdCtx)
+		if !ok {
+			continue
+		}
+		u := ctx.u
+		u.pending--
+		if c.Err != nil && u.fetchErr == nil {
+			u.fetchErr = c.Err
+		}
+		if u.pending == 0 {
+			u.ready = true
+			fs.cfg.Trace.Record(fs.job.Engine().Now(), trace.KindComplete, u.traceID, u.node, int(u.length))
+			if u.fetchErr != nil {
+				// A failed unit never becomes a valid cache copy.
+				continue
+			}
+			for _, ref := range u.refs {
+				fs.dir.SetV(ref, true)
+			}
+		}
+	}
+}
+
+// pollWait accounts one busy-poll iteration and briefly yields the core so
+// copy threads time-sharing the same core can progress (the OS would
+// preempt a spinning SPDK poller the same way). The caller holds the node
+// CPU before and after.
+func (fs *FS) pollWait(p *sim.Proc) {
+	fs.stats.PollIters++
+	fs.stats.PollTime += fs.cfg.PollIterCPU
+	p.Sleep(fs.cfg.PollIterCPU)
+	fs.node.CPU.Release()
+	fs.node.CPU.Acquire(p)
+}
+
+// pollAll sweeps the SPDK poll group once (the shared completion queue
+// discipline: one poller balances progress across all queue pairs).
+func (fs *FS) pollAll() int {
+	done := fs.pollGroup.Poll(0)
+	fs.dispatch(done)
+	return len(done)
+}

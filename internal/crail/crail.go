@@ -1,0 +1,136 @@
+// Package crail models a Crail-style disaggregated storage middleware
+// (Stuedi et al., IEEE Data Eng. Bull. 2017) as an extension baseline.
+// The paper's related-work section singles out the property that matters:
+// "Contrary to Crail's centralized metadata management, DLFS maintains
+// metadata locally which reduces the potential bottleneck during sample
+// lookup."
+//
+// Accordingly this model gives Crail an RDMA data path just as fast as
+// Octopus' but routes *every* metadata lookup through one metadata server
+// node, whose single service core becomes the bottleneck as clients
+// scale — the behaviour Fig 10's extension column demonstrates.
+package crail
+
+import (
+	"errors"
+	"fmt"
+
+	"dlfs/internal/cluster"
+	"dlfs/internal/nvme"
+	"dlfs/internal/sim"
+)
+
+// Costs is the software cost model.
+type Costs struct {
+	ClientCPU   sim.Duration // per-op client bookkeeping
+	NamenodeCPU sim.Duration // metadata service per lookup at the namenode
+	RDMASetup   sim.Duration // per data-path verb
+}
+
+// DefaultCosts mirrors Crail's fast-RPC numbers: ~1 µs namenode service.
+func DefaultCosts() Costs {
+	return Costs{ClientCPU: 400, NamenodeCPU: 1000, RDMASetup: 1200}
+}
+
+type meta struct {
+	owner  int
+	offset int64
+	size   int64
+}
+
+// FS is a Crail instance over a job; node 0 hosts the namenode.
+type FS struct {
+	job   *cluster.Job
+	costs Costs
+	files map[string]*meta
+	next  []int64
+
+	namenode *sim.Server // the single metadata service core
+
+	lookups int64
+}
+
+// NamenodeID is the node hosting the centralized metadata service.
+const NamenodeID = 0
+
+// New creates a Crail spanning the job.
+func New(job *cluster.Job, costs Costs) *FS {
+	if costs == (Costs{}) {
+		costs = DefaultCosts()
+	}
+	return &FS{
+		job:      job,
+		costs:    costs,
+		files:    make(map[string]*meta),
+		next:     make([]int64, job.N()),
+		namenode: sim.NewServer(job.Engine(), "crail/namenode", 1),
+	}
+}
+
+// ErrNotFound reports a missing file.
+var ErrNotFound = errors.New("crail: no such file")
+
+// Put stores a file at population time, striping files across nodes
+// round-robin (untimed, like the other baselines' population).
+func (fs *FS) Put(name string, data []byte) error {
+	if _, dup := fs.files[name]; dup {
+		return fmt.Errorf("crail: file exists: %s", name)
+	}
+	owner := len(fs.files) % fs.job.N()
+	dev := fs.job.Node(owner).Device
+	if dev == nil {
+		return fmt.Errorf("crail: node %d has no device", owner)
+	}
+	off := fs.next[owner]
+	if _, err := dev.Store().WriteAt(data, off); err != nil {
+		return err
+	}
+	fs.next[owner] += (int64(len(data)) + 4095) / 4096 * 4096
+	fs.files[name] = &meta{owner: owner, offset: off, size: int64(len(data))}
+	return nil
+}
+
+// NumFiles reports stored files.
+func (fs *FS) NumFiles() int { return len(fs.files) }
+
+// Lookups reports metadata operations served by the namenode.
+func (fs *FS) Lookups() int64 { return fs.lookups }
+
+// NamenodeUtilization reports the metadata core's time-average load — the
+// bottleneck indicator.
+func (fs *FS) NamenodeUtilization() float64 { return fs.namenode.Utilization() }
+
+// Lookup resolves a name from clientNode: always an RPC to the namenode.
+func (fs *FS) Lookup(p *sim.Proc, clientNode int, name string) (int64, error) {
+	fs.lookups++
+	p.Sleep(fs.costs.ClientCPU)
+	net := fs.job.Network()
+	net.Message(p, clientNode, NamenodeID)
+	fs.namenode.Use(p, fs.costs.NamenodeCPU)
+	net.Message(p, NamenodeID, clientNode)
+	m, ok := fs.files[name]
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", ErrNotFound, name)
+	}
+	return m.size, nil
+}
+
+// ReadFile reads a full file from clientNode: the namenode lookup, then a
+// one-sided RDMA read of the data at its owner.
+func (fs *FS) ReadFile(p *sim.Proc, clientNode int, name string, buf []byte) (int, error) {
+	if _, err := fs.Lookup(p, clientNode, name); err != nil {
+		return 0, err
+	}
+	m := fs.files[name]
+	n := int64(len(buf))
+	if n > m.size {
+		n = m.size
+	}
+	p.Sleep(fs.costs.RDMASetup)
+	dev := fs.job.Node(m.owner).Device
+	if err := dev.SyncIO(p, &nvme.Command{Op: nvme.OpRead, Offset: m.offset, Buf: buf[:n]}); err != nil {
+		return 0, err
+	}
+	fs.job.Network().Transfer(p, m.owner, clientNode, n)
+	return int(n), nil
+}

@@ -1,0 +1,134 @@
+package crail
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"dlfs/internal/cluster"
+	"dlfs/internal/dataset"
+	"dlfs/internal/sim"
+)
+
+func newFS(e *sim.Engine, nodes int) (*FS, *cluster.Job) {
+	job := cluster.NewJob(e, nodes, cluster.DefaultNodeSpec())
+	return New(job, Costs{}), job
+}
+
+func TestPutReadBack(t *testing.T) {
+	e := sim.NewEngine()
+	fs, _ := newFS(e, 4)
+	ds := dataset.Generate(dataset.Config{Label: "cr", Seed: 3, NumSamples: 30, Dist: dataset.Fixed(2000)})
+	for i := 0; i < ds.Len(); i++ {
+		if err := fs.Put(ds.Samples[i].Name, ds.Content(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if fs.NumFiles() != 30 {
+		t.Fatal("file count")
+	}
+	e.Go("c", func(p *sim.Proc) {
+		buf := make([]byte, 2000)
+		for i := 0; i < ds.Len(); i++ {
+			n, err := fs.ReadFile(p, 2, ds.Samples[i].Name, buf)
+			if err != nil || n != 2000 {
+				t.Errorf("read %d: n=%d err=%v", i, n, err)
+				return
+			}
+			if dataset.ChecksumBytes(buf) != ds.Checksum(i) {
+				t.Errorf("sample %d corrupt through crail", i)
+			}
+		}
+	})
+	e.RunAll()
+	if fs.Lookups() != 30 {
+		t.Fatalf("lookups = %d", fs.Lookups())
+	}
+}
+
+func TestErrors(t *testing.T) {
+	e := sim.NewEngine()
+	fs, _ := newFS(e, 2)
+	fs.Put("a", []byte("x")) //nolint:errcheck
+	if err := fs.Put("a", []byte("y")); err == nil {
+		t.Fatal("duplicate accepted")
+	}
+	e.Go("c", func(p *sim.Proc) {
+		if _, err := fs.ReadFile(p, 0, "nope", make([]byte, 4)); !errors.Is(err, ErrNotFound) {
+			t.Errorf("missing: %v", err)
+		}
+	})
+	e.RunAll()
+}
+
+func TestNamenodeSerializesAllClients(t *testing.T) {
+	// Unlike Octopus (hash-distributed metadata), every Crail lookup lands
+	// on the namenode: concurrent clients serialize there regardless of
+	// cluster size.
+	makespan := func(nodes int) sim.Time {
+		e := sim.NewEngine()
+		fs, _ := newFS(e, nodes)
+		for i := 0; i < 64; i++ {
+			fs.Put(fmt.Sprintf("f%d", i), []byte("x")) //nolint:errcheck
+		}
+		const perClient = 200
+		for c := 0; c < nodes; c++ {
+			c := c
+			e.Go("c", func(p *sim.Proc) {
+				for i := 0; i < perClient; i++ {
+					fs.Lookup(p, c, fmt.Sprintf("f%d", i%64)) //nolint:errcheck
+				}
+			})
+		}
+		return e.RunAll()
+	}
+	two := makespan(2)
+	sixteen := makespan(16)
+	// Each client issues the same count, so 16 nodes mean 8× the lookups —
+	// all served by one namenode core. At 16 nodes the makespan must sit
+	// on the namenode's serial floor (3200 lookups × 1 µs = 3.2 ms),
+	// i.e. adding clients bought no aggregate lookup throughput at all.
+	floor := sim.Time(16 * 200 * 1000)
+	if sixteen < floor || sixteen > floor*11/10 {
+		t.Fatalf("16-node makespan %v, want ≈%v (namenode serial floor)", sixteen, floor)
+	}
+	// A distributed-metadata system would keep the makespan ~flat as
+	// clients grow; Crail's grows with the total lookup count.
+	if sixteen < two*3 {
+		t.Fatalf("namenode did not bottleneck: 2 nodes %v vs 16 nodes %v", two, sixteen)
+	}
+}
+
+func TestNamenodeUtilizationHigh(t *testing.T) {
+	e := sim.NewEngine()
+	fs, _ := newFS(e, 8)
+	for i := 0; i < 32; i++ {
+		fs.Put(fmt.Sprintf("f%d", i), []byte("x")) //nolint:errcheck
+	}
+	for c := 0; c < 8; c++ {
+		c := c
+		e.Go("c", func(p *sim.Proc) {
+			for i := 0; i < 100; i++ {
+				fs.Lookup(p, c, fmt.Sprintf("f%d", i%32)) //nolint:errcheck
+			}
+		})
+	}
+	e.RunAll()
+	if u := fs.NamenodeUtilization(); u < 0.5 {
+		t.Fatalf("namenode utilization %.2f under 8-client load, want high", u)
+	}
+}
+
+func TestDataStripedAcrossNodes(t *testing.T) {
+	e := sim.NewEngine()
+	fs, job := newFS(e, 4)
+	for i := 0; i < 16; i++ {
+		fs.Put(fmt.Sprintf("f%d", i), make([]byte, 4096)) //nolint:errcheck
+	}
+	// Every node's device should hold some data.
+	for i := 0; i < 4; i++ {
+		if job.Node(i).Device.Store().HighWater() == 0 {
+			t.Fatalf("node %d holds no data: striping broken", i)
+		}
+	}
+}

@@ -1,0 +1,146 @@
+// Package deepio models DeepIO (Zhu et al., MASCOTS'18 — the DLFS
+// authors' own prior system) as an extension baseline: training data is
+// preloaded into a fixed-size RAM buffer on each node and served from
+// memory, with RDMA to reach samples resident on other nodes.
+//
+// The paper's related work states the property this model exists to
+// demonstrate: DeepIO "does not support storage disaggregation for remote
+// clients. Its performance is also limited by the total available
+// memory." While the dataset fits in aggregate RAM, DeepIO is extremely
+// fast; once it does not, every non-resident sample goes back to the
+// backend parallel file system on every access — the cliff the
+// memory-capacity experiment sweeps across.
+package deepio
+
+import (
+	"errors"
+	"fmt"
+
+	"dlfs/internal/cluster"
+	"dlfs/internal/dataset"
+	"dlfs/internal/directory"
+	"dlfs/internal/pfs"
+	"dlfs/internal/sim"
+)
+
+// Costs models the in-memory data path.
+type Costs struct {
+	LookupCPU sim.Duration // in-memory index probe
+	MemcpyBW  int64        // local memory copy bandwidth, bytes/sec
+	RDMASetup sim.Duration // per remote fetch
+}
+
+// DefaultCosts: memory-speed serving.
+func DefaultCosts() Costs {
+	return Costs{LookupCPU: 100, MemcpyBW: 12_000_000_000, RDMASetup: 1200}
+}
+
+// FS is a DeepIO instance: per-node RAM buffers over a job, with a
+// backend PFS for the samples that did not fit.
+type FS struct {
+	job     *cluster.Job
+	costs   Costs
+	backend *pfs.System
+	ds      *dataset.Dataset
+
+	resident   []bool   // per sample: preloaded somewhere?
+	ownerOf    []uint16 // owning node for resident samples
+	data       [][]byte // resident sample contents (index by sample)
+	memUsed    []int64
+	hits, miss int64
+}
+
+// ErrNotFound reports an unknown sample index.
+var ErrNotFound = errors.New("deepio: no such sample")
+
+// Mount preloads the dataset into per-node RAM buffers of memPerNode
+// bytes each (hash-sharded, like the other systems), in shard order until
+// each node's buffer is full. Samples that do not fit stay only on the
+// backend PFS.
+func Mount(job *cluster.Job, ds *dataset.Dataset, memPerNode int64, backend *pfs.System, costs Costs) (*FS, error) {
+	if costs == (Costs{}) {
+		costs = DefaultCosts()
+	}
+	if memPerNode <= 0 {
+		return nil, fmt.Errorf("deepio: non-positive memory budget %d", memPerNode)
+	}
+	n := job.N()
+	fs := &FS{
+		job:      job,
+		costs:    costs,
+		backend:  backend,
+		ds:       ds,
+		resident: make([]bool, ds.Len()),
+		ownerOf:  make([]uint16, ds.Len()),
+		data:     make([][]byte, ds.Len()),
+		memUsed:  make([]int64, n),
+	}
+	for i := 0; i < ds.Len(); i++ {
+		nid := directory.HomeNode(ds.Samples[i].Key(), n)
+		size := int64(ds.Samples[i].Size)
+		if fs.memUsed[nid]+size > memPerNode {
+			continue // does not fit: stays on the PFS
+		}
+		fs.memUsed[nid] += size
+		fs.resident[i] = true
+		fs.ownerOf[i] = nid
+		fs.data[i] = ds.Content(i)
+	}
+	return fs, nil
+}
+
+// ResidentFraction reports how much of the dataset fit in memory.
+func (fs *FS) ResidentFraction() float64 {
+	if fs.ds.Len() == 0 {
+		return 0
+	}
+	count := 0
+	for _, r := range fs.resident {
+		if r {
+			count++
+		}
+	}
+	return float64(count) / float64(fs.ds.Len())
+}
+
+// Stats reports memory hits and PFS fallbacks.
+func (fs *FS) Stats() (hits, misses int64) { return fs.hits, fs.miss }
+
+// ReadSample reads sample idx from clientNode: memory copy (local or via
+// RDMA) when resident, a full backend-PFS read when not.
+func (fs *FS) ReadSample(p *sim.Proc, clientNode, idx int, buf []byte) (int, error) {
+	if idx < 0 || idx >= fs.ds.Len() {
+		return 0, fmt.Errorf("%w: %d", ErrNotFound, idx)
+	}
+	p.Sleep(fs.costs.LookupCPU)
+	size := fs.ds.Samples[idx].Size
+	n := size
+	if len(buf) < n {
+		n = len(buf)
+	}
+	if fs.resident[idx] {
+		fs.hits++
+		owner := int(fs.ownerOf[idx])
+		if owner != clientNode {
+			p.Sleep(fs.costs.RDMASetup)
+			fs.job.Network().RDMARead(p, clientNode, owner, int64(n))
+		}
+		if fs.costs.MemcpyBW > 0 {
+			fs.job.Node(clientNode).Compute(p, sim.Duration(int64(n)*1e9/fs.costs.MemcpyBW))
+		}
+		copy(buf[:n], fs.data[idx])
+		return n, nil
+	}
+	// Memory exhausted for this sample: back to the parallel file system.
+	fs.miss++
+	if fs.backend != nil {
+		fs.backend.ReadFile(p, int64(size))
+	}
+	if n == size {
+		fs.ds.FillContent(idx, buf[:n])
+	} else {
+		tmp := fs.ds.Content(idx)
+		copy(buf[:n], tmp)
+	}
+	return n, nil
+}

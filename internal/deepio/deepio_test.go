@@ -1,0 +1,121 @@
+package deepio
+
+import (
+	"errors"
+	"testing"
+
+	"dlfs/internal/cluster"
+	"dlfs/internal/dataset"
+	"dlfs/internal/pfs"
+	"dlfs/internal/sim"
+)
+
+func setup(t *testing.T, n, size int, memPerNode int64) (*FS, *dataset.Dataset, *sim.Engine) {
+	t.Helper()
+	e := sim.NewEngine()
+	job := cluster.NewJob(e, 4, cluster.DefaultNodeSpec())
+	backend := pfs.New(e, pfs.DefaultSpec())
+	ds := dataset.Generate(dataset.Config{Label: "dio", Seed: 6, NumSamples: n, Dist: dataset.Fixed(size)})
+	fs, err := Mount(job, ds, memPerNode, backend, Costs{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fs, ds, e
+}
+
+func TestAllResidentWhenMemorySuffices(t *testing.T) {
+	fs, ds, e := setup(t, 100, 1000, 1<<20)
+	if fs.ResidentFraction() != 1.0 {
+		t.Fatalf("resident %.2f, want 1.0", fs.ResidentFraction())
+	}
+	e.Go("c", func(p *sim.Proc) {
+		buf := make([]byte, 1000)
+		for i := 0; i < ds.Len(); i++ {
+			if _, err := fs.ReadSample(p, 0, i, buf); err != nil {
+				t.Error(err)
+				return
+			}
+			if dataset.ChecksumBytes(buf) != ds.Checksum(i) {
+				t.Errorf("sample %d corrupt from memory", i)
+			}
+		}
+	})
+	e.RunAll()
+	hits, miss := fs.Stats()
+	if hits != 100 || miss != 0 {
+		t.Fatalf("hits=%d miss=%d", hits, miss)
+	}
+}
+
+func TestOverflowFallsBackToPFS(t *testing.T) {
+	// 100 × 1000B across 4 nodes = ~25KB/node; budget 10KB → ~40% resident.
+	fs, ds, e := setup(t, 100, 1000, 10_000)
+	rf := fs.ResidentFraction()
+	if rf < 0.2 || rf > 0.6 {
+		t.Fatalf("resident %.2f, want partial", rf)
+	}
+	e.Go("c", func(p *sim.Proc) {
+		buf := make([]byte, 1000)
+		for i := 0; i < ds.Len(); i++ {
+			if _, err := fs.ReadSample(p, 1, i, buf); err != nil {
+				t.Error(err)
+				return
+			}
+			if dataset.ChecksumBytes(buf) != ds.Checksum(i) {
+				t.Errorf("sample %d corrupt via fallback", i)
+			}
+		}
+	})
+	total := e.RunAll()
+	hits, miss := fs.Stats()
+	if miss == 0 || hits == 0 {
+		t.Fatalf("hits=%d miss=%d, want both", hits, miss)
+	}
+	// Misses pay the PFS open cost (~200µs each): the run must be slow.
+	if total < sim.Time(miss)*200_000 {
+		t.Fatalf("run %v cheaper than the PFS floor for %d misses", total, miss)
+	}
+}
+
+func TestRemoteResidentUsesFabric(t *testing.T) {
+	fs, ds, e := setup(t, 40, 2000, 1<<20)
+	var local, remote sim.Time
+	e.Go("c", func(p *sim.Proc) {
+		buf := make([]byte, 2000)
+		// Find one sample on node 0 and one elsewhere.
+		liIdx, reIdx := -1, -1
+		for i := range fs.resident {
+			if fs.ownerOf[i] == 0 && liIdx < 0 {
+				liIdx = i
+			}
+			if fs.ownerOf[i] != 0 && reIdx < 0 {
+				reIdx = i
+			}
+		}
+		start := p.Now()
+		fs.ReadSample(p, 0, liIdx, buf) //nolint:errcheck
+		local = p.Now() - start
+		start = p.Now()
+		fs.ReadSample(p, 0, reIdx, buf) //nolint:errcheck
+		remote = p.Now() - start
+		_ = ds
+	})
+	e.RunAll()
+	if remote <= local {
+		t.Fatalf("remote read (%v) not slower than local (%v)", remote, local)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	fs, _, e := setup(t, 4, 100, 1<<20)
+	e.Go("c", func(p *sim.Proc) {
+		if _, err := fs.ReadSample(p, 0, -1, nil); !errors.Is(err, ErrNotFound) {
+			t.Errorf("bad index: %v", err)
+		}
+	})
+	e.RunAll()
+	job := cluster.NewJob(sim.NewEngine(), 1, cluster.DefaultNodeSpec())
+	if _, err := Mount(job, fs.ds, 0, nil, Costs{}); err == nil {
+		t.Fatal("zero memory accepted")
+	}
+}

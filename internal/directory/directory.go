@@ -1,0 +1,264 @@
+// Package directory implements the DLFS in-memory tree-based sample
+// directory (paper §III-B): an array of balanced AVL trees, one per
+// storage node, holding 128-bit sample entries. Each node builds the
+// partition for the samples it uploaded, the partitions are exchanged with
+// an allgather, and every node ends up with an identical full directory —
+// so sample lookup is always local and the NVMe-oF targets see no metadata
+// traffic.
+//
+// Samples are placed on storage nodes by key hash ("according to the file
+// name and the number of storage nodes"), so a reader can compute the home
+// node of any name without consulting anyone.
+package directory
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"dlfs/internal/avl"
+	"dlfs/internal/sample"
+)
+
+// HomeNode returns the storage node a sample key lives on in an n-node
+// job: the directory's placement rule.
+func HomeNode(key uint64, n int) uint16 {
+	if n <= 0 {
+		panic("directory: non-positive node count")
+	}
+	// The key is already a uniform hash of the name; fold the high bits in
+	// so small moduli do not bias on low-entropy tails.
+	return uint16((key ^ key>>24) % uint64(n))
+}
+
+// EntryRef identifies an entry in a directory for O(1) revisits (V-bit
+// updates during reads).
+type EntryRef struct {
+	NID uint16
+	Idx int32
+}
+
+// Partition is one node's tree: every sample stored on that node.
+type Partition struct {
+	nid     uint16
+	entries []sample.Entry
+	tree    avl.Tree[int32] // key -> index into entries
+}
+
+// ErrDuplicateKey reports two samples hashing to the same 48-bit key on
+// one node; the mount must rename or re-attribute one of them.
+var ErrDuplicateKey = errors.New("directory: duplicate sample key in partition")
+
+// NewPartition returns an empty partition for node nid.
+func NewPartition(nid uint16) *Partition {
+	return &Partition{nid: nid}
+}
+
+// NID returns the owning node's ID.
+func (p *Partition) NID() uint16 { return p.nid }
+
+// Len reports the number of entries.
+func (p *Partition) Len() int { return len(p.entries) }
+
+// Add inserts an entry, which must carry this partition's NID.
+func (p *Partition) Add(e sample.Entry) error {
+	if e.NID() != p.nid {
+		return fmt.Errorf("directory: entry for node %d added to partition %d", e.NID(), p.nid)
+	}
+	idx := int32(len(p.entries))
+	if !p.tree.Insert(e.Key(), idx) {
+		return fmt.Errorf("%w: key %#x", ErrDuplicateKey, e.Key())
+	}
+	p.entries = append(p.entries, e)
+	return nil
+}
+
+// Lookup finds the entry for key, reporting the tree depth visited (the
+// lookup's CPU cost driver).
+func (p *Partition) Lookup(key uint64) (sample.Entry, EntryRef, int, bool) {
+	idx, ok, depth := p.tree.GetDepth(key)
+	if !ok {
+		return sample.Entry{}, EntryRef{}, depth, false
+	}
+	return p.entries[idx], EntryRef{NID: p.nid, Idx: idx}, depth, true
+}
+
+// At returns the entry at a ref's index.
+func (p *Partition) At(idx int32) sample.Entry { return p.entries[idx] }
+
+// SetV sets or clears the V (in-local-cache) bit of the entry at idx.
+// Each node flips V only in its own replica: the paper notes training data
+// is read-only, so replicas never need coherence.
+func (p *Partition) SetV(idx int32, v bool) {
+	p.entries[idx] = p.entries[idx].WithV(v)
+}
+
+// Select returns the i-th entry in key order, for rank-based iteration.
+func (p *Partition) Select(i int) (sample.Entry, bool) {
+	_, idx, ok := p.tree.Select(i)
+	if !ok {
+		return sample.Entry{}, false
+	}
+	return p.entries[idx], true
+}
+
+// Ascend walks entries in key order.
+func (p *Partition) Ascend(fn func(e sample.Entry) bool) {
+	p.tree.Ascend(func(_ uint64, idx int32) bool { return fn(p.entries[idx]) })
+}
+
+// CheckInvariants verifies the underlying tree.
+func (p *Partition) CheckInvariants() (bool, string) { return p.tree.CheckInvariants() }
+
+// entryBytes is the wire size of one serialized entry: the two 64-bit
+// words of the packed format — the same 16 bytes/sample the paper's
+// memory-budget argument uses.
+const entryBytes = 16
+
+// Serialize encodes the partition's entries (in key order, V bits cleared:
+// cache state is local and must not replicate).
+func (p *Partition) Serialize() []byte {
+	out := make([]byte, 0, len(p.entries)*entryBytes)
+	var w [entryBytes]byte
+	p.Ascend(func(e sample.Entry) bool {
+		e = e.WithV(false)
+		binary.LittleEndian.PutUint64(w[0:8], e.W0)
+		binary.LittleEndian.PutUint64(w[8:16], e.W1)
+		out = append(out, w[:]...)
+		return true
+	})
+	return out
+}
+
+// ErrCorruptBlob reports a malformed serialized partition.
+var ErrCorruptBlob = errors.New("directory: corrupt partition blob")
+
+// DeserializePartition rebuilds a partition from Serialize output.
+func DeserializePartition(nid uint16, blob []byte) (*Partition, error) {
+	if len(blob)%entryBytes != 0 {
+		return nil, ErrCorruptBlob
+	}
+	p := NewPartition(nid)
+	for off := 0; off < len(blob); off += entryBytes {
+		e := sample.Entry{
+			W0: binary.LittleEndian.Uint64(blob[off : off+8]),
+			W1: binary.LittleEndian.Uint64(blob[off+8 : off+16]),
+		}
+		if e.NID() != nid {
+			return nil, fmt.Errorf("%w: entry for node %d in blob of node %d", ErrCorruptBlob, e.NID(), nid)
+		}
+		if err := p.Add(e); err != nil {
+			return nil, err
+		}
+	}
+	return p, nil
+}
+
+// Directory is the full replicated directory: one partition per storage
+// node. Each compute node holds its own Directory value.
+type Directory struct {
+	parts []*Partition
+}
+
+// New assembles a directory from per-node partitions; parts[i] must belong
+// to node i.
+func New(parts []*Partition) (*Directory, error) {
+	for i, p := range parts {
+		if p == nil {
+			return nil, fmt.Errorf("directory: missing partition %d", i)
+		}
+		if int(p.nid) != i {
+			return nil, fmt.Errorf("directory: partition %d has nid %d", i, p.nid)
+		}
+	}
+	return &Directory{parts: parts}, nil
+}
+
+// FromBlobs assembles a directory from allgathered serialized partitions.
+func FromBlobs(blobs [][]byte) (*Directory, error) {
+	parts := make([]*Partition, len(blobs))
+	for i, b := range blobs {
+		p, err := DeserializePartition(uint16(i), b)
+		if err != nil {
+			return nil, err
+		}
+		parts[i] = p
+	}
+	return New(parts)
+}
+
+// NumNodes reports the number of partitions.
+func (d *Directory) NumNodes() int { return len(d.parts) }
+
+// NumSamples reports the total entry count.
+func (d *Directory) NumSamples() int {
+	total := 0
+	for _, p := range d.parts {
+		total += p.Len()
+	}
+	return total
+}
+
+// Partition returns node nid's tree.
+func (d *Directory) Partition(nid uint16) *Partition { return d.parts[nid] }
+
+// Lookup resolves a key: it computes the home node and searches only that
+// node's tree. depth is the number of tree nodes visited.
+func (d *Directory) Lookup(key uint64) (e sample.Entry, ref EntryRef, depth int, ok bool) {
+	nid := HomeNode(key, len(d.parts))
+	return d.parts[nid].Lookup(key)
+}
+
+// LookupName resolves a sample by name and attributes.
+func (d *Directory) LookupName(name string, attrs ...string) (sample.Entry, EntryRef, int, bool) {
+	return d.Lookup(sample.KeyOf(name, attrs...))
+}
+
+// LookupAny resolves a key that may live outside its hash-home partition —
+// batched-file entries are placed on the node that stores the file, not
+// where the name hashes. The home partition is probed first, then the
+// rest; depth accumulates across all probed trees.
+func (d *Directory) LookupAny(key uint64) (e sample.Entry, ref EntryRef, depth int, ok bool) {
+	home := HomeNode(key, len(d.parts))
+	e, ref, depth, ok = d.parts[home].Lookup(key)
+	if ok {
+		return e, ref, depth, true
+	}
+	for nid := range d.parts {
+		if uint16(nid) == home {
+			continue
+		}
+		var dd int
+		e, ref, dd, ok = d.parts[nid].Lookup(key)
+		depth += dd
+		if ok {
+			return e, ref, depth, true
+		}
+	}
+	return sample.Entry{}, EntryRef{}, depth, false
+}
+
+// At dereferences an EntryRef.
+func (d *Directory) At(ref EntryRef) sample.Entry { return d.parts[ref.NID].At(ref.Idx) }
+
+// SetV updates the V bit behind a ref in this replica.
+func (d *Directory) SetV(ref EntryRef, v bool) { d.parts[ref.NID].SetV(ref.Idx, v) }
+
+// Fingerprint digests all entries (V bits masked); identical replicas have
+// identical fingerprints, which mount asserts after the allgather.
+func (d *Directory) Fingerprint() uint64 {
+	var h uint64 = 14695981039346656037 // FNV offset basis
+	for _, p := range d.parts {
+		p.Ascend(func(e sample.Entry) bool {
+			e = e.WithV(false)
+			h = (h ^ e.W0) * 1099511628211
+			h = (h ^ e.W1) * 1099511628211
+			return true
+		})
+	}
+	return h
+}
+
+// MemoryBytes reports the directory's entry memory (16 B per sample), the
+// quantity behind the paper's "0.8 GB for 50 million samples" estimate.
+func (d *Directory) MemoryBytes() int64 { return int64(d.NumSamples()) * entryBytes }

@@ -1,0 +1,357 @@
+package directory
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"dlfs/internal/sample"
+)
+
+func mkEntry(t *testing.T, nid uint16, key uint64, off int64, ln int32) sample.Entry {
+	t.Helper()
+	e, err := sample.NewEntry(nid, key, off, ln)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestHomeNodeInRangeAndBalanced(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 7, 16} {
+		counts := make([]int, n)
+		for i := 0; i < 16000; i++ {
+			key := sample.KeyOf(fmt.Sprintf("s%d", i))
+			nid := HomeNode(key, n)
+			if int(nid) >= n {
+				t.Fatalf("HomeNode out of range: %d/%d", nid, n)
+			}
+			counts[nid]++
+		}
+		want := 16000 / n
+		for nid, c := range counts {
+			if c < want/2 || c > want*2 {
+				t.Fatalf("n=%d node %d has %d of 16000 (want ~%d)", n, nid, c, want)
+			}
+		}
+	}
+}
+
+func TestHomeNodePanicsOnZeroNodes(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	HomeNode(1, 0)
+}
+
+func TestPartitionAddLookup(t *testing.T) {
+	p := NewPartition(3)
+	for i := 0; i < 100; i++ {
+		if err := p.Add(mkEntry(t, 3, uint64(i*17+1), int64(i)*4096, 512)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if p.Len() != 100 || p.NID() != 3 {
+		t.Fatal("len/nid")
+	}
+	e, ref, depth, ok := p.Lookup(17 + 1)
+	if !ok || e.Offset() != 4096 || depth < 1 {
+		t.Fatalf("lookup: %v ok=%v depth=%d", e, ok, depth)
+	}
+	if p.At(ref.Idx) != e {
+		t.Fatal("At(ref) mismatch")
+	}
+	if _, _, _, ok := p.Lookup(999999); ok {
+		t.Fatal("found absent key")
+	}
+	if ok, why := p.CheckInvariants(); !ok {
+		t.Fatal(why)
+	}
+}
+
+func TestPartitionRejectsForeignEntry(t *testing.T) {
+	p := NewPartition(1)
+	if err := p.Add(mkEntry(t, 2, 5, 0, 1)); err == nil {
+		t.Fatal("foreign NID accepted")
+	}
+}
+
+func TestPartitionRejectsDuplicateKey(t *testing.T) {
+	p := NewPartition(0)
+	if err := p.Add(mkEntry(t, 0, 5, 0, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Add(mkEntry(t, 0, 5, 100, 1)); !errors.Is(err, ErrDuplicateKey) {
+		t.Fatalf("duplicate: %v", err)
+	}
+}
+
+func TestSetV(t *testing.T) {
+	p := NewPartition(0)
+	p.Add(mkEntry(t, 0, 5, 0, 1)) //nolint:errcheck
+	_, ref, _, _ := p.Lookup(5)
+	p.SetV(ref.Idx, true)
+	e, _, _, _ := p.Lookup(5)
+	if !e.V() {
+		t.Fatal("V not set")
+	}
+	p.SetV(ref.Idx, false)
+	e, _, _, _ = p.Lookup(5)
+	if e.V() {
+		t.Fatal("V not cleared")
+	}
+}
+
+func TestSelectAscendOrder(t *testing.T) {
+	p := NewPartition(0)
+	keys := []uint64{50, 10, 30}
+	for _, k := range keys {
+		p.Add(mkEntry(t, 0, k, int64(k), 1)) //nolint:errcheck
+	}
+	want := []uint64{10, 30, 50}
+	for i, w := range want {
+		e, ok := p.Select(i)
+		if !ok || e.Key() != w {
+			t.Fatalf("Select(%d) = %v,%v", i, e, ok)
+		}
+	}
+	if _, ok := p.Select(3); ok {
+		t.Fatal("Select past end")
+	}
+	var got []uint64
+	p.Ascend(func(e sample.Entry) bool { got = append(got, e.Key()); return true })
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Ascend order %v", got)
+		}
+	}
+}
+
+func TestSerializeRoundTrip(t *testing.T) {
+	p := NewPartition(2)
+	for i := 0; i < 500; i++ {
+		p.Add(mkEntry(t, 2, uint64(i)*3+1, int64(i)*100, int32(i%1000+1))) //nolint:errcheck
+	}
+	// Set a V bit; it must not survive serialization.
+	_, ref, _, _ := p.Lookup(4)
+	p.SetV(ref.Idx, true)
+
+	blob := p.Serialize()
+	if len(blob) != 500*16 {
+		t.Fatalf("blob size %d", len(blob))
+	}
+	q, err := DeserializePartition(2, blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Len() != 500 {
+		t.Fatalf("deserialized %d entries", q.Len())
+	}
+	p.Ascend(func(e sample.Entry) bool {
+		ge, _, _, ok := q.Lookup(e.Key())
+		if !ok || ge.Offset() != e.Offset() || ge.Len() != e.Len() || ge.V() {
+			t.Fatalf("entry %v round trip -> %v ok=%v", e, ge, ok)
+		}
+		return true
+	})
+}
+
+func TestDeserializeErrors(t *testing.T) {
+	if _, err := DeserializePartition(0, []byte{1, 2, 3}); !errors.Is(err, ErrCorruptBlob) {
+		t.Fatalf("short blob: %v", err)
+	}
+	p := NewPartition(1)
+	p.Add(mkEntry(t, 1, 5, 0, 1)) //nolint:errcheck
+	blob := p.Serialize()
+	if _, err := DeserializePartition(0, blob); !errors.Is(err, ErrCorruptBlob) {
+		t.Fatalf("wrong nid: %v", err)
+	}
+}
+
+func buildDirectory(t *testing.T, nodes, samplesPerNode int) *Directory {
+	t.Helper()
+	parts := make([]*Partition, nodes)
+	for nid := range parts {
+		parts[nid] = NewPartition(uint16(nid))
+	}
+	count := 0
+	i := 0
+	for count < nodes*samplesPerNode {
+		key := sample.KeyOf(fmt.Sprintf("img%06d", i))
+		i++
+		nid := HomeNode(key, nodes)
+		if parts[nid].Len() >= samplesPerNode {
+			continue
+		}
+		if err := parts[nid].Add(mkEntry(t, nid, key, int64(count)*4096, 2048)); err != nil {
+			continue // rare key collision: skip
+		}
+		count++
+	}
+	d, err := New(parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestDirectoryLookup(t *testing.T) {
+	d := buildDirectory(t, 4, 50)
+	if d.NumNodes() != 4 || d.NumSamples() != 200 {
+		t.Fatalf("nodes=%d samples=%d", d.NumNodes(), d.NumSamples())
+	}
+	found := 0
+	for i := 0; i < 2000 && found < 100; i++ {
+		key := sample.KeyOf(fmt.Sprintf("img%06d", i))
+		e, ref, depth, ok := d.Lookup(key)
+		if !ok {
+			continue
+		}
+		found++
+		if e.Key() != key || depth < 1 {
+			t.Fatalf("lookup returned %v depth %d", e, depth)
+		}
+		if d.At(ref) != e {
+			t.Fatal("At(ref)")
+		}
+		if HomeNode(key, 4) != e.NID() {
+			t.Fatal("entry on wrong home node")
+		}
+	}
+	if found == 0 {
+		t.Fatal("no lookups succeeded")
+	}
+}
+
+func TestLookupName(t *testing.T) {
+	parts := []*Partition{NewPartition(0)}
+	key := sample.KeyOf("a/b.jpg", "class3")
+	parts[0].Add(mkEntry(t, 0, key, 10, 20)) //nolint:errcheck
+	d, _ := New(parts)
+	e, _, _, ok := d.LookupName("a/b.jpg", "class3")
+	if !ok || e.Offset() != 10 {
+		t.Fatalf("LookupName: %v %v", e, ok)
+	}
+	if _, _, _, ok := d.LookupName("a/b.jpg"); ok {
+		t.Fatal("wrong attrs should miss")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New([]*Partition{nil}); err == nil {
+		t.Fatal("nil partition accepted")
+	}
+	if _, err := New([]*Partition{NewPartition(1)}); err == nil {
+		t.Fatal("misindexed partition accepted")
+	}
+}
+
+func TestFromBlobsAndFingerprint(t *testing.T) {
+	d := buildDirectory(t, 3, 40)
+	blobs := make([][]byte, 3)
+	for i := 0; i < 3; i++ {
+		blobs[i] = d.Partition(uint16(i)).Serialize()
+	}
+	replica, err := FromBlobs(blobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replica.NumSamples() != d.NumSamples() {
+		t.Fatal("replica sample count")
+	}
+	if replica.Fingerprint() != d.Fingerprint() {
+		t.Fatal("replica fingerprint differs")
+	}
+	// V-bit changes do not alter the fingerprint (local state).
+	_, ref, _, ok := d.Lookup(d.Partition(0).mustFirstKey())
+	if ok {
+		d.SetV(ref, true)
+		if replica.Fingerprint() != d.Fingerprint() {
+			t.Fatal("V bit leaked into fingerprint")
+		}
+	}
+}
+
+// mustFirstKey exposes the smallest key for tests.
+func (p *Partition) mustFirstKey() uint64 {
+	var k uint64
+	p.Ascend(func(e sample.Entry) bool { k = e.Key(); return false })
+	return k
+}
+
+func TestMemoryBytes(t *testing.T) {
+	d := buildDirectory(t, 2, 25)
+	if d.MemoryBytes() != 50*16 {
+		t.Fatalf("MemoryBytes = %d", d.MemoryBytes())
+	}
+}
+
+// Property: allgather of disjoint shards equals the union — every entry
+// added to any partition is found in the directory rebuilt from blobs.
+func TestGatherUnionProperty(t *testing.T) {
+	f := func(keysRaw []uint32, nodesRaw uint8) bool {
+		nodes := int(nodesRaw%8) + 1
+		parts := make([]*Partition, nodes)
+		for i := range parts {
+			parts[i] = NewPartition(uint16(i))
+		}
+		inserted := map[uint64]bool{}
+		for _, kr := range keysRaw {
+			key := uint64(kr)
+			if inserted[key] {
+				continue
+			}
+			nid := HomeNode(key, nodes)
+			e, err := sample.NewEntry(nid, key, int64(kr%1000)*512, 512)
+			if err != nil {
+				return false
+			}
+			if parts[nid].Add(e) != nil {
+				return false
+			}
+			inserted[key] = true
+		}
+		blobs := make([][]byte, nodes)
+		for i, p := range parts {
+			blobs[i] = p.Serialize()
+		}
+		d, err := FromBlobs(blobs)
+		if err != nil {
+			return false
+		}
+		if d.NumSamples() != len(inserted) {
+			return false
+		}
+		for key := range inserted {
+			if _, _, _, ok := d.Lookup(key); !ok {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLookupAnyFindsOffHomeEntries(t *testing.T) {
+	parts := []*Partition{NewPartition(0), NewPartition(1)}
+	// Place an entry deliberately on the wrong node (a batched-file entry).
+	key := sample.KeyOf("parts/file-0.rec")
+	wrong := 1 - HomeNode(key, 2)
+	parts[wrong].Add(mkEntry(t, wrong, key, 100, 200)) //nolint:errcheck
+	d, _ := New(parts)
+	if _, _, _, ok := d.Lookup(key); ok {
+		t.Fatal("home-only Lookup should miss an off-home entry")
+	}
+	e, _, depth, ok := d.LookupAny(key)
+	if !ok || e.Offset() != 100 || depth < 1 {
+		t.Fatalf("LookupAny: %v ok=%v depth=%d", e, ok, depth)
+	}
+	if _, _, _, ok := d.LookupAny(key + 1); ok {
+		t.Fatal("LookupAny found absent key")
+	}
+}

@@ -1,0 +1,69 @@
+package dnn
+
+import "math/rand"
+
+// BufferShuffle reproduces TensorFlow's bounded shuffle buffer over a
+// sequentially read TFRecord stream — the scheme the paper's motivation
+// (§II-B) criticises: "if the size of the shuffle buffer is not large
+// enough, the learner only obtains partially shuffled samples, which
+// reduces the training accuracy."
+//
+// Semantics follow tf.data.Dataset.shuffle(buffer_size): the buffer is
+// filled from the sequential stream; each emission picks a uniformly
+// random element of the buffer and refills from the stream. With
+// Buffer >= n it degenerates to a full shuffle; with Buffer == 1 it is no
+// shuffle at all.
+type BufferShuffle struct {
+	Seed   int64
+	Buffer int
+}
+
+// Order implements Shuffler.
+func (b BufferShuffle) Order(epoch, n int) []int {
+	size := b.Buffer
+	if size < 1 {
+		size = 1
+	}
+	rng := rand.New(rand.NewSource(b.Seed + int64(epoch)*2_654_435_761))
+	buf := make([]int, 0, size)
+	next := 0
+	out := make([]int, 0, n)
+	for next < n && len(buf) < size {
+		buf = append(buf, next)
+		next++
+	}
+	for len(buf) > 0 {
+		k := rng.Intn(len(buf))
+		out = append(out, buf[k])
+		if next < n {
+			buf[k] = next
+			next++
+		} else {
+			buf[k] = buf[len(buf)-1]
+			buf = buf[:len(buf)-1]
+		}
+	}
+	return out
+}
+
+// Name implements Shuffler.
+func (BufferShuffle) Name() string { return "TF-shuffle-buffer" }
+
+// Displacement measures how far, on average, each emitted position is
+// from the sample's position in the sequential stream — a direct measure
+// of shuffling quality. A full shuffle of n samples averages ≈ n/3; a
+// buffer of size k cannot displace a sample forward by more than ~k.
+func Displacement(order []int) float64 {
+	if len(order) == 0 {
+		return 0
+	}
+	var total float64
+	for pos, idx := range order {
+		d := pos - idx
+		if d < 0 {
+			d = -d
+		}
+		total += float64(d)
+	}
+	return total / float64(len(order))
+}

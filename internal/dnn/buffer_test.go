@@ -1,0 +1,107 @@
+package dnn
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBufferShuffleIsPermutation(t *testing.T) {
+	f := func(nRaw uint16, bufRaw uint8, seed int64) bool {
+		n := int(nRaw % 3000)
+		buf := int(bufRaw) + 1
+		ord := BufferShuffle{Seed: seed, Buffer: buf}.Order(0, n)
+		if len(ord) != n {
+			return false
+		}
+		seen := make([]bool, n)
+		for _, i := range ord {
+			if i < 0 || i >= n || seen[i] {
+				return false
+			}
+			seen[i] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBufferOneIsSequential(t *testing.T) {
+	ord := BufferShuffle{Seed: 1, Buffer: 1}.Order(0, 100)
+	for i, v := range ord {
+		if v != i {
+			t.Fatalf("buffer=1 order not sequential at %d", i)
+		}
+	}
+}
+
+func TestDisplacementBoundedByBuffer(t *testing.T) {
+	// A small buffer cannot pull samples forward more than ~buffer slots:
+	// the emitted sample at position p always comes from stream positions
+	// <= p + buffer.
+	const n, buf = 5000, 64
+	ord := BufferShuffle{Seed: 2, Buffer: buf}.Order(0, n)
+	for pos, idx := range ord {
+		if idx > pos+buf {
+			t.Fatalf("position %d emitted stream index %d (> pos+buffer)", pos, idx)
+		}
+	}
+	small := Displacement(ord)
+	full := Displacement(FullRand{Seed: 2}.Order(0, n))
+	if small*10 > full {
+		t.Fatalf("buffer shuffle displacement %.0f not ≪ full shuffle %.0f", small, full)
+	}
+}
+
+func TestDisplacementFullBufferMatchesFullShuffle(t *testing.T) {
+	const n = 4000
+	big := Displacement(BufferShuffle{Seed: 3, Buffer: n}.Order(0, n))
+	full := Displacement(FullRand{Seed: 3}.Order(0, n))
+	// Both should be near the n/3 expectation for a uniform permutation.
+	lo, hi := float64(n)/3*0.8, float64(n)/3*1.2
+	if big < lo || big > hi || full < lo || full > hi {
+		t.Fatalf("displacements big=%.0f full=%.0f, want ≈%d", big, full, n/3)
+	}
+}
+
+// The paper's §II-B claim as a test: with class-clustered data (the
+// pathological but common case for batched formats), a small shuffle
+// buffer trains measurably worse than full shuffling, while DLFS's
+// chunk-randomised order keeps up with full shuffling.
+func TestSmallShuffleBufferHurtsAccuracy(t *testing.T) {
+	d := SyntheticClusters(41, 2000, 8, 10, 1.0)
+	// Sort training data by class: TFRecord files are typically written
+	// per class or per shard, so a sequential read is class-ordered.
+	cut := 1600
+	train := &Data{Classes: d.Classes}
+	for c := 0; c < d.Classes; c++ {
+		for i := 0; i < cut; i++ {
+			if d.Y[i] == c {
+				train.X = append(train.X, d.X[i])
+				train.Y = append(train.Y, d.Y[i])
+			}
+		}
+	}
+	val := &Data{X: d.X[cut:], Y: d.Y[cut:], Classes: d.Classes}
+	// High LR + few epochs: the regime where class-ordered batches cause
+	// catastrophic forgetting before the learner can average it out.
+	cfg := TrainConfig{Epochs: 10, BatchSize: 32, LR: 0.05, Hidden: 24, Seed: 6}
+
+	full := Train(train, val, FullRand{Seed: 7}, cfg)
+	tiny := Train(train, val, BufferShuffle{Seed: 7, Buffer: 32}, cfg)
+	fullAcc := mean(full[len(full)-3:])
+	tinyAcc := mean(tiny[len(tiny)-3:])
+	if fullAcc-tinyAcc < 0.02 {
+		t.Fatalf("32-sample shuffle buffer (%.3f) not measurably worse than full shuffle (%.3f) on class-ordered data", tinyAcc, fullAcc)
+	}
+}
+
+func TestNameAndDisplacementEmpty(t *testing.T) {
+	if (BufferShuffle{}).Name() != "TF-shuffle-buffer" {
+		t.Fatal("name")
+	}
+	if Displacement(nil) != 0 {
+		t.Fatal("empty displacement")
+	}
+}

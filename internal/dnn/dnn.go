@@ -1,0 +1,302 @@
+// Package dnn implements a small feed-forward neural network trained with
+// mini-batch SGD, used to reproduce the paper's training-accuracy
+// experiment (Fig 13): does letting DLFS determine the sample order — the
+// chunk-randomised order of §III-D2 — change the accuracy trajectory
+// compared to application-driven full randomisation?
+//
+// The paper trains AlexNet on ImageNet/CIFAR10; that is a GPU-cluster
+// workload. The claim under test, though, is purely about the *order* of
+// SGD samples, so a real learner on a synthetic classification task
+// exercises it faithfully: both runs see exactly the same model, data and
+// hyperparameters and differ only in the per-epoch sample order.
+package dnn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Data is a labelled dataset for the learner.
+type Data struct {
+	X       [][]float64
+	Y       []int
+	Classes int
+}
+
+// Len returns the number of examples.
+func (d *Data) Len() int { return len(d.X) }
+
+// SyntheticClusters generates a k-class Gaussian-cluster classification
+// problem in dim dimensions: class c's examples are drawn around a random
+// center with unit-ish noise. Deterministic per seed.
+func SyntheticClusters(seed int64, n, dim, k int, noise float64) *Data {
+	rng := rand.New(rand.NewSource(seed))
+	centers := make([][]float64, k)
+	for c := range centers {
+		centers[c] = make([]float64, dim)
+		for j := range centers[c] {
+			centers[c][j] = rng.NormFloat64() * 2
+		}
+	}
+	d := &Data{Classes: k}
+	for i := 0; i < n; i++ {
+		c := rng.Intn(k)
+		x := make([]float64, dim)
+		for j := range x {
+			x[j] = centers[c][j] + rng.NormFloat64()*noise
+		}
+		d.X = append(d.X, x)
+		d.Y = append(d.Y, c)
+	}
+	return d
+}
+
+// Net is a two-layer perceptron: in → hidden (ReLU) → classes (softmax).
+type Net struct {
+	in, hidden, out int
+	w1              [][]float64 // hidden × in
+	b1              []float64
+	w2              [][]float64 // out × hidden
+	b2              []float64
+}
+
+// NewNet initialises a network with seeded Xavier-style weights.
+func NewNet(seed int64, in, hidden, out int) *Net {
+	rng := rand.New(rand.NewSource(seed))
+	n := &Net{in: in, hidden: hidden, out: out}
+	scale1 := math.Sqrt(2.0 / float64(in))
+	scale2 := math.Sqrt(2.0 / float64(hidden))
+	n.w1 = randMat(rng, hidden, in, scale1)
+	n.b1 = make([]float64, hidden)
+	n.w2 = randMat(rng, out, hidden, scale2)
+	n.b2 = make([]float64, out)
+	return n
+}
+
+func randMat(rng *rand.Rand, rows, cols int, scale float64) [][]float64 {
+	m := make([][]float64, rows)
+	for i := range m {
+		m[i] = make([]float64, cols)
+		for j := range m[i] {
+			m[i][j] = rng.NormFloat64() * scale
+		}
+	}
+	return m
+}
+
+// forward computes hidden activations and output probabilities.
+func (n *Net) forward(x []float64) (h, probs []float64) {
+	h = make([]float64, n.hidden)
+	for i := range h {
+		s := n.b1[i]
+		for j, xj := range x {
+			s += n.w1[i][j] * xj
+		}
+		if s > 0 {
+			h[i] = s
+		}
+	}
+	logits := make([]float64, n.out)
+	maxL := math.Inf(-1)
+	for i := range logits {
+		s := n.b2[i]
+		for j, hj := range h {
+			s += n.w2[i][j] * hj
+		}
+		logits[i] = s
+		if s > maxL {
+			maxL = s
+		}
+	}
+	probs = make([]float64, n.out)
+	var sum float64
+	for i, l := range logits {
+		probs[i] = math.Exp(l - maxL)
+		sum += probs[i]
+	}
+	for i := range probs {
+		probs[i] /= sum
+	}
+	return h, probs
+}
+
+// Predict returns the argmax class for x.
+func (n *Net) Predict(x []float64) int {
+	_, probs := n.forward(x)
+	best := 0
+	for i, p := range probs {
+		if p > probs[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// Accuracy evaluates classification accuracy on d.
+func (n *Net) Accuracy(d *Data) float64 {
+	if d.Len() == 0 {
+		return 0
+	}
+	correct := 0
+	for i := range d.X {
+		if n.Predict(d.X[i]) == d.Y[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(d.Len())
+}
+
+// Loss evaluates mean cross-entropy on d.
+func (n *Net) Loss(d *Data) float64 {
+	if d.Len() == 0 {
+		return 0
+	}
+	var total float64
+	for i := range d.X {
+		_, probs := n.forward(d.X[i])
+		p := probs[d.Y[i]]
+		if p < 1e-12 {
+			p = 1e-12
+		}
+		total += -math.Log(p)
+	}
+	return total / float64(d.Len())
+}
+
+// TrainBatch performs one SGD step on the given examples of d with
+// learning rate lr (gradients averaged across the batch).
+func (n *Net) TrainBatch(d *Data, batch []int, lr float64) {
+	if len(batch) == 0 {
+		return
+	}
+	gw1 := zeros(n.hidden, n.in)
+	gb1 := make([]float64, n.hidden)
+	gw2 := zeros(n.out, n.hidden)
+	gb2 := make([]float64, n.out)
+	for _, idx := range batch {
+		x := d.X[idx]
+		h, probs := n.forward(x)
+		// dL/dlogit = p - onehot
+		dlogit := make([]float64, n.out)
+		copy(dlogit, probs)
+		dlogit[d.Y[idx]] -= 1
+		for i := 0; i < n.out; i++ {
+			gb2[i] += dlogit[i]
+			for j := 0; j < n.hidden; j++ {
+				gw2[i][j] += dlogit[i] * h[j]
+			}
+		}
+		// Backprop into hidden (ReLU mask).
+		for j := 0; j < n.hidden; j++ {
+			if h[j] <= 0 {
+				continue
+			}
+			var dh float64
+			for i := 0; i < n.out; i++ {
+				dh += dlogit[i] * n.w2[i][j]
+			}
+			gb1[j] += dh
+			for k2 := 0; k2 < n.in; k2++ {
+				gw1[j][k2] += dh * x[k2]
+			}
+		}
+	}
+	scale := lr / float64(len(batch))
+	for i := range n.w1 {
+		n.b1[i] -= scale * gb1[i]
+		for j := range n.w1[i] {
+			n.w1[i][j] -= scale * gw1[i][j]
+		}
+	}
+	for i := range n.w2 {
+		n.b2[i] -= scale * gb2[i]
+		for j := range n.w2[i] {
+			n.w2[i][j] -= scale * gw2[i][j]
+		}
+	}
+}
+
+func zeros(rows, cols int) [][]float64 {
+	m := make([][]float64, rows)
+	for i := range m {
+		m[i] = make([]float64, cols)
+	}
+	return m
+}
+
+// Shuffler produces the per-epoch sample order — the quantity Fig 13
+// varies between application-driven and DLFS-driven randomisation.
+type Shuffler interface {
+	Order(epoch int, n int) []int
+	Name() string
+}
+
+// FullRand is application-driven full randomisation: an independent
+// uniform permutation every epoch.
+type FullRand struct{ Seed int64 }
+
+// Order implements Shuffler.
+func (f FullRand) Order(epoch, n int) []int {
+	return rand.New(rand.NewSource(f.Seed + int64(epoch)*1_000_003)).Perm(n)
+}
+
+// Name implements Shuffler.
+func (FullRand) Name() string { return "Full_Rand" }
+
+// FixedOrder replays the identity order every epoch: the degenerate
+// no-shuffling case, included as the ablation that *should* hurt.
+type FixedOrder struct{}
+
+// Order implements Shuffler.
+func (FixedOrder) Order(_, n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// Name implements Shuffler.
+func (FixedOrder) Name() string { return "Fixed" }
+
+// TrainConfig parameterises Train.
+type TrainConfig struct {
+	Epochs    int
+	BatchSize int
+	LR        float64
+	Hidden    int
+	Seed      int64 // network init seed (identical across compared runs)
+}
+
+// DefaultTrainConfig returns a configuration that converges on the
+// synthetic task in a few dozen epochs.
+func DefaultTrainConfig() TrainConfig {
+	return TrainConfig{Epochs: 50, BatchSize: 32, LR: 0.05, Hidden: 32, Seed: 1}
+}
+
+// Train runs SGD on train, evaluating on val after every epoch, with the
+// sample order of each epoch supplied by sh. It returns per-epoch
+// validation accuracies.
+func Train(train, val *Data, sh Shuffler, cfg TrainConfig) []float64 {
+	if train.Len() == 0 {
+		return nil
+	}
+	net := NewNet(cfg.Seed, len(train.X[0]), cfg.Hidden, train.Classes)
+	accs := make([]float64, 0, cfg.Epochs)
+	for ep := 0; ep < cfg.Epochs; ep++ {
+		order := sh.Order(ep, train.Len())
+		if len(order) != train.Len() {
+			panic(fmt.Sprintf("dnn: shuffler %s returned %d of %d indices", sh.Name(), len(order), train.Len()))
+		}
+		for lo := 0; lo < len(order); lo += cfg.BatchSize {
+			hi := lo + cfg.BatchSize
+			if hi > len(order) {
+				hi = len(order)
+			}
+			net.TrainBatch(train, order[lo:hi], cfg.LR)
+		}
+		accs = append(accs, net.Accuracy(val))
+	}
+	return accs
+}

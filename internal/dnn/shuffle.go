@@ -1,0 +1,47 @@
+package dnn
+
+import (
+	"fmt"
+
+	"dlfs/internal/plan"
+)
+
+// DLFSOrder is DLFS-driven randomisation: every epoch's order is the
+// chunk-level emission order the DLFS copy threads produce (§III-D2) —
+// random interleaving across data chunks, sequential within a chunk. It
+// is exactly the order the core file system delivers, derived from the
+// same planner.
+type DLFSOrder struct {
+	Plan *plan.ChunkPlan
+	Seed int64
+}
+
+// NewDLFSOrder builds the chunk plan for a dataset whose samples have the
+// given sizes, laid out across nodes as dlfs_mount would, and returns the
+// shuffler.
+func NewDLFSOrder(seed int64, sizes []int, nodes int, chunkSize int64) (DLFSOrder, error) {
+	if nodes <= 0 {
+		nodes = 1
+	}
+	layout := plan.SequentialLayout(sizes, func(i int) int { return i % nodes }, nodes, chunkSize)
+	cp, err := plan.BuildChunkPlan(layout)
+	if err != nil {
+		return DLFSOrder{}, err
+	}
+	if cp.NumSamples() != len(sizes) {
+		return DLFSOrder{}, fmt.Errorf("dnn: chunk plan covers %d of %d samples", cp.NumSamples(), len(sizes))
+	}
+	return DLFSOrder{Plan: cp, Seed: seed}, nil
+}
+
+// Order implements Shuffler.
+func (d DLFSOrder) Order(epoch, n int) []int {
+	ord := d.Plan.EmissionOrder(d.Seed + int64(epoch)*7_368_787)
+	if len(ord) != n {
+		panic(fmt.Sprintf("dnn: DLFS order covers %d of %d samples", len(ord), n))
+	}
+	return ord
+}
+
+// Name implements Shuffler.
+func (DLFSOrder) Name() string { return "DLFS" }

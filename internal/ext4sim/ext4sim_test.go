@@ -1,0 +1,316 @@
+package ext4sim
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"dlfs/internal/dataset"
+	"dlfs/internal/nvme"
+	"dlfs/internal/sim"
+)
+
+func newFS(e *sim.Engine, cfg Config) *FS {
+	dev := nvme.NewDevice(e, nvme.OptaneSpec())
+	return New(e, dev, cfg)
+}
+
+func TestReadBackContents(t *testing.T) {
+	e := sim.NewEngine()
+	fs := newFS(e, Config{})
+	cpu := sim.NewServer(e, "cpu", 1)
+	ds := dataset.Generate(dataset.Config{Label: "e", Seed: 1, NumSamples: 20, Dist: dataset.IMDBDist()})
+	for i := 0; i < ds.Len(); i++ {
+		if err := fs.CreateFile(ds.Samples[i].Name, ds.Content(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if fs.NumFiles() != 20 {
+		t.Fatal("file count")
+	}
+	e.Go("reader", func(p *sim.Proc) {
+		for i := 0; i < ds.Len(); i++ {
+			buf := make([]byte, ds.Samples[i].Size)
+			n, err := fs.ReadFile(p, cpu, ds.Samples[i].Name, buf)
+			if err != nil || n != ds.Samples[i].Size {
+				t.Errorf("ReadFile %d: n=%d err=%v", i, n, err)
+				return
+			}
+			if dataset.ChecksumBytes(buf) != ds.Checksum(i) {
+				t.Errorf("sample %d corrupt through kernel path", i)
+			}
+		}
+	})
+	e.RunAll()
+	if e.Now() == 0 {
+		t.Fatal("kernel path cost no time")
+	}
+}
+
+func TestOpenErrors(t *testing.T) {
+	e := sim.NewEngine()
+	fs := newFS(e, Config{})
+	cpu := sim.NewServer(e, "cpu", 1)
+	e.Go("r", func(p *sim.Proc) {
+		if _, err := fs.Open(p, cpu, "missing"); !errors.Is(err, ErrNotFound) {
+			t.Errorf("open missing: %v", err)
+		}
+	})
+	e.RunAll()
+	if cpu.InUse() != 0 {
+		t.Fatal("core leaked on error path")
+	}
+}
+
+func TestDoubleCreateFails(t *testing.T) {
+	e := sim.NewEngine()
+	fs := newFS(e, Config{})
+	if err := fs.CreateFile("a", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.CreateFile("a", []byte("y")); err == nil {
+		t.Fatal("duplicate create accepted")
+	}
+}
+
+func TestClosedHandleRejected(t *testing.T) {
+	e := sim.NewEngine()
+	fs := newFS(e, Config{})
+	cpu := sim.NewServer(e, "cpu", 1)
+	fs.CreateFile("a", make([]byte, 100)) //nolint:errcheck
+	e.Go("r", func(p *sim.Proc) {
+		f, err := fs.Open(p, cpu, "a")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if err := fs.Close(p, cpu, f); err != nil {
+			t.Error(err)
+		}
+		if _, err := fs.Read(p, cpu, f, make([]byte, 10), 0); !errors.Is(err, ErrClosed) {
+			t.Errorf("read after close: %v", err)
+		}
+		if err := fs.Close(p, cpu, f); !errors.Is(err, ErrClosed) {
+			t.Errorf("double close: %v", err)
+		}
+	})
+	e.RunAll()
+}
+
+func TestShortReadAtEOF(t *testing.T) {
+	e := sim.NewEngine()
+	fs := newFS(e, Config{})
+	cpu := sim.NewServer(e, "cpu", 1)
+	fs.CreateFile("a", []byte("0123456789")) //nolint:errcheck
+	e.Go("r", func(p *sim.Proc) {
+		f, _ := fs.Open(p, cpu, "a")
+		buf := make([]byte, 20)
+		n, err := fs.Read(p, cpu, f, buf, 5)
+		if err != nil || n != 5 || string(buf[:n]) != "56789" {
+			t.Errorf("short read: n=%d err=%v buf=%q", n, err, buf[:n])
+		}
+		n, err = fs.Read(p, cpu, f, buf, 100)
+		if err != nil || n != 0 {
+			t.Errorf("read past EOF: n=%d err=%v", n, err)
+		}
+	})
+	e.RunAll()
+}
+
+func TestPageCacheHitsAreFasterAndCounted(t *testing.T) {
+	e := sim.NewEngine()
+	fs := newFS(e, Config{})
+	cpu := sim.NewServer(e, "cpu", 1)
+	data := make([]byte, 64<<10)
+	fs.CreateFile("a", data) //nolint:errcheck
+	var cold, warm sim.Time
+	e.Go("r", func(p *sim.Proc) {
+		f, _ := fs.Open(p, cpu, "a")
+		buf := make([]byte, len(data))
+		start := p.Now()
+		fs.Read(p, cpu, f, buf, 0) //nolint:errcheck
+		cold = p.Now() - start
+		start = p.Now()
+		fs.Read(p, cpu, f, buf, 0) //nolint:errcheck
+		warm = p.Now() - start
+	})
+	e.RunAll()
+	if warm*3 >= cold {
+		t.Fatalf("warm read %v not ≫ faster than cold %v", warm, cold)
+	}
+	_, _, hits, misses, _ := fs.Stats()
+	if misses != 16 || hits != 16 {
+		t.Fatalf("page hits=%d misses=%d, want 16/16", hits, misses)
+	}
+}
+
+func TestDropCaches(t *testing.T) {
+	e := sim.NewEngine()
+	fs := newFS(e, Config{})
+	cpu := sim.NewServer(e, "cpu", 1)
+	fs.CreateFile("a", make([]byte, 8192)) //nolint:errcheck
+	var afterDrop sim.Time
+	e.Go("r", func(p *sim.Proc) {
+		buf := make([]byte, 8192)
+		fs.ReadFile(p, cpu, "a", buf) //nolint:errcheck
+		fs.DropCaches()
+		start := p.Now()
+		fs.ReadFile(p, cpu, "a", buf) //nolint:errcheck
+		afterDrop = p.Now() - start
+	})
+	e.RunAll()
+	// After dropping, the read must pay device time again (≥ 10µs).
+	if afterDrop < 10_000 {
+		t.Fatalf("read after DropCaches took only %v", afterDrop)
+	}
+}
+
+func TestSmallReadCostEnvelope(t *testing.T) {
+	// A cold 512B open+read+close should land in the 25-60µs the kernel
+	// path costs on real hardware (two device reads: inode + data).
+	e := sim.NewEngine()
+	fs := newFS(e, Config{})
+	cpu := sim.NewServer(e, "cpu", 1)
+	fs.CreateFile("d/s0", make([]byte, 512)) //nolint:errcheck
+	var took sim.Time
+	e.Go("r", func(p *sim.Proc) {
+		buf := make([]byte, 512)
+		start := p.Now()
+		fs.ReadFile(p, cpu, "d/s0", buf) //nolint:errcheck
+		took = p.Now() - start
+	})
+	e.RunAll()
+	if took < 25_000 || took > 60_000 {
+		t.Fatalf("cold 512B sample read = %v, want 25-60µs", took)
+	}
+}
+
+func TestInodeCacheBoundsMisses(t *testing.T) {
+	e := sim.NewEngine()
+	fs := newFS(e, Config{ICacheEntries: 4})
+	cpu := sim.NewServer(e, "cpu", 1)
+	for i := 0; i < 8; i++ {
+		fs.CreateFile(fmt.Sprintf("f%d", i), make([]byte, 100)) //nolint:errcheck
+	}
+	e.Go("r", func(p *sim.Proc) {
+		buf := make([]byte, 100)
+		// Two passes over 8 files with a 4-entry cache: every open misses.
+		for pass := 0; pass < 2; pass++ {
+			for i := 0; i < 8; i++ {
+				fs.ReadFile(p, cpu, fmt.Sprintf("f%d", i), buf) //nolint:errcheck
+			}
+		}
+	})
+	e.RunAll()
+	_, _, _, _, inodeMisses := fs.Stats()
+	if inodeMisses != 16 {
+		t.Fatalf("inode misses = %d, want 16 (thrashing)", inodeMisses)
+	}
+}
+
+func TestMultiThreadScalesUntilDeviceBound(t *testing.T) {
+	// Ext4-MC: more threads on more cores raise throughput (Fig 6) until
+	// the device saturates.
+	run := func(threads int) float64 {
+		e := sim.NewEngine()
+		fs := newFS(e, Config{PageCacheBytes: 1 << 20}) // tiny cache: stay cold
+		const n = 64 << 10
+		const files = 200
+		for i := 0; i < files; i++ {
+			fs.CreateFile(fmt.Sprintf("f%d", i), make([]byte, n)) //nolint:errcheck
+		}
+		cpu := sim.NewServer(e, "cpu", threads)
+		const perThread = 50
+		for th := 0; th < threads; th++ {
+			th := th
+			e.Go("t", func(p *sim.Proc) {
+				buf := make([]byte, n)
+				for i := 0; i < perThread; i++ {
+					fs.ReadFile(p, cpu, fmt.Sprintf("f%d", (th*perThread+i*7)%files), buf) //nolint:errcheck
+				}
+			})
+		}
+		e.RunAll()
+		return float64(threads*perThread) / (float64(e.Now()) / 1e9)
+	}
+	one := run(1)
+	four := run(4)
+	if four < one*1.5 {
+		t.Fatalf("4 threads (%.0f/s) not faster than 1 (%.0f/s)", four, one)
+	}
+}
+
+func TestReadHoldsNoCoreDuringIO(t *testing.T) {
+	// While one thread waits on the device, another thread must be able
+	// to use the single core: the kernel context-switches on I/O wait.
+	e := sim.NewEngine()
+	fs := newFS(e, Config{})
+	cpu := sim.NewServer(e, "cpu", 1)
+	fs.CreateFile("big", make([]byte, 1<<20)) //nolint:errcheck
+	var computeDone sim.Time
+	e.Go("reader", func(p *sim.Proc) {
+		buf := make([]byte, 1<<20)
+		fs.ReadFile(p, cpu, "big", buf) //nolint:errcheck
+	})
+	e.Go("compute", func(p *sim.Proc) {
+		p.Sleep(20_000) // let the reader get into its device wait
+		cpu.Use(p, 50_000)
+		computeDone = p.Now()
+	})
+	e.RunAll()
+	// 1MiB at 2.4GB/s ≈ 440µs of device time; if the reader held the core
+	// throughout, compute would finish near 500µs. It should finish well
+	// before the read's device phase ends.
+	if computeDone > 200_000 {
+		t.Fatalf("compute finished at %v: reader hogged the core during I/O", computeDone)
+	}
+}
+
+func TestReadaheadAcceleratesSequentialReads(t *testing.T) {
+	// A 4 MiB file read in 4 KiB slices: sequentially the readahead turns
+	// ~1000 device trips into ~30; randomly every slice pays a trip.
+	run := func(sequential bool) sim.Time {
+		e := sim.NewEngine()
+		fs := newFS(e, Config{})
+		data := make([]byte, 4<<20)
+		fs.CreateFile("big", data) //nolint:errcheck
+		cpu := sim.NewServer(e, "cpu", 1)
+		e.Go("r", func(p *sim.Proc) {
+			f, _ := fs.Open(p, cpu, "big")
+			buf := make([]byte, 4096)
+			slices := len(data) / 4096
+			for i := 0; i < slices; i++ {
+				pos := i
+				if !sequential {
+					pos = (i * 617) % slices // co-prime stride: random-ish
+				}
+				fs.Read(p, cpu, f, buf, int64(pos)*4096) //nolint:errcheck
+			}
+		})
+		return e.RunAll()
+	}
+	seq := run(true)
+	rnd := run(false)
+	if seq*3 >= rnd {
+		t.Fatalf("sequential %v not ≪ random %v: readahead ineffective", seq, rnd)
+	}
+}
+
+func TestReadaheadDoesNotCrossEOF(t *testing.T) {
+	e := sim.NewEngine()
+	fs := newFS(e, Config{})
+	fs.CreateFile("small", make([]byte, 6000)) //nolint:errcheck
+	cpu := sim.NewServer(e, "cpu", 1)
+	e.Go("r", func(p *sim.Proc) {
+		f, _ := fs.Open(p, cpu, "small")
+		buf := make([]byte, 4096)
+		if _, err := fs.Read(p, cpu, f, buf, 0); err != nil {
+			t.Error(err)
+		}
+		// Sequential follow-up near EOF: readahead must clamp, not fault.
+		if n, err := fs.Read(p, cpu, f, buf, 4096); err != nil || n != 6000-4096 {
+			t.Errorf("tail read n=%d err=%v", n, err)
+		}
+	})
+	e.RunAll()
+}

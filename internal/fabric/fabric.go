@@ -1,0 +1,249 @@
+// Package fabric models the interconnect of the paper's testbed — FDR
+// InfiniBand with RDMA — and the SPDK NVMe-oF targets that disaggregate
+// NVMe devices over it (paper §II-A, §III-C).
+//
+// The network model is intentionally simple and explicit: every node has
+// one NIC with independent egress and ingress directions, each a FIFO
+// bandwidth server. A transfer holds the sender's egress and the
+// receiver's ingress simultaneously for size/bandwidth, after a one-way
+// propagation latency. This reproduces the two phenomena the evaluation
+// depends on: per-message latency floors (NVMe-oF adds ~10 µs per access)
+// and the single-client NIC bottleneck of Fig 11.
+//
+// An NVMe-oF target couples a node's device to the network: remote queue
+// pairs submit command capsules, the target spends CPU per command,
+// performs the device I/O, and RDMA-writes the payload back.
+package fabric
+
+import (
+	"fmt"
+
+	"dlfs/internal/nvme"
+	"dlfs/internal/sim"
+)
+
+// FDRBandwidth is the per-direction FDR InfiniBand data rate (56 Gb/s link,
+// ~6.8 GB/s effective).
+const FDRBandwidth = 6_800_000_000
+
+// DefaultLatency is the one-way fabric propagation latency.
+const DefaultLatency = sim.Duration(1500) // 1.5 µs
+
+// Network is a set of nodes joined by a non-blocking switch; only the NICs
+// constrain bandwidth, as on a fat-tree/fabric with full bisection.
+type Network struct {
+	eng     *sim.Engine
+	latency sim.Duration
+	nics    map[int]*NIC
+}
+
+// NIC is one node's network interface: independent egress/ingress lanes.
+type NIC struct {
+	node      int
+	bandwidth int64
+	egress    *sim.Server
+	ingress   *sim.Server
+}
+
+// New creates an empty network with the given one-way latency.
+func New(e *sim.Engine, latency sim.Duration) *Network {
+	if latency <= 0 {
+		latency = DefaultLatency
+	}
+	return &Network{eng: e, latency: latency, nics: make(map[int]*NIC)}
+}
+
+// AddNode registers node id with a NIC of the given per-direction
+// bandwidth in bytes/sec.
+func (n *Network) AddNode(id int, bandwidth int64) *NIC {
+	if _, dup := n.nics[id]; dup {
+		panic(fmt.Sprintf("fabric: duplicate node %d", id))
+	}
+	nic := &NIC{
+		node:      id,
+		bandwidth: bandwidth,
+		egress:    sim.NewServer(n.eng, fmt.Sprintf("nic%d/eg", id), 1),
+		ingress:   sim.NewServer(n.eng, fmt.Sprintf("nic%d/in", id), 1),
+	}
+	n.nics[id] = nic
+	return nic
+}
+
+// Latency returns the one-way propagation latency.
+func (n *Network) Latency() sim.Duration { return n.latency }
+
+// NIC returns the NIC of node id, panicking on unknown nodes (a model
+// wiring bug, not a runtime condition).
+func (n *Network) NIC(id int) *NIC {
+	nic, ok := n.nics[id]
+	if !ok {
+		panic(fmt.Sprintf("fabric: unknown node %d", id))
+	}
+	return nic
+}
+
+// Utilization reports the time-average ingress utilization of node id,
+// the quantity that saturates first for a data-consuming client.
+func (n *Network) Utilization(id int) float64 { return n.NIC(id).ingress.Utilization() }
+
+// Transfer moves size bytes from node `from` to node `to`, holding both
+// NIC directions for the serialization time after the propagation latency.
+// A transfer within one node is free: the paper's local reads never touch
+// the fabric.
+func (n *Network) Transfer(p *sim.Proc, from, to int, size int64) {
+	if from == to {
+		return
+	}
+	src, dst := n.NIC(from), n.NIC(to)
+	p.Sleep(n.latency)
+	// Egress first, ingress second — a fixed global order, so no cycle of
+	// waits can form between concurrent transfers.
+	src.egress.Acquire(p)
+	dst.ingress.Acquire(p)
+	bw := src.bandwidth
+	if dst.bandwidth < bw {
+		bw = dst.bandwidth
+	}
+	if bw > 0 && size > 0 {
+		p.Sleep(sim.Duration(size * 1e9 / bw))
+	}
+	dst.ingress.Release()
+	src.egress.Release()
+}
+
+// Message delivers a small control message (command capsule, doorbell,
+// completion): latency only, no bandwidth occupancy. RDMA verbs ride the
+// same wire but 64-byte capsules are negligible against data payloads.
+func (n *Network) Message(p *sim.Proc, from, to int) {
+	if from == to {
+		return
+	}
+	p.Sleep(n.latency)
+}
+
+// TargetSpec models the SPDK NVMe-oF target software.
+type TargetSpec struct {
+	PerCmdCPU sim.Duration // target-side processing per command
+	Cores     int          // poller cores dedicated to the target
+}
+
+// DefaultTargetSpec matches the SPDK target's lightweight poller: ~1 µs of
+// CPU per command on one dedicated core.
+func DefaultTargetSpec() TargetSpec {
+	return TargetSpec{PerCmdCPU: 1000, Cores: 1}
+}
+
+// Target is an SPDK NVMe-oF target exporting one device at a node.
+type Target struct {
+	net  *Network
+	node int
+	dev  *nvme.Device
+	cpu  *sim.Server
+	spec TargetSpec
+
+	served int64
+}
+
+// NewTarget exports dev at node over net.
+func NewTarget(net *Network, node int, dev *nvme.Device, spec TargetSpec) *Target {
+	if spec.Cores <= 0 {
+		spec.Cores = 1
+	}
+	return &Target{
+		net:  net,
+		node: node,
+		dev:  dev,
+		cpu:  sim.NewServer(net.eng, fmt.Sprintf("nvmf-tgt%d/cpu", node), spec.Cores),
+		spec: spec,
+	}
+}
+
+// Node returns the target's node id.
+func (t *Target) Node() int { return t.node }
+
+// Device returns the exported device.
+func (t *Target) Device() *nvme.Device { return t.dev }
+
+// Served reports the number of commands completed.
+func (t *Target) Served() int64 { return t.served }
+
+// CPUUtilization reports the target poller's time-average utilization.
+func (t *Target) CPUUtilization() float64 { return t.cpu.Utilization() }
+
+// RemoteQPair is the client side of an NVMe-oF I/O queue pair: it
+// implements nvme.Queue with the fabric in the path. Commands traverse
+// capsule → target CPU → device → RDMA data → completion capsule.
+type RemoteQPair struct {
+	target     *Target
+	clientNode int
+	depth      int
+	inflight   int
+	cq         []nvme.Completion
+}
+
+// Connect creates a remote queue pair from clientNode to the target.
+func (t *Target) Connect(clientNode int, depth int) *RemoteQPair {
+	if depth <= 0 {
+		depth = 128
+	}
+	return &RemoteQPair{target: t, clientNode: clientNode, depth: depth}
+}
+
+// Depth implements nvme.Queue.
+func (q *RemoteQPair) Depth() int { return q.depth }
+
+// Inflight implements nvme.Queue.
+func (q *RemoteQPair) Inflight() int { return q.inflight }
+
+// Submit implements nvme.Queue.
+func (q *RemoteQPair) Submit(cmd *nvme.Command) error {
+	if q.inflight >= q.depth {
+		return nvme.ErrQueueFull
+	}
+	q.inflight++
+	t := q.target
+	t.net.eng.Go("nvmf/"+cmd.Op.String(), func(p *sim.Proc) {
+		// Command capsule to the target.
+		t.net.Message(p, q.clientNode, t.node)
+		// Target poller picks it up and spends CPU on it.
+		t.cpu.Use(p, t.spec.PerCmdCPU)
+		// Device I/O at the target (real bytes move here).
+		err := t.dev.SyncIO(p, cmd)
+		// Data returns by RDMA write (reads) or arrived with the capsule
+		// (writes, which the paper only uses at mount time).
+		if cmd.Op == nvme.OpRead {
+			t.net.Transfer(p, t.node, q.clientNode, int64(len(cmd.Buf)))
+		} else {
+			t.net.Transfer(p, q.clientNode, t.node, int64(len(cmd.Buf)))
+		}
+		// Completion capsule back to the client.
+		t.net.Message(p, t.node, q.clientNode)
+		t.served++
+		q.cq = append(q.cq, nvme.Completion{Cmd: cmd, Err: err, At: p.Now()})
+		q.inflight--
+	})
+	return nil
+}
+
+// Poll implements nvme.Queue.
+func (q *RemoteQPair) Poll(max int) []nvme.Completion {
+	if max <= 0 || max > len(q.cq) {
+		max = len(q.cq)
+	}
+	out := q.cq[:max]
+	q.cq = append([]nvme.Completion(nil), q.cq[max:]...)
+	return out
+}
+
+var _ nvme.Queue = (*RemoteQPair)(nil)
+
+// RDMARead performs a one-sided RDMA read of size bytes from remote node
+// memory into the caller's node: one request latency, then the transfer.
+// Octopus' data path uses this.
+func (n *Network) RDMARead(p *sim.Proc, local, remote int, size int64) {
+	if local == remote {
+		return
+	}
+	n.Message(p, local, remote) // request
+	n.Transfer(p, remote, local, size)
+}

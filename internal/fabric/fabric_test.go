@@ -1,0 +1,297 @@
+package fabric
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"dlfs/internal/dataset"
+	"dlfs/internal/nvme"
+	"dlfs/internal/sim"
+)
+
+func testNet(e *sim.Engine, nodes int) *Network {
+	n := New(e, DefaultLatency)
+	for i := 0; i < nodes; i++ {
+		n.AddNode(i, FDRBandwidth)
+	}
+	return n
+}
+
+func devSpec() nvme.Spec {
+	return nvme.Spec{
+		Name:          "em",
+		Capacity:      1 << 30,
+		ReadLatency:   sim.Duration(10 * time.Microsecond),
+		WriteLatency:  sim.Duration(12 * time.Microsecond),
+		ReadBandwidth: 2_400_000_000,
+		CmdOverhead:   1600,
+		Channels:      8,
+		MediaBlock:    4096,
+	}
+}
+
+func TestMessageLatency(t *testing.T) {
+	e := sim.NewEngine()
+	n := testNet(e, 2)
+	e.Go("m", func(p *sim.Proc) {
+		n.Message(p, 0, 1)
+		if p.Now() != sim.Time(DefaultLatency) {
+			t.Errorf("message took %v, want %v", p.Now(), DefaultLatency)
+		}
+		n.Message(p, 1, 1) // local: free
+		if p.Now() != sim.Time(DefaultLatency) {
+			t.Errorf("local message took time")
+		}
+	})
+	e.RunAll()
+}
+
+func TestTransferTime(t *testing.T) {
+	e := sim.NewEngine()
+	n := testNet(e, 2)
+	const size = 68_000_000 // 10 ms at 6.8 GB/s
+	e.Go("x", func(p *sim.Proc) {
+		n.Transfer(p, 0, 1, size)
+		want := sim.Time(DefaultLatency) + sim.Time(10*time.Millisecond)
+		if d := p.Now() - want; d < -1000 || d > 1000 {
+			t.Errorf("transfer took %v, want ≈%v", p.Now(), want)
+		}
+	})
+	e.RunAll()
+}
+
+func TestLocalTransferFree(t *testing.T) {
+	e := sim.NewEngine()
+	n := testNet(e, 1)
+	e.Go("x", func(p *sim.Proc) {
+		n.Transfer(p, 0, 0, 1<<30)
+		if p.Now() != 0 {
+			t.Errorf("local transfer took %v", p.Now())
+		}
+	})
+	e.RunAll()
+}
+
+func TestIngressContention(t *testing.T) {
+	// Two senders to one receiver: the receiver's ingress serializes, so
+	// total time ≈ 2 transfers back to back.
+	e := sim.NewEngine()
+	n := testNet(e, 3)
+	const size = 6_800_000 // 1 ms each
+	var finish []sim.Time
+	for src := 1; src <= 2; src++ {
+		src := src
+		e.Go("x", func(p *sim.Proc) {
+			n.Transfer(p, src, 0, size)
+			finish = append(finish, p.Now())
+		})
+	}
+	e.RunAll()
+	last := finish[len(finish)-1]
+	want := sim.Time(DefaultLatency) + sim.Time(2*time.Millisecond)
+	if d := last - want; d < -10000 || d > 10000 {
+		t.Fatalf("contended finish %v, want ≈%v", last, want)
+	}
+}
+
+func TestDistinctReceiversRunInParallel(t *testing.T) {
+	e := sim.NewEngine()
+	n := testNet(e, 4)
+	const size = 6_800_000 // 1 ms
+	var finish []sim.Time
+	// 1→2 and 3→0: fully disjoint NICs, should overlap completely.
+	pairs := [][2]int{{1, 2}, {3, 0}}
+	for _, pr := range pairs {
+		pr := pr
+		e.Go("x", func(p *sim.Proc) {
+			n.Transfer(p, pr[0], pr[1], size)
+			finish = append(finish, p.Now())
+		})
+	}
+	e.RunAll()
+	want := sim.Time(DefaultLatency) + sim.Time(time.Millisecond)
+	for _, f := range finish {
+		if d := f - want; d < -10000 || d > 10000 {
+			t.Fatalf("parallel transfer finished %v, want ≈%v", f, want)
+		}
+	}
+}
+
+func TestBidirectionalNoDeadlock(t *testing.T) {
+	e := sim.NewEngine()
+	n := testNet(e, 2)
+	done := 0
+	for i := 0; i < 50; i++ {
+		i := i
+		e.Go("x", func(p *sim.Proc) {
+			if i%2 == 0 {
+				n.Transfer(p, 0, 1, 100_000)
+			} else {
+				n.Transfer(p, 1, 0, 100_000)
+			}
+			done++
+		})
+	}
+	e.RunAll()
+	if done != 50 {
+		t.Fatalf("done = %d", done)
+	}
+	if dl := e.Deadlocked(); dl != nil {
+		t.Fatalf("deadlock: %v", dl)
+	}
+}
+
+func TestDuplicateNodePanics(t *testing.T) {
+	e := sim.NewEngine()
+	n := New(e, 0)
+	n.AddNode(0, FDRBandwidth)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	n.AddNode(0, FDRBandwidth)
+}
+
+func TestUnknownNodePanics(t *testing.T) {
+	e := sim.NewEngine()
+	n := New(e, 0)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	n.NIC(42)
+}
+
+func TestRemoteQPairDataIntegrity(t *testing.T) {
+	e := sim.NewEngine()
+	n := testNet(e, 2)
+	dev := nvme.NewDevice(e, devSpec())
+	tgt := NewTarget(n, 1, dev, DefaultTargetSpec())
+	ds := dataset.Generate(dataset.Config{Label: "f", Seed: 4, NumSamples: 16, Dist: dataset.Fixed(5000)})
+
+	e.Go("client", func(p *sim.Proc) {
+		// Upload through the fabric path (writes).
+		q := tgt.Connect(0, 32)
+		var off int64
+		offs := make([]int64, ds.Len())
+		for i := 0; i < ds.Len(); i++ {
+			offs[i] = off
+			if err := q.Submit(&nvme.Command{Op: nvme.OpWrite, Offset: off, Buf: ds.Content(i), Ctx: i}); err != nil {
+				t.Error(err)
+			}
+			off += int64(ds.Samples[i].Size)
+		}
+		done := 0
+		for done < ds.Len() {
+			done += len(q.Poll(0))
+			p.Sleep(1000)
+		}
+		// Read back and verify.
+		bufs := make([][]byte, ds.Len())
+		for i := range bufs {
+			bufs[i] = make([]byte, ds.Samples[i].Size)
+			if err := q.Submit(&nvme.Command{Op: nvme.OpRead, Offset: offs[i], Buf: bufs[i], Ctx: i}); err != nil {
+				t.Error(err)
+			}
+		}
+		done = 0
+		for done < ds.Len() {
+			for _, c := range q.Poll(0) {
+				if c.Err != nil {
+					t.Errorf("completion error: %v", c.Err)
+				}
+				i := c.Cmd.Ctx.(int)
+				if !bytes.Equal(bufs[i], ds.Content(i)) {
+					t.Errorf("sample %d corrupt over fabric", i)
+				}
+				done++
+			}
+			p.Sleep(1000)
+		}
+	})
+	e.RunAll()
+	if tgt.Served() != 32 {
+		t.Fatalf("target served %d commands, want 32", tgt.Served())
+	}
+}
+
+func TestRemoteReadAddsFabricLatency(t *testing.T) {
+	e := sim.NewEngine()
+	n := testNet(e, 2)
+	dev := nvme.NewDevice(e, devSpec())
+	tgt := NewTarget(n, 1, dev, DefaultTargetSpec())
+	var remoteTime sim.Time
+	e.Go("client", func(p *sim.Proc) {
+		q := tgt.Connect(0, 4)
+		start := p.Now()
+		buf := make([]byte, 4096)
+		q.Submit(&nvme.Command{Op: nvme.OpRead, Offset: 0, Buf: buf}) //nolint:errcheck
+		for len(q.Poll(1)) == 0 {
+			p.Sleep(200)
+		}
+		remoteTime = p.Now() - start
+	})
+	e.RunAll()
+	// Local 4K ≈ 13.3 µs; remote adds 3 capsules/latencies + transfer +
+	// target CPU ≈ +6 µs. NVMe-oF promises "within 10 µs" added latency.
+	if remoteTime < 17_000 || remoteTime > 27_000 {
+		t.Fatalf("remote 4K read = %v, want local+~6µs (≈19-21µs)", remoteTime)
+	}
+}
+
+func TestRemoteQPairDepth(t *testing.T) {
+	e := sim.NewEngine()
+	n := testNet(e, 2)
+	dev := nvme.NewDevice(e, devSpec())
+	tgt := NewTarget(n, 1, dev, DefaultTargetSpec())
+	e.Go("client", func(p *sim.Proc) {
+		q := tgt.Connect(0, 2)
+		buf := make([]byte, 512)
+		if q.Submit(&nvme.Command{Op: nvme.OpRead, Buf: buf}) != nil {
+			t.Error("submit 1")
+		}
+		if q.Submit(&nvme.Command{Op: nvme.OpRead, Buf: buf}) != nil {
+			t.Error("submit 2")
+		}
+		if err := q.Submit(&nvme.Command{Op: nvme.OpRead, Buf: buf}); err != nvme.ErrQueueFull {
+			t.Errorf("submit 3: %v", err)
+		}
+		for q.Inflight() > 0 {
+			q.Poll(0)
+			p.Sleep(500)
+		}
+	})
+	e.RunAll()
+	if tgt.CPUUtilization() <= 0 {
+		t.Fatal("target CPU never used")
+	}
+}
+
+func TestRDMARead(t *testing.T) {
+	e := sim.NewEngine()
+	n := testNet(e, 2)
+	e.Go("c", func(p *sim.Proc) {
+		n.RDMARead(p, 0, 1, 6_800_000) // 1 ms payload
+		want := sim.Time(2*DefaultLatency) + sim.Time(time.Millisecond)
+		if d := p.Now() - want; d < -5000 || d > 5000 {
+			t.Errorf("RDMARead took %v, want ≈%v", p.Now(), want)
+		}
+		before := p.Now()
+		n.RDMARead(p, 1, 1, 1<<20) // local: free
+		if p.Now() != before {
+			t.Error("local RDMARead took time")
+		}
+	})
+	e.RunAll()
+}
+
+func TestDefaultLatencyApplied(t *testing.T) {
+	e := sim.NewEngine()
+	n := New(e, 0)
+	if n.Latency() != DefaultLatency {
+		t.Fatalf("latency = %v", n.Latency())
+	}
+}

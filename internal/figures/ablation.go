@@ -1,0 +1,422 @@
+package figures
+
+import (
+	"fmt"
+
+	"dlfs/internal/cluster"
+	"dlfs/internal/core"
+	"dlfs/internal/deepio"
+	"dlfs/internal/ext4sim"
+	"dlfs/internal/fabric"
+	"dlfs/internal/metrics"
+	"dlfs/internal/nvme"
+	"dlfs/internal/pfs"
+	"dlfs/internal/sim"
+	"dlfs/internal/workload"
+)
+
+// AblationPoint measures single-node 512 B sample throughput for one DLFS
+// configuration, isolating the contribution of each batching optimisation
+// (§III-D): the full chunk-batched pipeline, sample-level batching alone,
+// and the synchronous dlfs_read base path.
+func AblationPoint(mode string, scale float64) float64 {
+	const size = 512
+	n := samplesFor(size, scale)
+	ds := fixedDataset(1501, n, size)
+	e := sim.NewEngine()
+	defer e.Shutdown()
+	job := workload.NewJob(e, 1, 20, true)
+	switch mode {
+	case "chunk-batched":
+		fss, err := workload.MountDLFS(e, job, ds, core.Config{})
+		if err != nil {
+			panic(err)
+		}
+		return workload.RunDLFSEpoch(e, fss, 5).PerSec()
+	case "sample-level":
+		fss, err := workload.MountDLFS(e, job, ds, core.Config{DisableChunkBatching: true})
+		if err != nil {
+			panic(err)
+		}
+		return workload.RunDLFSEpoch(e, fss, 5).PerSec()
+	case "sync-base":
+		fss, err := workload.MountDLFS(e, job, ds, core.Config{})
+		if err != nil {
+			panic(err)
+		}
+		return workload.RunDLFSBase(e, job, ds, fss, n, 5).PerSec()
+	default:
+		panic("unknown ablation mode " + mode)
+	}
+}
+
+// AblationBatching renders the three-mode comparison as a table.
+func AblationBatching(scale float64) *metrics.Table {
+	t := metrics.NewTable("Ablation: batching optimisations at 512B (samples/s)",
+		"mode", "throughput")
+	for _, mode := range []string{"sync-base", "sample-level", "chunk-batched"} {
+		t.AddRow(mode, AblationPoint(mode, scale))
+	}
+	return t
+}
+
+// AblationChunkSize sweeps the data-chunk size (the paper fixes 256 KB but
+// calls it configurable): small chunks raise command counts, huge chunks
+// waste cache space and fetch granularity.
+func AblationChunkSize(scale float64) *metrics.Table {
+	t := metrics.NewTable("Ablation: chunk size at 4KiB samples (samples/s)",
+		"chunk", "throughput", "commands")
+	const size = 4 << 10
+	n := samplesFor(size, scale)
+	for _, chunk := range []int{16 << 10, 64 << 10, 256 << 10, 1 << 20} {
+		ds := fixedDataset(1502, n, size)
+		e := sim.NewEngine()
+		job := workload.NewJob(e, 1, 20, true)
+		fss, err := workload.MountDLFS(e, job, ds, core.Config{ChunkSize: chunk})
+		if err != nil {
+			panic(err)
+		}
+		res := workload.RunDLFSEpoch(e, fss, 6)
+		t.AddRow(metrics.HumanBytes(int64(chunk)), res.PerSec(), float64(fss[0].Stats().Commands))
+		e.Shutdown()
+	}
+	return t
+}
+
+// AblationQueueDepth sweeps the SPDK queue depth on a latency-sensitive
+// configuration — sample-level requests (no chunk batching) of 16 KiB,
+// where per-command latency dominates: shallow queues starve the device;
+// deep queues stop helping once the pipeline covers the bandwidth-delay
+// product. (With chunk batching and a local device, even QD=1 keeps the
+// data path ~90 % busy — transfers dwarf the latency — which is itself an
+// argument for the chunk design.)
+func AblationQueueDepth(scale float64) *metrics.Table {
+	t := metrics.NewTable("Ablation: queue depth, sample-level 16KiB requests (samples/s)",
+		"depth", "throughput")
+	const size = 16 << 10
+	n := samplesFor(size, scale)
+	for _, depth := range []int{1, 2, 4, 8, 16, 32, 128} {
+		ds := fixedDataset(1503, n, size)
+		e := sim.NewEngine()
+		job := workload.NewJob(e, 1, 20, true)
+		fss, err := workload.MountDLFS(e, job, ds, core.Config{QueueDepth: depth, DisableChunkBatching: true})
+		if err != nil {
+			panic(err)
+		}
+		t.AddRow(depth, workload.RunDLFSEpoch(e, fss, 7).PerSec())
+		e.Shutdown()
+	}
+	return t
+}
+
+// AblationCopyThreads sweeps the copy-thread pool size at a copy-heavy
+// configuration (large samples, reduced copy bandwidth).
+func AblationCopyThreads(scale float64) *metrics.Table {
+	t := metrics.NewTable("Ablation: copy threads at 128KiB samples, 3GB/s memcpy (samples/s)",
+		"threads", "throughput")
+	const size = 128 << 10
+	n := samplesFor(size, scale)
+	for _, threads := range []int{1, 2, 4, 8} {
+		ds := fixedDataset(1504, n, size)
+		e := sim.NewEngine()
+		job := workload.NewJob(e, 1, 20, true)
+		fss, err := workload.MountDLFS(e, job, ds, core.Config{
+			CopyThreads:   threads,
+			CopyBandwidth: 3_000_000_000,
+		})
+		if err != nil {
+			panic(err)
+		}
+		t.AddRow(threads, workload.RunDLFSEpoch(e, fss, 8).PerSec())
+		e.Shutdown()
+	}
+	return t
+}
+
+// AblationAccessPattern quantifies the paper's motivating observation
+// (§II-B): the kernel stack is competitive for large sequential I/O — the
+// pattern it was designed for — and collapses on many small random
+// samples, which is exactly the gap DLFS fills.
+func AblationAccessPattern(scale float64) *metrics.Table {
+	t := metrics.NewTable("Ablation: access pattern (GB/s effective)",
+		"workload", "ext4", "dlfs")
+
+	// Large sequential: one big file read front to back in 1 MiB slices.
+	seqBytes := int64(scaled(64, scale)) << 20
+	e := sim.NewEngine()
+	job := workload.NewJob(e, 1, 20, true)
+	efs := ext4sim.New(e, job.Node(0).Device, ext4sim.Config{})
+	if err := efs.CreateFile("big", make([]byte, seqBytes)); err != nil {
+		panic(err)
+	}
+	var seqTime sim.Time
+	e.Go("seq", func(p *sim.Proc) {
+		f, err := efs.Open(p, job.Node(0).CPU, "big")
+		if err != nil {
+			panic(err)
+		}
+		buf := make([]byte, 1<<20)
+		start := p.Now()
+		for off := int64(0); off < seqBytes; off += 1 << 20 {
+			if _, err := efs.Read(p, job.Node(0).CPU, f, buf, off); err != nil {
+				panic(err)
+			}
+		}
+		seqTime = p.Now() - start
+	})
+	e.RunAll()
+	e.Shutdown()
+	ext4Seq := float64(seqBytes) / (float64(seqTime) / 1e9) / 1e9
+
+	// Random small (4 KiB samples).
+	const size = 4 << 10
+	n := samplesFor(size, scale)
+	ds := fixedDataset(1505, n, size)
+	e2 := sim.NewEngine()
+	job2 := workload.NewJob(e2, 1, 20, true)
+	efs2, shards, err := workload.Ext4PerNode(e2, job2, ds, ext4sim.Config{})
+	if err != nil {
+		panic(err)
+	}
+	ext4Rand := workload.RunExt4(e2, job2, ds, efs2, shards, 1, n, 9).BytesPerSec() / 1e9
+	e2.Shutdown()
+
+	e3 := sim.NewEngine()
+	job3 := workload.NewJob(e3, 1, 20, true)
+	fss, err := workload.MountDLFS(e3, job3, ds, core.Config{})
+	if err != nil {
+		panic(err)
+	}
+	dlfsRand := workload.RunDLFSEpoch(e3, fss, 9).BytesPerSec() / 1e9
+	e3.Shutdown()
+
+	// DLFS sequential equals its random path (no seek penalty in either
+	// model); report the device-bound epoch number for both rows.
+	t.AddRow("sequential 1MiB slices", ext4Seq, dlfsRand)
+	t.AddRow("random 4KiB samples", ext4Rand, dlfsRand)
+	return t
+}
+
+// AblationStageIn prices mount-time dataset staging from the backend
+// parallel file system (internal/pfs): per-file stage-in pays one
+// metadata round trip per sample, while TFRecord-style containers
+// amortise it — the reason batched formats exist, and the reason DLFS
+// indexes samples *inside* them (§III-B1) instead of giving up random
+// access.
+func AblationStageIn(scale float64) *metrics.Table {
+	t := metrics.NewTable("Ablation: dataset stage-in from the backend PFS (seconds, 4 nodes)",
+		"format", "stage-in", "pfs-opens")
+	n := scaled(20000, scale)
+	ds := fixedDataset(1506, n, 16<<10)
+
+	run := func(containers bool) (float64, int64) {
+		e := sim.NewEngine()
+		defer e.Shutdown()
+		job := workload.NewJob(e, 4, 20, false)
+		backend := pfs.New(e, pfs.DefaultSpec())
+		cfg := core.Config{StageIn: backend}
+		errs := make([]error, job.N())
+		for i := 0; i < job.N(); i++ {
+			i := i
+			e.Go("mount", func(p *sim.Proc) {
+				if containers {
+					_, errs[i] = core.MountContainers(p, job, i, ds, 400, cfg)
+				} else {
+					_, errs[i] = core.Mount(p, job, i, ds, cfg)
+				}
+			})
+		}
+		e.RunAll()
+		for _, err := range errs {
+			if err != nil {
+				panic(err)
+			}
+		}
+		opens, _ := backend.Stats()
+		return float64(e.Now()) / 1e9, opens
+	}
+
+	perFile, opensA := run(false)
+	packed, opensB := run(true)
+	t.AddRow("one file per sample", perFile, float64(opensA))
+	t.AddRow("TFRecord-style containers", packed, float64(opensB))
+	return t
+}
+
+// StageBreakdown reports how one epoch's CPU time divides across the
+// Fig 4 pipeline stages (prep → post → poll → copy) for a representative
+// workload: where the user-level stack actually spends its cycles.
+func StageBreakdown(scale float64) *metrics.Table {
+	t := metrics.NewTable("Stage breakdown: CPU time per epoch (ms)",
+		"size", "prep", "post", "poll", "copy", "samples")
+	for _, size := range []int{512, 16 << 10, 128 << 10} {
+		n := samplesFor(size, scale)
+		ds := fixedDataset(1507, n, size)
+		e := sim.NewEngine()
+		job := workload.NewJob(e, 1, 20, true)
+		fss, err := workload.MountDLFS(e, job, ds, core.Config{})
+		if err != nil {
+			panic(err)
+		}
+		workload.RunDLFSEpoch(e, fss, 10)
+		st := fss[0].Stats()
+		t.AddRow(metrics.HumanBytes(int64(size)),
+			float64(st.PrepTime)/1e6, float64(st.PostTime)/1e6,
+			float64(st.PollTime)/1e6, float64(st.CopyTime)/1e6,
+			float64(st.SamplesRead))
+		e.Shutdown()
+	}
+	return t
+}
+
+// MountTime measures the collective dlfs_mount — per-node AVL build plus
+// the directory allgather — against node count, testing §III-B2's claim
+// that "this distributed generation of AVL trees speeds up the creation
+// of the in-memory sample directory". The local-build share shrinks with
+// nodes; the rebuild-from-blobs share does not, so the curve flattens
+// toward the replication floor.
+func MountTime(scale float64) *metrics.Table {
+	t := metrics.NewTable("Mount: directory build + allgather vs nodes (ms)",
+		"nodes", "mount-time", "entries")
+	n := scaled(200_000, scale)
+	ds := fixedDataset(1508, n, 64)
+	for _, nodes := range []int{1, 2, 4, 8, 16} {
+		e := sim.NewEngine()
+		job := workload.NewJob(e, nodes, 20, false)
+		errs := make([]error, nodes)
+		for i := 0; i < nodes; i++ {
+			i := i
+			e.Go("mount", func(p *sim.Proc) {
+				_, errs[i] = core.Mount(p, job, i, ds, core.Config{})
+			})
+		}
+		total := e.RunAll()
+		for _, err := range errs {
+			if err != nil {
+				panic(err)
+			}
+		}
+		t.AddRow(nodes, float64(total)/1e6, float64(n))
+		e.Shutdown()
+	}
+	return t
+}
+
+// Sensitivity perturbs one model parameter at a time and reports the
+// impact on the headline 16-node 128 KiB DLFS throughput: which
+// calibration constants the reproduced shapes actually hinge on.
+func Sensitivity(scale float64) *metrics.Table {
+	t := metrics.NewTable("Sensitivity: 16-node 128KiB DLFS throughput under parameter perturbation",
+		"variant", "samples/s", "delta")
+	const size = 128 << 10
+	perNode := scaled(256, scale)
+
+	run := func(mutate func(*nvme.Spec, *sim.Duration, *core.Config)) float64 {
+		spec := nvme.EmulatedSpec()
+		latency := fabric.DefaultLatency
+		cfg := core.Config{}
+		mutate(&spec, &latency, &cfg)
+		e := sim.NewEngine()
+		defer e.Shutdown()
+		specs := make([]cluster.NodeSpec, 16)
+		for i := range specs {
+			d := spec
+			specs[i] = cluster.NodeSpec{Cores: 20, NICBandwidth: fabric.FDRBandwidth, Device: &d}
+		}
+		job := cluster.NewJobMixedNet(e, specs, latency)
+		ds := fixedDataset(1509, perNode*16, size)
+		fss, err := workload.MountDLFS(e, job, ds, cfg)
+		if err != nil {
+			panic(err)
+		}
+		return workload.RunDLFSEpoch(e, fss, 14).PerSec()
+	}
+
+	base := run(func(*nvme.Spec, *sim.Duration, *core.Config) {})
+	variants := []struct {
+		name string
+		fn   func(*nvme.Spec, *sim.Duration, *core.Config)
+	}{
+		{"baseline", func(*nvme.Spec, *sim.Duration, *core.Config) {}},
+		{"fabric latency x4", func(_ *nvme.Spec, l *sim.Duration, _ *core.Config) { *l *= 4 }},
+		{"device latency x4", func(s *nvme.Spec, _ *sim.Duration, _ *core.Config) { s.ReadLatency *= 4 }},
+		{"device bandwidth /2", func(s *nvme.Spec, _ *sim.Duration, _ *core.Config) { s.ReadBandwidth /= 2 }},
+		{"copy bandwidth /4", func(_ *nvme.Spec, _ *sim.Duration, c *core.Config) { c.CopyBandwidth = 3_000_000_000 }},
+		{"queue depth 4", func(_ *nvme.Spec, _ *sim.Duration, c *core.Config) { c.QueueDepth = 4 }},
+	}
+	for _, v := range variants {
+		got := run(v.fn)
+		t.AddRow(v.name, got, fmt.Sprintf("%+.1f%%", 100*(got-base)/base))
+	}
+	return t
+}
+
+// MemoryCapacity sweeps the dataset-to-RAM ratio for the DeepIO-style
+// memory-preload baseline against DLFS on NVMe: while the dataset fits in
+// aggregate memory DeepIO serves at memory speed; once it spills, every
+// non-resident sample pays a backend-PFS round trip and throughput
+// collapses — "its performance is limited by the total available memory"
+// (§V). DLFS is indifferent: burst-buffer NVMe holds the whole dataset at
+// any of these scales.
+func MemoryCapacity(scale float64) *metrics.Table {
+	t := metrics.NewTable("Capacity: DeepIO (RAM preload) vs DLFS (NVMe) by dataset/memory ratio (samples/s, 4 nodes, 128KiB)",
+		"dataset/mem", "deepio", "deepio-resident", "dlfs")
+	const size = 128 << 10
+	const nodes = 4
+	perNode := scaled(192, scale)
+	total := perNode * nodes
+	memPerNode := int64(total) * size / nodes // ratio 1.0 exactly fills RAM
+
+	dlfsRate := func() float64 {
+		ds := fixedDataset(1510, total, size)
+		e := sim.NewEngine()
+		defer e.Shutdown()
+		job := workload.NewJob(e, nodes, 20, false)
+		fss, err := workload.MountDLFS(e, job, ds, core.Config{})
+		if err != nil {
+			panic(err)
+		}
+		return workload.RunDLFSEpoch(e, fss, 15).PerSec()
+	}()
+
+	for _, ratio := range []float64{0.5, 1.0, 2.0, 4.0} {
+		n := int(float64(total) * ratio)
+		ds := fixedDataset(1511, n, size)
+		e := sim.NewEngine()
+		job := workload.NewJob(e, nodes, 20, false)
+		backend := pfs.New(e, pfs.DefaultSpec())
+		dio, err := deepio.Mount(job, ds, memPerNode, backend, deepio.Costs{})
+		if err != nil {
+			panic(err)
+		}
+		var reads int
+		var start, end sim.Time
+		for c := 0; c < nodes; c++ {
+			c := c
+			e.Go("c", func(p *sim.Proc) {
+				if start == 0 {
+					start = p.Now()
+				}
+				buf := make([]byte, size)
+				order := workload.RandomOrder(int64(c)+21, workload.Seq(ds.Len()), perNode)
+				for _, idx := range order {
+					if _, err := dio.ReadSample(p, c, idx, buf); err != nil {
+						panic(err)
+					}
+					reads++
+				}
+				if p.Now() > end {
+					end = p.Now()
+				}
+			})
+		}
+		e.RunAll()
+		rate := 0.0
+		if end > start {
+			rate = float64(reads) / (float64(end-start) / 1e9)
+		}
+		t.AddRow(fmt.Sprintf("%.1fx", ratio), rate, dio.ResidentFraction(), dlfsRate)
+		e.Shutdown()
+	}
+	return t
+}

@@ -1,0 +1,139 @@
+package figures
+
+import "testing"
+
+func TestAblationBatchingMonotone(t *testing.T) {
+	tab := AblationBatching(quickScale)
+	base := cell(t, tab, 0, "throughput")   // sync-base
+	sample := cell(t, tab, 1, "throughput") // sample-level
+	chunk := cell(t, tab, 2, "throughput")  // chunk-batched
+	if !(base < sample && sample < chunk) {
+		t.Fatalf("ablation not monotone: %.0f, %.0f, %.0f", base, sample, chunk)
+	}
+	// Each optimisation should be worth at least 3×.
+	if sample < 3*base || chunk < 3*sample {
+		t.Fatalf("optimisations too weak: %.0f -> %.0f -> %.0f", base, sample, chunk)
+	}
+}
+
+func TestAblationChunkSizeTradeoff(t *testing.T) {
+	tab := AblationChunkSize(quickScale)
+	// Larger chunks → strictly fewer commands.
+	prev := cell(t, tab, 0, "commands")
+	for r := 1; r < tab.NumRows(); r++ {
+		cur := cell(t, tab, r, "commands")
+		if cur > prev {
+			t.Fatalf("commands rose with chunk size at row %d: %.0f > %.0f", r, cur, prev)
+		}
+		prev = cur
+	}
+	// 256K (row 2) should be at or near the best throughput.
+	best := 0.0
+	for r := 0; r < tab.NumRows(); r++ {
+		if v := cell(t, tab, r, "throughput"); v > best {
+			best = v
+		}
+	}
+	if v := cell(t, tab, 2, "throughput"); v < 0.8*best {
+		t.Fatalf("default 256K chunk (%.0f) well below best (%.0f)", v, best)
+	}
+}
+
+func TestAblationQueueDepthSaturates(t *testing.T) {
+	tab := AblationQueueDepth(quickScale)
+	qd1 := cell(t, tab, 0, "throughput")
+	qd128 := cell(t, tab, tab.NumRows()-1, "throughput")
+	if qd128 < 2*qd1 {
+		t.Fatalf("deep queue (%.0f) not ≫ QD=1 (%.0f)", qd128, qd1)
+	}
+	// QD=32 (row 5) already within 10% of QD=128: saturation.
+	if v := cell(t, tab, 5, "throughput"); v < 0.9*qd128 {
+		t.Fatalf("QD=32 (%.0f) far below QD=128 (%.0f): no saturation", v, qd128)
+	}
+}
+
+func TestAblationCopyThreadsHelpWhenCopyBound(t *testing.T) {
+	tab := AblationCopyThreads(quickScale)
+	one := cell(t, tab, 0, "throughput")
+	four := cell(t, tab, 2, "throughput")
+	if four <= one {
+		t.Fatalf("4 copy threads (%.0f) not faster than 1 (%.0f) at 3GB/s memcpy", four, one)
+	}
+}
+
+func TestAblationAccessPattern(t *testing.T) {
+	tab := AblationAccessPattern(quickScale)
+	extSeq := cell(t, tab, 0, "ext4")
+	extRand := cell(t, tab, 1, "ext4")
+	dlfsRand := cell(t, tab, 1, "dlfs")
+	if extSeq < 5*extRand {
+		t.Fatalf("ext4 sequential (%.2f GB/s) not ≫ random (%.2f): readahead model broken", extSeq, extRand)
+	}
+	if dlfsRand < 1.5 {
+		t.Fatalf("dlfs random bandwidth %.2f GB/s, want ≈2.4 (loose at quick scale)", dlfsRand)
+	}
+	// The paper's point: the kernel stack is fine sequentially (same
+	// order of magnitude as DLFS) and collapses on random samples.
+	if extSeq < dlfsRand/4 {
+		t.Fatalf("ext4 sequential (%.2f) unrealistically far below device bound", extSeq)
+	}
+}
+
+func TestAblationStageIn(t *testing.T) {
+	tab := AblationStageIn(quickScale)
+	perFile := cell(t, tab, 0, "stage-in")
+	packed := cell(t, tab, 1, "stage-in")
+	if perFile < 10*packed {
+		t.Fatalf("containers (%.3fs) not ≫ faster than per-file (%.3fs)", packed, perFile)
+	}
+	if opens := cell(t, tab, 1, "pfs-opens"); opens >= cell(t, tab, 0, "pfs-opens") {
+		t.Fatalf("containers did not reduce PFS opens: %v", opens)
+	}
+}
+
+func TestMountTimeScalesWithNodes(t *testing.T) {
+	tab := MountTime(quickScale)
+	one := cell(t, tab, 0, "mount-time")
+	sixteen := cell(t, tab, tab.NumRows()-1, "mount-time")
+	// Distributed build must beat a single node clearly (§III-B2), while
+	// the rebuild floor keeps it sublinear.
+	if one < 3*sixteen {
+		t.Fatalf("16-node mount (%.1fms) not ≫ faster than 1-node (%.1fms)", sixteen, one)
+	}
+	if one > 16*sixteen {
+		t.Fatalf("mount scaled superlinearly: %.1f vs %.1f", one, sixteen)
+	}
+}
+
+func TestSensitivityBandwidthBound(t *testing.T) {
+	tab := Sensitivity(quickScale)
+	base := cell(t, tab, 0, "samples/s")
+	halfBW := cell(t, tab, 3, "samples/s")
+	// Halving device bandwidth must halve throughput (bandwidth bound)...
+	if r := halfBW / base; r < 0.45 || r > 0.55 {
+		t.Fatalf("device-bandwidth/2 gave %.2fx, want ≈0.5x", r)
+	}
+	// ...while 4x fabric/device latency barely moves it (pipeline hides it).
+	for _, row := range []int{1, 2} {
+		v := cell(t, tab, row, "samples/s")
+		if v < 0.9*base {
+			t.Fatalf("row %d dropped to %.0f of %.0f: latency should be hidden", row, v, base)
+		}
+	}
+}
+
+func TestMemoryCapacityCrossover(t *testing.T) {
+	tab := MemoryCapacity(quickScale)
+	fits := cell(t, tab, 0, "deepio")   // 0.5x: dataset well inside RAM
+	spills := cell(t, tab, 3, "deepio") // 4x: mostly on the PFS
+	dlfs := cell(t, tab, 0, "dlfs")
+	if fits < dlfs {
+		t.Fatalf("in-memory DeepIO (%.0f) should beat NVMe DLFS (%.0f) while the dataset fits", fits, dlfs)
+	}
+	if spills*3 > dlfs {
+		t.Fatalf("spilled DeepIO (%.0f) should collapse well below DLFS (%.0f)", spills, dlfs)
+	}
+	if rf := cell(t, tab, 3, "deepio-resident"); rf > 0.3 {
+		t.Fatalf("resident fraction at 4x = %.2f, want ≈0.25", rf)
+	}
+}

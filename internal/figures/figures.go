@@ -1,0 +1,196 @@
+// Package figures reproduces every figure of the paper's evaluation
+// (§IV). Each FigN function runs the corresponding experiment under the
+// simulation and returns a metrics.Table whose rows carry the same series
+// the paper plots, so cmd/dlfsbench and bench_test.go regenerate the
+// evaluation with one call per figure.
+//
+// Every function takes a scale factor: 1.0 runs the default measurement
+// volume; smaller values shrink sample counts proportionally for quick
+// smoke runs (the shapes survive scaling; absolute noise grows).
+package figures
+
+import (
+	"fmt"
+
+	"dlfs/internal/core"
+	"dlfs/internal/dataset"
+	"dlfs/internal/ext4sim"
+	"dlfs/internal/metrics"
+	"dlfs/internal/sim"
+	"dlfs/internal/workload"
+)
+
+// sampleSizes is the sweep the single-node and 16-node throughput figures
+// use: 512 B to 1 MB, as in Figs 6 and 8.
+var sampleSizes = []int{512, 4 << 10, 16 << 10, 64 << 10, 128 << 10, 512 << 10, 1 << 20}
+
+func scaled(base int, scale float64) int {
+	n := int(float64(base) * scale)
+	if n < 32 {
+		n = 32
+	}
+	return n
+}
+
+// samplesFor bounds the dataset so large-sample sweeps stay tractable:
+// roughly 64 MiB of data per point, at least 128 and at most 4096 samples.
+func samplesFor(size int, scale float64) int {
+	n := (64 << 20) / size
+	if n > 4096 {
+		n = 4096
+	}
+	if n < 128 {
+		n = 128
+	}
+	return scaled(n, scale)
+}
+
+func fixedDataset(seed int64, n, size int) *dataset.Dataset {
+	return dataset.Generate(dataset.Config{
+		Label:      fmt.Sprintf("bench-%d", size),
+		Seed:       seed,
+		NumSamples: n,
+		Dist:       dataset.Fixed(size),
+	})
+}
+
+// Fig1 regenerates the sample-size CDFs of the ImageNet and IMDB datasets
+// (Fig 1): percentile → size rows for both calibrated generators.
+func Fig1(scale float64) *metrics.Table {
+	t := metrics.NewTable("Fig 1: sample size distribution",
+		"percentile", "imagenet", "imdb")
+	n := scaled(40000, scale)
+	img := dataset.Generate(dataset.Config{Label: "imagenet", Seed: 1, NumSamples: n, Dist: dataset.ImageNetDist()})
+	imdb := dataset.Generate(dataset.Config{Label: "imdb", Seed: 2, NumSamples: n, Dist: dataset.IMDBDist()})
+	ps := []float64{10, 25, 50, 75, 90, 95, 99}
+	imgCDF := img.SizeCDF(ps)
+	imdbCDF := imdb.SizeCDF(ps)
+	for i, p := range ps {
+		t.AddRow(fmt.Sprintf("p%.0f", p),
+			metrics.HumanBytes(int64(imgCDF[i].SizeBytes)),
+			metrics.HumanBytes(int64(imdbCDF[i].SizeBytes)))
+	}
+	return t
+}
+
+// fig6Point measures one (system, size) cell of Fig 6 on a fresh
+// single-node Optane testbed and returns samples/sec.
+func fig6Point(system string, size int, scale float64) float64 {
+	n := samplesFor(size, scale)
+	ds := fixedDataset(601, n, size)
+	e := sim.NewEngine()
+	defer e.Shutdown()
+	job := workload.NewJob(e, 1, 20, true)
+	switch system {
+	case "ext4-base", "ext4-mc":
+		fss, shards, err := workload.Ext4PerNode(e, job, ds, ext4sim.Config{})
+		if err != nil {
+			panic(err)
+		}
+		threads := 1
+		if system == "ext4-mc" {
+			threads = 8
+		}
+		per := n - n%threads
+		return workload.RunExt4(e, job, ds, fss, shards, threads, per, 1).PerSec()
+	case "dlfs-base":
+		fss, err := workload.MountDLFS(e, job, ds, core.Config{})
+		if err != nil {
+			panic(err)
+		}
+		return workload.RunDLFSBase(e, job, ds, fss, n, 1).PerSec()
+	case "dlfs":
+		fss, err := workload.MountDLFS(e, job, ds, core.Config{})
+		if err != nil {
+			panic(err)
+		}
+		return workload.RunDLFSEpoch(e, fss, 1).PerSec()
+	default:
+		panic("unknown system " + system)
+	}
+}
+
+// Fig6 reproduces the single-node random-read sample throughput sweep
+// (Fig 6): sample size × {Ext4-Base, Ext4-MC, DLFS-Base, DLFS} on the
+// Optane device model, in samples/sec.
+func Fig6(scale float64) *metrics.Table {
+	t := metrics.NewTable("Fig 6: single-node random read sample throughput (samples/s)",
+		"size", "ext4-base", "ext4-mc", "dlfs-base", "dlfs")
+	for _, size := range sampleSizes {
+		t.AddRow(metrics.HumanBytes(int64(size)),
+			fig6Point("ext4-base", size, scale),
+			fig6Point("ext4-mc", size, scale),
+			fig6Point("dlfs-base", size, scale),
+			fig6Point("dlfs", size, scale))
+	}
+	return t
+}
+
+// Fig7a reproduces the core-count saturation experiment (Fig 7a): total
+// read bandwidth (GB/s) by core count for DLFS and Ext4 at representative
+// sample sizes. DLFS reaches device bandwidth with one core; Ext4 needs
+// several because the kernel path burns CPU per read.
+func Fig7a(scale float64) *metrics.Table {
+	t := metrics.NewTable("Fig 7a: bandwidth (GB/s) vs cores to saturate the SSD",
+		"cores", "dlfs-4K", "dlfs-128K", "ext4-4K", "ext4-128K")
+	for _, cores := range []int{1, 2, 3, 4, 6, 8} {
+		row := []any{cores}
+		for _, size := range []int{4 << 10, 128 << 10} {
+			n := samplesFor(size, scale)
+			ds := fixedDataset(701, n, size)
+			e := sim.NewEngine()
+			job := workload.NewJob(e, 1, cores, true)
+			fss, err := workload.MountDLFS(e, job, ds, core.Config{})
+			if err != nil {
+				panic(err)
+			}
+			res := workload.RunDLFSEpoch(e, fss, 2)
+			row = append(row, res.BytesPerSec()/1e9)
+			e.Shutdown()
+		}
+		for _, size := range []int{4 << 10, 128 << 10} {
+			n := samplesFor(size, scale)
+			ds := fixedDataset(702, n, size)
+			e := sim.NewEngine()
+			job := workload.NewJob(e, 1, cores, true)
+			fss, shards, err := workload.Ext4PerNode(e, job, ds, ext4sim.Config{})
+			if err != nil {
+				panic(err)
+			}
+			per := n - n%cores
+			res := workload.RunExt4(e, job, ds, fss, shards, cores, per, 2)
+			row = append(row, res.BytesPerSec()/1e9)
+			e.Shutdown()
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// Fig7b reproduces the poll-loop compute overlap experiment (Fig 7b):
+// sample throughput as application computation is injected into each
+// batch's polling window. Throughput holds until the compute exceeds the
+// batch's I/O service time, then degrades.
+func Fig7b(scale float64) *metrics.Table {
+	t := metrics.NewTable("Fig 7b: throughput (samples/s) vs compute added to the poll loop",
+		"compute", "512B", "16KiB", "128KiB")
+	computes := []sim.Duration{0, 100_000, 250_000, 500_000, 1_000_000, 1_500_000, 2_000_000, 3_000_000, 4_000_000}
+	sizes := []int{512, 16 << 10, 128 << 10}
+	for _, comp := range computes {
+		row := []any{fmt.Sprintf("%.2fms", float64(comp)/1e6)}
+		for _, size := range sizes {
+			n := samplesFor(size, scale)
+			ds := fixedDataset(703, n, size)
+			e := sim.NewEngine()
+			job := workload.NewJob(e, 1, 20, true)
+			fss, err := workload.MountDLFS(e, job, ds, core.Config{OverlapCompute: comp})
+			if err != nil {
+				panic(err)
+			}
+			row = append(row, workload.RunDLFSEpoch(e, fss, 3).PerSec())
+			e.Shutdown()
+		}
+		t.AddRow(row...)
+	}
+	return t
+}

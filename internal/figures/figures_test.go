@@ -1,0 +1,227 @@
+package figures
+
+import (
+	"strconv"
+	"testing"
+)
+
+// quickScale keeps the smoke tests fast; shape assertions tolerate the
+// added noise.
+const quickScale = 0.08
+
+func cell(t *testing.T, tab interface {
+	Rows() [][]string
+	Header() []string
+}, row int, col string) float64 {
+	t.Helper()
+	ci := -1
+	for i, h := range tab.Header() {
+		if h == col {
+			ci = i
+		}
+	}
+	if ci < 0 {
+		t.Fatalf("column %q not found in %v", col, tab.Header())
+	}
+	v, err := strconv.ParseFloat(tab.Rows()[row][ci], 64)
+	if err != nil {
+		t.Fatalf("cell [%d,%s] = %q: %v", row, col, tab.Rows()[row][ci], err)
+	}
+	return v
+}
+
+func TestFig1Quantiles(t *testing.T) {
+	tab := Fig1(0.5)
+	if tab.NumRows() != 7 {
+		t.Fatalf("rows = %d", tab.NumRows())
+	}
+	// p75 row: imagenet near 147KB, imdb near 1.6KB (rendered as strings).
+	p75 := tab.Rows()[3]
+	if p75[0] != "p75" {
+		t.Fatalf("row 3 = %v", p75)
+	}
+}
+
+func TestFig6Shape(t *testing.T) {
+	tab := Fig6(quickScale)
+	if tab.NumRows() != len(sampleSizes) {
+		t.Fatalf("rows = %d", tab.NumRows())
+	}
+	// Paper shape targets at 512B (row 0):
+	// DLFS-Base ≥ 1.82× Ext4-Base for small samples.
+	if r := cell(t, tab, 0, "dlfs-base") / cell(t, tab, 0, "ext4-base"); r < 1.82 {
+		t.Errorf("512B dlfs-base/ext4-base = %.2f, want ≥ 1.82", r)
+	}
+	// DLFS ≫ Ext4-MC for small samples (paper: 3.35×).
+	if r := cell(t, tab, 0, "dlfs") / cell(t, tab, 0, "ext4-mc"); r < 2 {
+		t.Errorf("512B dlfs/ext4-mc = %.2f, want ≥ 2", r)
+	}
+	// At 1MB everything is bandwidth-bound: spread within ~3×.
+	last := tab.NumRows() - 1
+	hi := cell(t, tab, last, "dlfs")
+	lo := cell(t, tab, last, "ext4-base")
+	if hi/lo > 3 {
+		t.Errorf("1MB spread %.2f, want < 3 (bandwidth bound)", hi/lo)
+	}
+	// Throughput decreases with sample size for every system.
+	for _, col := range []string{"ext4-base", "dlfs-base", "dlfs"} {
+		prev := cell(t, tab, 0, col)
+		for r := 1; r < tab.NumRows(); r++ {
+			cur := cell(t, tab, r, col)
+			if cur > prev*1.15 {
+				t.Errorf("%s not monotone: row %d %.0f > %.0f", col, r, cur, prev)
+			}
+			prev = cur
+		}
+	}
+}
+
+func TestFig7aShape(t *testing.T) {
+	tab := Fig7a(quickScale)
+	// DLFS saturates with one core: 1-core bandwidth within 10% of 8-core.
+	one := cell(t, tab, 0, "dlfs-128K")
+	eight := cell(t, tab, tab.NumRows()-1, "dlfs-128K")
+	if one < eight*0.9 {
+		t.Errorf("dlfs 1-core %.2f GB/s vs 8-core %.2f: should saturate at 1", one, eight)
+	}
+	// Near device bandwidth (2.4 GB/s).
+	if one < 2.0 {
+		t.Errorf("dlfs 1-core bandwidth %.2f GB/s, want ≈2.4", one)
+	}
+	// Ext4 needs ≥3 cores: its 1-core bandwidth is well below its 3-core.
+	e1 := cell(t, tab, 0, "ext4-128K")
+	e3 := cell(t, tab, 2, "ext4-128K")
+	if e1 > e3*0.7 {
+		t.Errorf("ext4 1-core %.2f vs 3-core %.2f: kernel path too cheap", e1, e3)
+	}
+}
+
+func TestFig7bShape(t *testing.T) {
+	tab := Fig7b(quickScale)
+	// 128K: flat through 0.5 ms (within 5%), clearly degraded by 4 ms.
+	base := cell(t, tab, 0, "128KiB")
+	at05 := cell(t, tab, 3, "128KiB")
+	at4 := cell(t, tab, tab.NumRows()-1, "128KiB")
+	if at05 < base*0.95 {
+		t.Errorf("128K throughput dropped already at 0.5ms: %.0f vs %.0f", at05, base)
+	}
+	if at4 > base*0.7 {
+		t.Errorf("128K throughput at 4ms = %.0f, want clearly below %.0f", at4, base)
+	}
+}
+
+func TestFig8Shape(t *testing.T) {
+	tab := Fig8(quickScale)
+	// Small samples: DLFS ≫ Ext4 and ≫ Octopus; Octopus > Ext4.
+	dlfs := cell(t, tab, 0, "dlfs")
+	oct := cell(t, tab, 0, "octopus")
+	ext := cell(t, tab, 0, "ext4")
+	if dlfs < 5*ext {
+		t.Errorf("512B dlfs/ext4 = %.1f, want ≫ (paper 9.72×)", dlfs/ext)
+	}
+	if dlfs < 3*oct {
+		t.Errorf("512B dlfs/octopus = %.1f, want ≫ (paper 6.05×)", dlfs/oct)
+	}
+	if oct < ext {
+		t.Errorf("512B octopus (%.0f) below ext4 (%.0f); paper has octopus ahead", oct, ext)
+	}
+	// Large samples: DLFS still ahead but by a modest factor.
+	last := tab.NumRows() - 1
+	if r := cell(t, tab, last, "dlfs") / cell(t, tab, last, "ext4"); r < 1.05 || r > 3 {
+		t.Errorf("1MB dlfs/ext4 = %.2f, want modest lead (paper 1.31×)", r)
+	}
+}
+
+func TestFig9Shape(t *testing.T) {
+	tab := Fig9(quickScale)
+	// DLFS 512B scales near-linearly 2 → 16 nodes (8× ideal; accept ≥5×).
+	d2 := cell(t, tab, 0, "dlfs-512B")
+	d16 := cell(t, tab, 3, "dlfs-512B")
+	if d16 < 5*d2 {
+		t.Errorf("dlfs 512B scaling 2→16 nodes = %.1fx, want ≥5x", d16/d2)
+	}
+	// At 16 nodes DLFS leads both baselines at both sizes.
+	if cell(t, tab, 3, "dlfs-512B") <= cell(t, tab, 3, "ext4-512B") {
+		t.Error("dlfs not ahead of ext4 at 512B/16 nodes")
+	}
+	if cell(t, tab, 3, "dlfs-128K") <= cell(t, tab, 3, "octopus-128K") {
+		t.Error("dlfs not ahead of octopus at 128K/16 nodes")
+	}
+}
+
+func TestFig10Shape(t *testing.T) {
+	tab := Fig10(quickScale)
+	// Ext4 open ≫ DLFS lookup (paper: two orders of magnitude).
+	d2 := cell(t, tab, 0, "dlfs")
+	e2 := cell(t, tab, 0, "ext4-open")
+	o2 := cell(t, tab, 0, "octopus")
+	if e2 < 30*d2 {
+		t.Errorf("ext4/dlfs lookup ratio %.0f, want ≳ 50-100x", e2/d2)
+	}
+	if o2 < d2 || o2 > e2 {
+		t.Errorf("octopus (%.3f) should sit between dlfs (%.3f) and ext4 (%.3f)", o2, d2, e2)
+	}
+	// DLFS total decreases roughly linearly with nodes.
+	d16 := cell(t, tab, 3, "dlfs")
+	if d2/d16 < 5 {
+		t.Errorf("dlfs lookup 2→16 nodes shrank only %.1fx, want ≈8x", d2/d16)
+	}
+	// The crail extension column: once the namenode saturates the
+	// per-node time stops shrinking — flat from 8 to 16 nodes — while
+	// DLFS keeps halving.
+	c8 := cell(t, tab, 2, "crail")
+	c16 := cell(t, tab, 3, "crail")
+	if c8/c16 > 1.2 {
+		t.Errorf("crail lookup time still shrinking 8→16 nodes (%.2fx); the namenode should bottleneck", c8/c16)
+	}
+	dlfs8 := cell(t, tab, 2, "dlfs")
+	if dlfs8/d16 < 1.5 {
+		t.Errorf("dlfs should keep scaling where crail flattens")
+	}
+}
+
+func TestFig11Shape(t *testing.T) {
+	tab := Fig11(quickScale)
+	// One client reaches a high fraction of its NIC-capped ideal at 2
+	// devices (paper: 93.4% overall).
+	got := cell(t, tab, 0, "dlfs-1c")
+	ideal := cell(t, tab, 0, "nvme-1c-ideal")
+	if got < 0.75*ideal {
+		t.Errorf("dlfs-1c at 2 devices = %.0f of ideal %.0f (%.0f%%)", got, ideal, 100*got/ideal)
+	}
+	// 16 clients keep scaling with devices: 16-device throughput well
+	// above 2-device.
+	c2 := cell(t, tab, 0, "dlfs-16c")
+	c16 := cell(t, tab, tab.NumRows()-1, "dlfs-16c")
+	if c16 < 3*c2 {
+		t.Errorf("dlfs-16c scaling 2→16 devices = %.1fx, want ≥3x", c16/c2)
+	}
+}
+
+func TestFig12Shape(t *testing.T) {
+	tab := Fig12(quickScale)
+	// Ordering at 16 nodes, 512B: DLFS > Octopus > Ext4 (paper Fig 12a).
+	d := cell(t, tab, 3, "dlfs-tf-512B")
+	o := cell(t, tab, 3, "octopus-tf-512B")
+	x := cell(t, tab, 3, "ext4-tf-512B")
+	if !(d > o && o > x) {
+		t.Errorf("512B ordering dlfs=%.0f octopus=%.0f ext4=%.0f, want dlfs>octopus>ext4", d, o, x)
+	}
+	// 128K: DLFS leads (paper: 1.25× over Octopus, 61% over Ext4).
+	if cell(t, tab, 3, "dlfs-tf-128K") <= cell(t, tab, 3, "octopus-tf-128K") {
+		t.Error("dlfs-tf not ahead at 128K")
+	}
+}
+
+func TestFig13Shape(t *testing.T) {
+	tab := Fig13(0.4) // 40 epochs keeps the learner honest but quick
+	last := tab.NumRows() - 1
+	full := cell(t, tab, last, "Full_Rand")
+	dlfs := cell(t, tab, last, "DLFS")
+	if full < 0.65 || dlfs < 0.65 {
+		t.Fatalf("training failed to converge: full=%.3f dlfs=%.3f", full, dlfs)
+	}
+	if diff := full - dlfs; diff > 0.06 || diff < -0.06 {
+		t.Errorf("accuracy gap %.3f between Full_Rand and DLFS, want ≈0 (paper: indistinguishable)", diff)
+	}
+}

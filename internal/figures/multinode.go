@@ -1,0 +1,323 @@
+package figures
+
+import (
+	"fmt"
+
+	"dlfs/internal/cluster"
+	"dlfs/internal/core"
+	"dlfs/internal/crail"
+	"dlfs/internal/dataset"
+	"dlfs/internal/directory"
+	"dlfs/internal/ext4sim"
+	"dlfs/internal/fabric"
+	"dlfs/internal/metrics"
+	"dlfs/internal/nvme"
+	"dlfs/internal/octopus"
+	"dlfs/internal/sample"
+	"dlfs/internal/sim"
+	"dlfs/internal/workload"
+)
+
+// multiNodePoint measures aggregate samples/sec for one (system, nodes,
+// size) cell on emulated NVMe devices, the §IV-B setup.
+func multiNodePoint(system string, nodes, size int, scale float64) float64 {
+	// Bound the workload: per node, up to 64 MiB / at most 1024 samples.
+	perNode := (48 << 20) / size
+	if perNode > 1024 {
+		perNode = 1024
+	}
+	if perNode < 64 {
+		perNode = 64
+	}
+	perNode = scaled(perNode, scale)
+	total := perNode * nodes
+	ds := fixedDataset(int64(800+size%97), total, size)
+	e := sim.NewEngine()
+	defer e.Shutdown()
+	job := workload.NewJob(e, nodes, 20, false)
+	switch system {
+	case "ext4":
+		fss, shards, err := workload.Ext4PerNode(e, job, ds, ext4sim.Config{})
+		if err != nil {
+			panic(err)
+		}
+		return workload.RunExt4(e, job, ds, fss, shards, 1, perNode, 4).PerSec()
+	case "octopus":
+		fs, err := workload.BuildOctopus(job, ds)
+		if err != nil {
+			panic(err)
+		}
+		return workload.RunOctopus(e, job, ds, fs, perNode, 4).PerSec()
+	case "dlfs":
+		fss, err := workload.MountDLFS(e, job, ds, core.Config{})
+		if err != nil {
+			panic(err)
+		}
+		return workload.RunDLFSEpoch(e, fss, 4).PerSec()
+	default:
+		panic("unknown system " + system)
+	}
+}
+
+// Fig8 reproduces the aggregated random-read throughput over 16 nodes
+// versus sample size (Fig 8): DLFS, Octopus, Ext4 in samples/sec.
+func Fig8(scale float64) *metrics.Table {
+	t := metrics.NewTable("Fig 8: aggregated read throughput over 16 nodes (samples/s)",
+		"size", "dlfs", "octopus", "ext4")
+	for _, size := range sampleSizes {
+		t.AddRow(metrics.HumanBytes(int64(size)),
+			multiNodePoint("dlfs", 16, size, scale),
+			multiNodePoint("octopus", 16, size, scale),
+			multiNodePoint("ext4", 16, size, scale))
+	}
+	return t
+}
+
+// Fig9 reproduces the scalability sweep (Fig 9): aggregate throughput over
+// 2–16 nodes for 512 B (a) and 128 KB (b) samples.
+func Fig9(scale float64) *metrics.Table {
+	t := metrics.NewTable("Fig 9: aggregated throughput vs node count (samples/s)",
+		"nodes", "dlfs-512B", "octopus-512B", "ext4-512B", "dlfs-128K", "octopus-128K", "ext4-128K")
+	for _, nodes := range []int{2, 4, 8, 16} {
+		t.AddRow(nodes,
+			multiNodePoint("dlfs", nodes, 512, scale),
+			multiNodePoint("octopus", nodes, 512, scale),
+			multiNodePoint("ext4", nodes, 512, scale),
+			multiNodePoint("dlfs", nodes, 128<<10, scale),
+			multiNodePoint("octopus", nodes, 128<<10, scale),
+			multiNodePoint("ext4", nodes, 128<<10, scale))
+	}
+	return t
+}
+
+// fig10TotalSamples is the directory population of the lookup experiment.
+const fig10TotalSamples = 1_000_000
+
+// fig10DLFS measures DLFS's mean per-lookup cost against a real
+// partitioned directory of 1M samples and scales it to the per-node share
+// (1M/N lookups per node), returning seconds.
+func fig10DLFS(nodes int, probes int) float64 {
+	// Build the 1M-entry directory the cheap way: entries only.
+	parts := make([]*directory.Partition, nodes)
+	for i := range parts {
+		parts[i] = directory.NewPartition(uint16(i))
+	}
+	keys := make([]uint64, 0, fig10TotalSamples)
+	for i := 0; len(keys) < fig10TotalSamples; i++ {
+		k := sample.KeyOf(fmt.Sprintf("imagenet/train/%08d", i))
+		nid := directory.HomeNode(k, nodes)
+		e, err := sample.NewEntry(nid, k, int64(i%1000)*4096, 4096)
+		if err != nil {
+			panic(err)
+		}
+		if parts[nid].Add(e) != nil {
+			continue // rare key collision
+		}
+		keys = append(keys, k)
+	}
+	dir, err := directory.New(parts)
+	if err != nil {
+		panic(err)
+	}
+	visitCPU := core.DefaultConfig().LookupVisitCPU
+	totalDepth := 0
+	for i := 0; i < probes; i++ {
+		_, _, depth, ok := dir.Lookup(keys[(i*7919)%len(keys)])
+		if !ok {
+			panic("fig10: lost key")
+		}
+		totalDepth += depth
+	}
+	perLookup := float64(totalDepth) / float64(probes) * float64(visitCPU) // ns
+	return perLookup * float64(fig10TotalSamples/nodes) / 1e9
+}
+
+// fig10Ext4 measures Ext4's mean open() cost with a cold inode cache
+// (the paper uses open time as Ext4's lookup equivalent) and scales to
+// the per-node share, returning seconds.
+func fig10Ext4(nodes, probes, size int) float64 {
+	e := sim.NewEngine()
+	defer e.Shutdown()
+	dev := nvme.NewDevice(e, nvme.EmulatedSpec())
+	// Small inode cache against many files: opens miss, as they would
+	// with 1M inodes against a bounded slab cache.
+	fs := ext4sim.New(e, dev, ext4sim.Config{ICacheEntries: 64})
+	nFiles := probes * 2
+	for i := 0; i < nFiles; i++ {
+		if err := fs.CreateFile(fmt.Sprintf("train/%08d", i), make([]byte, size)); err != nil {
+			panic(err)
+		}
+	}
+	cpu := sim.NewServer(e, "cpu", 1)
+	var total sim.Duration
+	e.Go("opens", func(p *sim.Proc) {
+		for i := 0; i < probes; i++ {
+			start := p.Now()
+			f, err := fs.Open(p, cpu, fmt.Sprintf("train/%08d", (i*13)%nFiles))
+			if err != nil {
+				panic(err)
+			}
+			total += sim.Duration(p.Now() - start)
+			fs.Close(p, cpu, f) //nolint:errcheck
+		}
+	})
+	e.RunAll()
+	perOpen := float64(total) / float64(probes)
+	return perOpen * float64(fig10TotalSamples/nodes) / 1e9
+}
+
+// fig10Octopus measures Octopus's mean lookup RPC cost from a client in an
+// N-node job and scales to the per-node share, returning seconds.
+func fig10Octopus(nodes, probes int) float64 {
+	e := sim.NewEngine()
+	defer e.Shutdown()
+	job := cluster.NewJob(e, nodes, cluster.DefaultNodeSpec())
+	fs := octopus.New(job, octopus.Costs{})
+	for i := 0; i < probes; i++ {
+		if err := fs.Put(fmt.Sprintf("train/%08d", i), []byte("x")); err != nil {
+			panic(err)
+		}
+	}
+	var total sim.Duration
+	e.Go("lookups", func(p *sim.Proc) {
+		for i := 0; i < probes; i++ {
+			start := p.Now()
+			if _, err := fs.Lookup(p, 0, fmt.Sprintf("train/%08d", i)); err != nil {
+				panic(err)
+			}
+			total += sim.Duration(p.Now() - start)
+		}
+	})
+	e.RunAll()
+	perLookup := float64(total) / float64(probes)
+	return perLookup * float64(fig10TotalSamples/nodes) / 1e9
+}
+
+// fig10Crail measures the centralized-metadata extension baseline: all
+// nodes look up concurrently, every request serialising at the namenode.
+// The makespan is scaled to the per-node share of 1M lookups; because the
+// single namenode serves N×probes requests, the scaled per-node time
+// stays flat as nodes grow — the bottleneck DLFS's replicated directory
+// avoids.
+func fig10Crail(nodes, probes int) float64 {
+	e := sim.NewEngine()
+	defer e.Shutdown()
+	job := cluster.NewJob(e, nodes, cluster.DefaultNodeSpec())
+	fs := crail.New(job, crail.Costs{})
+	const files = 512
+	for i := 0; i < files; i++ {
+		if err := fs.Put(fmt.Sprintf("train/%08d", i), []byte("x")); err != nil {
+			panic(err)
+		}
+	}
+	for c := 0; c < nodes; c++ {
+		c := c
+		e.Go("lookups", func(p *sim.Proc) {
+			for i := 0; i < probes; i++ {
+				if _, err := fs.Lookup(p, c, fmt.Sprintf("train/%08d", (i*13+c)%files)); err != nil {
+					panic(err)
+				}
+			}
+		})
+	}
+	makespan := e.RunAll()
+	perLookupWall := float64(makespan) / float64(probes) // per client wave
+	return perLookupWall * float64(fig10TotalSamples/nodes) / 1e9
+}
+
+// Fig10 reproduces the sample-lookup-time experiment (Fig 10): total time
+// for each node to resolve its share of 1 million samples, by node count.
+// Lookup is metadata-only, so the 512 B and 128 KB plots coincide in the
+// model; Ext4's open path touches the inode block, so its cost is the one
+// that includes a device read. The crail column is an extension: the
+// centralized-metadata design the paper's related work contrasts DLFS
+// against.
+func Fig10(scale float64) *metrics.Table {
+	t := metrics.NewTable("Fig 10: per-node lookup time for 1M samples (seconds)",
+		"nodes", "dlfs", "octopus", "ext4-open", "crail")
+	probes := scaled(2000, scale)
+	for _, nodes := range []int{2, 4, 8, 16} {
+		t.AddRow(nodes,
+			fig10DLFS(nodes, probes),
+			fig10Octopus(nodes, probes),
+			fig10Ext4(nodes, probes, 4096),
+			fig10Crail(nodes, probes))
+	}
+	return t
+}
+
+// fig11Topology builds a job of `devices` storage nodes followed by
+// `clients` diskless client nodes and mounts DLFS on every node.
+func fig11Topology(e *sim.Engine, devices, clients, size, perClient int) ([]*core.FS, *dataset.Dataset) {
+	specs := make([]cluster.NodeSpec, 0, devices+clients)
+	storageSpec := cluster.DefaultNodeSpec()
+	diskless := cluster.NodeSpec{Cores: 20, NICBandwidth: fabric.FDRBandwidth}
+	for i := 0; i < devices; i++ {
+		specs = append(specs, storageSpec)
+	}
+	for i := 0; i < clients; i++ {
+		specs = append(specs, diskless)
+	}
+	job := cluster.NewJobMixed(e, specs)
+	storage := make([]int, devices)
+	readers := make([]int, clients)
+	for i := range storage {
+		storage[i] = i
+	}
+	for i := range readers {
+		readers[i] = devices + i
+	}
+	ds := fixedDataset(int64(1100+devices), perClient*clients, size)
+	cfg := core.Config{StorageNodes: storage, ReaderNodes: readers}
+	fss := make([]*core.FS, job.N())
+	errs := make([]error, job.N())
+	for i := 0; i < job.N(); i++ {
+		i := i
+		e.Go(fmt.Sprintf("mount%d", i), func(p *sim.Proc) {
+			fss[i], errs[i] = core.Mount(p, job, i, ds, cfg)
+		})
+	}
+	e.RunAll()
+	for _, err := range errs {
+		if err != nil {
+			panic(err)
+		}
+	}
+	// Only the reader instances drive epochs.
+	return fss[devices:], ds
+}
+
+// Fig11 reproduces the disaggregation-effectiveness experiment (Fig 11):
+// 128 KB sample throughput of 1 and 16 DLFS clients over a growing pool of
+// NVMe-oF devices, against the analytic ideal (device bandwidth, capped by
+// the single client's NIC in the 1-client case).
+func Fig11(scale float64) *metrics.Table {
+	t := metrics.NewTable("Fig 11: effective throughput on disaggregated NVMe devices (samples/s)",
+		"devices", "dlfs-1c", "nvme-1c-ideal", "dlfs-16c", "nvme-16c-ideal")
+	const size = 128 << 10
+	devBW := float64(nvme.EmulatedSpec().ReadBandwidth)
+	nicBW := float64(fabric.FDRBandwidth)
+	for _, devices := range []int{2, 4, 8, 12, 16} {
+		perClient := scaled(512, scale)
+
+		e1 := sim.NewEngine()
+		readers1, _ := fig11Topology(e1, devices, 1, size, perClient)
+		r1 := workload.RunDLFSEpoch(e1, readers1, 11)
+		e1.Shutdown()
+
+		e16 := sim.NewEngine()
+		readers16, _ := fig11Topology(e16, devices, 16, size, perClient/4)
+		r16 := workload.RunDLFSEpoch(e16, readers16, 11)
+		e16.Shutdown()
+
+		ideal1 := float64(devices) * devBW
+		if ideal1 > nicBW {
+			ideal1 = nicBW
+		}
+		ideal16 := float64(devices) * devBW
+		t.AddRow(devices,
+			r1.PerSec(), ideal1/size,
+			r16.PerSec(), ideal16/size)
+	}
+	return t
+}

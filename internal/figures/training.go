@@ -1,0 +1,153 @@
+package figures
+
+import (
+	"fmt"
+
+	"dlfs/internal/core"
+	"dlfs/internal/dnn"
+	"dlfs/internal/ext4sim"
+	"dlfs/internal/metrics"
+	"dlfs/internal/sim"
+	"dlfs/internal/tfio"
+	"dlfs/internal/workload"
+)
+
+// fig12Point measures aggregate TensorFlow-import throughput (samples/s)
+// for one (system, nodes, size) cell: every node runs one import pipeline
+// over its share of the dataset, with the framework decode cost on top of
+// the file system.
+func fig12Point(system string, nodes, size int, scale float64) float64 {
+	perNode := (32 << 20) / size
+	if perNode > 768 {
+		perNode = 768
+	}
+	if perNode < 64 {
+		perNode = 64
+	}
+	perNode = scaled(perNode, scale)
+	total := perNode * nodes
+	ds := fixedDataset(int64(1200+size%89), total, size)
+	e := sim.NewEngine()
+	defer e.Shutdown()
+	job := workload.NewJob(e, nodes, 20, false)
+
+	var start, end sim.Time
+	imported := 0
+	runClients := func(mk func(client int) *tfio.Pipeline) {
+		for c := 0; c < nodes; c++ {
+			c := c
+			e.Go(fmt.Sprintf("tf%d", c), func(p *sim.Proc) {
+				pl := mk(c)
+				if start == 0 {
+					start = p.Now()
+				}
+				imported += pl.Drain(p)
+				if p.Now() > end {
+					end = p.Now()
+				}
+			})
+		}
+		e.RunAll()
+	}
+
+	switch system {
+	case "dlfs":
+		fss, err := workload.MountDLFS(e, job, ds, core.Config{})
+		if err != nil {
+			panic(err)
+		}
+		runClients(func(c int) *tfio.Pipeline {
+			return tfio.NewPipeline(tfio.NewDLFSSource(fss[c].Sequence(12)), job.Node(c), tfio.Costs{}, 32)
+		})
+	case "ext4":
+		fss, shards, err := workload.Ext4PerNode(e, job, ds, ext4sim.Config{})
+		if err != nil {
+			panic(err)
+		}
+		runClients(func(c int) *tfio.Pipeline {
+			order := workload.RandomOrder(int64(c)+77, shards[c], len(shards[c]))
+			return tfio.NewPipeline(tfio.NewExt4Source(fss[c], job.Node(c), ds, order), job.Node(c), tfio.Costs{}, 32)
+		})
+	case "octopus":
+		ofs, err := workload.BuildOctopus(job, ds)
+		if err != nil {
+			panic(err)
+		}
+		global := workload.RandomOrder(77, workload.Seq(ds.Len()), ds.Len())
+		runClients(func(c int) *tfio.Pipeline {
+			lo := len(global) * c / nodes
+			hi := len(global) * (c + 1) / nodes
+			return tfio.NewPipeline(tfio.NewOctopusSource(ofs, c, ds, global[lo:hi]), job.Node(c), tfio.Costs{}, 32)
+		})
+	default:
+		panic("unknown system " + system)
+	}
+	if end <= start {
+		return 0
+	}
+	return float64(imported) / (float64(end-start) / 1e9)
+}
+
+// Fig12 reproduces the TensorFlow data-import throughput experiment
+// (Fig 12): aggregate imported samples/sec through the framework pipeline
+// on top of DLFS, Octopus and Ext4, for 512 B (a) and 128 KB (b) samples
+// across 2–16 nodes.
+func Fig12(scale float64) *metrics.Table {
+	t := metrics.NewTable("Fig 12: TensorFlow import throughput (samples/s)",
+		"nodes", "dlfs-tf-512B", "octopus-tf-512B", "ext4-tf-512B", "dlfs-tf-128K", "octopus-tf-128K", "ext4-tf-128K")
+	for _, nodes := range []int{2, 4, 8, 16} {
+		t.AddRow(nodes,
+			fig12Point("dlfs", nodes, 512, scale),
+			fig12Point("octopus", nodes, 512, scale),
+			fig12Point("ext4", nodes, 512, scale),
+			fig12Point("dlfs", nodes, 128<<10, scale),
+			fig12Point("octopus", nodes, 128<<10, scale),
+			fig12Point("ext4", nodes, 128<<10, scale))
+	}
+	return t
+}
+
+// Fig13 reproduces the training-accuracy experiment (Fig 13): per-epoch
+// validation accuracy under application-driven full randomisation versus
+// the DLFS-determined chunk order, on a real SGD learner over a synthetic
+// classification task (see internal/dnn for the substitution rationale).
+// A no-shuffle control is included as the ablation the paper's concern
+// implies.
+func Fig13(scale float64) *metrics.Table {
+	t := metrics.NewTable("Fig 13: validation accuracy by epoch",
+		"epoch", "Full_Rand", "DLFS", "no-shuffle")
+	epochs := scaled(100, scale)
+	if epochs > 100 {
+		epochs = 100
+	}
+	n := scaled(2000, scale)
+	// dim 8 / noise 2.2 gives a task hard enough that the accuracy
+	// trajectory is informative (≈0.5 after one epoch, ≈0.8 converged)
+	// rather than saturating instantly.
+	data := dnn.SyntheticClusters(131, n, 8, 10, 2.2)
+	cut := n * 4 / 5
+	train := &dnn.Data{X: data.X[:cut], Y: data.Y[:cut], Classes: data.Classes}
+	val := &dnn.Data{X: data.X[cut:], Y: data.Y[cut:], Classes: data.Classes}
+
+	sizes := make([]int, train.Len())
+	for i := range sizes {
+		sizes[i] = 500 + (i*131)%3000 // synthetic byte sizes for the layout
+	}
+	dl, err := dnn.NewDLFSOrder(13, sizes, 4, 8192)
+	if err != nil {
+		panic(err)
+	}
+	cfg := dnn.TrainConfig{Epochs: epochs, BatchSize: 32, LR: 0.015, Hidden: 24, Seed: 3}
+	full := dnn.Train(train, val, dnn.FullRand{Seed: 31}, cfg)
+	dlfs := dnn.Train(train, val, dl, cfg)
+	fixed := dnn.Train(train, val, dnn.FixedOrder{}, cfg)
+	step := epochs / 20
+	if step < 1 {
+		step = 1
+	}
+	for ep := 0; ep < epochs; ep += step {
+		t.AddRow(ep+1, full[ep], dlfs[ep], fixed[ep])
+	}
+	t.AddRow(epochs, full[epochs-1], dlfs[epochs-1], fixed[epochs-1])
+	return t
+}

@@ -1,0 +1,183 @@
+// Package hugepage implements the huge-page arena backing the DLFS sample
+// cache. SPDK requires I/O buffers to live on pinned huge pages (paper
+// §III-C1); DLFS therefore allocates its sample cache there and divides it
+// into fixed-size chunks.
+//
+// The arena reproduces that discipline: one contiguous backing slice carved
+// into aligned, equally sized chunks handed out through a free list. Chunk
+// memory is real — reads land in it and copies out of it are real copies —
+// so the zero-copy-into-cache property of the design is observable in
+// tests.
+package hugepage
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// HugePageSize mirrors the 2 MiB x86 huge page. Arena sizes round up to it.
+const HugePageSize = 2 << 20
+
+// Chunk is one cache chunk: a fixed-capacity aligned buffer.
+type Chunk struct {
+	idx   int
+	buf   []byte // full capacity; len == chunk size
+	arena *Arena
+}
+
+// Index returns the chunk's position in the arena.
+func (c *Chunk) Index() int { return c.idx }
+
+// Bytes returns the chunk's full backing buffer.
+func (c *Chunk) Bytes() []byte { return c.buf }
+
+// Cap returns the chunk capacity in bytes.
+func (c *Chunk) Cap() int { return len(c.buf) }
+
+// Arena is a pool of fixed-size chunks carved from one backing allocation.
+type Arena struct {
+	mu        sync.Mutex
+	backing   []byte
+	chunkSize int
+	chunks    []Chunk
+	free      []int  // LIFO free list of chunk indices
+	isFree    []bool // per-chunk free flag, guards double frees in O(1)
+	inUse     int
+	peakInUse int
+}
+
+// Errors returned by the arena.
+var (
+	ErrExhausted  = errors.New("hugepage: arena exhausted")
+	ErrForeign    = errors.New("hugepage: chunk does not belong to this arena")
+	ErrDoubleFree = errors.New("hugepage: chunk already free")
+)
+
+// NewArena creates an arena of totalBytes (rounded up to whole huge pages)
+// divided into chunkSize chunks. chunkSize must divide HugePageSize or be a
+// multiple of it, keeping every chunk huge-page aligned or page-interior
+// without straddling an allocation boundary.
+func NewArena(totalBytes int64, chunkSize int) (*Arena, error) {
+	if chunkSize <= 0 {
+		return nil, fmt.Errorf("hugepage: invalid chunk size %d", chunkSize)
+	}
+	if HugePageSize%chunkSize != 0 && chunkSize%HugePageSize != 0 {
+		return nil, fmt.Errorf("hugepage: chunk size %d does not tile huge pages", chunkSize)
+	}
+	if totalBytes <= 0 {
+		return nil, fmt.Errorf("hugepage: invalid arena size %d", totalBytes)
+	}
+	pages := (totalBytes + HugePageSize - 1) / HugePageSize
+	size := pages * HugePageSize
+	n := int(size) / chunkSize
+	a := &Arena{
+		backing:   make([]byte, size),
+		chunkSize: chunkSize,
+		chunks:    make([]Chunk, n),
+		free:      make([]int, n),
+		isFree:    make([]bool, n),
+	}
+	for i := 0; i < n; i++ {
+		off := i * chunkSize
+		a.chunks[i] = Chunk{idx: i, buf: a.backing[off : off+chunkSize : off+chunkSize], arena: a}
+		a.free[i] = n - 1 - i // so chunk 0 pops first
+		a.isFree[i] = true
+	}
+	return a, nil
+}
+
+// ChunkSize returns the configured chunk size.
+func (a *Arena) ChunkSize() int { return a.chunkSize }
+
+// NumChunks returns the total number of chunks.
+func (a *Arena) NumChunks() int { return len(a.chunks) }
+
+// FreeChunks returns how many chunks are currently available.
+func (a *Arena) FreeChunks() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.free)
+}
+
+// InUse returns how many chunks are currently allocated.
+func (a *Arena) InUse() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.inUse
+}
+
+// PeakInUse returns the maximum simultaneous allocation observed.
+func (a *Arena) PeakInUse() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.peakInUse
+}
+
+// Alloc takes one chunk from the free list.
+func (a *Arena) Alloc() (*Chunk, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if len(a.free) == 0 {
+		return nil, ErrExhausted
+	}
+	idx := a.free[len(a.free)-1]
+	a.free = a.free[:len(a.free)-1]
+	a.isFree[idx] = false
+	a.inUse++
+	if a.inUse > a.peakInUse {
+		a.peakInUse = a.inUse
+	}
+	return &a.chunks[idx], nil
+}
+
+// AllocN takes n chunks, or none if fewer than n are free.
+func (a *Arena) AllocN(n int) ([]*Chunk, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if len(a.free) < n {
+		return nil, ErrExhausted
+	}
+	out := make([]*Chunk, n)
+	for i := 0; i < n; i++ {
+		idx := a.free[len(a.free)-1]
+		a.free = a.free[:len(a.free)-1]
+		a.isFree[idx] = false
+		out[i] = &a.chunks[idx]
+	}
+	a.inUse += n
+	if a.inUse > a.peakInUse {
+		a.peakInUse = a.inUse
+	}
+	return out, nil
+}
+
+// Free returns a chunk to the arena.
+func (a *Arena) Free(c *Chunk) error {
+	if c == nil || c.arena != a {
+		return ErrForeign
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.isFree[c.idx] {
+		return ErrDoubleFree
+	}
+	a.isFree[c.idx] = true
+	a.free = append(a.free, c.idx)
+	a.inUse--
+	return nil
+}
+
+// Reset returns every chunk to the free list, invalidating outstanding
+// handles. Used between epochs when the whole cache is recycled.
+func (a *Arena) Reset() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.free = a.free[:0]
+	n := len(a.chunks)
+	for i := 0; i < n; i++ {
+		a.free = append(a.free, n-1-i)
+		a.isFree[i] = true
+	}
+	a.inUse = 0
+}

@@ -1,0 +1,203 @@
+package hugepage
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestArenaLayout(t *testing.T) {
+	a, err := NewArena(10<<20, 256<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.ChunkSize() != 256<<10 {
+		t.Fatal("chunk size")
+	}
+	if a.NumChunks() != 40 { // 10 MiB / 256 KiB
+		t.Fatalf("NumChunks = %d", a.NumChunks())
+	}
+	if a.FreeChunks() != 40 || a.InUse() != 0 {
+		t.Fatal("fresh arena accounting")
+	}
+}
+
+func TestArenaRoundsUpToHugePages(t *testing.T) {
+	a, err := NewArena(1, 256<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumChunks() != HugePageSize/(256<<10) {
+		t.Fatalf("NumChunks = %d", a.NumChunks())
+	}
+}
+
+func TestBadParams(t *testing.T) {
+	if _, err := NewArena(1<<20, 0); err == nil {
+		t.Fatal("zero chunk size accepted")
+	}
+	if _, err := NewArena(0, 4096); err == nil {
+		t.Fatal("zero arena accepted")
+	}
+	if _, err := NewArena(4<<20, 3000); err == nil {
+		t.Fatal("non-tiling chunk size accepted")
+	}
+	// Multiple of huge page size is allowed.
+	if _, err := NewArena(8<<20, 4<<20); err != nil {
+		t.Fatalf("4MiB chunks rejected: %v", err)
+	}
+}
+
+func TestAllocFreeCycle(t *testing.T) {
+	a, _ := NewArena(2<<20, 64<<10)
+	n := a.NumChunks()
+	var got []*Chunk
+	for i := 0; i < n; i++ {
+		c, err := a.Alloc()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, c)
+	}
+	if _, err := a.Alloc(); !errors.Is(err, ErrExhausted) {
+		t.Fatalf("over-alloc: %v", err)
+	}
+	if a.PeakInUse() != n {
+		t.Fatalf("peak %d", a.PeakInUse())
+	}
+	for _, c := range got {
+		if err := a.Free(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if a.FreeChunks() != n {
+		t.Fatal("not all freed")
+	}
+}
+
+func TestChunksDisjointAndWritable(t *testing.T) {
+	a, _ := NewArena(2<<20, 128<<10)
+	c1, _ := a.Alloc()
+	c2, _ := a.Alloc()
+	if c1.Index() == c2.Index() {
+		t.Fatal("same chunk allocated twice")
+	}
+	for i := range c1.Bytes() {
+		c1.Bytes()[i] = 0xAA
+	}
+	for _, b := range c2.Bytes() {
+		if b == 0xAA {
+			t.Fatal("chunks share memory")
+		}
+	}
+	if c1.Cap() != 128<<10 {
+		t.Fatalf("cap %d", c1.Cap())
+	}
+}
+
+func TestChunkAppendCannotGrowIntoNeighbor(t *testing.T) {
+	a, _ := NewArena(2<<20, 64<<10)
+	c, _ := a.Alloc()
+	buf := c.Bytes()
+	if cap(buf) != len(buf) {
+		t.Fatalf("chunk slice capacity %d exceeds length %d (three-index slicing lost)", cap(buf), len(buf))
+	}
+}
+
+func TestDoubleFree(t *testing.T) {
+	a, _ := NewArena(2<<20, 64<<10)
+	c, _ := a.Alloc()
+	if err := a.Free(c); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Free(c); !errors.Is(err, ErrDoubleFree) {
+		t.Fatalf("double free: %v", err)
+	}
+}
+
+func TestForeignFree(t *testing.T) {
+	a, _ := NewArena(2<<20, 64<<10)
+	b, _ := NewArena(2<<20, 64<<10)
+	c, _ := b.Alloc()
+	if err := a.Free(c); !errors.Is(err, ErrForeign) {
+		t.Fatalf("foreign free: %v", err)
+	}
+	if err := a.Free(nil); !errors.Is(err, ErrForeign) {
+		t.Fatalf("nil free: %v", err)
+	}
+}
+
+func TestAllocN(t *testing.T) {
+	a, _ := NewArena(2<<20, 256<<10) // 8 chunks
+	cs, err := a.AllocN(5)
+	if err != nil || len(cs) != 5 {
+		t.Fatalf("AllocN: %v, %d", err, len(cs))
+	}
+	if _, err := a.AllocN(4); !errors.Is(err, ErrExhausted) {
+		t.Fatalf("partial AllocN should fail atomically: %v", err)
+	}
+	if a.InUse() != 5 {
+		t.Fatalf("failed AllocN leaked: inUse=%d", a.InUse())
+	}
+}
+
+func TestReset(t *testing.T) {
+	a, _ := NewArena(2<<20, 256<<10)
+	a.Alloc() //nolint:errcheck
+	a.Alloc() //nolint:errcheck
+	a.Reset()
+	if a.InUse() != 0 || a.FreeChunks() != a.NumChunks() {
+		t.Fatal("reset did not restore arena")
+	}
+	// And alloc after reset works.
+	if _, err := a.Alloc(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: under random alloc/free sequences the arena never hands out
+// the same chunk twice and accounting stays exact.
+func TestArenaNeverDoubleAllocatesProperty(t *testing.T) {
+	f := func(ops []bool, seed int64) bool {
+		a, err := NewArena(2<<20, 64<<10)
+		if err != nil {
+			return false
+		}
+		rng := rand.New(rand.NewSource(seed))
+		held := map[int]*Chunk{}
+		for _, alloc := range ops {
+			if alloc {
+				c, err := a.Alloc()
+				if errors.Is(err, ErrExhausted) {
+					continue
+				}
+				if err != nil {
+					return false
+				}
+				if _, dup := held[c.Index()]; dup {
+					return false
+				}
+				held[c.Index()] = c
+			} else if len(held) > 0 {
+				// free a random held chunk
+				keys := make([]int, 0, len(held))
+				for k := range held {
+					keys = append(keys, k)
+				}
+				k := keys[rng.Intn(len(keys))]
+				if a.Free(held[k]) != nil {
+					return false
+				}
+				delete(held, k)
+			}
+			if a.InUse() != len(held) || a.FreeChunks() != a.NumChunks()-len(held) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,528 @@
+// Package live is the real-concurrency DLFS client: the same design as
+// internal/core — hash-sharded upload, in-memory tree-based sample
+// directory, chunk-level batched reads from a huge-page-style cache — but
+// running on ordinary goroutines against real TCP NVMe-oF-style targets
+// (internal/nvmetcp) instead of the discrete-event simulation.
+//
+// It demonstrates that the DLFS design is not simulation-bound: the
+// directory, sample-entry and chunk-planning code is shared verbatim with
+// the simulated file system, and the examples drive it end to end over
+// localhost TCP.
+package live
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+
+	"dlfs/internal/dataset"
+	"dlfs/internal/directory"
+	"dlfs/internal/hugepage"
+	"dlfs/internal/nvmetcp"
+	"dlfs/internal/plan"
+	"dlfs/internal/sample"
+)
+
+// Config tunes the live client. Zero values take defaults.
+type Config struct {
+	ChunkSize      int   // sample cache chunk size (default 256 KiB)
+	CacheBytes     int64 // sample cache size (default 64 MiB)
+	BatchSize      int   // samples per NextBatch (default 32)
+	Prefetchers    int   // concurrent chunk fetchers (default 4)
+	Window         int   // resident units to randomise across (default 8)
+	ReadCacheBytes int64 // ReadSample V-bit cache budget (default 8 MiB; <0 disables)
+}
+
+func (c Config) withDefaults() Config {
+	if c.ChunkSize <= 0 {
+		c.ChunkSize = 256 << 10
+	}
+	if c.CacheBytes <= 0 {
+		c.CacheBytes = 64 << 20
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 32
+	}
+	if c.Prefetchers <= 0 {
+		c.Prefetchers = 4
+	}
+	if c.Window <= 0 {
+		c.Window = 8
+	}
+	if c.ReadCacheBytes == 0 {
+		c.ReadCacheBytes = 8 << 20
+	}
+	return c
+}
+
+// FS is a live DLFS client bound to a set of TCP targets.
+type FS struct {
+	cfg    Config
+	ds     *dataset.Dataset
+	dir    *directory.Directory
+	inits  []*nvmetcp.Initiator
+	arena  *blockingArena
+	placed []plan.Placed
+	nodeOf []uint16
+	keyIdx map[uint64]int
+	closed bool
+
+	// ReadSample V-bit cache: recently fetched samples kept in memory,
+	// mirroring the simulated path's read cache. Guarded by cacheMu.
+	cacheMu    sync.Mutex
+	cache      map[int][]byte
+	cacheOrder []int
+	cacheBytes int64
+	cacheHits  int64
+}
+
+// Errors.
+var (
+	ErrNotFound = errors.New("live: no such sample")
+	ErrClosed   = errors.New("live: file system closed")
+)
+
+// Mount connects to the targets, uploads each target's hash-shard of the
+// dataset, and builds the replicated directory — dlfs_mount over real
+// sockets. The caller owns closing the returned FS.
+func Mount(addrs []string, ds *dataset.Dataset, cfg Config) (*FS, error) {
+	cfg = cfg.withDefaults()
+	if len(addrs) == 0 {
+		return nil, errors.New("live: no targets")
+	}
+	inits := make([]*nvmetcp.Initiator, len(addrs))
+	for i, a := range addrs {
+		in, err := nvmetcp.Connect(a)
+		if err != nil {
+			for _, prev := range inits[:i] {
+				prev.Close() //nolint:errcheck
+			}
+			return nil, fmt.Errorf("live: target %s: %w", a, err)
+		}
+		inits[i] = in
+	}
+
+	n := len(addrs)
+	parts := make([]*directory.Partition, n)
+	for i := range parts {
+		parts[i] = directory.NewPartition(uint16(i))
+	}
+	offs := make([]int64, n)
+	placed := make([]plan.Placed, ds.Len())
+	nodeOf := make([]uint16, ds.Len())
+	keyIdx := make(map[uint64]int, ds.Len())
+	for i := 0; i < ds.Len(); i++ {
+		key := ds.Samples[i].Key()
+		if _, dup := keyIdx[key]; dup {
+			return nil, fmt.Errorf("live: key collision on sample %d", i)
+		}
+		keyIdx[key] = i
+		nid := directory.HomeNode(key, n)
+		content := ds.Content(i)
+		if _, err := inits[nid].WriteAt(content, offs[nid]); err != nil {
+			return nil, fmt.Errorf("live: uploading sample %d: %w", i, err)
+		}
+		e, err := sample.NewEntry(nid, key, offs[nid], int32(len(content)))
+		if err != nil {
+			return nil, err
+		}
+		if err := parts[nid].Add(e); err != nil {
+			return nil, err
+		}
+		placed[i] = plan.Placed{Sample: i, Offset: offs[nid], Len: int32(len(content))}
+		nodeOf[i] = nid
+		offs[nid] += int64(len(content))
+	}
+	dir, err := directory.New(parts)
+	if err != nil {
+		return nil, err
+	}
+	arena, err := hugepage.NewArena(cfg.CacheBytes, cfg.ChunkSize)
+	if err != nil {
+		return nil, err
+	}
+	return &FS{
+		cfg:    cfg,
+		ds:     ds,
+		dir:    dir,
+		inits:  inits,
+		arena:  newBlockingArena(arena),
+		placed: placed,
+		nodeOf: nodeOf,
+		keyIdx: keyIdx,
+		cache:  make(map[int][]byte),
+	}, nil
+}
+
+// Directory exposes the sample directory.
+func (fs *FS) Directory() *directory.Directory { return fs.dir }
+
+// ReadSample reads one sample synchronously by dataset index (the
+// dlfs_open/read/close path), serving repeats from the V-bit read cache.
+func (fs *FS) ReadSample(idx int) ([]byte, error) {
+	if fs.closed {
+		return nil, ErrClosed
+	}
+	if idx < 0 || idx >= fs.ds.Len() {
+		return nil, fmt.Errorf("%w: index %d", ErrNotFound, idx)
+	}
+	if hit := fs.cacheGet(idx); hit != nil {
+		return hit, nil
+	}
+	pl := fs.placed[idx]
+	buf := make([]byte, pl.Len)
+	if _, err := fs.inits[fs.nodeOf[idx]].ReadAt(buf, pl.Offset); err != nil {
+		return nil, err
+	}
+	fs.cachePut(idx, buf)
+	return buf, nil
+}
+
+// CacheHits reports ReadSample requests served from the read cache.
+func (fs *FS) CacheHits() int64 {
+	fs.cacheMu.Lock()
+	defer fs.cacheMu.Unlock()
+	return fs.cacheHits
+}
+
+// cacheGet returns a copy of the cached sample, refreshing LRU order.
+func (fs *FS) cacheGet(idx int) []byte {
+	if fs.cfg.ReadCacheBytes < 0 {
+		return nil
+	}
+	fs.cacheMu.Lock()
+	defer fs.cacheMu.Unlock()
+	data, ok := fs.cache[idx]
+	if !ok {
+		return nil
+	}
+	fs.cacheHits++
+	for i, v := range fs.cacheOrder {
+		if v == idx {
+			fs.cacheOrder = append(fs.cacheOrder[:i], fs.cacheOrder[i+1:]...)
+			break
+		}
+	}
+	fs.cacheOrder = append(fs.cacheOrder, idx)
+	out := make([]byte, len(data))
+	copy(out, data)
+	return out
+}
+
+// cachePut inserts a sample, evicting LRU entries past the byte budget
+// and maintaining the directory's V bits to mirror cache state.
+func (fs *FS) cachePut(idx int, data []byte) {
+	if fs.cfg.ReadCacheBytes < 0 || int64(len(data)) > fs.cfg.ReadCacheBytes {
+		return
+	}
+	fs.cacheMu.Lock()
+	defer fs.cacheMu.Unlock()
+	if _, dup := fs.cache[idx]; dup {
+		return
+	}
+	kept := make([]byte, len(data))
+	copy(kept, data)
+	fs.cache[idx] = kept
+	fs.cacheOrder = append(fs.cacheOrder, idx)
+	fs.cacheBytes += int64(len(kept))
+	fs.setV(idx, true)
+	for fs.cacheBytes > fs.cfg.ReadCacheBytes && len(fs.cacheOrder) > 0 {
+		victim := fs.cacheOrder[0]
+		fs.cacheOrder = fs.cacheOrder[1:]
+		fs.cacheBytes -= int64(len(fs.cache[victim]))
+		delete(fs.cache, victim)
+		fs.setV(victim, false)
+	}
+}
+
+func (fs *FS) setV(idx int, v bool) {
+	_, ref, _, ok := fs.dir.Lookup(fs.ds.Samples[idx].Key())
+	if ok {
+		fs.dir.SetV(ref, v)
+	}
+}
+
+// ReadName resolves a sample name through the directory and reads it.
+func (fs *FS) ReadName(name string, attrs ...string) ([]byte, error) {
+	e, _, _, ok := fs.dir.LookupName(name, attrs...)
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, name)
+	}
+	idx, ok := fs.keyIdx[e.Key()]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, name)
+	}
+	return fs.ReadSample(idx)
+}
+
+// Close tears down the target connections.
+func (fs *FS) Close() error {
+	if fs.closed {
+		return nil
+	}
+	fs.closed = true
+	var err error
+	for _, in := range fs.inits {
+		if cerr := in.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// blockingArena wraps the huge-page arena with blocking allocation: a
+// fetcher waits until enough chunks are free instead of failing.
+type blockingArena struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	arena *hugepage.Arena
+}
+
+func newBlockingArena(a *hugepage.Arena) *blockingArena {
+	b := &blockingArena{arena: a}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+func (b *blockingArena) allocN(n int) []*hugepage.Chunk {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for {
+		chunks, err := b.arena.AllocN(n)
+		if err == nil {
+			return chunks
+		}
+		b.cond.Wait()
+	}
+}
+
+func (b *blockingArena) free(chunks []*hugepage.Chunk) {
+	b.mu.Lock()
+	for _, c := range chunks {
+		b.arena.Free(c) //nolint:errcheck
+	}
+	b.mu.Unlock()
+	b.cond.Broadcast()
+}
+
+// Item is one delivered sample.
+type Item struct {
+	Index int
+	Data  []byte
+}
+
+// unit mirrors the core package's fetch granule.
+type unit struct {
+	node    uint16
+	offset  int64
+	length  int32
+	samples []plan.Placed
+	chunks  []*hugepage.Chunk
+	next    int
+}
+
+// Epoch is a chunk-batched pass over the dataset, driven by background
+// prefetchers.
+type Epoch struct {
+	fs    *FS
+	rng   *rand.Rand
+	ready chan *unit
+	errCh chan error
+
+	resident []*unit
+	total    int
+	emitted  int
+	failed   error
+}
+
+// Sequence starts an epoch with the given seed (dlfs_sequence +
+// chunk-level batching). Background fetchers start immediately.
+func (fs *FS) Sequence(seed int64) (*Epoch, error) {
+	if fs.closed {
+		return nil, ErrClosed
+	}
+	n := len(fs.inits)
+	layout := &plan.Layout{NodeSamples: make([][]plan.Placed, n), ChunkSize: int64(fs.cfg.ChunkSize)}
+	for idx, pl := range fs.placed {
+		nid := fs.nodeOf[idx]
+		layout.NodeSamples[nid] = append(layout.NodeSamples[nid], pl)
+	}
+	for nid := range layout.NodeSamples {
+		s := layout.NodeSamples[nid]
+		sort.Slice(s, func(i, j int) bool { return s[i].Offset < s[j].Offset })
+	}
+	cp, err := plan.BuildChunkPlan(layout)
+	if err != nil {
+		return nil, err
+	}
+	var units []*unit
+	for _, c := range cp.Chunks {
+		units = append(units, &unit{node: c.Node, offset: c.Offset, length: c.Length, samples: c.Samples})
+	}
+	for _, e := range cp.Edges {
+		units = append(units, &unit{node: e.Node, offset: e.Placed.Offset, length: e.Placed.Len, samples: []plan.Placed{e.Placed}})
+	}
+	rng := rand.New(rand.NewSource(seed))
+	rng.Shuffle(len(units), func(i, j int) { units[i], units[j] = units[j], units[i] })
+
+	ep := &Epoch{
+		fs:    fs,
+		rng:   rand.New(rand.NewSource(seed ^ 0x9E3779B9)),
+		ready: make(chan *unit, fs.cfg.Window),
+		errCh: make(chan error, 1),
+		total: cp.NumSamples(),
+	}
+	// Fetch pipeline: a shared work queue drained by Prefetchers workers.
+	work := make(chan *unit)
+	var wg sync.WaitGroup
+	for w := 0; w < fs.cfg.Prefetchers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for u := range work {
+				if err := ep.fetch(u); err != nil {
+					select {
+					case ep.errCh <- err:
+					default:
+					}
+					return
+				}
+				ep.ready <- u
+			}
+		}()
+	}
+	go func() {
+		for _, u := range units {
+			work <- u
+		}
+		close(work)
+		wg.Wait()
+		close(ep.ready)
+	}()
+	return ep, nil
+}
+
+// fetch brings one unit into cache chunks: one remote read per chunk-sized
+// segment, issued asynchronously on the unit's queue pair.
+func (ep *Epoch) fetch(u *unit) error {
+	cs := ep.fs.cfg.ChunkSize
+	nChunks := (int(u.length) + cs - 1) / cs
+	u.chunks = ep.fs.arena.allocN(nChunks)
+	in := ep.fs.inits[u.node]
+	pendings := make([]*nvmetcp.Pending, nChunks)
+	for i := 0; i < nChunks; i++ {
+		segLen := cs
+		if rem := int(u.length) - i*cs; rem < segLen {
+			segLen = rem
+		}
+		pd, err := in.ReadAsync(u.chunks[i].Bytes()[:segLen], u.offset+int64(i*cs))
+		if err != nil {
+			// Queue full: fall back to a synchronous read for this segment.
+			if _, serr := in.ReadAt(u.chunks[i].Bytes()[:segLen], u.offset+int64(i*cs)); serr != nil {
+				return serr
+			}
+			continue
+		}
+		pendings[i] = pd
+	}
+	for _, pd := range pendings {
+		if pd == nil {
+			continue
+		}
+		if _, err := pd.Wait(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Total reports the number of samples the epoch will deliver.
+func (ep *Epoch) Total() int { return ep.total }
+
+// NextBatch returns the next mini-batch: random selection across the
+// resident window of fetched chunks, sequential within each chunk — the
+// copy-thread emission discipline of §III-D2. ok is false when the epoch
+// is exhausted. An I/O failure surfaces as an error and ends the epoch.
+func (ep *Epoch) NextBatch() ([]Item, bool, error) {
+	if ep.failed != nil {
+		return nil, false, ep.failed
+	}
+	if ep.emitted >= ep.total {
+		return nil, false, nil
+	}
+	var items []Item
+	for len(items) < ep.fs.cfg.BatchSize && ep.emitted < ep.total {
+		// Refill the resident window.
+		for len(ep.resident) < ep.fs.cfg.Window {
+			select {
+			case err := <-ep.errCh:
+				ep.failed = err
+				return items, false, err
+			case u, ok := <-ep.ready:
+				if !ok {
+					goto emit
+				}
+				ep.resident = append(ep.resident, u)
+				continue
+			default:
+			}
+			break
+		}
+	emit:
+		if len(ep.resident) == 0 {
+			// Nothing resident: block for the next fetched unit.
+			select {
+			case err := <-ep.errCh:
+				ep.failed = err
+				return items, false, err
+			case u, ok := <-ep.ready:
+				if !ok {
+					return items, len(items) > 0, nil
+				}
+				ep.resident = append(ep.resident, u)
+			}
+		}
+		k := ep.rng.Intn(len(ep.resident))
+		u := ep.resident[k]
+		pl := u.samples[u.next]
+		u.next++
+		buf := make([]byte, pl.Len)
+		copyFromChunks(u, pl, buf, ep.fs.cfg.ChunkSize)
+		items = append(items, Item{Index: pl.Sample, Data: buf})
+		ep.emitted++
+		if u.next == len(u.samples) {
+			ep.fs.arena.free(u.chunks)
+			u.chunks = nil
+			ep.resident = append(ep.resident[:k], ep.resident[k+1:]...)
+		}
+	}
+	return items, len(items) > 0, nil
+}
+
+func copyFromChunks(u *unit, pl plan.Placed, dst []byte, chunkSize int) {
+	off := pl.Offset - u.offset
+	copied := 0
+	for copied < int(pl.Len) {
+		pos := off + int64(copied)
+		ci := int(pos) / chunkSize
+		within := int(pos) % chunkSize
+		copied += copy(dst[copied:], u.chunks[ci].Bytes()[within:])
+	}
+}
+
+// Drain consumes the whole epoch and returns all items.
+func (ep *Epoch) Drain() ([]Item, error) {
+	var all []Item
+	for {
+		items, ok, err := ep.NextBatch()
+		all = append(all, items...)
+		if err != nil {
+			return all, err
+		}
+		if !ok {
+			return all, nil
+		}
+	}
+}

@@ -1,0 +1,327 @@
+// Package metrics provides the statistics and table rendering used by the
+// benchmark harness: summary statistics over samples, throughput
+// computation in virtual or wall time, and a fixed-width table printer for
+// the figure output that cmd/dlfsbench and bench_test.go emit.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Sample accumulates float64 observations and answers summary queries.
+// The zero value is ready to use.
+type Sample struct {
+	vals   []float64
+	sorted bool
+}
+
+// Add records one observation.
+func (s *Sample) Add(v float64) {
+	s.vals = append(s.vals, v)
+	s.sorted = false
+}
+
+// AddDuration records a duration observation in seconds.
+func (s *Sample) AddDuration(d time.Duration) { s.Add(d.Seconds()) }
+
+// N reports the number of observations.
+func (s *Sample) N() int { return len(s.vals) }
+
+// Sum returns the sum of observations.
+func (s *Sample) Sum() float64 {
+	sum := 0.0
+	for _, v := range s.vals {
+		sum += v
+	}
+	return sum
+}
+
+// Mean returns the arithmetic mean, or 0 for an empty sample.
+func (s *Sample) Mean() float64 {
+	if len(s.vals) == 0 {
+		return 0
+	}
+	return s.Sum() / float64(len(s.vals))
+}
+
+// Var returns the unbiased sample variance (0 for n < 2).
+func (s *Sample) Var() float64 {
+	n := len(s.vals)
+	if n < 2 {
+		return 0
+	}
+	m := s.Mean()
+	sum := 0.0
+	for _, v := range s.vals {
+		d := v - m
+		sum += d * d
+	}
+	return sum / float64(n-1)
+}
+
+// Stddev returns the sample standard deviation.
+func (s *Sample) Stddev() float64 { return math.Sqrt(s.Var()) }
+
+// Min returns the minimum observation (0 for empty).
+func (s *Sample) Min() float64 {
+	if len(s.vals) == 0 {
+		return 0
+	}
+	m := s.vals[0]
+	for _, v := range s.vals[1:] {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Max returns the maximum observation (0 for empty).
+func (s *Sample) Max() float64 {
+	if len(s.vals) == 0 {
+		return 0
+	}
+	m := s.vals[0]
+	for _, v := range s.vals[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+func (s *Sample) sortValues() {
+	if !s.sorted {
+		sort.Float64s(s.vals)
+		s.sorted = true
+	}
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) by linear
+// interpolation between closest ranks.
+func (s *Sample) Percentile(p float64) float64 {
+	n := len(s.vals)
+	if n == 0 {
+		return 0
+	}
+	s.sortValues()
+	if p <= 0 {
+		return s.vals[0]
+	}
+	if p >= 100 {
+		return s.vals[n-1]
+	}
+	rank := p / 100 * float64(n-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return s.vals[lo]
+	}
+	frac := rank - float64(lo)
+	return s.vals[lo]*(1-frac) + s.vals[hi]*frac
+}
+
+// Median returns the 50th percentile.
+func (s *Sample) Median() float64 { return s.Percentile(50) }
+
+// Values returns a copy of the observations in insertion order is not
+// guaranteed once percentile queries have run; callers should treat the
+// result as an unordered multiset.
+func (s *Sample) Values() []float64 { return append([]float64(nil), s.vals...) }
+
+// Throughput expresses a count of items served over a span of time.
+type Throughput struct {
+	Items   float64
+	Bytes   int64
+	Elapsed time.Duration
+}
+
+// PerSec returns items per second (0 if Elapsed is 0).
+func (t Throughput) PerSec() float64 {
+	if t.Elapsed <= 0 {
+		return 0
+	}
+	return t.Items / t.Elapsed.Seconds()
+}
+
+// BytesPerSec returns bytes per second.
+func (t Throughput) BytesPerSec() float64 {
+	if t.Elapsed <= 0 {
+		return 0
+	}
+	return float64(t.Bytes) / t.Elapsed.Seconds()
+}
+
+// HumanRate renders an items/sec rate with an SI suffix, e.g. "1.23M/s".
+func HumanRate(perSec float64) string {
+	switch {
+	case perSec >= 1e9:
+		return fmt.Sprintf("%.2fG/s", perSec/1e9)
+	case perSec >= 1e6:
+		return fmt.Sprintf("%.2fM/s", perSec/1e6)
+	case perSec >= 1e3:
+		return fmt.Sprintf("%.2fK/s", perSec/1e3)
+	default:
+		return fmt.Sprintf("%.2f/s", perSec)
+	}
+}
+
+// HumanBytes renders a byte count with a binary suffix, e.g. "256KiB".
+func HumanBytes(n int64) string {
+	const (
+		kib = 1 << 10
+		mib = 1 << 20
+		gib = 1 << 30
+	)
+	switch {
+	case n >= gib && n%gib == 0:
+		return fmt.Sprintf("%dGiB", n/gib)
+	case n >= mib && n%mib == 0:
+		return fmt.Sprintf("%dMiB", n/mib)
+	case n >= kib && n%kib == 0:
+		return fmt.Sprintf("%dKiB", n/kib)
+	case n >= gib:
+		return fmt.Sprintf("%.1fGiB", float64(n)/gib)
+	case n >= mib:
+		return fmt.Sprintf("%.1fMiB", float64(n)/mib)
+	case n >= kib:
+		return fmt.Sprintf("%.1fKiB", float64(n)/kib)
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}
+
+// Table renders rows of figures as a fixed-width text table. Build it with
+// a header, append rows, and write it out.
+type Table struct {
+	Title  string
+	header []string
+	rows   [][]string
+}
+
+// NewTable returns a table with the given title and column headers.
+func NewTable(title string, header ...string) *Table {
+	return &Table{Title: title, header: header}
+}
+
+// AddRow appends a row; each cell is rendered with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = formatFloat(v)
+		case string:
+			row[i] = v
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+func formatFloat(v float64) string {
+	av := math.Abs(v)
+	switch {
+	case v == math.Trunc(v) && av < 1e9:
+		return fmt.Sprintf("%.0f", v)
+	case av >= 1e6 || (av < 1e-3 && av > 0):
+		return fmt.Sprintf("%.3g", v)
+	default:
+		return fmt.Sprintf("%.3f", v)
+	}
+}
+
+// NumRows reports the number of data rows added.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+// Rows returns the rendered cells, one slice per row.
+func (t *Table) Rows() [][]string { return t.rows }
+
+// Header returns the column headers.
+func (t *Table) Header() []string { return t.header }
+
+// WriteTo renders the table. It always returns a nil error from the final
+// fmt call's perspective; the signature matches io.WriterTo.
+func (t *Table) WriteTo(w io.Writer) (int64, error) {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var sb strings.Builder
+	if t.Title != "" {
+		sb.WriteString(t.Title)
+		sb.WriteByte('\n')
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(pad(c, widths[i]))
+		}
+		sb.WriteByte('\n')
+	}
+	line(t.header)
+	total := 0
+	for _, w := range widths {
+		total += w
+	}
+	sb.WriteString(strings.Repeat("-", total+2*(len(widths)-1)))
+	sb.WriteByte('\n')
+	for _, row := range t.rows {
+		line(row)
+	}
+	n, err := io.WriteString(w, sb.String())
+	return int64(n), err
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var sb strings.Builder
+	t.WriteTo(&sb) //nolint:errcheck // strings.Builder never fails
+	return sb.String()
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// Speedup returns a/b guarding against division by zero.
+func Speedup(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}
+
+// GeoMean returns the geometric mean of positive values (0 if any value is
+// non-positive or the slice is empty).
+func GeoMean(vals []float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range vals {
+		if v <= 0 {
+			return 0
+		}
+		sum += math.Log(v)
+	}
+	return math.Exp(sum / float64(len(vals)))
+}

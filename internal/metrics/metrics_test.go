@@ -1,0 +1,186 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestSampleBasics(t *testing.T) {
+	var s Sample
+	for _, v := range []float64{4, 2, 8, 6} {
+		s.Add(v)
+	}
+	if s.N() != 4 {
+		t.Fatalf("N = %d", s.N())
+	}
+	if !almost(s.Sum(), 20) || !almost(s.Mean(), 5) {
+		t.Fatalf("sum=%v mean=%v", s.Sum(), s.Mean())
+	}
+	if !almost(s.Min(), 2) || !almost(s.Max(), 8) {
+		t.Fatalf("min=%v max=%v", s.Min(), s.Max())
+	}
+	if !almost(s.Median(), 5) {
+		t.Fatalf("median=%v", s.Median())
+	}
+	// Variance of {4,2,8,6}: mean 5, sq devs 1+9+9+1=20, /3.
+	if !almost(s.Var(), 20.0/3) {
+		t.Fatalf("var=%v", s.Var())
+	}
+	if !almost(s.Stddev(), math.Sqrt(20.0/3)) {
+		t.Fatalf("stddev=%v", s.Stddev())
+	}
+}
+
+func TestSampleEmpty(t *testing.T) {
+	var s Sample
+	if s.Mean() != 0 || s.Min() != 0 || s.Max() != 0 || s.Var() != 0 || s.Percentile(50) != 0 {
+		t.Fatal("empty sample should report zeros")
+	}
+}
+
+func TestPercentileEdges(t *testing.T) {
+	var s Sample
+	for i := 1; i <= 100; i++ {
+		s.Add(float64(i))
+	}
+	if !almost(s.Percentile(0), 1) || !almost(s.Percentile(100), 100) {
+		t.Fatalf("p0=%v p100=%v", s.Percentile(0), s.Percentile(100))
+	}
+	p75 := s.Percentile(75)
+	if p75 < 74 || p75 > 77 {
+		t.Fatalf("p75=%v", p75)
+	}
+}
+
+func TestPercentileInterpolation(t *testing.T) {
+	var s Sample
+	s.Add(10)
+	s.Add(20)
+	if !almost(s.Percentile(50), 15) {
+		t.Fatalf("p50 of {10,20} = %v, want 15", s.Percentile(50))
+	}
+}
+
+func TestAddDuration(t *testing.T) {
+	var s Sample
+	s.AddDuration(500 * time.Millisecond)
+	if !almost(s.Mean(), 0.5) {
+		t.Fatalf("mean=%v", s.Mean())
+	}
+}
+
+// Property: percentile is monotone in p and bounded by min/max.
+func TestPercentileMonotoneProperty(t *testing.T) {
+	f := func(raw []int16, aRaw, bRaw uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		var s Sample
+		for _, v := range raw {
+			s.Add(float64(v))
+		}
+		a := float64(aRaw) / 255 * 100
+		b := float64(bRaw) / 255 * 100
+		if a > b {
+			a, b = b, a
+		}
+		pa, pb := s.Percentile(a), s.Percentile(b)
+		return pa <= pb && pa >= s.Min() && pb <= s.Max()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestThroughput(t *testing.T) {
+	tp := Throughput{Items: 1000, Bytes: 1 << 20, Elapsed: 2 * time.Second}
+	if !almost(tp.PerSec(), 500) {
+		t.Fatalf("PerSec=%v", tp.PerSec())
+	}
+	if !almost(tp.BytesPerSec(), float64(1<<19)) {
+		t.Fatalf("BytesPerSec=%v", tp.BytesPerSec())
+	}
+	zero := Throughput{Items: 5}
+	if zero.PerSec() != 0 || zero.BytesPerSec() != 0 {
+		t.Fatal("zero elapsed should report 0 rate")
+	}
+}
+
+func TestHumanRate(t *testing.T) {
+	cases := map[float64]string{
+		12:    "12.00/s",
+		1500:  "1.50K/s",
+		2.5e6: "2.50M/s",
+		3.2e9: "3.20G/s",
+	}
+	for in, want := range cases {
+		if got := HumanRate(in); got != want {
+			t.Errorf("HumanRate(%v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestHumanBytes(t *testing.T) {
+	cases := map[int64]string{
+		512:         "512B",
+		1 << 10:     "1KiB",
+		256 << 10:   "256KiB",
+		1 << 20:     "1MiB",
+		3 << 30:     "3GiB",
+		1536:        "1.5KiB",
+		5<<20 + 100: "5.0MiB",
+	}
+	for in, want := range cases {
+		if got := HumanBytes(in); got != want {
+			t.Errorf("HumanBytes(%d) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := NewTable("Fig X", "size", "dlfs", "ext4")
+	tab.AddRow("512B", 1234.0, 56.0)
+	tab.AddRow("4KiB", 2000.5, 70.25)
+	out := tab.String()
+	if !strings.Contains(out, "Fig X") || !strings.Contains(out, "size") {
+		t.Fatalf("missing title/header:\n%s", out)
+	}
+	if !strings.Contains(out, "512B") || !strings.Contains(out, "2000.500") {
+		t.Fatalf("missing cells:\n%s", out)
+	}
+	if tab.NumRows() != 2 || len(tab.Rows()) != 2 || len(tab.Header()) != 3 {
+		t.Fatal("row/header accounting wrong")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+}
+
+func TestTableIntegerFloatFormatting(t *testing.T) {
+	tab := NewTable("", "v")
+	tab.AddRow(16.0)
+	if tab.Rows()[0][0] != "16" {
+		t.Fatalf("integral float rendered as %q", tab.Rows()[0][0])
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	if !almost(Speedup(10, 2), 5) || Speedup(1, 0) != 0 {
+		t.Fatal("Speedup wrong")
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if !almost(GeoMean([]float64{1, 4}), 2) {
+		t.Fatalf("GeoMean = %v", GeoMean([]float64{1, 4}))
+	}
+	if GeoMean(nil) != 0 || GeoMean([]float64{1, -1}) != 0 {
+		t.Fatal("GeoMean edge cases wrong")
+	}
+}

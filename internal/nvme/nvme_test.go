@@ -1,0 +1,275 @@
+package nvme
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"dlfs/internal/dataset"
+	"dlfs/internal/sim"
+)
+
+func testSpec() Spec {
+	return Spec{
+		Name:          "test",
+		Capacity:      1 << 30,
+		ReadLatency:   sim.Duration(10 * time.Microsecond),
+		WriteLatency:  sim.Duration(12 * time.Microsecond),
+		ReadBandwidth: 2_400_000_000,
+		CmdOverhead:   sim.Duration(1600 * time.Nanosecond),
+		Channels:      8,
+		MediaBlock:    4096,
+	}
+}
+
+func TestSyncWriteRead(t *testing.T) {
+	e := sim.NewEngine()
+	d := NewDevice(e, testSpec())
+	data := []byte("the quick brown fox")
+	e.Go("io", func(p *sim.Proc) {
+		if err := d.SyncIO(p, &Command{Op: OpWrite, Offset: 8192, Buf: data}); err != nil {
+			t.Error(err)
+		}
+		got := make([]byte, len(data))
+		if err := d.SyncIO(p, &Command{Op: OpRead, Offset: 8192, Buf: got}); err != nil {
+			t.Error(err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Errorf("got %q", got)
+		}
+	})
+	e.RunAll()
+	if e.Now() == 0 {
+		t.Fatal("I/O took no virtual time")
+	}
+}
+
+func TestSingleReadLatency(t *testing.T) {
+	e := sim.NewEngine()
+	d := NewDevice(e, testSpec())
+	var took sim.Time
+	e.Go("io", func(p *sim.Proc) {
+		start := p.Now()
+		buf := make([]byte, 4096)
+		d.SyncIO(p, &Command{Op: OpRead, Offset: 0, Buf: buf}) //nolint:errcheck
+		took = p.Now() - start
+	})
+	e.RunAll()
+	// 1.6µs cmd + 10µs media + 4K/2.4GB/s ≈ 1.7µs transfer ≈ 13.3µs.
+	want := sim.Time(13300)
+	if took < want-500 || took > want+500 {
+		t.Fatalf("single 4K read took %v, want ≈13.3µs", took)
+	}
+}
+
+func TestQueueDepthEnforced(t *testing.T) {
+	e := sim.NewEngine()
+	d := NewDevice(e, testSpec())
+	q := d.AllocQPair(4)
+	e.Go("driver", func(p *sim.Proc) {
+		for i := 0; i < 4; i++ {
+			if err := q.Submit(&Command{Op: OpRead, Offset: int64(i) * 4096, Buf: make([]byte, 4096)}); err != nil {
+				t.Errorf("submit %d: %v", i, err)
+			}
+		}
+		if err := q.Submit(&Command{Op: OpRead, Buf: make([]byte, 4096)}); err != ErrQueueFull {
+			t.Errorf("5th submit: %v, want ErrQueueFull", err)
+		}
+		if q.Inflight() != 4 || q.Depth() != 4 {
+			t.Errorf("inflight=%d depth=%d", q.Inflight(), q.Depth())
+		}
+		// Busy-poll until all four complete.
+		done := 0
+		for done < 4 {
+			done += len(q.Poll(16))
+			p.Sleep(200)
+		}
+		if q.Inflight() != 0 {
+			t.Errorf("inflight after drain = %d", q.Inflight())
+		}
+		// Queue has room again.
+		if err := q.Submit(&Command{Op: OpRead, Buf: make([]byte, 512)}); err != nil {
+			t.Errorf("resubmit: %v", err)
+		}
+	})
+	e.RunAll()
+}
+
+func TestPollMaxAndCtx(t *testing.T) {
+	e := sim.NewEngine()
+	d := NewDevice(e, testSpec())
+	q := d.AllocQPair(16)
+	e.Go("driver", func(p *sim.Proc) {
+		for i := 0; i < 6; i++ {
+			q.Submit(&Command{Op: OpRead, Offset: 0, Buf: make([]byte, 512), Ctx: i}) //nolint:errcheck
+		}
+		p.Sleep(sim.Duration(time.Millisecond))
+		first := q.Poll(2)
+		if len(first) != 2 {
+			t.Errorf("Poll(2) = %d", len(first))
+		}
+		rest := q.Poll(0) // 0 means all
+		if len(rest) != 4 {
+			t.Errorf("Poll(0) = %d", len(rest))
+		}
+		if first[0].Cmd.Ctx.(int) != 0 {
+			t.Errorf("ctx order: %v", first[0].Cmd.Ctx)
+		}
+	})
+	e.RunAll()
+}
+
+// Concurrent 4K reads should reach the device's IOPS envelope:
+// min(channels/(cmd+lat), bw/4K) ≈ min(690K, 586K) ≈ 586K IOPS.
+func TestRandomReadIOPSEnvelope(t *testing.T) {
+	e := sim.NewEngine()
+	d := NewDevice(e, testSpec())
+	q := d.AllocQPair(128)
+	const n = 4000
+	e.Go("driver", func(p *sim.Proc) {
+		submitted, done := 0, 0
+		for done < n {
+			for submitted < n && q.Submit(&Command{Op: OpRead, Offset: int64(submitted%1000) * 4096, Buf: make([]byte, 4096)}) == nil {
+				submitted++
+			}
+			done += len(q.Poll(0))
+			p.Sleep(200)
+		}
+	})
+	e.RunAll()
+	iops := float64(n) / (float64(e.Now()) / 1e9)
+	if iops < 400_000 || iops > 700_000 {
+		t.Fatalf("4K random read IOPS = %.0f, want 400K-700K", iops)
+	}
+}
+
+// Large sequential reads should saturate bandwidth, not latency.
+func TestLargeReadBandwidthBound(t *testing.T) {
+	e := sim.NewEngine()
+	d := NewDevice(e, testSpec())
+	q := d.AllocQPair(64)
+	const n = 200
+	const sz = 1 << 20
+	buf := make([]byte, sz)
+	e.Go("driver", func(p *sim.Proc) {
+		submitted, done := 0, 0
+		for done < n {
+			for submitted < n && q.Inflight() < q.Depth() {
+				if q.Submit(&Command{Op: OpRead, Offset: int64(submitted) * sz, Buf: buf}) != nil {
+					break
+				}
+				submitted++
+			}
+			done += len(q.Poll(0))
+			p.Sleep(1000)
+		}
+	})
+	e.RunAll()
+	bps := float64(n*sz) / (float64(e.Now()) / 1e9)
+	if bps < 2.1e9 || bps > 2.5e9 {
+		t.Fatalf("1MiB read bandwidth = %.2f GB/s, want ≈2.4", bps/1e9)
+	}
+	if u := d.BandwidthUtilization(); u < 0.9 {
+		t.Fatalf("data path utilization %.2f, want >0.9", u)
+	}
+}
+
+func TestMediaSpanRounding(t *testing.T) {
+	e := sim.NewEngine()
+	d := NewDevice(e, testSpec())
+	cases := []struct {
+		off  int64
+		n    int
+		want int64
+	}{
+		{0, 1, 4096},
+		{0, 4096, 4096},
+		{1, 4096, 8192},
+		{4095, 2, 8192},
+		{4096, 4096, 4096},
+		{0, 0, 0},
+	}
+	for _, c := range cases {
+		if got := d.mediaSpan(c.off, c.n); got != c.want {
+			t.Errorf("mediaSpan(%d,%d) = %d, want %d", c.off, c.n, got, c.want)
+		}
+	}
+}
+
+func TestStats(t *testing.T) {
+	e := sim.NewEngine()
+	d := NewDevice(e, testSpec())
+	e.Go("io", func(p *sim.Proc) {
+		d.SyncIO(p, &Command{Op: OpWrite, Offset: 0, Buf: make([]byte, 100)}) //nolint:errcheck
+		d.SyncIO(p, &Command{Op: OpRead, Offset: 0, Buf: make([]byte, 50)})   //nolint:errcheck
+	})
+	e.RunAll()
+	cmds, br, bw := d.Stats()
+	if cmds != 2 || br != 50 || bw != 100 {
+		t.Fatalf("stats = %d %d %d", cmds, br, bw)
+	}
+}
+
+func TestDatasetUploadReadBack(t *testing.T) {
+	// End-to-end: upload a dataset through write commands, read samples
+	// back through the queue pair, verify checksums.
+	e := sim.NewEngine()
+	d := NewDevice(e, testSpec())
+	ds := dataset.Generate(dataset.Config{Label: "t", Seed: 3, NumSamples: 32, Dist: dataset.Fixed(8000)})
+	offsets := make([]int64, ds.Len())
+	e.Go("mount", func(p *sim.Proc) {
+		var off int64
+		for i := 0; i < ds.Len(); i++ {
+			offsets[i] = off
+			content := ds.Content(i)
+			if err := d.SyncIO(p, &Command{Op: OpWrite, Offset: off, Buf: content}); err != nil {
+				t.Error(err)
+			}
+			off += int64(len(content))
+		}
+		q := d.AllocQPair(32)
+		bufs := make([][]byte, ds.Len())
+		for i := range bufs {
+			bufs[i] = make([]byte, ds.Samples[i].Size)
+			q.Submit(&Command{Op: OpRead, Offset: offsets[i], Buf: bufs[i], Ctx: i}) //nolint:errcheck
+		}
+		done := 0
+		for done < ds.Len() {
+			for _, c := range q.Poll(0) {
+				i := c.Cmd.Ctx.(int)
+				if dataset.ChecksumBytes(bufs[i]) != ds.Checksum(i) {
+					t.Errorf("sample %d corrupt after device round trip", i)
+				}
+				done++
+			}
+			p.Sleep(500)
+		}
+	})
+	e.RunAll()
+}
+
+func TestSpecs(t *testing.T) {
+	o := OptaneSpec()
+	if o.Capacity != 480<<30 || o.Channels != 8 {
+		t.Fatalf("optane spec: %+v", o)
+	}
+	em := EmulatedSpec()
+	if em.Name == o.Name || em.ReadLatency != o.ReadLatency {
+		t.Fatalf("emulated spec: %+v", em)
+	}
+	if OpRead.String() != "read" || OpWrite.String() != "write" || Op(9).String() == "" {
+		t.Fatal("op strings")
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	e := sim.NewEngine()
+	d := NewDevice(e, Spec{Name: "d", Capacity: 1 << 20})
+	if d.spec.Channels != 1 || d.spec.MediaBlock != 4096 {
+		t.Fatalf("defaults: %+v", d.spec)
+	}
+	q := d.AllocQPair(0)
+	if q.Depth() != 128 {
+		t.Fatalf("default depth %d", q.Depth())
+	}
+}

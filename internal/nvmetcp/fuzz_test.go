@@ -1,0 +1,31 @@
+package nvmetcp
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadCapsule throws arbitrary bytes at the frame parser: it must
+// never panic and never allocate beyond the payload bound.
+func FuzzReadCapsule(f *testing.F) {
+	var seed bytes.Buffer
+	writeCapsule(&seed, &capsule{cmdID: 7, opcode: opRead, offset: 4096, payload: []byte{16, 0, 0, 0}}) //nolint:errcheck
+	f.Add(seed.Bytes())
+	f.Add([]byte{})
+	f.Add(make([]byte, capsuleHeaderSize))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c, err := readCapsule(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// A successfully parsed capsule must round-trip.
+		var buf bytes.Buffer
+		if err := writeCapsule(&buf, c); err != nil {
+			t.Fatal(err)
+		}
+		again, err := readCapsule(&buf)
+		if err != nil || again.cmdID != c.cmdID || !bytes.Equal(again.payload, c.payload) {
+			t.Fatalf("round trip diverged: %v", err)
+		}
+	})
+}

@@ -1,0 +1,207 @@
+package nvmetcp
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// Initiator is the client side of one queue pair: a TCP connection to a
+// Target with asynchronous submit and out-of-order completion delivery.
+// It is safe for concurrent use.
+type Initiator struct {
+	conn     net.Conn
+	depth    int
+	capacity int64
+
+	mu      sync.Mutex
+	nextID  uint64
+	pending map[uint64]chan *capsule
+	sendMu  sync.Mutex
+	closed  bool
+	readErr error
+	done    chan struct{}
+}
+
+// Errors.
+var (
+	ErrClosed     = errors.New("nvmetcp: initiator closed")
+	ErrRemote     = errors.New("nvmetcp: remote error")
+	ErrHandshake  = errors.New("nvmetcp: handshake failed")
+	ErrDepthLimit = errors.New("nvmetcp: queue depth exceeded")
+)
+
+// Connect dials a target and performs the hello handshake.
+func Connect(addr string) (*Initiator, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	if err := writeCapsule(conn, &capsule{opcode: opHello}); err != nil {
+		conn.Close() //nolint:errcheck
+		return nil, fmt.Errorf("%w: %v", ErrHandshake, err)
+	}
+	hello, err := readCapsule(conn)
+	if err != nil || hello.opcode != opHello {
+		conn.Close() //nolint:errcheck
+		return nil, fmt.Errorf("%w: %v", ErrHandshake, err)
+	}
+	in := &Initiator{
+		conn:     conn,
+		depth:    int(hello.offset),
+		capacity: int64(hello.cmdID),
+		pending:  make(map[uint64]chan *capsule),
+		done:     make(chan struct{}),
+	}
+	go in.receiveLoop()
+	return in, nil
+}
+
+// Depth returns the negotiated queue depth.
+func (in *Initiator) Depth() int { return in.depth }
+
+// Capacity returns the target device's capacity in bytes.
+func (in *Initiator) Capacity() int64 { return in.capacity }
+
+func (in *Initiator) receiveLoop() {
+	defer close(in.done)
+	for {
+		resp, err := readCapsule(in.conn)
+		if err != nil {
+			in.mu.Lock()
+			in.readErr = err
+			for id, ch := range in.pending {
+				close(ch)
+				delete(in.pending, id)
+			}
+			in.mu.Unlock()
+			return
+		}
+		in.mu.Lock()
+		ch, ok := in.pending[resp.cmdID]
+		if ok {
+			delete(in.pending, resp.cmdID)
+		}
+		in.mu.Unlock()
+		if ok {
+			ch <- resp
+		}
+	}
+}
+
+// submit sends a request and returns the channel its completion will
+// arrive on.
+func (in *Initiator) submit(req *capsule) (chan *capsule, error) {
+	in.mu.Lock()
+	if in.closed {
+		in.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if len(in.pending) >= in.depth {
+		in.mu.Unlock()
+		return nil, ErrDepthLimit
+	}
+	in.nextID++
+	req.cmdID = in.nextID
+	ch := make(chan *capsule, 1)
+	in.pending[req.cmdID] = ch
+	in.mu.Unlock()
+
+	in.sendMu.Lock()
+	err := writeCapsule(in.conn, req)
+	in.sendMu.Unlock()
+	if err != nil {
+		in.mu.Lock()
+		delete(in.pending, req.cmdID)
+		in.mu.Unlock()
+		return nil, err
+	}
+	return ch, nil
+}
+
+func (in *Initiator) await(ch chan *capsule) (*capsule, error) {
+	resp, ok := <-ch
+	if !ok {
+		in.mu.Lock()
+		err := in.readErr
+		in.mu.Unlock()
+		if err == nil {
+			err = ErrClosed
+		}
+		return nil, err
+	}
+	if resp.status != statusOK {
+		return nil, fmt.Errorf("%w: status %d", ErrRemote, resp.status)
+	}
+	return resp, nil
+}
+
+// ReadAt reads len(p) bytes at off from the remote store.
+func (in *Initiator) ReadAt(p []byte, off int64) (int, error) {
+	var lenBuf [4]byte
+	binary.LittleEndian.PutUint32(lenBuf[:], uint32(len(p)))
+	ch, err := in.submit(&capsule{opcode: opRead, offset: uint64(off), payload: lenBuf[:]})
+	if err != nil {
+		return 0, err
+	}
+	resp, err := in.await(ch)
+	if err != nil {
+		return 0, err
+	}
+	return copy(p, resp.payload), nil
+}
+
+// WriteAt writes p at off on the remote store.
+func (in *Initiator) WriteAt(p []byte, off int64) (int, error) {
+	ch, err := in.submit(&capsule{opcode: opWrite, offset: uint64(off), payload: p})
+	if err != nil {
+		return 0, err
+	}
+	if _, err := in.await(ch); err != nil {
+		return 0, err
+	}
+	return len(p), nil
+}
+
+// Pending is an in-flight asynchronous read.
+type Pending struct {
+	in  *Initiator
+	ch  chan *capsule
+	dst []byte
+}
+
+// ReadAsync submits a read without waiting. Wait() completes it.
+func (in *Initiator) ReadAsync(dst []byte, off int64) (*Pending, error) {
+	var lenBuf [4]byte
+	binary.LittleEndian.PutUint32(lenBuf[:], uint32(len(dst)))
+	ch, err := in.submit(&capsule{opcode: opRead, offset: uint64(off), payload: lenBuf[:]})
+	if err != nil {
+		return nil, err
+	}
+	return &Pending{in: in, ch: ch, dst: dst}, nil
+}
+
+// Wait blocks until the read completes and fills the destination buffer.
+func (pd *Pending) Wait() (int, error) {
+	resp, err := pd.in.await(pd.ch)
+	if err != nil {
+		return 0, err
+	}
+	return copy(pd.dst, resp.payload), nil
+}
+
+// Close tears the connection down; outstanding commands fail.
+func (in *Initiator) Close() error {
+	in.mu.Lock()
+	if in.closed {
+		in.mu.Unlock()
+		return nil
+	}
+	in.closed = true
+	in.mu.Unlock()
+	err := in.conn.Close()
+	<-in.done
+	return err
+}

@@ -1,0 +1,225 @@
+package nvmetcp
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+	"testing"
+
+	"dlfs/internal/blockdev"
+	"dlfs/internal/dataset"
+)
+
+func startTarget(t *testing.T, capacity int64, depth int) (*Target, string) {
+	t.Helper()
+	tgt := NewTarget(blockdev.New(capacity), depth)
+	addr, err := tgt.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { tgt.Close() }) //nolint:errcheck
+	return tgt, addr
+}
+
+func TestHandshake(t *testing.T) {
+	_, addr := startTarget(t, 8<<20, 16)
+	in, err := Connect(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer in.Close() //nolint:errcheck
+	if in.Depth() != 16 {
+		t.Fatalf("depth = %d", in.Depth())
+	}
+	if in.Capacity() != 8<<20 {
+		t.Fatalf("capacity = %d", in.Capacity())
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	tgt, addr := startTarget(t, 8<<20, 16)
+	in, err := Connect(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer in.Close() //nolint:errcheck
+	data := []byte("remote nvme over tcp")
+	if _, err := in.WriteAt(data, 4096); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(data))
+	if _, err := in.ReadAt(got, 4096); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatalf("got %q", got)
+	}
+	cmds, by := tgt.Served()
+	if cmds != 2 || by != int64(2*len(data)) {
+		t.Fatalf("served %d cmds %d bytes", cmds, by)
+	}
+}
+
+func TestOutOfRange(t *testing.T) {
+	_, addr := startTarget(t, 4096, 4)
+	in, _ := Connect(addr)
+	defer in.Close() //nolint:errcheck
+	if _, err := in.WriteAt(make([]byte, 100), 4090); !errors.Is(err, ErrRemote) {
+		t.Fatalf("write past end: %v", err)
+	}
+	if _, err := in.ReadAt(make([]byte, 100), 4090); !errors.Is(err, ErrRemote) {
+		t.Fatalf("read past end: %v", err)
+	}
+	// Connection still usable after an error completion.
+	if _, err := in.ReadAt(make([]byte, 16), 0); err != nil {
+		t.Fatalf("read after error: %v", err)
+	}
+}
+
+func TestAsyncOutOfOrderCompletion(t *testing.T) {
+	_, addr := startTarget(t, 8<<20, 32)
+	in, _ := Connect(addr)
+	defer in.Close() //nolint:errcheck
+	// Seed data.
+	for i := 0; i < 8; i++ {
+		buf := bytes.Repeat([]byte{byte(i + 1)}, 1024)
+		if _, err := in.WriteAt(buf, int64(i)*1024); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pendings := make([]*Pending, 8)
+	bufs := make([][]byte, 8)
+	for i := range pendings {
+		bufs[i] = make([]byte, 1024)
+		pd, err := in.ReadAsync(bufs[i], int64(i)*1024)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pendings[i] = pd
+	}
+	for i, pd := range pendings {
+		if _, err := pd.Wait(); err != nil {
+			t.Fatalf("pending %d: %v", i, err)
+		}
+		for _, b := range bufs[i] {
+			if b != byte(i+1) {
+				t.Fatalf("pending %d corrupt", i)
+			}
+		}
+	}
+}
+
+func TestQueueDepthEnforced(t *testing.T) {
+	_, addr := startTarget(t, 8<<20, 2)
+	in, _ := Connect(addr)
+	defer in.Close() //nolint:errcheck
+	p1, err := in.ReadAsync(make([]byte, 8), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := in.ReadAsync(make([]byte, 8), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Third submit may race with completions; retry logic belongs to the
+	// caller, so just assert the error type when it fires.
+	if _, err := in.ReadAsync(make([]byte, 8), 0); err != nil && !errors.Is(err, ErrDepthLimit) {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	p1.Wait() //nolint:errcheck
+	p2.Wait() //nolint:errcheck
+}
+
+func TestConcurrentClients(t *testing.T) {
+	tgt, addr := startTarget(t, 64<<20, 32)
+	ds := dataset.Generate(dataset.Config{Label: "tcp", Seed: 8, NumSamples: 32, Dist: dataset.Fixed(3000)})
+	// Upload through one connection.
+	up, err := Connect(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	offs := make([]int64, ds.Len())
+	var off int64
+	for i := 0; i < ds.Len(); i++ {
+		offs[i] = off
+		if _, err := up.WriteAt(ds.Content(i), off); err != nil {
+			t.Fatal(err)
+		}
+		off += 3000
+	}
+	up.Close() //nolint:errcheck
+
+	var wg sync.WaitGroup
+	for c := 0; c < 4; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			in, err := Connect(addr)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer in.Close() //nolint:errcheck
+			buf := make([]byte, 3000)
+			for i := 0; i < ds.Len(); i++ {
+				if _, err := in.ReadAt(buf, offs[i]); err != nil {
+					t.Error(err)
+					return
+				}
+				if dataset.ChecksumBytes(buf) != ds.Checksum(i) {
+					t.Errorf("sample %d corrupt over TCP", i)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	cmds, _ := tgt.Served()
+	if cmds < int64(32+4*32) {
+		t.Fatalf("served %d commands", cmds)
+	}
+}
+
+func TestSubmitAfterClose(t *testing.T) {
+	_, addr := startTarget(t, 1<<20, 4)
+	in, _ := Connect(addr)
+	in.Close() //nolint:errcheck
+	if _, err := in.ReadAt(make([]byte, 8), 0); !errors.Is(err, ErrClosed) {
+		t.Fatalf("read after close: %v", err)
+	}
+	if err := in.Close(); err != nil {
+		t.Fatalf("double close: %v", err)
+	}
+}
+
+func TestTargetCloseUnblocksClients(t *testing.T) {
+	tgt, addr := startTarget(t, 1<<20, 4)
+	in, _ := Connect(addr)
+	defer in.Close() //nolint:errcheck
+	tgt.Close()      //nolint:errcheck
+	if _, err := in.ReadAt(make([]byte, 8), 0); err == nil {
+		t.Fatal("read succeeded after target close")
+	}
+}
+
+func TestCapsuleRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	c := &capsule{cmdID: 42, opcode: opWrite, status: statusOK, offset: 1 << 33, payload: []byte("hi")}
+	if err := writeCapsule(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	got, err := readCapsule(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.cmdID != 42 || got.opcode != opWrite || got.offset != 1<<33 || string(got.payload) != "hi" {
+		t.Fatalf("round trip: %+v", got)
+	}
+}
+
+func TestBadMagicRejected(t *testing.T) {
+	bad := make([]byte, capsuleHeaderSize)
+	if _, err := readCapsule(bytes.NewReader(bad)); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("bad magic: %v", err)
+	}
+}

@@ -1,0 +1,114 @@
+// Package nvmetcp implements a real NVMe-over-Fabrics-style block service
+// over TCP, using only the standard library. It is the live-path
+// counterpart of the simulated fabric: a Target exports an in-memory block
+// store; an Initiator connects, negotiates a queue depth, and submits
+// read/write commands that complete asynchronously — the same
+// submit/poll contract the SPDK queue pairs expose, with the network in
+// between.
+//
+// Framing (all integers little-endian):
+//
+//	capsule := magic(u32) | cmdID(u64) | opcode(u8) | status(u8) |
+//	           offset(u64) | length(u32) | payload(length bytes)
+//
+// Requests carry a payload only for writes; responses only for successful
+// reads. The connection handshake exchanges a hello capsule whose offset
+// field carries the queue depth and whose length carries the capacity's
+// low 32 bits (capacity also echoed in cmdID for full 64-bit range).
+package nvmetcp
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Magic guards against cross-protocol connections.
+const Magic = 0x444C4653 // "DLFS"
+
+// Opcodes.
+const (
+	opHello byte = iota
+	opRead
+	opWrite
+	opFlushStats
+)
+
+// Status codes.
+const (
+	statusOK byte = iota
+	statusRange
+	statusBadOp
+)
+
+// capsuleHeaderSize is the fixed frame header length.
+const capsuleHeaderSize = 4 + 8 + 1 + 1 + 8 + 4
+
+// maxPayload bounds a single capsule's payload (defense against corrupt
+// length fields).
+const maxPayload = 64 << 20
+
+// capsule is one frame in either direction.
+type capsule struct {
+	cmdID   uint64
+	opcode  byte
+	status  byte
+	offset  uint64
+	payload []byte
+}
+
+// Errors.
+var (
+	ErrBadMagic   = errors.New("nvmetcp: bad magic")
+	ErrTooLarge   = errors.New("nvmetcp: payload exceeds limit")
+	ErrShortFrame = errors.New("nvmetcp: short frame")
+)
+
+// writeCapsule frames and writes c to w.
+func writeCapsule(w io.Writer, c *capsule) error {
+	hdr := make([]byte, capsuleHeaderSize)
+	binary.LittleEndian.PutUint32(hdr[0:4], Magic)
+	binary.LittleEndian.PutUint64(hdr[4:12], c.cmdID)
+	hdr[12] = c.opcode
+	hdr[13] = c.status
+	binary.LittleEndian.PutUint64(hdr[14:22], c.offset)
+	binary.LittleEndian.PutUint32(hdr[22:26], uint32(len(c.payload)))
+	if _, err := w.Write(hdr); err != nil {
+		return err
+	}
+	if len(c.payload) > 0 {
+		if _, err := w.Write(c.payload); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// readCapsule reads one frame from r.
+func readCapsule(r io.Reader) (*capsule, error) {
+	hdr := make([]byte, capsuleHeaderSize)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return nil, err
+	}
+	if binary.LittleEndian.Uint32(hdr[0:4]) != Magic {
+		return nil, ErrBadMagic
+	}
+	c := &capsule{
+		cmdID:  binary.LittleEndian.Uint64(hdr[4:12]),
+		opcode: hdr[12],
+		status: hdr[13],
+		offset: binary.LittleEndian.Uint64(hdr[14:22]),
+	}
+	n := binary.LittleEndian.Uint32(hdr[22:26])
+	if n > maxPayload {
+		return nil, fmt.Errorf("%w: %d bytes", ErrTooLarge, n)
+	}
+	if n > 0 {
+		c.payload = make([]byte, n)
+		if _, err := io.ReadFull(r, c.payload); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}

@@ -1,0 +1,190 @@
+package nvmetcp
+
+import (
+	"errors"
+	"log"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"dlfs/internal/blockdev"
+)
+
+// Target exports one block store to TCP initiators. Each accepted
+// connection is an independent queue pair: commands on it are served
+// concurrently up to the negotiated depth, and completions return in
+// completion order (not submission order), as on real NVMe.
+type Target struct {
+	store *blockdev.Store
+	depth int
+
+	ln     net.Listener
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+
+	served atomic.Int64
+	bytes  atomic.Int64
+}
+
+// NewTarget wraps a store; depth bounds per-connection concurrency
+// (default 64).
+func NewTarget(store *blockdev.Store, depth int) *Target {
+	if depth <= 0 {
+		depth = 64
+	}
+	return &Target{store: store, depth: depth, conns: make(map[net.Conn]struct{})}
+}
+
+// Store returns the exported store.
+func (t *Target) Store() *blockdev.Store { return t.store }
+
+// Served reports commands completed and payload bytes moved.
+func (t *Target) Served() (cmds, bytes int64) { return t.served.Load(), t.bytes.Load() }
+
+// Listen starts serving on addr (e.g. "127.0.0.1:0") and returns the
+// bound address. Serving proceeds on background goroutines until Close.
+func (t *Target) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	t.ln = ln
+	t.wg.Add(1)
+	go t.acceptLoop()
+	return ln.Addr().String(), nil
+}
+
+func (t *Target) acceptLoop() {
+	defer t.wg.Done()
+	for {
+		conn, err := t.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		t.mu.Lock()
+		if t.closed {
+			t.mu.Unlock()
+			conn.Close() //nolint:errcheck
+			return
+		}
+		t.conns[conn] = struct{}{}
+		t.mu.Unlock()
+		t.wg.Add(1)
+		go t.serveConn(conn)
+	}
+}
+
+func (t *Target) serveConn(conn net.Conn) {
+	defer t.wg.Done()
+	defer func() {
+		t.mu.Lock()
+		delete(t.conns, conn)
+		t.mu.Unlock()
+		conn.Close() //nolint:errcheck
+	}()
+
+	// Handshake: hello in, hello out with depth and capacity.
+	hello, err := readCapsule(conn)
+	if err != nil || hello.opcode != opHello {
+		return
+	}
+	var wmu sync.Mutex // serialises response frames
+	reply := &capsule{
+		cmdID:   uint64(t.store.Capacity()),
+		opcode:  opHello,
+		offset:  uint64(t.depth),
+		payload: nil,
+	}
+	if err := writeCapsule(conn, reply); err != nil {
+		return
+	}
+
+	sem := make(chan struct{}, t.depth)
+	var cwg sync.WaitGroup
+	defer cwg.Wait()
+	for {
+		req, err := readCapsule(conn)
+		if err != nil {
+			// io.EOF and closed connections are normal teardown; only a
+			// malformed frame is worth a log line.
+			if errors.Is(err, ErrBadMagic) || errors.Is(err, ErrTooLarge) {
+				log.Printf("nvmetcp: dropping connection: %v", err)
+			}
+			return
+		}
+		sem <- struct{}{}
+		cwg.Add(1)
+		go func(req *capsule) {
+			defer cwg.Done()
+			defer func() { <-sem }()
+			resp := t.execute(req)
+			wmu.Lock()
+			err := writeCapsule(conn, resp)
+			wmu.Unlock()
+			if err != nil {
+				conn.Close() //nolint:errcheck
+			}
+		}(req)
+	}
+}
+
+func (t *Target) execute(req *capsule) *capsule {
+	resp := &capsule{cmdID: req.cmdID, opcode: req.opcode}
+	switch req.opcode {
+	case opRead:
+		// A read request's 4-byte payload is the little-endian length to
+		// read from req.offset.
+		if len(req.payload) != 4 {
+			resp.status = statusBadOp
+			return resp
+		}
+		want := int(uint32(req.payload[0]) | uint32(req.payload[1])<<8 | uint32(req.payload[2])<<16 | uint32(req.payload[3])<<24)
+		if want > maxPayload {
+			resp.status = statusRange
+			return resp
+		}
+		buf := make([]byte, want)
+		if _, err := t.store.ReadAt(buf, int64(req.offset)); err != nil {
+			resp.status = statusRange
+			return resp
+		}
+		resp.payload = buf
+		t.bytes.Add(int64(want))
+	case opWrite:
+		if _, err := t.store.WriteAt(req.payload, int64(req.offset)); err != nil {
+			resp.status = statusRange
+			return resp
+		}
+		t.bytes.Add(int64(len(req.payload)))
+	default:
+		resp.status = statusBadOp
+	}
+	t.served.Add(1)
+	return resp
+}
+
+// Close stops the listener and all connections, waiting for handlers.
+func (t *Target) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	conns := make([]net.Conn, 0, len(t.conns))
+	for c := range t.conns {
+		conns = append(conns, c)
+	}
+	t.mu.Unlock()
+	var err error
+	if t.ln != nil {
+		err = t.ln.Close()
+	}
+	for _, c := range conns {
+		c.Close() //nolint:errcheck
+	}
+	t.wg.Wait()
+	return err
+}

@@ -1,0 +1,177 @@
+// Package octopus models the Octopus baseline (Lu et al., USENIX ATC'17):
+// an RDMA-enabled distributed persistent-memory file system, which the
+// paper runs with memory emulating backend NVMe devices (§IV).
+//
+// The model captures the properties the paper's analysis attributes to
+// Octopus:
+//
+//   - Distributed metadata: file metadata is hash-partitioned across
+//     server nodes, so nearly every sample lookup from a client is an RDMA
+//     RPC to a remote node ("Octopus suffers from frequent inter-node
+//     communication for sample lookup").
+//   - RDMA data path: data is fetched with one-sided RDMA reads from the
+//     owner's memory, with an injected delay emulating NVMe access, so it
+//     avoids the kernel's copies (faster than Ext4 for small samples in
+//     Fig 8).
+//   - A general-purpose design: no client-side sample cache, no batching,
+//     one synchronous operation per sample.
+//
+// All data is real: Put stores bytes on the owner node's device store and
+// ReadFile returns them, so integrity is testable end to end.
+package octopus
+
+import (
+	"errors"
+	"fmt"
+
+	"dlfs/internal/cluster"
+	"dlfs/internal/nvme"
+	"dlfs/internal/sim"
+)
+
+// Costs is Octopus' software cost model.
+type Costs struct {
+	ClientCPU     sim.Duration // client-side per-op bookkeeping
+	ServerLookup  sim.Duration // metadata hash-table lookup at the owner
+	ServerDataCPU sim.Duration // server-side work to expose the extent
+	RDMASetup     sim.Duration // per RDMA verb post
+}
+
+// DefaultCosts reflects the ATC'17 numbers: sub-µs lookups once the RPC
+// arrives, ~1 µs verb posting.
+func DefaultCosts() Costs {
+	return Costs{
+		ClientCPU:     400,
+		ServerLookup:  600,
+		ServerDataCPU: 500,
+		RDMASetup:     1200,
+	}
+}
+
+type meta struct {
+	name   string
+	owner  int // node holding both the metadata partition entry and data
+	offset int64
+	size   int64
+}
+
+// FS is an Octopus instance spanning all nodes of a job.
+type FS struct {
+	job   *cluster.Job
+	costs Costs
+	files map[string]*meta
+	next  []int64 // per-node allocation cursor
+
+	serverCPU []*sim.Server // one metadata/data service core per node
+
+	lookups, remoteLookups, reads int64
+}
+
+// New creates an Octopus spanning the job's nodes; every node is both
+// client and server, as in the paper's runs.
+func New(job *cluster.Job, costs Costs) *FS {
+	if costs == (Costs{}) {
+		costs = DefaultCosts()
+	}
+	fs := &FS{
+		job:   job,
+		costs: costs,
+		files: make(map[string]*meta),
+		next:  make([]int64, job.N()),
+	}
+	for i := 0; i < job.N(); i++ {
+		fs.serverCPU = append(fs.serverCPU, sim.NewServer(job.Engine(), fmt.Sprintf("octopus%d/cpu", i), 1))
+	}
+	return fs
+}
+
+// Errors.
+var ErrNotFound = errors.New("octopus: no such file")
+
+// ownerOf hash-partitions names across nodes.
+func (fs *FS) ownerOf(name string) int {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(name); i++ {
+		h = (h ^ uint64(name[i])) * 1099511628211
+	}
+	return int((h ^ h>>29) % uint64(fs.job.N()))
+}
+
+// Put stores a file at population time (untimed, like ext4sim.CreateFile):
+// data lands on the owner node's device store.
+func (fs *FS) Put(name string, data []byte) error {
+	if _, dup := fs.files[name]; dup {
+		return fmt.Errorf("octopus: file exists: %s", name)
+	}
+	owner := fs.ownerOf(name)
+	dev := fs.job.Node(owner).Device
+	if dev == nil {
+		return fmt.Errorf("octopus: node %d has no device", owner)
+	}
+	off := fs.next[owner]
+	if _, err := dev.Store().WriteAt(data, off); err != nil {
+		return err
+	}
+	fs.next[owner] += (int64(len(data)) + 4095) / 4096 * 4096
+	fs.files[name] = &meta{name: name, owner: owner, offset: off, size: int64(len(data))}
+	return nil
+}
+
+// NumFiles reports the stored file count.
+func (fs *FS) NumFiles() int { return len(fs.files) }
+
+// Lookup resolves a name from clientNode: an RDMA RPC to the metadata
+// owner unless the client happens to own the partition. It returns the
+// file size so callers can allocate.
+func (fs *FS) Lookup(p *sim.Proc, clientNode int, name string) (int64, error) {
+	fs.lookups++
+	p.Sleep(fs.costs.ClientCPU)
+	m, ok := fs.files[name]
+	owner := fs.ownerOf(name)
+	net := fs.job.Network()
+	if owner != clientNode {
+		fs.remoteLookups++
+		net.Message(p, clientNode, owner) // RPC request
+		fs.serverCPU[owner].Use(p, fs.costs.ServerLookup)
+		net.Message(p, owner, clientNode) // RPC reply
+	} else {
+		fs.serverCPU[owner].Use(p, fs.costs.ServerLookup)
+	}
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", ErrNotFound, name)
+	}
+	return m.size, nil
+}
+
+// ReadFile performs a full sample read from clientNode: lookup RPC, then a
+// one-sided RDMA read of the data with the NVMe emulation delay at the
+// owner. Returns bytes read.
+func (fs *FS) ReadFile(p *sim.Proc, clientNode int, name string, buf []byte) (int, error) {
+	if _, err := fs.Lookup(p, clientNode, name); err != nil {
+		return 0, err
+	}
+	m := fs.files[name]
+	fs.reads++
+	n := int64(len(buf))
+	if n > m.size {
+		n = m.size
+	}
+	dev := fs.job.Node(m.owner).Device
+	net := fs.job.Network()
+
+	// Post the RDMA read.
+	p.Sleep(fs.costs.RDMASetup)
+	fs.serverCPU[m.owner].Use(p, fs.costs.ServerDataCPU)
+	// NVMe emulation delay + data access at the owner (real bytes).
+	if err := dev.SyncIO(p, &nvme.Command{Op: nvme.OpRead, Offset: m.offset, Buf: buf[:n]}); err != nil {
+		return 0, err
+	}
+	// The payload crosses the fabric to the client.
+	net.Transfer(p, m.owner, clientNode, n)
+	return int(n), nil
+}
+
+// Stats reports lookup/read counters.
+func (fs *FS) Stats() (lookups, remoteLookups, reads int64) {
+	return fs.lookups, fs.remoteLookups, fs.reads
+}

@@ -1,0 +1,194 @@
+package octopus
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"dlfs/internal/cluster"
+	"dlfs/internal/dataset"
+	"dlfs/internal/sim"
+)
+
+func newFS(e *sim.Engine, nodes int) (*FS, *cluster.Job) {
+	job := cluster.NewJob(e, nodes, cluster.DefaultNodeSpec())
+	return New(job, Costs{}), job
+}
+
+func TestPutAndReadBack(t *testing.T) {
+	e := sim.NewEngine()
+	fs, _ := newFS(e, 4)
+	ds := dataset.Generate(dataset.Config{Label: "o", Seed: 2, NumSamples: 40, Dist: dataset.IMDBDist()})
+	for i := 0; i < ds.Len(); i++ {
+		if err := fs.Put(ds.Samples[i].Name, ds.Content(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if fs.NumFiles() != 40 {
+		t.Fatal("file count")
+	}
+	e.Go("client", func(p *sim.Proc) {
+		for i := 0; i < ds.Len(); i++ {
+			buf := make([]byte, ds.Samples[i].Size)
+			n, err := fs.ReadFile(p, 0, ds.Samples[i].Name, buf)
+			if err != nil || n != ds.Samples[i].Size {
+				t.Errorf("read %d: n=%d err=%v", i, n, err)
+				return
+			}
+			if dataset.ChecksumBytes(buf) != ds.Checksum(i) {
+				t.Errorf("sample %d corrupt through octopus", i)
+			}
+		}
+	})
+	e.RunAll()
+	if e.Now() == 0 {
+		t.Fatal("octopus reads cost no time")
+	}
+}
+
+func TestDuplicatePut(t *testing.T) {
+	e := sim.NewEngine()
+	fs, _ := newFS(e, 2)
+	fs.Put("a", []byte("x")) //nolint:errcheck
+	if err := fs.Put("a", []byte("y")); err == nil {
+		t.Fatal("duplicate accepted")
+	}
+}
+
+func TestMissingFile(t *testing.T) {
+	e := sim.NewEngine()
+	fs, _ := newFS(e, 2)
+	e.Go("c", func(p *sim.Proc) {
+		if _, err := fs.ReadFile(p, 0, "nope", make([]byte, 8)); !errors.Is(err, ErrNotFound) {
+			t.Errorf("missing: %v", err)
+		}
+	})
+	e.RunAll()
+}
+
+func TestMetadataDistributedAcrossNodes(t *testing.T) {
+	e := sim.NewEngine()
+	fs, _ := newFS(e, 8)
+	counts := make([]int, 8)
+	for i := 0; i < 8000; i++ {
+		counts[fs.ownerOf(fmt.Sprintf("dir/file%06d", i))]++
+	}
+	for n, c := range counts {
+		if c < 500 || c > 1500 {
+			t.Fatalf("node %d owns %d of 8000 (imbalanced hash)", n, c)
+		}
+	}
+}
+
+func TestRemoteLookupsDominate(t *testing.T) {
+	// With N nodes, ~ (N-1)/N of lookups from one client are remote —
+	// the cross-node metadata traffic the paper blames.
+	e := sim.NewEngine()
+	fs, _ := newFS(e, 8)
+	for i := 0; i < 200; i++ {
+		fs.Put(fmt.Sprintf("f%d", i), make([]byte, 64)) //nolint:errcheck
+	}
+	e.Go("c", func(p *sim.Proc) {
+		for i := 0; i < 200; i++ {
+			fs.Lookup(p, 0, fmt.Sprintf("f%d", i)) //nolint:errcheck
+		}
+	})
+	e.RunAll()
+	lookups, remote, _ := fs.Stats()
+	if lookups != 200 {
+		t.Fatalf("lookups = %d", lookups)
+	}
+	if float64(remote)/float64(lookups) < 0.70 {
+		t.Fatalf("remote fraction = %d/%d, want ≳7/8", remote, lookups)
+	}
+}
+
+func TestRemoteLookupSlowerThanLocal(t *testing.T) {
+	e := sim.NewEngine()
+	fs, _ := newFS(e, 4)
+	// Find one local and one remote name for client 0.
+	var local, remote string
+	for i := 0; local == "" || remote == ""; i++ {
+		name := fmt.Sprintf("probe%d", i)
+		if fs.ownerOf(name) == 0 && local == "" {
+			local = name
+		}
+		if fs.ownerOf(name) != 0 && remote == "" {
+			remote = name
+		}
+	}
+	fs.Put(local, []byte("x"))  //nolint:errcheck
+	fs.Put(remote, []byte("x")) //nolint:errcheck
+	var tLocal, tRemote sim.Time
+	e.Go("c", func(p *sim.Proc) {
+		start := p.Now()
+		fs.Lookup(p, 0, local) //nolint:errcheck
+		tLocal = p.Now() - start
+		start = p.Now()
+		fs.Lookup(p, 0, remote) //nolint:errcheck
+		tRemote = p.Now() - start
+	})
+	e.RunAll()
+	if tRemote <= tLocal {
+		t.Fatalf("remote lookup (%v) not slower than local (%v)", tRemote, tLocal)
+	}
+	// Remote adds ~2 fabric latencies ≈ 3µs.
+	if d := tRemote - tLocal; d < 2000 || d > 6000 {
+		t.Fatalf("remote lookup penalty = %v, want ≈3µs", d)
+	}
+}
+
+func TestPerSampleCostEnvelope(t *testing.T) {
+	// One 512B read ≈ lookup RPC (≈4µs) + RDMA setup + device (≈12µs) +
+	// transfer: ~17-25µs. Slower than DLFS, competitive with Ext4.
+	e := sim.NewEngine()
+	fs, _ := newFS(e, 4)
+	var name string
+	for i := 0; ; i++ {
+		name = fmt.Sprintf("s%d", i)
+		if fs.ownerOf(name) != 0 {
+			break
+		}
+	}
+	fs.Put(name, make([]byte, 512)) //nolint:errcheck
+	var took sim.Time
+	e.Go("c", func(p *sim.Proc) {
+		buf := make([]byte, 512)
+		start := p.Now()
+		fs.ReadFile(p, 0, name, buf) //nolint:errcheck
+		took = p.Now() - start
+	})
+	e.RunAll()
+	if took < 15_000 || took > 30_000 {
+		t.Fatalf("remote 512B read = %v, want 15-30µs", took)
+	}
+}
+
+func TestServerCPUSerializesClients(t *testing.T) {
+	// Many clients hammering one owner's metadata partition serialize on
+	// that server's core.
+	e := sim.NewEngine()
+	fs, _ := newFS(e, 4)
+	var name string
+	for i := 0; ; i++ {
+		name = fmt.Sprintf("hot%d", i)
+		if fs.ownerOf(name) == 3 {
+			break
+		}
+	}
+	fs.Put(name, make([]byte, 64)) //nolint:errcheck
+	const clients = 8
+	const each = 50
+	for c := 0; c < clients; c++ {
+		e.Go("c", func(p *sim.Proc) {
+			for i := 0; i < each; i++ {
+				fs.Lookup(p, 0, name) //nolint:errcheck
+			}
+		})
+	}
+	e.RunAll()
+	// 400 lookups × 0.6µs server CPU = 240µs lower bound on the owner.
+	if e.Now() < 240_000 {
+		t.Fatalf("finished in %v: server CPU not serializing", e.Now())
+	}
+}

@@ -1,0 +1,91 @@
+// Package pfs models the HPC backend persistent parallel file system
+// (Lustre/GPFS-class) that burst buffers stage datasets from: the paper's
+// DL jobs "load the training datasets into the burst buffers at the
+// beginning of their execution from the persistent file system" (§III).
+//
+// The model captures the two properties that dominate stage-in of DL
+// datasets:
+//
+//   - per-file metadata cost: every open is a round trip to the metadata
+//     server, which is what makes staging millions of small files slow;
+//   - bandwidth: each client stream is capped, and the object-store
+//     aggregate is shared across all concurrent streams.
+package pfs
+
+import (
+	"dlfs/internal/sim"
+)
+
+// Spec is the PFS performance envelope.
+type Spec struct {
+	AggregateBandwidth int64        // across all OSTs, bytes/sec
+	PerClientBandwidth int64        // one client stream, bytes/sec
+	OpenLatency        sim.Duration // metadata RTT + MDS service per open
+}
+
+// DefaultSpec resembles a mid-size Lustre installation: 40 GB/s aggregate,
+// 3 GB/s per client stream, ~200 µs per file open under load.
+func DefaultSpec() Spec {
+	return Spec{
+		AggregateBandwidth: 40_000_000_000,
+		PerClientBandwidth: 3_000_000_000,
+		OpenLatency:        200_000,
+	}
+}
+
+// System is a shared PFS instance.
+type System struct {
+	spec    Spec
+	streams *sim.Server // concurrent full-rate client streams
+	mds     *sim.Server // metadata server
+
+	opens int64
+	bytes int64
+}
+
+// New creates a PFS on the engine.
+func New(e *sim.Engine, spec Spec) *System {
+	if spec.PerClientBandwidth <= 0 {
+		spec.PerClientBandwidth = 1
+	}
+	slots := int(spec.AggregateBandwidth / spec.PerClientBandwidth)
+	if slots < 1 {
+		slots = 1
+	}
+	return &System{
+		spec:    spec,
+		streams: sim.NewServer(e, "pfs/streams", slots),
+		mds:     sim.NewServer(e, "pfs/mds", 1),
+	}
+}
+
+// Spec returns the performance envelope.
+func (s *System) Spec() Spec { return s.spec }
+
+// Stats reports opens served and bytes delivered.
+func (s *System) Stats() (opens, bytes int64) { return s.opens, s.bytes }
+
+// ReadFile charges one file stage-in: an open round trip at the metadata
+// server, then a streaming read at the per-client rate (throttled by the
+// aggregate when many streams run). No data moves — the caller already
+// has the bytes; this prices the time.
+func (s *System) ReadFile(p *sim.Proc, size int64) {
+	// MDS: opens serialize at the metadata server under load.
+	s.mds.Use(p, s.spec.OpenLatency)
+	s.opens++
+	if size <= 0 {
+		return
+	}
+	s.streams.Acquire(p)
+	p.Sleep(sim.Duration(size * 1e9 / s.spec.PerClientBandwidth))
+	s.streams.Release()
+	s.bytes += size
+}
+
+// StageInTime estimates, analytically, one client staging `files` files of
+// mean size `meanSize` back to back: the quantity the stage-in ablation
+// sweeps. Exposed for cross-checking the simulated numbers.
+func (s *System) StageInTime(files int, meanSize int64) sim.Duration {
+	per := sim.Duration(meanSize * 1e9 / s.spec.PerClientBandwidth)
+	return sim.Duration(files) * (s.spec.OpenLatency + per)
+}

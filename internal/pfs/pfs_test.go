@@ -1,0 +1,89 @@
+package pfs
+
+import (
+	"testing"
+
+	"dlfs/internal/sim"
+)
+
+func TestSingleFileTime(t *testing.T) {
+	e := sim.NewEngine()
+	s := New(e, DefaultSpec())
+	var took sim.Time
+	e.Go("c", func(p *sim.Proc) {
+		start := p.Now()
+		s.ReadFile(p, 3_000_000_000) // 1 s at 3 GB/s
+		took = p.Now() - start
+	})
+	e.RunAll()
+	want := sim.Time(200_000) + sim.Time(1e9)
+	if d := took - want; d < -1e6 || d > 1e6 {
+		t.Fatalf("stage-in took %v, want ≈%v", took, want)
+	}
+	opens, bytes := s.Stats()
+	if opens != 1 || bytes != 3_000_000_000 {
+		t.Fatalf("stats %d %d", opens, bytes)
+	}
+}
+
+func TestMetadataDominatesSmallFiles(t *testing.T) {
+	e := sim.NewEngine()
+	s := New(e, DefaultSpec())
+	const files = 1000
+	e.Go("c", func(p *sim.Proc) {
+		for i := 0; i < files; i++ {
+			s.ReadFile(p, 4096) // ~1.4 µs of data each
+		}
+	})
+	total := e.RunAll()
+	// 1000 opens × 200 µs = 200 ms floor.
+	if total < sim.Time(files)*200_000 {
+		t.Fatalf("total %v below the metadata floor", total)
+	}
+	// Data time is negligible: the whole run is ≈ the open cost.
+	if total > sim.Time(files)*220_000 {
+		t.Fatalf("total %v: data time should be negligible for 4K files", total)
+	}
+}
+
+func TestAggregateBandwidthThrottlesManyStreams(t *testing.T) {
+	e := sim.NewEngine()
+	// Aggregate = 4 streams' worth; run 16 concurrent clients.
+	s := New(e, Spec{AggregateBandwidth: 12_000_000_000, PerClientBandwidth: 3_000_000_000, OpenLatency: 0})
+	const size = 3_000_000_000 // 1 s per stream at full rate
+	for c := 0; c < 16; c++ {
+		e.Go("c", func(p *sim.Proc) { s.ReadFile(p, size) })
+	}
+	total := e.RunAll()
+	// 16 streams / 4 slots → 4 sequential waves ≈ 4 s.
+	if total < sim.Time(3.8e9) || total > sim.Time(4.3e9) {
+		t.Fatalf("16 contended streams took %v, want ≈4s", total)
+	}
+}
+
+func TestStageInTimeMatchesSimulation(t *testing.T) {
+	e := sim.NewEngine()
+	s := New(e, DefaultSpec())
+	const files, size = 200, 1 << 20
+	e.Go("c", func(p *sim.Proc) {
+		for i := 0; i < files; i++ {
+			s.ReadFile(p, size)
+		}
+	})
+	total := e.RunAll()
+	est := s.StageInTime(files, size)
+	ratio := float64(total) / float64(est)
+	if ratio < 0.95 || ratio > 1.05 {
+		t.Fatalf("simulated %v vs analytic %v", total, est)
+	}
+}
+
+func TestZeroSizeIsMetadataOnly(t *testing.T) {
+	e := sim.NewEngine()
+	s := New(e, DefaultSpec())
+	e.Go("c", func(p *sim.Proc) { s.ReadFile(p, 0) })
+	total := e.RunAll()
+	if total != sim.Time(200_000) {
+		t.Fatalf("zero-size stage-in took %v", total)
+	}
+}

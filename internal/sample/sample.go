@@ -1,0 +1,132 @@
+// Package sample implements the 128-bit sample entry of the DLFS in-memory
+// sample directory (paper §III-B, Fig 3b).
+//
+// An entry packs into two 64-bit words:
+//
+//	word0: [ NID:16 | key:48 ]
+//	word1: [ V:1 | offset:40 | len:23 ]
+//
+// NID identifies the storage node holding the sample; key is a 48-bit hash
+// of the sample name (and attributes such as its class); offset/len locate
+// the sample on that node's NVMe device; V tracks whether a copy of the
+// sample is currently present in the local sample cache.
+package sample
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+)
+
+// Field widths and limits of the packed entry layout.
+const (
+	NIDBits    = 16
+	KeyBits    = 48
+	VBits      = 1
+	OffsetBits = 40
+	LenBits    = 23
+
+	MaxNID    = 1<<NIDBits - 1
+	MaxKey    = 1<<KeyBits - 1
+	MaxOffset = 1<<OffsetBits - 1 // 1 TiB addressable per device
+	MaxLen    = 1<<LenBits - 1    // 8 MiB - 1 max sample size
+)
+
+// Errors returned by NewEntry for out-of-range fields.
+var (
+	ErrNIDRange    = errors.New("sample: node ID exceeds 16 bits")
+	ErrKeyRange    = errors.New("sample: key exceeds 48 bits")
+	ErrOffsetRange = errors.New("sample: offset exceeds 40 bits")
+	ErrLenRange    = errors.New("sample: length exceeds 23 bits")
+)
+
+// Entry is a packed 128-bit sample directory entry.
+type Entry struct {
+	W0, W1 uint64
+}
+
+// NewEntry packs the fields, validating ranges. V starts clear.
+func NewEntry(nid uint16, key uint64, offset int64, length int32) (Entry, error) {
+	if key > MaxKey {
+		return Entry{}, ErrKeyRange
+	}
+	if offset < 0 || offset > MaxOffset {
+		return Entry{}, ErrOffsetRange
+	}
+	if length < 0 || length > MaxLen {
+		return Entry{}, ErrLenRange
+	}
+	return Entry{
+		W0: uint64(nid)<<KeyBits | key,
+		W1: uint64(offset)<<LenBits | uint64(length),
+	}, nil
+}
+
+// MustEntry is NewEntry panicking on range errors; for tests and literals.
+func MustEntry(nid uint16, key uint64, offset int64, length int32) Entry {
+	e, err := NewEntry(nid, key, offset, length)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// NID returns the 16-bit storage node ID.
+func (e Entry) NID() uint16 { return uint16(e.W0 >> KeyBits) }
+
+// Key returns the 48-bit sample key.
+func (e Entry) Key() uint64 { return e.W0 & MaxKey }
+
+// Offset returns the 40-bit byte offset of the sample on its device.
+func (e Entry) Offset() int64 { return int64(e.W1 >> LenBits & MaxOffset) }
+
+// Len returns the 23-bit sample length in bytes.
+func (e Entry) Len() int32 { return int32(e.W1 & MaxLen) }
+
+// V reports whether the local-cache-copy bit is set.
+func (e Entry) V() bool { return e.W1>>(OffsetBits+LenBits)&1 == 1 }
+
+// WithV returns the entry with the V bit set or cleared.
+func (e Entry) WithV(v bool) Entry {
+	const bit = uint64(1) << (OffsetBits + LenBits)
+	if v {
+		e.W1 |= bit
+	} else {
+		e.W1 &^= bit
+	}
+	return e
+}
+
+// End returns Offset()+Len(): one past the last byte of the sample.
+func (e Entry) End() int64 { return e.Offset() + int64(e.Len()) }
+
+// String renders the entry for diagnostics.
+func (e Entry) String() string {
+	return fmt.Sprintf("sample{nid=%d key=%#x off=%d len=%d v=%t}",
+		e.NID(), e.Key(), e.Offset(), e.Len(), e.V())
+}
+
+// KeyOf hashes a sample name (plus optional attributes, e.g. its class
+// label) into the 48-bit key space, as the paper's directory does.
+func KeyOf(name string, attrs ...string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(name)) //nolint:errcheck // fnv never fails
+	for _, a := range attrs {
+		h.Write([]byte{0}) //nolint:errcheck
+		h.Write([]byte(a)) //nolint:errcheck
+	}
+	return h.Sum64() & MaxKey
+}
+
+// ID globally identifies a sample as (node, key); two samples on different
+// nodes may share a 48-bit key without colliding in the directory.
+type ID struct {
+	NID uint16
+	Key uint64
+}
+
+// IDOf returns the ID packed in e.
+func IDOf(e Entry) ID { return ID{NID: e.NID(), Key: e.Key()} }
+
+// String renders the ID.
+func (id ID) String() string { return fmt.Sprintf("%d/%#x", id.NID, id.Key) }

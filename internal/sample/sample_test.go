@@ -1,0 +1,178 @@
+package sample
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestPackUnpackRoundTrip(t *testing.T) {
+	e, err := NewEntry(7, 0xABCDEF012345, 1<<30, 123456)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.NID() != 7 || e.Key() != 0xABCDEF012345 || e.Offset() != 1<<30 || e.Len() != 123456 {
+		t.Fatalf("round trip failed: %v", e)
+	}
+	if e.V() {
+		t.Fatal("fresh entry has V set")
+	}
+	if e.End() != 1<<30+123456 {
+		t.Fatalf("End = %d", e.End())
+	}
+}
+
+func TestExtremes(t *testing.T) {
+	e, err := NewEntry(MaxNID, MaxKey, MaxOffset, MaxLen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.NID() != MaxNID || e.Key() != MaxKey || e.Offset() != MaxOffset || e.Len() != MaxLen {
+		t.Fatalf("extremes: %v", e)
+	}
+	z, err := NewEntry(0, 0, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if z.NID() != 0 || z.Key() != 0 || z.Offset() != 0 || z.Len() != 0 || z.V() {
+		t.Fatalf("zero entry: %v", z)
+	}
+}
+
+func TestRangeErrors(t *testing.T) {
+	if _, err := NewEntry(0, MaxKey+1, 0, 0); err != ErrKeyRange {
+		t.Fatalf("key range: %v", err)
+	}
+	if _, err := NewEntry(0, 0, MaxOffset+1, 0); err != ErrOffsetRange {
+		t.Fatalf("offset range: %v", err)
+	}
+	if _, err := NewEntry(0, 0, -1, 0); err != ErrOffsetRange {
+		t.Fatalf("negative offset: %v", err)
+	}
+	if _, err := NewEntry(0, 0, 0, MaxLen+1); err != ErrLenRange {
+		t.Fatalf("len range: %v", err)
+	}
+	if _, err := NewEntry(0, 0, 0, -1); err != ErrLenRange {
+		t.Fatalf("negative len: %v", err)
+	}
+}
+
+func TestMustEntryPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustEntry should panic on bad input")
+		}
+	}()
+	MustEntry(0, MaxKey+1, 0, 0)
+}
+
+func TestVBit(t *testing.T) {
+	e := MustEntry(3, 42, 4096, 512)
+	ev := e.WithV(true)
+	if !ev.V() {
+		t.Fatal("V not set")
+	}
+	// Setting V must not disturb the other fields.
+	if ev.NID() != 3 || ev.Key() != 42 || ev.Offset() != 4096 || ev.Len() != 512 {
+		t.Fatalf("V corrupted fields: %v", ev)
+	}
+	if ev.WithV(false).V() {
+		t.Fatal("V not cleared")
+	}
+	// Idempotence.
+	if !ev.WithV(true).V() {
+		t.Fatal("double set lost V")
+	}
+}
+
+// Property: encode∘decode is the identity for all in-range values.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(nid uint16, keyRaw, offRaw uint64, lenRaw uint32, v bool) bool {
+		key := keyRaw & MaxKey
+		off := int64(offRaw & MaxOffset)
+		ln := int32(lenRaw & MaxLen)
+		e, err := NewEntry(nid, key, off, ln)
+		if err != nil {
+			return false
+		}
+		e = e.WithV(v)
+		return e.NID() == nid && e.Key() == key && e.Offset() == off && e.Len() == ln && e.V() == v
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEntryIs128Bits(t *testing.T) {
+	// The paper's memory-budget argument (0.8 GB for 50M samples) relies on
+	// 16 bytes per entry.
+	var e Entry
+	if got := int(16); got != 16 || len([]uint64{e.W0, e.W1}) != 2 {
+		t.Fatal("entry is not two 64-bit words")
+	}
+}
+
+func TestKeyOf(t *testing.T) {
+	k1 := KeyOf("train/img_000001.jpg")
+	k2 := KeyOf("train/img_000002.jpg")
+	if k1 == k2 {
+		t.Fatal("distinct names hashed equal (suspicious)")
+	}
+	if k1 > MaxKey || k2 > MaxKey {
+		t.Fatal("key exceeds 48 bits")
+	}
+	// Attributes must influence the key.
+	if KeyOf("a", "class0") == KeyOf("a", "class1") {
+		t.Fatal("attrs ignored")
+	}
+	// Deterministic.
+	if KeyOf("a", "b") != KeyOf("a", "b") {
+		t.Fatal("KeyOf not deterministic")
+	}
+	// Attribute boundary: ("ab","c") must differ from ("a","bc").
+	if KeyOf("ab", "c") == KeyOf("a", "bc") {
+		t.Fatal("attribute boundary not separated")
+	}
+}
+
+func TestKeyCollisionRate(t *testing.T) {
+	// 100k distinct names in a 2^48 space: expected collisions ~ 2e-5.
+	// Any collision at this scale would indicate a broken hash fold.
+	seen := make(map[uint64]bool, 100000)
+	collisions := 0
+	for i := 0; i < 100000; i++ {
+		k := KeyOf("sample_" + strings.Repeat("x", i%7) + "_" + itoa(i))
+		if seen[k] {
+			collisions++
+		}
+		seen[k] = true
+	}
+	if collisions > 1 {
+		t.Fatalf("%d collisions in 100k keys", collisions)
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [20]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}
+
+func TestIDOfAndStrings(t *testing.T) {
+	e := MustEntry(9, 0x123, 0, 1)
+	id := IDOf(e)
+	if id.NID != 9 || id.Key != 0x123 {
+		t.Fatalf("IDOf = %v", id)
+	}
+	if !strings.Contains(e.String(), "nid=9") || !strings.Contains(id.String(), "9/") {
+		t.Fatalf("String() malformed: %q %q", e.String(), id.String())
+	}
+}

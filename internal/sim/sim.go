@@ -1,0 +1,480 @@
+// Package sim implements a deterministic discrete-event simulation engine.
+//
+// The engine advances a virtual clock measured in nanoseconds. Work is
+// expressed as processes: ordinary Go functions running on goroutines that
+// cooperate with the engine so that exactly one process executes at a time.
+// A process parks itself by scheduling a wake-up event (Sleep), by waiting
+// on a Signal, or by queueing on a Server; the engine then runs the next
+// pending event. Events at equal times fire in scheduling order, so a given
+// program yields the same trajectory on every run.
+//
+// The engine is the substrate for every performance experiment in this
+// repository: CPU cores, NIC directions, NVMe device channels and copy
+// threads are all modeled as Servers, while protocol logic (queue pairs,
+// polling loops, kernel I/O paths) runs as processes.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Time is a point in virtual time, in nanoseconds since the start of the
+// simulation.
+type Time int64
+
+// Duration is a span of virtual time in nanoseconds. It converts directly
+// from time.Duration.
+type Duration = time.Duration
+
+// Infinity is a time later than any event the engine will ever execute.
+const Infinity Time = math.MaxInt64
+
+// String formats the time like a time.Duration offset.
+func (t Time) String() string { return time.Duration(t).String() }
+
+type event struct {
+	at  Time
+	seq int64
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)        { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any          { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+func (h eventHeap) peek() event        { return h[0] }
+func (h *eventHeap) popEvent() event   { return heap.Pop(h).(event) }
+func (h *eventHeap) pushEvent(e event) { heap.Push(h, e) }
+
+// Engine is a discrete-event simulator. The zero value is not usable; call
+// NewEngine.
+type Engine struct {
+	now     Time
+	seq     int64
+	queue   eventHeap
+	procs   int // live processes (running or parked)
+	parked  map[*Proc]string
+	running *Proc
+	stopped bool
+	dead    chan struct{}
+	isDead  bool
+}
+
+// NewEngine returns an empty engine at virtual time zero.
+func NewEngine() *Engine {
+	return &Engine{parked: make(map[*Proc]string), dead: make(chan struct{})}
+}
+
+// procKilled unwinds a process goroutine during Shutdown.
+type procKilled struct{}
+
+// Shutdown releases every parked process goroutine so the engine and all
+// state its processes capture become garbage-collectable. The engine is
+// unusable afterwards. Long-running harnesses that build many engines
+// (one per measurement point) must call it; otherwise parked goroutines
+// pin whole simulated clusters in memory forever.
+func (e *Engine) Shutdown() {
+	if e.isDead {
+		return
+	}
+	e.isDead = true
+	close(e.dead)
+}
+
+// Now reports the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the past
+// panics: that would make the clock run backwards.
+func (e *Engine) At(t Time, fn func()) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: event scheduled at %v before now %v", t, e.now))
+	}
+	e.seq++
+	e.queue.pushEvent(event{at: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run d after the current time.
+func (e *Engine) After(d Duration, fn func()) { e.At(e.now+Time(d), fn) }
+
+// Proc is a simulated process: a goroutine that runs under the engine's
+// cooperative scheduler. All Proc methods must be called from the process's
+// own goroutine while it is the running process.
+type Proc struct {
+	eng    *Engine
+	name   string
+	resume chan struct{}
+	yield  chan struct{}
+	done   bool
+}
+
+// Name returns the name given to Go.
+func (p *Proc) Name() string { return p.name }
+
+// Engine returns the engine this process runs under.
+func (p *Proc) Engine() *Engine { return p.eng }
+
+// Now reports current virtual time.
+func (p *Proc) Now() Time { return p.eng.now }
+
+// Go starts a new process executing fn. The process begins at the current
+// virtual time, after already-scheduled events at this time.
+func (e *Engine) Go(name string, fn func(p *Proc)) *Proc {
+	p := &Proc{
+		eng:    e,
+		name:   name,
+		resume: make(chan struct{}),
+		yield:  make(chan struct{}),
+	}
+	e.procs++
+	go func() {
+		select {
+		case <-p.resume: // first activation
+		case <-e.dead:
+			return
+		}
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(procKilled); ok {
+					return // Shutdown unwound this process
+				}
+				panic(r)
+			}
+		}()
+		fn(p)
+		p.done = true
+		e.procs--
+		p.yield <- struct{}{}
+	}()
+	e.After(0, func() { e.activate(p) })
+	return p
+}
+
+// activate hands control to p and blocks until p yields back. Must be
+// called from the engine's event loop.
+func (e *Engine) activate(p *Proc) {
+	prev := e.running
+	e.running = p
+	delete(e.parked, p)
+	p.resume <- struct{}{}
+	<-p.yield
+	e.running = prev
+}
+
+// park yields control back to the engine; the process blocks until its next
+// activation. why is recorded for deadlock diagnostics.
+func (p *Proc) park(why string) {
+	p.eng.parked[p] = why
+	p.yield <- struct{}{}
+	select {
+	case <-p.resume:
+	case <-p.eng.dead:
+		panic(procKilled{})
+	}
+}
+
+// Sleep suspends the process for d of virtual time. A non-positive d yields
+// to other events at the current time and resumes afterwards.
+func (p *Proc) Sleep(d Duration) {
+	if d < 0 {
+		d = 0
+	}
+	e := p.eng
+	e.After(d, func() { e.activate(p) })
+	p.park("sleep")
+}
+
+// Yield lets every other event scheduled at the current time run before the
+// process continues.
+func (p *Proc) Yield() { p.Sleep(0) }
+
+// Run executes events until the queue is empty or the virtual clock would
+// pass until. It returns the virtual time at which it stopped. Processes
+// still parked on Signals or Servers when the queue drains are reported by
+// Deadlocked.
+func (e *Engine) Run(until Time) Time {
+	for len(e.queue) > 0 && !e.stopped {
+		if e.queue.peek().at > until {
+			e.now = until
+			return e.now
+		}
+		ev := e.queue.popEvent()
+		e.now = ev.at
+		ev.fn()
+	}
+	return e.now
+}
+
+// RunAll executes events until none remain.
+func (e *Engine) RunAll() Time { return e.Run(Infinity) }
+
+// Stop makes Run return after the current event completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Deadlocked returns a description of every process that is parked with no
+// pending event to wake it, or nil if there are none. Call it after Run
+// returns to detect lost wake-ups in models.
+func (e *Engine) Deadlocked() []string {
+	if len(e.queue) > 0 {
+		return nil
+	}
+	var out []string
+	for p, why := range e.parked {
+		out = append(out, p.name+": "+why)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Signal is a broadcast condition variable for processes. Waiters park
+// until another event calls Broadcast or Wake.
+type Signal struct {
+	eng     *Engine
+	waiters []*Proc
+}
+
+// NewSignal returns a Signal bound to e.
+func NewSignal(e *Engine) *Signal { return &Signal{eng: e} }
+
+// Wait parks the calling process until the signal is fired.
+func (s *Signal) Wait(p *Proc) {
+	s.waiters = append(s.waiters, p)
+	p.park("signal")
+}
+
+// Broadcast wakes all current waiters. They resume in wait order at the
+// current virtual time.
+func (s *Signal) Broadcast() {
+	w := s.waiters
+	s.waiters = nil
+	for _, p := range w {
+		proc := p
+		s.eng.After(0, func() { s.eng.activate(proc) })
+	}
+}
+
+// Wake wakes at most n waiters in FIFO order and reports how many it woke.
+func (s *Signal) Wake(n int) int {
+	if n > len(s.waiters) {
+		n = len(s.waiters)
+	}
+	w := s.waiters[:n]
+	s.waiters = append([]*Proc(nil), s.waiters[n:]...)
+	for _, p := range w {
+		proc := p
+		s.eng.After(0, func() { s.eng.activate(proc) })
+	}
+	return n
+}
+
+// Pending reports the number of parked waiters.
+func (s *Signal) Pending() int { return len(s.waiters) }
+
+// Server is a FIFO resource with fixed capacity: at most cap processes hold
+// a unit at once; the rest queue in arrival order. A CPU core is a Server
+// of capacity 1; a pool of k copy threads is a Server of capacity k.
+type Server struct {
+	eng      *Engine
+	name     string
+	capacity int
+	inUse    int
+	waiters  []*Proc
+
+	// accounting
+	busy      Duration // total unit-busy time
+	lastEvent Time
+	maxQueue  int
+}
+
+// NewServer returns a FIFO server with the given capacity (>= 1).
+func NewServer(e *Engine, name string, capacity int) *Server {
+	if capacity < 1 {
+		panic("sim: server capacity must be >= 1")
+	}
+	return &Server{eng: e, name: name, capacity: capacity}
+}
+
+// Name returns the server's name.
+func (s *Server) Name() string { return s.name }
+
+// Capacity returns the server's capacity.
+func (s *Server) Capacity() int { return s.capacity }
+
+// InUse reports how many units are currently held.
+func (s *Server) InUse() int { return s.inUse }
+
+// QueueLen reports how many processes are waiting.
+func (s *Server) QueueLen() int { return len(s.waiters) }
+
+func (s *Server) account() {
+	now := s.eng.now
+	s.busy += Duration(int64(now-s.lastEvent) * int64(s.inUse))
+	s.lastEvent = now
+}
+
+// Acquire takes one unit, parking the process FIFO if none is free.
+func (s *Server) Acquire(p *Proc) {
+	if s.inUse < s.capacity {
+		s.account()
+		s.inUse++
+		return
+	}
+	s.waiters = append(s.waiters, p)
+	if len(s.waiters) > s.maxQueue {
+		s.maxQueue = len(s.waiters)
+	}
+	p.park("server " + s.name)
+	// Ownership was transferred by Release before we were woken.
+}
+
+// TryAcquire takes a unit if one is free without parking; it reports
+// whether it succeeded.
+func (s *Server) TryAcquire() bool {
+	if s.inUse < s.capacity {
+		s.account()
+		s.inUse++
+		return true
+	}
+	return false
+}
+
+// Release returns one unit. If processes are queued, the head waiter
+// receives the unit directly and is scheduled to resume.
+func (s *Server) Release() {
+	if s.inUse <= 0 {
+		panic("sim: release of idle server " + s.name)
+	}
+	if len(s.waiters) > 0 {
+		// Hand the unit straight to the next waiter: inUse is unchanged.
+		p := s.waiters[0]
+		s.waiters = append([]*Proc(nil), s.waiters[1:]...)
+		s.eng.After(0, func() { s.eng.activate(p) })
+		return
+	}
+	s.account()
+	s.inUse--
+}
+
+// Use acquires a unit, holds it for d, then releases it: the basic
+// "occupy this resource for this long" operation.
+func (s *Server) Use(p *Proc, d Duration) {
+	s.Acquire(p)
+	p.Sleep(d)
+	s.Release()
+}
+
+// Utilization reports the time-average fraction of capacity in use up to
+// the current virtual time.
+func (s *Server) Utilization() float64 {
+	s.account()
+	elapsed := int64(s.eng.now)
+	if elapsed == 0 {
+		return 0
+	}
+	return float64(s.busy) / float64(elapsed) / float64(s.capacity)
+}
+
+// MaxQueue reports the longest queue observed.
+func (s *Server) MaxQueue() int { return s.maxQueue }
+
+// WaitGroup counts outstanding work and lets processes wait for it to
+// drain, like sync.WaitGroup but under virtual time.
+type WaitGroup struct {
+	n   int
+	sig *Signal
+}
+
+// NewWaitGroup returns a WaitGroup bound to e.
+func NewWaitGroup(e *Engine) *WaitGroup { return &WaitGroup{sig: NewSignal(e)} }
+
+// Add adds delta to the counter.
+func (wg *WaitGroup) Add(delta int) {
+	wg.n += delta
+	if wg.n < 0 {
+		panic("sim: negative WaitGroup counter")
+	}
+	if wg.n == 0 {
+		wg.sig.Broadcast()
+	}
+}
+
+// Done decrements the counter by one.
+func (wg *WaitGroup) Done() { wg.Add(-1) }
+
+// Count reports the current counter value.
+func (wg *WaitGroup) Count() int { return wg.n }
+
+// Wait parks until the counter reaches zero.
+func (wg *WaitGroup) Wait(p *Proc) {
+	for wg.n > 0 {
+		wg.sig.Wait(p)
+	}
+}
+
+// Queue is an unbounded FIFO of items with blocking receive, the DES
+// analogue of a buffered channel. Senders never block.
+type Queue[T any] struct {
+	items  []T
+	sig    *Signal
+	closed bool
+}
+
+// NewQueue returns an empty queue bound to e.
+func NewQueue[T any](e *Engine) *Queue[T] { return &Queue[T]{sig: NewSignal(e)} }
+
+// Push appends an item and wakes one waiting receiver.
+func (q *Queue[T]) Push(v T) {
+	if q.closed {
+		panic("sim: push to closed queue")
+	}
+	q.items = append(q.items, v)
+	q.sig.Wake(1)
+}
+
+// Close marks the queue closed; receivers drain remaining items and then
+// see ok == false.
+func (q *Queue[T]) Close() {
+	q.closed = true
+	q.sig.Broadcast()
+}
+
+// Pop removes the head item, parking while the queue is empty. ok is false
+// only when the queue is closed and drained.
+func (q *Queue[T]) Pop(p *Proc) (v T, ok bool) {
+	for len(q.items) == 0 {
+		if q.closed {
+			var zero T
+			return zero, false
+		}
+		q.sig.Wait(p)
+	}
+	v = q.items[0]
+	q.items = append([]T(nil), q.items[1:]...)
+	return v, true
+}
+
+// TryPop removes the head item without parking.
+func (q *Queue[T]) TryPop() (v T, ok bool) {
+	if len(q.items) == 0 {
+		var zero T
+		return zero, false
+	}
+	v = q.items[0]
+	q.items = append([]T(nil), q.items[1:]...)
+	return v, true
+}
+
+// Len reports the number of queued items.
+func (q *Queue[T]) Len() int { return len(q.items) }

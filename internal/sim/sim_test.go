@@ -1,0 +1,455 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestEventOrdering(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	e.At(30, func() { got = append(got, 3) })
+	e.At(10, func() { got = append(got, 1) })
+	e.At(20, func() { got = append(got, 2) })
+	e.RunAll()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if e.Now() != 30 {
+		t.Fatalf("Now = %v, want 30", e.Now())
+	}
+}
+
+func TestTieBreakBySchedulingOrder(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(5, func() { got = append(got, i) })
+	}
+	e.RunAll()
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("tie order = %v", got)
+		}
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	e := NewEngine()
+	e.At(100, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic scheduling in the past")
+			}
+		}()
+		e.At(50, func() {})
+	})
+	e.RunAll()
+}
+
+func TestRunUntil(t *testing.T) {
+	e := NewEngine()
+	fired := 0
+	e.At(10, func() { fired++ })
+	e.At(100, func() { fired++ })
+	now := e.Run(50)
+	if fired != 1 || now != 50 {
+		t.Fatalf("fired=%d now=%v, want 1, 50", fired, now)
+	}
+	e.RunAll()
+	if fired != 2 {
+		t.Fatalf("fired=%d, want 2", fired)
+	}
+}
+
+func TestProcSleep(t *testing.T) {
+	e := NewEngine()
+	var marks []Time
+	e.Go("p", func(p *Proc) {
+		marks = append(marks, p.Now())
+		p.Sleep(100)
+		marks = append(marks, p.Now())
+		p.Sleep(50)
+		marks = append(marks, p.Now())
+	})
+	e.RunAll()
+	want := []Time{0, 100, 150}
+	if len(marks) != 3 {
+		t.Fatalf("marks = %v", marks)
+	}
+	for i := range want {
+		if marks[i] != want[i] {
+			t.Fatalf("marks = %v, want %v", marks, want)
+		}
+	}
+}
+
+func TestTwoProcsInterleaveDeterministically(t *testing.T) {
+	run := func() []string {
+		e := NewEngine()
+		var log []string
+		e.Go("a", func(p *Proc) {
+			for i := 0; i < 3; i++ {
+				log = append(log, "a")
+				p.Sleep(10)
+			}
+		})
+		e.Go("b", func(p *Proc) {
+			for i := 0; i < 3; i++ {
+				log = append(log, "b")
+				p.Sleep(10)
+			}
+		})
+		e.RunAll()
+		return log
+	}
+	first := run()
+	for i := 0; i < 20; i++ {
+		again := run()
+		if len(again) != len(first) {
+			t.Fatal("nondeterministic length")
+		}
+		for j := range first {
+			if first[j] != again[j] {
+				t.Fatalf("run %d diverged at %d: %v vs %v", i, j, first, again)
+			}
+		}
+	}
+}
+
+func TestServerFIFOAndCapacity(t *testing.T) {
+	e := NewEngine()
+	srv := NewServer(e, "cpu", 2)
+	var order []int
+	var finish []Time
+	for i := 0; i < 5; i++ {
+		i := i
+		e.Go("w", func(p *Proc) {
+			srv.Acquire(p)
+			order = append(order, i)
+			p.Sleep(100)
+			srv.Release()
+			finish = append(finish, p.Now())
+		})
+	}
+	e.RunAll()
+	for i := range order {
+		if order[i] != i {
+			t.Fatalf("service order = %v, want FIFO", order)
+		}
+	}
+	// Capacity 2, 5 jobs of 100ns: finish times 100,100,200,200,300.
+	want := []Time{100, 100, 200, 200, 300}
+	for i := range want {
+		if finish[i] != want[i] {
+			t.Fatalf("finish = %v, want %v", finish, want)
+		}
+	}
+	if srv.InUse() != 0 {
+		t.Fatalf("server still in use: %d", srv.InUse())
+	}
+	if srv.MaxQueue() != 3 {
+		t.Fatalf("MaxQueue = %d, want 3", srv.MaxQueue())
+	}
+}
+
+func TestServerHandoffKeepsUnitAccounted(t *testing.T) {
+	e := NewEngine()
+	srv := NewServer(e, "s", 1)
+	var held []int
+	for i := 0; i < 3; i++ {
+		i := i
+		e.Go("w", func(p *Proc) {
+			srv.Acquire(p)
+			held = append(held, srv.InUse())
+			_ = i
+			p.Sleep(10)
+			srv.Release()
+		})
+	}
+	e.RunAll()
+	for _, h := range held {
+		if h != 1 {
+			t.Fatalf("InUse during hold = %v, want all 1", held)
+		}
+	}
+}
+
+func TestTryAcquire(t *testing.T) {
+	e := NewEngine()
+	srv := NewServer(e, "s", 1)
+	if !srv.TryAcquire() {
+		t.Fatal("first TryAcquire should succeed")
+	}
+	if srv.TryAcquire() {
+		t.Fatal("second TryAcquire should fail")
+	}
+	srv.Release()
+	if !srv.TryAcquire() {
+		t.Fatal("TryAcquire after release should succeed")
+	}
+}
+
+func TestReleaseIdlePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on idle release")
+		}
+	}()
+	e := NewEngine()
+	NewServer(e, "s", 1).Release()
+}
+
+func TestServerUtilization(t *testing.T) {
+	e := NewEngine()
+	srv := NewServer(e, "s", 1)
+	e.Go("w", func(p *Proc) {
+		srv.Use(p, 50)
+		p.Sleep(50)
+	})
+	e.RunAll()
+	u := srv.Utilization()
+	if u < 0.49 || u > 0.51 {
+		t.Fatalf("utilization = %v, want ~0.5", u)
+	}
+}
+
+func TestSignalBroadcastAndWake(t *testing.T) {
+	e := NewEngine()
+	sig := NewSignal(e)
+	woken := 0
+	for i := 0; i < 4; i++ {
+		e.Go("w", func(p *Proc) {
+			sig.Wait(p)
+			woken++
+		})
+	}
+	e.At(10, func() {
+		if n := sig.Wake(2); n != 2 {
+			t.Errorf("Wake(2) = %d", n)
+		}
+	})
+	e.At(20, func() { sig.Broadcast() })
+	e.RunAll()
+	if woken != 4 {
+		t.Fatalf("woken = %d, want 4", woken)
+	}
+	if sig.Pending() != 0 {
+		t.Fatalf("pending = %d", sig.Pending())
+	}
+}
+
+func TestWaitGroup(t *testing.T) {
+	e := NewEngine()
+	wg := NewWaitGroup(e)
+	wg.Add(3)
+	doneAt := Time(-1)
+	e.Go("waiter", func(p *Proc) {
+		wg.Wait(p)
+		doneAt = p.Now()
+	})
+	for i := 1; i <= 3; i++ {
+		i := i
+		e.Go("worker", func(p *Proc) {
+			p.Sleep(Duration(i * 100))
+			wg.Done()
+		})
+	}
+	e.RunAll()
+	if doneAt != 300 {
+		t.Fatalf("waiter resumed at %v, want 300", doneAt)
+	}
+}
+
+func TestQueueFIFOAndClose(t *testing.T) {
+	e := NewEngine()
+	q := NewQueue[int](e)
+	var got []int
+	e.Go("consumer", func(p *Proc) {
+		for {
+			v, ok := q.Pop(p)
+			if !ok {
+				return
+			}
+			got = append(got, v)
+		}
+	})
+	e.Go("producer", func(p *Proc) {
+		for i := 0; i < 5; i++ {
+			q.Push(i)
+			p.Sleep(10)
+		}
+		q.Close()
+	})
+	e.RunAll()
+	if len(got) != 5 {
+		t.Fatalf("got %v", got)
+	}
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("got %v, want FIFO 0..4", got)
+		}
+	}
+	if dl := e.Deadlocked(); dl != nil {
+		t.Fatalf("deadlocked: %v", dl)
+	}
+}
+
+func TestQueueTryPop(t *testing.T) {
+	e := NewEngine()
+	q := NewQueue[string](e)
+	if _, ok := q.TryPop(); ok {
+		t.Fatal("TryPop on empty should fail")
+	}
+	q.Push("x")
+	v, ok := q.TryPop()
+	if !ok || v != "x" {
+		t.Fatalf("TryPop = %q,%v", v, ok)
+	}
+}
+
+func TestDeadlockDetection(t *testing.T) {
+	e := NewEngine()
+	sig := NewSignal(e)
+	e.Go("stuck", func(p *Proc) { sig.Wait(p) })
+	e.RunAll()
+	dl := e.Deadlocked()
+	if len(dl) != 1 {
+		t.Fatalf("Deadlocked = %v, want one entry", dl)
+	}
+}
+
+func TestStop(t *testing.T) {
+	e := NewEngine()
+	ran := 0
+	e.At(1, func() { ran++; e.Stop() })
+	e.At(2, func() { ran++ })
+	e.RunAll()
+	if ran != 1 {
+		t.Fatalf("ran = %d, want 1 after Stop", ran)
+	}
+}
+
+// Property: for any set of scheduled delays, events fire in nondecreasing
+// time order and the clock ends at the max delay.
+func TestEventTimeMonotoneProperty(t *testing.T) {
+	f := func(delays []uint16) bool {
+		e := NewEngine()
+		var seen []Time
+		var maxT Time
+		for _, d := range delays {
+			at := Time(d)
+			if at > maxT {
+				maxT = at
+			}
+			e.At(at, func() { seen = append(seen, e.Now()) })
+		}
+		e.RunAll()
+		for i := 1; i < len(seen); i++ {
+			if seen[i] < seen[i-1] {
+				return false
+			}
+		}
+		return len(delays) == 0 || e.Now() == maxT
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a FIFO server of any capacity preserves arrival order of
+// service starts.
+func TestServerFIFOProperty(t *testing.T) {
+	f := func(capRaw uint8, jobs uint8) bool {
+		capacity := int(capRaw%8) + 1
+		n := int(jobs%32) + 1
+		e := NewEngine()
+		srv := NewServer(e, "s", capacity)
+		rng := rand.New(rand.NewSource(int64(capRaw)*31 + int64(jobs)))
+		var starts []int
+		for i := 0; i < n; i++ {
+			i := i
+			hold := Duration(rng.Intn(50) + 1)
+			e.Go("j", func(p *Proc) {
+				srv.Acquire(p)
+				starts = append(starts, i)
+				p.Sleep(hold)
+				srv.Release()
+			})
+		}
+		e.RunAll()
+		if len(starts) != n {
+			return false
+		}
+		for i := range starts {
+			if starts[i] != i {
+				return false
+			}
+		}
+		return srv.InUse() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUseHoldsForDuration(t *testing.T) {
+	e := NewEngine()
+	srv := NewServer(e, "s", 1)
+	var t1, t2 Time
+	e.Go("a", func(p *Proc) { srv.Use(p, 100); t1 = p.Now() })
+	e.Go("b", func(p *Proc) { srv.Use(p, 100); t2 = p.Now() })
+	e.RunAll()
+	if t1 != 100 || t2 != 200 {
+		t.Fatalf("t1=%v t2=%v, want 100, 200", t1, t2)
+	}
+}
+
+func TestDurationIsTimeDuration(t *testing.T) {
+	var d Duration = 5 * time.Microsecond
+	e := NewEngine()
+	e.Go("p", func(p *Proc) { p.Sleep(d) })
+	e.RunAll()
+	if e.Now() != Time(5*time.Microsecond) {
+		t.Fatalf("Now = %v", e.Now())
+	}
+}
+
+func TestShutdownReleasesParkedProcs(t *testing.T) {
+	e := NewEngine()
+	sig := NewSignal(e)
+	done := make(chan struct{})
+	for i := 0; i < 3; i++ {
+		e.Go("stuck", func(p *Proc) {
+			defer func() { done <- struct{}{} }()
+			sig.Wait(p) // never signalled
+		})
+	}
+	e.RunAll()
+	e.Shutdown()
+	for i := 0; i < 3; i++ {
+		select {
+		case <-done:
+		case <-time.After(2 * time.Second):
+			t.Fatal("parked goroutine not released by Shutdown")
+		}
+	}
+	e.Shutdown() // idempotent
+}
+
+func TestShutdownReleasesNeverActivatedProcs(t *testing.T) {
+	e := NewEngine()
+	ran := false
+	e.Go("never", func(p *Proc) { ran = true })
+	// Do not run the engine at all.
+	e.Shutdown()
+	if ran {
+		t.Fatal("process ran without engine")
+	}
+}

@@ -1,0 +1,179 @@
+// Package spdk is the user-level driver facade DLFS is written against,
+// mirroring the surface of Intel's Storage Performance Development Kit
+// that the paper builds on (§III-C): environment initialisation with a
+// huge-page pool, controller probe/attach for local (PCIe) and remote
+// (NVMe-oF) devices, I/O queue pair allocation with a bounded depth, and
+// busy-poll completion processing.
+//
+// Everything is user level by construction — no simulated kernel costs
+// appear anywhere in this path; that asymmetry against ext4sim is the
+// paper's core argument.
+package spdk
+
+import (
+	"errors"
+	"fmt"
+
+	"dlfs/internal/fabric"
+	"dlfs/internal/hugepage"
+	"dlfs/internal/nvme"
+	"dlfs/internal/sim"
+)
+
+// Env is the SPDK environment: the engine plus the huge-page pool that all
+// I/O buffers must come from.
+type Env struct {
+	eng   *sim.Engine
+	arena *hugepage.Arena
+	ctrls map[string]Controller
+}
+
+// NewEnv initialises the environment with a huge-page arena of poolBytes
+// split into chunkSize chunks (the DLFS sample-cache geometry).
+func NewEnv(e *sim.Engine, poolBytes int64, chunkSize int) (*Env, error) {
+	arena, err := hugepage.NewArena(poolBytes, chunkSize)
+	if err != nil {
+		return nil, err
+	}
+	return &Env{eng: e, arena: arena, ctrls: make(map[string]Controller)}, nil
+}
+
+// Engine returns the simulation engine.
+func (v *Env) Engine() *sim.Engine { return v.eng }
+
+// Arena returns the huge-page pool.
+func (v *Env) Arena() *hugepage.Arena { return v.arena }
+
+// Controller is an attached NVMe controller, local or remote.
+type Controller interface {
+	// Name returns the transport address, e.g. "pcie:0000:05:00.0" or
+	// "rdma:node3".
+	Name() string
+	// AllocQPair allocates an I/O queue pair of the given depth.
+	AllocQPair(depth int) nvme.Queue
+	// Spec returns the underlying device's service model.
+	Spec() nvme.Spec
+	// Remote reports whether the controller sits across the fabric.
+	Remote() bool
+}
+
+// ErrDuplicate reports attaching two controllers under one name.
+var ErrDuplicate = errors.New("spdk: controller already attached")
+
+// ErrNotAttached reports a lookup of an unknown controller.
+var ErrNotAttached = errors.New("spdk: controller not attached")
+
+// AttachLocal attaches a PCIe-local device. The paper notes the device
+// must first be unbound from the kernel; in the model that is implicit —
+// a device is either driven here or by ext4sim, never both.
+func (v *Env) AttachLocal(addr string, dev *nvme.Device) (Controller, error) {
+	name := "pcie:" + addr
+	if _, dup := v.ctrls[name]; dup {
+		return nil, fmt.Errorf("%w: %s", ErrDuplicate, name)
+	}
+	c := &localCtrl{name: name, dev: dev}
+	v.ctrls[name] = c
+	return c, nil
+}
+
+// AttachRemote attaches an NVMe-oF target reachable from clientNode.
+func (v *Env) AttachRemote(addr string, tgt *fabric.Target, clientNode int) (Controller, error) {
+	name := "rdma:" + addr
+	if _, dup := v.ctrls[name]; dup {
+		return nil, fmt.Errorf("%w: %s", ErrDuplicate, name)
+	}
+	c := &remoteCtrl{name: name, tgt: tgt, clientNode: clientNode}
+	v.ctrls[name] = c
+	return c, nil
+}
+
+// Controller returns an attached controller by name.
+func (v *Env) Controller(name string) (Controller, error) {
+	c, ok := v.ctrls[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotAttached, name)
+	}
+	return c, nil
+}
+
+// Controllers returns all attached controllers (order unspecified).
+func (v *Env) Controllers() []Controller {
+	out := make([]Controller, 0, len(v.ctrls))
+	for _, c := range v.ctrls {
+		out = append(out, c)
+	}
+	return out
+}
+
+type localCtrl struct {
+	name string
+	dev  *nvme.Device
+}
+
+func (c *localCtrl) Name() string                    { return c.name }
+func (c *localCtrl) AllocQPair(depth int) nvme.Queue { return c.dev.AllocQPair(depth) }
+func (c *localCtrl) Spec() nvme.Spec                 { return c.dev.Spec() }
+func (c *localCtrl) Remote() bool                    { return false }
+
+type remoteCtrl struct {
+	name       string
+	tgt        *fabric.Target
+	clientNode int
+}
+
+func (c *remoteCtrl) Name() string                    { return c.name }
+func (c *remoteCtrl) AllocQPair(depth int) nvme.Queue { return c.tgt.Connect(c.clientNode, depth) }
+func (c *remoteCtrl) Spec() nvme.Spec                 { return c.tgt.Device().Spec() }
+func (c *remoteCtrl) Remote() bool                    { return true }
+
+// PollGroup polls completions across many queue pairs round-robin — the
+// mechanism behind DLFS's shared completion queue (§III-C2): one poller
+// balances progress across all I/O queue pairs.
+type PollGroup struct {
+	queues []nvme.Queue
+	next   int
+	polls  int64
+	hits   int64
+}
+
+// NewPollGroup returns an empty group.
+func NewPollGroup() *PollGroup { return &PollGroup{} }
+
+// Add registers a queue pair with the group.
+func (g *PollGroup) Add(q nvme.Queue) { g.queues = append(g.queues, q) }
+
+// Len reports the number of registered queues.
+func (g *PollGroup) Len() int { return len(g.queues) }
+
+// Poll sweeps every queue once, starting after the last sweep's origin so
+// no queue is systematically favoured, and returns all completions found.
+func (g *PollGroup) Poll(maxPerQueue int) []nvme.Completion {
+	if len(g.queues) == 0 {
+		return nil
+	}
+	var out []nvme.Completion
+	n := len(g.queues)
+	for i := 0; i < n; i++ {
+		q := g.queues[(g.next+i)%n]
+		out = append(out, q.Poll(maxPerQueue)...)
+	}
+	g.next = (g.next + 1) % n
+	g.polls++
+	if len(out) > 0 {
+		g.hits++
+	}
+	return out
+}
+
+// Inflight sums uncompleted commands across all queues.
+func (g *PollGroup) Inflight() int {
+	total := 0
+	for _, q := range g.queues {
+		total += q.Inflight()
+	}
+	return total
+}
+
+// Stats reports total sweeps and sweeps that found completions, for
+// measuring busy-poll efficiency.
+func (g *PollGroup) Stats() (polls, hits int64) { return g.polls, g.hits }

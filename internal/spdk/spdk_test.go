@@ -1,0 +1,168 @@
+package spdk
+
+import (
+	"errors"
+	"testing"
+
+	"dlfs/internal/fabric"
+	"dlfs/internal/nvme"
+	"dlfs/internal/sim"
+)
+
+func newEnv(t *testing.T, e *sim.Engine) *Env {
+	t.Helper()
+	v, err := NewEnv(e, 16<<20, 256<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func TestEnvSetup(t *testing.T) {
+	e := sim.NewEngine()
+	v := newEnv(t, e)
+	if v.Engine() != e {
+		t.Fatal("engine")
+	}
+	if v.Arena().ChunkSize() != 256<<10 {
+		t.Fatal("arena chunk size")
+	}
+	if _, err := NewEnv(e, 1<<20, 3000); err == nil {
+		t.Fatal("bad chunk size accepted")
+	}
+}
+
+func TestAttachLocalAndLookup(t *testing.T) {
+	e := sim.NewEngine()
+	v := newEnv(t, e)
+	dev := nvme.NewDevice(e, nvme.OptaneSpec())
+	c, err := v.AttachLocal("0000:05:00.0", dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Remote() || c.Name() != "pcie:0000:05:00.0" {
+		t.Fatalf("ctrl %q remote=%v", c.Name(), c.Remote())
+	}
+	if c.Spec().Name != "optane-480g" {
+		t.Fatal("spec passthrough")
+	}
+	got, err := v.Controller("pcie:0000:05:00.0")
+	if err != nil || got != c {
+		t.Fatalf("lookup: %v", err)
+	}
+	if _, err := v.AttachLocal("0000:05:00.0", dev); !errors.Is(err, ErrDuplicate) {
+		t.Fatalf("duplicate: %v", err)
+	}
+	if _, err := v.Controller("pcie:nope"); !errors.Is(err, ErrNotAttached) {
+		t.Fatalf("missing: %v", err)
+	}
+	if len(v.Controllers()) != 1 {
+		t.Fatal("controllers list")
+	}
+}
+
+func TestAttachRemote(t *testing.T) {
+	e := sim.NewEngine()
+	v := newEnv(t, e)
+	net := fabric.New(e, 0)
+	net.AddNode(0, fabric.FDRBandwidth)
+	net.AddNode(1, fabric.FDRBandwidth)
+	dev := nvme.NewDevice(e, nvme.EmulatedSpec())
+	tgt := fabric.NewTarget(net, 1, dev, fabric.DefaultTargetSpec())
+	c, err := v.AttachRemote("node1", tgt, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Remote() {
+		t.Fatal("remote flag")
+	}
+	q := c.AllocQPair(8)
+	if q.Depth() != 8 {
+		t.Fatal("depth")
+	}
+	// A read through the remote controller works end to end.
+	e.Go("c", func(p *sim.Proc) {
+		buf := make([]byte, 4096)
+		if err := q.Submit(&nvme.Command{Op: nvme.OpRead, Buf: buf}); err != nil {
+			t.Error(err)
+		}
+		for len(q.Poll(0)) == 0 {
+			p.Sleep(500)
+		}
+	})
+	e.RunAll()
+	if tgt.Served() != 1 {
+		t.Fatal("target not used")
+	}
+}
+
+func TestLocalQPairIO(t *testing.T) {
+	e := sim.NewEngine()
+	v := newEnv(t, e)
+	dev := nvme.NewDevice(e, nvme.OptaneSpec())
+	c, _ := v.AttachLocal("a", dev)
+	q := c.AllocQPair(16)
+	e.Go("c", func(p *sim.Proc) {
+		chunk, err := v.Arena().Alloc()
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		// I/O into huge-page memory, as SPDK mandates.
+		if err := q.Submit(&nvme.Command{Op: nvme.OpRead, Offset: 0, Buf: chunk.Bytes()}); err != nil {
+			t.Error(err)
+		}
+		for q.Inflight() > 0 {
+			q.Poll(0)
+			p.Sleep(500)
+		}
+		v.Arena().Free(chunk) //nolint:errcheck
+	})
+	e.RunAll()
+}
+
+func TestPollGroupBalancesQueues(t *testing.T) {
+	e := sim.NewEngine()
+	dev1 := nvme.NewDevice(e, nvme.OptaneSpec())
+	dev2 := nvme.NewDevice(e, nvme.OptaneSpec())
+	g := NewPollGroup()
+	q1 := dev1.AllocQPair(8)
+	q2 := dev2.AllocQPair(8)
+	g.Add(q1)
+	g.Add(q2)
+	if g.Len() != 2 {
+		t.Fatal("len")
+	}
+	e.Go("c", func(p *sim.Proc) {
+		buf := make([]byte, 4096)
+		for i := 0; i < 4; i++ {
+			q1.Submit(&nvme.Command{Op: nvme.OpRead, Buf: buf, Ctx: "d1"}) //nolint:errcheck
+			q2.Submit(&nvme.Command{Op: nvme.OpRead, Buf: buf, Ctx: "d2"}) //nolint:errcheck
+		}
+		seen := map[string]int{}
+		for seen["d1"]+seen["d2"] < 8 {
+			for _, cpl := range g.Poll(0) {
+				seen[cpl.Cmd.Ctx.(string)]++
+			}
+			p.Sleep(500)
+		}
+		if seen["d1"] != 4 || seen["d2"] != 4 {
+			t.Errorf("completions per device: %v", seen)
+		}
+	})
+	e.RunAll()
+	polls, hits := g.Stats()
+	if polls == 0 || hits == 0 || hits > polls {
+		t.Fatalf("poll stats %d/%d", hits, polls)
+	}
+}
+
+func TestPollGroupEmpty(t *testing.T) {
+	g := NewPollGroup()
+	if out := g.Poll(0); out != nil {
+		t.Fatal("empty group returned completions")
+	}
+	if g.Inflight() != 0 {
+		t.Fatal("inflight on empty group")
+	}
+}

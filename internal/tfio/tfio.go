@@ -1,0 +1,188 @@
+// Package tfio is a miniature TensorFlow-style dataset-import pipeline,
+// standing in for the customised TensorFlow dataset op the paper builds
+// for §IV-E ("we have enabled TensorFlow on top of DLFS, Octopus and Ext4
+// by designing a customized TensorFlow API").
+//
+// The pipeline reproduces what the framework layer adds on top of the
+// file system: a per-sample decode/deserialise cost, batching, and a
+// single-threaded import loop feeding the learner. Sources adapt each of
+// the three file systems to a common interface so Fig 12 measures them
+// under the identical pipeline.
+package tfio
+
+import (
+	"errors"
+	"fmt"
+
+	"dlfs/internal/cluster"
+	"dlfs/internal/core"
+	"dlfs/internal/dataset"
+	"dlfs/internal/ext4sim"
+	"dlfs/internal/octopus"
+	"dlfs/internal/sim"
+)
+
+// Source produces raw samples for the pipeline. Next returns the next
+// sample's dataset index and bytes, or ok == false at end of epoch.
+type Source interface {
+	Next(p *sim.Proc) (idx int, data []byte, ok bool)
+	// Name labels the source in tables.
+	Name() string
+}
+
+// Costs models the framework overhead per sample.
+type Costs struct {
+	DecodeCPUPerByte sim.Duration // deserialise/decode cost per byte
+	DecodeCPUFixed   sim.Duration // fixed per-sample framework overhead
+}
+
+// DefaultCosts approximates TF's record deserialisation: ~2 µs of fixed
+// dispatch per sample; raise DecodeCPUPerByte to model image decoding.
+func DefaultCosts() Costs {
+	return Costs{DecodeCPUFixed: 2000}
+}
+
+// Pipeline drives a Source, paying decode cost on the client CPU and
+// grouping samples into batches.
+type Pipeline struct {
+	src       Source
+	node      *cluster.Node
+	costs     Costs
+	batchSize int
+
+	samples int64
+	bytes   int64
+}
+
+// NewPipeline builds a pipeline over src running on node.
+func NewPipeline(src Source, node *cluster.Node, costs Costs, batchSize int) *Pipeline {
+	if batchSize <= 0 {
+		batchSize = 32
+	}
+	if costs == (Costs{}) {
+		costs = DefaultCosts()
+	}
+	return &Pipeline{src: src, node: node, costs: costs, batchSize: batchSize}
+}
+
+// Batch is one imported mini-batch.
+type Batch struct {
+	Indices [][]byte // decoded sample payloads
+	Idx     []int    // dataset indices
+}
+
+// NextBatch imports up to batchSize samples, paying the decode cost for
+// each; ok is false at end of epoch.
+func (pl *Pipeline) NextBatch(p *sim.Proc) (Batch, bool) {
+	var b Batch
+	for len(b.Idx) < pl.batchSize {
+		idx, data, ok := pl.src.Next(p)
+		if !ok {
+			break
+		}
+		// Decode on the importing core.
+		cost := pl.costs.DecodeCPUFixed + sim.Duration(int64(pl.costs.DecodeCPUPerByte)*int64(len(data)))
+		pl.node.Compute(p, cost)
+		b.Indices = append(b.Indices, data)
+		b.Idx = append(b.Idx, idx)
+		pl.samples++
+		pl.bytes += int64(len(data))
+	}
+	return b, len(b.Idx) > 0
+}
+
+// Drain imports the whole epoch and returns the total samples imported.
+func (pl *Pipeline) Drain(p *sim.Proc) int {
+	total := 0
+	for {
+		b, ok := pl.NextBatch(p)
+		if !ok {
+			return total
+		}
+		total += len(b.Idx)
+	}
+}
+
+// Stats reports samples and bytes imported.
+func (pl *Pipeline) Stats() (samples, bytes int64) { return pl.samples, pl.bytes }
+
+// ErrExhausted reports Next after the epoch ended.
+var ErrExhausted = errors.New("tfio: source exhausted")
+
+// DLFSSource adapts a DLFS epoch (dlfs_sequence/dlfs_bread).
+type DLFSSource struct {
+	ep  *core.Epoch
+	buf []core.Item
+}
+
+// NewDLFSSource wraps an epoch.
+func NewDLFSSource(ep *core.Epoch) *DLFSSource { return &DLFSSource{ep: ep} }
+
+// Name implements Source.
+func (s *DLFSSource) Name() string { return "dlfs-tf" }
+
+// Next implements Source.
+func (s *DLFSSource) Next(p *sim.Proc) (int, []byte, bool) {
+	for len(s.buf) == 0 {
+		items, ok := s.ep.NextBatch(p)
+		if !ok {
+			return 0, nil, false
+		}
+		s.buf = items
+	}
+	it := s.buf[0]
+	s.buf = s.buf[1:]
+	return it.Index, it.Data, true
+}
+
+// FileSource adapts a name-addressed file system (Ext4 or Octopus) with a
+// fixed read order, the conventional TF file-list input.
+type FileSource struct {
+	name  string
+	ds    *dataset.Dataset
+	order []int
+	pos   int
+	read  func(p *sim.Proc, idx int, buf []byte) (int, error)
+}
+
+// NewExt4Source builds a source reading order from a kernel FS on node.
+func NewExt4Source(fs *ext4sim.FS, node *cluster.Node, ds *dataset.Dataset, order []int) *FileSource {
+	return &FileSource{
+		name:  "ext4-tf",
+		ds:    ds,
+		order: order,
+		read: func(p *sim.Proc, idx int, buf []byte) (int, error) {
+			return fs.ReadFile(p, node.CPU, ds.Samples[idx].Name, buf)
+		},
+	}
+}
+
+// NewOctopusSource builds a source reading order through Octopus from
+// clientNode.
+func NewOctopusSource(fs *octopus.FS, clientNode int, ds *dataset.Dataset, order []int) *FileSource {
+	return &FileSource{
+		name:  "octopus-tf",
+		ds:    ds,
+		order: order,
+		read: func(p *sim.Proc, idx int, buf []byte) (int, error) {
+			return fs.ReadFile(p, clientNode, ds.Samples[idx].Name, buf)
+		},
+	}
+}
+
+// Name implements Source.
+func (s *FileSource) Name() string { return s.name }
+
+// Next implements Source.
+func (s *FileSource) Next(p *sim.Proc) (int, []byte, bool) {
+	if s.pos >= len(s.order) {
+		return 0, nil, false
+	}
+	idx := s.order[s.pos]
+	s.pos++
+	buf := make([]byte, s.ds.Samples[idx].Size)
+	if _, err := s.read(p, idx, buf); err != nil {
+		panic(fmt.Sprintf("tfio: source read %d: %v", idx, err))
+	}
+	return idx, buf, true
+}

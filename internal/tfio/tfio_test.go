@@ -1,0 +1,135 @@
+package tfio
+
+import (
+	"fmt"
+	"testing"
+
+	"dlfs/internal/cluster"
+	"dlfs/internal/core"
+	"dlfs/internal/dataset"
+	"dlfs/internal/ext4sim"
+	"dlfs/internal/sim"
+	"dlfs/internal/workload"
+)
+
+func testDataset(n int) *dataset.Dataset {
+	return dataset.Generate(dataset.Config{Label: "tf", Seed: 5, NumSamples: n, Dist: dataset.Fixed(2048)})
+}
+
+func TestDLFSSourceDrainsEpoch(t *testing.T) {
+	e := sim.NewEngine()
+	job := workload.NewJob(e, 2, 8, false)
+	ds := testDataset(100)
+	fss, err := workload.MountDLFS(e, job, ds, core.Config{ChunkSize: 8 << 10, CacheBytes: 4 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, 2)
+	seen := make([]int, ds.Len())
+	for i := 0; i < 2; i++ {
+		i := i
+		e.Go(fmt.Sprintf("imp%d", i), func(p *sim.Proc) {
+			src := NewDLFSSource(fss[i].Sequence(3))
+			if src.Name() != "dlfs-tf" {
+				t.Error("name")
+			}
+			pl := NewPipeline(src, fss[i].Node(), Costs{}, 16)
+			for {
+				b, ok := pl.NextBatch(p)
+				if !ok {
+					break
+				}
+				if len(b.Idx) > 16 {
+					t.Errorf("batch %d over size", len(b.Idx))
+				}
+				counts[i] += len(b.Idx)
+				for j, idx := range b.Idx {
+					seen[idx]++
+					if dataset.ChecksumBytes(b.Indices[j]) != ds.Checksum(idx) {
+						t.Errorf("sample %d corrupt through pipeline", idx)
+					}
+				}
+			}
+			s, by := pl.Stats()
+			if int(s) != counts[i] || by != int64(counts[i]*2048) {
+				t.Errorf("stats %d/%d", s, by)
+			}
+		})
+	}
+	e.RunAll()
+	if counts[0]+counts[1] != 100 {
+		t.Fatalf("imported %d of 100", counts[0]+counts[1])
+	}
+	for idx, n := range seen {
+		if n != 1 {
+			t.Fatalf("sample %d imported %d times", idx, n)
+		}
+	}
+}
+
+func TestExt4SourcePipeline(t *testing.T) {
+	e := sim.NewEngine()
+	job := workload.NewJob(e, 1, 8, false)
+	ds := testDataset(40)
+	fss, shards, err := workload.Ext4PerNode(e, job, ds, ext4sim.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Go("imp", func(p *sim.Proc) {
+		src := NewExt4Source(fss[0], job.Node(0), ds, shards[0])
+		pl := NewPipeline(src, job.Node(0), Costs{}, 8)
+		got := pl.Drain(p)
+		if got != len(shards[0]) {
+			t.Errorf("imported %d of %d", got, len(shards[0]))
+		}
+	})
+	e.RunAll()
+}
+
+func TestOctopusSourcePipeline(t *testing.T) {
+	e := sim.NewEngine()
+	job := workload.NewJob(e, 2, 8, false)
+	ds := testDataset(30)
+	fs, err := workload.BuildOctopus(job, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Go("imp", func(p *sim.Proc) {
+		src := NewOctopusSource(fs, 0, ds, workload.Seq(30))
+		pl := NewPipeline(src, job.Node(0), Costs{}, 10)
+		if got := pl.Drain(p); got != 30 {
+			t.Errorf("imported %d", got)
+		}
+	})
+	e.RunAll()
+}
+
+func TestDecodeCostCharged(t *testing.T) {
+	// With a huge per-sample decode cost the pipeline must slow down
+	// proportionally: the framework layer is on the critical path.
+	run := func(costs Costs) sim.Time {
+		e := sim.NewEngine()
+		job := workload.NewJob(e, 1, 8, false)
+		ds := testDataset(50)
+		fss, _ := workload.MountDLFS(e, job, ds, core.Config{ChunkSize: 8 << 10, CacheBytes: 4 << 20})
+		e.Go("imp", func(p *sim.Proc) {
+			pl := NewPipeline(NewDLFSSource(fss[0].Sequence(1)), fss[0].Node(), costs, 16)
+			pl.Drain(p)
+		})
+		return e.RunAll()
+	}
+	cheap := run(Costs{DecodeCPUFixed: 1})
+	costly := run(Costs{DecodeCPUFixed: 1_000_000}) // 1 ms/sample
+	if costly < cheap+sim.Time(45)*1_000_000 {
+		t.Fatalf("decode cost not charged: cheap=%v costly=%v", cheap, costly)
+	}
+}
+
+func TestPipelineDefaults(t *testing.T) {
+	e := sim.NewEngine()
+	job := cluster.NewJob(e, 1, cluster.DefaultNodeSpec())
+	pl := NewPipeline(nil, job.Node(0), Costs{}, 0)
+	if pl.batchSize != 32 || pl.costs.DecodeCPUFixed != 2000 {
+		t.Fatalf("defaults: %+v batch=%d", pl.costs, pl.batchSize)
+	}
+}

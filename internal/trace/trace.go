@@ -1,0 +1,173 @@
+// Package trace records per-request timelines from the DLFS pipeline —
+// when each fetch unit was posted, completed, and drained, and when each
+// sample was emitted — and renders them as text summaries or Chrome
+// trace-event JSON (load chrome://tracing or Perfetto on the output).
+//
+// Tracing is opt-in (core.Config.Trace); with a nil recorder the pipeline
+// pays nothing.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"dlfs/internal/sim"
+)
+
+// Kind labels a recorded event.
+type Kind string
+
+// Event kinds emitted by the DLFS pipeline.
+const (
+	KindPost     Kind = "post"     // fetch unit posted to a queue pair
+	KindComplete Kind = "complete" // all device commands of the unit landed
+	KindEmit     Kind = "emit"     // a sample was delivered to the application
+	KindFree     Kind = "free"     // the unit's cache chunks were recycled
+)
+
+// Event is one pipeline occurrence.
+type Event struct {
+	At    sim.Time
+	Kind  Kind
+	Unit  int    // fetch-unit sequence number (-1 when not applicable)
+	Node  uint16 // storage node involved
+	Bytes int
+}
+
+// Recorder accumulates events. The zero value records nothing; use New.
+type Recorder struct {
+	events []Event
+	limit  int
+}
+
+// New returns a recorder bounded to limit events (0 = 1<<20); the bound
+// guards against tracing an unexpectedly long run into OOM.
+func New(limit int) *Recorder {
+	if limit <= 0 {
+		limit = 1 << 20
+	}
+	return &Recorder{limit: limit}
+}
+
+// Record appends an event if the recorder is non-nil and under its bound.
+func (r *Recorder) Record(at sim.Time, kind Kind, unit int, node uint16, bytes int) {
+	if r == nil || len(r.events) >= r.limit {
+		return
+	}
+	r.events = append(r.events, Event{At: at, Kind: kind, Unit: unit, Node: node, Bytes: bytes})
+}
+
+// Len reports recorded events.
+func (r *Recorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.events)
+}
+
+// Events returns the recorded events in order.
+func (r *Recorder) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	return r.events
+}
+
+// Summary aggregates the trace: per-kind counts and, for units that both
+// posted and completed, the fetch-latency distribution.
+type Summary struct {
+	Counts        map[Kind]int
+	FetchP50      sim.Duration
+	FetchP99      sim.Duration
+	FetchMax      sim.Duration
+	UnitsResident sim.Duration // mean time from complete to free
+}
+
+// Summarize computes a Summary.
+func (r *Recorder) Summarize() Summary {
+	s := Summary{Counts: make(map[Kind]int)}
+	posted := map[int]sim.Time{}
+	completed := map[int]sim.Time{}
+	var fetches []sim.Duration
+	var residents []sim.Duration
+	for _, ev := range r.Events() {
+		s.Counts[ev.Kind]++
+		switch ev.Kind {
+		case KindPost:
+			posted[ev.Unit] = ev.At
+		case KindComplete:
+			completed[ev.Unit] = ev.At
+			if t0, ok := posted[ev.Unit]; ok {
+				fetches = append(fetches, sim.Duration(ev.At-t0))
+			}
+		case KindFree:
+			if t0, ok := completed[ev.Unit]; ok {
+				residents = append(residents, sim.Duration(ev.At-t0))
+			}
+		}
+	}
+	if len(fetches) > 0 {
+		sort.Slice(fetches, func(i, j int) bool { return fetches[i] < fetches[j] })
+		s.FetchP50 = fetches[len(fetches)/2]
+		s.FetchP99 = fetches[len(fetches)*99/100]
+		s.FetchMax = fetches[len(fetches)-1]
+	}
+	if len(residents) > 0 {
+		var total sim.Duration
+		for _, d := range residents {
+			total += d
+		}
+		s.UnitsResident = total / sim.Duration(len(residents))
+	}
+	return s
+}
+
+// chromeEvent is the Chrome trace-event format (the "X" complete-event and
+// "i" instant-event phases).
+type chromeEvent struct {
+	Name string  `json:"name"`
+	Ph   string  `json:"ph"`
+	Ts   float64 `json:"ts"` // microseconds
+	Dur  float64 `json:"dur,omitempty"`
+	Pid  int     `json:"pid"`
+	Tid  int     `json:"tid"`
+	S    string  `json:"s,omitempty"`
+}
+
+// WriteChromeJSON renders the trace as a Chrome trace-event array:
+// fetches become duration slices on per-storage-node tracks; emissions
+// become instant events on the application track.
+func (r *Recorder) WriteChromeJSON(w io.Writer) error {
+	posted := map[int]Event{}
+	var out []chromeEvent
+	for _, ev := range r.Events() {
+		switch ev.Kind {
+		case KindPost:
+			posted[ev.Unit] = ev
+		case KindComplete:
+			if p, ok := posted[ev.Unit]; ok {
+				out = append(out, chromeEvent{
+					Name: fmt.Sprintf("fetch unit %d (%d B)", ev.Unit, p.Bytes),
+					Ph:   "X",
+					Ts:   float64(p.At) / 1e3,
+					Dur:  float64(ev.At-p.At) / 1e3,
+					Pid:  1,
+					Tid:  int(ev.Node) + 1,
+				})
+			}
+		case KindEmit:
+			out = append(out, chromeEvent{
+				Name: "emit sample",
+				Ph:   "i",
+				Ts:   float64(ev.At) / 1e3,
+				Pid:  2,
+				Tid:  1,
+				S:    "t",
+			})
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}

@@ -1,0 +1,88 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"dlfs/internal/sim"
+)
+
+func TestNilRecorderIsSafe(t *testing.T) {
+	var r *Recorder
+	r.Record(0, KindPost, 1, 0, 100) // must not panic
+	if r.Len() != 0 || r.Events() != nil {
+		t.Fatal("nil recorder recorded")
+	}
+}
+
+func TestRecordAndSummarize(t *testing.T) {
+	r := New(0)
+	r.Record(100, KindPost, 1, 0, 1000)
+	r.Record(150, KindPost, 2, 1, 2000)
+	r.Record(300, KindComplete, 1, 0, 1000)
+	r.Record(500, KindComplete, 2, 1, 2000)
+	r.Record(510, KindEmit, 1, 0, 512)
+	r.Record(600, KindFree, 1, 0, 1000)
+	if r.Len() != 6 {
+		t.Fatalf("len %d", r.Len())
+	}
+	s := r.Summarize()
+	if s.Counts[KindPost] != 2 || s.Counts[KindEmit] != 1 {
+		t.Fatalf("counts %v", s.Counts)
+	}
+	// Fetch latencies: 200 and 350 → p50 is the upper median (350).
+	if s.FetchP50 != 350 || s.FetchMax != 350 {
+		t.Fatalf("fetch p50=%v max=%v", s.FetchP50, s.FetchMax)
+	}
+	// Unit 1 resident from 300 to 600.
+	if s.UnitsResident != 300 {
+		t.Fatalf("resident %v", s.UnitsResident)
+	}
+}
+
+func TestBoundEnforced(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 10; i++ {
+		r.Record(sim.Time(i), KindEmit, i, 0, 1)
+	}
+	if r.Len() != 3 {
+		t.Fatalf("bound not enforced: %d", r.Len())
+	}
+}
+
+func TestChromeJSON(t *testing.T) {
+	r := New(0)
+	r.Record(1000, KindPost, 7, 2, 4096)
+	r.Record(11000, KindComplete, 7, 2, 4096)
+	r.Record(12000, KindEmit, 7, 2, 512)
+	var buf bytes.Buffer
+	if err := r.WriteChromeJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 2 {
+		t.Fatalf("chrome events: %d", len(events))
+	}
+	fetch := events[0]
+	if fetch["ph"] != "X" || fetch["dur"].(float64) != 10 { // 10 µs
+		t.Fatalf("fetch event %v", fetch)
+	}
+	if !strings.Contains(fetch["name"].(string), "unit 7") {
+		t.Fatalf("name %v", fetch["name"])
+	}
+	if events[1]["ph"] != "i" {
+		t.Fatalf("emit event %v", events[1])
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := New(0).Summarize()
+	if len(s.Counts) != 0 || s.FetchMax != 0 {
+		t.Fatal("empty summary not zero")
+	}
+}

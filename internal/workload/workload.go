@@ -1,0 +1,283 @@
+// Package workload provides the shared fixtures and measurement loops the
+// figure reproductions are built from: populated file-system instances of
+// all three systems over a simulated job, seeded random-read orders, and
+// aggregate-throughput runners that time a read phase under the virtual
+// clock.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dlfs/internal/cluster"
+	"dlfs/internal/core"
+	"dlfs/internal/dataset"
+	"dlfs/internal/directory"
+	"dlfs/internal/ext4sim"
+	"dlfs/internal/nvme"
+	"dlfs/internal/octopus"
+	"dlfs/internal/sim"
+)
+
+// Result is an aggregate throughput measurement under virtual time.
+type Result struct {
+	Samples int
+	Bytes   int64
+	Elapsed sim.Duration
+}
+
+// PerSec returns samples per second.
+func (r Result) PerSec() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Samples) / (float64(r.Elapsed) / 1e9)
+}
+
+// BytesPerSec returns bytes per second.
+func (r Result) BytesPerSec() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Bytes) / (float64(r.Elapsed) / 1e9)
+}
+
+// NewJob builds an n-node job where every node has cores CPUs and an
+// emulated NVMe device (the paper's multi-node setup), or — with optane
+// true — the single real Optane device testbed.
+func NewJob(e *sim.Engine, n, cores int, optane bool) *cluster.Job {
+	spec := cluster.DefaultNodeSpec()
+	if cores > 0 {
+		spec.Cores = cores
+	}
+	if optane {
+		d := nvme.OptaneSpec()
+		spec.Device = &d
+	}
+	return cluster.NewJob(e, n, spec)
+}
+
+// MountDLFS mounts DLFS on every node of the job and returns the per-node
+// instances.
+func MountDLFS(e *sim.Engine, job *cluster.Job, ds *dataset.Dataset, cfg core.Config) ([]*core.FS, error) {
+	fss := make([]*core.FS, job.N())
+	errs := make([]error, job.N())
+	for i := 0; i < job.N(); i++ {
+		i := i
+		e.Go(fmt.Sprintf("mount%d", i), func(p *sim.Proc) {
+			fss[i], errs[i] = core.Mount(p, job, i, ds, cfg)
+		})
+	}
+	e.RunAll()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("mount node %d: %w", i, err)
+		}
+	}
+	return fss, nil
+}
+
+// Ext4PerNode builds one kernel file system per node, each populated with
+// the node's hash-shard of the dataset — the paper's Ext4 baseline, where
+// every training node reads its local share. It returns the per-node FS
+// and the per-node list of dataset indices stored there.
+func Ext4PerNode(e *sim.Engine, job *cluster.Job, ds *dataset.Dataset, cfg ext4sim.Config) ([]*ext4sim.FS, [][]int, error) {
+	n := job.N()
+	fss := make([]*ext4sim.FS, n)
+	shards := make([][]int, n)
+	for i := 0; i < n; i++ {
+		if job.Node(i).Device == nil {
+			return nil, nil, fmt.Errorf("workload: node %d has no device", i)
+		}
+		fss[i] = ext4sim.New(e, job.Node(i).Device, cfg)
+	}
+	for idx := 0; idx < ds.Len(); idx++ {
+		nid := int(directory.HomeNode(ds.Samples[idx].Key(), n))
+		if err := fss[nid].CreateFile(ds.Samples[idx].Name, ds.Content(idx)); err != nil {
+			return nil, nil, err
+		}
+		shards[nid] = append(shards[nid], idx)
+	}
+	return fss, shards, nil
+}
+
+// BuildOctopus populates an Octopus instance spanning the job.
+func BuildOctopus(job *cluster.Job, ds *dataset.Dataset) (*octopus.FS, error) {
+	fs := octopus.New(job, octopus.Costs{})
+	for idx := 0; idx < ds.Len(); idx++ {
+		if err := fs.Put(ds.Samples[idx].Name, ds.Content(idx)); err != nil {
+			return nil, err
+		}
+	}
+	return fs, nil
+}
+
+// RandomOrder returns count indices drawn from pool in seeded random order
+// (with wraparound when count exceeds the pool).
+func RandomOrder(seed int64, pool []int, count int) []int {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]int, count)
+	perm := rng.Perm(len(pool))
+	for i := 0; i < count; i++ {
+		out[i] = pool[perm[i%len(perm)]]
+	}
+	return out
+}
+
+// Seq returns [0, n).
+func Seq(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// timePhase runs one reader function per client under a common start
+// barrier and returns the span from the shared start to the last finish.
+func timePhase(e *sim.Engine, clients int, run func(p *sim.Proc, client int)) sim.Duration {
+	var start, end sim.Time
+	started := 0
+	startSig := sim.NewSignal(e)
+	for c := 0; c < clients; c++ {
+		c := c
+		e.Go(fmt.Sprintf("client%d", c), func(p *sim.Proc) {
+			started++
+			if started < clients {
+				startSig.Wait(p)
+			} else {
+				startSig.Broadcast()
+				p.Yield()
+			}
+			if start == 0 {
+				start = p.Now()
+			}
+			run(p, c)
+			if p.Now() > end {
+				end = p.Now()
+			}
+		})
+	}
+	e.RunAll()
+	return sim.Duration(end - start)
+}
+
+// RunExt4 measures random full-sample reads over the per-node kernel file
+// systems: every node runs `threads` reader threads, each reading its
+// share of perNode samples from the node's local shard. Caches are
+// dropped first so reads are cold, as the paper's trials are.
+func RunExt4(e *sim.Engine, job *cluster.Job, ds *dataset.Dataset, fss []*ext4sim.FS, shards [][]int, threads, perNode int, seed int64) Result {
+	n := job.N()
+	for _, fs := range fss {
+		fs.DropCaches()
+	}
+	var bytes int64
+	// One permutation per node, partitioned across its threads, so no
+	// sample is read twice (a duplicate would hit the page cache and
+	// flatter the kernel baseline).
+	perThread := perNode / threads
+	orders := make([][]int, n)
+	for node := 0; node < n; node++ {
+		orders[node] = RandomOrder(seed+int64(node), shards[node], perThread*threads)
+	}
+	elapsed := timePhase(e, n*threads, func(p *sim.Proc, client int) {
+		node := client / threads
+		th := client % threads
+		fs := fss[node]
+		order := orders[node][th*perThread : (th+1)*perThread]
+		cpu := job.Node(node).CPU
+		buf := make([]byte, maxSize(ds))
+		for _, idx := range order {
+			sz := ds.Samples[idx].Size
+			if _, err := fs.ReadFile(p, cpu, ds.Samples[idx].Name, buf[:sz]); err != nil {
+				panic(fmt.Sprintf("ext4 read %d on node %d thread %d: %v", idx, node, th, err))
+			}
+			bytes += int64(sz)
+		}
+	})
+	return Result{Samples: n * threads * perThread, Bytes: bytes, Elapsed: elapsed}
+}
+
+// RunOctopus measures random full-sample reads through Octopus: one
+// reader thread per node, each reading perNode samples from anywhere in
+// the dataset (Octopus is a distributed namespace).
+func RunOctopus(e *sim.Engine, job *cluster.Job, ds *dataset.Dataset, fs *octopus.FS, perNode int, seed int64) Result {
+	n := job.N()
+	var bytes int64
+	// One global permutation, partitioned across clients: each sample is
+	// read by at most one client per epoch-equivalent.
+	global := RandomOrder(seed, Seq(ds.Len()), min(perNode*n, ds.Len()))
+	elapsed := timePhase(e, n, func(p *sim.Proc, client int) {
+		lo := len(global) * client / n
+		hi := len(global) * (client + 1) / n
+		buf := make([]byte, maxSize(ds))
+		for _, idx := range global[lo:hi] {
+			sz := ds.Samples[idx].Size
+			if _, err := fs.ReadFile(p, client, ds.Samples[idx].Name, buf[:sz]); err != nil {
+				panic(fmt.Sprintf("octopus read %d from node %d: %v", idx, client, err))
+			}
+			bytes += int64(sz)
+		}
+	})
+	return Result{Samples: len(global), Bytes: bytes, Elapsed: elapsed}
+}
+
+// RunDLFSBase measures the synchronous dlfs_read path (DLFS-Base): one
+// reader per instance issuing cold per-sample reads in random order over
+// the whole namespace.
+func RunDLFSBase(e *sim.Engine, job *cluster.Job, ds *dataset.Dataset, fss []*core.FS, perNode int, seed int64) Result {
+	var bytes int64
+	global := RandomOrder(seed, Seq(ds.Len()), min(perNode*len(fss), ds.Len()))
+	elapsed := timePhase(e, len(fss), func(p *sim.Proc, client int) {
+		fs := fss[client]
+		lo := len(global) * client / len(fss)
+		hi := len(global) * (client + 1) / len(fss)
+		buf := make([]byte, maxSize(ds))
+		for _, idx := range global[lo:hi] {
+			sz := ds.Samples[idx].Size
+			if _, err := fs.ReadSample(p, idx, buf[:sz]); err != nil {
+				panic(fmt.Sprintf("dlfs-base read %d: %v", idx, err))
+			}
+			bytes += int64(sz)
+		}
+	})
+	return Result{Samples: len(global), Bytes: bytes, Elapsed: elapsed}
+}
+
+// RunDLFSEpoch measures dlfs_sequence + dlfs_bread over one full epoch on
+// every instance: the batched DLFS configuration.
+func RunDLFSEpoch(e *sim.Engine, fss []*core.FS, seed int64) Result {
+	var samples int
+	var bytes int64
+	elapsed := timePhase(e, len(fss), func(p *sim.Proc, client int) {
+		ep := fss[client].Sequence(seed)
+		for {
+			items, ok := ep.NextBatch(p)
+			if !ok {
+				break
+			}
+			samples += len(items)
+			for _, it := range items {
+				bytes += int64(len(it.Data))
+			}
+		}
+	})
+	return Result{Samples: samples, Bytes: bytes, Elapsed: elapsed}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxSize(ds *dataset.Dataset) int {
+	m := 0
+	for _, s := range ds.Samples {
+		if s.Size > m {
+			m = s.Size
+		}
+	}
+	return m
+}

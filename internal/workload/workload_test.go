@@ -1,0 +1,151 @@
+package workload
+
+import (
+	"testing"
+
+	"dlfs/internal/core"
+	"dlfs/internal/dataset"
+	"dlfs/internal/ext4sim"
+	"dlfs/internal/sim"
+)
+
+func ds(n, size int) *dataset.Dataset {
+	return dataset.Generate(dataset.Config{Label: "w", Seed: 17, NumSamples: n, Dist: dataset.Fixed(size)})
+}
+
+func TestRandomOrder(t *testing.T) {
+	pool := []int{10, 20, 30}
+	o := RandomOrder(1, pool, 7)
+	if len(o) != 7 {
+		t.Fatalf("len %d", len(o))
+	}
+	for _, v := range o {
+		if v != 10 && v != 20 && v != 30 {
+			t.Fatalf("value %d not from pool", v)
+		}
+	}
+	// First len(pool) draws must be distinct (a permutation prefix).
+	seen := map[int]bool{}
+	for _, v := range o[:3] {
+		if seen[v] {
+			t.Fatal("duplicate within first pass")
+		}
+		seen[v] = true
+	}
+	again := RandomOrder(1, pool, 7)
+	for i := range o {
+		if o[i] != again[i] {
+			t.Fatal("not deterministic")
+		}
+	}
+}
+
+func TestSeq(t *testing.T) {
+	s := Seq(4)
+	if len(s) != 4 || s[0] != 0 || s[3] != 3 {
+		t.Fatalf("Seq = %v", s)
+	}
+}
+
+func TestResultRates(t *testing.T) {
+	r := Result{Samples: 100, Bytes: 1000, Elapsed: sim.Duration(2e9)}
+	if r.PerSec() != 50 || r.BytesPerSec() != 500 {
+		t.Fatalf("rates %v %v", r.PerSec(), r.BytesPerSec())
+	}
+	z := Result{Samples: 5}
+	if z.PerSec() != 0 || z.BytesPerSec() != 0 {
+		t.Fatal("zero elapsed")
+	}
+}
+
+func TestExt4FixtureAndRun(t *testing.T) {
+	e := sim.NewEngine()
+	job := NewJob(e, 2, 4, false)
+	d := ds(60, 2048)
+	fss, shards, err := Ext4PerNode(e, job, d, ext4sim.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, s := range shards {
+		total += len(s)
+	}
+	if total != 60 {
+		t.Fatalf("shards cover %d", total)
+	}
+	res := RunExt4(e, job, d, fss, shards, 1, 20, 1)
+	if res.Samples != 40 || res.Elapsed <= 0 || res.PerSec() <= 0 {
+		t.Fatalf("ext4 result %+v", res)
+	}
+}
+
+func TestOctopusFixtureAndRun(t *testing.T) {
+	e := sim.NewEngine()
+	job := NewJob(e, 2, 4, false)
+	d := ds(40, 1024)
+	fs, err := BuildOctopus(job, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := RunOctopus(e, job, d, fs, 15, 2)
+	if res.Samples != 30 || res.Elapsed <= 0 {
+		t.Fatalf("octopus result %+v", res)
+	}
+}
+
+func TestDLFSFixtureAndRuns(t *testing.T) {
+	e := sim.NewEngine()
+	job := NewJob(e, 2, 4, false)
+	d := ds(80, 1024)
+	fss, err := MountDLFS(e, job, d, core.Config{ChunkSize: 8 << 10, CacheBytes: 4 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := RunDLFSBase(e, job, d, fss, 20, 3)
+	if base.Samples != 40 || base.Elapsed <= 0 {
+		t.Fatalf("base result %+v", base)
+	}
+	ep := RunDLFSEpoch(e, fss, 4)
+	if ep.Samples != 80 || ep.Elapsed <= 0 {
+		t.Fatalf("epoch result %+v", ep)
+	}
+	if ep.Bytes != 80*1024 {
+		t.Fatalf("epoch bytes %d", ep.Bytes)
+	}
+}
+
+func TestDLFSBeatsExt4OnSmallSamples(t *testing.T) {
+	// The headline comparison must hold in-model before the figures
+	// formalise it: batched DLFS ≫ single-threaded Ext4 at 512 B.
+	e := sim.NewEngine()
+	job := NewJob(e, 1, 20, true)
+	d := ds(600, 512)
+	fss, err := MountDLFS(e, job, d, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dlfs := RunDLFSEpoch(e, fss, 5)
+
+	e2 := sim.NewEngine()
+	job2 := NewJob(e2, 1, 20, true)
+	efs, shards, err := Ext4PerNode(e2, job2, d, ext4sim.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ext4 := RunExt4(e2, job2, d, efs, shards, 1, 600, 5)
+
+	if dlfs.PerSec() < 3*ext4.PerSec() {
+		t.Fatalf("DLFS %.0f/s not ≫ Ext4 %.0f/s at 512B", dlfs.PerSec(), ext4.PerSec())
+	}
+}
+
+func TestOptaneJobUsesOptane(t *testing.T) {
+	e := sim.NewEngine()
+	job := NewJob(e, 1, 0, true)
+	if job.Node(0).Device.Spec().Capacity != 480<<30 {
+		t.Fatal("optane spec not applied")
+	}
+	if job.Node(0).CPU.Capacity() != 20 {
+		t.Fatal("default cores not applied")
+	}
+}

@@ -1,0 +1,27 @@
+GO ?= go
+
+.PHONY: all vet build test race chaos check clean
+
+all: check
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/nvmetcp ./internal/live ./internal/chaos
+
+# Chaos soak: run the seeded fault-injection epochs twice to shake out
+# scheduling-dependent bugs in the resilience path.
+chaos:
+	$(GO) test -run TestChaos -count=2 ./internal/live
+
+check: vet build test race chaos
+
+clean:
+	$(GO) clean ./...

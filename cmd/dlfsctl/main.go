@@ -9,11 +9,13 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"time"
 
+	"dlfs/internal/chaos"
 	"dlfs/internal/core"
 	"dlfs/internal/dataset"
 	"dlfs/internal/live"
@@ -114,9 +116,15 @@ func cmdSmoke(args []string) {
 	targets := fs.Int("targets", 3, "local TCP targets to start")
 	n := fs.Int("n", 500, "samples")
 	size := fs.Int("size", 4096, "sample size")
+	chaosSeed := fs.Int64("chaos-seed", 0, "chaos fault schedule seed (0 disables the chaos proxies)")
+	dropProb := fs.Float64("chaos-drop", 0.002, "per-segment connection-kill probability under chaos")
+	delayProb := fs.Float64("chaos-delay-prob", 0.05, "per-segment delay probability under chaos")
+	delay := fs.Duration("chaos-delay", time.Millisecond, "injected per-segment delay under chaos")
+	dead := fs.Int("dead", -1, "blackhole this target index after mount (degraded-mode demo)")
 	fs.Parse(args) //nolint:errcheck
 
 	addrs := make([]string, *targets)
+	proxies := make([]*chaos.Proxy, *targets)
 	for i := range addrs {
 		tgt := nvmetcp.NewTarget(blockdev.New(1<<30), 64)
 		addr, err := tgt.Listen("127.0.0.1:0")
@@ -124,18 +132,55 @@ func cmdSmoke(args []string) {
 			fatal(err)
 		}
 		defer tgt.Close() //nolint:errcheck
+		if *chaosSeed != 0 || *dead == i {
+			cfg := chaos.Config{}
+			if *chaosSeed != 0 {
+				cfg = chaos.Config{
+					Seed:      *chaosSeed + int64(i),
+					DropProb:  *dropProb,
+					DelayProb: *delayProb,
+					Delay:     *delay,
+				}
+			}
+			p := chaos.NewProxy(addr, cfg)
+			paddr, err := p.Listen("127.0.0.1:0")
+			if err != nil {
+				fatal(err)
+			}
+			defer p.Close() //nolint:errcheck
+			proxies[i] = p
+			addr = paddr
+		}
 		addrs[i] = addr
 		fmt.Printf("target %d: %s\n", i, addr)
 	}
 	ds := dataset.Generate(dataset.Config{Label: "smoke", Seed: 2, NumSamples: *n, Dist: dataset.Fixed(*size)})
+	cfg := live.Config{}
+	if *dead >= 0 {
+		// A blackholed target never answers; keep the deadlines and the
+		// retry ladder short so the breaker trips quickly, and let the
+		// epoch complete on the surviving targets.
+		cfg.AllowDegraded = true
+		cfg.RequestTimeout = 250 * time.Millisecond
+		cfg.DialTimeout = 250 * time.Millisecond
+		cfg.MaxRetries = 2
+		cfg.BreakerThreshold = 2
+	}
 	start := time.Now()
-	lfs, err := live.Mount(addrs, ds, live.Config{})
+	lfs, err := live.Mount(addrs, ds, cfg)
 	if err != nil {
 		fatal(err)
 	}
 	defer lfs.Close() //nolint:errcheck
 	fmt.Printf("mounted %d samples (%s) in %.2fs\n", ds.Len(),
 		metrics.HumanBytes(ds.TotalBytes()), time.Since(start).Seconds())
+	if *dead >= 0 {
+		if *dead >= *targets {
+			fatal(fmt.Errorf("-dead %d out of range (%d targets)", *dead, *targets))
+		}
+		proxies[*dead].SetBlackhole(true)
+		fmt.Printf("target %d: blackholed\n", *dead)
+	}
 
 	ep, err := lfs.Sequence(time.Now().UnixNano())
 	if err != nil {
@@ -143,7 +188,10 @@ func cmdSmoke(args []string) {
 	}
 	start = time.Now()
 	items, err := ep.Drain()
-	if err != nil {
+	var derr *live.DegradedError
+	if errors.As(err, &derr) {
+		fmt.Printf("epoch degraded: %d samples skipped on targets %v\n", derr.Samples, derr.Nodes)
+	} else if err != nil {
 		fatal(err)
 	}
 	elapsed := time.Since(start)
@@ -156,6 +204,11 @@ func cmdSmoke(args []string) {
 	fmt.Printf("epoch: %d samples in %.3fs (%s), %d checksum failures\n",
 		len(items), elapsed.Seconds(),
 		metrics.HumanRate(float64(len(items))/elapsed.Seconds()), bad)
+	st := lfs.Stats()
+	fmt.Printf("resilience: %s\n", st.Resilience)
+	for i, th := range st.Targets {
+		fmt.Printf("target %d: breaker %s (consecutive fails %d)\n", i, th.State, th.ConsecFails)
+	}
 	if bad > 0 {
 		os.Exit(1)
 	}

@@ -57,14 +57,18 @@ func main() {
 		select {
 		case <-tick:
 			cmds, bytes := tgt.Served()
-			fmt.Printf("dlfsd: served %d commands, %s\n", cmds, metrics.HumanBytes(bytes))
+			accepted, malformed := tgt.ConnStats()
+			fmt.Printf("dlfsd: served %d commands, %s, conns accepted=%d malformed=%d\n",
+				cmds, metrics.HumanBytes(bytes), accepted, malformed)
 		case sig := <-stop:
 			fmt.Printf("dlfsd: %v, shutting down\n", sig)
 			if err := tgt.Close(); err != nil {
 				fatal(err)
 			}
 			cmds, bytes := tgt.Served()
-			fmt.Printf("dlfsd: final: %d commands, %s\n", cmds, metrics.HumanBytes(bytes))
+			accepted, malformed := tgt.ConnStats()
+			fmt.Printf("dlfsd: final: %d commands, %s, conns accepted=%d malformed=%d\n",
+				cmds, metrics.HumanBytes(bytes), accepted, malformed)
 			return
 		}
 	}

@@ -88,7 +88,17 @@ type (
 	LiveEpoch = live.Epoch
 	// LiveItem is a delivered sample on the live path.
 	LiveItem = live.Item
+	// LiveStats is the live client's resilience and health snapshot.
+	LiveStats = live.Stats
+	// DegradedError reports an epoch completed in degraded mode (some
+	// targets down, their samples skipped). Match with errors.Is against
+	// ErrDegraded.
+	DegradedError = live.DegradedError
 )
+
+// ErrDegraded marks live reads refused or skipped because a target's
+// circuit breaker is open.
+var ErrDegraded = live.ErrDegraded
 
 // DefaultConfig returns the paper's DLFS defaults (256 KB chunks, queue
 // depth 128, 4 copy threads, chunk batching on).

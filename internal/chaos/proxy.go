@@ -1,0 +1,183 @@
+package chaos
+
+import (
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Proxy is a fault-injecting TCP man-in-the-middle between initiators
+// and one real target. Clients connect to the proxy's address; each
+// accepted connection is paired with an upstream dial to the target and
+// piped through a fault-injecting Conn, so drops, delays, throttling and
+// corruption hit the live NVMe-oF byte stream exactly as a misbehaving
+// fabric would.
+//
+// Blackhole mode simulates a hung (not crashed) target: accepted and
+// existing connections stay open but forwarded bytes are silently
+// discarded in both directions, so in-flight commands hit their
+// deadlines and new handshakes time out.
+type Proxy struct {
+	target string
+	cfg    Config
+	st     *counters
+
+	ln        net.Listener
+	mu        sync.Mutex
+	conns     map[net.Conn]struct{} // both sides of every live pipe
+	closed    bool
+	wg        sync.WaitGroup
+	connSeq   atomic.Int64
+	blackhole atomic.Bool
+}
+
+// NewProxy returns a proxy forwarding to target with the given faults.
+func NewProxy(target string, cfg Config) *Proxy {
+	return &Proxy{target: target, cfg: cfg, st: &counters{}, conns: make(map[net.Conn]struct{})}
+}
+
+// Listen starts accepting on addr (e.g. "127.0.0.1:0") and returns the
+// bound address clients should dial.
+func (p *Proxy) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	p.ln = ln
+	p.wg.Add(1)
+	go p.acceptLoop()
+	return ln.Addr().String(), nil
+}
+
+// Addr returns the proxy's bound address ("" before Listen).
+func (p *Proxy) Addr() string {
+	if p.ln == nil {
+		return ""
+	}
+	return p.ln.Addr().String()
+}
+
+// Stats reports the faults injected so far.
+func (p *Proxy) Stats() Stats { return p.st.snapshot() }
+
+// SetBlackhole toggles blackhole mode for current and future
+// connections.
+func (p *Proxy) SetBlackhole(v bool) { p.blackhole.Store(v) }
+
+// KillActive severs every live proxied connection (both sides) and
+// returns how many client connections were dropped. New connections are
+// still accepted.
+func (p *Proxy) KillActive() int {
+	p.mu.Lock()
+	conns := make([]net.Conn, 0, len(p.conns))
+	for c := range p.conns {
+		conns = append(conns, c)
+	}
+	p.mu.Unlock()
+	for _, c := range conns {
+		c.Close() //nolint:errcheck
+	}
+	if n := len(conns) / 2; n > 0 {
+		p.st.kills.Add(int64(n))
+		return n
+	}
+	return 0
+}
+
+// Close stops the listener and severs all connections.
+func (p *Proxy) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	p.mu.Unlock()
+	var err error
+	if p.ln != nil {
+		err = p.ln.Close()
+	}
+	p.KillActive()
+	p.wg.Wait()
+	return err
+}
+
+func (p *Proxy) acceptLoop() {
+	defer p.wg.Done()
+	for {
+		client, err := p.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		p.mu.Lock()
+		if p.closed {
+			p.mu.Unlock()
+			client.Close() //nolint:errcheck
+			return
+		}
+		p.mu.Unlock()
+		p.wg.Add(1)
+		go p.handle(client)
+	}
+}
+
+// track registers c for KillActive/Close teardown; untrack reverses it.
+func (p *Proxy) track(c net.Conn) {
+	p.mu.Lock()
+	p.conns[c] = struct{}{}
+	p.mu.Unlock()
+}
+
+func (p *Proxy) untrack(c net.Conn) {
+	p.mu.Lock()
+	delete(p.conns, c)
+	p.mu.Unlock()
+}
+
+func (p *Proxy) handle(client net.Conn) {
+	defer p.wg.Done()
+	up, err := net.DialTimeout("tcp", p.target, 5*time.Second)
+	if err != nil {
+		client.Close() //nolint:errcheck
+		return
+	}
+	p.st.conns.Add(1)
+	p.track(client)
+	p.track(up)
+	defer func() {
+		p.untrack(client)
+		p.untrack(up)
+		client.Close() //nolint:errcheck
+		up.Close()     //nolint:errcheck
+	}()
+
+	// The upstream side carries the fault schedule: faults on Write hit
+	// request capsules, faults on Read hit completion capsules.
+	wrapped := Wrap(up, p.cfg, p.connSeq.Add(1))
+	wrapped.st = p.st
+
+	var pwg sync.WaitGroup
+	pwg.Add(2)
+	go func() { defer pwg.Done(); p.pipe(wrapped, client) }()
+	go func() { defer pwg.Done(); p.pipe(client, wrapped) }()
+	pwg.Wait()
+}
+
+// pipe copies src to dst segment by segment, discarding instead of
+// forwarding while blackhole mode is on.
+func (p *Proxy) pipe(dst io.Writer, src io.Reader) {
+	buf := make([]byte, 16<<10)
+	for {
+		n, err := src.Read(buf)
+		if n > 0 && !p.blackhole.Load() {
+			if _, werr := dst.Write(buf[:n]); werr != nil {
+				return
+			}
+		}
+		if err != nil {
+			return
+		}
+	}
+}

@@ -10,7 +10,7 @@ import (
 
 var errMedia = errors.New("simulated media error")
 
-// failFirstRead fails the n-th read command on the device and succeeds
+// failNthRead fails the n-th read command on the device and succeeds
 // afterwards.
 func failNthRead(dev *nvme.Device, n int) {
 	count := 0

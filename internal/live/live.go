@@ -4,10 +4,12 @@
 // running on ordinary goroutines against real TCP NVMe-oF-style targets
 // (internal/nvmetcp) instead of the discrete-event simulation.
 //
-// It demonstrates that the DLFS design is not simulation-bound: the
-// directory, sample-entry and chunk-planning code is shared verbatim with
-// the simulated file system, and the examples drive it end to end over
-// localhost TCP.
+// Unlike the simulation, the live path assumes the fabric misbehaves:
+// every target is driven through a reconnecting transport with
+// per-command deadlines and a per-target circuit breaker. When a target
+// is down and Config.AllowDegraded is set, prefetchers skip its chunks
+// and the epoch keeps emitting samples from healthy nodes, finishing
+// with a DegradedError instead of wedging the training loop.
 package live
 
 import (
@@ -16,10 +18,13 @@ import (
 	"math/rand"
 	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"dlfs/internal/dataset"
 	"dlfs/internal/directory"
 	"dlfs/internal/hugepage"
+	"dlfs/internal/metrics"
 	"dlfs/internal/nvmetcp"
 	"dlfs/internal/plan"
 	"dlfs/internal/sample"
@@ -33,6 +38,16 @@ type Config struct {
 	Prefetchers    int   // concurrent chunk fetchers (default 4)
 	Window         int   // resident units to randomise across (default 8)
 	ReadCacheBytes int64 // ReadSample V-bit cache budget (default 8 MiB; <0 disables)
+
+	// Resilience knobs.
+	DialTimeout      time.Duration // target dial + handshake bound (default 5s)
+	RequestTimeout   time.Duration // per-command deadline (default 10s; <0 disables)
+	MaxRetries       int           // transport retries per operation (default 4)
+	RetryBaseDelay   time.Duration // backoff base (default 5ms)
+	RetryMaxDelay    time.Duration // backoff cap (default 500ms)
+	BreakerThreshold int           // consecutive failures to open a breaker (default 3)
+	BreakerCooldown  time.Duration // open → half-open probe delay (default 500ms)
+	AllowDegraded    bool          // skip down targets instead of failing the epoch
 }
 
 func (c Config) withDefaults() Config {
@@ -54,20 +69,42 @@ func (c Config) withDefaults() Config {
 	if c.ReadCacheBytes == 0 {
 		c.ReadCacheBytes = 8 << 20
 	}
+	if c.DialTimeout <= 0 {
+		c.DialTimeout = 5 * time.Second
+	}
+	if c.RequestTimeout == 0 {
+		c.RequestTimeout = 10 * time.Second
+	}
+	if c.MaxRetries <= 0 {
+		c.MaxRetries = 4
+	}
+	if c.RetryBaseDelay <= 0 {
+		c.RetryBaseDelay = 5 * time.Millisecond
+	}
+	if c.RetryMaxDelay <= 0 {
+		c.RetryMaxDelay = 500 * time.Millisecond
+	}
+	if c.BreakerThreshold <= 0 {
+		c.BreakerThreshold = 3
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 500 * time.Millisecond
+	}
 	return c
 }
 
 // FS is a live DLFS client bound to a set of TCP targets.
 type FS struct {
-	cfg    Config
-	ds     *dataset.Dataset
-	dir    *directory.Directory
-	inits  []*nvmetcp.Initiator
-	arena  *blockingArena
-	placed []plan.Placed
-	nodeOf []uint16
-	keyIdx map[uint64]int
-	closed bool
+	cfg      Config
+	ds       *dataset.Dataset
+	dir      *directory.Directory
+	targets  []*target
+	counters *metrics.Resilience
+	arena    *blockingArena
+	placed   []plan.Placed
+	nodeOf   []uint16
+	keyIdx   map[uint64]int
+	closed   bool
 
 	// ReadSample V-bit cache: recently fetched samples kept in memory,
 	// mirroring the simulated path's read cache. Guarded by cacheMu.
@@ -92,16 +129,27 @@ func Mount(addrs []string, ds *dataset.Dataset, cfg Config) (*FS, error) {
 	if len(addrs) == 0 {
 		return nil, errors.New("live: no targets")
 	}
-	inits := make([]*nvmetcp.Initiator, len(addrs))
+	counters := &metrics.Resilience{}
+	opt := nvmetcp.Options{DialTimeout: cfg.DialTimeout, RequestTimeout: cfg.RequestTimeout}
+	targets := make([]*target, len(addrs))
 	for i, a := range addrs {
-		in, err := nvmetcp.Connect(a)
+		rc, err := nvmetcp.NewReconnector(a, opt, nvmetcp.RetryPolicy{
+			MaxRetries: cfg.MaxRetries,
+			BaseDelay:  cfg.RetryBaseDelay,
+			MaxDelay:   cfg.RetryMaxDelay,
+			Seed:       int64(i) + 1,
+		}, counters)
 		if err != nil {
-			for _, prev := range inits[:i] {
-				prev.Close() //nolint:errcheck
+			for _, prev := range targets[:i] {
+				prev.rc.Close() //nolint:errcheck
 			}
 			return nil, fmt.Errorf("live: target %s: %w", a, err)
 		}
-		inits[i] = in
+		targets[i] = &target{
+			addr: a,
+			rc:   rc,
+			brk:  newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown, counters),
+		}
 	}
 
 	n := len(addrs)
@@ -121,7 +169,7 @@ func Mount(addrs []string, ds *dataset.Dataset, cfg Config) (*FS, error) {
 		keyIdx[key] = i
 		nid := directory.HomeNode(key, n)
 		content := ds.Content(i)
-		if _, err := inits[nid].WriteAt(content, offs[nid]); err != nil {
+		if _, err := targets[nid].rc.WriteAt(content, offs[nid]); err != nil {
 			return nil, fmt.Errorf("live: uploading sample %d: %w", i, err)
 		}
 		e, err := sample.NewEntry(nid, key, offs[nid], int32(len(content)))
@@ -144,15 +192,16 @@ func Mount(addrs []string, ds *dataset.Dataset, cfg Config) (*FS, error) {
 		return nil, err
 	}
 	return &FS{
-		cfg:    cfg,
-		ds:     ds,
-		dir:    dir,
-		inits:  inits,
-		arena:  newBlockingArena(arena),
-		placed: placed,
-		nodeOf: nodeOf,
-		keyIdx: keyIdx,
-		cache:  make(map[int][]byte),
+		cfg:      cfg,
+		ds:       ds,
+		dir:      dir,
+		targets:  targets,
+		counters: counters,
+		arena:    newBlockingArena(arena),
+		placed:   placed,
+		nodeOf:   nodeOf,
+		keyIdx:   keyIdx,
+		cache:    make(map[int][]byte),
 	}, nil
 }
 
@@ -161,6 +210,8 @@ func (fs *FS) Directory() *directory.Directory { return fs.dir }
 
 // ReadSample reads one sample synchronously by dataset index (the
 // dlfs_open/read/close path), serving repeats from the V-bit read cache.
+// When the sample's target breaker is open the read fails fast with an
+// error matching ErrDegraded.
 func (fs *FS) ReadSample(idx int) ([]byte, error) {
 	if fs.closed {
 		return nil, ErrClosed
@@ -173,7 +224,7 @@ func (fs *FS) ReadSample(idx int) ([]byte, error) {
 	}
 	pl := fs.placed[idx]
 	buf := make([]byte, pl.Len)
-	if _, err := fs.inits[fs.nodeOf[idx]].ReadAt(buf, pl.Offset); err != nil {
+	if err := fs.targets[fs.nodeOf[idx]].read(buf, pl.Offset); err != nil {
 		return nil, err
 	}
 	fs.cachePut(idx, buf)
@@ -264,8 +315,8 @@ func (fs *FS) Close() error {
 	}
 	fs.closed = true
 	var err error
-	for _, in := range fs.inits {
-		if cerr := in.Close(); err == nil {
+	for _, tg := range fs.targets {
+		if cerr := tg.rc.Close(); err == nil {
 			err = cerr
 		}
 	}
@@ -331,10 +382,19 @@ type Epoch struct {
 	ready chan *unit
 	errCh chan error
 
-	resident []*unit
-	total    int
-	emitted  int
-	failed   error
+	abort     chan struct{}
+	abortOnce sync.Once
+
+	skipped  atomic.Int64 // samples skipped in degraded mode
+	degMu    sync.Mutex
+	degNodes map[int]struct{}
+
+	resident    []*unit
+	total       int
+	emitted     int
+	failed      error
+	readyClosed bool
+	finished    bool
 }
 
 // Sequence starts an epoch with the given seed (dlfs_sequence +
@@ -343,7 +403,7 @@ func (fs *FS) Sequence(seed int64) (*Epoch, error) {
 	if fs.closed {
 		return nil, ErrClosed
 	}
-	n := len(fs.inits)
+	n := len(fs.targets)
 	layout := &plan.Layout{NodeSamples: make([][]plan.Placed, n), ChunkSize: int64(fs.cfg.ChunkSize)}
 	for idx, pl := range fs.placed {
 		nid := fs.nodeOf[idx]
@@ -368,11 +428,13 @@ func (fs *FS) Sequence(seed int64) (*Epoch, error) {
 	rng.Shuffle(len(units), func(i, j int) { units[i], units[j] = units[j], units[i] })
 
 	ep := &Epoch{
-		fs:    fs,
-		rng:   rand.New(rand.NewSource(seed ^ 0x9E3779B9)),
-		ready: make(chan *unit, fs.cfg.Window),
-		errCh: make(chan error, 1),
-		total: cp.NumSamples(),
+		fs:       fs,
+		rng:      rand.New(rand.NewSource(seed ^ 0x9E3779B9)),
+		ready:    make(chan *unit, fs.cfg.Window),
+		errCh:    make(chan error, 1),
+		abort:    make(chan struct{}),
+		degNodes: make(map[int]struct{}),
+		total:    cp.NumSamples(),
 	}
 	// Fetch pipeline: a shared work queue drained by Prefetchers workers.
 	work := make(chan *unit)
@@ -382,20 +444,36 @@ func (fs *FS) Sequence(seed int64) (*Epoch, error) {
 		go func() {
 			defer wg.Done()
 			for u := range work {
-				if err := ep.fetch(u); err != nil {
+				err := ep.fetch(u)
+				if err == nil {
 					select {
-					case ep.errCh <- err:
-					default:
+					case ep.ready <- u:
+					case <-ep.abort:
+						ep.fs.arena.free(u.chunks)
+						u.chunks = nil
+						return
 					}
-					return
+					continue
 				}
-				ep.ready <- u
+				if fs.cfg.AllowDegraded && degradable(err) {
+					ep.noteSkip(u)
+					continue
+				}
+				select {
+				case ep.errCh <- err:
+				default:
+				}
+				ep.abortOnce.Do(func() { close(ep.abort) })
+				return
 			}
 		}()
 	}
 	go func() {
 		for _, u := range units {
-			work <- u
+			select {
+			case work <- u:
+			case <-ep.abort:
+			}
 		}
 		close(work)
 		wg.Wait()
@@ -404,74 +482,114 @@ func (fs *FS) Sequence(seed int64) (*Epoch, error) {
 	return ep, nil
 }
 
+// noteSkip records a unit dropped in degraded mode.
+func (ep *Epoch) noteSkip(u *unit) {
+	ep.skipped.Add(int64(len(u.samples)))
+	ep.fs.counters.DegradedSamples.Add(int64(len(u.samples)))
+	ep.degMu.Lock()
+	ep.degNodes[int(u.node)] = struct{}{}
+	ep.degMu.Unlock()
+}
+
+// degradedNodes returns the sorted set of nodes skipped so far.
+func (ep *Epoch) degradedNodes() []int {
+	ep.degMu.Lock()
+	nodes := make([]int, 0, len(ep.degNodes))
+	for n := range ep.degNodes {
+		nodes = append(nodes, n)
+	}
+	ep.degMu.Unlock()
+	sort.Ints(nodes)
+	return nodes
+}
+
 // fetch brings one unit into cache chunks: one remote read per chunk-sized
-// segment, issued asynchronously on the unit's queue pair.
+// segment, issued asynchronously on the unit's reconnecting queue pair.
+// The target's breaker gates the fetch, and a failure releases every
+// chunk before returning so degraded skips never leak arena memory.
 func (ep *Epoch) fetch(u *unit) error {
+	tg := ep.fs.targets[u.node]
+	if !tg.brk.Allow() {
+		return fmt.Errorf("%w: %s circuit open", ErrDegraded, tg.addr)
+	}
 	cs := ep.fs.cfg.ChunkSize
 	nChunks := (int(u.length) + cs - 1) / cs
 	u.chunks = ep.fs.arena.allocN(nChunks)
-	in := ep.fs.inits[u.node]
-	pendings := make([]*nvmetcp.Pending, nChunks)
+	pendings := make([]*nvmetcp.RePending, 0, nChunks)
+	var ferr error
 	for i := 0; i < nChunks; i++ {
 		segLen := cs
 		if rem := int(u.length) - i*cs; rem < segLen {
 			segLen = rem
 		}
-		pd, err := in.ReadAsync(u.chunks[i].Bytes()[:segLen], u.offset+int64(i*cs))
+		pd, err := tg.rc.ReadAsync(u.chunks[i].Bytes()[:segLen], u.offset+int64(i*cs))
 		if err != nil {
-			// Queue full: fall back to a synchronous read for this segment.
-			if _, serr := in.ReadAt(u.chunks[i].Bytes()[:segLen], u.offset+int64(i*cs)); serr != nil {
-				return serr
-			}
-			continue
+			ferr = err
+			break
 		}
-		pendings[i] = pd
+		pendings = append(pendings, pd)
 	}
 	for _, pd := range pendings {
-		if pd == nil {
-			continue
-		}
-		if _, err := pd.Wait(); err != nil {
-			return err
+		if _, err := pd.Wait(); err != nil && ferr == nil {
+			ferr = err
 		}
 	}
+	if ferr != nil {
+		ep.fs.arena.free(u.chunks)
+		u.chunks = nil
+		tg.brk.Failure()
+		return ferr
+	}
+	tg.brk.Success()
 	return nil
 }
 
-// Total reports the number of samples the epoch will deliver.
+// Total reports the number of samples the epoch plans to deliver.
 func (ep *Epoch) Total() int { return ep.total }
+
+// Skipped reports the samples skipped so far in degraded mode.
+func (ep *Epoch) Skipped() int { return int(ep.skipped.Load()) }
 
 // NextBatch returns the next mini-batch: random selection across the
 // resident window of fetched chunks, sequential within each chunk — the
 // copy-thread emission discipline of §III-D2. ok is false when the epoch
-// is exhausted. An I/O failure surfaces as an error and ends the epoch.
+// is exhausted. A hard I/O failure surfaces as an error and ends the
+// epoch; an epoch that skipped samples in degraded mode keeps emitting
+// from healthy targets and reports a *DegradedError (matching
+// ErrDegraded) on its final call.
 func (ep *Epoch) NextBatch() ([]Item, bool, error) {
 	if ep.failed != nil {
 		return nil, false, ep.failed
 	}
-	if ep.emitted >= ep.total {
+	if ep.finished {
 		return nil, false, nil
 	}
 	var items []Item
-	for len(items) < ep.fs.cfg.BatchSize && ep.emitted < ep.total {
-		// Refill the resident window.
-		for len(ep.resident) < ep.fs.cfg.Window {
+	for len(items) < ep.fs.cfg.BatchSize {
+		// Refill the resident window without blocking.
+		for !ep.readyClosed && len(ep.resident) < ep.fs.cfg.Window {
+			stop := false
 			select {
 			case err := <-ep.errCh:
 				ep.failed = err
 				return items, false, err
 			case u, ok := <-ep.ready:
 				if !ok {
-					goto emit
+					ep.readyClosed = true
+				} else {
+					ep.resident = append(ep.resident, u)
 				}
-				ep.resident = append(ep.resident, u)
-				continue
 			default:
+				stop = true
 			}
-			break
+			if stop {
+				break
+			}
 		}
-	emit:
 		if len(ep.resident) == 0 {
+			if ep.readyClosed {
+				break // epoch exhausted
+			}
 			// Nothing resident: block for the next fetched unit.
 			select {
 			case err := <-ep.errCh:
@@ -479,7 +597,8 @@ func (ep *Epoch) NextBatch() ([]Item, bool, error) {
 				return items, false, err
 			case u, ok := <-ep.ready:
 				if !ok {
-					return items, len(items) > 0, nil
+					ep.readyClosed = true
+					continue
 				}
 				ep.resident = append(ep.resident, u)
 			}
@@ -498,7 +617,18 @@ func (ep *Epoch) NextBatch() ([]Item, bool, error) {
 			ep.resident = append(ep.resident[:k], ep.resident[k+1:]...)
 		}
 	}
-	return items, len(items) > 0, nil
+	if len(items) == 0 {
+		ep.finished = true
+		if sk := ep.skipped.Load(); sk > 0 {
+			ep.fs.counters.DegradedBatches.Add(1)
+			return nil, false, &DegradedError{Samples: int(sk), Nodes: ep.degradedNodes()}
+		}
+		return nil, false, nil
+	}
+	if ep.skipped.Load() > 0 {
+		ep.fs.counters.DegradedBatches.Add(1)
+	}
+	return items, true, nil
 }
 
 func copyFromChunks(u *unit, pl plan.Placed, dst []byte, chunkSize int) {
@@ -512,7 +642,9 @@ func copyFromChunks(u *unit, pl plan.Placed, dst []byte, chunkSize int) {
 	}
 }
 
-// Drain consumes the whole epoch and returns all items.
+// Drain consumes the whole epoch and returns all items. In degraded mode
+// the returned error is a *DegradedError describing what was skipped;
+// every returned item is still intact.
 func (ep *Epoch) Drain() ([]Item, error) {
 	var all []Item
 	for {

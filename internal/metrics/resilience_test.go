@@ -1,0 +1,50 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestResilienceSnapshot(t *testing.T) {
+	var r Resilience
+	if !r.Snapshot().Healthy() {
+		t.Fatal("zero counters not healthy")
+	}
+	r.Retries.Add(3)
+	r.Reconnects.Add(1)
+	r.Timeouts.Add(2)
+	r.BreakerTrips.Add(1)
+	r.DegradedSamples.Add(40)
+	s := r.Snapshot()
+	if s.Retries != 3 || s.Reconnects != 1 || s.Timeouts != 2 || s.BreakerTrips != 1 || s.DegradedSamples != 40 {
+		t.Fatalf("snapshot %+v", s)
+	}
+	if s.Healthy() {
+		t.Fatal("non-zero counters report healthy")
+	}
+	line := s.String()
+	for _, want := range []string{"retries=3", "reconnects=1", "timeouts=2", "breaker_trips=1", "degraded_samples=40"} {
+		if !strings.Contains(line, want) {
+			t.Fatalf("stats line %q missing %q", line, want)
+		}
+	}
+}
+
+func TestResilienceConcurrent(t *testing.T) {
+	var r Resilience
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				r.Retries.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Snapshot().Retries; got != 8000 {
+		t.Fatalf("retries = %d, want 8000", got)
+	}
+}

@@ -163,6 +163,17 @@ func (d *Device) Stats() (cmds, bytesRead, bytesWritten int64) {
 // InjectFault installs a per-command fault hook: a non-nil return fails
 // that command after its normal service time, modelling media errors.
 // Pass nil to clear.
+//
+// Error-propagation contract: the hook's error becomes the completion
+// status of exactly that command — it is not sticky, and later commands
+// run the hook afresh. The failed command transfers no data and the
+// device stays usable. Callers above the device layer see the failure
+// through their own completion path: the core client surfaces it as
+// ErrIO from ReadSample or Epoch.Err (never a partially-filled buffer,
+// never a cached/V-bit-marked sample), and a fault on a remote node
+// rides the simulated NVMe-oF completion back to the reading client
+// unchanged. Hooks are called on the simulation goroutine and must not
+// block.
 func (d *Device) InjectFault(hook func(*Command) error) { d.faultHook = hook }
 
 // BandwidthUtilization reports time-average data-path usage.

@@ -2,8 +2,34 @@ package nvmetcp
 
 import (
 	"bytes"
+	"encoding/binary"
 	"testing"
 )
+
+// corruptSeeds builds the chaos-style corruption corpus: valid frames
+// with a byte flipped in the magic, an oversized length field, a
+// truncated payload, and a frame cut mid-header — the shapes a faulty
+// fabric actually produces (see internal/chaos).
+func corruptSeeds() [][]byte {
+	var good bytes.Buffer
+	writeCapsule(&good, &capsule{cmdID: 9, opcode: opWrite, offset: 512, payload: []byte("payload bytes")}) //nolint:errcheck
+
+	flipped := append([]byte(nil), good.Bytes()...)
+	flipped[0] ^= 0x80 // corrupt the magic
+
+	oversized := append([]byte(nil), good.Bytes()...)
+	binary.LittleEndian.PutUint32(oversized[22:26], maxPayload+1)
+
+	truncated := append([]byte(nil), good.Bytes()...)
+	truncated = truncated[:len(truncated)-4] // payload cut mid-capsule
+
+	midHeader := append([]byte(nil), good.Bytes()[:capsuleHeaderSize/2]...)
+
+	hugeLen := append([]byte(nil), good.Bytes()[:capsuleHeaderSize]...)
+	binary.LittleEndian.PutUint32(hugeLen[22:26], 0xFFFFFFFF)
+
+	return [][]byte{flipped, oversized, truncated, midHeader, hugeLen}
+}
 
 // FuzzReadCapsule throws arbitrary bytes at the frame parser: it must
 // never panic and never allocate beyond the payload bound.
@@ -13,6 +39,9 @@ func FuzzReadCapsule(f *testing.F) {
 	f.Add(seed.Bytes())
 	f.Add([]byte{})
 	f.Add(make([]byte, capsuleHeaderSize))
+	for _, s := range corruptSeeds() {
+		f.Add(s)
+	}
 	f.Fuzz(func(t *testing.T, data []byte) {
 		c, err := readCapsule(bytes.NewReader(data))
 		if err != nil {

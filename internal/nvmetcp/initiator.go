@@ -4,15 +4,38 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"sync"
+	"syscall"
+	"time"
 )
+
+// Options tunes an initiator's failure behaviour. The zero value takes
+// defaults; pass a negative RequestTimeout to disable per-command
+// deadlines entirely (every blocking wait is still released by Close or
+// by connection loss).
+type Options struct {
+	DialTimeout    time.Duration // dial + handshake bound (default 10s)
+	RequestTimeout time.Duration // per-command deadline (default 30s; <0 disables)
+}
+
+func (o Options) withDefaults() Options {
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = 10 * time.Second
+	}
+	if o.RequestTimeout == 0 {
+		o.RequestTimeout = 30 * time.Second
+	}
+	return o
+}
 
 // Initiator is the client side of one queue pair: a TCP connection to a
 // Target with asynchronous submit and out-of-order completion delivery.
 // It is safe for concurrent use.
 type Initiator struct {
 	conn     net.Conn
+	opt      Options
 	depth    int
 	capacity int64
 
@@ -31,25 +54,67 @@ var (
 	ErrRemote     = errors.New("nvmetcp: remote error")
 	ErrHandshake  = errors.New("nvmetcp: handshake failed")
 	ErrDepthLimit = errors.New("nvmetcp: queue depth exceeded")
+	ErrTimeout    = errors.New("nvmetcp: command deadline exceeded")
+	ErrConnLost   = errors.New("nvmetcp: connection lost")
 )
 
-// Connect dials a target and performs the hello handshake.
+// IsRetryable classifies an error from this package (or from dialing) as
+// a transient transport condition worth retrying on a fresh connection,
+// as opposed to a deliberate close or a remote semantic error. Timeouts,
+// lost connections, queue-depth pressure and network-level failures are
+// retryable; ErrClosed and ErrRemote are not.
+func IsRetryable(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, ErrTimeout) || errors.Is(err, ErrConnLost) || errors.Is(err, ErrDepthLimit) {
+		return true
+	}
+	if errors.Is(err, ErrClosed) || errors.Is(err, ErrRemote) {
+		return false
+	}
+	var ne net.Error
+	if errors.As(err, &ne) {
+		return true
+	}
+	return errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) ||
+		errors.Is(err, syscall.ECONNREFUSED) || errors.Is(err, syscall.ECONNRESET) ||
+		errors.Is(err, syscall.EPIPE)
+}
+
+// Connect dials a target and performs the hello handshake with default
+// Options.
 func Connect(addr string) (*Initiator, error) {
-	conn, err := net.Dial("tcp", addr)
+	return ConnectOptions(addr, Options{})
+}
+
+// ConnectOptions dials a target with explicit failure options. The
+// handshake is bounded by DialTimeout, so a black-holed target cannot
+// hang the caller.
+func ConnectOptions(addr string, opt Options) (*Initiator, error) {
+	opt = opt.withDefaults()
+	conn, err := net.DialTimeout("tcp", addr, opt.DialTimeout)
 	if err != nil {
 		return nil, err
 	}
+	conn.SetDeadline(time.Now().Add(opt.DialTimeout)) //nolint:errcheck
 	if err := writeCapsule(conn, &capsule{opcode: opHello}); err != nil {
 		conn.Close() //nolint:errcheck
-		return nil, fmt.Errorf("%w: %v", ErrHandshake, err)
+		return nil, fmt.Errorf("%w: %w", ErrHandshake, err)
 	}
 	hello, err := readCapsule(conn)
-	if err != nil || hello.opcode != opHello {
+	if err != nil {
 		conn.Close() //nolint:errcheck
-		return nil, fmt.Errorf("%w: %v", ErrHandshake, err)
+		return nil, fmt.Errorf("%w: %w", ErrHandshake, err)
 	}
+	if hello.opcode != opHello {
+		conn.Close() //nolint:errcheck
+		return nil, fmt.Errorf("%w: unexpected opcode %d in hello reply", ErrHandshake, hello.opcode)
+	}
+	conn.SetDeadline(time.Time{}) //nolint:errcheck
 	in := &Initiator{
 		conn:     conn,
+		opt:      opt,
 		depth:    int(hello.offset),
 		capacity: int64(hello.cmdID),
 		pending:  make(map[uint64]chan *capsule),
@@ -70,8 +135,15 @@ func (in *Initiator) receiveLoop() {
 	for {
 		resp, err := readCapsule(in.conn)
 		if err != nil {
+			// Record why the connection died before releasing waiters:
+			// a deliberate Close surfaces as ErrClosed, anything else as
+			// a retryable ErrConnLost carrying the underlying cause.
 			in.mu.Lock()
-			in.readErr = err
+			if in.closed {
+				in.readErr = ErrClosed
+			} else {
+				in.readErr = fmt.Errorf("%w: %v", ErrConnLost, err)
+			}
 			for id, ch := range in.pending {
 				close(ch)
 				delete(in.pending, id)
@@ -92,16 +164,21 @@ func (in *Initiator) receiveLoop() {
 }
 
 // submit sends a request and returns the channel its completion will
-// arrive on.
-func (in *Initiator) submit(req *capsule) (chan *capsule, error) {
+// arrive on, plus the command ID for deadline cancellation.
+func (in *Initiator) submit(req *capsule) (chan *capsule, uint64, error) {
 	in.mu.Lock()
 	if in.closed {
 		in.mu.Unlock()
-		return nil, ErrClosed
+		return nil, 0, ErrClosed
+	}
+	if in.readErr != nil {
+		err := in.readErr
+		in.mu.Unlock()
+		return nil, 0, err
 	}
 	if len(in.pending) >= in.depth {
 		in.mu.Unlock()
-		return nil, ErrDepthLimit
+		return nil, 0, ErrDepthLimit
 	}
 	in.nextID++
 	req.cmdID = in.nextID
@@ -110,43 +187,69 @@ func (in *Initiator) submit(req *capsule) (chan *capsule, error) {
 	in.mu.Unlock()
 
 	in.sendMu.Lock()
+	if in.opt.RequestTimeout > 0 {
+		in.conn.SetWriteDeadline(time.Now().Add(in.opt.RequestTimeout)) //nolint:errcheck
+	}
 	err := writeCapsule(in.conn, req)
+	if in.opt.RequestTimeout > 0 {
+		in.conn.SetWriteDeadline(time.Time{}) //nolint:errcheck
+	}
 	in.sendMu.Unlock()
 	if err != nil {
 		in.mu.Lock()
 		delete(in.pending, req.cmdID)
+		closed := in.closed
 		in.mu.Unlock()
-		return nil, err
+		if closed {
+			return nil, 0, ErrClosed
+		}
+		return nil, 0, fmt.Errorf("%w: %v", ErrConnLost, err)
 	}
-	return ch, nil
+	return ch, req.cmdID, nil
 }
 
-func (in *Initiator) await(ch chan *capsule) (*capsule, error) {
-	resp, ok := <-ch
-	if !ok {
-		in.mu.Lock()
-		err := in.readErr
-		in.mu.Unlock()
-		if err == nil {
-			err = ErrClosed
+// await blocks for the completion of command id, bounded by the
+// per-command deadline. On timeout the pending entry is withdrawn so a
+// late completion is dropped instead of leaking.
+func (in *Initiator) await(ch chan *capsule, id uint64) (*capsule, error) {
+	var timeout <-chan time.Time
+	if in.opt.RequestTimeout > 0 {
+		t := time.NewTimer(in.opt.RequestTimeout)
+		defer t.Stop()
+		timeout = t.C
+	}
+	select {
+	case resp, ok := <-ch:
+		if !ok {
+			in.mu.Lock()
+			err := in.readErr
+			in.mu.Unlock()
+			if err == nil {
+				err = ErrClosed
+			}
+			return nil, err
 		}
-		return nil, err
+		if resp.status != statusOK {
+			return nil, fmt.Errorf("%w: status %d", ErrRemote, resp.status)
+		}
+		return resp, nil
+	case <-timeout:
+		in.mu.Lock()
+		delete(in.pending, id)
+		in.mu.Unlock()
+		return nil, fmt.Errorf("%w: command %d after %v", ErrTimeout, id, in.opt.RequestTimeout)
 	}
-	if resp.status != statusOK {
-		return nil, fmt.Errorf("%w: status %d", ErrRemote, resp.status)
-	}
-	return resp, nil
 }
 
 // ReadAt reads len(p) bytes at off from the remote store.
 func (in *Initiator) ReadAt(p []byte, off int64) (int, error) {
 	var lenBuf [4]byte
 	binary.LittleEndian.PutUint32(lenBuf[:], uint32(len(p)))
-	ch, err := in.submit(&capsule{opcode: opRead, offset: uint64(off), payload: lenBuf[:]})
+	ch, id, err := in.submit(&capsule{opcode: opRead, offset: uint64(off), payload: lenBuf[:]})
 	if err != nil {
 		return 0, err
 	}
-	resp, err := in.await(ch)
+	resp, err := in.await(ch, id)
 	if err != nil {
 		return 0, err
 	}
@@ -155,11 +258,11 @@ func (in *Initiator) ReadAt(p []byte, off int64) (int, error) {
 
 // WriteAt writes p at off on the remote store.
 func (in *Initiator) WriteAt(p []byte, off int64) (int, error) {
-	ch, err := in.submit(&capsule{opcode: opWrite, offset: uint64(off), payload: p})
+	ch, id, err := in.submit(&capsule{opcode: opWrite, offset: uint64(off), payload: p})
 	if err != nil {
 		return 0, err
 	}
-	if _, err := in.await(ch); err != nil {
+	if _, err := in.await(ch, id); err != nil {
 		return 0, err
 	}
 	return len(p), nil
@@ -169,6 +272,7 @@ func (in *Initiator) WriteAt(p []byte, off int64) (int, error) {
 type Pending struct {
 	in  *Initiator
 	ch  chan *capsule
+	id  uint64
 	dst []byte
 }
 
@@ -176,23 +280,25 @@ type Pending struct {
 func (in *Initiator) ReadAsync(dst []byte, off int64) (*Pending, error) {
 	var lenBuf [4]byte
 	binary.LittleEndian.PutUint32(lenBuf[:], uint32(len(dst)))
-	ch, err := in.submit(&capsule{opcode: opRead, offset: uint64(off), payload: lenBuf[:]})
+	ch, id, err := in.submit(&capsule{opcode: opRead, offset: uint64(off), payload: lenBuf[:]})
 	if err != nil {
 		return nil, err
 	}
-	return &Pending{in: in, ch: ch, dst: dst}, nil
+	return &Pending{in: in, ch: ch, id: id, dst: dst}, nil
 }
 
 // Wait blocks until the read completes and fills the destination buffer.
 func (pd *Pending) Wait() (int, error) {
-	resp, err := pd.in.await(pd.ch)
+	resp, err := pd.in.await(pd.ch, pd.id)
 	if err != nil {
 		return 0, err
 	}
 	return copy(pd.dst, resp.payload), nil
 }
 
-// Close tears the connection down; outstanding commands fail.
+// Close tears the connection down; outstanding commands fail promptly
+// with ErrClosed (the closed flag is set before the socket is torn down,
+// so the receive loop can tell a deliberate close from a lost peer).
 func (in *Initiator) Close() error {
 	in.mu.Lock()
 	if in.closed {
@@ -204,4 +310,13 @@ func (in *Initiator) Close() error {
 	err := in.conn.Close()
 	<-in.done
 	return err
+}
+
+// abort tears the connection down without marking a deliberate close:
+// in-flight and future callers observe a retryable ErrConnLost instead
+// of ErrClosed. Used by the Reconnector to retire a failed queue pair
+// while other goroutines still hold pendings on it.
+func (in *Initiator) abort() {
+	in.conn.Close() //nolint:errcheck
+	<-in.done
 }

@@ -1,0 +1,271 @@
+package nvmetcp
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"dlfs/internal/metrics"
+)
+
+// RetryPolicy bounds the Reconnector's recovery behaviour. Zero values
+// take defaults.
+type RetryPolicy struct {
+	MaxRetries int           // retryable re-attempts beyond the first try (default 4)
+	BaseDelay  time.Duration // first backoff step (default 5ms)
+	MaxDelay   time.Duration // backoff cap (default 500ms)
+	Seed       int64         // jitter source; a fixed seed replays the same schedule
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxRetries <= 0 {
+		p.MaxRetries = 4
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = 5 * time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = 500 * time.Millisecond
+	}
+	return p
+}
+
+// Reconnector wraps one target address with transparent recovery: when a
+// command fails with a retryable transport error (timeout, lost
+// connection, dial failure) it retires the queue pair, re-dials with
+// capped exponential backoff plus jitter, and re-issues the command, up
+// to a bounded retry budget. Non-retryable errors (remote status errors,
+// deliberate close) are returned immediately. It is safe for concurrent
+// use; a single re-dial serves all waiting operations.
+type Reconnector struct {
+	addr     string
+	opt      Options
+	policy   RetryPolicy
+	counters *metrics.Resilience
+
+	mu     sync.Mutex
+	in     *Initiator
+	rng    *rand.Rand
+	closed bool
+
+	depth    int
+	capacity int64
+}
+
+// NewReconnector dials addr eagerly (so a misconfigured address fails
+// fast) and returns the wrapper. A nil counters gets a private set;
+// passing a shared *metrics.Resilience aggregates stats across targets.
+func NewReconnector(addr string, opt Options, policy RetryPolicy, counters *metrics.Resilience) (*Reconnector, error) {
+	if counters == nil {
+		counters = &metrics.Resilience{}
+	}
+	policy = policy.withDefaults()
+	r := &Reconnector{
+		addr:     addr,
+		opt:      opt,
+		policy:   policy,
+		counters: counters,
+		rng:      rand.New(rand.NewSource(policy.Seed ^ 0x5DEECE66D)),
+	}
+	in, err := ConnectOptions(addr, opt)
+	if err != nil {
+		return nil, err
+	}
+	r.in = in
+	r.depth = in.Depth()
+	r.capacity = in.Capacity()
+	return r, nil
+}
+
+// Addr returns the target address.
+func (r *Reconnector) Addr() string { return r.addr }
+
+// Depth returns the queue depth negotiated at first connect.
+func (r *Reconnector) Depth() int { return r.depth }
+
+// Capacity returns the capacity negotiated at first connect.
+func (r *Reconnector) Capacity() int64 { return r.capacity }
+
+// Counters exposes the shared resilience counters.
+func (r *Reconnector) Counters() *metrics.Resilience { return r.counters }
+
+// initiator returns the live queue pair, re-dialing if the previous one
+// was retired.
+func (r *Reconnector) initiator() (*Initiator, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return nil, ErrClosed
+	}
+	if r.in != nil {
+		return r.in, nil
+	}
+	in, err := ConnectOptions(r.addr, r.opt)
+	if err != nil {
+		return nil, err
+	}
+	r.counters.Reconnects.Add(1)
+	r.in = in
+	return in, nil
+}
+
+// invalidate retires in if it is still the current queue pair. The
+// failed initiator is aborted (not Closed) so concurrent waiters on it
+// observe a retryable ErrConnLost rather than ErrClosed.
+func (r *Reconnector) invalidate(in *Initiator) {
+	if in == nil {
+		return
+	}
+	r.mu.Lock()
+	current := r.in == in
+	if current {
+		r.in = nil
+	}
+	r.mu.Unlock()
+	if current {
+		in.abort()
+	}
+}
+
+// backoff computes the delay before retry number attempt (0-based):
+// BaseDelay doubled per attempt, capped at MaxDelay, scaled by a jitter
+// factor in [0.5, 1.0) drawn from the seeded source.
+func (r *Reconnector) backoff(attempt int) time.Duration {
+	d := r.policy.BaseDelay
+	for i := 0; i < attempt && d < r.policy.MaxDelay; i++ {
+		d *= 2
+	}
+	if d > r.policy.MaxDelay {
+		d = r.policy.MaxDelay
+	}
+	r.mu.Lock()
+	j := 0.5 + 0.5*r.rng.Float64()
+	r.mu.Unlock()
+	return time.Duration(float64(d) * j)
+}
+
+// noteFailure records counters for err and retires the queue pair when
+// the error indicates the connection itself is suspect (everything
+// retryable except pure queue-depth pressure).
+func (r *Reconnector) noteFailure(in *Initiator, err error) {
+	if errors.Is(err, ErrTimeout) {
+		r.counters.Timeouts.Add(1)
+	}
+	if !errors.Is(err, ErrDepthLimit) {
+		r.invalidate(in)
+	}
+}
+
+// do runs op against the current queue pair, retrying per policy.
+func (r *Reconnector) do(op func(*Initiator) error) error {
+	for attempt := 0; ; attempt++ {
+		in, err := r.initiator()
+		if err == nil {
+			err = op(in)
+			if err == nil {
+				return nil
+			}
+		}
+		if !IsRetryable(err) {
+			return err
+		}
+		if attempt >= r.policy.MaxRetries {
+			return fmt.Errorf("nvmetcp: %s: %d attempts exhausted: %w", r.addr, attempt+1, err)
+		}
+		r.noteFailure(in, err)
+		r.counters.Retries.Add(1)
+		time.Sleep(r.backoff(attempt))
+	}
+}
+
+// ReadAt reads len(p) bytes at off, retrying per policy.
+func (r *Reconnector) ReadAt(p []byte, off int64) (int, error) {
+	var n int
+	err := r.do(func(in *Initiator) error {
+		var e error
+		n, e = in.ReadAt(p, off)
+		return e
+	})
+	return n, err
+}
+
+// WriteAt writes p at off, retrying per policy. Writes are idempotent at
+// fixed offsets, so re-issuing after a lost connection is safe.
+func (r *Reconnector) WriteAt(p []byte, off int64) (int, error) {
+	var n int
+	err := r.do(func(in *Initiator) error {
+		var e error
+		n, e = in.WriteAt(p, off)
+		return e
+	})
+	return n, err
+}
+
+// RePending is an in-flight asynchronous read through a Reconnector.
+// Wait falls back to the retrying synchronous path when the pipelined
+// submission failed or its completion is lost.
+type RePending struct {
+	r   *Reconnector
+	in  *Initiator
+	pd  *Pending
+	dst []byte
+	off int64
+}
+
+// ReadAsync submits a pipelined read. A retryable submission failure is
+// deferred: the returned RePending recovers in Wait via the retrying
+// ReadAt. Non-retryable failures return immediately.
+func (r *Reconnector) ReadAsync(dst []byte, off int64) (*RePending, error) {
+	rp := &RePending{r: r, dst: dst, off: off}
+	in, err := r.initiator()
+	if err == nil {
+		pd, aerr := in.ReadAsync(dst, off)
+		if aerr == nil {
+			rp.in, rp.pd = in, pd
+			return rp, nil
+		}
+		err = aerr
+	}
+	if !IsRetryable(err) {
+		return nil, err
+	}
+	r.noteFailure(in, err)
+	return rp, nil
+}
+
+// Wait completes the read, recovering retryable failures through the
+// reconnecting synchronous path.
+func (rp *RePending) Wait() (int, error) {
+	if rp.pd != nil {
+		n, err := rp.pd.Wait()
+		if err == nil {
+			return n, nil
+		}
+		if !IsRetryable(err) {
+			return 0, err
+		}
+		rp.r.noteFailure(rp.in, err)
+		rp.pd = nil
+	}
+	rp.r.counters.Retries.Add(1)
+	return rp.r.ReadAt(rp.dst, rp.off)
+}
+
+// Close retires the wrapper; subsequent operations fail with ErrClosed.
+func (r *Reconnector) Close() error {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return nil
+	}
+	r.closed = true
+	in := r.in
+	r.in = nil
+	r.mu.Unlock()
+	if in != nil {
+		return in.Close()
+	}
+	return nil
+}

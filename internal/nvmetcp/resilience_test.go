@@ -1,0 +1,421 @@
+package nvmetcp
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"dlfs/internal/chaos"
+	"dlfs/internal/metrics"
+)
+
+// startStallServer runs a fake target that completes the hello handshake
+// and then swallows every command without replying — the hung-target
+// case deadlines and close-notification must handle.
+func startStallServer(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	conns := make(map[net.Conn]struct{})
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			mu.Lock()
+			conns[c] = struct{}{}
+			mu.Unlock()
+			go func(c net.Conn) {
+				hello, err := readCapsule(c)
+				if err != nil || hello.opcode != opHello {
+					c.Close() //nolint:errcheck
+					return
+				}
+				writeCapsule(c, &capsule{opcode: opHello, offset: 16, cmdID: 1 << 20}) //nolint:errcheck
+				for {
+					if _, err := readCapsule(c); err != nil {
+						return // swallow commands until the peer goes away
+					}
+				}
+			}(c)
+		}
+	}()
+	t.Cleanup(func() {
+		ln.Close() //nolint:errcheck
+		mu.Lock()
+		for c := range conns {
+			c.Close() //nolint:errcheck
+		}
+		mu.Unlock()
+	})
+	return ln.Addr().String()
+}
+
+func TestHandshakeWrongOpcodeReported(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close() //nolint:errcheck
+	go func() {
+		c, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer c.Close() //nolint:errcheck
+		readCapsule(c)  //nolint:errcheck
+		// Reply with a non-hello opcode: the client must name it.
+		writeCapsule(c, &capsule{opcode: opRead, offset: 8}) //nolint:errcheck
+	}()
+	_, err = Connect(ln.Addr().String())
+	if !errors.Is(err, ErrHandshake) {
+		t.Fatalf("want ErrHandshake, got %v", err)
+	}
+	want := "unexpected opcode 1"
+	if err == nil || !bytes.Contains([]byte(err.Error()), []byte(want)) {
+		t.Fatalf("error %q does not report the unexpected opcode", err)
+	}
+}
+
+func TestConnectBlackholedTargetTimesOut(t *testing.T) {
+	// A listener that accepts and never replies: Connect must not hang.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close() //nolint:errcheck
+	go func() {
+		for {
+			if _, err := ln.Accept(); err != nil {
+				return
+			}
+		}
+	}()
+	start := time.Now()
+	_, err = ConnectOptions(ln.Addr().String(), Options{DialTimeout: 100 * time.Millisecond})
+	if !errors.Is(err, ErrHandshake) {
+		t.Fatalf("want ErrHandshake, got %v", err)
+	}
+	if !IsRetryable(err) {
+		t.Fatalf("handshake timeout should be retryable: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("Connect blocked %v despite 100ms dial timeout", elapsed)
+	}
+}
+
+func TestRequestTimeout(t *testing.T) {
+	addr := startStallServer(t)
+	in, err := ConnectOptions(addr, Options{RequestTimeout: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer in.Close() //nolint:errcheck
+	start := time.Now()
+	_, err = in.ReadAt(make([]byte, 64), 0)
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("want ErrTimeout, got %v", err)
+	}
+	if !IsRetryable(err) {
+		t.Fatal("timeout must be retryable")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("ReadAt blocked %v despite 50ms deadline", elapsed)
+	}
+	// The timed-out command's pending entry was withdrawn.
+	in.mu.Lock()
+	n := len(in.pending)
+	in.mu.Unlock()
+	if n != 0 {
+		t.Fatalf("%d pending entries leaked after timeout", n)
+	}
+}
+
+func TestCloseMidRequestUnblocksAwait(t *testing.T) {
+	// Deadlines disabled: only the close notification can release the
+	// waiter. Run with -race to catch ordering bugs between Close and
+	// receiveLoop.
+	addr := startStallServer(t)
+	in, err := ConnectOptions(addr, Options{RequestTimeout: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	errc := make(chan error, 1)
+	go func() {
+		_, err := in.ReadAt(make([]byte, 64), 0)
+		errc <- err
+	}()
+	time.Sleep(20 * time.Millisecond) // let the read reach await
+	if err := in.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	select {
+	case err := <-errc:
+		if !errors.Is(err, ErrClosed) {
+			t.Fatalf("in-flight read after Close: %v, want ErrClosed", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("in-flight read still blocked 2s after Close")
+	}
+	// Subsequent submits fail fast too.
+	if _, err := in.ReadAt(make([]byte, 8), 0); !errors.Is(err, ErrClosed) {
+		t.Fatalf("read after close: %v", err)
+	}
+}
+
+func TestConnLossFailsPendingTyped(t *testing.T) {
+	tgt, addr := startTarget(t, 1<<20, 8)
+	in, err := ConnectOptions(addr, Options{RequestTimeout: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer in.Close() //nolint:errcheck
+	errc := make(chan error, 1)
+	go func() {
+		_, err := in.ReadAt(make([]byte, 8), 0)
+		errc <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	tgt.Close() //nolint:errcheck
+	select {
+	case err := <-errc:
+		// The read may have completed before the teardown; if it failed,
+		// the failure must be the typed, retryable connection-loss error.
+		if err != nil && !errors.Is(err, ErrConnLost) {
+			t.Fatalf("pending failed with %v, want ErrConnLost", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("pending read not released by connection loss")
+	}
+	// Every later command observes the loss as a typed error.
+	if _, err := in.ReadAt(make([]byte, 8), 0); !errors.Is(err, ErrConnLost) || !IsRetryable(err) {
+		t.Fatalf("read on lost connection: %v", err)
+	}
+}
+
+func TestIsRetryableClassification(t *testing.T) {
+	cases := []struct {
+		err  error
+		want bool
+	}{
+		{nil, false},
+		{ErrTimeout, true},
+		{ErrConnLost, true},
+		{ErrDepthLimit, true},
+		{ErrClosed, false},
+		{ErrRemote, false},
+		{errors.New("unrelated"), false},
+	}
+	for _, c := range cases {
+		if got := IsRetryable(c.err); got != c.want {
+			t.Errorf("IsRetryable(%v) = %v, want %v", c.err, got, c.want)
+		}
+	}
+}
+
+func TestReconnectorRecoversFromConnKill(t *testing.T) {
+	_, addr := startTarget(t, 8<<20, 16)
+	proxy := chaos.NewProxy(addr, chaos.Config{})
+	paddr, err := proxy.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer proxy.Close() //nolint:errcheck
+
+	ctr := &metrics.Resilience{}
+	rc, err := NewReconnector(paddr,
+		Options{DialTimeout: time.Second, RequestTimeout: time.Second},
+		RetryPolicy{MaxRetries: 6, BaseDelay: time.Millisecond, MaxDelay: 20 * time.Millisecond},
+		ctr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc.Close() //nolint:errcheck
+
+	data := []byte("survives a dropped fabric connection")
+	if _, err := rc.WriteAt(data, 4096); err != nil {
+		t.Fatal(err)
+	}
+	if proxy.KillActive() == 0 {
+		t.Fatal("no live connection to kill")
+	}
+	got := make([]byte, len(data))
+	if _, err := rc.ReadAt(got, 4096); err != nil {
+		t.Fatalf("read after connection kill: %v", err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatalf("corrupt read after reconnect: %q", got)
+	}
+	if ctr.Reconnects.Load() < 1 {
+		t.Fatalf("reconnects = %d, want >= 1", ctr.Reconnects.Load())
+	}
+	if ctr.Retries.Load() < 1 {
+		t.Fatalf("retries = %d, want >= 1", ctr.Retries.Load())
+	}
+}
+
+func TestReconnectorRetryBudgetExhausted(t *testing.T) {
+	tgt, addr := startTarget(t, 1<<20, 8)
+	ctr := &metrics.Resilience{}
+	rc, err := NewReconnector(addr,
+		Options{DialTimeout: 200 * time.Millisecond, RequestTimeout: 200 * time.Millisecond},
+		RetryPolicy{MaxRetries: 3, BaseDelay: time.Millisecond, MaxDelay: 5 * time.Millisecond},
+		ctr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc.Close() //nolint:errcheck
+	tgt.Close()      //nolint:errcheck
+
+	start := time.Now()
+	_, err = rc.ReadAt(make([]byte, 8), 0)
+	if err == nil {
+		t.Fatal("read against dead target succeeded")
+	}
+	if !IsRetryable(err) {
+		t.Fatalf("exhausted-budget error should stay classified retryable: %v", err)
+	}
+	if got := ctr.Retries.Load(); got != 3 {
+		t.Fatalf("retries = %d, want exactly the budget of 3", got)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("budget exhaustion took %v", elapsed)
+	}
+}
+
+func TestReconnectorDoesNotRetryRemoteErrors(t *testing.T) {
+	_, addr := startTarget(t, 4096, 8)
+	ctr := &metrics.Resilience{}
+	rc, err := NewReconnector(addr, Options{}, RetryPolicy{}, ctr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc.Close() //nolint:errcheck
+	if _, err := rc.ReadAt(make([]byte, 100), 4090); !errors.Is(err, ErrRemote) {
+		t.Fatalf("out-of-range read: %v, want ErrRemote", err)
+	}
+	if got := ctr.Retries.Load(); got != 0 {
+		t.Fatalf("remote error consumed %d retries", got)
+	}
+}
+
+func TestReconnectorBackoffCappedAndJittered(t *testing.T) {
+	_, addr := startTarget(t, 1<<20, 8)
+	rc, err := NewReconnector(addr, Options{},
+		RetryPolicy{BaseDelay: 10 * time.Millisecond, MaxDelay: 80 * time.Millisecond, Seed: 42}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc.Close() //nolint:errcheck
+	for attempt := 0; attempt < 12; attempt++ {
+		d := rc.backoff(attempt)
+		if d <= 0 || d > 80*time.Millisecond {
+			t.Fatalf("backoff(%d) = %v outside (0, 80ms]", attempt, d)
+		}
+	}
+	// Same seed replays the same jitter schedule.
+	a, _ := NewReconnector(addr, Options{}, RetryPolicy{Seed: 7}, nil)
+	b, _ := NewReconnector(addr, Options{}, RetryPolicy{Seed: 7}, nil)
+	defer a.Close() //nolint:errcheck
+	defer b.Close() //nolint:errcheck
+	for i := 0; i < 8; i++ {
+		if da, db := a.backoff(i), b.backoff(i); da != db {
+			t.Fatalf("seeded backoff diverged at %d: %v vs %v", i, da, db)
+		}
+	}
+}
+
+// TestServeConnMalformedCapsules drives the target with the chaos
+// corruption corpus over raw sockets: every malformed stream must drop
+// only its own connection, leave the target serving, and bump the
+// malformed counter for frames with bad magic or oversized lengths.
+func TestServeConnMalformedCapsules(t *testing.T) {
+	tgt, addr := startTarget(t, 1<<20, 8)
+
+	sendRaw := func(raw []byte, afterHandshake bool) {
+		c, err := net.Dial("tcp", addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close() //nolint:errcheck
+		if afterHandshake {
+			if err := writeCapsule(c, &capsule{opcode: opHello}); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := readCapsule(c); err != nil {
+				t.Fatal(err)
+			}
+		}
+		c.Write(raw) //nolint:errcheck
+		// Wait for the server to drop us (read returns when it closes).
+		c.SetReadDeadline(time.Now().Add(2 * time.Second)) //nolint:errcheck
+		buf := make([]byte, 1)
+		for {
+			if _, err := c.Read(buf); err != nil {
+				return
+			}
+		}
+	}
+
+	for _, seed := range corruptSeeds() {
+		sendRaw(seed, false) // malformed handshake
+		sendRaw(seed, true)  // malformed command after a clean handshake
+	}
+
+	// Bad-magic and oversized frames are counted; truncated frames are
+	// indistinguishable from teardown mid-frame and only drop the conn.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if _, malformed := tgt.ConnStats(); malformed >= 4 {
+			break
+		}
+		if time.Now().After(deadline) {
+			_, malformed := tgt.ConnStats()
+			t.Fatalf("malformed = %d, want >= 4", malformed)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// The target survived all of it: a clean client still works.
+	in, err := Connect(addr)
+	if err != nil {
+		t.Fatalf("target died after malformed streams: %v", err)
+	}
+	defer in.Close() //nolint:errcheck
+	if _, err := in.WriteAt([]byte("still alive"), 0); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 11)
+	if _, err := in.ReadAt(got, 0); err != nil || string(got) != "still alive" {
+		t.Fatalf("read after chaos: %q, %v", got, err)
+	}
+}
+
+// TestServeConnOversizedReadLength exercises the command-level length
+// check (a read asking for more than maxPayload) rather than the frame
+// parser: it must fail with a range status, not kill the target.
+func TestServeConnOversizedReadLength(t *testing.T) {
+	_, addr := startTarget(t, 1<<20, 8)
+	in, err := Connect(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer in.Close() //nolint:errcheck
+	var lenBuf [4]byte
+	binary.LittleEndian.PutUint32(lenBuf[:], uint32(maxPayload+1))
+	ch, id, err := in.submit(&capsule{opcode: opRead, offset: 0, payload: lenBuf[:]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := in.await(ch, id); !errors.Is(err, ErrRemote) {
+		t.Fatalf("oversized read length: %v, want ErrRemote", err)
+	}
+}

@@ -24,8 +24,10 @@ type Target struct {
 	closed bool
 	wg     sync.WaitGroup
 
-	served atomic.Int64
-	bytes  atomic.Int64
+	served    atomic.Int64
+	bytes     atomic.Int64
+	accepted  atomic.Int64
+	malformed atomic.Int64
 }
 
 // NewTarget wraps a store; depth bounds per-connection concurrency
@@ -42,6 +44,12 @@ func (t *Target) Store() *blockdev.Store { return t.store }
 
 // Served reports commands completed and payload bytes moved.
 func (t *Target) Served() (cmds, bytes int64) { return t.served.Load(), t.bytes.Load() }
+
+// ConnStats reports connections accepted and connections dropped because
+// of a malformed frame (bad magic or an oversized length field).
+func (t *Target) ConnStats() (accepted, malformed int64) {
+	return t.accepted.Load(), t.malformed.Load()
+}
 
 // Listen starts serving on addr (e.g. "127.0.0.1:0") and returns the
 // bound address. Serving proceeds on background goroutines until Close.
@@ -71,6 +79,7 @@ func (t *Target) acceptLoop() {
 		}
 		t.conns[conn] = struct{}{}
 		t.mu.Unlock()
+		t.accepted.Add(1)
 		t.wg.Add(1)
 		go t.serveConn(conn)
 	}
@@ -88,6 +97,9 @@ func (t *Target) serveConn(conn net.Conn) {
 	// Handshake: hello in, hello out with depth and capacity.
 	hello, err := readCapsule(conn)
 	if err != nil || hello.opcode != opHello {
+		if errors.Is(err, ErrBadMagic) || errors.Is(err, ErrTooLarge) {
+			t.malformed.Add(1)
+		}
 		return
 	}
 	var wmu sync.Mutex // serialises response frames
@@ -110,6 +122,7 @@ func (t *Target) serveConn(conn net.Conn) {
 			// io.EOF and closed connections are normal teardown; only a
 			// malformed frame is worth a log line.
 			if errors.Is(err, ErrBadMagic) || errors.Is(err, ErrTooLarge) {
+				t.malformed.Add(1)
 				log.Printf("nvmetcp: dropping connection: %v", err)
 			}
 			return

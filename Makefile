@@ -1,6 +1,8 @@
 GO ?= go
+BENCH ?= .
+BENCHCOUNT ?= 5
 
-.PHONY: all vet build test race chaos check clean
+.PHONY: all vet build test race chaos bench check clean
 
 all: check
 
@@ -14,12 +16,19 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/nvmetcp ./internal/live ./internal/chaos
+	$(GO) test -race ./internal/nvmetcp ./internal/live ./internal/chaos ./internal/bufpool
 
 # Chaos soak: run the seeded fault-injection epochs twice to shake out
 # scheduling-dependent bugs in the resilience path.
 chaos:
 	$(GO) test -run TestChaos -count=2 ./internal/live
+
+# Pipeline benchmarks, benchstat-friendly: run with BENCHCOUNT repeats
+# and pipe the output of two builds into `benchstat old.txt new.txt`.
+#   make bench BENCH=BenchmarkLiveEpoch > new.txt
+bench:
+	$(GO) test -run '^$$' -bench '$(BENCH)' -benchmem -count=$(BENCHCOUNT) \
+		./internal/live ./internal/nvmetcp ./internal/bufpool
 
 check: vet build test race chaos
 

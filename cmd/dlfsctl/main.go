@@ -116,6 +116,9 @@ func cmdSmoke(args []string) {
 	targets := fs.Int("targets", 3, "local TCP targets to start")
 	n := fs.Int("n", 500, "samples")
 	size := fs.Int("size", 4096, "sample size")
+	qps := fs.Int("qps", 0, "queue pairs per target (0 takes the default)")
+	nocoalesce := fs.Bool("no-coalesce", false, "disable request coalescing (one wire read per chunk)")
+	nopool := fs.Bool("no-pool", false, "disable the sample buffer pool")
 	chaosSeed := fs.Int64("chaos-seed", 0, "chaos fault schedule seed (0 disables the chaos proxies)")
 	dropProb := fs.Float64("chaos-drop", 0.002, "per-segment connection-kill probability under chaos")
 	delayProb := fs.Float64("chaos-delay-prob", 0.05, "per-segment delay probability under chaos")
@@ -155,7 +158,7 @@ func cmdSmoke(args []string) {
 		fmt.Printf("target %d: %s\n", i, addr)
 	}
 	ds := dataset.Generate(dataset.Config{Label: "smoke", Seed: 2, NumSamples: *n, Dist: dataset.Fixed(*size)})
-	cfg := live.Config{}
+	cfg := live.Config{QueuePairs: *qps, NoCoalesce: *nocoalesce, NoBufferPool: *nopool}
 	if *dead >= 0 {
 		// A blackholed target never answers; keep the deadlines and the
 		// retry ladder short so the breaker trips quickly, and let the
@@ -205,6 +208,7 @@ func cmdSmoke(args []string) {
 		len(items), elapsed.Seconds(),
 		metrics.HumanRate(float64(len(items))/elapsed.Seconds()), bad)
 	st := lfs.Stats()
+	fmt.Printf("pipeline (%d QPs/target, %d cache shards): %s\n", st.QueuePairs, st.CacheShards, st.Pipeline)
 	fmt.Printf("resilience: %s\n", st.Resilience)
 	for i, th := range st.Targets {
 		fmt.Printf("target %d: breaker %s (consecutive fails %d)\n", i, th.State, th.ConsecFails)

@@ -56,22 +56,30 @@ func main() {
 	for {
 		select {
 		case <-tick:
-			cmds, bytes := tgt.Served()
-			accepted, malformed := tgt.ConnStats()
-			fmt.Printf("dlfsd: served %d commands, %s, conns accepted=%d malformed=%d\n",
-				cmds, metrics.HumanBytes(bytes), accepted, malformed)
+			fmt.Printf("dlfsd: %s\n", statsLine(tgt))
 		case sig := <-stop:
 			fmt.Printf("dlfsd: %v, shutting down\n", sig)
 			if err := tgt.Close(); err != nil {
 				fatal(err)
 			}
-			cmds, bytes := tgt.Served()
-			accepted, malformed := tgt.ConnStats()
-			fmt.Printf("dlfsd: final: %d commands, %s, conns accepted=%d malformed=%d\n",
-				cmds, metrics.HumanBytes(bytes), accepted, malformed)
+			fmt.Printf("dlfsd: final: %s\n", statsLine(tgt))
 			return
 		}
 	}
+}
+
+// statsLine renders the serving counters, including the vectored-read
+// coalescing mix (segments per vectored command).
+func statsLine(tgt *nvmetcp.Target) string {
+	cmds, bytes := tgt.Served()
+	accepted, malformed := tgt.ConnStats()
+	reads, writes, vecReads, vecSegs := tgt.OpStats()
+	line := fmt.Sprintf("served %d commands, %s, reads=%d writes=%d vec-reads=%d",
+		cmds, metrics.HumanBytes(bytes), reads, writes, vecReads)
+	if vecReads > 0 {
+		line += fmt.Sprintf(" (%.1f segs/cmd)", float64(vecSegs)/float64(vecReads))
+	}
+	return line + fmt.Sprintf(", conns accepted=%d malformed=%d", accepted, malformed)
 }
 
 // parseBytes parses "512", "4KiB", "1MiB", "2GiB" (also accepts KB/MB/GB

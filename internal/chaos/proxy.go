@@ -86,6 +86,27 @@ func (p *Proxy) KillActive() int {
 	return 0
 }
 
+// KillOne severs a single live proxied connection pair and reports
+// whether one was killed. Closing one side is enough: the handler's
+// teardown closes its peer. Used to exercise multi-queue-pair clients,
+// where losing one of a target's connections must not lose data striped
+// onto the survivors.
+func (p *Proxy) KillOne() bool {
+	p.mu.Lock()
+	var victim net.Conn
+	for c := range p.conns {
+		victim = c
+		break
+	}
+	p.mu.Unlock()
+	if victim == nil {
+		return false
+	}
+	victim.Close() //nolint:errcheck
+	p.st.kills.Add(1)
+	return true
+}
+
 // Close stops the listener and severs all connections.
 func (p *Proxy) Close() error {
 	p.mu.Lock()

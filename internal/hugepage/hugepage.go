@@ -181,3 +181,61 @@ func (a *Arena) Reset() {
 	}
 	a.inUse = 0
 }
+
+// Blocking wraps an arena with blocking batch allocation: a caller asking
+// for chunks waits until enough are free instead of failing — the pooled
+// free-list discipline the prefetch pipeline runs against (fetchers stall
+// on cache pressure, emission frees recycle chunks and wake them).
+type Blocking struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	arena *Arena
+	waits int64 // AllocN calls that had to wait at least once
+}
+
+// NewBlocking wraps a.
+func NewBlocking(a *Arena) *Blocking {
+	b := &Blocking{arena: a}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// Arena exposes the wrapped arena.
+func (b *Blocking) Arena() *Arena { return b.arena }
+
+// AllocN takes n chunks, blocking until the arena can serve all of them
+// atomically. A request larger than the arena can ever serve blocks
+// forever; callers bound their batch sizes against Arena.NumChunks.
+func (b *Blocking) AllocN(n int) []*Chunk {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	waited := false
+	for {
+		chunks, err := b.arena.AllocN(n)
+		if err == nil {
+			return chunks
+		}
+		if !waited {
+			waited = true
+			b.waits++
+		}
+		b.cond.Wait()
+	}
+}
+
+// Free returns chunks to the arena and wakes blocked allocators.
+func (b *Blocking) Free(chunks []*Chunk) {
+	b.mu.Lock()
+	for _, c := range chunks {
+		b.arena.Free(c) //nolint:errcheck
+	}
+	b.mu.Unlock()
+	b.cond.Broadcast()
+}
+
+// Waits reports how many allocations had to block on cache pressure.
+func (b *Blocking) Waits() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.waits
+}

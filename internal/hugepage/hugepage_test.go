@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"testing"
 	"testing/quick"
+	"time"
 )
 
 func TestArenaLayout(t *testing.T) {
@@ -199,5 +200,42 @@ func TestArenaNeverDoubleAllocatesProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestBlockingAllocWaitsForFrees proves the blocking wrapper's contract:
+// an AllocN larger than the current free count parks until a Free makes
+// room, and the wait is counted.
+func TestBlockingAllocWaitsForFrees(t *testing.T) {
+	a, err := NewArena(2<<20, 256<<10) // 8 chunks
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := NewBlocking(a)
+	if b.Arena() != a {
+		t.Fatal("Arena() identity")
+	}
+	first := b.AllocN(6)
+	if len(first) != 6 || b.Waits() != 0 {
+		t.Fatalf("eager alloc: %d chunks, waits=%d", len(first), b.Waits())
+	}
+	done := make(chan []*Chunk)
+	go func() { done <- b.AllocN(4) }() // needs 4, only 2 free: must block
+	select {
+	case <-done:
+		t.Fatal("oversubscribed AllocN returned before a Free")
+	case <-time.After(50 * time.Millisecond):
+	}
+	b.Free(first[:2]) // now 4 free
+	select {
+	case got := <-done:
+		if len(got) != 4 {
+			t.Fatalf("blocked alloc returned %d chunks", len(got))
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("AllocN still blocked after enough frees")
+	}
+	if b.Waits() != 1 {
+		t.Fatalf("Waits() = %d, want 1", b.Waits())
 	}
 }

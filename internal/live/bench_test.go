@@ -1,0 +1,198 @@
+package live
+
+import (
+	"testing"
+
+	"dlfs/internal/blockdev"
+	"dlfs/internal/nvmetcp"
+)
+
+// benchTargets is startTargets without *testing.T plumbing so benchmarks
+// can share it.
+func benchTargets(b *testing.B, n int) []string {
+	b.Helper()
+	addrs := make([]string, n)
+	for i := 0; i < n; i++ {
+		tgt := nvmetcp.NewTarget(blockdev.New(512<<20), 64)
+		addr, err := tgt.Listen("127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { tgt.Close() }) //nolint:errcheck
+		addrs[i] = addr
+	}
+	return addrs
+}
+
+// BenchmarkLiveEpoch measures end-to-end epoch throughput (samples/sec
+// and MB/s) across the pipeline feature matrix: queue-pair fan-out on
+// and off, request coalescing on and off, buffer pooling on and off.
+// The qp1/nocoalesce/nopool cell reproduces the old single-connection
+// per-chunk path and is the baseline for the speedup acceptance bound.
+func BenchmarkLiveEpoch(b *testing.B) {
+	const (
+		numSamples = 512
+		sampleSize = 16 << 10
+	)
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"qp1_nocoalesce_nopool", Config{QueuePairs: 1, NoCoalesce: true, NoBufferPool: true}},
+		{"qp1_coalesce_pool", Config{QueuePairs: 1}},
+		{"qp4_nocoalesce_pool", Config{QueuePairs: 4, NoCoalesce: true}},
+		{"qp4_coalesce_nopool", Config{QueuePairs: 4, NoBufferPool: true}},
+		{"qp4_coalesce_pool", Config{QueuePairs: 4}},
+	}
+	for _, tc := range cases {
+		b.Run(tc.name, func(b *testing.B) {
+			addrs := benchTargets(b, 2)
+			ds := testDS(numSamples, sampleSize)
+			cfg := tc.cfg
+			cfg.ChunkSize = 64 << 10
+			cfg.CacheBytes = 16 << 20
+			cfg.ReadCacheBytes = -1 // measure the wire path, not the V-bit cache
+			fs, err := Mount(addrs, ds, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer fs.Close() //nolint:errcheck
+			b.SetBytes(int64(numSamples * sampleSize))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ep, err := fs.Sequence(int64(i))
+				if err != nil {
+					b.Fatal(err)
+				}
+				delivered := 0
+				for {
+					items, ok, err := ep.NextBatch()
+					if err != nil {
+						b.Fatal(err)
+					}
+					delivered += len(items)
+					fs.RecycleItems(items)
+					if !ok {
+						break
+					}
+				}
+				if delivered != numSamples {
+					b.Fatalf("delivered %d of %d", delivered, numSamples)
+				}
+			}
+			b.StopTimer()
+			st := fs.Stats()
+			b.ReportMetric(float64(numSamples*b.N)/b.Elapsed().Seconds(), "samples/sec")
+			if st.Pipeline.WireReads > 0 {
+				b.ReportMetric(st.Pipeline.CoalesceRatio(), "segs/wire-read")
+			}
+		})
+	}
+}
+
+// BenchmarkReadSample measures the dlfs_open/read/close hot path served
+// from the sharded V-bit cache. The pooled hit path is the allocs/op
+// acceptance bound (≤2 allocs/op).
+func BenchmarkReadSample(b *testing.B) {
+	for _, pool := range []bool{true, false} {
+		name := "pool"
+		if !pool {
+			name = "nopool"
+		}
+		b.Run(name, func(b *testing.B) {
+			addrs := benchTargets(b, 1)
+			ds := testDS(64, 4<<10)
+			fs, err := Mount(addrs, ds, Config{NoBufferPool: !pool})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer fs.Close() //nolint:errcheck
+			// Warm the cache: 64 * 4 KiB fits the default budget easily.
+			for i := 0; i < ds.Len(); i++ {
+				got, err := fs.ReadSample(i)
+				if err != nil {
+					b.Fatal(err)
+				}
+				fs.Recycle(got)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				got, err := fs.ReadSample(i % ds.Len())
+				if err != nil {
+					b.Fatal(err)
+				}
+				fs.Recycle(got)
+			}
+		})
+	}
+}
+
+// BenchmarkReadSampleParallel drives the sharded cache from all procs —
+// the contention case the per-shard mutexes exist for.
+func BenchmarkReadSampleParallel(b *testing.B) {
+	addrs := benchTargets(b, 1)
+	ds := testDS(64, 4<<10)
+	fs, err := Mount(addrs, ds, Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer fs.Close() //nolint:errcheck
+	for i := 0; i < ds.Len(); i++ {
+		got, err := fs.ReadSample(i)
+		if err != nil {
+			b.Fatal(err)
+		}
+		fs.Recycle(got)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			got, err := fs.ReadSample(i % ds.Len())
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			fs.Recycle(got)
+			i++
+		}
+	})
+}
+
+// TestBenchmarkConfigsDeliver sanity-checks every benchmark cell once so
+// `go test` catches a broken matrix without running `make bench`.
+func TestBenchmarkConfigsDeliver(t *testing.T) {
+	for _, cfg := range []Config{
+		{QueuePairs: 1, NoCoalesce: true, NoBufferPool: true},
+		{QueuePairs: 4},
+	} {
+		addrs := startTargets(t, 2)
+		ds := testDS(96, 8<<10)
+		cfg.ChunkSize = 32 << 10
+		cfg.CacheBytes = 4 << 20
+		fs, err := Mount(addrs, ds, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		items, err := fs.mustEpoch(t)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(items) != 96 {
+			t.Fatalf("cfg %+v delivered %d of 96", cfg, len(items))
+		}
+		fs.Close() //nolint:errcheck
+	}
+}
+
+func (fs *FS) mustEpoch(t *testing.T) ([]Item, error) {
+	t.Helper()
+	ep, err := fs.Sequence(7)
+	if err != nil {
+		return nil, err
+	}
+	return ep.Drain()
+}

@@ -1,0 +1,168 @@
+package live
+
+import (
+	"sync"
+
+	"dlfs/internal/metrics"
+)
+
+// Sharding bounds for the ReadSample V-bit cache. The shard count adapts
+// to the byte budget so tiny budgets (unit tests, constrained clients)
+// degrade to a single shard with exact FIFO-like semantics, while the
+// default 8 MiB budget spreads across 16 shards and removes the global
+// mutex from the hot path.
+const (
+	maxCacheShards = 16
+	minShardBytes  = 512 << 10
+)
+
+// clockEntry is one resident sample in a shard's CLOCK ring.
+type clockEntry struct {
+	idx  int
+	data []byte
+	ref  bool
+}
+
+// cacheShard is one independently locked slice of the cache: an index
+// from sample to ring slot, plus the ring the CLOCK hand sweeps.
+type cacheShard struct {
+	mu    sync.Mutex
+	slots map[int]int // sample index -> ring slot
+	ring  []clockEntry
+	hand  int
+	bytes int64
+}
+
+// sampleCache is the sharded ReadSample V-bit cache: power-of-two shards,
+// per-shard mutex, CLOCK-style second-chance eviction. It replaces the
+// single-mutex map + O(n) FIFO order slice: lookups touch exactly one
+// shard and eviction is O(1) amortised per insert.
+type sampleCache struct {
+	shards   []cacheShard
+	mask     uint64
+	perShard int64
+	pipe     *metrics.Pipeline
+	alloc    func(int) []byte
+	free     func([]byte)
+	resident func(idx int, v bool) // V-bit maintenance callback
+}
+
+// newSampleCache builds a cache over budget bytes. Shard budgets sum to
+// the total, so the aggregate footprint never exceeds budget no matter
+// how concurrent the readers are.
+func newSampleCache(budget int64, pipe *metrics.Pipeline, alloc func(int) []byte, free func([]byte), resident func(int, bool)) *sampleCache {
+	n := 1
+	for n < maxCacheShards && int64(2*n)*minShardBytes <= budget {
+		n *= 2
+	}
+	c := &sampleCache{
+		shards:   make([]cacheShard, n),
+		mask:     uint64(n - 1),
+		perShard: budget / int64(n),
+		pipe:     pipe,
+		alloc:    alloc,
+		free:     free,
+		resident: resident,
+	}
+	for i := range c.shards {
+		c.shards[i].slots = make(map[int]int)
+	}
+	return c
+}
+
+// numShards reports the shard count (for stats).
+func (c *sampleCache) numShards() int { return len(c.shards) }
+
+// shardFor hashes a sample index to its shard (Fibonacci hashing keeps
+// sequential indices spread across shards).
+func (c *sampleCache) shardFor(idx int) *cacheShard {
+	h := uint64(idx) * 0x9E3779B97F4A7C15
+	return &c.shards[(h>>32)&c.mask]
+}
+
+// get returns a caller-owned copy of the cached sample, or nil on miss.
+// A hit sets the entry's reference bit, giving it a second chance against
+// the CLOCK hand.
+func (c *sampleCache) get(idx int) []byte {
+	sh := c.shardFor(idx)
+	sh.mu.Lock()
+	slot, ok := sh.slots[idx]
+	if !ok {
+		sh.mu.Unlock()
+		c.pipe.CacheMisses.Add(1)
+		return nil
+	}
+	e := &sh.ring[slot]
+	e.ref = true
+	out := c.alloc(len(e.data))
+	copy(out, e.data)
+	sh.mu.Unlock()
+	c.pipe.CacheHits.Add(1)
+	return out
+}
+
+// put inserts a copy of data, evicting via CLOCK until the shard is back
+// under budget. Samples larger than a shard's budget are not cached.
+func (c *sampleCache) put(idx int, data []byte) {
+	if int64(len(data)) > c.perShard {
+		return
+	}
+	sh := c.shardFor(idx)
+	sh.mu.Lock()
+	if _, dup := sh.slots[idx]; dup {
+		sh.mu.Unlock()
+		return
+	}
+	kept := c.alloc(len(data))
+	copy(kept, data)
+	sh.slots[idx] = len(sh.ring)
+	sh.ring = append(sh.ring, clockEntry{idx: idx, data: kept})
+	sh.bytes += int64(len(kept))
+	c.resident(idx, true)
+	for sh.bytes > c.perShard && len(sh.ring) > 0 {
+		sh.evictOne(c)
+	}
+	sh.mu.Unlock()
+}
+
+// evictOne advances the CLOCK hand to the next entry without a reference
+// bit and evicts it; referenced entries lose their bit and survive one
+// more sweep. Called with the shard lock held.
+func (sh *cacheShard) evictOne(c *sampleCache) {
+	for {
+		if sh.hand >= len(sh.ring) {
+			sh.hand = 0
+		}
+		e := &sh.ring[sh.hand]
+		if e.ref {
+			e.ref = false
+			sh.hand++
+			continue
+		}
+		victim := *e
+		last := len(sh.ring) - 1
+		sh.ring[sh.hand] = sh.ring[last]
+		sh.ring = sh.ring[:last]
+		delete(sh.slots, victim.idx)
+		if sh.hand < len(sh.ring) {
+			sh.slots[sh.ring[sh.hand].idx] = sh.hand
+		}
+		sh.bytes -= int64(len(victim.data))
+		c.free(victim.data)
+		c.resident(victim.idx, false)
+		c.pipe.CacheEvictions.Add(1)
+		return
+	}
+}
+
+// residentBytes sums the shards' footprints — the invariant under test is
+// residentBytes() <= budget at every point in time.
+func (c *sampleCache) residentBytes() int64 {
+	var total int64
+	for i := range c.shards {
+		c.shards[i].mu.Lock()
+		total += c.shards[i].bytes
+		c.shards[i].mu.Unlock()
+	}
+	return total
+}

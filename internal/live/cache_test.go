@@ -1,0 +1,184 @@
+package live
+
+import (
+	"sync"
+	"testing"
+
+	"dlfs/internal/metrics"
+)
+
+// plainCache builds a sampleCache with heap alloc/free and no V-bit
+// wiring, for unit-testing the sharding and eviction machinery alone.
+func plainCache(budget int64) *sampleCache {
+	return newSampleCache(budget, &metrics.Pipeline{},
+		func(n int) []byte { return make([]byte, n) },
+		func([]byte) {},
+		func(int, bool) {})
+}
+
+func TestCacheShardCountAdapts(t *testing.T) {
+	cases := []struct {
+		budget int64
+		shards int
+	}{
+		{8 << 10, 1}, // tiny test budgets stay single-shard
+		{512 << 10, 1},
+		{1 << 20, 2}, // every shard keeps at least minShardBytes
+		{2 << 20, 4},
+		{8 << 20, maxCacheShards}, // default ReadCacheBytes
+		{1 << 30, maxCacheShards},
+	}
+	for _, tc := range cases {
+		if got := plainCache(tc.budget).numShards(); got != tc.shards {
+			t.Errorf("budget %d: %d shards, want %d", tc.budget, got, tc.shards)
+		}
+	}
+}
+
+func TestCacheHitMissAndClockSecondChance(t *testing.T) {
+	pipe := &metrics.Pipeline{}
+	c := newSampleCache(1<<20, pipe,
+		func(n int) []byte { return make([]byte, n) },
+		func([]byte) {}, func(int, bool) {})
+	c.put(1, []byte("alpha"))
+	if got := c.get(1); string(got) != "alpha" {
+		t.Fatalf("get(1) = %q", got)
+	}
+	if c.get(2) != nil {
+		t.Fatal("get(2) hit on empty slot")
+	}
+	s := pipe.Snapshot()
+	if s.CacheHits != 1 || s.CacheMisses != 1 {
+		t.Fatalf("hits/misses = %d/%d, want 1/1", s.CacheHits, s.CacheMisses)
+	}
+	// Mutating the returned copy must not corrupt the cached entry.
+	got := c.get(1)
+	got[0] = 'X'
+	if again := c.get(1); string(again) != "alpha" {
+		t.Fatalf("cached entry mutated through returned copy: %q", again)
+	}
+}
+
+func TestCacheOversizedEntryNotCached(t *testing.T) {
+	c := plainCache(1 << 10)
+	c.put(0, make([]byte, 2<<10))
+	if c.residentBytes() != 0 {
+		t.Fatalf("oversized entry resident: %d bytes", c.residentBytes())
+	}
+}
+
+// TestReadSampleHitPathAllocs is the allocation guard for the hot read
+// path: a V-bit cache hit served from the buffer pool must cost at most
+// 2 allocations (acceptance bound; steady state is 1 — the interface
+// boxing on Recycle).
+func TestReadSampleHitPathAllocs(t *testing.T) {
+	addrs := startTargets(t, 1)
+	ds := testDS(32, 4<<10)
+	fs, err := Mount(addrs, ds, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Close() //nolint:errcheck
+	for i := 0; i < ds.Len(); i++ {
+		got, err := fs.ReadSample(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fs.Recycle(got)
+	}
+	i := 0
+	avg := testing.AllocsPerRun(200, func() {
+		got, err := fs.ReadSample(i % ds.Len())
+		if err != nil {
+			t.Fatal(err)
+		}
+		fs.Recycle(got)
+		i++
+	})
+	if avg > 2 {
+		t.Fatalf("ReadSample hit path: %.1f allocs/op, want <= 2", avg)
+	}
+}
+
+// TestCacheEvictionHoldsBudgetUnderConcurrentReaders is the satellite
+// acceptance test: many goroutines hammering a sharded cache with
+// overlapping working sets must never push the resident footprint past
+// the configured budget, and every hit must return intact bytes. Run
+// with -race.
+func TestCacheEvictionHoldsBudgetUnderConcurrentReaders(t *testing.T) {
+	const budget = 2 << 20 // two shards
+	pipe := &metrics.Pipeline{}
+	c := newSampleCache(budget, pipe,
+		func(n int) []byte { return make([]byte, n) },
+		func([]byte) {}, func(int, bool) {})
+	if c.numShards() < 2 {
+		t.Fatalf("want a sharded cache, got %d shards", c.numShards())
+	}
+
+	pattern := func(idx, n int) []byte {
+		b := make([]byte, n)
+		for i := range b {
+			b[i] = byte(idx*31 + i)
+		}
+		return b
+	}
+	const (
+		readers = 8
+		keys    = 512
+		entry   = 8 << 10 // 512 keys * 8 KiB = 4 MiB working set, 2x budget
+		rounds  = 400
+	)
+	stop := make(chan struct{})
+	var over sync.Once
+	var overBudget int64
+	go func() { // budget watchdog sampling concurrently with the writers
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if rb := c.residentBytes(); rb > budget {
+				over.Do(func() { overBudget = rb })
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				idx := (r*131 + i*17) % keys
+				if hit := c.get(idx); hit != nil {
+					want := pattern(idx, entry)
+					if len(hit) != entry || hit[0] != want[0] || hit[entry-1] != want[entry-1] {
+						t.Errorf("reader %d: corrupt hit for key %d", r, idx)
+						return
+					}
+					continue
+				}
+				c.put(idx, pattern(idx, entry))
+			}
+		}(r)
+	}
+	wg.Wait()
+	close(stop)
+
+	if overBudget != 0 {
+		t.Fatalf("resident bytes %d exceeded budget %d", overBudget, budget)
+	}
+	if rb := c.residentBytes(); rb > budget {
+		t.Fatalf("final resident bytes %d exceed budget %d", rb, budget)
+	}
+	s := pipe.Snapshot()
+	if s.CacheEvictions == 0 {
+		t.Fatal("working set 2x budget produced no evictions")
+	}
+	if s.CacheHits == 0 {
+		t.Fatal("no cache hits under repeated access")
+	}
+	t.Logf("shards=%d hits=%d misses=%d evictions=%d resident=%d",
+		c.numShards(), s.CacheHits, s.CacheMisses, s.CacheEvictions, c.residentBytes())
+}

@@ -118,6 +118,86 @@ func TestChaosEpochSurvivesDropsAndDelays(t *testing.T) {
 	t.Logf("chaos stats: %s", st.Resilience)
 }
 
+// TestChaosMultiQPSurvivesSingleConnectionKill is the multi-queue-pair
+// acceptance case: with 3 queue pairs per target, repeatedly killing
+// one of a target's connections mid-epoch must not lose, duplicate, or
+// corrupt a single striped sample — the survivors keep draining the
+// sequence while the killed pair re-dials.
+func TestChaosMultiQPSurvivesSingleConnectionKill(t *testing.T) {
+	addrs, proxies := startChaosTargets(t, 2, func(i int) chaos.Config {
+		return chaos.Config{Seed: int64(i) + 30}
+	})
+	ds := testDS(240, 3000)
+	fs, err := Mount(addrs, ds, Config{
+		ChunkSize:        16 << 10,
+		CacheBytes:       2 << 20,
+		QueuePairs:       3,
+		RequestTimeout:   2 * time.Second,
+		DialTimeout:      2 * time.Second,
+		MaxRetries:       8,
+		RetryBaseDelay:   time.Millisecond,
+		RetryMaxDelay:    20 * time.Millisecond,
+		BreakerThreshold: 100, // kills here are transient; never trip
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Close() //nolint:errcheck
+
+	ep, err := fs.Sequence(31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var items []Item
+	batch, ok, err := ep.NextBatch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	items = append(items, batch...)
+	// Kill exactly one of each target's queue-pair connections every few
+	// batches; the other pairs must carry the epoch meanwhile.
+	kills := 0
+	for ok {
+		if len(items)%64 < fs.cfg.BatchSize {
+			for _, p := range proxies {
+				if p.KillOne() {
+					kills++
+				}
+			}
+		}
+		batch, ok, err = ep.NextBatch()
+		if err != nil {
+			t.Fatalf("epoch failed under single-QP kills: %v", err)
+		}
+		items = append(items, batch...)
+	}
+	if kills == 0 {
+		t.Fatal("no connections were killed mid-epoch")
+	}
+
+	if len(items) != 240 {
+		t.Fatalf("delivered %d of 240 under QP kills", len(items))
+	}
+	seen := make([]bool, 240)
+	for _, it := range items {
+		if seen[it.Index] {
+			t.Fatalf("sample %d delivered twice", it.Index)
+		}
+		seen[it.Index] = true
+		if dataset.ChecksumBytes(it.Data) != ds.Checksum(it.Index) {
+			t.Fatalf("sample %d corrupted under QP kills", it.Index)
+		}
+	}
+	st := fs.Stats()
+	if st.Resilience.Reconnects < 1 {
+		t.Fatalf("expected reconnects after QP kills, stats: %s", st.Resilience)
+	}
+	if st.Resilience.DegradedSamples != 0 {
+		t.Fatalf("multi-QP run skipped samples: %s", st.Resilience)
+	}
+	t.Logf("killed %d single connections; stats: %s; pipeline: %s", kills, st.Resilience, st.Pipeline)
+}
+
 // TestChaosDegradedEpochWithDeadTarget is the hard-failure acceptance
 // case: one of three targets permanently blackholed. The epoch must
 // complete in degraded mode — every healthy-node sample delivered and

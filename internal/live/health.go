@@ -112,11 +112,10 @@ func (b *breaker) StateName() string {
 	}
 }
 
-// target binds one storage node's reconnecting transport to its health
-// state.
+// target binds one storage node's queue-pair group to its health state.
 type target struct {
 	addr string
-	rc   *nvmetcp.Reconnector
+	qp   *nvmetcp.QPGroup
 	brk  *breaker
 }
 
@@ -125,7 +124,7 @@ func (tg *target) read(p []byte, off int64) error {
 	if !tg.brk.Allow() {
 		return fmt.Errorf("%w: %s circuit open", ErrDegraded, tg.addr)
 	}
-	if _, err := tg.rc.ReadAt(p, off); err != nil {
+	if _, err := tg.qp.ReadAt(p, off); err != nil {
 		tg.brk.Failure()
 		return err
 	}
@@ -140,18 +139,32 @@ type TargetHealth struct {
 	ConsecFails int
 }
 
-// Stats is a point-in-time view of the client's resilience state.
+// Stats is a point-in-time view of the client's resilience and
+// pipeline state.
 type Stats struct {
-	CacheHits  int64
-	Resilience metrics.ResilienceSnapshot
-	Targets    []TargetHealth
+	CacheHits   int64
+	QueuePairs  int // connections per target
+	CacheShards int // ReadSample cache shards (0 when disabled)
+	Pipeline    metrics.PipelineSnapshot
+	Resilience  metrics.ResilienceSnapshot
+	Targets     []TargetHealth
 }
 
-// Stats reports resilience counters and per-target breaker states.
+// Stats reports resilience counters, per-stage pipeline counters, and
+// per-target breaker states.
 func (fs *FS) Stats() Stats {
 	st := Stats{
 		CacheHits:  fs.CacheHits(),
+		QueuePairs: fs.cfg.QueuePairs,
+		Pipeline:   fs.pipe.Snapshot(),
 		Resilience: fs.counters.Snapshot(),
+	}
+	if fs.scache != nil {
+		st.CacheShards = fs.scache.numShards()
+	}
+	if fs.pool != nil {
+		hits, misses, _ := fs.pool.Stats()
+		st.Pipeline.PoolHits, st.Pipeline.PoolMisses = hits, misses
 	}
 	for _, tg := range fs.targets {
 		tg.brk.mu.Lock()

@@ -4,12 +4,21 @@
 // running on ordinary goroutines against real TCP NVMe-oF-style targets
 // (internal/nvmetcp) instead of the discrete-event simulation.
 //
+// The read path is a multi-queue zero-copy pipeline. Each target is
+// driven through a QPGroup of several reconnecting connections with
+// commands striped across them; prefetchers walk the seeded epoch order
+// ahead of the consumer and coalesce adjacent same-target units into
+// single vectored wire reads whose payloads land directly in huge-page
+// cache chunks; sample emission and the ReadSample V-bit cache draw
+// from a size-class buffer pool instead of allocating per call. Each
+// stage (prep, post, poll, copy) is timed into a metrics.Pipeline.
+//
 // Unlike the simulation, the live path assumes the fabric misbehaves:
-// every target is driven through a reconnecting transport with
-// per-command deadlines and a per-target circuit breaker. When a target
-// is down and Config.AllowDegraded is set, prefetchers skip its chunks
-// and the epoch keeps emitting samples from healthy nodes, finishing
-// with a DegradedError instead of wedging the training loop.
+// every queue pair reconnects with per-command deadlines, and a
+// per-target circuit breaker gates fetches. When a target is down and
+// Config.AllowDegraded is set, prefetchers skip its chunks and the epoch
+// keeps emitting samples from healthy nodes, finishing with a
+// DegradedError instead of wedging the training loop.
 package live
 
 import (
@@ -21,6 +30,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"dlfs/internal/bufpool"
 	"dlfs/internal/dataset"
 	"dlfs/internal/directory"
 	"dlfs/internal/hugepage"
@@ -38,6 +48,13 @@ type Config struct {
 	Prefetchers    int   // concurrent chunk fetchers (default 4)
 	Window         int   // resident units to randomise across (default 8)
 	ReadCacheBytes int64 // ReadSample V-bit cache budget (default 8 MiB; <0 disables)
+
+	// Pipeline knobs.
+	QueuePairs    int   // connections per target, commands striped across them (default 2)
+	PrefetchDepth int   // units of sequence lookahead for coalescing (default 2*Window)
+	CoalesceBytes int64 // max bytes merged into one vectored wire read (default 1 MiB)
+	NoCoalesce    bool  // issue one wire read per chunk (baseline mode)
+	NoBufferPool  bool  // allocate per call instead of pooling (baseline mode)
 
 	// Resilience knobs.
 	DialTimeout      time.Duration // target dial + handshake bound (default 5s)
@@ -68,6 +85,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.ReadCacheBytes == 0 {
 		c.ReadCacheBytes = 8 << 20
+	}
+	if c.QueuePairs <= 0 {
+		c.QueuePairs = 2
+	}
+	if c.PrefetchDepth <= 0 {
+		c.PrefetchDepth = 2 * c.Window
+	}
+	if c.CoalesceBytes <= 0 {
+		c.CoalesceBytes = 1 << 20
 	}
 	if c.DialTimeout <= 0 {
 		c.DialTimeout = 5 * time.Second
@@ -100,19 +126,14 @@ type FS struct {
 	dir      *directory.Directory
 	targets  []*target
 	counters *metrics.Resilience
-	arena    *blockingArena
+	pipe     *metrics.Pipeline
+	pool     *bufpool.Pool // nil when Config.NoBufferPool
+	scache   *sampleCache  // nil when ReadCacheBytes < 0
+	arena    *hugepage.Blocking
 	placed   []plan.Placed
 	nodeOf   []uint16
 	keyIdx   map[uint64]int
 	closed   bool
-
-	// ReadSample V-bit cache: recently fetched samples kept in memory,
-	// mirroring the simulated path's read cache. Guarded by cacheMu.
-	cacheMu    sync.Mutex
-	cache      map[int][]byte
-	cacheOrder []int
-	cacheBytes int64
-	cacheHits  int64
 }
 
 // Errors.
@@ -123,7 +144,8 @@ var (
 
 // Mount connects to the targets, uploads each target's hash-shard of the
 // dataset, and builds the replicated directory — dlfs_mount over real
-// sockets. The caller owns closing the returned FS.
+// sockets. Each target is dialled Config.QueuePairs times. The caller
+// owns closing the returned FS.
 func Mount(addrs []string, ds *dataset.Dataset, cfg Config) (*FS, error) {
 	cfg = cfg.withDefaults()
 	if len(addrs) == 0 {
@@ -133,7 +155,7 @@ func Mount(addrs []string, ds *dataset.Dataset, cfg Config) (*FS, error) {
 	opt := nvmetcp.Options{DialTimeout: cfg.DialTimeout, RequestTimeout: cfg.RequestTimeout}
 	targets := make([]*target, len(addrs))
 	for i, a := range addrs {
-		rc, err := nvmetcp.NewReconnector(a, opt, nvmetcp.RetryPolicy{
+		qp, err := nvmetcp.NewQPGroup(a, cfg.QueuePairs, opt, nvmetcp.RetryPolicy{
 			MaxRetries: cfg.MaxRetries,
 			BaseDelay:  cfg.RetryBaseDelay,
 			MaxDelay:   cfg.RetryMaxDelay,
@@ -141,13 +163,13 @@ func Mount(addrs []string, ds *dataset.Dataset, cfg Config) (*FS, error) {
 		}, counters)
 		if err != nil {
 			for _, prev := range targets[:i] {
-				prev.rc.Close() //nolint:errcheck
+				prev.qp.Close() //nolint:errcheck
 			}
 			return nil, fmt.Errorf("live: target %s: %w", a, err)
 		}
 		targets[i] = &target{
 			addr: a,
-			rc:   rc,
+			qp:   qp,
 			brk:  newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown, counters),
 		}
 	}
@@ -169,7 +191,7 @@ func Mount(addrs []string, ds *dataset.Dataset, cfg Config) (*FS, error) {
 		keyIdx[key] = i
 		nid := directory.HomeNode(key, n)
 		content := ds.Content(i)
-		if _, err := targets[nid].rc.WriteAt(content, offs[nid]); err != nil {
+		if _, err := targets[nid].qp.WriteAt(content, offs[nid]); err != nil {
 			return nil, fmt.Errorf("live: uploading sample %d: %w", i, err)
 		}
 		e, err := sample.NewEntry(nid, key, offs[nid], int32(len(content)))
@@ -191,27 +213,66 @@ func Mount(addrs []string, ds *dataset.Dataset, cfg Config) (*FS, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &FS{
+	fs := &FS{
 		cfg:      cfg,
 		ds:       ds,
 		dir:      dir,
 		targets:  targets,
 		counters: counters,
-		arena:    newBlockingArena(arena),
+		pipe:     &metrics.Pipeline{},
+		arena:    hugepage.NewBlocking(arena),
 		placed:   placed,
 		nodeOf:   nodeOf,
 		keyIdx:   keyIdx,
-		cache:    make(map[int][]byte),
-	}, nil
+	}
+	if !cfg.NoBufferPool {
+		fs.pool = bufpool.New()
+	}
+	if cfg.ReadCacheBytes > 0 {
+		fs.scache = newSampleCache(cfg.ReadCacheBytes, fs.pipe, fs.alloc, fs.Recycle, fs.setV)
+	}
+	return fs, nil
 }
 
 // Directory exposes the sample directory.
 func (fs *FS) Directory() *directory.Directory { return fs.dir }
 
+// Pipeline exposes the per-stage pipeline counters.
+func (fs *FS) Pipeline() *metrics.Pipeline { return fs.pipe }
+
+// alloc takes a buffer of length n from the pool (or the heap in
+// NoBufferPool mode).
+func (fs *FS) alloc(n int) []byte {
+	if fs.pool != nil {
+		return fs.pool.Get(n)
+	}
+	return make([]byte, n)
+}
+
+// Recycle returns a buffer previously handed out by ReadSample,
+// ReadName, or NextBatch to the pool. Optional: callers that drop
+// buffers on the floor just pay the allocator again on the next read.
+func (fs *FS) Recycle(b []byte) {
+	if fs.pool != nil && b != nil {
+		fs.pool.Put(b)
+	}
+}
+
+// RecycleItems recycles every item's payload and nils the slices so a
+// training loop can return a whole mini-batch in one call.
+func (fs *FS) RecycleItems(items []Item) {
+	for i := range items {
+		fs.Recycle(items[i].Data)
+		items[i].Data = nil
+	}
+}
+
 // ReadSample reads one sample synchronously by dataset index (the
-// dlfs_open/read/close path), serving repeats from the V-bit read cache.
-// When the sample's target breaker is open the read fails fast with an
-// error matching ErrDegraded.
+// dlfs_open/read/close path), serving repeats from the sharded V-bit
+// read cache. The returned buffer is caller-owned; hand it back via
+// Recycle to keep the hot path allocation-free. When the sample's
+// target breaker is open the read fails fast with an error matching
+// ErrDegraded.
 func (fs *FS) ReadSample(idx int) ([]byte, error) {
 	if fs.closed {
 		return nil, ErrClosed
@@ -219,74 +280,25 @@ func (fs *FS) ReadSample(idx int) ([]byte, error) {
 	if idx < 0 || idx >= fs.ds.Len() {
 		return nil, fmt.Errorf("%w: index %d", ErrNotFound, idx)
 	}
-	if hit := fs.cacheGet(idx); hit != nil {
-		return hit, nil
+	if fs.scache != nil {
+		if hit := fs.scache.get(idx); hit != nil {
+			return hit, nil
+		}
 	}
 	pl := fs.placed[idx]
-	buf := make([]byte, pl.Len)
+	buf := fs.alloc(int(pl.Len))
 	if err := fs.targets[fs.nodeOf[idx]].read(buf, pl.Offset); err != nil {
+		fs.Recycle(buf)
 		return nil, err
 	}
-	fs.cachePut(idx, buf)
+	if fs.scache != nil {
+		fs.scache.put(idx, buf)
+	}
 	return buf, nil
 }
 
 // CacheHits reports ReadSample requests served from the read cache.
-func (fs *FS) CacheHits() int64 {
-	fs.cacheMu.Lock()
-	defer fs.cacheMu.Unlock()
-	return fs.cacheHits
-}
-
-// cacheGet returns a copy of the cached sample, refreshing LRU order.
-func (fs *FS) cacheGet(idx int) []byte {
-	if fs.cfg.ReadCacheBytes < 0 {
-		return nil
-	}
-	fs.cacheMu.Lock()
-	defer fs.cacheMu.Unlock()
-	data, ok := fs.cache[idx]
-	if !ok {
-		return nil
-	}
-	fs.cacheHits++
-	for i, v := range fs.cacheOrder {
-		if v == idx {
-			fs.cacheOrder = append(fs.cacheOrder[:i], fs.cacheOrder[i+1:]...)
-			break
-		}
-	}
-	fs.cacheOrder = append(fs.cacheOrder, idx)
-	out := make([]byte, len(data))
-	copy(out, data)
-	return out
-}
-
-// cachePut inserts a sample, evicting LRU entries past the byte budget
-// and maintaining the directory's V bits to mirror cache state.
-func (fs *FS) cachePut(idx int, data []byte) {
-	if fs.cfg.ReadCacheBytes < 0 || int64(len(data)) > fs.cfg.ReadCacheBytes {
-		return
-	}
-	fs.cacheMu.Lock()
-	defer fs.cacheMu.Unlock()
-	if _, dup := fs.cache[idx]; dup {
-		return
-	}
-	kept := make([]byte, len(data))
-	copy(kept, data)
-	fs.cache[idx] = kept
-	fs.cacheOrder = append(fs.cacheOrder, idx)
-	fs.cacheBytes += int64(len(kept))
-	fs.setV(idx, true)
-	for fs.cacheBytes > fs.cfg.ReadCacheBytes && len(fs.cacheOrder) > 0 {
-		victim := fs.cacheOrder[0]
-		fs.cacheOrder = fs.cacheOrder[1:]
-		fs.cacheBytes -= int64(len(fs.cache[victim]))
-		delete(fs.cache, victim)
-		fs.setV(victim, false)
-	}
-}
+func (fs *FS) CacheHits() int64 { return fs.pipe.CacheHits.Load() }
 
 func (fs *FS) setV(idx int, v bool) {
 	_, ref, _, ok := fs.dir.Lookup(fs.ds.Samples[idx].Key())
@@ -316,46 +328,11 @@ func (fs *FS) Close() error {
 	fs.closed = true
 	var err error
 	for _, tg := range fs.targets {
-		if cerr := tg.rc.Close(); err == nil {
+		if cerr := tg.qp.Close(); err == nil {
 			err = cerr
 		}
 	}
 	return err
-}
-
-// blockingArena wraps the huge-page arena with blocking allocation: a
-// fetcher waits until enough chunks are free instead of failing.
-type blockingArena struct {
-	mu    sync.Mutex
-	cond  *sync.Cond
-	arena *hugepage.Arena
-}
-
-func newBlockingArena(a *hugepage.Arena) *blockingArena {
-	b := &blockingArena{arena: a}
-	b.cond = sync.NewCond(&b.mu)
-	return b
-}
-
-func (b *blockingArena) allocN(n int) []*hugepage.Chunk {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	for {
-		chunks, err := b.arena.AllocN(n)
-		if err == nil {
-			return chunks
-		}
-		b.cond.Wait()
-	}
-}
-
-func (b *blockingArena) free(chunks []*hugepage.Chunk) {
-	b.mu.Lock()
-	for _, c := range chunks {
-		b.arena.Free(c) //nolint:errcheck
-	}
-	b.mu.Unlock()
-	b.cond.Broadcast()
 }
 
 // Item is one delivered sample.
@@ -372,6 +349,15 @@ type unit struct {
 	samples []plan.Placed
 	chunks  []*hugepage.Chunk
 	next    int
+}
+
+// chunkCount returns how many cache chunks the unit spans.
+func (u *unit) chunkCount(cs int) int { return (int(u.length) + cs - 1) / cs }
+
+// fetchGroup is a set of same-target units coalesced into one wire read.
+type fetchGroup struct {
+	node  uint16
+	units []*unit
 }
 
 // Epoch is a chunk-batched pass over the dataset, driven by background
@@ -398,7 +384,11 @@ type Epoch struct {
 }
 
 // Sequence starts an epoch with the given seed (dlfs_sequence +
-// chunk-level batching). Background fetchers start immediately.
+// chunk-level batching). The shuffled unit order is known up front, so
+// the dispatcher looks PrefetchDepth units ahead and merges same-target
+// neighbours into vectored fetch groups before handing them to the
+// Prefetchers workers — sequence-driven prefetch with request
+// coalescing. Background fetchers start immediately.
 func (fs *FS) Sequence(seed int64) (*Epoch, error) {
 	if fs.closed {
 		return nil, ErrClosed
@@ -436,27 +426,34 @@ func (fs *FS) Sequence(seed int64) (*Epoch, error) {
 		degNodes: make(map[int]struct{}),
 		total:    cp.NumSamples(),
 	}
-	// Fetch pipeline: a shared work queue drained by Prefetchers workers.
-	work := make(chan *unit)
+	// Fetch pipeline: the dispatcher below coalesces the shuffled unit
+	// stream into groups drained by Prefetchers workers.
+	work := make(chan *fetchGroup)
 	var wg sync.WaitGroup
 	for w := 0; w < fs.cfg.Prefetchers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for u := range work {
-				err := ep.fetch(u)
+			for g := range work {
+				err := ep.fetchGroup(g)
 				if err == nil {
-					select {
-					case ep.ready <- u:
-					case <-ep.abort:
-						ep.fs.arena.free(u.chunks)
-						u.chunks = nil
-						return
+					for gi, u := range g.units {
+						select {
+						case ep.ready <- u:
+						case <-ep.abort:
+							for _, v := range g.units[gi:] {
+								ep.fs.arena.Free(v.chunks)
+								v.chunks = nil
+							}
+							return
+						}
 					}
 					continue
 				}
 				if fs.cfg.AllowDegraded && degradable(err) {
-					ep.noteSkip(u)
+					for _, u := range g.units {
+						ep.noteSkip(u)
+					}
 					continue
 				}
 				select {
@@ -469,17 +466,59 @@ func (fs *FS) Sequence(seed int64) (*Epoch, error) {
 		}()
 	}
 	go func() {
-		for _, u := range units {
-			select {
-			case work <- u:
-			case <-ep.abort:
-			}
-		}
+		ep.dispatch(units, work)
 		close(work)
 		wg.Wait()
 		close(ep.ready)
 	}()
 	return ep, nil
+}
+
+// dispatch walks the shuffled unit order, merging each unit with
+// not-yet-taken same-target units within the PrefetchDepth lookahead
+// window, bounded by CoalesceBytes and half the arena (so blocking
+// group allocations always complete). A unit too large for the caps
+// still ships as its own group.
+func (ep *Epoch) dispatch(units []*unit, work chan<- *fetchGroup) {
+	fs := ep.fs
+	cs := fs.cfg.ChunkSize
+	maxChunks := fs.arena.Arena().NumChunks() / 2
+	if maxChunks < 1 {
+		maxChunks = 1
+	}
+	taken := make([]bool, len(units))
+	for i := 0; i < len(units); i++ {
+		if taken[i] {
+			continue
+		}
+		taken[i] = true
+		g := &fetchGroup{node: units[i].node, units: []*unit{units[i]}}
+		if !fs.cfg.NoCoalesce {
+			bytes := int64(units[i].length)
+			chunks := units[i].chunkCount(cs)
+			for j := i + 1; j < len(units) && j <= i+fs.cfg.PrefetchDepth; j++ {
+				if taken[j] || units[j].node != g.node {
+					continue
+				}
+				cb := int64(units[j].length)
+				cc := units[j].chunkCount(cs)
+				if bytes+cb > fs.cfg.CoalesceBytes || chunks+cc > maxChunks {
+					continue
+				}
+				taken[j] = true
+				g.units = append(g.units, units[j])
+				bytes += cb
+				chunks += cc
+			}
+			if len(g.units) > 1 {
+				fs.pipe.CoalescedUnits.Add(int64(len(g.units) - 1))
+			}
+		}
+		select {
+		case work <- g:
+		case <-ep.abort:
+		}
+	}
 }
 
 // noteSkip records a unit dropped in degraded mode.
@@ -503,43 +542,93 @@ func (ep *Epoch) degradedNodes() []int {
 	return nodes
 }
 
-// fetch brings one unit into cache chunks: one remote read per chunk-sized
-// segment, issued asynchronously on the unit's reconnecting queue pair.
-// The target's breaker gates the fetch, and a failure releases every
-// chunk before returning so degraded skips never leak arena memory.
-func (ep *Epoch) fetch(u *unit) error {
-	tg := ep.fs.targets[u.node]
+// fetchGroup brings a coalesced group into cache chunks. Prep stage:
+// allocate every unit's chunks from the blocking arena and build the
+// scatter list (one segment per chunk, each pointing into huge-page
+// memory — the response payload lands there with no intermediate
+// copy). Post stage: one vectored command on the target's next queue
+// pair (or one command per chunk in NoCoalesce mode). Poll stage: wait
+// for completion. The target's breaker gates the fetch, and a failure
+// releases every chunk before returning so degraded skips never leak
+// arena memory.
+func (ep *Epoch) fetchGroup(g *fetchGroup) error {
+	fs := ep.fs
+	tg := fs.targets[g.node]
 	if !tg.brk.Allow() {
 		return fmt.Errorf("%w: %s circuit open", ErrDegraded, tg.addr)
 	}
-	cs := ep.fs.cfg.ChunkSize
-	nChunks := (int(u.length) + cs - 1) / cs
-	u.chunks = ep.fs.arena.allocN(nChunks)
-	pendings := make([]*nvmetcp.RePending, 0, nChunks)
-	var ferr error
-	for i := 0; i < nChunks; i++ {
-		segLen := cs
-		if rem := int(u.length) - i*cs; rem < segLen {
-			segLen = rem
-		}
-		pd, err := tg.rc.ReadAsync(u.chunks[i].Bytes()[:segLen], u.offset+int64(i*cs))
-		if err != nil {
-			ferr = err
-			break
-		}
-		pendings = append(pendings, pd)
+	prep := time.Now()
+	cs := fs.cfg.ChunkSize
+	total := 0
+	for _, u := range g.units {
+		total += u.chunkCount(cs)
 	}
-	for _, pd := range pendings {
-		if _, err := pd.Wait(); err != nil && ferr == nil {
-			ferr = err
+	all := fs.arena.AllocN(total)
+	segs := make([]nvmetcp.Seg, 0, total)
+	k := 0
+	var bytes int64
+	for _, u := range g.units {
+		nc := u.chunkCount(cs)
+		u.chunks = all[k : k+nc]
+		k += nc
+		for ci := 0; ci < nc; ci++ {
+			segLen := cs
+			if rem := int(u.length) - ci*cs; rem < segLen {
+				segLen = rem
+			}
+			segs = append(segs, nvmetcp.Seg{Dst: u.chunks[ci].Bytes()[:segLen], Off: u.offset + int64(ci*cs)})
+			bytes += int64(segLen)
+		}
+	}
+	metrics.AddStage(&fs.pipe.PrepNanos, prep)
+
+	var ferr error
+	post := time.Now()
+	if fs.cfg.NoCoalesce {
+		pendings := make([]*nvmetcp.RePending, 0, len(segs))
+		for _, s := range segs {
+			pd, err := tg.qp.ReadAsync(s.Dst, s.Off)
+			if err != nil {
+				ferr = err
+				break
+			}
+			pendings = append(pendings, pd)
+		}
+		metrics.AddStage(&fs.pipe.PostNanos, post)
+		poll := time.Now()
+		for _, pd := range pendings {
+			if _, err := pd.Wait(); err != nil && ferr == nil {
+				ferr = err
+			}
+		}
+		metrics.AddStage(&fs.pipe.PollNanos, poll)
+		if ferr == nil {
+			fs.pipe.WireReads.Add(int64(len(pendings)))
+			fs.pipe.WireSegments.Add(int64(len(pendings)))
+		}
+	} else {
+		pd, err := tg.qp.ReadVecAsync(segs)
+		metrics.AddStage(&fs.pipe.PostNanos, post)
+		poll := time.Now()
+		if err == nil {
+			_, err = pd.Wait()
+		}
+		metrics.AddStage(&fs.pipe.PollNanos, poll)
+		ferr = err
+		if ferr == nil {
+			fs.pipe.WireReads.Add(1)
+			fs.pipe.WireSegments.Add(int64(len(segs)))
 		}
 	}
 	if ferr != nil {
-		ep.fs.arena.free(u.chunks)
-		u.chunks = nil
+		fs.arena.Free(all)
+		for _, u := range g.units {
+			u.chunks = nil
+		}
 		tg.brk.Failure()
 		return ferr
 	}
+	fs.pipe.WireBytes.Add(bytes)
 	tg.brk.Success()
 	return nil
 }
@@ -552,11 +641,13 @@ func (ep *Epoch) Skipped() int { return int(ep.skipped.Load()) }
 
 // NextBatch returns the next mini-batch: random selection across the
 // resident window of fetched chunks, sequential within each chunk — the
-// copy-thread emission discipline of §III-D2. ok is false when the epoch
-// is exhausted. A hard I/O failure surfaces as an error and ends the
-// epoch; an epoch that skipped samples in degraded mode keeps emitting
-// from healthy targets and reports a *DegradedError (matching
-// ErrDegraded) on its final call.
+// copy-thread emission discipline of §III-D2. Item buffers come from
+// the FS buffer pool; hand them back with RecycleItems to keep epochs
+// allocation-free. ok is false when the epoch is exhausted. A hard I/O
+// failure surfaces as an error and ends the epoch; an epoch that
+// skipped samples in degraded mode keeps emitting from healthy targets
+// and reports a *DegradedError (matching ErrDegraded) on its final
+// call.
 func (ep *Epoch) NextBatch() ([]Item, bool, error) {
 	if ep.failed != nil {
 		return nil, false, ep.failed
@@ -607,12 +698,14 @@ func (ep *Epoch) NextBatch() ([]Item, bool, error) {
 		u := ep.resident[k]
 		pl := u.samples[u.next]
 		u.next++
-		buf := make([]byte, pl.Len)
+		cstart := time.Now()
+		buf := ep.fs.alloc(int(pl.Len))
 		copyFromChunks(u, pl, buf, ep.fs.cfg.ChunkSize)
+		metrics.AddStage(&ep.fs.pipe.CopyNanos, cstart)
 		items = append(items, Item{Index: pl.Sample, Data: buf})
 		ep.emitted++
 		if u.next == len(u.samples) {
-			ep.fs.arena.free(u.chunks)
+			ep.fs.arena.Free(u.chunks)
 			u.chunks = nil
 			ep.resident = append(ep.resident[:k], ep.resident[k+1:]...)
 		}
@@ -638,7 +731,7 @@ func copyFromChunks(u *unit, pl plan.Placed, dst []byte, chunkSize int) {
 		pos := off + int64(copied)
 		ci := int(pos) / chunkSize
 		within := int(pos) % chunkSize
-		copied += copy(dst[copied:], u.chunks[ci].Bytes()[within:])
+		copied += copy(dst[copied:int(pl.Len)], u.chunks[ci].Bytes()[within:])
 	}
 }
 

@@ -1,0 +1,100 @@
+package metrics
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// Pipeline aggregates the per-stage counters of the live read pipeline —
+// the prep→post→poll→copy decomposition of the paper's §III-C backend,
+// observed on the Go client. One instance is shared by every prefetcher
+// and the emission path of a mount, so a single snapshot describes the
+// whole pipeline. All fields are safe for concurrent use.
+type Pipeline struct {
+	PrepNanos atomic.Int64 // building requests: chunk alloc + segment setup
+	PostNanos atomic.Int64 // submitting commands onto queue pairs
+	PollNanos atomic.Int64 // waiting for completions
+	CopyNanos atomic.Int64 // copying samples out of cache chunks
+
+	WireReads    atomic.Int64 // read commands put on the wire
+	WireSegments atomic.Int64 // chunk segments carried by those commands
+	WireBytes    atomic.Int64 // payload bytes fetched
+
+	CoalescedUnits atomic.Int64 // plan units merged into a preceding wire read
+
+	PoolHits   atomic.Int64 // sample buffers served from the pool
+	PoolMisses atomic.Int64 // sample buffers freshly allocated
+
+	CacheHits      atomic.Int64 // ReadSample served from the V-bit cache
+	CacheMisses    atomic.Int64 // ReadSample that went to the wire
+	CacheEvictions atomic.Int64 // V-bit cache CLOCK evictions
+}
+
+// AddStage is a helper for timing a stage: it adds the elapsed time since
+// start to the given stage counter.
+func AddStage(c *atomic.Int64, start time.Time) { c.Add(int64(time.Since(start))) }
+
+// Snapshot returns a point-in-time copy for reporting.
+func (p *Pipeline) Snapshot() PipelineSnapshot {
+	return PipelineSnapshot{
+		PrepNanos:      p.PrepNanos.Load(),
+		PostNanos:      p.PostNanos.Load(),
+		PollNanos:      p.PollNanos.Load(),
+		CopyNanos:      p.CopyNanos.Load(),
+		WireReads:      p.WireReads.Load(),
+		WireSegments:   p.WireSegments.Load(),
+		WireBytes:      p.WireBytes.Load(),
+		CoalescedUnits: p.CoalescedUnits.Load(),
+		PoolHits:       p.PoolHits.Load(),
+		PoolMisses:     p.PoolMisses.Load(),
+		CacheHits:      p.CacheHits.Load(),
+		CacheMisses:    p.CacheMisses.Load(),
+		CacheEvictions: p.CacheEvictions.Load(),
+	}
+}
+
+// PipelineSnapshot is a plain-value copy of Pipeline counters.
+type PipelineSnapshot struct {
+	PrepNanos      int64
+	PostNanos      int64
+	PollNanos      int64
+	CopyNanos      int64
+	WireReads      int64
+	WireSegments   int64
+	WireBytes      int64
+	CoalescedUnits int64
+	PoolHits       int64
+	PoolMisses     int64
+	CacheHits      int64
+	CacheMisses    int64
+	CacheEvictions int64
+}
+
+// CoalesceRatio reports chunk segments per wire read — 1.0 means no
+// coalescing, higher means adjacent reads were merged.
+func (s PipelineSnapshot) CoalesceRatio() float64 {
+	if s.WireReads == 0 {
+		return 0
+	}
+	return float64(s.WireSegments) / float64(s.WireReads)
+}
+
+// PoolHitRate reports the fraction of sample buffers served from the
+// pool.
+func (s PipelineSnapshot) PoolHitRate() float64 {
+	if s.PoolHits+s.PoolMisses == 0 {
+		return 0
+	}
+	return float64(s.PoolHits) / float64(s.PoolHits+s.PoolMisses)
+}
+
+// String renders the snapshot as a stats line: per-stage time, then the
+// wire and pool efficiency figures.
+func (s PipelineSnapshot) String() string {
+	return fmt.Sprintf(
+		"prep=%v post=%v poll=%v copy=%v wire_reads=%d segments=%d bytes=%d coalesce=%.2fx merged_units=%d pool_hit=%.0f%% cache hit/miss/evict=%d/%d/%d",
+		time.Duration(s.PrepNanos), time.Duration(s.PostNanos), time.Duration(s.PollNanos), time.Duration(s.CopyNanos),
+		s.WireReads, s.WireSegments, s.WireBytes, s.CoalesceRatio(), s.CoalescedUnits,
+		100*s.PoolHitRate(), s.CacheHits, s.CacheMisses, s.CacheEvictions)
+}

@@ -1,0 +1,40 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestPipelineSnapshotRatios(t *testing.T) {
+	var p Pipeline
+	p.WireReads.Store(10)
+	p.WireSegments.Store(40)
+	p.PoolHits.Store(3)
+	p.PoolMisses.Store(1)
+	s := p.Snapshot()
+	if r := s.CoalesceRatio(); r != 4.0 {
+		t.Fatalf("coalesce ratio = %v", r)
+	}
+	if r := s.PoolHitRate(); r != 0.75 {
+		t.Fatalf("pool hit rate = %v", r)
+	}
+	if !strings.Contains(s.String(), "coalesce=4.00x") {
+		t.Fatalf("string: %s", s)
+	}
+}
+
+func TestPipelineZeroSafe(t *testing.T) {
+	var s PipelineSnapshot
+	if s.CoalesceRatio() != 0 || s.PoolHitRate() != 0 {
+		t.Fatal("zero snapshot ratios must be 0")
+	}
+}
+
+func TestAddStage(t *testing.T) {
+	var p Pipeline
+	AddStage(&p.PrepNanos, time.Now().Add(-time.Millisecond))
+	if p.PrepNanos.Load() < int64(time.Millisecond) {
+		t.Fatalf("AddStage recorded %d", p.PrepNanos.Load())
+	}
+}

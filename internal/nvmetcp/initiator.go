@@ -9,6 +9,8 @@ import (
 	"sync"
 	"syscall"
 	"time"
+
+	"dlfs/internal/bufpool"
 )
 
 // Options tunes an initiator's failure behaviour. The zero value takes
@@ -30,6 +32,45 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
+// Seg is one scatter segment of a vectored read: len(Dst) bytes fetched
+// from Off land directly in Dst.
+type Seg struct {
+	Dst []byte
+	Off int64
+}
+
+// compl is a command completion delivered from the receive loop.
+type compl struct {
+	status byte
+	n      int   // payload bytes landed in the destination buffers
+	err    error // connection-level failure while receiving the payload
+}
+
+// pendingCmd tracks one in-flight command: its completion channel and the
+// destination memory the response payload scatters into. Destinations are
+// written by the receive loop directly off the socket — the zero-copy
+// contract of the paper's pipeline: payloads land in their cache chunks,
+// never in a transient allocation.
+type pendingCmd struct {
+	ch  chan compl
+	dst []byte // single-read destination
+	vec []Seg  // vectored-read destinations, scattered in order
+}
+
+// pcPool recycles pendingCmds (and their 1-buffered channels) so the
+// per-command hot path performs no allocation. A pendingCmd is returned
+// to the pool only after its completion was consumed on a clean path;
+// error paths abandon it to the GC, which keeps closed or contended
+// channels out of the pool.
+var pcPool = sync.Pool{New: func() any { return &pendingCmd{ch: make(chan compl, 1)} }}
+
+func getPending() *pendingCmd { return pcPool.Get().(*pendingCmd) }
+
+func putPending(pc *pendingCmd) {
+	pc.dst, pc.vec = nil, nil
+	pcPool.Put(pc)
+}
+
 // Initiator is the client side of one queue pair: a TCP connection to a
 // Target with asynchronous submit and out-of-order completion delivery.
 // It is safe for concurrent use.
@@ -41,8 +82,9 @@ type Initiator struct {
 
 	mu      sync.Mutex
 	nextID  uint64
-	pending map[uint64]chan *capsule
+	pending map[uint64]*pendingCmd
 	sendMu  sync.Mutex
+	sendHdr []byte // frame header scratch, guarded by sendMu
 	closed  bool
 	readErr error
 	done    chan struct{}
@@ -117,7 +159,8 @@ func ConnectOptions(addr string, opt Options) (*Initiator, error) {
 		opt:      opt,
 		depth:    int(hello.offset),
 		capacity: int64(hello.cmdID),
-		pending:  make(map[uint64]chan *capsule),
+		pending:  make(map[uint64]*pendingCmd),
+		sendHdr:  make([]byte, capsuleHeaderSize),
 		done:     make(chan struct{}),
 	}
 	go in.receiveLoop()
@@ -130,67 +173,138 @@ func (in *Initiator) Depth() int { return in.depth }
 // Capacity returns the target device's capacity in bytes.
 func (in *Initiator) Capacity() int64 { return in.capacity }
 
+// failPending records why the connection died, releases every waiter, and
+// delivers the cause to an already-claimed command (whose channel is no
+// longer in the map).
+func (in *Initiator) failPending(claimed *pendingCmd, cause error) {
+	in.mu.Lock()
+	if in.closed {
+		in.readErr = ErrClosed
+	} else {
+		in.readErr = fmt.Errorf("%w: %v", ErrConnLost, cause)
+	}
+	err := in.readErr
+	for id, pc := range in.pending {
+		close(pc.ch)
+		delete(in.pending, id)
+	}
+	in.mu.Unlock()
+	if claimed != nil {
+		claimed.ch <- compl{err: err}
+	}
+}
+
+// receiveLoop reads completions and scatters their payloads directly into
+// the waiting commands' destination buffers — no per-response allocation
+// and no intermediate copy. Payloads for withdrawn (timed-out) commands
+// are drained through a pooled scratch buffer to keep the stream framed.
 func (in *Initiator) receiveLoop() {
 	defer close(in.done)
+	hdr := make([]byte, capsuleHeaderSize)
+	var scratch []byte
+	defer func() { bufpool.Shared.Put(scratch) }()
 	for {
-		resp, err := readCapsule(in.conn)
-		if err != nil {
-			// Record why the connection died before releasing waiters:
-			// a deliberate Close surfaces as ErrClosed, anything else as
-			// a retryable ErrConnLost carrying the underlying cause.
-			in.mu.Lock()
-			if in.closed {
-				in.readErr = ErrClosed
-			} else {
-				in.readErr = fmt.Errorf("%w: %v", ErrConnLost, err)
-			}
-			for id, ch := range in.pending {
-				close(ch)
-				delete(in.pending, id)
-			}
-			in.mu.Unlock()
+		if _, err := io.ReadFull(in.conn, hdr); err != nil {
+			in.failPending(nil, err)
 			return
 		}
+		if binary.LittleEndian.Uint32(hdr[0:4]) != Magic {
+			in.conn.Close() //nolint:errcheck
+			in.failPending(nil, ErrBadMagic)
+			return
+		}
+		cmdID := binary.LittleEndian.Uint64(hdr[4:12])
+		status := hdr[13]
+		n := int(binary.LittleEndian.Uint32(hdr[22:26]))
+		if n > maxPayload {
+			in.conn.Close() //nolint:errcheck
+			in.failPending(nil, ErrTooLarge)
+			return
+		}
+
 		in.mu.Lock()
-		ch, ok := in.pending[resp.cmdID]
+		pc, ok := in.pending[cmdID]
 		if ok {
-			delete(in.pending, resp.cmdID)
+			delete(in.pending, cmdID)
 		}
 		in.mu.Unlock()
+
+		if n > 0 && in.opt.RequestTimeout > 0 {
+			// Bound the payload body so a peer stalling mid-frame cannot
+			// wedge a claimed command past its deadline.
+			in.conn.SetReadDeadline(time.Now().Add(in.opt.RequestTimeout)) //nolint:errcheck
+		}
+		remaining := n
+		landed := 0
+		var rerr error
+		if ok && status == statusOK {
+			if pc.dst != nil {
+				k := min(len(pc.dst), remaining)
+				if k > 0 {
+					_, rerr = io.ReadFull(in.conn, pc.dst[:k])
+					landed += k
+					remaining -= k
+				}
+			} else {
+				for i := 0; i < len(pc.vec) && remaining > 0 && rerr == nil; i++ {
+					d := pc.vec[i].Dst
+					k := min(len(d), remaining)
+					_, rerr = io.ReadFull(in.conn, d[:k])
+					landed += k
+					remaining -= k
+				}
+			}
+		}
+		for rerr == nil && remaining > 0 {
+			if scratch == nil {
+				scratch = bufpool.Shared.Get(32 << 10)
+			}
+			k := min(len(scratch), remaining)
+			_, rerr = io.ReadFull(in.conn, scratch[:k])
+			remaining -= k
+		}
+		if n > 0 && in.opt.RequestTimeout > 0 {
+			in.conn.SetReadDeadline(time.Time{}) //nolint:errcheck
+		}
+		if rerr != nil {
+			in.failPending(pc, rerr)
+			return
+		}
 		if ok {
-			ch <- resp
+			pc.ch <- compl{status: status, n: landed}
 		}
 	}
 }
 
-// submit sends a request and returns the channel its completion will
-// arrive on, plus the command ID for deadline cancellation.
-func (in *Initiator) submit(req *capsule) (chan *capsule, uint64, error) {
+// submit registers pc and sends a request, returning the command ID for
+// deadline cancellation. On error the registration is withdrawn; the
+// caller must not reuse pc afterwards (its channel may be owned by a
+// concurrent connection-failure sweep).
+func (in *Initiator) submit(req *capsule, pc *pendingCmd) (uint64, error) {
 	in.mu.Lock()
 	if in.closed {
 		in.mu.Unlock()
-		return nil, 0, ErrClosed
+		return 0, ErrClosed
 	}
 	if in.readErr != nil {
 		err := in.readErr
 		in.mu.Unlock()
-		return nil, 0, err
+		return 0, err
 	}
 	if len(in.pending) >= in.depth {
 		in.mu.Unlock()
-		return nil, 0, ErrDepthLimit
+		return 0, ErrDepthLimit
 	}
 	in.nextID++
 	req.cmdID = in.nextID
-	ch := make(chan *capsule, 1)
-	in.pending[req.cmdID] = ch
+	in.pending[req.cmdID] = pc
 	in.mu.Unlock()
 
 	in.sendMu.Lock()
 	if in.opt.RequestTimeout > 0 {
 		in.conn.SetWriteDeadline(time.Now().Add(in.opt.RequestTimeout)) //nolint:errcheck
 	}
-	err := writeCapsule(in.conn, req)
+	err := writeCapsuleHdr(in.conn, req, in.sendHdr)
 	if in.opt.RequestTimeout > 0 {
 		in.conn.SetWriteDeadline(time.Time{}) //nolint:errcheck
 	}
@@ -201,17 +315,20 @@ func (in *Initiator) submit(req *capsule) (chan *capsule, uint64, error) {
 		closed := in.closed
 		in.mu.Unlock()
 		if closed {
-			return nil, 0, ErrClosed
+			return 0, ErrClosed
 		}
-		return nil, 0, fmt.Errorf("%w: %v", ErrConnLost, err)
+		return 0, fmt.Errorf("%w: %v", ErrConnLost, err)
 	}
-	return ch, req.cmdID, nil
+	return req.cmdID, nil
 }
 
 // await blocks for the completion of command id, bounded by the
 // per-command deadline. On timeout the pending entry is withdrawn so a
-// late completion is dropped instead of leaking.
-func (in *Initiator) await(ch chan *capsule, id uint64) (*capsule, error) {
+// late completion is drained instead of leaking; if the receive loop has
+// already claimed the command, await waits it out — the payload is
+// actively landing in the caller's buffers and they must not be reused
+// while the socket writes them.
+func (in *Initiator) await(pc *pendingCmd, id uint64) (int, error) {
 	var timeout <-chan time.Time
 	if in.opt.RequestTimeout > 0 {
 		t := time.NewTimer(in.opt.RequestTimeout)
@@ -219,50 +336,67 @@ func (in *Initiator) await(ch chan *capsule, id uint64) (*capsule, error) {
 		timeout = t.C
 	}
 	select {
-	case resp, ok := <-ch:
-		if !ok {
-			in.mu.Lock()
-			err := in.readErr
-			in.mu.Unlock()
-			if err == nil {
-				err = ErrClosed
-			}
-			return nil, err
-		}
-		if resp.status != statusOK {
-			return nil, fmt.Errorf("%w: status %d", ErrRemote, resp.status)
-		}
-		return resp, nil
+	case c, ok := <-pc.ch:
+		return in.finish(c, ok, pc, id)
 	case <-timeout:
 		in.mu.Lock()
-		delete(in.pending, id)
+		_, still := in.pending[id]
+		if still {
+			delete(in.pending, id)
+		}
 		in.mu.Unlock()
-		return nil, fmt.Errorf("%w: command %d after %v", ErrTimeout, id, in.opt.RequestTimeout)
+		if !still {
+			// Claimed by the receive loop: completion is imminent (the
+			// payload read is itself deadline-bounded).
+			c, ok := <-pc.ch
+			return in.finish(c, ok, pc, id)
+		}
+		putPending(pc)
+		return 0, fmt.Errorf("%w: command %d after %v", ErrTimeout, id, in.opt.RequestTimeout)
 	}
 }
 
-// ReadAt reads len(p) bytes at off from the remote store.
+// finish interprets a completion delivery and recycles pc on clean paths.
+func (in *Initiator) finish(c compl, ok bool, pc *pendingCmd, id uint64) (int, error) {
+	if !ok {
+		in.mu.Lock()
+		err := in.readErr
+		in.mu.Unlock()
+		if err == nil {
+			err = ErrClosed
+		}
+		return 0, err
+	}
+	if c.err != nil {
+		return 0, c.err
+	}
+	if c.status != statusOK {
+		putPending(pc)
+		return 0, fmt.Errorf("%w: status %d for command %d", ErrRemote, c.status, id)
+	}
+	n := c.n
+	putPending(pc)
+	return n, nil
+}
+
+// ReadAt reads len(p) bytes at off from the remote store. The payload is
+// received directly into p.
 func (in *Initiator) ReadAt(p []byte, off int64) (int, error) {
-	var lenBuf [4]byte
-	binary.LittleEndian.PutUint32(lenBuf[:], uint32(len(p)))
-	ch, id, err := in.submit(&capsule{opcode: opRead, offset: uint64(off), payload: lenBuf[:]})
+	pd, err := in.ReadAsync(p, off)
 	if err != nil {
 		return 0, err
 	}
-	resp, err := in.await(ch, id)
-	if err != nil {
-		return 0, err
-	}
-	return copy(p, resp.payload), nil
+	return pd.Wait()
 }
 
 // WriteAt writes p at off on the remote store.
 func (in *Initiator) WriteAt(p []byte, off int64) (int, error) {
-	ch, id, err := in.submit(&capsule{opcode: opWrite, offset: uint64(off), payload: p})
+	pc := getPending()
+	id, err := in.submit(&capsule{opcode: opWrite, offset: uint64(off), payload: p}, pc)
 	if err != nil {
 		return 0, err
 	}
-	if _, err := in.await(ch, id); err != nil {
+	if _, err := in.await(pc, id); err != nil {
 		return 0, err
 	}
 	return len(p), nil
@@ -270,30 +404,62 @@ func (in *Initiator) WriteAt(p []byte, off int64) (int, error) {
 
 // Pending is an in-flight asynchronous read.
 type Pending struct {
-	in  *Initiator
-	ch  chan *capsule
-	id  uint64
-	dst []byte
+	in *Initiator
+	pc *pendingCmd
+	id uint64
 }
 
 // ReadAsync submits a read without waiting. Wait() completes it.
 func (in *Initiator) ReadAsync(dst []byte, off int64) (*Pending, error) {
 	var lenBuf [4]byte
 	binary.LittleEndian.PutUint32(lenBuf[:], uint32(len(dst)))
-	ch, id, err := in.submit(&capsule{opcode: opRead, offset: uint64(off), payload: lenBuf[:]})
+	pc := getPending()
+	pc.dst = dst
+	id, err := in.submit(&capsule{opcode: opRead, offset: uint64(off), payload: lenBuf[:]}, pc)
 	if err != nil {
 		return nil, err
 	}
-	return &Pending{in: in, ch: ch, id: id, dst: dst}, nil
+	return &Pending{in: in, pc: pc, id: id}, nil
 }
 
-// Wait blocks until the read completes and fills the destination buffer.
-func (pd *Pending) Wait() (int, error) {
-	resp, err := pd.in.await(pd.ch, pd.id)
+// ReadVecAsync submits one vectored read covering every segment: a single
+// wire command whose response scatters into the segments' buffers in
+// order. Adjacent chunk reads coalesce into one roundtrip this way.
+func (in *Initiator) ReadVecAsync(segs []Seg) (*Pending, error) {
+	if len(segs) == 0 || len(segs) > maxVecSegs {
+		return nil, fmt.Errorf("nvmetcp: vectored read of %d segments", len(segs))
+	}
+	pay := bufpool.Shared.Get(4 + vecSegSize*len(segs))
+	binary.LittleEndian.PutUint32(pay[0:4], uint32(len(segs)))
+	p := 4
+	for _, s := range segs {
+		binary.LittleEndian.PutUint64(pay[p:p+8], uint64(s.Off))
+		binary.LittleEndian.PutUint32(pay[p+8:p+12], uint32(len(s.Dst)))
+		p += vecSegSize
+	}
+	pc := getPending()
+	pc.vec = segs
+	id, err := in.submit(&capsule{opcode: opReadVec, payload: pay[:p]}, pc)
+	bufpool.Shared.Put(pay) // frame fully written (or failed) by now
+	if err != nil {
+		return nil, err
+	}
+	return &Pending{in: in, pc: pc, id: id}, nil
+}
+
+// ReadVec performs a synchronous vectored read.
+func (in *Initiator) ReadVec(segs []Seg) (int, error) {
+	pd, err := in.ReadVecAsync(segs)
 	if err != nil {
 		return 0, err
 	}
-	return copy(pd.dst, resp.payload), nil
+	return pd.Wait()
+}
+
+// Wait blocks until the read completes; the payload has then landed in
+// the destination buffer(s).
+func (pd *Pending) Wait() (int, error) {
+	return pd.in.await(pd.pc, pd.id)
 }
 
 // Close tears the connection down; outstanding commands fail promptly

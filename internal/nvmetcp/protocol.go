@@ -33,6 +33,7 @@ const (
 	opRead
 	opWrite
 	opFlushStats
+	opReadVec
 )
 
 // Status codes.
@@ -65,9 +66,17 @@ var (
 	ErrShortFrame = errors.New("nvmetcp: short frame")
 )
 
-// writeCapsule frames and writes c to w.
+// writeCapsule frames and writes c to w, allocating a scratch header.
+// Hot paths hold a reusable header and call writeCapsuleHdr instead.
 func writeCapsule(w io.Writer, c *capsule) error {
-	hdr := make([]byte, capsuleHeaderSize)
+	return writeCapsuleHdr(w, c, make([]byte, capsuleHeaderSize))
+}
+
+// writeCapsuleHdr frames and writes c using the caller's header scratch
+// (len >= capsuleHeaderSize). The caller must serialise access to both w
+// and hdr.
+func writeCapsuleHdr(w io.Writer, c *capsule, hdr []byte) error {
+	hdr = hdr[:capsuleHeaderSize]
 	binary.LittleEndian.PutUint32(hdr[0:4], Magic)
 	binary.LittleEndian.PutUint64(hdr[4:12], c.cmdID)
 	hdr[12] = c.opcode
@@ -85,9 +94,17 @@ func writeCapsule(w io.Writer, c *capsule) error {
 	return nil
 }
 
-// readCapsule reads one frame from r.
+// readCapsule reads one frame from r, allocating scratch and payload.
+// Hot paths reuse a header and pool payloads through readCapsuleHdr.
 func readCapsule(r io.Reader) (*capsule, error) {
-	hdr := make([]byte, capsuleHeaderSize)
+	return readCapsuleHdr(r, make([]byte, capsuleHeaderSize), func(n int) []byte { return make([]byte, n) })
+}
+
+// readCapsuleHdr reads one frame using the caller's header scratch and
+// payload allocator (e.g. a bufpool Get). The caller owns returning
+// pooled payloads once the capsule is consumed.
+func readCapsuleHdr(r io.Reader, hdr []byte, alloc func(int) []byte) (*capsule, error) {
+	hdr = hdr[:capsuleHeaderSize]
 	if _, err := io.ReadFull(r, hdr); err != nil {
 		return nil, err
 	}
@@ -105,10 +122,59 @@ func readCapsule(r io.Reader) (*capsule, error) {
 		return nil, fmt.Errorf("%w: %d bytes", ErrTooLarge, n)
 	}
 	if n > 0 {
-		c.payload = make([]byte, n)
+		c.payload = alloc(int(n))
 		if _, err := io.ReadFull(r, c.payload); err != nil {
 			return nil, err
 		}
 	}
 	return c, nil
+}
+
+// Vectored read encoding. An opReadVec request payload is
+//
+//	count(u32) | count × (offset(u64) | length(u32))
+//
+// and a successful response carries the segments' data concatenated in
+// request order. Segments adjacent on the device are thereby coalesced
+// into a single wire command — the chunk-level batching of §III-D2
+// applied to the fabric.
+
+// vecSegSize is the wire size of one (offset, length) pair.
+const vecSegSize = 12
+
+// maxVecSegs bounds segments per vectored command (defence against
+// corrupt counts; generous for any sane coalescing window).
+const maxVecSegs = 4096
+
+// vecSeg is one decoded segment of a vectored read request.
+type vecSeg struct {
+	off uint64
+	n   uint32
+}
+
+// decodeVec parses an opReadVec request payload, bounding both segment
+// count and total response size.
+func decodeVec(payload []byte) ([]vecSeg, int, error) {
+	if len(payload) < 4 {
+		return nil, 0, ErrShortFrame
+	}
+	n := int(binary.LittleEndian.Uint32(payload[0:4]))
+	if n <= 0 || n > maxVecSegs || len(payload) != 4+n*vecSegSize {
+		return nil, 0, fmt.Errorf("%w: vec count %d payload %d", ErrShortFrame, n, len(payload))
+	}
+	segs := make([]vecSeg, n)
+	total := 0
+	p := 4
+	for i := 0; i < n; i++ {
+		segs[i] = vecSeg{
+			off: binary.LittleEndian.Uint64(payload[p : p+8]),
+			n:   binary.LittleEndian.Uint32(payload[p+8 : p+12]),
+		}
+		total += int(segs[i].n)
+		if total > maxPayload {
+			return nil, 0, fmt.Errorf("%w: vec response %d bytes", ErrTooLarge, total)
+		}
+		p += vecSegSize
+	}
+	return segs, total, nil
 }

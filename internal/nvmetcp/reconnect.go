@@ -203,15 +203,30 @@ func (r *Reconnector) WriteAt(p []byte, off int64) (int, error) {
 	return n, err
 }
 
+// ReadVec performs a synchronous vectored read, retrying per policy. The
+// whole vector is re-issued on a fresh connection after a retryable
+// failure; segment reads are stateless, so re-landing bytes in the same
+// destination buffers is safe.
+func (r *Reconnector) ReadVec(segs []Seg) (int, error) {
+	var n int
+	err := r.do(func(in *Initiator) error {
+		var e error
+		n, e = in.ReadVec(segs)
+		return e
+	})
+	return n, err
+}
+
 // RePending is an in-flight asynchronous read through a Reconnector.
 // Wait falls back to the retrying synchronous path when the pipelined
 // submission failed or its completion is lost.
 type RePending struct {
-	r   *Reconnector
-	in  *Initiator
-	pd  *Pending
-	dst []byte
-	off int64
+	r    *Reconnector
+	in   *Initiator
+	pd   *Pending
+	dst  []byte
+	off  int64
+	segs []Seg // non-nil for vectored reads
 }
 
 // ReadAsync submits a pipelined read. A retryable submission failure is
@@ -219,9 +234,20 @@ type RePending struct {
 // ReadAt. Non-retryable failures return immediately.
 func (r *Reconnector) ReadAsync(dst []byte, off int64) (*RePending, error) {
 	rp := &RePending{r: r, dst: dst, off: off}
+	return r.startAsync(rp, func(in *Initiator) (*Pending, error) { return in.ReadAsync(dst, off) })
+}
+
+// ReadVecAsync submits a pipelined vectored read covering every segment.
+// Retryable failures recover in Wait via the reconnecting ReadVec.
+func (r *Reconnector) ReadVecAsync(segs []Seg) (*RePending, error) {
+	rp := &RePending{r: r, segs: segs}
+	return r.startAsync(rp, func(in *Initiator) (*Pending, error) { return in.ReadVecAsync(segs) })
+}
+
+func (r *Reconnector) startAsync(rp *RePending, start func(*Initiator) (*Pending, error)) (*RePending, error) {
 	in, err := r.initiator()
 	if err == nil {
-		pd, aerr := in.ReadAsync(dst, off)
+		pd, aerr := start(in)
 		if aerr == nil {
 			rp.in, rp.pd = in, pd
 			return rp, nil
@@ -250,6 +276,9 @@ func (rp *RePending) Wait() (int, error) {
 		rp.pd = nil
 	}
 	rp.r.counters.Retries.Add(1)
+	if rp.segs != nil {
+		return rp.r.ReadVec(rp.segs)
+	}
 	return rp.r.ReadAt(rp.dst, rp.off)
 }
 

@@ -411,11 +411,12 @@ func TestServeConnOversizedReadLength(t *testing.T) {
 	defer in.Close() //nolint:errcheck
 	var lenBuf [4]byte
 	binary.LittleEndian.PutUint32(lenBuf[:], uint32(maxPayload+1))
-	ch, id, err := in.submit(&capsule{opcode: opRead, offset: 0, payload: lenBuf[:]})
+	pc := getPending()
+	id, err := in.submit(&capsule{opcode: opRead, offset: 0, payload: lenBuf[:]}, pc)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := in.await(ch, id); !errors.Is(err, ErrRemote) {
+	if _, err := in.await(pc, id); !errors.Is(err, ErrRemote) {
 		t.Fatalf("oversized read length: %v, want ErrRemote", err)
 	}
 }

@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 
 	"dlfs/internal/blockdev"
+	"dlfs/internal/bufpool"
 )
 
 // Target exports one block store to TCP initiators. Each accepted
@@ -28,6 +29,11 @@ type Target struct {
 	bytes     atomic.Int64
 	accepted  atomic.Int64
 	malformed atomic.Int64
+
+	reads    atomic.Int64 // single-segment read commands served
+	writes   atomic.Int64 // write commands served
+	vecReads atomic.Int64 // vectored read commands served
+	vecSegs  atomic.Int64 // segments carried by those vectored reads
 }
 
 // NewTarget wraps a store; depth bounds per-connection concurrency
@@ -49,6 +55,13 @@ func (t *Target) Served() (cmds, bytes int64) { return t.served.Load(), t.bytes.
 // of a malformed frame (bad magic or an oversized length field).
 func (t *Target) ConnStats() (accepted, malformed int64) {
 	return t.accepted.Load(), t.malformed.Load()
+}
+
+// OpStats reports per-opcode service counts: plain reads, writes,
+// vectored read commands and the total segments those carried. The
+// segments/vecReads ratio is the coalescing factor observed server-side.
+func (t *Target) OpStats() (reads, writes, vecReads, vecSegments int64) {
+	return t.reads.Load(), t.writes.Load(), t.vecReads.Load(), t.vecSegs.Load()
 }
 
 // Listen starts serving on addr (e.g. "127.0.0.1:0") and returns the
@@ -102,7 +115,8 @@ func (t *Target) serveConn(conn net.Conn) {
 		}
 		return
 	}
-	var wmu sync.Mutex // serialises response frames
+	var wmu sync.Mutex // serialises response frames; also guards whdr
+	whdr := make([]byte, capsuleHeaderSize)
 	reply := &capsule{
 		cmdID:   uint64(t.store.Capacity()),
 		opcode:  opHello,
@@ -114,10 +128,13 @@ func (t *Target) serveConn(conn net.Conn) {
 	}
 
 	sem := make(chan struct{}, t.depth)
+	rhdr := make([]byte, capsuleHeaderSize)
 	var cwg sync.WaitGroup
 	defer cwg.Wait()
 	for {
-		req, err := readCapsule(conn)
+		// Request payloads (write data, vec descriptors) come from the
+		// shared pool and go back once the command is served.
+		req, err := readCapsuleHdr(conn, rhdr, bufpool.Shared.Get)
 		if err != nil {
 			// io.EOF and closed connections are normal teardown; only a
 			// malformed frame is worth a log line.
@@ -132,10 +149,12 @@ func (t *Target) serveConn(conn net.Conn) {
 		go func(req *capsule) {
 			defer cwg.Done()
 			defer func() { <-sem }()
-			resp := t.execute(req)
+			resp, pooled := t.execute(req)
+			bufpool.Shared.Put(req.payload)
 			wmu.Lock()
-			err := writeCapsule(conn, resp)
+			err := writeCapsuleHdr(conn, resp, whdr)
 			wmu.Unlock()
+			bufpool.Shared.Put(pooled)
 			if err != nil {
 				conn.Close() //nolint:errcheck
 			}
@@ -143,7 +162,10 @@ func (t *Target) serveConn(conn net.Conn) {
 	}
 }
 
-func (t *Target) execute(req *capsule) *capsule {
+// execute serves one command. The second return value is a pooled buffer
+// backing resp.payload (nil if none) that the caller recycles after the
+// response frame is written.
+func (t *Target) execute(req *capsule) (*capsule, []byte) {
 	resp := &capsule{cmdID: req.cmdID, opcode: req.opcode}
 	switch req.opcode {
 	case opRead:
@@ -151,31 +173,54 @@ func (t *Target) execute(req *capsule) *capsule {
 		// read from req.offset.
 		if len(req.payload) != 4 {
 			resp.status = statusBadOp
-			return resp
+			return resp, nil
 		}
 		want := int(uint32(req.payload[0]) | uint32(req.payload[1])<<8 | uint32(req.payload[2])<<16 | uint32(req.payload[3])<<24)
 		if want > maxPayload {
 			resp.status = statusRange
-			return resp
+			return resp, nil
 		}
-		buf := make([]byte, want)
+		buf := bufpool.Shared.Get(want)
 		if _, err := t.store.ReadAt(buf, int64(req.offset)); err != nil {
+			bufpool.Shared.Put(buf)
 			resp.status = statusRange
-			return resp
+			return resp, nil
 		}
 		resp.payload = buf
 		t.bytes.Add(int64(want))
+		t.reads.Add(1)
+	case opReadVec:
+		segs, total, err := decodeVec(req.payload)
+		if err != nil {
+			resp.status = statusBadOp
+			return resp, nil
+		}
+		buf := bufpool.Shared.Get(total)
+		pos := 0
+		for _, s := range segs {
+			if _, err := t.store.ReadAt(buf[pos:pos+int(s.n)], int64(s.off)); err != nil {
+				bufpool.Shared.Put(buf)
+				resp.status = statusRange
+				return resp, nil
+			}
+			pos += int(s.n)
+		}
+		resp.payload = buf
+		t.bytes.Add(int64(total))
+		t.vecReads.Add(1)
+		t.vecSegs.Add(int64(len(segs)))
 	case opWrite:
 		if _, err := t.store.WriteAt(req.payload, int64(req.offset)); err != nil {
 			resp.status = statusRange
-			return resp
+			return resp, nil
 		}
 		t.bytes.Add(int64(len(req.payload)))
+		t.writes.Add(1)
 	default:
 		resp.status = statusBadOp
 	}
 	t.served.Add(1)
-	return resp
+	return resp, resp.payload
 }
 
 // Close stops the listener and all connections, waiting for handlers.

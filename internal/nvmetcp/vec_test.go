@@ -1,0 +1,216 @@
+package nvmetcp
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"dlfs/internal/blockdev"
+	"dlfs/internal/metrics"
+)
+
+func startVecTarget(t testing.TB, fill []byte) (*Target, string) {
+	t.Helper()
+	store := blockdev.New(int64(len(fill)))
+	if _, err := store.WriteAt(fill, 0); err != nil {
+		t.Fatal(err)
+	}
+	tgt := NewTarget(store, 32)
+	addr, err := tgt.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { tgt.Close() }) //nolint:errcheck
+	return tgt, addr
+}
+
+func patterned(n int) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(i*7 + i>>8)
+	}
+	return b
+}
+
+func TestReadVecScattersSegments(t *testing.T) {
+	data := patterned(1 << 20)
+	tgt, addr := startVecTarget(t, data)
+	in, err := Connect(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer in.Close() //nolint:errcheck
+
+	// Three segments: adjacent pair plus a distant one.
+	bufs := [][]byte{make([]byte, 4096), make([]byte, 100), make([]byte, 8192)}
+	segs := []Seg{
+		{Dst: bufs[0], Off: 16384},
+		{Dst: bufs[1], Off: 16384 + 4096},
+		{Dst: bufs[2], Off: 700000},
+	}
+	n, err := in.ReadVec(segs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 4096+100+8192 {
+		t.Fatalf("landed %d bytes", n)
+	}
+	if !bytes.Equal(bufs[0], data[16384:16384+4096]) ||
+		!bytes.Equal(bufs[1], data[16384+4096:16384+4096+100]) ||
+		!bytes.Equal(bufs[2], data[700000:700000+8192]) {
+		t.Fatal("vectored read scattered wrong bytes")
+	}
+	reads, _, vecReads, vecSegs := tgt.OpStats()
+	if reads != 0 || vecReads != 1 || vecSegs != 3 {
+		t.Fatalf("op stats reads=%d vec=%d segs=%d", reads, vecReads, vecSegs)
+	}
+}
+
+func TestReadVecAsyncPipelined(t *testing.T) {
+	data := patterned(256 << 10)
+	_, addr := startVecTarget(t, data)
+	in, err := Connect(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer in.Close() //nolint:errcheck
+
+	const k = 8
+	pds := make([]*Pending, k)
+	got := make([][]byte, k)
+	for i := 0; i < k; i++ {
+		got[i] = make([]byte, 1000)
+		pd, err := in.ReadVecAsync([]Seg{
+			{Dst: got[i][:500], Off: int64(i * 1000)},
+			{Dst: got[i][500:], Off: int64(i*1000 + 500)},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pds[i] = pd
+	}
+	for i, pd := range pds {
+		if _, err := pd.Wait(); err != nil {
+			t.Fatalf("vec %d: %v", i, err)
+		}
+		if !bytes.Equal(got[i], data[i*1000:(i+1)*1000]) {
+			t.Fatalf("vec %d corrupt", i)
+		}
+	}
+}
+
+func TestReadVecOutOfRange(t *testing.T) {
+	_, addr := startVecTarget(t, patterned(4096))
+	in, err := Connect(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer in.Close() //nolint:errcheck
+	if _, err := in.ReadVec([]Seg{{Dst: make([]byte, 64), Off: 1 << 30}}); !errors.Is(err, ErrRemote) {
+		t.Fatalf("out-of-range vec read: %v, want ErrRemote", err)
+	}
+	// The connection must survive a failed command.
+	buf := make([]byte, 16)
+	if _, err := in.ReadAt(buf, 0); err != nil {
+		t.Fatalf("read after failed vec: %v", err)
+	}
+}
+
+func TestReadVecEmptyRejected(t *testing.T) {
+	_, addr := startVecTarget(t, patterned(4096))
+	in, err := Connect(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer in.Close() //nolint:errcheck
+	if _, err := in.ReadVec(nil); err == nil {
+		t.Fatal("empty vectored read accepted")
+	}
+}
+
+func TestDecodeVecBounds(t *testing.T) {
+	if _, _, err := decodeVec([]byte{1, 2}); err == nil {
+		t.Fatal("short payload accepted")
+	}
+	// Count mismatch with payload length.
+	bad := make([]byte, 4+vecSegSize)
+	bad[0] = 2
+	if _, _, err := decodeVec(bad); err == nil {
+		t.Fatal("count/length mismatch accepted")
+	}
+	// Total over maxPayload.
+	huge := make([]byte, 4+2*vecSegSize)
+	huge[0] = 2
+	for i := 0; i < 2; i++ {
+		p := 4 + i*vecSegSize + 8
+		huge[p] = 0xFF
+		huge[p+1] = 0xFF
+		huge[p+2] = 0xFF
+		huge[p+3] = 0x7F
+	}
+	if _, _, err := decodeVec(huge); err == nil {
+		t.Fatal("oversized vec total accepted")
+	}
+}
+
+func TestQPGroupStripesAndRecovers(t *testing.T) {
+	data := patterned(128 << 10)
+	tgt, addr := startVecTarget(t, data)
+	counters := &metrics.Resilience{}
+	g, err := NewQPGroup(addr, 3, Options{}, RetryPolicy{Seed: 9}, counters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close() //nolint:errcheck
+	if g.NumQPs() != 3 {
+		t.Fatalf("NumQPs = %d", g.NumQPs())
+	}
+	if accepted, _ := tgt.ConnStats(); accepted != 3 {
+		t.Fatalf("accepted %d connections, want 3", accepted)
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < 6; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			buf := make([]byte, 512)
+			for i := 0; i < 50; i++ {
+				off := int64(((w*50 + i) * 512) % (127 << 10))
+				if _, err := g.ReadAt(buf, off); err != nil {
+					t.Errorf("worker %d: %v", w, err)
+					return
+				}
+				if !bytes.Equal(buf, data[off:off+512]) {
+					t.Errorf("worker %d: corrupt read at %d", w, off)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+func TestQPGroupSingleFallback(t *testing.T) {
+	_, addr := startVecTarget(t, patterned(4096))
+	g, err := NewQPGroup(addr, 0, Options{}, RetryPolicy{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close() //nolint:errcheck
+	if g.NumQPs() != 1 {
+		t.Fatalf("NumQPs = %d, want clamp to 1", g.NumQPs())
+	}
+	buf := make([]byte, 64)
+	if _, err := g.ReadAt(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQPGroupDialFailureCleansUp(t *testing.T) {
+	if _, err := NewQPGroup("127.0.0.1:1", 2, Options{DialTimeout: 200 * time.Millisecond}, RetryPolicy{}, nil); err == nil {
+		t.Fatal("dial to dead address succeeded")
+	}
+}

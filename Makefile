@@ -2,7 +2,7 @@ GO ?= go
 BENCH ?= .
 BENCHCOUNT ?= 5
 
-.PHONY: all vet build test race chaos bench check clean
+.PHONY: all vet build test race chaos bench bench-target check clean
 
 all: check
 
@@ -16,7 +16,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/nvmetcp ./internal/live ./internal/chaos ./internal/bufpool
+	$(GO) test -race ./internal/nvmetcp ./internal/live ./internal/chaos ./internal/bufpool ./internal/blockdev
 
 # Chaos soak: run the seeded fault-injection epochs twice to shake out
 # scheduling-dependent bugs in the resilience path.
@@ -29,6 +29,12 @@ chaos:
 bench:
 	$(GO) test -run '^$$' -bench '$(BENCH)' -benchmem -count=$(BENCHCOUNT) \
 		./internal/live ./internal/nvmetcp ./internal/bufpool
+
+# Server engine matrix: legacy goroutine-per-command baseline vs the
+# RPQ/SCQ worker pool, staged vs zero-copy, across client queue depths.
+bench-target:
+	$(GO) test -run '^$$' -bench BenchmarkTargetServe -benchmem -count=$(BENCHCOUNT) \
+		./internal/nvmetcp
 
 check: vet build test race chaos
 

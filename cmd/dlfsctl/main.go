@@ -128,6 +128,7 @@ func cmdSmoke(args []string) {
 
 	addrs := make([]string, *targets)
 	proxies := make([]*chaos.Proxy, *targets)
+	tgts := make([]*nvmetcp.Target, *targets)
 	for i := range addrs {
 		tgt := nvmetcp.NewTarget(blockdev.New(1<<30), 64)
 		addr, err := tgt.Listen("127.0.0.1:0")
@@ -135,6 +136,7 @@ func cmdSmoke(args []string) {
 			fatal(err)
 		}
 		defer tgt.Close() //nolint:errcheck
+		tgts[i] = tgt
 		if *chaosSeed != 0 || *dead == i {
 			cfg := chaos.Config{}
 			if *chaosSeed != 0 {
@@ -212,6 +214,21 @@ func cmdSmoke(args []string) {
 	fmt.Printf("resilience: %s\n", st.Resilience)
 	for i, th := range st.Targets {
 		fmt.Printf("target %d: breaker %s (consecutive fails %d)\n", i, th.State, th.ConsecFails)
+	}
+	// Server-side mirror of the client pipeline counters: opcode mix and
+	// the RPQ/SCQ engine figures per target.
+	for i, tgt := range tgts {
+		reads, writes, vecReads, vecSegs := tgt.OpStats()
+		_, malformed, aborted := tgt.ConnStats()
+		line := fmt.Sprintf("reads=%d writes=%d vec-reads=%d", reads, writes, vecReads)
+		if vecReads > 0 {
+			line += fmt.Sprintf(" (%.1f segs/cmd)", float64(vecSegs)/float64(vecReads))
+		}
+		if malformed+aborted > 0 {
+			line += fmt.Sprintf(" malformed=%d aborted=%d", malformed, aborted)
+		}
+		fmt.Printf("target %d server: %s\n", i, line)
+		fmt.Printf("target %d engine: %s\n", i, tgt.ServerStats())
 	}
 	if bad > 0 {
 		os.Exit(1)

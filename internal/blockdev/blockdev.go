@@ -12,11 +12,17 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // extentSize is the allocation granule. 1 MiB keeps the extent map small
 // while bounding slack for small datasets.
 const extentSize = 1 << 20
+
+// zeroExtent backs views of never-written regions, which read as zeros.
+// It is shared by every store and must never be written; WriteAt always
+// materialises a fresh extent instead.
+var zeroExtent = make([]byte, extentSize)
 
 // Store is a sparse in-memory byte store of fixed capacity.
 type Store struct {
@@ -24,6 +30,15 @@ type Store struct {
 	capacity int64
 	extents  map[int64][]byte // extent index -> extentSize bytes
 	written  int64            // high-water mark of bytes stored (for stats)
+
+	// epoch is a seqlock over the store contents: WriteAt increments it
+	// to an odd value on entry and back to even on exit. A reader that
+	// captured segments with View can compare epochs to detect that a
+	// write landed (or is landing) since capture and fall back to a
+	// locked copy. Extents are never freed or reallocated, so view
+	// slices always reference live memory; the epoch only guards their
+	// *contents*.
+	epoch atomic.Uint64
 }
 
 // ErrOutOfRange reports access beyond the device capacity.
@@ -61,6 +76,8 @@ func (s *Store) WriteAt(p []byte, off int64) (int, error) {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.epoch.Add(1) // odd: write in flight
+	defer s.epoch.Add(1)
 	if end := off + int64(len(p)); end > s.written {
 		s.written = end
 	}
@@ -108,6 +125,48 @@ func zero(b []byte) {
 	for i := range b {
 		b[i] = 0
 	}
+}
+
+// WriteEpoch reports the store's write epoch. It is even when no write
+// is in flight and odd while one is; any change between two reads means
+// the contents may have moved under a zero-copy view taken in between.
+func (s *Store) WriteEpoch() uint64 { return s.epoch.Load() }
+
+// View appends to dst read-only segments that alias the store's memory
+// for [off, off+n) — one segment per extent crossed, with unwritten
+// extents served from a shared zero page — and returns the extended
+// slice plus the write epoch at capture time. No bytes are copied.
+//
+// The segments stay valid memory forever (extents are never freed), but
+// their contents are only stable under the write-once read-many model:
+// callers that must not transmit torn data re-check WriteEpoch against
+// the returned epoch immediately before using the view and fall back to
+// ReadAt (which takes the lock) on a mismatch.
+func (s *Store) View(off int64, n int, dst [][]byte) ([][]byte, uint64, error) {
+	if err := s.check(off, n); err != nil {
+		return dst, 0, err
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	// Under RLock no writer holds the lock, so the epoch is even and
+	// every segment captured below is consistent as of this epoch.
+	epoch := s.epoch.Load()
+	done := 0
+	for done < n {
+		ext := (off + int64(done)) / extentSize
+		within := (off + int64(done)) % extentSize
+		chunk := extentSize - int(within)
+		if rem := n - done; chunk > rem {
+			chunk = rem
+		}
+		buf, ok := s.extents[ext]
+		if !ok {
+			buf = zeroExtent
+		}
+		dst = append(dst, buf[within:int(within)+chunk])
+		done += chunk
+	}
+	return dst, epoch, nil
 }
 
 // HighWater reports one past the largest byte offset ever written.

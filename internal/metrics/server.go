@@ -1,0 +1,80 @@
+package metrics
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// Server aggregates the per-stage counters of the target-side RPQ/SCQ
+// serving engine — the storage-node mirror of Pipeline. Commands wait on
+// the request-posting queue, are serviced by a worker, and their
+// completions are coalesced by a per-connection flusher into vectored
+// socket writes; each stage is timed here. One instance lives in each
+// nvmetcp.Target. All fields are safe for concurrent use.
+type Server struct {
+	QueueWaitNanos atomic.Int64 // RPQ residency: enqueue to worker pickup
+	ServiceNanos   atomic.Int64 // command execution inside a worker
+	FlushNanos     atomic.Int64 // building + writing completion batches
+
+	Flushes     atomic.Int64 // writev calls issued by flushers
+	FlushedCmds atomic.Int64 // completions carried by those writevs
+
+	ZeroCopyBytes atomic.Int64 // read payload served as store views
+	StagedBytes   atomic.Int64 // read payload copied through the pool
+	Restaged      atomic.Int64 // views invalidated by a write epoch change
+}
+
+// Snapshot returns a point-in-time copy for reporting.
+func (s *Server) Snapshot() ServerSnapshot {
+	return ServerSnapshot{
+		QueueWaitNanos: s.QueueWaitNanos.Load(),
+		ServiceNanos:   s.ServiceNanos.Load(),
+		FlushNanos:     s.FlushNanos.Load(),
+		Flushes:        s.Flushes.Load(),
+		FlushedCmds:    s.FlushedCmds.Load(),
+		ZeroCopyBytes:  s.ZeroCopyBytes.Load(),
+		StagedBytes:    s.StagedBytes.Load(),
+		Restaged:       s.Restaged.Load(),
+	}
+}
+
+// ServerSnapshot is a plain-value copy of Server counters.
+type ServerSnapshot struct {
+	QueueWaitNanos int64
+	ServiceNanos   int64
+	FlushNanos     int64
+	Flushes        int64
+	FlushedCmds    int64
+	ZeroCopyBytes  int64
+	StagedBytes    int64
+	Restaged       int64
+}
+
+// FlushBatch reports completions per writev — 1.0 means no batching,
+// higher means syscalls were amortised across queued completions.
+func (s ServerSnapshot) FlushBatch() float64 {
+	if s.Flushes == 0 {
+		return 0
+	}
+	return float64(s.FlushedCmds) / float64(s.Flushes)
+}
+
+// ZeroCopyShare reports the fraction of read payload bytes that went out
+// as store views rather than staged copies.
+func (s ServerSnapshot) ZeroCopyShare() float64 {
+	if s.ZeroCopyBytes+s.StagedBytes == 0 {
+		return 0
+	}
+	return float64(s.ZeroCopyBytes) / float64(s.ZeroCopyBytes+s.StagedBytes)
+}
+
+// String renders the snapshot as a stats line: per-stage time, then the
+// batching and zero-copy efficiency figures.
+func (s ServerSnapshot) String() string {
+	return fmt.Sprintf(
+		"qwait=%v service=%v flush=%v writevs=%d batch=%.1f cmds/flush zero-copy=%s staged=%s (%.0f%% zero-copy) restaged=%d",
+		time.Duration(s.QueueWaitNanos), time.Duration(s.ServiceNanos), time.Duration(s.FlushNanos),
+		s.Flushes, s.FlushBatch(),
+		HumanBytes(s.ZeroCopyBytes), HumanBytes(s.StagedBytes), 100*s.ZeroCopyShare(), s.Restaged)
+}

@@ -1,0 +1,41 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestServerSnapshotRatios(t *testing.T) {
+	var s Server
+	if got := s.Snapshot().FlushBatch(); got != 0 {
+		t.Fatalf("empty FlushBatch = %v", got)
+	}
+	if got := s.Snapshot().ZeroCopyShare(); got != 0 {
+		t.Fatalf("empty ZeroCopyShare = %v", got)
+	}
+	s.Flushes.Store(4)
+	s.FlushedCmds.Store(12)
+	s.ZeroCopyBytes.Store(3 << 20)
+	s.StagedBytes.Store(1 << 20)
+	snap := s.Snapshot()
+	if got := snap.FlushBatch(); got != 3 {
+		t.Fatalf("FlushBatch = %v, want 3", got)
+	}
+	if got := snap.ZeroCopyShare(); got != 0.75 {
+		t.Fatalf("ZeroCopyShare = %v, want 0.75", got)
+	}
+}
+
+func TestServerSnapshotString(t *testing.T) {
+	var s Server
+	s.QueueWaitNanos.Store(1500)
+	s.Flushes.Store(2)
+	s.FlushedCmds.Store(5)
+	s.ZeroCopyBytes.Store(2 << 20)
+	line := s.Snapshot().String()
+	for _, want := range []string{"qwait=", "service=", "flush=", "writevs=2", "batch=2.5", "zero-copy=", "restaged=0"} {
+		if !strings.Contains(line, want) {
+			t.Fatalf("stats line %q missing %q", line, want)
+		}
+	}
+}

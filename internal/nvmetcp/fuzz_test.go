@@ -42,6 +42,14 @@ func FuzzReadCapsule(f *testing.F) {
 	for _, s := range corruptSeeds() {
 		f.Add(s)
 	}
+	// Command-level length pathologies (regression corpus for readLen):
+	// a read asking for zero bytes and one whose length truncates
+	// negative through a 32-bit int.
+	var zeroRead, negRead bytes.Buffer
+	writeCapsule(&zeroRead, &capsule{cmdID: 11, opcode: opRead, offset: 4096, payload: []byte{0, 0, 0, 0}})      //nolint:errcheck
+	writeCapsule(&negRead, &capsule{cmdID: 12, opcode: opRead, offset: 4096, payload: []byte{0, 0, 0, 0x80}})    //nolint:errcheck
+	f.Add(zeroRead.Bytes())
+	f.Add(negRead.Bytes())
 	f.Fuzz(func(t *testing.T, data []byte) {
 		c, err := readCapsule(bytes.NewReader(data))
 		if err != nil {

@@ -2,6 +2,7 @@ package nvmetcp
 
 import (
 	"bytes"
+	"encoding/binary"
 	"errors"
 	"sync"
 	"testing"
@@ -199,6 +200,179 @@ func TestTargetCloseUnblocksClients(t *testing.T) {
 	tgt.Close()      //nolint:errcheck
 	if _, err := in.ReadAt(make([]byte, 8), 0); err == nil {
 		t.Fatal("read succeeded after target close")
+	}
+}
+
+// TestReadZeroLengthRejected is the regression test for the strict
+// command-length check: a read asking for zero bytes (or a length that
+// truncates negative) is a protocol violation and must complete with a
+// bad-op status, not an empty success or a huge allocation.
+func TestReadZeroLengthRejected(t *testing.T) {
+	_, addr := startTarget(t, 1<<20, 8)
+	in, err := Connect(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer in.Close() //nolint:errcheck
+	for _, want := range []uint32{0, 0x80000000, 0xFFFFFFFF} {
+		var lenBuf [4]byte
+		binary.LittleEndian.PutUint32(lenBuf[:], want)
+		pc := getPending()
+		id, err := in.submit(&capsule{opcode: opRead, offset: 0, payload: lenBuf[:]}, pc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := in.await(pc, id); !errors.Is(err, ErrRemote) {
+			t.Fatalf("read length %#x: %v, want ErrRemote", want, err)
+		}
+	}
+	// The connection survives the rejected commands.
+	if _, err := in.ReadAt(make([]byte, 8), 0); err != nil {
+		t.Fatalf("read after rejected lengths: %v", err)
+	}
+}
+
+// TestTargetServesReadsZeroCopy guards the acceptance bound that the
+// default engine performs zero payload memcpys on the read hot path:
+// every read byte must be accounted zero-copy, none staged.
+func TestTargetServesReadsZeroCopy(t *testing.T) {
+	data := patterned(256 << 10)
+	tgt, addr := startVecTarget(t, data)
+	in, err := Connect(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer in.Close() //nolint:errcheck
+
+	buf := make([]byte, 4096)
+	for i := 0; i < 16; i++ {
+		off := int64(i * 4096)
+		if _, err := in.ReadAt(buf, off); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf, data[off:off+4096]) {
+			t.Fatalf("zero-copy read %d corrupt", i)
+		}
+	}
+	segs := []Seg{
+		{Dst: make([]byte, 1000), Off: 100},
+		{Dst: make([]byte, 9000), Off: 128 << 10},
+	}
+	if _, err := in.ReadVec(segs); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(segs[0].Dst, data[100:1100]) || !bytes.Equal(segs[1].Dst, data[128<<10:128<<10+9000]) {
+		t.Fatal("zero-copy vec read corrupt")
+	}
+
+	st := tgt.ServerStats()
+	wantBytes := int64(16*4096 + 1000 + 9000)
+	if st.StagedBytes != 0 {
+		t.Fatalf("read hot path staged %d bytes, want 0", st.StagedBytes)
+	}
+	if st.ZeroCopyBytes != wantBytes {
+		t.Fatalf("zero-copy bytes = %d, want %d", st.ZeroCopyBytes, wantBytes)
+	}
+	if st.Flushes == 0 || st.FlushedCmds < 17 {
+		t.Fatalf("flusher stats writevs=%d cmds=%d", st.Flushes, st.FlushedCmds)
+	}
+}
+
+// TestTargetStagedModeMatches drives the same traffic with zero-copy off
+// and checks both the payloads and the staged accounting.
+func TestTargetStagedModeMatches(t *testing.T) {
+	data := patterned(64 << 10)
+	store := blockdev.New(int64(len(data)))
+	if _, err := store.WriteAt(data, 0); err != nil {
+		t.Fatal(err)
+	}
+	tgt := NewTargetConfig(store, Config{Depth: 16, NoZeroCopy: true})
+	addr, err := tgt.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { tgt.Close() }) //nolint:errcheck
+	in, err := Connect(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer in.Close() //nolint:errcheck
+	buf := make([]byte, 8192)
+	if _, err := in.ReadAt(buf, 4096); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, data[4096:4096+8192]) {
+		t.Fatal("staged read corrupt")
+	}
+	st := tgt.ServerStats()
+	if st.ZeroCopyBytes != 0 || st.StagedBytes != 8192 {
+		t.Fatalf("staged mode accounting zero-copy=%d staged=%d", st.ZeroCopyBytes, st.StagedBytes)
+	}
+}
+
+// TestRestageAfterWriteEpochChange exercises the seqlock fallback
+// directly: a completion whose view was captured before an overwrite
+// must be re-staged into a consistent copy of the *current* contents.
+func TestRestageAfterWriteEpochChange(t *testing.T) {
+	store := blockdev.New(1 << 20)
+	if _, err := store.WriteAt(bytes.Repeat([]byte{0xAA}, 4096), 0); err != nil {
+		t.Fatal(err)
+	}
+	tgt := NewTargetConfig(store, Config{})
+	defer tgt.Close() //nolint:errcheck
+
+	comp := tgt.execute(&capsule{opcode: opRead, payload: []byte{0, 16, 0, 0}}, true) // 4096 bytes at 0
+	if comp.view == nil {
+		t.Fatal("execute did not build a view")
+	}
+	if _, err := store.WriteAt(bytes.Repeat([]byte{0xBB}, 4096), 0); err != nil {
+		t.Fatal(err)
+	}
+	if store.WriteEpoch() == comp.epoch {
+		t.Fatal("write did not advance the epoch")
+	}
+	tgt.restage(&comp)
+	if comp.view != nil || len(comp.staged) != 4096 {
+		t.Fatalf("restage left view=%v staged=%d", comp.view != nil, len(comp.staged))
+	}
+	for i, b := range comp.staged {
+		if b != 0xBB {
+			t.Fatalf("restaged byte %d = %#x, want current contents", i, b)
+		}
+	}
+	if tgt.ServerStats().Restaged != 1 {
+		t.Fatalf("restaged counter = %d", tgt.ServerStats().Restaged)
+	}
+}
+
+// TestLegacyEngineRoundTrip keeps the per-command-goroutine baseline
+// path working (it anchors BenchmarkTargetServe).
+func TestLegacyEngineRoundTrip(t *testing.T) {
+	store := blockdev.New(1 << 20)
+	tgt := NewTargetConfig(store, Config{Depth: 8, PerCmdGoroutines: true})
+	addr, err := tgt.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { tgt.Close() }) //nolint:errcheck
+	in, err := Connect(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer in.Close() //nolint:errcheck
+	data := []byte("legacy data path")
+	if _, err := in.WriteAt(data, 512); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(data))
+	if _, err := in.ReadAt(got, 512); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatalf("legacy round trip: %q", got)
+	}
+	if st := tgt.ServerStats(); st.ZeroCopyBytes != 0 || st.StagedBytes != int64(len(data)) {
+		t.Fatalf("legacy accounting zero-copy=%d staged=%d", st.ZeroCopyBytes, st.StagedBytes)
 	}
 }
 

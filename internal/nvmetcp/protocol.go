@@ -72,17 +72,24 @@ func writeCapsule(w io.Writer, c *capsule) error {
 	return writeCapsuleHdr(w, c, make([]byte, capsuleHeaderSize))
 }
 
+// encodeHdr frames a capsule header into hdr (len >= capsuleHeaderSize):
+// the payload itself travels separately, so completion paths can encode
+// once and gather header + payload segments into a single vectored write.
+func encodeHdr(hdr []byte, cmdID uint64, opcode, status byte, offset uint64, payloadLen int) {
+	binary.LittleEndian.PutUint32(hdr[0:4], Magic)
+	binary.LittleEndian.PutUint64(hdr[4:12], cmdID)
+	hdr[12] = opcode
+	hdr[13] = status
+	binary.LittleEndian.PutUint64(hdr[14:22], offset)
+	binary.LittleEndian.PutUint32(hdr[22:26], uint32(payloadLen))
+}
+
 // writeCapsuleHdr frames and writes c using the caller's header scratch
 // (len >= capsuleHeaderSize). The caller must serialise access to both w
 // and hdr.
 func writeCapsuleHdr(w io.Writer, c *capsule, hdr []byte) error {
 	hdr = hdr[:capsuleHeaderSize]
-	binary.LittleEndian.PutUint32(hdr[0:4], Magic)
-	binary.LittleEndian.PutUint64(hdr[4:12], c.cmdID)
-	hdr[12] = c.opcode
-	hdr[13] = c.status
-	binary.LittleEndian.PutUint64(hdr[14:22], c.offset)
-	binary.LittleEndian.PutUint32(hdr[22:26], uint32(len(c.payload)))
+	encodeHdr(hdr, c.cmdID, c.opcode, c.status, c.offset, len(c.payload))
 	if _, err := w.Write(hdr); err != nil {
 		return err
 	}

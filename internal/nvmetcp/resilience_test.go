@@ -9,6 +9,7 @@ import (
 	"testing"
 	"time"
 
+	"dlfs/internal/blockdev"
 	"dlfs/internal/chaos"
 	"dlfs/internal/metrics"
 )
@@ -374,11 +375,11 @@ func TestServeConnMalformedCapsules(t *testing.T) {
 	// indistinguishable from teardown mid-frame and only drop the conn.
 	deadline := time.Now().Add(2 * time.Second)
 	for {
-		if _, malformed := tgt.ConnStats(); malformed >= 4 {
+		if _, malformed, _ := tgt.ConnStats(); malformed >= 4 {
 			break
 		}
 		if time.Now().After(deadline) {
-			_, malformed := tgt.ConnStats()
+			_, malformed, _ := tgt.ConnStats()
 			t.Fatalf("malformed = %d, want >= 4", malformed)
 		}
 		time.Sleep(5 * time.Millisecond)
@@ -396,6 +397,195 @@ func TestServeConnMalformedCapsules(t *testing.T) {
 	got := make([]byte, 11)
 	if _, err := in.ReadAt(got, 0); err != nil || string(got) != "still alive" {
 		t.Fatalf("read after chaos: %q, %v", got, err)
+	}
+}
+
+// TestWriteErrorAbortsPending reproduces the lost-write-error bug: a
+// client that submits a burst of large reads and then vanishes without
+// consuming responses must not leave sibling commands executing silently
+// against the dead connection. The flusher's write deadline trips, the
+// connection is aborted, and the undeliverable completions are counted.
+func TestWriteErrorAbortsPending(t *testing.T) {
+	store := blockdev.New(64 << 20)
+	if _, err := store.WriteAt(make([]byte, 32<<20), 0); err != nil {
+		t.Fatal(err)
+	}
+	tgt := NewTargetConfig(store, Config{Depth: 64, WriteTimeout: 150 * time.Millisecond})
+	addr, err := tgt.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { tgt.Close() }) //nolint:errcheck
+
+	// Raw client: handshake, then post reads big enough to overrun the
+	// socket buffers while never reading a single response byte.
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close() //nolint:errcheck
+	if err := writeCapsule(c, &capsule{opcode: opHello}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := readCapsule(c); err != nil {
+		t.Fatal(err)
+	}
+	var lenBuf [4]byte
+	binary.LittleEndian.PutUint32(lenBuf[:], 1<<20)
+	for i := 0; i < 64; i++ {
+		if err := writeCapsule(c, &capsule{cmdID: uint64(i), opcode: opRead, offset: uint64(i) << 20, payload: lenBuf[:]}); err != nil {
+			break // submission path may already be backpressured; fine
+		}
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, _, aborted := tgt.ConnStats(); aborted > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			_, _, aborted := tgt.ConnStats()
+			t.Fatalf("aborted = %d after write stall, want > 0", aborted)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// The target survived the abort: a clean client still round-trips,
+	// and the worker pool is not wedged.
+	in, err := Connect(addr)
+	if err != nil {
+		t.Fatalf("connect after aborted conn: %v", err)
+	}
+	defer in.Close() //nolint:errcheck
+	if _, err := in.ReadAt(make([]byte, 4096), 0); err != nil {
+		t.Fatalf("read after aborted conn: %v", err)
+	}
+}
+
+// TestTargetCloseRacesVectoredReads closes the target while a stream of
+// vectored reads is in flight across several connections: every pending
+// command must resolve (success or typed error), Close must return, and
+// under -race the RPQ workers, flushers and readers must tear down
+// cleanly.
+func TestTargetCloseRacesVectoredReads(t *testing.T) {
+	data := make([]byte, 8<<20)
+	for i := range data {
+		data[i] = byte(i * 13)
+	}
+	store := blockdev.New(int64(len(data)))
+	if _, err := store.WriteAt(data, 0); err != nil {
+		t.Fatal(err)
+	}
+	tgt := NewTargetConfig(store, Config{Depth: 32, Workers: 4, QueueDepth: 64})
+	addr, err := tgt.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 3; g++ {
+		in, err := Connect(addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(in *Initiator, g int) {
+			defer wg.Done()
+			defer in.Close() //nolint:errcheck
+			bufs := make([]byte, 3*4096)
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				base := int64(((g*1000 + i) * 4096) % (7 << 20))
+				segs := []Seg{
+					{Dst: bufs[:4096], Off: base},
+					{Dst: bufs[4096:8192], Off: base + 4096},
+					{Dst: bufs[8192:], Off: base + 8192},
+				}
+				if _, err := in.ReadVec(segs); err != nil {
+					return // teardown error is the expected exit
+				}
+				if !bytes.Equal(bufs[:4096], data[base:base+4096]) {
+					t.Errorf("reader %d corrupt at %d", g, base)
+					return
+				}
+			}
+		}(in, g)
+	}
+
+	time.Sleep(50 * time.Millisecond) // let reads pile onto the RPQ
+	done := make(chan error, 1)
+	go func() { done <- tgt.Close() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("close: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Target.Close did not drain the engine")
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestWorkerPoolDrainsCleanly hammers a small worker pool through a full
+// load/close cycle twice, checking the engine restarts nothing and drops
+// nothing: all served commands are accounted and a second Close is a
+// no-op.
+func TestWorkerPoolDrainsCleanly(t *testing.T) {
+	store := blockdev.New(4 << 20)
+	if _, err := store.WriteAt(make([]byte, 4<<20), 0); err != nil {
+		t.Fatal(err)
+	}
+	tgt := NewTargetConfig(store, Config{Depth: 16, Workers: 2, QueueDepth: 8})
+	addr, err := tgt.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	const clients, perClient = 4, 200
+	for g := 0; g < clients; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			in, err := Connect(addr)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer in.Close() //nolint:errcheck
+			buf := make([]byte, 2048)
+			for i := 0; i < perClient; i++ {
+				if _, err := in.ReadAt(buf, int64((g*perClient+i)*2048)%(3<<20)); err != nil {
+					t.Errorf("client %d read %d: %v", g, i, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	cmds, _ := tgt.Served()
+	if cmds < clients*perClient {
+		t.Fatalf("served %d commands, want >= %d", cmds, clients*perClient)
+	}
+	st := tgt.ServerStats()
+	if st.FlushedCmds < clients*perClient {
+		t.Fatalf("flushed %d completions, want >= %d", st.FlushedCmds, clients*perClient)
+	}
+	if _, _, aborted := tgt.ConnStats(); aborted != 0 {
+		t.Fatalf("clean run aborted %d completions", aborted)
+	}
+	if err := tgt.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if err := tgt.Close(); err != nil {
+		t.Fatalf("double close: %v", err)
 	}
 }
 

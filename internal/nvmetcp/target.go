@@ -1,34 +1,101 @@
 package nvmetcp
 
 import (
+	"bufio"
 	"errors"
 	"log"
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"dlfs/internal/blockdev"
 	"dlfs/internal/bufpool"
+	"dlfs/internal/metrics"
 )
+
+// Config tunes the target's serving engine. The zero value selects the
+// defaults; NewTarget(store, depth) remains the one-knob constructor.
+type Config struct {
+	// Depth bounds per-connection outstanding commands. It is advertised
+	// to the initiator at handshake and sizes each connection's
+	// completion queue. Default 64.
+	Depth int
+
+	// Workers sizes the request-posting-queue worker pool shared by all
+	// connections on this target — the per-store RPQ drain of the
+	// paper's §III-C backend. Default 4.
+	Workers int
+
+	// QueueDepth bounds the request-posting queue. When it fills,
+	// connection readers block instead of spawning goroutines, so
+	// overload pushes back on the TCP window rather than on the Go
+	// scheduler. Default 256.
+	QueueDepth int
+
+	// WriteTimeout bounds one completion flush to a connection. A peer
+	// that stops reading long enough to trip it has its connection
+	// aborted, so a stuck client cannot wedge the shared worker pool.
+	// Default 30s; negative disables.
+	WriteTimeout time.Duration
+
+	// NoZeroCopy stages read payloads through the buffer pool instead of
+	// serving store views — the A/B switch for the zero-copy read path.
+	NoZeroCopy bool
+
+	// PerCmdGoroutines restores the pre-engine data path: one goroutine
+	// per command, staged payloads, one mutex-serialised socket write
+	// per completion. Kept as the benchmark baseline only.
+	PerCmdGoroutines bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Depth <= 0 {
+		c.Depth = 64
+	}
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 256
+	}
+	if c.WriteTimeout == 0 {
+		c.WriteTimeout = 30 * time.Second
+	}
+	return c
+}
 
 // Target exports one block store to TCP initiators. Each accepted
 // connection is an independent queue pair: commands on it are served
 // concurrently up to the negotiated depth, and completions return in
 // completion order (not submission order), as on real NVMe.
+//
+// Internally the data path is a request-posting queue / completion queue
+// engine: connection readers post decoded commands onto a bounded RPQ
+// shared by a fixed worker pool; workers execute against the store and
+// hand completions — header plus zero-copy store-view segments for reads
+// — to the connection's completion queue, which a dedicated flusher
+// drains into coalesced vectored writes.
 type Target struct {
 	store *blockdev.Store
-	depth int
+	cfg   Config
 
 	ln     net.Listener
 	mu     sync.Mutex
 	conns  map[net.Conn]struct{}
 	closed bool
-	wg     sync.WaitGroup
+
+	connWG   sync.WaitGroup // accept loop, readers, flushers, closers
+	workerWG sync.WaitGroup
+	rpq      chan rpqItem
+
+	srv metrics.Server
 
 	served    atomic.Int64
 	bytes     atomic.Int64
 	accepted  atomic.Int64
 	malformed atomic.Int64
+	aborted   atomic.Int64 // completions dropped because their conn died
 
 	reads    atomic.Int64 // single-segment read commands served
 	writes   atomic.Int64 // write commands served
@@ -36,13 +103,58 @@ type Target struct {
 	vecSegs  atomic.Int64 // segments carried by those vectored reads
 }
 
+// rpqItem is one command posted on the request queue.
+type rpqItem struct {
+	tc  *targetConn
+	req *capsule
+	enq time.Time
+}
+
+// completion is one finished command on a connection's completion queue:
+// a pooled header frame plus at most one payload representation — either
+// zero-copy store-view segments or a pooled staged buffer.
+type completion struct {
+	hdr    []byte
+	view   [][]byte // segments aliasing store memory (reads, zero-copy)
+	staged []byte   // pooled copy (writes staged mode / view fallback)
+	epoch  uint64   // store write epoch when view was captured
+	off    uint64   // request offset, for view re-staging
+	vsegs  []vecSeg // vectored request segments, for view re-staging
+	n      int      // payload byte count
+}
+
+// targetConn is the per-connection engine state.
+type targetConn struct {
+	conn     net.Conn
+	scq      chan completion
+	inflight sync.WaitGroup
+}
+
+// hdrPool recycles completion header frames.
+var hdrPool = sync.Pool{New: func() any { return make([]byte, capsuleHeaderSize) }}
+
 // NewTarget wraps a store; depth bounds per-connection concurrency
-// (default 64).
+// (default 64). Engine knobs take their defaults; use NewTargetConfig to
+// set them.
 func NewTarget(store *blockdev.Store, depth int) *Target {
-	if depth <= 0 {
-		depth = 64
+	return NewTargetConfig(store, Config{Depth: depth})
+}
+
+// NewTargetConfig wraps a store with explicit engine configuration and
+// starts the worker pool.
+func NewTargetConfig(store *blockdev.Store, cfg Config) *Target {
+	cfg = cfg.withDefaults()
+	t := &Target{
+		store: store,
+		cfg:   cfg,
+		conns: make(map[net.Conn]struct{}),
+		rpq:   make(chan rpqItem, cfg.QueueDepth),
 	}
-	return &Target{store: store, depth: depth, conns: make(map[net.Conn]struct{})}
+	for i := 0; i < cfg.Workers; i++ {
+		t.workerWG.Add(1)
+		go t.worker()
+	}
+	return t
 }
 
 // Store returns the exported store.
@@ -51,10 +163,12 @@ func (t *Target) Store() *blockdev.Store { return t.store }
 // Served reports commands completed and payload bytes moved.
 func (t *Target) Served() (cmds, bytes int64) { return t.served.Load(), t.bytes.Load() }
 
-// ConnStats reports connections accepted and connections dropped because
-// of a malformed frame (bad magic or an oversized length field).
-func (t *Target) ConnStats() (accepted, malformed int64) {
-	return t.accepted.Load(), t.malformed.Load()
+// ConnStats reports connections accepted, connections dropped because of
+// a malformed frame (bad magic or an oversized length field), and
+// completions aborted because their connection's write path failed while
+// sibling commands were still in flight.
+func (t *Target) ConnStats() (accepted, malformed, aborted int64) {
+	return t.accepted.Load(), t.malformed.Load(), t.aborted.Load()
 }
 
 // OpStats reports per-opcode service counts: plain reads, writes,
@@ -64,6 +178,11 @@ func (t *Target) OpStats() (reads, writes, vecReads, vecSegments int64) {
 	return t.reads.Load(), t.writes.Load(), t.vecReads.Load(), t.vecSegs.Load()
 }
 
+// ServerStats reports the engine's per-stage counters: queue wait,
+// service and flush time, writev batching, and the zero-copy/staged
+// payload split.
+func (t *Target) ServerStats() metrics.ServerSnapshot { return t.srv.Snapshot() }
+
 // Listen starts serving on addr (e.g. "127.0.0.1:0") and returns the
 // bound address. Serving proceeds on background goroutines until Close.
 func (t *Target) Listen(addr string) (string, error) {
@@ -72,13 +191,13 @@ func (t *Target) Listen(addr string) (string, error) {
 		return "", err
 	}
 	t.ln = ln
-	t.wg.Add(1)
+	t.connWG.Add(1)
 	go t.acceptLoop()
 	return ln.Addr().String(), nil
 }
 
 func (t *Target) acceptLoop() {
-	defer t.wg.Done()
+	defer t.connWG.Done()
 	for {
 		conn, err := t.ln.Accept()
 		if err != nil {
@@ -93,19 +212,19 @@ func (t *Target) acceptLoop() {
 		t.conns[conn] = struct{}{}
 		t.mu.Unlock()
 		t.accepted.Add(1)
-		t.wg.Add(1)
+		t.connWG.Add(1)
 		go t.serveConn(conn)
 	}
 }
 
 func (t *Target) serveConn(conn net.Conn) {
-	defer t.wg.Done()
-	defer func() {
+	defer t.connWG.Done()
+	cleanup := func() {
 		t.mu.Lock()
 		delete(t.conns, conn)
 		t.mu.Unlock()
 		conn.Close() //nolint:errcheck
-	}()
+	}
 
 	// Handshake: hello in, hello out with depth and capacity.
 	hello, err := readCapsule(conn)
@@ -113,31 +232,312 @@ func (t *Target) serveConn(conn net.Conn) {
 		if errors.Is(err, ErrBadMagic) || errors.Is(err, ErrTooLarge) {
 			t.malformed.Add(1)
 		}
+		cleanup()
 		return
 	}
-	var wmu sync.Mutex // serialises response frames; also guards whdr
-	whdr := make([]byte, capsuleHeaderSize)
 	reply := &capsule{
 		cmdID:   uint64(t.store.Capacity()),
 		opcode:  opHello,
-		offset:  uint64(t.depth),
+		offset:  uint64(t.cfg.Depth),
 		payload: nil,
 	}
 	if err := writeCapsule(conn, reply); err != nil {
+		cleanup()
 		return
 	}
 
-	sem := make(chan struct{}, t.depth)
+	if t.cfg.PerCmdGoroutines {
+		defer cleanup()
+		t.serveLegacy(conn)
+		return
+	}
+
+	tc := &targetConn{conn: conn, scq: make(chan completion, t.cfg.Depth)}
+	t.connWG.Add(1)
+	go func() {
+		defer t.connWG.Done()
+		t.flushLoop(tc)
+		cleanup()
+	}()
+
+	// Buffered ingestion: a read capsule is 30 bytes, so pulling commands
+	// straight off the socket costs two recv syscalls per command. The
+	// buffered reader lets one recv ingest every capsule the initiator
+	// has queued — the ingestion-side mirror of the flusher's coalesced
+	// writev. (Payloads larger than the buffer bypass it, so writes are
+	// not double-copied.)
+	br := bufio.NewReaderSize(conn, 64<<10)
 	rhdr := make([]byte, capsuleHeaderSize)
-	var cwg sync.WaitGroup
-	defer cwg.Wait()
 	for {
 		// Request payloads (write data, vec descriptors) come from the
 		// shared pool and go back once the command is served.
-		req, err := readCapsuleHdr(conn, rhdr, bufpool.Shared.Get)
+		req, err := readCapsuleHdr(br, rhdr, bufpool.Shared.Get)
 		if err != nil {
 			// io.EOF and closed connections are normal teardown; only a
 			// malformed frame is worth a log line.
+			if errors.Is(err, ErrBadMagic) || errors.Is(err, ErrTooLarge) {
+				t.malformed.Add(1)
+				log.Printf("nvmetcp: dropping connection: %v", err)
+			}
+			break
+		}
+		tc.inflight.Add(1)
+		t.rpq <- rpqItem{tc: tc, req: req, enq: time.Now()}
+	}
+	// No more submissions can arrive. Once in-flight commands drain,
+	// close the completion queue so the flusher exits and tears the
+	// connection down.
+	t.connWG.Add(1)
+	go func() {
+		defer t.connWG.Done()
+		tc.inflight.Wait()
+		close(tc.scq)
+	}()
+}
+
+// worker drains the shared request-posting queue: execute against the
+// store, then hand the completion to the owning connection's queue. The
+// flusher always consumes the queue until it is closed, so this send
+// cannot deadlock even when the connection is dead.
+func (t *Target) worker() {
+	defer t.workerWG.Done()
+	for it := range t.rpq {
+		t.srv.QueueWaitNanos.Add(int64(time.Since(it.enq)))
+		start := time.Now()
+		comp := t.execute(it.req, !t.cfg.NoZeroCopy)
+		bufpool.Shared.Put(it.req.payload)
+		t.srv.ServiceNanos.Add(int64(time.Since(start)))
+		it.tc.scq <- comp
+		it.tc.inflight.Done()
+	}
+}
+
+// flushLoop drains one connection's completion queue, coalescing every
+// immediately-available completion into a single vectored write so
+// syscalls amortise across the queue depth. On a write error it aborts:
+// the connection is closed (stopping the reader) and every remaining
+// completion is drained, recycled and counted, rather than left to
+// execute silently against a dead connection.
+func (t *Target) flushLoop(tc *targetConn) {
+	batch := make([]completion, 0, t.cfg.Depth)
+	var scratch net.Buffers
+	failed := false
+	for comp := range tc.scq {
+		if failed {
+			t.abort(comp)
+			continue
+		}
+		batch = append(batch[:0], comp)
+	coalesce:
+		for len(batch) < cap(batch) {
+			select {
+			case more, ok := <-tc.scq:
+				if !ok {
+					break coalesce // closed; outer range will exit
+				}
+				batch = append(batch, more)
+			default:
+				break coalesce
+			}
+		}
+		start := time.Now()
+		scratch = scratch[:0]
+		for i := range batch {
+			c := &batch[i]
+			// Seqlock check: a write epoch change since view capture
+			// means the segments may no longer carry the bytes the
+			// command read — re-stage them under the store lock.
+			if c.view != nil && t.store.WriteEpoch() != c.epoch {
+				t.restage(c)
+			}
+			scratch = append(scratch, c.hdr)
+			if c.staged != nil {
+				scratch = append(scratch, c.staged)
+			} else {
+				scratch = append(scratch, c.view...)
+			}
+		}
+		if t.cfg.WriteTimeout > 0 {
+			tc.conn.SetWriteDeadline(time.Now().Add(t.cfg.WriteTimeout)) //nolint:errcheck
+		}
+		v := scratch // WriteTo consumes its receiver; keep scratch's header
+		_, err := v.WriteTo(tc.conn)
+		t.srv.FlushNanos.Add(int64(time.Since(start)))
+		t.srv.Flushes.Add(1)
+		t.srv.FlushedCmds.Add(int64(len(batch)))
+		for i := range batch {
+			recycleCompletion(&batch[i])
+		}
+		if err != nil {
+			// Count this batch as aborted delivery and stop the reader;
+			// keep draining so in-flight workers never block.
+			t.aborted.Add(int64(len(batch)))
+			failed = true
+			tc.conn.Close() //nolint:errcheck
+		}
+	}
+}
+
+// abort recycles a completion that can no longer be delivered.
+func (t *Target) abort(comp completion) {
+	t.aborted.Add(1)
+	recycleCompletion(&comp)
+}
+
+func recycleCompletion(c *completion) {
+	hdrPool.Put(c.hdr) //nolint:staticcheck
+	if c.staged != nil {
+		bufpool.Shared.Put(c.staged)
+	}
+	c.hdr, c.staged, c.view = nil, nil, nil
+}
+
+// restage replaces a completion's zero-copy view with a pooled copy read
+// under the store lock, guaranteeing an untorn payload after a write
+// epoch change. Offsets were validated when the view was built, so the
+// locked re-read cannot fail.
+func (t *Target) restage(c *completion) {
+	buf := bufpool.Shared.Get(c.n)
+	if c.vsegs != nil {
+		pos := 0
+		for _, s := range c.vsegs {
+			t.store.ReadAt(buf[pos:pos+int(s.n)], int64(s.off)) //nolint:errcheck
+			pos += int(s.n)
+		}
+	} else {
+		t.store.ReadAt(buf, int64(c.off)) //nolint:errcheck
+	}
+	c.view = nil
+	c.staged = buf
+	t.srv.Restaged.Add(1)
+}
+
+// readLen decodes a read command's 4-byte little-endian length payload,
+// enforcing 0 < want <= maxPayload. The signed cast rejects lengths that
+// would truncate negative on 32-bit platforms; a zero-length read is a
+// protocol violation, not a no-op.
+func readLen(p []byte) (int, byte) {
+	if len(p) != 4 {
+		return 0, statusBadOp
+	}
+	want := int(int32(uint32(p[0]) | uint32(p[1])<<8 | uint32(p[2])<<16 | uint32(p[3])<<24))
+	if want <= 0 {
+		return 0, statusBadOp
+	}
+	if want > maxPayload {
+		return 0, statusRange
+	}
+	return want, statusOK
+}
+
+// execute serves one command and returns its completion, with read
+// payloads as zero-copy store views when zeroCopy is set and pooled
+// staged copies otherwise.
+func (t *Target) execute(req *capsule, zeroCopy bool) completion {
+	comp := completion{hdr: hdrPool.Get().([]byte)}
+	status := statusOK
+	switch req.opcode {
+	case opRead:
+		want, st := readLen(req.payload)
+		if st != statusOK {
+			status = st
+			break
+		}
+		if zeroCopy {
+			view, epoch, err := t.store.View(int64(req.offset), want, nil)
+			if err != nil {
+				status = statusRange
+				break
+			}
+			comp.view, comp.epoch, comp.off = view, epoch, req.offset
+			t.srv.ZeroCopyBytes.Add(int64(want))
+		} else {
+			buf := bufpool.Shared.Get(want)
+			if _, err := t.store.ReadAt(buf, int64(req.offset)); err != nil {
+				bufpool.Shared.Put(buf)
+				status = statusRange
+				break
+			}
+			comp.staged = buf
+			t.srv.StagedBytes.Add(int64(want))
+		}
+		comp.n = want
+		t.bytes.Add(int64(want))
+		t.reads.Add(1)
+	case opReadVec:
+		segs, total, err := decodeVec(req.payload)
+		if err != nil {
+			status = statusBadOp
+			break
+		}
+		if zeroCopy {
+			// One epoch for the whole scatter list: any write between
+			// here and the flush re-stages every segment.
+			epoch := t.store.WriteEpoch()
+			var view [][]byte
+			for _, s := range segs {
+				if view, _, err = t.store.View(int64(s.off), int(s.n), view); err != nil {
+					status = statusRange
+					break
+				}
+			}
+			if status != statusOK {
+				break
+			}
+			comp.view, comp.epoch, comp.vsegs = view, epoch, segs
+			t.srv.ZeroCopyBytes.Add(int64(total))
+		} else {
+			buf := bufpool.Shared.Get(total)
+			pos := 0
+			for _, s := range segs {
+				if _, err := t.store.ReadAt(buf[pos:pos+int(s.n)], int64(s.off)); err != nil {
+					bufpool.Shared.Put(buf)
+					status = statusRange
+					break
+				}
+				pos += int(s.n)
+			}
+			if status != statusOK {
+				break
+			}
+			comp.staged = buf
+			t.srv.StagedBytes.Add(int64(total))
+		}
+		comp.n = total
+		t.bytes.Add(int64(total))
+		t.vecReads.Add(1)
+		t.vecSegs.Add(int64(len(segs)))
+	case opWrite:
+		if _, err := t.store.WriteAt(req.payload, int64(req.offset)); err != nil {
+			status = statusRange
+			break
+		}
+		t.bytes.Add(int64(len(req.payload)))
+		t.writes.Add(1)
+	default:
+		status = statusBadOp
+	}
+	if status != statusOK {
+		comp.view, comp.staged, comp.n = nil, nil, 0
+	}
+	encodeHdr(comp.hdr, req.cmdID, req.opcode, status, 0, comp.n)
+	t.served.Add(1)
+	return comp
+}
+
+// serveLegacy is the pre-engine data path — goroutine per command,
+// staged payloads, one serialised write per completion — retained as the
+// benchmark baseline for the RPQ/SCQ engine.
+func (t *Target) serveLegacy(conn net.Conn) {
+	var wmu sync.Mutex // serialises response frames
+	sem := make(chan struct{}, t.cfg.Depth)
+	rhdr := make([]byte, capsuleHeaderSize)
+	var cwg sync.WaitGroup
+	defer cwg.Wait()
+	dead := &atomic.Bool{}
+	for {
+		req, err := readCapsuleHdr(conn, rhdr, bufpool.Shared.Get)
+		if err != nil {
 			if errors.Is(err, ErrBadMagic) || errors.Is(err, ErrTooLarge) {
 				t.malformed.Add(1)
 				log.Printf("nvmetcp: dropping connection: %v", err)
@@ -149,81 +549,33 @@ func (t *Target) serveConn(conn net.Conn) {
 		go func(req *capsule) {
 			defer cwg.Done()
 			defer func() { <-sem }()
-			resp, pooled := t.execute(req)
+			comp := t.execute(req, false)
 			bufpool.Shared.Put(req.payload)
 			wmu.Lock()
-			err := writeCapsuleHdr(conn, resp, whdr)
+			var err error
+			if dead.Load() {
+				err = net.ErrClosed // sibling saw the write fail; don't write to a dead conn
+			} else {
+				// Old wire shape: header and payload as separate writes.
+				if _, err = conn.Write(comp.hdr); err == nil && comp.staged != nil {
+					_, err = conn.Write(comp.staged)
+				}
+				if err != nil {
+					dead.Store(true)
+				}
+			}
 			wmu.Unlock()
-			bufpool.Shared.Put(pooled)
+			recycleCompletion(&comp)
 			if err != nil {
+				t.aborted.Add(1)
 				conn.Close() //nolint:errcheck
 			}
 		}(req)
 	}
 }
 
-// execute serves one command. The second return value is a pooled buffer
-// backing resp.payload (nil if none) that the caller recycles after the
-// response frame is written.
-func (t *Target) execute(req *capsule) (*capsule, []byte) {
-	resp := &capsule{cmdID: req.cmdID, opcode: req.opcode}
-	switch req.opcode {
-	case opRead:
-		// A read request's 4-byte payload is the little-endian length to
-		// read from req.offset.
-		if len(req.payload) != 4 {
-			resp.status = statusBadOp
-			return resp, nil
-		}
-		want := int(uint32(req.payload[0]) | uint32(req.payload[1])<<8 | uint32(req.payload[2])<<16 | uint32(req.payload[3])<<24)
-		if want > maxPayload {
-			resp.status = statusRange
-			return resp, nil
-		}
-		buf := bufpool.Shared.Get(want)
-		if _, err := t.store.ReadAt(buf, int64(req.offset)); err != nil {
-			bufpool.Shared.Put(buf)
-			resp.status = statusRange
-			return resp, nil
-		}
-		resp.payload = buf
-		t.bytes.Add(int64(want))
-		t.reads.Add(1)
-	case opReadVec:
-		segs, total, err := decodeVec(req.payload)
-		if err != nil {
-			resp.status = statusBadOp
-			return resp, nil
-		}
-		buf := bufpool.Shared.Get(total)
-		pos := 0
-		for _, s := range segs {
-			if _, err := t.store.ReadAt(buf[pos:pos+int(s.n)], int64(s.off)); err != nil {
-				bufpool.Shared.Put(buf)
-				resp.status = statusRange
-				return resp, nil
-			}
-			pos += int(s.n)
-		}
-		resp.payload = buf
-		t.bytes.Add(int64(total))
-		t.vecReads.Add(1)
-		t.vecSegs.Add(int64(len(segs)))
-	case opWrite:
-		if _, err := t.store.WriteAt(req.payload, int64(req.offset)); err != nil {
-			resp.status = statusRange
-			return resp, nil
-		}
-		t.bytes.Add(int64(len(req.payload)))
-		t.writes.Add(1)
-	default:
-		resp.status = statusBadOp
-	}
-	t.served.Add(1)
-	return resp, resp.payload
-}
-
-// Close stops the listener and all connections, waiting for handlers.
+// Close stops the listener and all connections, waiting for readers and
+// flushers, then drains and stops the worker pool.
 func (t *Target) Close() error {
 	t.mu.Lock()
 	if t.closed {
@@ -243,6 +595,8 @@ func (t *Target) Close() error {
 	for _, c := range conns {
 		c.Close() //nolint:errcheck
 	}
-	t.wg.Wait()
+	t.connWG.Wait()
+	close(t.rpq)
+	t.workerWG.Wait()
 	return err
 }

@@ -167,7 +167,7 @@ func TestQPGroupStripesAndRecovers(t *testing.T) {
 	if g.NumQPs() != 3 {
 		t.Fatalf("NumQPs = %d", g.NumQPs())
 	}
-	if accepted, _ := tgt.ConnStats(); accepted != 3 {
+	if accepted, _, _ := tgt.ConnStats(); accepted != 3 {
 		t.Fatalf("accepted %d connections, want 3", accepted)
 	}
 

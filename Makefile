@@ -2,9 +2,18 @@ GO ?= go
 BENCH ?= .
 BENCHCOUNT ?= 5
 
-.PHONY: all vet build test race chaos bench bench-target check clean
+.PHONY: all fmt fmt-check vet build test race chaos bench bench-target bench-smoke fuzz-smoke check clean
 
 all: check
+
+# Rewrite every file gofmt flags; CI runs fmt-check instead so an
+# unformatted file fails the build rather than silently changing.
+fmt:
+	gofmt -w .
+
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 vet:
 	$(GO) vet ./...
@@ -12,8 +21,11 @@ vet:
 build:
 	$(GO) build ./...
 
+# The figure-reproduction suite is a full simulation sweep; on a small
+# machine it alone can exceed go test's default 10m package timeout, so
+# give the suite generous headroom.
 test:
-	$(GO) test ./...
+	$(GO) test -timeout 20m ./...
 
 race:
 	$(GO) test -race ./internal/nvmetcp ./internal/live ./internal/chaos ./internal/bufpool ./internal/blockdev
@@ -36,7 +48,19 @@ bench-target:
 	$(GO) test -run '^$$' -bench BenchmarkTargetServe -benchmem -count=$(BENCHCOUNT) \
 		./internal/nvmetcp
 
-check: vet build test race chaos
+# CI smoke: prove the benchmarks still compile and run one iteration,
+# without paying for a real measurement.
+bench-smoke:
+	$(GO) test -run '^$$' -bench 'BenchmarkLiveEpoch' -benchtime=1x -count=1 ./internal/live
+	$(GO) test -run '^$$' -bench 'BenchmarkTargetServe' -benchtime=1x -count=1 ./internal/nvmetcp
+
+# CI smoke: give each fuzz target 10s on the saved corpus plus fresh
+# inputs; long exploratory runs stay manual.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz FuzzReadCapsule -fuzztime 10s ./internal/nvmetcp
+	$(GO) test -run '^$$' -fuzz FuzzScan -fuzztime 10s ./internal/dataset
+
+check: fmt-check vet build test race chaos
 
 clean:
 	$(GO) clean ./...

@@ -3,6 +3,10 @@
 //	dlfsctl info -nodes 8 -n 100000        # mount in simulation, print directory stats
 //	dlfsctl smoke -targets 3 -n 500        # live path: spin up local TCP targets,
 //	                                       # mount, read an epoch, verify checksums
+//	dlfsctl cluster -ranks 3 -n 600        # multi-node live mount: in-process job of
+//	                                       # N ranks over a TCP coordinator + targets
+//	dlfsctl cluster -rank 1 -world 3 -coord host:4430 -targets a:4420,b:4420,c:4420
+//	                                       # one rank of a real multi-process job
 //	dlfsctl lookup -nodes 4 -n 100000 -name <sample>  # decode one directory entry
 //	dlfsctl trace -nodes 2 -n 2000 -out trace.json    # record a pipeline trace
 //	                                                  # (open in chrome://tracing)
@@ -13,9 +17,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
+	"sync"
 	"time"
 
 	"dlfs/internal/chaos"
+	"dlfs/internal/coord"
 	"dlfs/internal/core"
 	"dlfs/internal/dataset"
 	"dlfs/internal/live"
@@ -38,6 +45,8 @@ func main() {
 		cmdInfo(args)
 	case "smoke":
 		cmdSmoke(args)
+	case "cluster":
+		cmdCluster(args)
 	case "lookup":
 		cmdLookup(args)
 	case "trace":
@@ -48,7 +57,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: dlfsctl {info|smoke|lookup|trace} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: dlfsctl {info|smoke|cluster|lookup|trace} [flags]")
 	os.Exit(2)
 }
 
@@ -231,6 +240,164 @@ func cmdSmoke(args []string) {
 		fmt.Printf("target %d engine: %s\n", i, tgt.ServerStats())
 	}
 	if bad > 0 {
+		os.Exit(1)
+	}
+}
+
+// cmdCluster exercises the multi-node live mount. With -ranks N it runs
+// a whole job in-process: N TCP targets, a TCP coordinator, and N ranks
+// mounting concurrently, then one sliced epoch whose union is verified
+// exactly-once by checksum. With -rank/-world/-coord/-targets it runs a
+// single rank of a real multi-process job (start targets with dlfsd,
+// host the coordinator with dlfsd -coord or -host-coord here on rank 0).
+func cmdCluster(args []string) {
+	fs := flag.NewFlagSet("cluster", flag.ExitOnError)
+	ranks := fs.Int("ranks", 0, "in-process mode: run this many ranks locally (0 = distributed mode)")
+	rank := fs.Int("rank", 0, "distributed mode: this process's rank")
+	world := fs.Int("world", 0, "distributed mode: job size")
+	coordAddr := fs.String("coord", "", "distributed mode: coordinator address")
+	hostCoord := fs.Bool("host-coord", false, "distributed mode: host the coordinator at -coord (usually on rank 0)")
+	targetList := fs.String("targets", "", "distributed mode: comma-separated target addresses, one per rank")
+	n := fs.Int("n", 600, "samples")
+	size := fs.Int("size", 4096, "sample size")
+	seed := fs.Int64("seed", 1, "epoch sequence seed (must match on every rank)")
+	fs.Parse(args) //nolint:errcheck
+
+	ds := dataset.Generate(dataset.Config{Label: "cluster", Seed: 3, NumSamples: *n, Dist: dataset.Fixed(*size)})
+	if *ranks > 0 {
+		runClusterInProcess(*ranks, ds, *seed)
+		return
+	}
+	if *coordAddr == "" || *world <= 0 || *targetList == "" {
+		fatal(errors.New("cluster: distributed mode needs -rank, -world, -coord and -targets (or use -ranks for in-process)"))
+	}
+	addrs := strings.Split(*targetList, ",")
+	if *hostCoord {
+		srv := coord.NewServer(*world, coord.ServerOptions{})
+		if _, err := srv.Listen(*coordAddr); err != nil {
+			fatal(err)
+		}
+		defer srv.Close() //nolint:errcheck
+	}
+	if err := runClusterRank(*coordAddr, *rank, *world, addrs, ds, *seed); err != nil {
+		fatal(err)
+	}
+}
+
+// runClusterRank mounts one rank, consumes its epoch slice, verifies
+// checksums, and prints the rank's mount and pipeline stats.
+func runClusterRank(coordAddr string, rank, world int, addrs []string, ds *dataset.Dataset, seed int64) error {
+	start := time.Now()
+	lfs, err := live.MountCluster(coordAddr, rank, world, addrs, ds, live.Config{})
+	if err != nil {
+		return err
+	}
+	defer lfs.Close() //nolint:errcheck
+	fmt.Printf("rank %d/%d: mounted, directory %#x, %s\n",
+		rank, world, lfs.Directory().Fingerprint(), lfs.MountStats())
+	ep, err := lfs.ClusterSequence(seed)
+	if err != nil {
+		return err
+	}
+	items, err := ep.Drain()
+	if err != nil {
+		return err
+	}
+	bad := 0
+	for _, it := range items {
+		if dataset.ChecksumBytes(it.Data) != ds.Checksum(it.Index) {
+			bad++
+		}
+	}
+	fmt.Printf("rank %d/%d: epoch slice %d/%d samples in %.3fs, %d checksum failures\n",
+		rank, world, len(items), ds.Len(), time.Since(start).Seconds(), bad)
+	if bad > 0 {
+		return fmt.Errorf("rank %d: %d checksum failures", rank, bad)
+	}
+	return nil
+}
+
+// runClusterInProcess stands up targets + coordinator and runs every
+// rank as a goroutine — the single-machine smoke of the multi-node path.
+func runClusterInProcess(world int, ds *dataset.Dataset, seed int64) {
+	addrs := make([]string, world)
+	for i := range addrs {
+		tgt := nvmetcp.NewTarget(blockdev.New(1<<30), 64)
+		addr, err := tgt.Listen("127.0.0.1:0")
+		if err != nil {
+			fatal(err)
+		}
+		defer tgt.Close() //nolint:errcheck
+		addrs[i] = addr
+		fmt.Printf("target %d: %s\n", i, addr)
+	}
+	srv := coord.NewServer(world, coord.ServerOptions{})
+	caddr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		fatal(err)
+	}
+	defer srv.Close() //nolint:errcheck
+	fmt.Printf("coordinator: %s (world %d)\n", caddr, world)
+
+	type rankOut struct {
+		items []live.Item
+		ms    string
+		fp    uint64
+		err   error
+	}
+	outs := make([]rankOut, world)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for r := 0; r < world; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			lfs, err := live.MountCluster(caddr, r, world, addrs, ds, live.Config{})
+			if err != nil {
+				outs[r].err = err
+				return
+			}
+			defer lfs.Close() //nolint:errcheck
+			outs[r].fp = lfs.Directory().Fingerprint()
+			outs[r].ms = lfs.MountStats().String()
+			ep, err := lfs.ClusterSequence(seed)
+			if err != nil {
+				outs[r].err = err
+				return
+			}
+			outs[r].items, outs[r].err = ep.Drain()
+		}(r)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	union := make(map[int]int)
+	bad := 0
+	for r := range outs {
+		if outs[r].err != nil {
+			fatal(fmt.Errorf("rank %d: %w", r, outs[r].err))
+		}
+		if outs[r].fp != outs[0].fp {
+			fatal(fmt.Errorf("rank %d fingerprint %#x != rank 0 %#x", r, outs[r].fp, outs[0].fp))
+		}
+		for _, it := range outs[r].items {
+			union[it.Index]++
+			if dataset.ChecksumBytes(it.Data) != ds.Checksum(it.Index) {
+				bad++
+			}
+		}
+		fmt.Printf("rank %d: %d samples, mount: %s\n", r, len(outs[r].items), outs[r].ms)
+	}
+	dups := 0
+	for _, c := range union {
+		if c != 1 {
+			dups++
+		}
+	}
+	fmt.Printf("cluster: %d ranks, directory %#x on all, %d/%d samples exactly-once in %.3fs (%s), %d dups, %d checksum failures\n",
+		world, outs[0].fp, len(union), ds.Len(), elapsed.Seconds(),
+		metrics.HumanRate(float64(ds.Len())/elapsed.Seconds()), dups, bad)
+	if bad > 0 || dups > 0 || len(union) != ds.Len() {
 		os.Exit(1)
 	}
 }

@@ -5,6 +5,11 @@
 //
 //	dlfsd -listen 127.0.0.1:4420 -capacity 4GiB -depth 64 -workers 4 -queue 256
 //
+// For a multi-node job one storage node additionally hosts the mount
+// coordinator (the barrier/allgather control plane of live.MountCluster):
+//
+//	dlfsd -listen 127.0.0.1:4420 -coord 127.0.0.1:4430 -coord-world 3
+//
 // The daemon serves until interrupted, printing a stats line every
 // -stats interval. The line reports the opcode mix, connection health
 // and the RPQ/SCQ engine's per-stage figures, e.g.:
@@ -24,6 +29,7 @@ import (
 	"time"
 
 	"dlfs/internal/blockdev"
+	"dlfs/internal/coord"
 	"dlfs/internal/metrics"
 	"dlfs/internal/nvmetcp"
 )
@@ -36,11 +42,26 @@ func main() {
 	queue := flag.Int("queue", 0, "request-posting queue depth (0 takes the default)")
 	noZeroCopy := flag.Bool("no-zero-copy", false, "stage read payloads instead of serving store views")
 	stats := flag.Duration("stats", 10*time.Second, "stats print interval (0 disables)")
+	coordAddr := flag.String("coord", "", "also host the multi-node mount coordinator on this address")
+	coordWorld := flag.Int("coord-world", 0, "job size the coordinator waits for (required with -coord)")
 	flag.Parse()
 
 	capBytes, err := parseBytes(*capacity)
 	if err != nil {
 		fatal(err)
+	}
+	var coordSrv *coord.Server
+	if *coordAddr != "" {
+		if *coordWorld <= 0 {
+			fatal(fmt.Errorf("dlfsd: -coord %s needs -coord-world > 0", *coordAddr))
+		}
+		coordSrv = coord.NewServer(*coordWorld, coord.ServerOptions{})
+		caddr, err := coordSrv.Listen(*coordAddr)
+		if err != nil {
+			fatal(err)
+		}
+		defer coordSrv.Close() //nolint:errcheck
+		fmt.Printf("dlfsd: coordinating a %d-rank job on %s\n", *coordWorld, caddr)
 	}
 	cfg := nvmetcp.Config{Depth: *depth, Workers: *workers, QueueDepth: *queue, NoZeroCopy: *noZeroCopy}
 	tgt := nvmetcp.NewTargetConfig(blockdev.New(capBytes), cfg)
@@ -67,6 +88,11 @@ func main() {
 			fmt.Printf("dlfsd: %s\n", statsLine(tgt))
 		case sig := <-stop:
 			fmt.Printf("dlfsd: %v, shutting down\n", sig)
+			if coordSrv != nil {
+				if err := coordSrv.Close(); err != nil {
+					fatal(err)
+				}
+			}
 			if err := tgt.Close(); err != nil {
 				fatal(err)
 			}

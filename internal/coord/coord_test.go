@@ -1,0 +1,255 @@
+package coord
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// startServer spins up a coordinator for world ranks on a loopback port.
+func startServer(t *testing.T, world int) (*Server, string) {
+	t.Helper()
+	srv := NewServer(world, ServerOptions{})
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() }) //nolint:errcheck
+	return srv, addr
+}
+
+// joinAll joins world clients and registers cleanup.
+func joinAll(t *testing.T, addr string, world int) []*Client {
+	t.Helper()
+	cls := make([]*Client, world)
+	for r := 0; r < world; r++ {
+		cl, err := Join(addr, r, world, Options{DialTimeout: 2 * time.Second, WaitTimeout: 5 * time.Second})
+		if err != nil {
+			t.Fatalf("join rank %d: %v", r, err)
+		}
+		t.Cleanup(func() { cl.Close() }) //nolint:errcheck
+		cls[r] = cl
+	}
+	return cls
+}
+
+func TestAllgatherDeliversRankOrderedBlobs(t *testing.T) {
+	const world = 4
+	_, addr := startServer(t, world)
+	cls := joinAll(t, addr, world)
+
+	var wg sync.WaitGroup
+	results := make([][][]byte, world)
+	errs := make([]error, world)
+	for r := 0; r < world; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			blob := bytes.Repeat([]byte{byte(r + 1)}, (r+1)*100)
+			results[r], errs[r] = cls[r].Allgather("dir", blob)
+		}(r)
+	}
+	wg.Wait()
+	for r := 0; r < world; r++ {
+		if errs[r] != nil {
+			t.Fatalf("rank %d: %v", r, errs[r])
+		}
+		if len(results[r]) != world {
+			t.Fatalf("rank %d got %d blobs", r, len(results[r]))
+		}
+		for src, b := range results[r] {
+			want := bytes.Repeat([]byte{byte(src + 1)}, (src+1)*100)
+			if !bytes.Equal(b, want) {
+				t.Fatalf("rank %d blob %d mismatch: %d bytes", r, src, len(b))
+			}
+		}
+	}
+}
+
+func TestBarrierBlocksUntilAllArrive(t *testing.T) {
+	const world = 3
+	_, addr := startServer(t, world)
+	cls := joinAll(t, addr, world)
+
+	released := make(chan int, world)
+	var wg sync.WaitGroup
+	for r := 0; r < world-1; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			if err := cls[r].Barrier("b"); err != nil {
+				t.Errorf("rank %d: %v", r, err)
+			}
+			released <- r
+		}(r)
+	}
+	select {
+	case r := <-released:
+		t.Fatalf("rank %d released before all arrived", r)
+	case <-time.After(100 * time.Millisecond):
+	}
+	if err := cls[world-1].Barrier("b"); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	if len(released) != world-1 {
+		t.Fatalf("only %d ranks released", len(released))
+	}
+}
+
+func TestRepeatedCollectivesOnOneConnection(t *testing.T) {
+	const world = 2
+	_, addr := startServer(t, world)
+	cls := joinAll(t, addr, world)
+	for round := 0; round < 3; round++ {
+		var wg sync.WaitGroup
+		for r := 0; r < world; r++ {
+			wg.Add(1)
+			go func(r int) {
+				defer wg.Done()
+				name := fmt.Sprintf("round-%d", round)
+				if err := cls[r].Barrier(name); err != nil {
+					t.Errorf("barrier %s rank %d: %v", name, r, err)
+					return
+				}
+				got, err := cls[r].Allgather(name, []byte{byte(r), byte(round)})
+				if err != nil {
+					t.Errorf("gather %s rank %d: %v", name, r, err)
+					return
+				}
+				for src := 0; src < world; src++ {
+					if !bytes.Equal(got[src], []byte{byte(src), byte(round)}) {
+						t.Errorf("round %d rank %d: bad blob from %d", round, r, src)
+					}
+				}
+			}(r)
+		}
+		wg.Wait()
+	}
+}
+
+func TestJoinValidation(t *testing.T) {
+	_, addr := startServer(t, 2)
+	if _, err := Join(addr, 0, 3, Options{DialTimeout: time.Second}); err == nil {
+		t.Fatal("world mismatch accepted")
+	}
+	if _, err := Join(addr, 5, 2, Options{DialTimeout: time.Second}); err == nil {
+		t.Fatal("out-of-range rank accepted")
+	}
+	cl, err := Join(addr, 0, 2, Options{DialTimeout: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close() //nolint:errcheck
+	if _, err := Join(addr, 0, 2, Options{DialTimeout: time.Second}); err == nil {
+		t.Fatal("duplicate rank accepted")
+	}
+}
+
+// TestPeerDeathAbortsSurvivors is the fail-fast contract: a rank whose
+// connection dies mid-allgather must surface as a typed *PeerLostError
+// on every survivor well before their wait timeout.
+func TestPeerDeathAbortsSurvivors(t *testing.T) {
+	const world = 3
+	_, addr := startServer(t, world)
+	cls := joinAll(t, addr, world)
+
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			_, errs[r] = cls[r].Allgather("doomed", []byte{byte(r)})
+		}(r)
+	}
+	// Rank 2 dies without contributing: hard connection drop.
+	time.Sleep(50 * time.Millisecond)
+	cls[2].conn.Close() //nolint:errcheck
+
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("survivors wedged after peer death")
+	}
+	for r := 0; r < 2; r++ {
+		var pl *PeerLostError
+		if !errors.As(errs[r], &pl) || !errors.Is(errs[r], ErrPeerLost) {
+			t.Fatalf("rank %d: want PeerLostError, got %v", r, errs[r])
+		}
+		if pl.Rank != 2 {
+			t.Fatalf("rank %d: lost rank = %d, want 2", r, pl.Rank)
+		}
+	}
+	// The job is poisoned: later collectives fail fast too.
+	if err := cls[0].Barrier("after"); !errors.Is(err, ErrPeerLost) {
+		t.Fatalf("post-failure barrier: %v", err)
+	}
+}
+
+// TestGracefulLeaveOutsideCollectiveDoesNotAbort checks an orderly Close
+// between collectives leaves the survivors' job healthy... until they
+// next need the departed rank, which correctly aborts.
+func TestGracefulLeaveOutsideCollective(t *testing.T) {
+	const world = 2
+	_, addr := startServer(t, world)
+	cls := joinAll(t, addr, world)
+	var wg sync.WaitGroup
+	for r := 0; r < world; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			if err := cls[r].Barrier("sync"); err != nil {
+				t.Errorf("rank %d: %v", r, err)
+			}
+		}(r)
+	}
+	wg.Wait()
+	if err := cls[1].Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Client-side reuse after Close is refused locally.
+	if err := cls[1].Barrier("x"); !errors.Is(err, ErrClosed) {
+		t.Fatalf("closed client barrier: %v", err)
+	}
+}
+
+func TestWaitTimeout(t *testing.T) {
+	const world = 2
+	_, addr := startServer(t, world)
+	cl, err := Join(addr, 0, world, Options{DialTimeout: time.Second, WaitTimeout: 150 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close() //nolint:errcheck
+	// Rank 1 never joins, so the barrier cannot complete.
+	start := time.Now()
+	err = cl.Barrier("lonely")
+	if !errors.Is(err, ErrWaitTimeout) {
+		t.Fatalf("want ErrWaitTimeout, got %v", err)
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Fatal("timeout took too long")
+	}
+}
+
+func TestUnpackBlobsRejectsCorruptSets(t *testing.T) {
+	if _, err := unpackBlobs([]byte{1, 0, 0}, 1); err == nil {
+		t.Fatal("short length accepted")
+	}
+	if _, err := unpackBlobs([]byte{5, 0, 0, 0, 'a'}, 1); err == nil {
+		t.Fatal("truncated blob accepted")
+	}
+	if _, err := unpackBlobs([]byte{1, 0, 0, 0, 'a', 'x'}, 1); err == nil {
+		t.Fatal("trailing bytes accepted")
+	}
+	got, err := unpackBlobs([]byte{1, 0, 0, 0, 'a', 0, 0, 0, 0}, 2)
+	if err != nil || string(got[0]) != "a" || len(got[1]) != 0 {
+		t.Fatalf("valid set rejected: %v %q", err, got)
+	}
+}

@@ -1,6 +1,7 @@
 package directory
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"testing"
@@ -353,5 +354,61 @@ func TestLookupAnyFindsOffHomeEntries(t *testing.T) {
 	}
 	if _, _, _, ok := d.LookupAny(key + 1); ok {
 		t.Fatal("LookupAny found absent key")
+	}
+}
+
+// TestFromBlobsErrorPaths pins the allgather-assembly failure modes a
+// live multi-node mount depends on: a truncated wire blob, a peer's
+// blob landing in the wrong slot (duplicate node ID), a key collision
+// smuggled inside one blob, and divergent replicas being caught by the
+// fingerprint rather than by FromBlobs itself.
+func TestFromBlobsErrorPaths(t *testing.T) {
+	d := buildDirectory(t, 3, 20)
+	blobs := make([][]byte, 3)
+	for i := 0; i < 3; i++ {
+		blobs[i] = d.Partition(uint16(i)).Serialize()
+	}
+
+	// Truncated blob: a partial 16-byte entry cannot assemble.
+	trunc := [][]byte{blobs[0], blobs[1][:len(blobs[1])-7], blobs[2]}
+	if _, err := FromBlobs(trunc); !errors.Is(err, ErrCorruptBlob) {
+		t.Fatalf("truncated blob: %v", err)
+	}
+
+	// Duplicate node ID: node 0's blob delivered in slot 1 — every
+	// entry carries NID 0, which slot 1 must reject.
+	dup := [][]byte{blobs[0], blobs[0], blobs[2]}
+	if _, err := FromBlobs(dup); !errors.Is(err, ErrCorruptBlob) {
+		t.Fatalf("duplicate node blob: %v", err)
+	}
+
+	// Duplicate key within one blob: the tree insert refuses it.
+	e := mkEntry(t, 1, 0x42, 0, 16)
+	raw := make([]byte, 32)
+	binary.LittleEndian.PutUint64(raw[0:8], e.W0)
+	binary.LittleEndian.PutUint64(raw[8:16], e.W1)
+	copy(raw[16:], raw[:16])
+	if _, err := FromBlobs([][]byte{{}, raw, {}}); !errors.Is(err, ErrDuplicateKey) {
+		t.Fatalf("duplicate key: %v", err)
+	}
+
+	// Fingerprint mismatch between assembled replicas: FromBlobs accepts
+	// both (each is internally consistent), and the divergence shows up
+	// only in the fingerprint — which is exactly what cluster mount
+	// cross-checks.
+	full, err := FromBlobs(blobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	short := [][]byte{blobs[0], blobs[1], blobs[2][:len(blobs[2])-16]}
+	partial, err := FromBlobs(short)
+	if err != nil {
+		t.Fatalf("dropped-entry replica should still assemble: %v", err)
+	}
+	if partial.Fingerprint() == full.Fingerprint() {
+		t.Fatal("divergent replicas share a fingerprint")
+	}
+	if partial.NumSamples() != full.NumSamples()-1 {
+		t.Fatalf("partial replica has %d of %d samples", partial.NumSamples(), full.NumSamples())
 	}
 }

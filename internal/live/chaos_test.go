@@ -2,11 +2,13 @@ package live
 
 import (
 	"errors"
+	"sync"
 	"testing"
 	"time"
 
 	"dlfs/internal/blockdev"
 	"dlfs/internal/chaos"
+	"dlfs/internal/coord"
 	"dlfs/internal/dataset"
 	"dlfs/internal/nvmetcp"
 )
@@ -368,5 +370,79 @@ func TestChaosBreakerRecoversHalfOpen(t *testing.T) {
 	}
 	if st.Resilience.BreakerProbes < 1 {
 		t.Fatalf("no probe counted: %s", st.Resilience)
+	}
+}
+
+// TestChaosClusterPeerDiesMidAllgather is the multi-node fail-fast
+// acceptance case: rank 2's coordinator connection runs through a chaos
+// proxy whose byte budget kills it partway through sending the
+// directory blob. The surviving ranks must fail their mount with a
+// typed coord.PeerLostError naming rank 2 — fast, via the
+// coordinator's abort broadcast, not by waiting out a timeout.
+func TestChaosClusterPeerDiesMidAllgather(t *testing.T) {
+	const world = 3
+	addrs := startTargets(t, world)
+	srv := coord.NewServer(world, coord.ServerOptions{})
+	caddr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close() //nolint:errcheck
+
+	// The doomed rank's control-plane path: budget enough for the join
+	// handshake and the mount-start barrier, but not for the full
+	// directory blob (80 samples / 3 ranks ≈ 26 entries ≈ 430 B), so
+	// the connection dies mid-allgather by construction.
+	doomed := chaos.NewProxy(caddr, chaos.Config{Seed: 1, MaxConnBytes: 220})
+	daddr, err := doomed.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer doomed.Close() //nolint:errcheck
+
+	ds := testDS(80, 2000)
+	cfg := Config{CoordWaitTimeout: 10 * time.Second}
+	var wg sync.WaitGroup
+	errs := make([]error, world)
+	start := time.Now()
+	for r := 0; r < world; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			coordAddr := caddr
+			if r == 2 {
+				coordAddr = daddr
+			}
+			var fs *FS
+			fs, errs[r] = MountCluster(coordAddr, r, world, addrs, ds, cfg)
+			if fs != nil {
+				fs.Close() //nolint:errcheck
+			}
+		}(r)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("cluster mount wedged after mid-allgather death")
+	}
+	if elapsed := time.Since(start); elapsed > cfg.withDefaults().DialTimeout {
+		t.Fatalf("survivors took %v to fail, want under the %v dial timeout", elapsed, cfg.withDefaults().DialTimeout)
+	}
+	if errs[2] == nil {
+		t.Fatal("doomed rank mounted through a killed connection")
+	}
+	for r := 0; r < 2; r++ {
+		var pl *coord.PeerLostError
+		if !errors.As(errs[r], &pl) || !errors.Is(errs[r], coord.ErrPeerLost) {
+			t.Fatalf("rank %d: want PeerLostError, got %v", r, errs[r])
+		}
+		if pl.Rank != 2 {
+			t.Fatalf("rank %d blames rank %d, want 2", r, pl.Rank)
+		}
+	}
+	if k := doomed.Stats().Kills; k < 1 {
+		t.Fatalf("chaos proxy recorded %d kills", k)
 	}
 }

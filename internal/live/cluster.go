@@ -1,0 +1,274 @@
+package live
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"time"
+
+	"dlfs/internal/coord"
+	"dlfs/internal/dataset"
+	"dlfs/internal/directory"
+	"dlfs/internal/hugepage"
+	"dlfs/internal/metrics"
+	"dlfs/internal/plan"
+	"dlfs/internal/sample"
+)
+
+// ErrFingerprintMismatch marks a multi-node mount whose assembled
+// directory replicas disagree after the allgather. Match with errors.Is;
+// the concrete error is a *FingerprintError.
+var ErrFingerprintMismatch = errors.New("live: directory fingerprint mismatch across ranks")
+
+// FingerprintError identifies which peer's replica diverged.
+type FingerprintError struct {
+	Rank   int    // the local rank
+	Local  uint64 // this rank's assembled fingerprint
+	Peer   int    // first disagreeing peer
+	Remote uint64 // that peer's fingerprint
+}
+
+func (e *FingerprintError) Error() string {
+	return fmt.Sprintf("live: rank %d assembled directory %#x but rank %d has %#x",
+		e.Rank, e.Local, e.Peer, e.Remote)
+}
+
+// Unwrap lets errors.Is(err, ErrFingerprintMismatch) match.
+func (e *FingerprintError) Unwrap() error { return ErrFingerprintMismatch }
+
+// Collective names used by the mount protocol; epochs use
+// epochGatherPrefix + seed so repeated mounts over one coordinator never
+// collide.
+const (
+	gatherDirectory   = "dlfs/mount/dir"
+	gatherFingerprint = "dlfs/mount/fp"
+	barrierMountStart = "dlfs/mount/start"
+	barrierMountDone  = "dlfs/mount/done"
+)
+
+// MountCluster is the live multi-node dlfs_mount (paper §III-B2): rank
+// joins the coordinator at coordAddr, uploads only its hash-shard of the
+// dataset to its own target (addrs[rank]), builds the home-node
+// directory partition, and exchanges serialized partitions with the
+// other world-1 ranks through a TCP allgather. Every rank then assembles
+// the full replicated directory with directory.FromBlobs and asserts —
+// via a second allgather of the 64-bit fingerprints — that all replicas
+// are identical. world must equal len(addrs): one exported target per
+// rank.
+//
+// The returned FS reads from all targets like a single-node Mount, and
+// additionally answers ClusterSequence with this rank's disjoint slice
+// of the seeded global epoch order. A peer dying mid-mount surfaces as
+// an error matching coord.ErrPeerLost on every survivor; replica
+// divergence surfaces as ErrFingerprintMismatch.
+func MountCluster(coordAddr string, rank, world int, addrs []string, ds *dataset.Dataset, cfg Config) (*FS, error) {
+	cfg = cfg.withDefaults()
+	if world != len(addrs) {
+		return nil, fmt.Errorf("live: world %d but %d targets (one target per rank)", world, len(addrs))
+	}
+	if rank < 0 || rank >= world {
+		return nil, fmt.Errorf("live: rank %d out of range for world %d", rank, world)
+	}
+	mm := &metrics.Mount{}
+	cl, err := coord.Join(coordAddr, rank, world, coord.Options{
+		DialTimeout: cfg.DialTimeout,
+		WaitTimeout: cfg.CoordWaitTimeout,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("live: coordinator: %w", err)
+	}
+	fail := func(err error) (*FS, error) {
+		cl.Close() //nolint:errcheck
+		return nil, err
+	}
+
+	counters := &metrics.Resilience{}
+	targets, err := dialTargets(addrs, cfg, counters)
+	if err != nil {
+		return fail(err)
+	}
+	failTargets := func(err error) (*FS, error) {
+		for _, tg := range targets {
+			tg.qp.Close() //nolint:errcheck
+		}
+		return fail(err)
+	}
+	if err := timedBarrier(cl, barrierMountStart, mm); err != nil {
+		return failTargets(fmt.Errorf("live: mount barrier: %w", err))
+	}
+
+	// Index phase: walk the dataset in index order. Every rank computes
+	// the full deterministic placement (home node and offset of every
+	// sample) but uploads and indexes only its own shard — the paper's
+	// "each node builds the AVL tree for the samples it stored".
+	istart := time.Now()
+	n := world
+	part := directory.NewPartition(uint16(rank))
+	offs := make([]int64, n)
+	placed := make([]plan.Placed, ds.Len())
+	nodeOf := make([]uint16, ds.Len())
+	keyIdx := make(map[uint64]int, ds.Len())
+	for i := 0; i < ds.Len(); i++ {
+		key := ds.Samples[i].Key()
+		if _, dup := keyIdx[key]; dup {
+			return failTargets(fmt.Errorf("live: key collision on sample %d", i))
+		}
+		keyIdx[key] = i
+		nid := directory.HomeNode(key, n)
+		size := ds.Samples[i].Size
+		if nid == uint16(rank) {
+			content := ds.Content(i)
+			if _, err := targets[nid].qp.WriteAt(content, offs[nid]); err != nil {
+				return failTargets(fmt.Errorf("live: rank %d uploading sample %d: %w", rank, i, err))
+			}
+			e, err := sample.NewEntry(nid, key, offs[nid], int32(size))
+			if err != nil {
+				return failTargets(err)
+			}
+			if err := part.Add(e); err != nil {
+				return failTargets(err)
+			}
+			mm.UploadBytes.Add(int64(size))
+		}
+		placed[i] = plan.Placed{Sample: i, Offset: offs[nid], Len: int32(size)}
+		nodeOf[i] = nid
+		offs[nid] += int64(size)
+	}
+	mm.LocalEntries.Store(int64(part.Len()))
+	metrics.AddStage(&mm.IndexNanos, istart)
+
+	// Serialize + allgather + assemble: the §III-B2 directory exchange,
+	// over real sockets instead of the simulated fabric.
+	sstart := time.Now()
+	blob := part.Serialize()
+	mm.BlobBytesOut.Store(int64(len(blob)))
+	metrics.AddStage(&mm.SerializeNanos, sstart)
+
+	gstart := time.Now()
+	blobs, err := cl.Allgather(gatherDirectory, blob)
+	if err != nil {
+		return failTargets(fmt.Errorf("live: directory allgather: %w", err))
+	}
+	metrics.AddStage(&mm.AllgatherNanos, gstart)
+	for r, b := range blobs {
+		if r != rank {
+			mm.BlobBytesIn.Add(int64(len(b)))
+		}
+	}
+
+	astart := time.Now()
+	dir, err := directory.FromBlobs(blobs)
+	if err != nil {
+		return failTargets(fmt.Errorf("live: assembling directory: %w", err))
+	}
+	if dir.NumSamples() != ds.Len() {
+		return failTargets(fmt.Errorf("live: assembled directory has %d entries, dataset has %d", dir.NumSamples(), ds.Len()))
+	}
+	// Cross-check the replicated entries against the local deterministic
+	// placement: every sample must resolve to the offset this rank
+	// computed, or a peer indexed a different dataset.
+	for i := 0; i < ds.Len(); i++ {
+		e, _, _, ok := dir.Lookup(ds.Samples[i].Key())
+		if !ok || e.NID() != nodeOf[i] || e.Offset() != placed[i].Offset || e.Len() != placed[i].Len {
+			return failTargets(fmt.Errorf("live: replicated entry for sample %d disagrees with local placement", i))
+		}
+	}
+	mm.TotalEntries.Store(int64(dir.NumSamples()))
+	metrics.AddStage(&mm.AssembleNanos, astart)
+
+	// Fingerprint assertion: every rank's assembled replica must hash
+	// identically. The exchange reuses the allgather, so the check also
+	// covers blob corruption that FromBlobs cannot see.
+	fp := dir.Fingerprint()
+	var fpw [8]byte
+	binary.LittleEndian.PutUint64(fpw[:], fp)
+	fps, err := cl.Allgather(gatherFingerprint, fpw[:])
+	if err != nil {
+		return failTargets(fmt.Errorf("live: fingerprint allgather: %w", err))
+	}
+	for r, b := range fps {
+		if len(b) != 8 {
+			return failTargets(fmt.Errorf("live: rank %d sent a %d-byte fingerprint", r, len(b)))
+		}
+		if got := binary.LittleEndian.Uint64(b); got != fp {
+			return failTargets(&FingerprintError{Rank: rank, Local: fp, Peer: r, Remote: got})
+		}
+	}
+	if err := timedBarrier(cl, barrierMountDone, mm); err != nil {
+		return failTargets(fmt.Errorf("live: mount barrier: %w", err))
+	}
+
+	arena, err := hugepage.NewArena(cfg.CacheBytes, cfg.ChunkSize)
+	if err != nil {
+		return failTargets(err)
+	}
+	fs := &FS{
+		cfg:      cfg,
+		ds:       ds,
+		dir:      dir,
+		targets:  targets,
+		counters: counters,
+		pipe:     &metrics.Pipeline{},
+		arena:    hugepage.NewBlocking(arena),
+		placed:   placed,
+		nodeOf:   nodeOf,
+		keyIdx:   keyIdx,
+		rank:     rank,
+		world:    world,
+		coord:    cl,
+		mstats:   mm,
+	}
+	fs.finishSetup()
+	return fs, nil
+}
+
+// timedBarrier runs one coordinator barrier, accounting the wait.
+func timedBarrier(cl *coord.Client, name string, mm *metrics.Mount) error {
+	start := time.Now()
+	if err := cl.Barrier(name); err != nil {
+		return err
+	}
+	metrics.AddStage(&mm.BarrierNanos, start)
+	mm.Barriers.Add(1)
+	return nil
+}
+
+// Rank reports this client's rank (0 for a single-node Mount).
+func (fs *FS) Rank() int { return fs.rank }
+
+// World reports the job size (1 for a single-node Mount).
+func (fs *FS) World() int { return fs.world }
+
+// Coordinator exposes the control-plane client of a cluster mount (nil
+// for a single-node Mount), for job-level barriers between epochs.
+func (fs *FS) Coordinator() *coord.Client { return fs.coord }
+
+// MountStats reports the mount phase counters. Single-node mounts
+// return a zero snapshot.
+func (fs *FS) MountStats() metrics.MountSnapshot {
+	if fs.mstats == nil {
+		return metrics.MountSnapshot{}
+	}
+	return fs.mstats.Snapshot()
+}
+
+// ClusterSequence starts this rank's slice of the seeded global epoch:
+// every rank builds the identical shuffled unit order from the shared
+// seed (the frontend batching insight of §III-D1 — the access sequence
+// is known in advance), then consumes only the units congruent to its
+// rank, so the job covers each sample exactly once with no coordination
+// traffic during the epoch.
+func (fs *FS) ClusterSequence(seed int64) (*Epoch, error) {
+	return fs.SequenceSlice(seed, fs.rank, fs.world)
+}
+
+// SequenceSlice starts rank's 1/world slice of the seeded epoch order.
+// Slices for the same seed are disjoint and their union over all ranks
+// is exactly the full dataset. rank/world need not match the mount's
+// own cluster shape (a single-node FS can dry-run any slice).
+func (fs *FS) SequenceSlice(seed int64, rank, world int) (*Epoch, error) {
+	if world <= 0 || rank < 0 || rank >= world {
+		return nil, fmt.Errorf("live: bad sequence slice %d/%d", rank, world)
+	}
+	return fs.sequence(seed, rank, world)
+}

@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"dlfs/internal/bufpool"
+	"dlfs/internal/coord"
 	"dlfs/internal/dataset"
 	"dlfs/internal/directory"
 	"dlfs/internal/hugepage"
@@ -48,6 +49,9 @@ type Config struct {
 	Prefetchers    int   // concurrent chunk fetchers (default 4)
 	Window         int   // resident units to randomise across (default 8)
 	ReadCacheBytes int64 // ReadSample V-bit cache budget (default 8 MiB; <0 disables)
+
+	// Coordinator knobs (MountCluster only).
+	CoordWaitTimeout time.Duration // collective wait bound (default 60s; <0 disables)
 
 	// Pipeline knobs.
 	QueuePairs    int   // connections per target, commands striped across them (default 2)
@@ -67,6 +71,13 @@ type Config struct {
 	AllowDegraded    bool          // skip down targets instead of failing the epoch
 }
 
+// withDefaults resolves zero values to defaults. Two knobs distinguish
+// "unset" from "off": RequestTimeout and ReadCacheBytes (and the
+// cluster-only CoordWaitTimeout) treat zero as "take the default" and
+// any negative value as "disabled". Negative values are normalized to
+// the canonical sentinel -1 so downstream comparisons (and tests) see
+// one disabled representation regardless of which negative the caller
+// passed. Every other knob treats all non-positive values as unset.
 func (c Config) withDefaults() Config {
 	if c.ChunkSize <= 0 {
 		c.ChunkSize = 256 << 10
@@ -85,6 +96,13 @@ func (c Config) withDefaults() Config {
 	}
 	if c.ReadCacheBytes == 0 {
 		c.ReadCacheBytes = 8 << 20
+	} else if c.ReadCacheBytes < 0 {
+		c.ReadCacheBytes = -1
+	}
+	if c.CoordWaitTimeout == 0 {
+		c.CoordWaitTimeout = 60 * time.Second
+	} else if c.CoordWaitTimeout < 0 {
+		c.CoordWaitTimeout = -1
 	}
 	if c.QueuePairs <= 0 {
 		c.QueuePairs = 2
@@ -100,6 +118,8 @@ func (c Config) withDefaults() Config {
 	}
 	if c.RequestTimeout == 0 {
 		c.RequestTimeout = 10 * time.Second
+	} else if c.RequestTimeout < 0 {
+		c.RequestTimeout = -1
 	}
 	if c.MaxRetries <= 0 {
 		c.MaxRetries = 4
@@ -134,6 +154,12 @@ type FS struct {
 	nodeOf   []uint16
 	keyIdx   map[uint64]int
 	closed   bool
+
+	// Cluster state (zero/nil on a single-node Mount).
+	rank   int
+	world  int
+	coord  *coord.Client
+	mstats *metrics.Mount
 }
 
 // Errors.
@@ -148,30 +174,10 @@ var (
 // owns closing the returned FS.
 func Mount(addrs []string, ds *dataset.Dataset, cfg Config) (*FS, error) {
 	cfg = cfg.withDefaults()
-	if len(addrs) == 0 {
-		return nil, errors.New("live: no targets")
-	}
 	counters := &metrics.Resilience{}
-	opt := nvmetcp.Options{DialTimeout: cfg.DialTimeout, RequestTimeout: cfg.RequestTimeout}
-	targets := make([]*target, len(addrs))
-	for i, a := range addrs {
-		qp, err := nvmetcp.NewQPGroup(a, cfg.QueuePairs, opt, nvmetcp.RetryPolicy{
-			MaxRetries: cfg.MaxRetries,
-			BaseDelay:  cfg.RetryBaseDelay,
-			MaxDelay:   cfg.RetryMaxDelay,
-			Seed:       int64(i) + 1,
-		}, counters)
-		if err != nil {
-			for _, prev := range targets[:i] {
-				prev.qp.Close() //nolint:errcheck
-			}
-			return nil, fmt.Errorf("live: target %s: %w", a, err)
-		}
-		targets[i] = &target{
-			addr: a,
-			qp:   qp,
-			brk:  newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown, counters),
-		}
+	targets, err := dialTargets(addrs, cfg, counters)
+	if err != nil {
+		return nil, err
 	}
 
 	n := len(addrs)
@@ -224,14 +230,50 @@ func Mount(addrs []string, ds *dataset.Dataset, cfg Config) (*FS, error) {
 		placed:   placed,
 		nodeOf:   nodeOf,
 		keyIdx:   keyIdx,
+		world:    1,
 	}
-	if !cfg.NoBufferPool {
+	fs.finishSetup()
+	return fs, nil
+}
+
+// dialTargets opens a queue-pair group per target address, closing any
+// already-open groups on failure.
+func dialTargets(addrs []string, cfg Config, counters *metrics.Resilience) ([]*target, error) {
+	if len(addrs) == 0 {
+		return nil, errors.New("live: no targets")
+	}
+	opt := nvmetcp.Options{DialTimeout: cfg.DialTimeout, RequestTimeout: cfg.RequestTimeout}
+	targets := make([]*target, len(addrs))
+	for i, a := range addrs {
+		qp, err := nvmetcp.NewQPGroup(a, cfg.QueuePairs, opt, nvmetcp.RetryPolicy{
+			MaxRetries: cfg.MaxRetries,
+			BaseDelay:  cfg.RetryBaseDelay,
+			MaxDelay:   cfg.RetryMaxDelay,
+			Seed:       int64(i) + 1,
+		}, counters)
+		if err != nil {
+			for _, prev := range targets[:i] {
+				prev.qp.Close() //nolint:errcheck
+			}
+			return nil, fmt.Errorf("live: target %s: %w", a, err)
+		}
+		targets[i] = &target{
+			addr: a,
+			qp:   qp,
+			brk:  newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown, counters),
+		}
+	}
+	return targets, nil
+}
+
+// finishSetup attaches the buffer pool and read cache configured by cfg.
+func (fs *FS) finishSetup() {
+	if !fs.cfg.NoBufferPool {
 		fs.pool = bufpool.New()
 	}
-	if cfg.ReadCacheBytes > 0 {
-		fs.scache = newSampleCache(cfg.ReadCacheBytes, fs.pipe, fs.alloc, fs.Recycle, fs.setV)
+	if fs.cfg.ReadCacheBytes > 0 {
+		fs.scache = newSampleCache(fs.cfg.ReadCacheBytes, fs.pipe, fs.alloc, fs.Recycle, fs.setV)
 	}
-	return fs, nil
 }
 
 // Directory exposes the sample directory.
@@ -320,7 +362,8 @@ func (fs *FS) ReadName(name string, attrs ...string) ([]byte, error) {
 	return fs.ReadSample(idx)
 }
 
-// Close tears down the target connections.
+// Close tears down the target connections and, on a cluster mount,
+// departs the coordinator.
 func (fs *FS) Close() error {
 	if fs.closed {
 		return nil
@@ -329,6 +372,11 @@ func (fs *FS) Close() error {
 	var err error
 	for _, tg := range fs.targets {
 		if cerr := tg.qp.Close(); err == nil {
+			err = cerr
+		}
+	}
+	if fs.coord != nil {
+		if cerr := fs.coord.Close(); err == nil {
 			err = cerr
 		}
 	}
@@ -390,6 +438,16 @@ type Epoch struct {
 // Prefetchers workers — sequence-driven prefetch with request
 // coalescing. Background fetchers start immediately.
 func (fs *FS) Sequence(seed int64) (*Epoch, error) {
+	return fs.sequence(seed, 0, 1)
+}
+
+// sequence builds the seeded global unit order and starts the fetch
+// pipeline over the rank-th of world disjoint slices (0/1 = the whole
+// epoch). The unit plan and the shuffle derive only from the seed and
+// the deterministic placement, so every rank of a cluster job computes
+// the identical global order and unit i can be assigned to rank
+// i % world with no coordination.
+func (fs *FS) sequence(seed int64, rank, world int) (*Epoch, error) {
 	if fs.closed {
 		return nil, ErrClosed
 	}
@@ -414,8 +472,33 @@ func (fs *FS) Sequence(seed int64) (*Epoch, error) {
 	for _, e := range cp.Edges {
 		units = append(units, &unit{node: e.Node, offset: e.Placed.Offset, length: e.Placed.Len, samples: []plan.Placed{e.Placed}})
 	}
+	// Deterministic global order: sort by (node, offset) before the
+	// seeded shuffle so the slice a rank consumes depends only on the
+	// seed and the placement, never on plan-construction order.
+	sort.Slice(units, func(i, j int) bool {
+		if units[i].node != units[j].node {
+			return units[i].node < units[j].node
+		}
+		if units[i].offset != units[j].offset {
+			return units[i].offset < units[j].offset
+		}
+		// A chunk-aligned edge sample larger than the chunk size can
+		// share (node, offset) with a chunk; length breaks the tie.
+		return units[i].length < units[j].length
+	})
 	rng := rand.New(rand.NewSource(seed))
 	rng.Shuffle(len(units), func(i, j int) { units[i], units[j] = units[j], units[i] })
+	if world > 1 {
+		slice := units[:0:0]
+		for i := rank; i < len(units); i += world {
+			slice = append(slice, units[i])
+		}
+		units = slice
+	}
+	total := 0
+	for _, u := range units {
+		total += len(u.samples)
+	}
 
 	ep := &Epoch{
 		fs:       fs,
@@ -424,7 +507,7 @@ func (fs *FS) Sequence(seed int64) (*Epoch, error) {
 		errCh:    make(chan error, 1),
 		abort:    make(chan struct{}),
 		degNodes: make(map[int]struct{}),
-		total:    cp.NumSamples(),
+		total:    total,
 	}
 	// Fetch pipeline: the dispatcher below coalesces the shuffled unit
 	// stream into groups drained by Prefetchers workers.

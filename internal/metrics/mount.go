@@ -1,0 +1,80 @@
+package metrics
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// Mount aggregates the phase counters of a live multi-node mount — the
+// index → serialize → allgather → assemble decomposition of the paper's
+// §III-B2 directory construction, observed per rank. All fields are safe
+// for concurrent use, though a mount writes them from one goroutine.
+type Mount struct {
+	IndexNanos     atomic.Int64 // building the home partition + uploading the shard
+	SerializeNanos atomic.Int64 // encoding the partition blob
+	AllgatherNanos atomic.Int64 // exchanging blobs through the coordinator
+	AssembleNanos  atomic.Int64 // deserializing peers' blobs into the full directory
+	BarrierNanos   atomic.Int64 // time spent waiting in mount barriers
+	Barriers       atomic.Int64 // barrier rendezvous completed
+
+	UploadBytes  atomic.Int64 // sample payload bytes this rank wrote to its target
+	BlobBytesOut atomic.Int64 // serialized partition bytes this rank contributed
+	BlobBytesIn  atomic.Int64 // serialized partition bytes received from peers
+
+	LocalEntries atomic.Int64 // directory entries this rank indexed
+	TotalEntries atomic.Int64 // entries in the assembled directory
+}
+
+// Snapshot returns a point-in-time copy for reporting.
+func (m *Mount) Snapshot() MountSnapshot {
+	return MountSnapshot{
+		IndexNanos:     m.IndexNanos.Load(),
+		SerializeNanos: m.SerializeNanos.Load(),
+		AllgatherNanos: m.AllgatherNanos.Load(),
+		AssembleNanos:  m.AssembleNanos.Load(),
+		BarrierNanos:   m.BarrierNanos.Load(),
+		Barriers:       m.Barriers.Load(),
+		UploadBytes:    m.UploadBytes.Load(),
+		BlobBytesOut:   m.BlobBytesOut.Load(),
+		BlobBytesIn:    m.BlobBytesIn.Load(),
+		LocalEntries:   m.LocalEntries.Load(),
+		TotalEntries:   m.TotalEntries.Load(),
+	}
+}
+
+// MountSnapshot is a plain-value copy of Mount counters.
+type MountSnapshot struct {
+	IndexNanos     int64
+	SerializeNanos int64
+	AllgatherNanos int64
+	AssembleNanos  int64
+	BarrierNanos   int64
+	Barriers       int64
+	UploadBytes    int64
+	BlobBytesOut   int64
+	BlobBytesIn    int64
+	LocalEntries   int64
+	TotalEntries   int64
+}
+
+// ReplicationFactor reports assembled entries per locally indexed entry —
+// world size on a balanced job, the paper's full-replication invariant.
+func (s MountSnapshot) ReplicationFactor() float64 {
+	if s.LocalEntries == 0 {
+		return 0
+	}
+	return float64(s.TotalEntries) / float64(s.LocalEntries)
+}
+
+// String renders the snapshot as a stats line: per-phase time, then the
+// exchange volumes.
+func (s MountSnapshot) String() string {
+	return fmt.Sprintf(
+		"index=%v serialize=%v allgather=%v assemble=%v barriers=%d/%v upload=%s blob_out=%s blob_in=%s entries=%d/%d",
+		time.Duration(s.IndexNanos), time.Duration(s.SerializeNanos),
+		time.Duration(s.AllgatherNanos), time.Duration(s.AssembleNanos),
+		s.Barriers, time.Duration(s.BarrierNanos),
+		HumanBytes(s.UploadBytes), HumanBytes(s.BlobBytesOut), HumanBytes(s.BlobBytesIn),
+		s.LocalEntries, s.TotalEntries)
+}

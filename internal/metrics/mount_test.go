@@ -1,0 +1,43 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestMountSnapshot(t *testing.T) {
+	var m Mount
+	m.IndexNanos.Store(int64(2 * time.Millisecond))
+	m.SerializeNanos.Store(int64(time.Millisecond))
+	m.AllgatherNanos.Store(int64(5 * time.Millisecond))
+	m.AssembleNanos.Store(int64(3 * time.Millisecond))
+	m.BarrierNanos.Store(int64(4 * time.Millisecond))
+	m.Barriers.Store(2)
+	m.UploadBytes.Store(1 << 20)
+	m.BlobBytesOut.Store(16 * 100)
+	m.BlobBytesIn.Store(16 * 200)
+	m.LocalEntries.Store(100)
+	m.TotalEntries.Store(300)
+
+	s := m.Snapshot()
+	if s.LocalEntries != 100 || s.TotalEntries != 300 || s.Barriers != 2 {
+		t.Fatalf("snapshot: %+v", s)
+	}
+	if got := s.ReplicationFactor(); got != 3 {
+		t.Fatalf("ReplicationFactor = %v, want 3", got)
+	}
+	line := s.String()
+	for _, want := range []string{"allgather=5ms", "entries=100/300", "barriers=2/4ms", "upload=1MiB"} {
+		if !strings.Contains(line, want) {
+			t.Fatalf("stats line missing %q: %s", want, line)
+		}
+	}
+}
+
+func TestMountReplicationFactorEmpty(t *testing.T) {
+	var m Mount
+	if got := m.Snapshot().ReplicationFactor(); got != 0 {
+		t.Fatalf("empty ReplicationFactor = %v", got)
+	}
+}

@@ -46,8 +46,8 @@ func FuzzReadCapsule(f *testing.F) {
 	// a read asking for zero bytes and one whose length truncates
 	// negative through a 32-bit int.
 	var zeroRead, negRead bytes.Buffer
-	writeCapsule(&zeroRead, &capsule{cmdID: 11, opcode: opRead, offset: 4096, payload: []byte{0, 0, 0, 0}})      //nolint:errcheck
-	writeCapsule(&negRead, &capsule{cmdID: 12, opcode: opRead, offset: 4096, payload: []byte{0, 0, 0, 0x80}})    //nolint:errcheck
+	writeCapsule(&zeroRead, &capsule{cmdID: 11, opcode: opRead, offset: 4096, payload: []byte{0, 0, 0, 0}})   //nolint:errcheck
+	writeCapsule(&negRead, &capsule{cmdID: 12, opcode: opRead, offset: 4096, payload: []byte{0, 0, 0, 0x80}}) //nolint:errcheck
 	f.Add(zeroRead.Bytes())
 	f.Add(negRead.Bytes())
 	f.Fuzz(func(t *testing.T, data []byte) {

@@ -2,7 +2,7 @@ GO ?= go
 BENCH ?= .
 BENCHCOUNT ?= 5
 
-.PHONY: all fmt fmt-check vet build test race chaos bench bench-target bench-smoke fuzz-smoke check clean
+.PHONY: all fmt fmt-check vet build test race chaos bench bench-target bench-json bench-smoke fuzz-smoke check clean
 
 all: check
 
@@ -47,6 +47,12 @@ bench:
 bench-target:
 	$(GO) test -run '^$$' -bench BenchmarkTargetServe -benchmem -count=$(BENCHCOUNT) \
 		./internal/nvmetcp
+
+# Machine-readable live-path measurement: epoch throughput trajectory,
+# client and server stage latency quantiles, allocator pressure. CI
+# uploads the report as a build artifact.
+bench-json:
+	$(GO) run ./cmd/dlfsbench -live -json BENCH_5.json
 
 # CI smoke: prove the benchmarks still compile and run one iteration,
 # without paying for a real measurement.

@@ -1,0 +1,221 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"dlfs/internal/blockdev"
+	"dlfs/internal/dataset"
+	"dlfs/internal/live"
+	"dlfs/internal/metrics"
+	"dlfs/internal/nvmetcp"
+)
+
+// The live bench measures the real TCP data path end to end: in-process
+// targets, a live mount with stage histograms on, one warmup epoch, then
+// measured epochs whose throughput trajectory, per-stage latency
+// quantiles (client and server) and allocator pressure land in a
+// machine-readable JSON report (BENCH_5.json in CI).
+
+// histJSON is one latency distribution in the report, seconds-valued
+// like the /metrics exposition.
+type histJSON struct {
+	Count      int64   `json:"count"`
+	P50Seconds float64 `json:"p50_seconds"`
+	P90Seconds float64 `json:"p90_seconds"`
+	P99Seconds float64 `json:"p99_seconds"`
+	MaxSeconds float64 `json:"max_seconds"`
+	MeanSec    float64 `json:"mean_seconds"`
+	SumSeconds float64 `json:"sum_seconds"`
+}
+
+func toHistJSON(h metrics.HistSnapshot) histJSON {
+	return histJSON{
+		Count:      h.Count,
+		P50Seconds: h.P50().Seconds(),
+		P90Seconds: h.P90().Seconds(),
+		P99Seconds: h.P99().Seconds(),
+		MaxSeconds: (time.Duration(h.Max)).Seconds(),
+		MeanSec:    h.Mean().Seconds(),
+		SumSeconds: float64(h.Sum) / 1e9,
+	}
+}
+
+type epochJSON struct {
+	Epoch         int     `json:"epoch"`
+	Seconds       float64 `json:"seconds"`
+	Samples       int     `json:"samples"`
+	SamplesPerSec float64 `json:"samples_per_sec"`
+	BytesPerSec   float64 `json:"bytes_per_sec"`
+}
+
+type liveReport struct {
+	Bench  string `json:"bench"`
+	Schema int    `json:"schema_version"`
+	Config struct {
+		Targets      int     `json:"targets"`
+		Samples      int     `json:"samples"`
+		SampleBytes  int     `json:"sample_bytes"`
+		ChunkBytes   int     `json:"chunk_bytes"`
+		WarmupEpochs int     `json:"warmup_epochs"`
+		Epochs       int     `json:"epochs"`
+		Scale        float64 `json:"scale"`
+	} `json:"config"`
+	Epochs     []epochJSON `json:"epochs"`
+	Throughput struct {
+		SamplesPerSec float64 `json:"samples_per_sec"`
+		BytesPerSec   float64 `json:"bytes_per_sec"`
+	} `json:"throughput"`
+	Alloc struct {
+		AllocsPerSample float64 `json:"allocs_per_sample"`
+		BytesPerSample  float64 `json:"bytes_per_sample"`
+		TotalAllocs     uint64  `json:"total_allocs"`
+		TotalBytes      uint64  `json:"total_bytes"`
+	} `json:"alloc"`
+	ClientStages map[string]histJSON `json:"client_stages"`
+	ServerStages map[string]histJSON `json:"server_stages"`
+	Pipeline     struct {
+		WireReads      int64   `json:"wire_reads"`
+		WireSegments   int64   `json:"wire_segments"`
+		WireBytes      int64   `json:"wire_bytes"`
+		CoalescedUnits int64   `json:"coalesced_units"`
+		PoolHitRate    float64 `json:"pool_hit_rate"`
+	} `json:"pipeline"`
+}
+
+// runLiveBench runs the live epoch benchmark and writes the JSON report
+// to out ("-" writes to stdout).
+func runLiveBench(out string, scale float64) error {
+	const nTargets = 2
+	samples := int(2000 * scale)
+	if samples < 100 {
+		samples = 100
+	}
+	const sampleBytes = 16 << 10
+	const chunkBytes = 64 << 10
+	const warmup, epochs = 1, 3
+
+	addrs := make([]string, nTargets)
+	targets := make([]*nvmetcp.Target, nTargets)
+	for i := range addrs {
+		tgt := nvmetcp.NewTargetConfig(blockdev.New(1<<30), nvmetcp.Config{StageHistograms: true})
+		addr, err := tgt.Listen("127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		defer tgt.Close() //nolint:errcheck
+		targets[i], addrs[i] = tgt, addr
+	}
+	ds := dataset.Generate(dataset.Config{Label: "bench", Seed: 11, NumSamples: samples, Dist: dataset.Fixed(sampleBytes)})
+	fs, err := live.Mount(addrs, ds, live.Config{ChunkSize: chunkBytes, StageHistograms: true})
+	if err != nil {
+		return err
+	}
+	defer fs.Close() //nolint:errcheck
+
+	runEpoch := func(seed int64) (int, time.Duration, error) {
+		ep, err := fs.Sequence(seed)
+		if err != nil {
+			return 0, 0, err
+		}
+		start := time.Now()
+		items, err := ep.Drain()
+		return len(items), time.Since(start), err
+	}
+	for w := 0; w < warmup; w++ {
+		if _, _, err := runEpoch(int64(100 + w)); err != nil {
+			return err
+		}
+	}
+
+	var rep liveReport
+	rep.Bench = "live-epoch"
+	rep.Schema = 1
+	rep.Config.Targets = nTargets
+	rep.Config.Samples = samples
+	rep.Config.SampleBytes = sampleBytes
+	rep.Config.ChunkBytes = chunkBytes
+	rep.Config.WarmupEpochs = warmup
+	rep.Config.Epochs = epochs
+	rep.Config.Scale = scale
+
+	var m0, m1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&m0)
+	var totalSamples int
+	var totalSeconds float64
+	for e := 0; e < epochs; e++ {
+		n, elapsed, err := runEpoch(int64(200 + e))
+		if err != nil {
+			return err
+		}
+		sec := elapsed.Seconds()
+		rep.Epochs = append(rep.Epochs, epochJSON{
+			Epoch:         e + 1,
+			Seconds:       sec,
+			Samples:       n,
+			SamplesPerSec: float64(n) / sec,
+			BytesPerSec:   float64(n) * sampleBytes / sec,
+		})
+		totalSamples += n
+		totalSeconds += sec
+	}
+	runtime.ReadMemStats(&m1)
+
+	rep.Throughput.SamplesPerSec = float64(totalSamples) / totalSeconds
+	rep.Throughput.BytesPerSec = float64(totalSamples) * sampleBytes / totalSeconds
+	rep.Alloc.TotalAllocs = m1.Mallocs - m0.Mallocs
+	rep.Alloc.TotalBytes = m1.TotalAlloc - m0.TotalAlloc
+	rep.Alloc.AllocsPerSample = float64(rep.Alloc.TotalAllocs) / float64(totalSamples)
+	rep.Alloc.BytesPerSample = float64(rep.Alloc.TotalBytes) / float64(totalSamples)
+
+	pipe := fs.Stats().Pipeline
+	if pipe.Stages == nil {
+		return fmt.Errorf("dlfsbench: stage histograms missing from pipeline snapshot")
+	}
+	rep.ClientStages = map[string]histJSON{
+		"prep": toHistJSON(pipe.Stages.Prep),
+		"post": toHistJSON(pipe.Stages.Post),
+		"poll": toHistJSON(pipe.Stages.Poll),
+		"copy": toHistJSON(pipe.Stages.Copy),
+	}
+	var srvStages *metrics.ServerHistSnapshot
+	for _, tgt := range targets {
+		srvStages = srvStages.Merge(tgt.ServerStats().Stages)
+	}
+	if srvStages == nil {
+		return fmt.Errorf("dlfsbench: stage histograms missing from server snapshots")
+	}
+	rep.ServerStages = map[string]histJSON{
+		"qwait":   toHistJSON(srvStages.QueueWait),
+		"service": toHistJSON(srvStages.Service),
+		"flush":   toHistJSON(srvStages.Flush),
+	}
+	rep.Pipeline.WireReads = pipe.WireReads
+	rep.Pipeline.WireSegments = pipe.WireSegments
+	rep.Pipeline.WireBytes = pipe.WireBytes
+	rep.Pipeline.CoalescedUnits = pipe.CoalescedUnits
+	if hm := pipe.PoolHits + pipe.PoolMisses; hm > 0 {
+		rep.Pipeline.PoolHitRate = float64(pipe.PoolHits) / float64(hm)
+	}
+
+	buf, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if out == "-" {
+		_, err = os.Stdout.Write(buf)
+		return err
+	}
+	if err := os.WriteFile(out, buf, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("dlfsbench: live epoch bench: %d samples x %d epochs, %.0f samples/s (%s/s); wrote %s\n",
+		samples, epochs, rep.Throughput.SamplesPerSec,
+		metrics.HumanBytes(int64(rep.Throughput.BytesPerSec)), out)
+	return nil
+}

@@ -8,6 +8,9 @@
 //	dlfsbench -fig 6           # one figure
 //	dlfsbench -fig 7a -scale 0.25
 //	dlfsbench -fig ablation    # design-choice ablations
+//	dlfsbench -live -json BENCH_5.json
+//	                           # live TCP epoch bench: throughput
+//	                           # trajectory + stage quantiles as JSON
 package main
 
 import (
@@ -57,7 +60,17 @@ func main() {
 	figFlag := flag.String("fig", "all", "figure to run: 1,6,7a,7b,8,9,10,11,12,13, ablation, or all")
 	scale := flag.Float64("scale", 1.0, "measurement volume scale (smaller = faster, noisier)")
 	list := flag.Bool("list", false, "list available figures and exit")
+	liveBench := flag.Bool("live", false, "run the live TCP epoch bench instead of the figures")
+	jsonOut := flag.String("json", "BENCH_5.json", "live bench: JSON report path (- for stdout)")
 	flag.Parse()
+
+	if *liveBench {
+		if err := runLiveBench(*jsonOut, *scale); err != nil {
+			fmt.Fprintln(os.Stderr, "dlfsbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *list {
 		for _, f := range append(append([]figure{}, all...), ablations...) {

@@ -139,7 +139,7 @@ func cmdSmoke(args []string) {
 	proxies := make([]*chaos.Proxy, *targets)
 	tgts := make([]*nvmetcp.Target, *targets)
 	for i := range addrs {
-		tgt := nvmetcp.NewTarget(blockdev.New(1<<30), 64)
+		tgt := nvmetcp.NewTargetConfig(blockdev.New(1<<30), nvmetcp.Config{Depth: 64, StageHistograms: true})
 		addr, err := tgt.Listen("127.0.0.1:0")
 		if err != nil {
 			fatal(err)
@@ -169,7 +169,7 @@ func cmdSmoke(args []string) {
 		fmt.Printf("target %d: %s\n", i, addr)
 	}
 	ds := dataset.Generate(dataset.Config{Label: "smoke", Seed: 2, NumSamples: *n, Dist: dataset.Fixed(*size)})
-	cfg := live.Config{QueuePairs: *qps, NoCoalesce: *nocoalesce, NoBufferPool: *nopool}
+	cfg := live.Config{QueuePairs: *qps, NoCoalesce: *nocoalesce, NoBufferPool: *nopool, StageHistograms: true}
 	if *dead >= 0 {
 		// A blackholed target never answers; keep the deadlines and the
 		// retry ladder short so the breaker trips quickly, and let the
@@ -220,6 +220,14 @@ func cmdSmoke(args []string) {
 		metrics.HumanRate(float64(len(items))/elapsed.Seconds()), bad)
 	st := lfs.Stats()
 	fmt.Printf("pipeline (%d QPs/target, %d cache shards): %s\n", st.QueuePairs, st.CacheShards, st.Pipeline)
+	if hs := st.Pipeline.Stages; hs != nil {
+		for _, sh := range []struct {
+			name string
+			h    metrics.HistSnapshot
+		}{{"prep", hs.Prep}, {"post", hs.Post}, {"poll", hs.Poll}, {"copy", hs.Copy}} {
+			fmt.Printf("stage %-5s %s\n", sh.name+":", sh.h)
+		}
+	}
 	fmt.Printf("resilience: %s\n", st.Resilience)
 	for i, th := range st.Targets {
 		fmt.Printf("target %d: breaker %s (consecutive fails %d)\n", i, th.State, th.ConsecFails)
@@ -237,7 +245,13 @@ func cmdSmoke(args []string) {
 			line += fmt.Sprintf(" malformed=%d aborted=%d", malformed, aborted)
 		}
 		fmt.Printf("target %d server: %s\n", i, line)
-		fmt.Printf("target %d engine: %s\n", i, tgt.ServerStats())
+		ss := tgt.ServerStats()
+		fmt.Printf("target %d engine: %s\n", i, ss)
+		if ss.Stages != nil {
+			fmt.Printf("target %d qwait:   %s\n", i, ss.Stages.QueueWait)
+			fmt.Printf("target %d service: %s\n", i, ss.Stages.Service)
+			fmt.Printf("target %d flush:   %s\n", i, ss.Stages.Flush)
+		}
 	}
 	if bad > 0 {
 		os.Exit(1)
@@ -288,13 +302,15 @@ func cmdCluster(args []string) {
 // checksums, and prints the rank's mount and pipeline stats.
 func runClusterRank(coordAddr string, rank, world int, addrs []string, ds *dataset.Dataset, seed int64) error {
 	start := time.Now()
-	lfs, err := live.MountCluster(coordAddr, rank, world, addrs, ds, live.Config{})
+	lfs, err := live.MountCluster(coordAddr, rank, world, addrs, ds, live.Config{StageHistograms: true})
 	if err != nil {
 		return err
 	}
 	defer lfs.Close() //nolint:errcheck
+	ms := lfs.MountStats()
 	fmt.Printf("rank %d/%d: mounted, directory %#x, %s\n",
-		rank, world, lfs.Directory().Fingerprint(), lfs.MountStats())
+		rank, world, lfs.Directory().Fingerprint(), ms)
+	printMountPhases(fmt.Sprintf("rank %d", rank), ms)
 	ep, err := lfs.ClusterSequence(seed)
 	if err != nil {
 		return err
@@ -341,7 +357,7 @@ func runClusterInProcess(world int, ds *dataset.Dataset, seed int64) {
 
 	type rankOut struct {
 		items []live.Item
-		ms    string
+		ms    metrics.MountSnapshot
 		fp    uint64
 		err   error
 	}
@@ -352,14 +368,14 @@ func runClusterInProcess(world int, ds *dataset.Dataset, seed int64) {
 		wg.Add(1)
 		go func(r int) {
 			defer wg.Done()
-			lfs, err := live.MountCluster(caddr, r, world, addrs, ds, live.Config{})
+			lfs, err := live.MountCluster(caddr, r, world, addrs, ds, live.Config{StageHistograms: true})
 			if err != nil {
 				outs[r].err = err
 				return
 			}
 			defer lfs.Close() //nolint:errcheck
 			outs[r].fp = lfs.Directory().Fingerprint()
-			outs[r].ms = lfs.MountStats().String()
+			outs[r].ms = lfs.MountStats()
 			ep, err := lfs.ClusterSequence(seed)
 			if err != nil {
 				outs[r].err = err
@@ -388,6 +404,7 @@ func runClusterInProcess(world int, ds *dataset.Dataset, seed int64) {
 		}
 		fmt.Printf("rank %d: %d samples, mount: %s\n", r, len(outs[r].items), outs[r].ms)
 	}
+	printMountPhases("rank 0", outs[0].ms)
 	dups := 0
 	for _, c := range union {
 		if c != 1 {
@@ -399,6 +416,24 @@ func runClusterInProcess(world int, ds *dataset.Dataset, seed int64) {
 		metrics.HumanRate(float64(ds.Len())/elapsed.Seconds()), dups, bad)
 	if bad > 0 || dups > 0 || len(union) != ds.Len() {
 		os.Exit(1)
+	}
+}
+
+// printMountPhases prints the per-phase mount latency quantiles when the
+// mount ran with stage histograms enabled.
+func printMountPhases(prefix string, ms metrics.MountSnapshot) {
+	if ms.Phases == nil {
+		return
+	}
+	for _, ph := range []struct {
+		name string
+		h    metrics.HistSnapshot
+	}{
+		{"index", ms.Phases.Index}, {"serialize", ms.Phases.Serialize},
+		{"allgather", ms.Phases.Allgather}, {"assemble", ms.Phases.Assemble},
+		{"barrier", ms.Phases.Barrier},
+	} {
+		fmt.Printf("%s phase %-10s %s\n", prefix, ph.name+":", ph.h)
 	}
 }
 

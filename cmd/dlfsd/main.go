@@ -32,6 +32,7 @@ import (
 	"dlfs/internal/coord"
 	"dlfs/internal/metrics"
 	"dlfs/internal/nvmetcp"
+	"dlfs/internal/obs"
 )
 
 func main() {
@@ -44,6 +45,7 @@ func main() {
 	stats := flag.Duration("stats", 10*time.Second, "stats print interval (0 disables)")
 	coordAddr := flag.String("coord", "", "also host the multi-node mount coordinator on this address")
 	coordWorld := flag.Int("coord-world", 0, "job size the coordinator waits for (required with -coord)")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /healthz and /trace.json on this address (enables stage histograms)")
 	flag.Parse()
 
 	capBytes, err := parseBytes(*capacity)
@@ -63,7 +65,10 @@ func main() {
 		defer coordSrv.Close() //nolint:errcheck
 		fmt.Printf("dlfsd: coordinating a %d-rank job on %s\n", *coordWorld, caddr)
 	}
-	cfg := nvmetcp.Config{Depth: *depth, Workers: *workers, QueueDepth: *queue, NoZeroCopy: *noZeroCopy}
+	cfg := nvmetcp.Config{
+		Depth: *depth, Workers: *workers, QueueDepth: *queue, NoZeroCopy: *noZeroCopy,
+		StageHistograms: *metricsAddr != "",
+	}
 	tgt := nvmetcp.NewTargetConfig(blockdev.New(capBytes), cfg)
 	addr, err := tgt.Listen(*listen)
 	if err != nil {
@@ -71,6 +76,16 @@ func main() {
 	}
 	fmt.Printf("dlfsd: serving %s (%d bytes) on %s, queue depth %d\n",
 		metrics.HumanBytes(capBytes), capBytes, addr, *depth)
+	if *metricsAddr != "" {
+		h := obs.NewHandler()
+		h.Register(obs.TargetCollector(addr, tgt))
+		msrv, err := obs.Serve(*metricsAddr, h)
+		if err != nil {
+			fatal(err)
+		}
+		defer msrv.Close() //nolint:errcheck
+		fmt.Printf("dlfsd: metrics on http://%s/metrics\n", msrv.Addr)
+	}
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)

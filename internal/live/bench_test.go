@@ -92,18 +92,25 @@ func BenchmarkLiveEpoch(b *testing.B) {
 }
 
 // BenchmarkReadSample measures the dlfs_open/read/close hot path served
-// from the sharded V-bit cache. The pooled hit path is the allocs/op
-// acceptance bound (≤2 allocs/op).
+// from the sharded V-bit cache. The pooled hit path with histograms off
+// is the allocs/op acceptance bound (≤1 alloc/op, pinned by
+// TestReadSampleHitPathAllocs); the hist cells show the observability
+// overhead — two clock reads and two atomic adds per hit.
 func BenchmarkReadSample(b *testing.B) {
-	for _, pool := range []bool{true, false} {
-		name := "pool"
-		if !pool {
-			name = "nopool"
-		}
-		b.Run(name, func(b *testing.B) {
+	cases := []struct {
+		name       string
+		pool, hist bool
+	}{
+		{"pool", true, false},
+		{"nopool", false, false},
+		{"pool_hist", true, true},
+		{"nopool_hist", false, true},
+	}
+	for _, tc := range cases {
+		b.Run(tc.name, func(b *testing.B) {
 			addrs := benchTargets(b, 1)
 			ds := testDS(64, 4<<10)
-			fs, err := Mount(addrs, ds, Config{NoBufferPool: !pool})
+			fs, err := Mount(addrs, ds, Config{NoBufferPool: !tc.pool, StageHistograms: tc.hist})
 			if err != nil {
 				b.Fatal(err)
 			}

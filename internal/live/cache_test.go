@@ -67,39 +67,6 @@ func TestCacheOversizedEntryNotCached(t *testing.T) {
 	}
 }
 
-// TestReadSampleHitPathAllocs is the allocation guard for the hot read
-// path: a V-bit cache hit served from the buffer pool must cost at most
-// 2 allocations (acceptance bound; steady state is 1 — the interface
-// boxing on Recycle).
-func TestReadSampleHitPathAllocs(t *testing.T) {
-	addrs := startTargets(t, 1)
-	ds := testDS(32, 4<<10)
-	fs, err := Mount(addrs, ds, Config{})
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer fs.Close() //nolint:errcheck
-	for i := 0; i < ds.Len(); i++ {
-		got, err := fs.ReadSample(i)
-		if err != nil {
-			t.Fatal(err)
-		}
-		fs.Recycle(got)
-	}
-	i := 0
-	avg := testing.AllocsPerRun(200, func() {
-		got, err := fs.ReadSample(i % ds.Len())
-		if err != nil {
-			t.Fatal(err)
-		}
-		fs.Recycle(got)
-		i++
-	})
-	if avg > 2 {
-		t.Fatalf("ReadSample hit path: %.1f allocs/op, want <= 2", avg)
-	}
-}
-
 // TestCacheEvictionHoldsBudgetUnderConcurrentReaders is the satellite
 // acceptance test: many goroutines hammering a sharded cache with
 // overlapping working sets must never push the resident footprint past

@@ -70,6 +70,9 @@ func MountCluster(coordAddr string, rank, world int, addrs []string, ds *dataset
 		return nil, fmt.Errorf("live: rank %d out of range for world %d", rank, world)
 	}
 	mm := &metrics.Mount{}
+	if cfg.StageHistograms {
+		mm.Hist = &metrics.MountHist{}
+	}
 	cl, err := coord.Join(coordAddr, rank, world, coord.Options{
 		DialTimeout: cfg.DialTimeout,
 		WaitTimeout: cfg.CoordWaitTimeout,
@@ -135,21 +138,21 @@ func MountCluster(coordAddr string, rank, world int, addrs []string, ds *dataset
 		offs[nid] += int64(size)
 	}
 	mm.LocalEntries.Store(int64(part.Len()))
-	metrics.AddStage(&mm.IndexNanos, istart)
+	mm.ObserveIndex(time.Since(istart))
 
 	// Serialize + allgather + assemble: the §III-B2 directory exchange,
 	// over real sockets instead of the simulated fabric.
 	sstart := time.Now()
 	blob := part.Serialize()
 	mm.BlobBytesOut.Store(int64(len(blob)))
-	metrics.AddStage(&mm.SerializeNanos, sstart)
+	mm.ObserveSerialize(time.Since(sstart))
 
 	gstart := time.Now()
 	blobs, err := cl.Allgather(gatherDirectory, blob)
 	if err != nil {
 		return failTargets(fmt.Errorf("live: directory allgather: %w", err))
 	}
-	metrics.AddStage(&mm.AllgatherNanos, gstart)
+	mm.ObserveAllgather(time.Since(gstart))
 	for r, b := range blobs {
 		if r != rank {
 			mm.BlobBytesIn.Add(int64(len(b)))
@@ -174,7 +177,7 @@ func MountCluster(coordAddr string, rank, world int, addrs []string, ds *dataset
 		}
 	}
 	mm.TotalEntries.Store(int64(dir.NumSamples()))
-	metrics.AddStage(&mm.AssembleNanos, astart)
+	mm.ObserveAssemble(time.Since(astart))
 
 	// Fingerprint assertion: every rank's assembled replica must hash
 	// identically. The exchange reuses the allgather, so the check also
@@ -228,8 +231,7 @@ func timedBarrier(cl *coord.Client, name string, mm *metrics.Mount) error {
 	if err := cl.Barrier(name); err != nil {
 		return err
 	}
-	metrics.AddStage(&mm.BarrierNanos, start)
-	mm.Barriers.Add(1)
+	mm.ObserveBarrier(time.Since(start))
 	return nil
 }
 

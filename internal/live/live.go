@@ -39,6 +39,7 @@ import (
 	"dlfs/internal/nvmetcp"
 	"dlfs/internal/plan"
 	"dlfs/internal/sample"
+	"dlfs/internal/trace"
 )
 
 // Config tunes the live client. Zero values take defaults.
@@ -59,6 +60,10 @@ type Config struct {
 	CoalesceBytes int64 // max bytes merged into one vectored wire read (default 1 MiB)
 	NoCoalesce    bool  // issue one wire read per chunk (baseline mode)
 	NoBufferPool  bool  // allocate per call instead of pooling (baseline mode)
+
+	// Observability knobs.
+	StageHistograms bool                // record per-stage latency histograms (prep/post/poll/copy, ReadSample, mount phases)
+	Trace           *trace.WallRecorder // wall-clock pipeline trace: post/complete/emit/free events (nil disables)
 
 	// Resilience knobs.
 	DialTimeout      time.Duration // target dial + handshake bound (default 5s)
@@ -266,8 +271,12 @@ func dialTargets(addrs []string, cfg Config, counters *metrics.Resilience) ([]*t
 	return targets, nil
 }
 
-// finishSetup attaches the buffer pool and read cache configured by cfg.
+// finishSetup attaches the stage histograms, buffer pool and read cache
+// configured by cfg.
 func (fs *FS) finishSetup() {
+	if fs.cfg.StageHistograms {
+		fs.pipe.Hist = &metrics.PipelineHist{}
+	}
 	if !fs.cfg.NoBufferPool {
 		fs.pool = bufpool.New()
 	}
@@ -322,8 +331,18 @@ func (fs *FS) ReadSample(idx int) ([]byte, error) {
 	if idx < 0 || idx >= fs.ds.Len() {
 		return nil, fmt.Errorf("%w: index %d", ErrNotFound, idx)
 	}
+	// Clock reads are gated on the histogram being enabled so the
+	// disabled hot path stays exactly as cheap as before.
+	var start time.Time
+	hist := fs.pipe.Hist
+	if hist != nil {
+		start = time.Now()
+	}
 	if fs.scache != nil {
 		if hit := fs.scache.get(idx); hit != nil {
+			if hist != nil {
+				hist.Read.Observe(time.Since(start))
+			}
 			return hit, nil
 		}
 	}
@@ -335,6 +354,9 @@ func (fs *FS) ReadSample(idx int) ([]byte, error) {
 	}
 	if fs.scache != nil {
 		fs.scache.put(idx, buf)
+	}
+	if hist != nil {
+		hist.Read.Observe(time.Since(start))
 	}
 	return buf, nil
 }
@@ -391,6 +413,7 @@ type Item struct {
 
 // unit mirrors the core package's fetch granule.
 type unit struct {
+	seq     int // position in this epoch's (sliced) fetch order, for tracing
 	node    uint16
 	offset  int64
 	length  int32
@@ -496,7 +519,8 @@ func (fs *FS) sequence(seed int64, rank, world int) (*Epoch, error) {
 		units = slice
 	}
 	total := 0
-	for _, u := range units {
+	for i, u := range units {
+		u.seq = i
 		total += len(u.samples)
 	}
 
@@ -663,7 +687,10 @@ func (ep *Epoch) fetchGroup(g *fetchGroup) error {
 			bytes += int64(segLen)
 		}
 	}
-	metrics.AddStage(&fs.pipe.PrepNanos, prep)
+	fs.pipe.ObservePrep(time.Since(prep))
+	for _, u := range g.units {
+		fs.cfg.Trace.Record(trace.KindPost, u.seq, u.node, int(u.length))
+	}
 
 	var ferr error
 	post := time.Now()
@@ -677,26 +704,26 @@ func (ep *Epoch) fetchGroup(g *fetchGroup) error {
 			}
 			pendings = append(pendings, pd)
 		}
-		metrics.AddStage(&fs.pipe.PostNanos, post)
+		fs.pipe.ObservePost(time.Since(post))
 		poll := time.Now()
 		for _, pd := range pendings {
 			if _, err := pd.Wait(); err != nil && ferr == nil {
 				ferr = err
 			}
 		}
-		metrics.AddStage(&fs.pipe.PollNanos, poll)
+		fs.pipe.ObservePoll(time.Since(poll))
 		if ferr == nil {
 			fs.pipe.WireReads.Add(int64(len(pendings)))
 			fs.pipe.WireSegments.Add(int64(len(pendings)))
 		}
 	} else {
 		pd, err := tg.qp.ReadVecAsync(segs)
-		metrics.AddStage(&fs.pipe.PostNanos, post)
+		fs.pipe.ObservePost(time.Since(post))
 		poll := time.Now()
 		if err == nil {
 			_, err = pd.Wait()
 		}
-		metrics.AddStage(&fs.pipe.PollNanos, poll)
+		fs.pipe.ObservePoll(time.Since(poll))
 		ferr = err
 		if ferr == nil {
 			fs.pipe.WireReads.Add(1)
@@ -712,6 +739,9 @@ func (ep *Epoch) fetchGroup(g *fetchGroup) error {
 		return ferr
 	}
 	fs.pipe.WireBytes.Add(bytes)
+	for _, u := range g.units {
+		fs.cfg.Trace.Record(trace.KindComplete, u.seq, u.node, int(u.length))
+	}
 	tg.brk.Success()
 	return nil
 }
@@ -784,12 +814,14 @@ func (ep *Epoch) NextBatch() ([]Item, bool, error) {
 		cstart := time.Now()
 		buf := ep.fs.alloc(int(pl.Len))
 		copyFromChunks(u, pl, buf, ep.fs.cfg.ChunkSize)
-		metrics.AddStage(&ep.fs.pipe.CopyNanos, cstart)
+		ep.fs.pipe.ObserveCopy(time.Since(cstart))
+		ep.fs.cfg.Trace.Record(trace.KindEmit, u.seq, u.node, int(pl.Len))
 		items = append(items, Item{Index: pl.Sample, Data: buf})
 		ep.emitted++
 		if u.next == len(u.samples) {
 			ep.fs.arena.Free(u.chunks)
 			u.chunks = nil
+			ep.fs.cfg.Trace.Record(trace.KindFree, u.seq, u.node, 0)
 			ep.resident = append(ep.resident[:k], ep.resident[k+1:]...)
 		}
 	}

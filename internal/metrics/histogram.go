@@ -1,0 +1,205 @@
+package metrics
+
+import (
+	"fmt"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Hist is a lock-light log-linear latency histogram: a fixed array of
+// atomic bucket counters, so Observe is a handful of atomic adds with no
+// allocation and no mutex — safe to call from every pipeline stage
+// concurrently with Snapshot.
+//
+// Bucket layout (the HDR-histogram scheme): each power of two of the
+// nanosecond range is split into histSub linear sub-buckets, so bucket
+// width never exceeds 1/histSub of the bucket's lower bound. Quantile
+// estimates are reported as the upper bound of the matching bucket,
+// which bounds the relative error at HistRelError (12.5%) above the
+// true value; the error never moves an estimate below the true rank.
+// Values 0..histSub-1 ns get exact unit-width buckets.
+//
+// The zero value is ready to use. Hist must not be copied after first
+// use.
+type Hist struct {
+	counts [histBuckets]atomic.Int64
+	count  atomic.Int64
+	sum    atomic.Int64 // nanoseconds
+	max    atomic.Int64 // nanoseconds
+}
+
+const (
+	histSubBits = 3                // log2 of sub-buckets per power of two
+	histSub     = 1 << histSubBits // 8 linear sub-buckets per octave
+	// 64-bit nanosecond values need bits.Len64 up to 63 significant
+	// bits; index (exp-histSubBits)*histSub+sub peaks at 487 for
+	// exp=63, sub=7.
+	histBuckets = (63-histSubBits)*histSub + histSub
+
+	// HistRelError is the documented worst-case relative error of a
+	// quantile estimate: bucket width / bucket lower bound = 1/histSub.
+	HistRelError = 1.0 / histSub
+)
+
+// histBucketIndex maps a non-negative nanosecond value to its bucket.
+func histBucketIndex(v int64) int {
+	u := uint64(v)
+	if u < histSub {
+		return int(u)
+	}
+	exp := bits.Len64(u)                // 4..64 for u >= histSub
+	top := u >> (exp - histSubBits - 1) // top histSubBits+1 bits, in [histSub, 2*histSub)
+	return (exp-histSubBits)*histSub + int(top) - histSub
+}
+
+// HistBucketUpper returns the inclusive upper bound (in nanoseconds) of
+// bucket i: the largest value that maps to it.
+func HistBucketUpper(i int) int64 {
+	if i < histSub {
+		return int64(i)
+	}
+	g := i >> histSubBits    // octave group, >= 1
+	pos := i & (histSub - 1) // linear position within the octave
+	lower := uint64(histSub+pos) << (g - 1)
+	width := uint64(1) << (g - 1)
+	return int64(lower + width - 1)
+}
+
+// Observe records one latency. Negative durations clamp to zero.
+func (h *Hist) Observe(d time.Duration) {
+	v := int64(d)
+	if v < 0 {
+		v = 0
+	}
+	h.counts[histBucketIndex(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Snapshot copies the counters into a mergeable value. Concurrent
+// Observes may straddle the copy, so a snapshot is a near-point-in-time
+// view: bucket sums can momentarily disagree with Count by the handful
+// of observations in flight; Quantile clamps accordingly.
+func (h *Hist) Snapshot() HistSnapshot {
+	s := HistSnapshot{
+		Count: h.count.Load(),
+		Sum:   h.sum.Load(),
+		Max:   h.max.Load(),
+	}
+	for i := range h.counts {
+		if c := h.counts[i].Load(); c != 0 {
+			s.Counts = append(s.Counts, HistBucket{Index: i, Count: c})
+		}
+	}
+	return s
+}
+
+// HistBucket is one non-empty bucket of a snapshot.
+type HistBucket struct {
+	Index int
+	Count int64
+}
+
+// HistSnapshot is a plain-value copy of a Hist: the non-empty buckets in
+// index order plus the scalar aggregates. The zero value is an empty
+// histogram.
+type HistSnapshot struct {
+	Counts []HistBucket
+	Count  int64
+	Sum    int64 // nanoseconds
+	Max    int64 // nanoseconds
+}
+
+// Merge combines two snapshots (e.g. the same stage across ranks or
+// targets). Merging is commutative and associative.
+func (s HistSnapshot) Merge(o HistSnapshot) HistSnapshot {
+	out := HistSnapshot{
+		Count: s.Count + o.Count,
+		Sum:   s.Sum + o.Sum,
+		Max:   s.Max,
+	}
+	if o.Max > out.Max {
+		out.Max = o.Max
+	}
+	i, j := 0, 0
+	for i < len(s.Counts) || j < len(o.Counts) {
+		switch {
+		case j >= len(o.Counts) || (i < len(s.Counts) && s.Counts[i].Index < o.Counts[j].Index):
+			out.Counts = append(out.Counts, s.Counts[i])
+			i++
+		case i >= len(s.Counts) || o.Counts[j].Index < s.Counts[i].Index:
+			out.Counts = append(out.Counts, o.Counts[j])
+			j++
+		default:
+			out.Counts = append(out.Counts, HistBucket{Index: s.Counts[i].Index, Count: s.Counts[i].Count + o.Counts[j].Count})
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// Quantile estimates the q-th quantile (0 <= q <= 1) as the upper bound
+// of the bucket holding that rank, overestimating the true value by at
+// most HistRelError. An empty snapshot reports 0.
+func (s HistSnapshot) Quantile(q float64) time.Duration {
+	var total int64
+	for _, b := range s.Counts {
+		total += b.Count
+	}
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	// Rank of the target observation, 1-based: ceil(q*total), at least 1.
+	rank := int64(q*float64(total) + 0.9999999)
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > total {
+		rank = total
+	}
+	var seen int64
+	for _, b := range s.Counts {
+		seen += b.Count
+		if seen >= rank {
+			up := HistBucketUpper(b.Index)
+			if s.Max < up && b.Index == s.Counts[len(s.Counts)-1].Index {
+				return time.Duration(s.Max) // never report beyond the observed max
+			}
+			return time.Duration(up)
+		}
+	}
+	return time.Duration(s.Max)
+}
+
+// Mean reports the arithmetic mean latency (exact, from the running sum).
+func (s HistSnapshot) Mean() time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	return time.Duration(s.Sum / s.Count)
+}
+
+// P50, P90 and P99 are the quantiles every stats line prints.
+func (s HistSnapshot) P50() time.Duration { return s.Quantile(0.50) }
+func (s HistSnapshot) P90() time.Duration { return s.Quantile(0.90) }
+func (s HistSnapshot) P99() time.Duration { return s.Quantile(0.99) }
+
+// String renders the canonical quantile line.
+func (s HistSnapshot) String() string {
+	return fmt.Sprintf("n=%d p50=%v p90=%v p99=%v max=%v mean=%v",
+		s.Count, s.P50(), s.P90(), s.P99(), time.Duration(s.Max), s.Mean())
+}

@@ -1,0 +1,231 @@
+package metrics
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestHistBucketBoundaries pins the log-linear bucket map on the exact
+// boundary values: the first linear range, every octave edge around it,
+// and the top of the int64 range.
+func TestHistBucketBoundaries(t *testing.T) {
+	cases := []struct {
+		v    int64
+		want int
+	}{
+		{0, 0},
+		{1, 1},
+		{7, 7},   // last unit-width bucket
+		{8, 8},   // first octave group, still width 1
+		{15, 15}, // last width-1 bucket of group 1
+		{16, 16}, // group 2 starts, width 2
+		{17, 16},
+		{18, 17},
+		{31, 23},
+		{32, 24}, // group 3, width 4
+		{35, 24},
+		{36, 25},
+		{63, 31},
+		{64, 32},
+		{1<<20 - 1, (20-histSubBits)*histSub + histSub - 1},
+		{1 << 20, (21 - histSubBits) * histSub},
+		{1<<62 + 1, (63 - histSubBits) * histSub},
+		{1<<63 - 1, histBuckets - 1},
+	}
+	for _, tc := range cases {
+		if got := histBucketIndex(tc.v); got != tc.want {
+			t.Errorf("histBucketIndex(%d) = %d, want %d", tc.v, got, tc.want)
+		}
+		// Round-trip: the value must not exceed its bucket's upper bound,
+		// and must exceed the previous bucket's upper bound.
+		up := HistBucketUpper(tc.want)
+		if tc.v > up {
+			t.Errorf("value %d above upper bound %d of its bucket %d", tc.v, up, tc.want)
+		}
+		if tc.want > 0 && tc.v <= HistBucketUpper(tc.want-1) {
+			t.Errorf("value %d within previous bucket %d (upper %d)", tc.v, tc.want-1, HistBucketUpper(tc.want-1))
+		}
+	}
+}
+
+// TestHistBucketUpperMonotone sweeps every bucket: upper bounds strictly
+// increase and each bucket's upper bound maps back to the same bucket.
+func TestHistBucketUpperMonotone(t *testing.T) {
+	prev := int64(-1)
+	for i := 0; i < histBuckets; i++ {
+		up := HistBucketUpper(i)
+		if up <= prev {
+			t.Fatalf("bucket %d upper %d <= previous %d", i, up, prev)
+		}
+		if got := histBucketIndex(up); got != i {
+			t.Fatalf("upper bound %d of bucket %d maps to bucket %d", up, i, got)
+		}
+		prev = up
+	}
+}
+
+// TestHistQuantileAccuracy checks the documented relative-error bound
+// against an exact sorted reference over several distributions: every
+// quantile estimate must be >= the true order statistic and at most
+// (1+HistRelError) times it.
+func TestHistQuantileAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	dists := map[string]func() int64{
+		"uniform":   func() int64 { return rng.Int63n(1_000_000) },
+		"exp":       func() int64 { return int64(rng.ExpFloat64() * 50_000) },
+		"bimodal":   func() int64 { return []int64{900, 1_200_000}[rng.Intn(2)] + rng.Int63n(100) },
+		"heavytail": func() int64 { v := rng.ExpFloat64(); return int64(v * v * v * 10_000) },
+	}
+	for name, gen := range dists {
+		t.Run(name, func(t *testing.T) {
+			var h Hist
+			vals := make([]int64, 20_000)
+			for i := range vals {
+				vals[i] = gen()
+				h.Observe(time.Duration(vals[i]))
+			}
+			sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+			s := h.Snapshot()
+			if s.Count != int64(len(vals)) {
+				t.Fatalf("count %d, want %d", s.Count, len(vals))
+			}
+			for _, q := range []float64{0, 0.25, 0.5, 0.9, 0.99, 0.999, 1} {
+				rank := int(q*float64(len(vals)) + 0.9999999)
+				if rank < 1 {
+					rank = 1
+				}
+				if rank > len(vals) {
+					rank = len(vals)
+				}
+				truth := vals[rank-1]
+				got := int64(s.Quantile(q))
+				if got < truth {
+					t.Errorf("q=%v: estimate %d below true order statistic %d", q, got, truth)
+				}
+				bound := int64(float64(truth)*(1+HistRelError)) + 1 // +1 absorbs unit-width rounding
+				if got > bound {
+					t.Errorf("q=%v: estimate %d above error bound %d (true %d)", q, got, bound, truth)
+				}
+			}
+			if int64(s.Quantile(1)) != vals[len(vals)-1] && int64(s.Max) != vals[len(vals)-1] {
+				t.Errorf("max: snapshot %d, want %d", s.Max, vals[len(vals)-1])
+			}
+		})
+	}
+}
+
+// TestHistSnapshotMergeAssociative checks Merge is associative and
+// commutative: (a+b)+c == a+(b+c) == (c+a)+b bucket-for-bucket, and a
+// merged snapshot answers quantiles identically to one histogram fed
+// every observation.
+func TestHistSnapshotMergeAssociative(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var parts [3]Hist
+	var whole Hist
+	for i := 0; i < 9_000; i++ {
+		v := time.Duration(rng.Int63n(5_000_000))
+		parts[i%3].Observe(v)
+		whole.Observe(v)
+	}
+	a, b, c := parts[0].Snapshot(), parts[1].Snapshot(), parts[2].Snapshot()
+	m1 := a.Merge(b).Merge(c)
+	m2 := a.Merge(b.Merge(c))
+	m3 := c.Merge(a).Merge(b)
+	ref := whole.Snapshot()
+	for _, m := range []HistSnapshot{m1, m2, m3} {
+		if m.Count != ref.Count || m.Sum != ref.Sum || m.Max != ref.Max {
+			t.Fatalf("merged aggregates (%d,%d,%d) != whole (%d,%d,%d)",
+				m.Count, m.Sum, m.Max, ref.Count, ref.Sum, ref.Max)
+		}
+		if len(m.Counts) != len(ref.Counts) {
+			t.Fatalf("merged has %d buckets, whole has %d", len(m.Counts), len(ref.Counts))
+		}
+		for i := range m.Counts {
+			if m.Counts[i] != ref.Counts[i] {
+				t.Fatalf("bucket %d: merged %+v, whole %+v", i, m.Counts[i], ref.Counts[i])
+			}
+		}
+		for _, q := range []float64{0.5, 0.9, 0.99} {
+			if m.Quantile(q) != ref.Quantile(q) {
+				t.Fatalf("q=%v: merged %v, whole %v", q, m.Quantile(q), ref.Quantile(q))
+			}
+		}
+	}
+}
+
+// TestHistEmpty pins the zero-value behaviour every caller relies on.
+func TestHistEmpty(t *testing.T) {
+	var h Hist
+	s := h.Snapshot()
+	if s.Count != 0 || s.Quantile(0.5) != 0 || s.Mean() != 0 || len(s.Counts) != 0 {
+		t.Fatalf("zero-value snapshot not empty: %+v", s)
+	}
+	merged := s.Merge(HistSnapshot{})
+	if merged.Count != 0 || len(merged.Counts) != 0 {
+		t.Fatalf("merge of empties not empty: %+v", merged)
+	}
+}
+
+// TestHistConcurrentObserveSnapshot hammers Observe from many goroutines
+// while snapshots are taken — run under -race this is the data-race
+// proof; in any mode the final snapshot must account for every
+// observation.
+func TestHistConcurrentObserveSnapshot(t *testing.T) {
+	var h Hist
+	const (
+		writers = 8
+		perW    = 5_000
+	)
+	var writerWG sync.WaitGroup
+	stop := make(chan struct{})
+	readerDone := make(chan struct{})
+	go func() { // concurrent reader
+		defer close(readerDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			s := h.Snapshot()
+			var inBuckets int64
+			for _, b := range s.Counts {
+				inBuckets += b.Count
+			}
+			// Buckets and count race individually but each only grows; a
+			// mid-flight snapshot may see them differ, never shrink.
+			if inBuckets < 0 || s.Count < 0 {
+				t.Error("snapshot went negative")
+				return
+			}
+			_ = s.Quantile(0.99)
+		}
+	}()
+	for w := 0; w < writers; w++ {
+		writerWG.Add(1)
+		go func(seed int64) {
+			defer writerWG.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < perW; i++ {
+				h.Observe(time.Duration(rng.Int63n(1_000_000)))
+			}
+		}(int64(w))
+	}
+	writerWG.Wait()
+	close(stop)
+	<-readerDone
+	s := h.Snapshot()
+	if s.Count != writers*perW {
+		t.Fatalf("final count %d, want %d", s.Count, writers*perW)
+	}
+	var inBuckets int64
+	for _, b := range s.Counts {
+		inBuckets += b.Count
+	}
+	if inBuckets != writers*perW {
+		t.Fatalf("final bucket sum %d, want %d", inBuckets, writers*perW)
+	}
+}

@@ -24,11 +24,89 @@ type Mount struct {
 
 	LocalEntries atomic.Int64 // directory entries this rank indexed
 	TotalEntries atomic.Int64 // entries in the assembled directory
+
+	// Hist, when non-nil, additionally records per-phase latency
+	// distributions — one observation per phase per mount, so repeated
+	// mounts (and the several barriers of one mount) build distributions.
+	Hist *MountHist
 }
 
-// Snapshot returns a point-in-time copy for reporting.
+// MountHist holds the per-phase latency distributions of cluster mounts.
+// Enabled via live.Config.StageHistograms.
+type MountHist struct {
+	Index     Hist
+	Serialize Hist
+	Allgather Hist
+	Assemble  Hist
+	Barrier   Hist
+}
+
+// Snapshot copies all phase histograms.
+func (h *MountHist) Snapshot() *MountHistSnapshot {
+	return &MountHistSnapshot{
+		Index:     h.Index.Snapshot(),
+		Serialize: h.Serialize.Snapshot(),
+		Allgather: h.Allgather.Snapshot(),
+		Assemble:  h.Assemble.Snapshot(),
+		Barrier:   h.Barrier.Snapshot(),
+	}
+}
+
+// MountHistSnapshot is a plain-value copy of MountHist.
+type MountHistSnapshot struct {
+	Index, Serialize, Allgather, Assemble, Barrier HistSnapshot
+}
+
+// ObserveIndex accounts the index phase (home partition build + upload).
+func (m *Mount) ObserveIndex(d time.Duration) {
+	m.IndexNanos.Add(int64(d))
+	if m.Hist != nil {
+		m.Hist.Index.Observe(d)
+	}
+}
+
+// ObserveSerialize accounts the partition-blob encoding phase.
+func (m *Mount) ObserveSerialize(d time.Duration) {
+	m.SerializeNanos.Add(int64(d))
+	if m.Hist != nil {
+		m.Hist.Serialize.Observe(d)
+	}
+}
+
+// ObserveAllgather accounts the coordinator blob exchange.
+func (m *Mount) ObserveAllgather(d time.Duration) {
+	m.AllgatherNanos.Add(int64(d))
+	if m.Hist != nil {
+		m.Hist.Allgather.Observe(d)
+	}
+}
+
+// ObserveAssemble accounts directory assembly from peer blobs.
+func (m *Mount) ObserveAssemble(d time.Duration) {
+	m.AssembleNanos.Add(int64(d))
+	if m.Hist != nil {
+		m.Hist.Assemble.Observe(d)
+	}
+}
+
+// ObserveBarrier accounts one barrier wait.
+func (m *Mount) ObserveBarrier(d time.Duration) {
+	m.BarrierNanos.Add(int64(d))
+	m.Barriers.Add(1)
+	if m.Hist != nil {
+		m.Hist.Barrier.Observe(d)
+	}
+}
+
+// Snapshot returns a point-in-time copy for reporting. When phase
+// histograms are enabled the snapshot carries them in Phases.
 func (m *Mount) Snapshot() MountSnapshot {
+	var phases *MountHistSnapshot
+	if m.Hist != nil {
+		phases = m.Hist.Snapshot()
+	}
 	return MountSnapshot{
+		Phases:         phases,
 		IndexNanos:     m.IndexNanos.Load(),
 		SerializeNanos: m.SerializeNanos.Load(),
 		AllgatherNanos: m.AllgatherNanos.Load(),
@@ -43,8 +121,10 @@ func (m *Mount) Snapshot() MountSnapshot {
 	}
 }
 
-// MountSnapshot is a plain-value copy of Mount counters.
+// MountSnapshot is a plain-value copy of Mount counters. Phases is
+// non-nil only when phase histograms were enabled.
 type MountSnapshot struct {
+	Phases         *MountHistSnapshot
 	IndexNanos     int64
 	SerializeNanos int64
 	AllgatherNanos int64

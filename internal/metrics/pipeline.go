@@ -29,15 +29,110 @@ type Pipeline struct {
 	CacheHits      atomic.Int64 // ReadSample served from the V-bit cache
 	CacheMisses    atomic.Int64 // ReadSample that went to the wire
 	CacheEvictions atomic.Int64 // V-bit cache CLOCK evictions
+
+	// Hist, when non-nil, additionally records every stage observation
+	// into per-stage latency histograms. Left nil (the default), the
+	// pipeline pays only the atomic counter adds above.
+	Hist *PipelineHist
+}
+
+// PipelineHist holds the per-stage latency distributions of the client
+// pipeline plus the synchronous ReadSample path. Enabled via
+// live.Config.StageHistograms.
+type PipelineHist struct {
+	Prep Hist // building requests: chunk alloc + segment setup, per fetch group
+	Post Hist // submitting commands onto queue pairs, per fetch group
+	Poll Hist // waiting for completions, per fetch group
+	Copy Hist // copying one sample out of cache chunks
+	Read Hist // whole synchronous ReadSample calls (hit or miss)
+}
+
+// Snapshot copies all stage histograms.
+func (h *PipelineHist) Snapshot() *PipelineHistSnapshot {
+	return &PipelineHistSnapshot{
+		Prep: h.Prep.Snapshot(),
+		Post: h.Post.Snapshot(),
+		Poll: h.Poll.Snapshot(),
+		Copy: h.Copy.Snapshot(),
+		Read: h.Read.Snapshot(),
+	}
+}
+
+// PipelineHistSnapshot is a plain-value copy of PipelineHist.
+type PipelineHistSnapshot struct {
+	Prep, Post, Poll, Copy, Read HistSnapshot
+}
+
+// Merge combines per-stage distributions across clients or ranks.
+func (s *PipelineHistSnapshot) Merge(o *PipelineHistSnapshot) *PipelineHistSnapshot {
+	if s == nil {
+		return o
+	}
+	if o == nil {
+		return s
+	}
+	return &PipelineHistSnapshot{
+		Prep: s.Prep.Merge(o.Prep),
+		Post: s.Post.Merge(o.Post),
+		Poll: s.Poll.Merge(o.Poll),
+		Copy: s.Copy.Merge(o.Copy),
+		Read: s.Read.Merge(o.Read),
+	}
 }
 
 // AddStage is a helper for timing a stage: it adds the elapsed time since
 // start to the given stage counter.
 func AddStage(c *atomic.Int64, start time.Time) { c.Add(int64(time.Since(start))) }
 
-// Snapshot returns a point-in-time copy for reporting.
+// ObservePrep accounts one prep-stage duration (counter + histogram).
+func (p *Pipeline) ObservePrep(d time.Duration) {
+	p.PrepNanos.Add(int64(d))
+	if p.Hist != nil {
+		p.Hist.Prep.Observe(d)
+	}
+}
+
+// ObservePost accounts one post-stage duration.
+func (p *Pipeline) ObservePost(d time.Duration) {
+	p.PostNanos.Add(int64(d))
+	if p.Hist != nil {
+		p.Hist.Post.Observe(d)
+	}
+}
+
+// ObservePoll accounts one poll-stage duration.
+func (p *Pipeline) ObservePoll(d time.Duration) {
+	p.PollNanos.Add(int64(d))
+	if p.Hist != nil {
+		p.Hist.Poll.Observe(d)
+	}
+}
+
+// ObserveCopy accounts one copy-stage duration.
+func (p *Pipeline) ObserveCopy(d time.Duration) {
+	p.CopyNanos.Add(int64(d))
+	if p.Hist != nil {
+		p.Hist.Copy.Observe(d)
+	}
+}
+
+// ObserveRead records one synchronous ReadSample latency. Histogram-only:
+// callers gate the surrounding clock reads on Hist being enabled.
+func (p *Pipeline) ObserveRead(d time.Duration) {
+	if p.Hist != nil {
+		p.Hist.Read.Observe(d)
+	}
+}
+
+// Snapshot returns a point-in-time copy for reporting. When stage
+// histograms are enabled the snapshot carries them in Stages.
 func (p *Pipeline) Snapshot() PipelineSnapshot {
+	var stages *PipelineHistSnapshot
+	if p.Hist != nil {
+		stages = p.Hist.Snapshot()
+	}
 	return PipelineSnapshot{
+		Stages:         stages,
 		PrepNanos:      p.PrepNanos.Load(),
 		PostNanos:      p.PostNanos.Load(),
 		PollNanos:      p.PollNanos.Load(),
@@ -54,8 +149,10 @@ func (p *Pipeline) Snapshot() PipelineSnapshot {
 	}
 }
 
-// PipelineSnapshot is a plain-value copy of Pipeline counters.
+// PipelineSnapshot is a plain-value copy of Pipeline counters. Stages is
+// non-nil only when stage histograms were enabled.
 type PipelineSnapshot struct {
+	Stages         *PipelineHistSnapshot
 	PrepNanos      int64
 	PostNanos      int64
 	PollNanos      int64

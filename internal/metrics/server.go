@@ -23,11 +23,83 @@ type Server struct {
 	ZeroCopyBytes atomic.Int64 // read payload served as store views
 	StagedBytes   atomic.Int64 // read payload copied through the pool
 	Restaged      atomic.Int64 // views invalidated by a write epoch change
+
+	// Hist, when non-nil, additionally records per-stage latency
+	// distributions. Left nil (the default), the engine pays only the
+	// atomic counter adds above.
+	Hist *ServerHist
 }
 
-// Snapshot returns a point-in-time copy for reporting.
+// ServerHist holds the per-stage latency distributions of the target
+// engine. Enabled via nvmetcp.Config.StageHistograms.
+type ServerHist struct {
+	QueueWait Hist // per command: RPQ enqueue to worker pickup
+	Service   Hist // per command: execution inside a worker
+	Flush     Hist // per writev: building + writing one completion batch
+}
+
+// Snapshot copies all stage histograms.
+func (h *ServerHist) Snapshot() *ServerHistSnapshot {
+	return &ServerHistSnapshot{
+		QueueWait: h.QueueWait.Snapshot(),
+		Service:   h.Service.Snapshot(),
+		Flush:     h.Flush.Snapshot(),
+	}
+}
+
+// ServerHistSnapshot is a plain-value copy of ServerHist.
+type ServerHistSnapshot struct {
+	QueueWait, Service, Flush HistSnapshot
+}
+
+// Merge combines per-stage distributions across targets.
+func (s *ServerHistSnapshot) Merge(o *ServerHistSnapshot) *ServerHistSnapshot {
+	if s == nil {
+		return o
+	}
+	if o == nil {
+		return s
+	}
+	return &ServerHistSnapshot{
+		QueueWait: s.QueueWait.Merge(o.QueueWait),
+		Service:   s.Service.Merge(o.Service),
+		Flush:     s.Flush.Merge(o.Flush),
+	}
+}
+
+// ObserveQueueWait accounts one command's RPQ residency.
+func (s *Server) ObserveQueueWait(d time.Duration) {
+	s.QueueWaitNanos.Add(int64(d))
+	if s.Hist != nil {
+		s.Hist.QueueWait.Observe(d)
+	}
+}
+
+// ObserveService accounts one command's execution time.
+func (s *Server) ObserveService(d time.Duration) {
+	s.ServiceNanos.Add(int64(d))
+	if s.Hist != nil {
+		s.Hist.Service.Observe(d)
+	}
+}
+
+// ObserveFlush accounts one completion-batch flush.
+func (s *Server) ObserveFlush(d time.Duration) {
+	s.FlushNanos.Add(int64(d))
+	if s.Hist != nil {
+		s.Hist.Flush.Observe(d)
+	}
+}
+
+// Snapshot returns a point-in-time copy for reporting. When stage
+// histograms are enabled the snapshot carries them in Stages.
 func (s *Server) Snapshot() ServerSnapshot {
+	var stages *ServerHistSnapshot
+	if s.Hist != nil {
+		stages = s.Hist.Snapshot()
+	}
 	return ServerSnapshot{
+		Stages:         stages,
 		QueueWaitNanos: s.QueueWaitNanos.Load(),
 		ServiceNanos:   s.ServiceNanos.Load(),
 		FlushNanos:     s.FlushNanos.Load(),
@@ -39,8 +111,10 @@ func (s *Server) Snapshot() ServerSnapshot {
 	}
 }
 
-// ServerSnapshot is a plain-value copy of Server counters.
+// ServerSnapshot is a plain-value copy of Server counters. Stages is
+// non-nil only when stage histograms were enabled.
 type ServerSnapshot struct {
+	Stages         *ServerHistSnapshot
 	QueueWaitNanos int64
 	ServiceNanos   int64
 	FlushNanos     int64

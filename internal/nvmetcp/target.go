@@ -43,6 +43,12 @@ type Config struct {
 	// serving store views — the A/B switch for the zero-copy read path.
 	NoZeroCopy bool
 
+	// StageHistograms records per-stage latency distributions
+	// (qwait/service/flush) into metrics.ServerHist in addition to the
+	// always-on counters. Off by default: the disabled path adds nothing
+	// beyond the existing counter arithmetic.
+	StageHistograms bool
+
 	// PerCmdGoroutines restores the pre-engine data path: one goroutine
 	// per command, staged payloads, one mutex-serialised socket write
 	// per completion. Kept as the benchmark baseline only.
@@ -149,6 +155,9 @@ func NewTargetConfig(store *blockdev.Store, cfg Config) *Target {
 		cfg:   cfg,
 		conns: make(map[net.Conn]struct{}),
 		rpq:   make(chan rpqItem, cfg.QueueDepth),
+	}
+	if cfg.StageHistograms {
+		t.srv.Hist = &metrics.ServerHist{}
 	}
 	for i := 0; i < cfg.Workers; i++ {
 		t.workerWG.Add(1)
@@ -302,11 +311,11 @@ func (t *Target) serveConn(conn net.Conn) {
 func (t *Target) worker() {
 	defer t.workerWG.Done()
 	for it := range t.rpq {
-		t.srv.QueueWaitNanos.Add(int64(time.Since(it.enq)))
+		t.srv.ObserveQueueWait(time.Since(it.enq))
 		start := time.Now()
 		comp := t.execute(it.req, !t.cfg.NoZeroCopy)
 		bufpool.Shared.Put(it.req.payload)
-		t.srv.ServiceNanos.Add(int64(time.Since(start)))
+		t.srv.ObserveService(time.Since(start))
 		it.tc.scq <- comp
 		it.tc.inflight.Done()
 	}
@@ -362,7 +371,7 @@ func (t *Target) flushLoop(tc *targetConn) {
 		}
 		v := scratch // WriteTo consumes its receiver; keep scratch's header
 		_, err := v.WriteTo(tc.conn)
-		t.srv.FlushNanos.Add(int64(time.Since(start)))
+		t.srv.ObserveFlush(time.Since(start))
 		t.srv.Flushes.Add(1)
 		t.srv.FlushedCmds.Add(int64(len(batch)))
 		for i := range batch {

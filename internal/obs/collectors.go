@@ -1,0 +1,80 @@
+package obs
+
+import (
+	"io"
+
+	"dlfs/internal/metrics"
+	"dlfs/internal/nvmetcp"
+)
+
+// TargetCollector renders one nvmetcp.Target as dlfs_server_* series:
+// the serving counters, the RPQ/SCQ engine counters, and — when the
+// target runs with Config.StageHistograms — the qwait/service/flush
+// latency histograms. target labels every series so one scrape can
+// aggregate several stores.
+func TargetCollector(target string, tgt *nvmetcp.Target) func(io.Writer) {
+	lbl := []Label{{Name: "target", Value: target}}
+	return func(w io.Writer) {
+		cmds, bytes := tgt.Served()
+		WriteCounter(w, "dlfs_server_commands_total", "Commands completed by the target.", cmds, lbl...)
+		WriteCounter(w, "dlfs_server_payload_bytes_total", "Payload bytes moved by the target.", bytes, lbl...)
+		accepted, malformed, aborted := tgt.ConnStats()
+		WriteCounter(w, "dlfs_server_conns_accepted_total", "Connections accepted.", accepted, lbl...)
+		WriteCounter(w, "dlfs_server_conns_malformed_total", "Connections dropped on a malformed frame.", malformed, lbl...)
+		WriteCounter(w, "dlfs_server_completions_aborted_total", "Completions dropped because their connection died.", aborted, lbl...)
+		reads, writes, vecReads, vecSegs := tgt.OpStats()
+		WriteCounter(w, "dlfs_server_reads_total", "Single-segment read commands served.", reads, lbl...)
+		WriteCounter(w, "dlfs_server_writes_total", "Write commands served.", writes, lbl...)
+		WriteCounter(w, "dlfs_server_vec_reads_total", "Vectored read commands served.", vecReads, lbl...)
+		WriteCounter(w, "dlfs_server_vec_segments_total", "Segments carried by vectored reads.", vecSegs, lbl...)
+		WriteServerSnapshot(w, tgt.ServerStats(), lbl...)
+	}
+}
+
+// WriteServerSnapshot renders a metrics.ServerSnapshot: engine counters
+// always, per-stage histograms when the snapshot carries them.
+func WriteServerSnapshot(w io.Writer, s metrics.ServerSnapshot, labels ...Label) {
+	WriteCounter(w, "dlfs_server_flushes_total", "Completion writev calls issued.", s.Flushes, labels...)
+	WriteCounter(w, "dlfs_server_flushed_cmds_total", "Completions carried by writevs.", s.FlushedCmds, labels...)
+	WriteCounter(w, "dlfs_server_zero_copy_bytes_total", "Read payload served as store views.", s.ZeroCopyBytes, labels...)
+	WriteCounter(w, "dlfs_server_staged_bytes_total", "Read payload copied through the pool.", s.StagedBytes, labels...)
+	WriteCounter(w, "dlfs_server_restaged_total", "Views invalidated by a write epoch change.", s.Restaged, labels...)
+	WriteGauge(w, "dlfs_server_qwait_seconds_total", "Cumulative RPQ residency.", float64(s.QueueWaitNanos)/1e9, labels...)
+	WriteGauge(w, "dlfs_server_service_seconds_total", "Cumulative command execution time.", float64(s.ServiceNanos)/1e9, labels...)
+	WriteGauge(w, "dlfs_server_flush_seconds_total", "Cumulative completion flush time.", float64(s.FlushNanos)/1e9, labels...)
+	if s.Stages != nil {
+		WriteHistogram(w, "dlfs_server_qwait_seconds", "Per-command RPQ residency.", s.Stages.QueueWait, labels...)
+		WriteHistogram(w, "dlfs_server_service_seconds", "Per-command execution time.", s.Stages.Service, labels...)
+		WriteHistogram(w, "dlfs_server_flush_seconds", "Per-writev completion flush time.", s.Stages.Flush, labels...)
+	}
+}
+
+// PipelineCollector renders client pipeline counters (and stage
+// histograms when enabled) as dlfs_client_* series. snap is called per
+// scrape so the series track the live pipeline.
+func PipelineCollector(client string, snap func() metrics.PipelineSnapshot) func(io.Writer) {
+	lbl := []Label{{Name: "client", Value: client}}
+	return func(w io.Writer) {
+		s := snap()
+		WriteCounter(w, "dlfs_client_wire_reads_total", "Read commands put on the wire.", s.WireReads, lbl...)
+		WriteCounter(w, "dlfs_client_wire_segments_total", "Chunk segments carried by wire reads.", s.WireSegments, lbl...)
+		WriteCounter(w, "dlfs_client_wire_bytes_total", "Payload bytes fetched.", s.WireBytes, lbl...)
+		WriteCounter(w, "dlfs_client_coalesced_units_total", "Plan units merged into a preceding wire read.", s.CoalescedUnits, lbl...)
+		WriteCounter(w, "dlfs_client_pool_hits_total", "Sample buffers served from the pool.", s.PoolHits, lbl...)
+		WriteCounter(w, "dlfs_client_pool_misses_total", "Sample buffers freshly allocated.", s.PoolMisses, lbl...)
+		WriteCounter(w, "dlfs_client_cache_hits_total", "ReadSample served from the V-bit cache.", s.CacheHits, lbl...)
+		WriteCounter(w, "dlfs_client_cache_misses_total", "ReadSample that went to the wire.", s.CacheMisses, lbl...)
+		WriteCounter(w, "dlfs_client_cache_evictions_total", "V-bit cache CLOCK evictions.", s.CacheEvictions, lbl...)
+		WriteGauge(w, "dlfs_client_prep_seconds_total", "Cumulative prep stage time.", float64(s.PrepNanos)/1e9, lbl...)
+		WriteGauge(w, "dlfs_client_post_seconds_total", "Cumulative post stage time.", float64(s.PostNanos)/1e9, lbl...)
+		WriteGauge(w, "dlfs_client_poll_seconds_total", "Cumulative poll stage time.", float64(s.PollNanos)/1e9, lbl...)
+		WriteGauge(w, "dlfs_client_copy_seconds_total", "Cumulative copy stage time.", float64(s.CopyNanos)/1e9, lbl...)
+		if s.Stages != nil {
+			WriteHistogram(w, "dlfs_client_prep_seconds", "Per-fetch-group prep latency.", s.Stages.Prep, lbl...)
+			WriteHistogram(w, "dlfs_client_post_seconds", "Per-fetch-group post latency.", s.Stages.Post, lbl...)
+			WriteHistogram(w, "dlfs_client_poll_seconds", "Per-fetch-group poll latency.", s.Stages.Poll, lbl...)
+			WriteHistogram(w, "dlfs_client_copy_seconds", "Per-sample copy latency.", s.Stages.Copy, lbl...)
+			WriteHistogram(w, "dlfs_client_read_seconds", "Whole synchronous ReadSample latency.", s.Stages.Read, lbl...)
+		}
+	}
+}

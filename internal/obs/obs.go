@@ -1,0 +1,102 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"dlfs/internal/trace"
+)
+
+// Handler serves the observability endpoints:
+//
+//	/metrics    Prometheus text exposition from every registered collector
+//	/healthz    liveness: {"status":"ok","uptime_seconds":...}
+//	/trace.json Chrome trace-event export of the registered wall recorder
+//
+// Collectors are closures writing exposition text; they run under the
+// handler lock, in registration order, on every scrape.
+type Handler struct {
+	start time.Time
+
+	mu         sync.Mutex
+	collectors []func(io.Writer)
+	trace      *trace.WallRecorder
+}
+
+// NewHandler returns an empty handler.
+func NewHandler() *Handler { return &Handler{start: time.Now()} }
+
+// Register adds a collector to the /metrics scrape.
+func (h *Handler) Register(c func(io.Writer)) {
+	h.mu.Lock()
+	h.collectors = append(h.collectors, c)
+	h.mu.Unlock()
+}
+
+// SetTrace attaches the wall recorder served at /trace.json. A nil
+// recorder (the default) serves an empty event array.
+func (h *Handler) SetTrace(r *trace.WallRecorder) {
+	h.mu.Lock()
+	h.trace = r
+	h.mu.Unlock()
+}
+
+// ServeHTTP routes the three endpoints.
+func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	switch r.URL.Path {
+	case "/metrics":
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		h.mu.Lock()
+		cs := make([]func(io.Writer), len(h.collectors))
+		copy(cs, h.collectors)
+		h.mu.Unlock()
+		for _, c := range cs {
+			c(w)
+		}
+	case "/healthz":
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintf(w, "{\"status\":\"ok\",\"uptime_seconds\":%.3f}\n", time.Since(h.start).Seconds())
+	case "/trace.json":
+		w.Header().Set("Content-Type", "application/json")
+		h.mu.Lock()
+		rec := h.trace
+		h.mu.Unlock()
+		if rec == nil {
+			fmt.Fprintln(w, "[]")
+			return
+		}
+		rec.WriteChromeJSON(w) //nolint:errcheck // best-effort over HTTP
+	default:
+		http.NotFound(w, r)
+	}
+}
+
+// Server is a bound observability HTTP server.
+type Server struct {
+	Addr string // the resolved listen address, e.g. "127.0.0.1:9095"
+	ln   net.Listener
+	srv  *http.Server
+}
+
+// Serve starts an HTTP server for the handler on addr (e.g.
+// "127.0.0.1:0") and returns once the listener is bound.
+func Serve(addr string, h *Handler) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		Addr: ln.Addr().String(),
+		ln:   ln,
+		srv:  &http.Server{Handler: h, ReadHeaderTimeout: 5 * time.Second},
+	}
+	go s.srv.Serve(ln) //nolint:errcheck // Serve returns ErrServerClosed on Close
+	return s, nil
+}
+
+// Close stops the server and its listener.
+func (s *Server) Close() error { return s.srv.Close() }

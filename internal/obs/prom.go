@@ -1,0 +1,82 @@
+// Package obs is the observability surface of the live stack: Prometheus
+// text rendering for the metrics package's counters and histograms, and
+// a small HTTP server exposing /metrics, /healthz and /trace.json —
+// what dlfsd serves behind -metrics-addr.
+//
+// The package deliberately renders the text exposition format by hand
+// instead of depending on a client library: the format is a few lines of
+// fmt, and the repo's no-new-dependency rule holds.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+
+	"dlfs/internal/metrics"
+)
+
+// Label is one Prometheus label pair, rendered as name="value".
+type Label struct {
+	Name  string
+	Value string
+}
+
+func renderLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	s := "{"
+	for i, l := range labels {
+		if i > 0 {
+			s += ","
+		}
+		s += l.Name + `="` + l.Value + `"`
+	}
+	return s + "}"
+}
+
+// WriteCounter emits one counter sample with HELP/TYPE headers.
+func WriteCounter(w io.Writer, name, help string, v int64, labels ...Label) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s%s %d\n",
+		name, help, name, name, renderLabels(labels), v)
+}
+
+// WriteGauge emits one gauge sample with HELP/TYPE headers.
+func WriteGauge(w io.Writer, name, help string, v float64, labels ...Label) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s%s %s\n",
+		name, help, name, name, renderLabels(labels), formatValue(v))
+}
+
+// WriteHistogram emits a metrics.HistSnapshot in the Prometheus
+// histogram convention: cumulative _bucket{le="..."} samples in seconds,
+// a closing le="+Inf" bucket, then _sum and _count. Only the non-empty
+// buckets are emitted — valid exposition, since le boundaries carry the
+// cumulative count regardless of spacing.
+func WriteHistogram(w io.Writer, name, help string, s metrics.HistSnapshot, labels ...Label) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+	base := renderLabels(labels)
+	var cum int64
+	for _, b := range s.Counts {
+		cum += b.Count
+		le := formatValue(float64(metrics.HistBucketUpper(b.Index)) / 1e9)
+		fmt.Fprintf(w, "%s_bucket%s %d\n", name, bucketLabels(labels, le), cum)
+	}
+	fmt.Fprintf(w, "%s_bucket%s %d\n", name, bucketLabels(labels, "+Inf"), cum)
+	fmt.Fprintf(w, "%s_sum%s %s\n", name, base, formatValue(float64(s.Sum)/1e9))
+	fmt.Fprintf(w, "%s_count%s %d\n", name, base, s.Count)
+}
+
+// bucketLabels appends the le label to the shared label set.
+func bucketLabels(labels []Label, le string) string {
+	all := make([]Label, 0, len(labels)+1)
+	all = append(all, labels...)
+	all = append(all, Label{Name: "le", Value: le})
+	return renderLabels(all)
+}
+
+// formatValue renders a float the way Prometheus expects: shortest
+// round-trip representation.
+func formatValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

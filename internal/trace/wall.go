@@ -1,0 +1,188 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// WallEvent is one live-pipeline occurrence, stamped with the wall-clock
+// offset from the recorder's start. Offsets come from Go's monotonic
+// clock, so they never run backwards across events recorded by one
+// goroutine.
+type WallEvent struct {
+	Nanos int64 // offset from recorder start
+	Kind  Kind
+	Unit  int    // fetch-unit sequence number (-1 when not applicable)
+	Node  uint16 // storage node involved
+	Bytes int
+}
+
+// WallRecorder accumulates wall-clock events from the live pipeline —
+// the real-time counterpart of Recorder, which only understands
+// simulated time. It is safe for concurrent use: prefetchers record
+// post/complete while the consumer records emit/free. A nil recorder
+// records nothing, so the disabled pipeline pays one nil check per
+// would-be event.
+type WallRecorder struct {
+	start time.Time
+
+	mu      sync.Mutex
+	events  []WallEvent
+	limit   int
+	dropped int64
+}
+
+// NewWall returns a wall-clock recorder bounded to limit events
+// (0 = 1<<20); events past the bound are counted but dropped.
+func NewWall(limit int) *WallRecorder {
+	if limit <= 0 {
+		limit = 1 << 20
+	}
+	return &WallRecorder{start: time.Now(), limit: limit}
+}
+
+// Record appends an event stamped now.
+func (r *WallRecorder) Record(kind Kind, unit int, node uint16, bytes int) {
+	if r == nil {
+		return
+	}
+	r.RecordAt(int64(time.Since(r.start)), kind, unit, node, bytes)
+}
+
+// RecordAt appends an event at an explicit nanosecond offset. The live
+// pipeline uses Record; tests and deterministic exports use RecordAt.
+func (r *WallRecorder) RecordAt(nanos int64, kind Kind, unit int, node uint16, bytes int) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	if len(r.events) >= r.limit {
+		r.dropped++
+	} else {
+		r.events = append(r.events, WallEvent{Nanos: nanos, Kind: kind, Unit: unit, Node: node, Bytes: bytes})
+	}
+	r.mu.Unlock()
+}
+
+// Len reports recorded events.
+func (r *WallRecorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.events)
+}
+
+// Dropped reports events lost to the bound.
+func (r *WallRecorder) Dropped() int64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
+}
+
+// Events returns a copy of the recorded events in record order.
+func (r *WallRecorder) Events() []WallEvent {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]WallEvent(nil), r.events...)
+}
+
+// WallSummary aggregates a wall trace: per-kind counts and the fetch
+// (post → complete) latency distribution.
+type WallSummary struct {
+	Counts   map[Kind]int
+	FetchP50 time.Duration
+	FetchP99 time.Duration
+	FetchMax time.Duration
+}
+
+// Summarize computes a WallSummary.
+func (r *WallRecorder) Summarize() WallSummary {
+	s := WallSummary{Counts: make(map[Kind]int)}
+	posted := map[int]int64{}
+	var fetches []time.Duration
+	for _, ev := range r.Events() {
+		s.Counts[ev.Kind]++
+		switch ev.Kind {
+		case KindPost:
+			posted[ev.Unit] = ev.Nanos
+		case KindComplete:
+			if t0, ok := posted[ev.Unit]; ok {
+				fetches = append(fetches, time.Duration(ev.Nanos-t0))
+			}
+		}
+	}
+	if len(fetches) > 0 {
+		sort.Slice(fetches, func(i, j int) bool { return fetches[i] < fetches[j] })
+		s.FetchP50 = fetches[len(fetches)/2]
+		s.FetchP99 = fetches[len(fetches)*99/100]
+		s.FetchMax = fetches[len(fetches)-1]
+	}
+	return s
+}
+
+// WriteChromeJSON renders the trace as a Chrome trace-event array with
+// deterministic output: fetches become duration slices on per-node
+// tracks (pid 1), emissions and frees become instant events on the
+// application track (pid 2). Events are ordered by (ts, name) and field
+// order within an event is fixed by the chromeEvent struct, so the same
+// event set always serializes to the same bytes — the property the
+// golden-file test pins.
+func (r *WallRecorder) WriteChromeJSON(w io.Writer) error {
+	posted := map[int]WallEvent{}
+	out := []chromeEvent{}
+	for _, ev := range r.Events() {
+		switch ev.Kind {
+		case KindPost:
+			posted[ev.Unit] = ev
+		case KindComplete:
+			if p, ok := posted[ev.Unit]; ok {
+				out = append(out, chromeEvent{
+					Name: fmt.Sprintf("fetch unit %d (%d B)", ev.Unit, p.Bytes),
+					Ph:   "X",
+					Ts:   float64(p.Nanos) / 1e3,
+					Dur:  float64(ev.Nanos-p.Nanos) / 1e3,
+					Pid:  1,
+					Tid:  int(ev.Node) + 1,
+				})
+			}
+		case KindEmit:
+			out = append(out, chromeEvent{
+				Name: "emit sample",
+				Ph:   "i",
+				Ts:   float64(ev.Nanos) / 1e3,
+				Pid:  2,
+				Tid:  1,
+				S:    "t",
+			})
+		case KindFree:
+			out = append(out, chromeEvent{
+				Name: fmt.Sprintf("free unit %d", ev.Unit),
+				Ph:   "i",
+				Ts:   float64(ev.Nanos) / 1e3,
+				Pid:  2,
+				Tid:  1,
+				S:    "t",
+			})
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Ts != out[j].Ts {
+			return out[i].Ts < out[j].Ts
+		}
+		return out[i].Name < out[j].Name
+	})
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}

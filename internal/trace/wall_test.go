@@ -1,0 +1,153 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// syntheticEpoch feeds the recorder a small deterministic live epoch:
+// three units across two nodes, each unit posted, completed, its samples
+// emitted, then freed — the post→complete→emit→free lifecycle in the
+// order the pipeline produces it.
+func syntheticEpoch(r *WallRecorder) {
+	r.RecordAt(1_000, KindPost, 0, 0, 65536)
+	r.RecordAt(2_000, KindPost, 1, 1, 65536)
+	r.RecordAt(151_000, KindComplete, 0, 0, 65536)
+	r.RecordAt(180_500, KindComplete, 1, 1, 65536)
+	r.RecordAt(200_000, KindEmit, 0, 0, 4096)
+	r.RecordAt(210_000, KindEmit, 1, 1, 4096)
+	r.RecordAt(215_000, KindPost, 2, 0, 32768)
+	r.RecordAt(230_000, KindEmit, 0, 0, 4096)
+	r.RecordAt(240_000, KindFree, 0, 0, 0)
+	r.RecordAt(302_000, KindComplete, 2, 0, 32768)
+	r.RecordAt(310_000, KindEmit, 2, 0, 4096)
+	r.RecordAt(315_000, KindFree, 2, 0, 0)
+	r.RecordAt(320_000, KindEmit, 1, 1, 4096)
+	r.RecordAt(330_000, KindFree, 1, 1, 0)
+}
+
+// TestWallChromeGolden pins the Chrome trace-event export byte-for-byte:
+// stable field ordering inside each event, events sorted by timestamp,
+// fetch slices paired from post/complete. Regenerate with -update after
+// an intentional format change.
+func TestWallChromeGolden(t *testing.T) {
+	r := NewWall(0)
+	syntheticEpoch(r)
+	var buf bytes.Buffer
+	if err := r.WriteChromeJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "wall_epoch.golden.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("export drifted from golden file\ngot:  %s\nwant: %s", buf.Bytes(), want)
+	}
+
+	// The export must also be what it claims: a JSON array of events with
+	// monotone non-decreasing timestamps and non-negative durations.
+	var events []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	if len(events) == 0 {
+		t.Fatal("export is empty")
+	}
+	prev := -1.0
+	slices := 0
+	for _, ev := range events {
+		ts := ev["ts"].(float64)
+		if ts < prev {
+			t.Fatalf("timestamps not monotone: %v after %v", ts, prev)
+		}
+		prev = ts
+		if ev["ph"] == "X" {
+			slices++
+			if dur, ok := ev["dur"].(float64); !ok || dur < 0 {
+				t.Fatalf("slice with bad duration: %v", ev)
+			}
+		}
+	}
+	if slices != 3 {
+		t.Fatalf("expected 3 fetch slices (one per completed unit), got %d", slices)
+	}
+}
+
+// TestWallSummarize checks fetch pairing math on the synthetic epoch.
+func TestWallSummarize(t *testing.T) {
+	r := NewWall(0)
+	syntheticEpoch(r)
+	s := r.Summarize()
+	if s.Counts[KindPost] != 3 || s.Counts[KindComplete] != 3 || s.Counts[KindEmit] != 5 || s.Counts[KindFree] != 3 {
+		t.Fatalf("counts wrong: %+v", s.Counts)
+	}
+	// Fetch latencies: 150µs, 178.5µs, 87µs.
+	if s.FetchMax != 178500*time.Nanosecond {
+		t.Fatalf("FetchMax = %v, want 178.5µs", s.FetchMax)
+	}
+	if s.FetchP50 != 150*time.Microsecond {
+		t.Fatalf("FetchP50 = %v, want 150µs", s.FetchP50)
+	}
+}
+
+// TestWallRecorderBound checks the event cap drops rather than grows.
+func TestWallRecorderBound(t *testing.T) {
+	r := NewWall(4)
+	for i := 0; i < 10; i++ {
+		r.RecordAt(int64(i), KindEmit, -1, 0, 0)
+	}
+	if r.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", r.Len())
+	}
+	if r.Dropped() != 6 {
+		t.Fatalf("Dropped = %d, want 6", r.Dropped())
+	}
+}
+
+// TestWallRecorderNil checks the nil recorder is a no-op on every method.
+func TestWallRecorderNil(t *testing.T) {
+	var r *WallRecorder
+	r.Record(KindPost, 0, 0, 0)
+	r.RecordAt(0, KindPost, 0, 0, 0)
+	if r.Len() != 0 || r.Dropped() != 0 || r.Events() != nil {
+		t.Fatal("nil recorder recorded something")
+	}
+}
+
+// TestWallRecorderConcurrent hammers Record from several goroutines (the
+// -race proof that prefetchers and the consumer can share one recorder).
+func TestWallRecorderConcurrent(t *testing.T) {
+	r := NewWall(0)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				r.Record(KindPost, g*1000+i, uint16(g), i)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if r.Len() != 8000 {
+		t.Fatalf("Len = %d, want 8000", r.Len())
+	}
+}

@@ -2,7 +2,7 @@ GO ?= go
 BENCH ?= .
 BENCHCOUNT ?= 5
 
-.PHONY: all fmt fmt-check vet build test race chaos bench bench-target bench-json bench-smoke fuzz-smoke check clean
+.PHONY: all fmt fmt-check vet build test race chaos chaos-failover bench bench-target bench-json bench-smoke fuzz-smoke check clean
 
 all: check
 
@@ -28,12 +28,26 @@ test:
 	$(GO) test -timeout 20m ./...
 
 race:
-	$(GO) test -race ./internal/nvmetcp ./internal/live ./internal/chaos ./internal/bufpool ./internal/blockdev
+	$(GO) test -race ./internal/nvmetcp ./internal/live ./internal/chaos ./internal/bufpool ./internal/blockdev \
+		./internal/consensus ./internal/coord
 
 # Chaos soak: run the seeded fault-injection epochs twice to shake out
 # scheduling-dependent bugs in the resilience path.
 chaos:
 	$(GO) test -run TestChaos -count=2 ./internal/live
+
+# Control-plane failover soak: the Raft election/replication suite, the
+# replicated-coordinator collectives, and the live-path failover cases
+# (leader killed mid-epoch, rank death mid-barrier, elastic depart with
+# mid-epoch reshard), repeated under the race detector. Deadlines inside
+# the tests are generous multiples of the election timeout, so a slow CI
+# runner re-elects late rather than flaking.
+chaos-failover:
+	$(GO) test -race -count=2 -timeout 15m ./internal/consensus
+	$(GO) test -race -count=2 -timeout 15m -run 'TestReplicated|TestFrameSize' ./internal/coord
+	$(GO) test -race -count=2 -timeout 15m \
+		-run 'TestChaosFailoverLeaderKilledMidEpoch|TestElasticDepartReshardMidEpoch|TestChaosClusterPeerDiesMidMountBarrier|TestAsymmetricPartition' \
+		./internal/live ./internal/chaos
 
 # Pipeline benchmarks, benchstat-friendly: run with BENCHCOUNT repeats
 # and pipe the output of two builds into `benchstat old.txt new.txt`.
@@ -65,6 +79,7 @@ bench-smoke:
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzReadCapsule -fuzztime 10s ./internal/nvmetcp
 	$(GO) test -run '^$$' -fuzz FuzzScan -fuzztime 10s ./internal/dataset
+	$(GO) test -run '^$$' -fuzz FuzzCoordFrame -fuzztime 10s ./internal/coord
 
 check: fmt-check vet build test race chaos
 

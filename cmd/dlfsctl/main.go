@@ -261,15 +261,21 @@ func cmdSmoke(args []string) {
 // cmdCluster exercises the multi-node live mount. With -ranks N it runs
 // a whole job in-process: N TCP targets, a TCP coordinator, and N ranks
 // mounting concurrently, then one sliced epoch whose union is verified
-// exactly-once by checksum. With -rank/-world/-coord/-targets it runs a
-// single rank of a real multi-process job (start targets with dlfsd,
-// host the coordinator with dlfsd -coord or -host-coord here on rank 0).
+// exactly-once by checksum; add -replicas 3 to put a Raft-backed
+// coordinator replica set under the job and print the elected leader,
+// term, and placement epoch in the summary. With
+// -rank/-world/-coord/-targets it runs a single rank of a real
+// multi-process job (start targets with dlfsd, host the coordinator with
+// dlfsd -coord or -host-coord here on rank 0; -coord-peers joins a
+// dlfsd -coord-peers replica set instead).
 func cmdCluster(args []string) {
 	fs := flag.NewFlagSet("cluster", flag.ExitOnError)
 	ranks := fs.Int("ranks", 0, "in-process mode: run this many ranks locally (0 = distributed mode)")
+	replicas := fs.Int("replicas", 0, "host this many Raft coordinator replicas instead of one classic coordinator (in-process mode)")
 	rank := fs.Int("rank", 0, "distributed mode: this process's rank")
 	world := fs.Int("world", 0, "distributed mode: job size")
 	coordAddr := fs.String("coord", "", "distributed mode: coordinator address")
+	coordPeers := fs.String("coord-peers", "", "distributed mode: comma-separated coordinator replica addresses (replaces -coord)")
 	hostCoord := fs.Bool("host-coord", false, "distributed mode: host the coordinator at -coord (usually on rank 0)")
 	targetList := fs.String("targets", "", "distributed mode: comma-separated target addresses, one per rank")
 	n := fs.Int("n", 600, "samples")
@@ -279,11 +285,11 @@ func cmdCluster(args []string) {
 
 	ds := dataset.Generate(dataset.Config{Label: "cluster", Seed: 3, NumSamples: *n, Dist: dataset.Fixed(*size)})
 	if *ranks > 0 {
-		runClusterInProcess(*ranks, ds, *seed)
+		runClusterInProcess(*ranks, *replicas, ds, *seed)
 		return
 	}
-	if *coordAddr == "" || *world <= 0 || *targetList == "" {
-		fatal(errors.New("cluster: distributed mode needs -rank, -world, -coord and -targets (or use -ranks for in-process)"))
+	if (*coordAddr == "" && *coordPeers == "") || *world <= 0 || *targetList == "" {
+		fatal(errors.New("cluster: distributed mode needs -rank, -world, -coord (or -coord-peers) and -targets (or use -ranks for in-process)"))
 	}
 	addrs := strings.Split(*targetList, ",")
 	if *hostCoord {
@@ -293,16 +299,24 @@ func cmdCluster(args []string) {
 		}
 		defer srv.Close() //nolint:errcheck
 	}
-	if err := runClusterRank(*coordAddr, *rank, *world, addrs, ds, *seed); err != nil {
+	mount := func() (*live.FS, error) {
+		if *coordPeers != "" {
+			peers := strings.Split(*coordPeers, ",")
+			return live.MountClusterPeers(peers, *rank, *world, addrs, ds, live.Config{StageHistograms: true})
+		}
+		return live.MountCluster(*coordAddr, *rank, *world, addrs, ds, live.Config{StageHistograms: true})
+	}
+	if err := runClusterRank(mount, *rank, *world, ds, *seed); err != nil {
 		fatal(err)
 	}
 }
 
 // runClusterRank mounts one rank, consumes its epoch slice, verifies
-// checksums, and prints the rank's mount and pipeline stats.
-func runClusterRank(coordAddr string, rank, world int, addrs []string, ds *dataset.Dataset, seed int64) error {
+// checksums, and prints the rank's mount and pipeline stats. Against a
+// replicated coordinator it also prints the control-plane view.
+func runClusterRank(mount func() (*live.FS, error), rank, world int, ds *dataset.Dataset, seed int64) error {
 	start := time.Now()
-	lfs, err := live.MountCluster(coordAddr, rank, world, addrs, ds, live.Config{StageHistograms: true})
+	lfs, err := mount()
 	if err != nil {
 		return err
 	}
@@ -327,15 +341,22 @@ func runClusterRank(coordAddr string, rank, world int, addrs []string, ds *datas
 	}
 	fmt.Printf("rank %d/%d: epoch slice %d/%d samples in %.3fs, %d checksum failures\n",
 		rank, world, len(items), ds.Len(), time.Since(start).Seconds(), bad)
+	if cc, ok := lfs.Coordinator().(*coord.ClusterClient); ok {
+		if st, err := cc.Status(); err == nil {
+			fmt.Printf("rank %d/%d: control plane: leader %s, term %d, placement epoch %d, members %v\n",
+				rank, world, st.Leader, st.Term, st.Epoch, st.Members)
+		}
+	}
 	if bad > 0 {
 		return fmt.Errorf("rank %d: %d checksum failures", rank, bad)
 	}
 	return nil
 }
 
-// runClusterInProcess stands up targets + coordinator and runs every
-// rank as a goroutine — the single-machine smoke of the multi-node path.
-func runClusterInProcess(world int, ds *dataset.Dataset, seed int64) {
+// runClusterInProcess stands up targets + coordinator (a Raft replica
+// set when replicas > 0) and runs every rank as a goroutine — the
+// single-machine smoke of the multi-node path.
+func runClusterInProcess(world, replicas int, ds *dataset.Dataset, seed int64) {
 	addrs := make([]string, world)
 	for i := range addrs {
 		tgt := nvmetcp.NewTarget(blockdev.New(1<<30), 64)
@@ -347,13 +368,30 @@ func runClusterInProcess(world int, ds *dataset.Dataset, seed int64) {
 		addrs[i] = addr
 		fmt.Printf("target %d: %s\n", i, addr)
 	}
-	srv := coord.NewServer(world, coord.ServerOptions{})
-	caddr, err := srv.Listen("127.0.0.1:0")
-	if err != nil {
-		fatal(err)
+	var caddr string
+	var peers []string
+	if replicas > 0 {
+		srvs, set, err := coord.StartReplicaSet(replicas, world, coord.ReplicatedOptions{})
+		if err != nil {
+			fatal(err)
+		}
+		defer func() {
+			for _, s := range srvs {
+				s.Close() //nolint:errcheck
+			}
+		}()
+		peers = set
+		fmt.Printf("coordinator replicas: %v (world %d)\n", peers, world)
+	} else {
+		srv := coord.NewServer(world, coord.ServerOptions{})
+		var err error
+		caddr, err = srv.Listen("127.0.0.1:0")
+		if err != nil {
+			fatal(err)
+		}
+		defer srv.Close() //nolint:errcheck
+		fmt.Printf("coordinator: %s (world %d)\n", caddr, world)
 	}
-	defer srv.Close() //nolint:errcheck
-	fmt.Printf("coordinator: %s (world %d)\n", caddr, world)
 
 	type rankOut struct {
 		items []live.Item
@@ -368,7 +406,13 @@ func runClusterInProcess(world int, ds *dataset.Dataset, seed int64) {
 		wg.Add(1)
 		go func(r int) {
 			defer wg.Done()
-			lfs, err := live.MountCluster(caddr, r, world, addrs, ds, live.Config{StageHistograms: true})
+			var lfs *live.FS
+			var err error
+			if peers != nil {
+				lfs, err = live.MountClusterPeers(peers, r, world, addrs, ds, live.Config{StageHistograms: true})
+			} else {
+				lfs, err = live.MountCluster(caddr, r, world, addrs, ds, live.Config{StageHistograms: true})
+			}
 			if err != nil {
 				outs[r].err = err
 				return
@@ -414,6 +458,20 @@ func runClusterInProcess(world int, ds *dataset.Dataset, seed int64) {
 	fmt.Printf("cluster: %d ranks, directory %#x on all, %d/%d samples exactly-once in %.3fs (%s), %d dups, %d checksum failures\n",
 		world, outs[0].fp, len(union), ds.Len(), elapsed.Seconds(),
 		metrics.HumanRate(float64(ds.Len())/elapsed.Seconds()), dups, bad)
+	if peers != nil {
+		printed := false
+		for _, p := range peers {
+			if st, err := coord.FetchStatus(p, 2*time.Second); err == nil {
+				fmt.Printf("control plane: leader %s, term %d, placement epoch %d, members %v\n",
+					st.Leader, st.Term, st.Epoch, st.Members)
+				printed = true
+				break
+			}
+		}
+		if !printed {
+			fatal(errors.New("cluster: no coordinator replica answered a status probe"))
+		}
+	}
 	if bad > 0 || dups > 0 || len(union) != ds.Len() {
 		os.Exit(1)
 	}

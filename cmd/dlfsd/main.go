@@ -10,6 +10,13 @@
 //
 //	dlfsd -listen 127.0.0.1:4420 -coord 127.0.0.1:4430 -coord-world 3
 //
+// For a fault-tolerant control plane run three such nodes, each hosting
+// one replica of a Raft-backed coordinator set; any replica can be
+// dialed, and the set survives the leader dying mid-job:
+//
+//	dlfsd -listen 127.0.0.1:4420 -coord 127.0.0.1:4430 \
+//	      -coord-peers 127.0.0.1:4430,127.0.0.1:4431,127.0.0.1:4432 -coord-world 3
+//
 // The daemon serves until interrupted, printing a stats line every
 // -stats interval. The line reports the opcode mix, connection health
 // and the RPQ/SCQ engine's per-stage figures, e.g.:
@@ -45,6 +52,7 @@ func main() {
 	stats := flag.Duration("stats", 10*time.Second, "stats print interval (0 disables)")
 	coordAddr := flag.String("coord", "", "also host the multi-node mount coordinator on this address")
 	coordWorld := flag.Int("coord-world", 0, "job size the coordinator waits for (required with -coord)")
+	coordPeers := flag.String("coord-peers", "", "comma-separated replica addresses of a replicated coordinator set; -coord names this replica's own entry")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /healthz and /trace.json on this address (enables stage histograms)")
 	flag.Parse()
 
@@ -53,17 +61,52 @@ func main() {
 		fatal(err)
 	}
 	var coordSrv *coord.Server
+	var replSrv *coord.ReplicatedServer
+	var raftMetrics *metrics.Consensus
+	if *coordPeers != "" && *coordAddr == "" {
+		fatal(fmt.Errorf("dlfsd: -coord-peers needs -coord naming this replica's own address"))
+	}
 	if *coordAddr != "" {
 		if *coordWorld <= 0 {
 			fatal(fmt.Errorf("dlfsd: -coord %s needs -coord-world > 0", *coordAddr))
 		}
-		coordSrv = coord.NewServer(*coordWorld, coord.ServerOptions{})
-		caddr, err := coordSrv.Listen(*coordAddr)
-		if err != nil {
-			fatal(err)
+		if *coordPeers != "" {
+			// Replicated control plane: this process is one replica of a
+			// Raft set; clients discover the leader through any of them.
+			peers := strings.Split(*coordPeers, ",")
+			for i := range peers {
+				peers[i] = strings.TrimSpace(peers[i])
+			}
+			self := false
+			for _, p := range peers {
+				if p == *coordAddr {
+					self = true
+					break
+				}
+			}
+			if !self {
+				fatal(fmt.Errorf("dlfsd: -coord %s is not in -coord-peers %s", *coordAddr, *coordPeers))
+			}
+			raftMetrics = &metrics.Consensus{}
+			var err error
+			replSrv, err = coord.ListenReplicated(*coordWorld, *coordAddr, peers, coord.ReplicatedOptions{
+				Metrics: raftMetrics,
+			})
+			if err != nil {
+				fatal(err)
+			}
+			defer replSrv.Close() //nolint:errcheck
+			fmt.Printf("dlfsd: coordinator replica %s of set %v for a %d-rank job\n",
+				*coordAddr, peers, *coordWorld)
+		} else {
+			coordSrv = coord.NewServer(*coordWorld, coord.ServerOptions{})
+			caddr, err := coordSrv.Listen(*coordAddr)
+			if err != nil {
+				fatal(err)
+			}
+			defer coordSrv.Close() //nolint:errcheck
+			fmt.Printf("dlfsd: coordinating a %d-rank job on %s\n", *coordWorld, caddr)
 		}
-		defer coordSrv.Close() //nolint:errcheck
-		fmt.Printf("dlfsd: coordinating a %d-rank job on %s\n", *coordWorld, caddr)
 	}
 	cfg := nvmetcp.Config{
 		Depth: *depth, Workers: *workers, QueueDepth: *queue, NoZeroCopy: *noZeroCopy,
@@ -79,6 +122,9 @@ func main() {
 	if *metricsAddr != "" {
 		h := obs.NewHandler()
 		h.Register(obs.TargetCollector(addr, tgt))
+		if raftMetrics != nil {
+			h.Register(obs.ConsensusCollector(*coordAddr, raftMetrics.Snapshot))
+		}
 		msrv, err := obs.Serve(*metricsAddr, h)
 		if err != nil {
 			fatal(err)
@@ -105,6 +151,11 @@ func main() {
 			fmt.Printf("dlfsd: %v, shutting down\n", sig)
 			if coordSrv != nil {
 				if err := coordSrv.Close(); err != nil {
+					fatal(err)
+				}
+			}
+			if replSrv != nil {
+				if err := replSrv.Close(); err != nil {
 					fatal(err)
 				}
 			}

@@ -155,6 +155,51 @@ func TestBlackholeSwallowsTraffic(t *testing.T) {
 	}
 }
 
+func TestAsymmetricPartitionDropsOneDirection(t *testing.T) {
+	p, c := dialProxy(t, echoServer(t), Config{Seed: 8})
+	// Healthy first.
+	c.Write([]byte("ok")) //nolint:errcheck
+	if _, err := io.ReadFull(c, make([]byte, 2)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Drop only the return path: the echo server hears us, but its
+	// replies vanish — the classic "can send, cannot hear" failure.
+	p.SetPartition(false, true)
+	c.Write([]byte("deaf"))                                   //nolint:errcheck
+	c.SetReadDeadline(time.Now().Add(100 * time.Millisecond)) //nolint:errcheck
+	if _, err := io.ReadFull(c, make([]byte, 4)); err == nil {
+		t.Fatal("read returned data across a dropped return path")
+	}
+
+	// Flip to dropping only the forward path on a fresh connection: our
+	// bytes vanish before the server, so nothing comes back either.
+	p.SetPartition(true, false)
+	c2, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()                                           //nolint:errcheck
+	c2.Write([]byte("mute"))                                   //nolint:errcheck
+	c2.SetReadDeadline(time.Now().Add(100 * time.Millisecond)) //nolint:errcheck
+	if _, err := io.ReadFull(c2, make([]byte, 4)); err == nil {
+		t.Fatal("echo came back across a dropped forward path")
+	}
+
+	// Heal: a fresh connection round-trips again.
+	p.SetPartition(false, false)
+	c3, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c3.Close()                                    //nolint:errcheck
+	c3.Write([]byte("back"))                            //nolint:errcheck
+	c3.SetReadDeadline(time.Now().Add(2 * time.Second)) //nolint:errcheck
+	if _, err := io.ReadFull(c3, make([]byte, 4)); err != nil {
+		t.Fatalf("traffic did not recover after partition healed: %v", err)
+	}
+}
+
 func TestDeterministicSchedule(t *testing.T) {
 	// Two same-seed wrapped connections over in-memory pipes must make
 	// identical fault decisions for the same traffic pattern.

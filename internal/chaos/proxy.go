@@ -31,6 +31,10 @@ type Proxy struct {
 	wg        sync.WaitGroup
 	connSeq   atomic.Int64
 	blackhole atomic.Bool
+
+	// Asymmetric partition: each direction is dropped independently.
+	dropToTarget atomic.Bool // client → target bytes discarded
+	dropToClient atomic.Bool // target → client bytes discarded
 }
 
 // NewProxy returns a proxy forwarding to target with the given faults.
@@ -65,6 +69,19 @@ func (p *Proxy) Stats() Stats { return p.st.snapshot() }
 // SetBlackhole toggles blackhole mode for current and future
 // connections.
 func (p *Proxy) SetBlackhole(v bool) { p.blackhole.Store(v) }
+
+// SetPartition configures an asymmetric partition on current and future
+// connections: with toTarget set, bytes from clients toward the target
+// are silently discarded; with toClient set, bytes from the target
+// toward clients are. One-way loss is the nastiest fabric failure for a
+// consensus protocol — a node that can send heartbeats but not hear
+// responses (or vice versa) — and is exactly what symmetric blackhole
+// mode cannot express. SetPartition(true, true) is equivalent to
+// blackhole; SetPartition(false, false) heals.
+func (p *Proxy) SetPartition(toTarget, toClient bool) {
+	p.dropToTarget.Store(toTarget)
+	p.dropToClient.Store(toClient)
+}
 
 // KillActive severs every live proxied connection (both sides) and
 // returns how many client connections were dropped. New connections are
@@ -181,18 +198,18 @@ func (p *Proxy) handle(client net.Conn) {
 
 	var pwg sync.WaitGroup
 	pwg.Add(2)
-	go func() { defer pwg.Done(); p.pipe(wrapped, client) }()
-	go func() { defer pwg.Done(); p.pipe(client, wrapped) }()
+	go func() { defer pwg.Done(); p.pipe(wrapped, client, &p.dropToTarget) }()
+	go func() { defer pwg.Done(); p.pipe(client, wrapped, &p.dropToClient) }()
 	pwg.Wait()
 }
 
 // pipe copies src to dst segment by segment, discarding instead of
-// forwarding while blackhole mode is on.
-func (p *Proxy) pipe(dst io.Writer, src io.Reader) {
+// forwarding while blackhole mode or this direction's partition is on.
+func (p *Proxy) pipe(dst io.Writer, src io.Reader, drop *atomic.Bool) {
 	buf := make([]byte, 16<<10)
 	for {
 		n, err := src.Read(buf)
-		if n > 0 && !p.blackhole.Load() {
+		if n > 0 && !p.blackhole.Load() && !drop.Load() {
 			if _, werr := dst.Write(buf[:n]); werr != nil {
 				return
 			}

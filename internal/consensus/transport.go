@@ -1,0 +1,149 @@
+package consensus
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// Magic prefixes every Raft connection ("DLRF"), so replica traffic can
+// share a listener with the coordinator's client protocol ("DLCO"): the
+// accept loop peeks four bytes and routes the connection.
+const Magic = 0x444C5246
+
+// TCPTransport carries Raft RPCs over persistent TCP connections, one
+// cached per peer, re-dialled on error. The server side is driven by
+// the owner's accept loop handing raft-magic connections to ServeConn.
+type TCPTransport struct {
+	handler     func(*Message) *Message
+	dialTimeout time.Duration
+	callTimeout time.Duration
+
+	mu    sync.Mutex
+	conns map[string]*peerConn
+}
+
+type peerConn struct {
+	mu   sync.Mutex // one RPC in flight per peer connection
+	conn net.Conn
+	enc  *gob.Encoder
+	dec  *gob.Decoder
+}
+
+// NewTCPTransport builds a transport whose inbound RPCs are answered by
+// handler (normally Node.HandleRPC). dialTimeout bounds connection
+// setup; callTimeout bounds one whole RPC round trip (0 takes 2s/5s).
+func NewTCPTransport(handler func(*Message) *Message, dialTimeout, callTimeout time.Duration) *TCPTransport {
+	if dialTimeout <= 0 {
+		dialTimeout = 2 * time.Second
+	}
+	if callTimeout <= 0 {
+		callTimeout = 5 * time.Second
+	}
+	return &TCPTransport{
+		handler:     handler,
+		dialTimeout: dialTimeout,
+		callTimeout: callTimeout,
+		conns:       make(map[string]*peerConn),
+	}
+}
+
+// Call sends req to the replica listening at to and returns its
+// response. A transport error invalidates the cached connection so the
+// next call re-dials.
+func (t *TCPTransport) Call(to string, req *Message) (*Message, error) {
+	pc, err := t.get(to)
+	if err != nil {
+		return nil, err
+	}
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	pc.conn.SetDeadline(time.Now().Add(t.callTimeout)) //nolint:errcheck
+	if err := pc.enc.Encode(req); err != nil {
+		t.drop(to, pc)
+		return nil, fmt.Errorf("consensus: send to %s: %w", to, err)
+	}
+	var resp Message
+	if err := pc.dec.Decode(&resp); err != nil {
+		t.drop(to, pc)
+		return nil, fmt.Errorf("consensus: recv from %s: %w", to, err)
+	}
+	return &resp, nil
+}
+
+// get returns the cached connection to peer, dialling if needed.
+func (t *TCPTransport) get(to string) (*peerConn, error) {
+	t.mu.Lock()
+	if pc := t.conns[to]; pc != nil {
+		t.mu.Unlock()
+		return pc, nil
+	}
+	t.mu.Unlock()
+	conn, err := net.DialTimeout("tcp", to, t.dialTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("consensus: dial %s: %w", to, err)
+	}
+	var magic [4]byte
+	binary.LittleEndian.PutUint32(magic[:], Magic)
+	conn.SetWriteDeadline(time.Now().Add(t.dialTimeout)) //nolint:errcheck
+	if _, err := conn.Write(magic[:]); err != nil {
+		conn.Close() //nolint:errcheck
+		return nil, fmt.Errorf("consensus: handshake %s: %w", to, err)
+	}
+	pc := &peerConn{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}
+	t.mu.Lock()
+	if prev := t.conns[to]; prev != nil {
+		// Lost the dial race; keep the established one.
+		t.mu.Unlock()
+		conn.Close() //nolint:errcheck
+		return prev, nil
+	}
+	t.conns[to] = pc
+	t.mu.Unlock()
+	return pc, nil
+}
+
+// drop invalidates a failed cached connection.
+func (t *TCPTransport) drop(to string, pc *peerConn) {
+	t.mu.Lock()
+	if t.conns[to] == pc {
+		delete(t.conns, to)
+	}
+	t.mu.Unlock()
+	pc.conn.Close() //nolint:errcheck
+}
+
+// ServeConn answers RPCs on one inbound connection until it errors or
+// closes. The caller has already consumed the four magic bytes.
+func (t *TCPTransport) ServeConn(conn net.Conn) {
+	defer conn.Close() //nolint:errcheck
+	r := bufio.NewReader(conn)
+	dec := gob.NewDecoder(r)
+	enc := gob.NewEncoder(conn)
+	for {
+		var req Message
+		if err := dec.Decode(&req); err != nil {
+			return
+		}
+		resp := t.handler(&req)
+		conn.SetWriteDeadline(time.Now().Add(t.callTimeout)) //nolint:errcheck
+		if err := enc.Encode(resp); err != nil {
+			return
+		}
+	}
+}
+
+// Close severs every cached peer connection.
+func (t *TCPTransport) Close() {
+	t.mu.Lock()
+	conns := t.conns
+	t.conns = make(map[string]*peerConn)
+	t.mu.Unlock()
+	for _, pc := range conns {
+		pc.conn.Close() //nolint:errcheck
+	}
+}

@@ -43,7 +43,9 @@ import (
 // Magic guards against cross-protocol connections ("DLCO").
 const Magic = 0x444C434F
 
-// Opcodes.
+// Opcodes. The first eight are the classic single-server protocol; the
+// rest exist only on the replicated coordinator (redirect-based leader
+// discovery, cluster status, and elastic departure).
 const (
 	opJoin byte = iota + 1
 	opJoinOK
@@ -53,14 +55,36 @@ const (
 	opBlobs
 	opLeave
 	opAbort
+	opDepart   // client → leader: leave the job at a declared cut
+	opRedirect // server → client: not the leader; payload is the leader addr
+	opStatus   // client → any replica: report leader/term/epoch/members
+	opStatusOK // server → client: gob-encoded ClusterStatus
 )
 
 // Limits: a directory partition blob is 16 B per sample, so 1 GiB covers
-// 67 M samples per node — far past the paper's 50 M-sample budget.
+// 67 M samples per node — far past the paper's 50 M-sample budget. Every
+// other opcode is a small control frame (names are ≤255 B, status is a
+// gob struct with one entry per rank), so those get a much tighter cap:
+// a corrupt length prefix on a control frame must not be able to demand
+// a gigabyte.
 const (
-	maxPayload = 1 << 30
-	maxName    = 255
+	maxPayload        = 1 << 30
+	maxControlPayload = 64 << 10
+	maxName           = 255
 )
+
+// payloadLimit returns the largest payload an opcode may carry. Only the
+// two blob-bearing opcodes get the big cap; unknown opcodes are treated
+// as control frames (they will be rejected by the dispatcher anyway, but
+// must not be able to trigger a huge allocation first).
+func payloadLimit(op byte) uint32 {
+	switch op {
+	case opGather, opBlobs:
+		return maxPayload
+	default:
+		return maxControlPayload
+	}
+}
 
 // noRank is the abort payload's rank when the fault is not attributable
 // to a specific member.
@@ -77,7 +101,31 @@ var (
 	ErrClosed = errors.New("coord: closed")
 	// ErrProtocol reports a malformed or unexpected frame.
 	ErrProtocol = errors.New("coord: protocol error")
+	// ErrFrameTooLarge marks a frame whose length prefix exceeds the
+	// opcode's payload cap. Match with errors.Is; the concrete error is a
+	// *FrameSizeError.
+	ErrFrameTooLarge = errors.New("coord: frame exceeds size limit")
+	// ErrNoLeader reports that no coordinator replica could be resolved
+	// to a leader within the client's budget.
+	ErrNoLeader = errors.New("coord: no leader")
 )
+
+// FrameSizeError reports an oversized frame: which opcode, the claimed
+// payload length, and the cap it broke. It unwraps to both
+// ErrFrameTooLarge and ErrProtocol.
+type FrameSizeError struct {
+	Op    byte
+	Size  uint32
+	Limit uint32
+}
+
+func (e *FrameSizeError) Error() string {
+	return fmt.Sprintf("coord: opcode %d payload %d exceeds limit %d", e.Op, e.Size, e.Limit)
+}
+
+// Unwrap lets both errors.Is(err, ErrFrameTooLarge) and
+// errors.Is(err, ErrProtocol) match.
+func (e *FrameSizeError) Unwrap() []error { return []error{ErrFrameTooLarge, ErrProtocol} }
 
 // PeerLostError reports which rank died and what the survivors were
 // waiting on. It unwraps to ErrPeerLost.
@@ -132,16 +180,44 @@ func readFrame(r io.Reader) (*frame, error) {
 	}
 	f := &frame{op: hdr[4], rank: binary.LittleEndian.Uint32(hdr[5:9])}
 	n := binary.LittleEndian.Uint32(hdr[9:13])
-	if n > maxPayload {
-		return nil, fmt.Errorf("%w: payload %d exceeds limit", ErrProtocol, n)
+	if limit := payloadLimit(f.op); n > limit {
+		return nil, &FrameSizeError{Op: f.op, Size: n, Limit: limit}
 	}
 	if n > 0 {
-		f.payload = make([]byte, n)
-		if _, err := io.ReadFull(r, f.payload); err != nil {
+		var err error
+		if f.payload, err = readPayload(r, int(n)); err != nil {
 			return nil, err
 		}
 	}
 	return f, nil
+}
+
+// readPayload reads exactly n bytes, growing the buffer chunk by chunk
+// so a corrupt (but in-cap) length prefix on a near-empty connection
+// costs at most one chunk of allocation before the short read surfaces —
+// never the full claimed size.
+func readPayload(r io.Reader, n int) ([]byte, error) {
+	const chunk = 1 << 20
+	if n <= chunk {
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return nil, err
+		}
+		return buf, nil
+	}
+	buf := make([]byte, 0, chunk)
+	for len(buf) < n {
+		step := n - len(buf)
+		if step > chunk {
+			step = chunk
+		}
+		off := len(buf)
+		buf = append(buf, make([]byte, step)...)
+		if _, err := io.ReadFull(r, buf[off:]); err != nil {
+			return nil, err
+		}
+	}
+	return buf, nil
 }
 
 // packName prefixes name with its 16-bit length.
@@ -539,6 +615,11 @@ type Options struct {
 	// It is the client-side backstop for a dead coordinator; a dead peer
 	// is reported much faster by the coordinator's abort broadcast.
 	WaitTimeout time.Duration
+	// ResolveTimeout bounds a ClusterClient's leader search — the total
+	// budget for sweeping the replica set with backoff until one answers
+	// as leader (default 30s). Ignored by the classic single-server
+	// client.
+	ResolveTimeout time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -548,7 +629,22 @@ func (o Options) withDefaults() Options {
 	if o.WaitTimeout == 0 {
 		o.WaitTimeout = 60 * time.Second
 	}
+	if o.ResolveTimeout <= 0 {
+		o.ResolveTimeout = 30 * time.Second
+	}
 	return o
+}
+
+// Session is the collective surface a live mount consumes: both the
+// classic single-coordinator *Client and the replica-set *ClusterClient
+// satisfy it, so live.MountCluster works unchanged against either
+// control plane.
+type Session interface {
+	Rank() int
+	World() int
+	Barrier(name string) error
+	Allgather(name string, blob []byte) ([][]byte, error)
+	Close() error
 }
 
 // Client is one rank's synchronous connection to the coordinator.

@@ -63,15 +63,8 @@ const (
 // divergence surfaces as ErrFingerprintMismatch.
 func MountCluster(coordAddr string, rank, world int, addrs []string, ds *dataset.Dataset, cfg Config) (*FS, error) {
 	cfg = cfg.withDefaults()
-	if world != len(addrs) {
-		return nil, fmt.Errorf("live: world %d but %d targets (one target per rank)", world, len(addrs))
-	}
-	if rank < 0 || rank >= world {
-		return nil, fmt.Errorf("live: rank %d out of range for world %d", rank, world)
-	}
-	mm := &metrics.Mount{}
-	if cfg.StageHistograms {
-		mm.Hist = &metrics.MountHist{}
+	if err := validateCluster(rank, world, addrs); err != nil {
+		return nil, err
 	}
 	cl, err := coord.Join(coordAddr, rank, world, coord.Options{
 		DialTimeout: cfg.DialTimeout,
@@ -79,6 +72,46 @@ func MountCluster(coordAddr string, rank, world int, addrs []string, ds *dataset
 	})
 	if err != nil {
 		return nil, fmt.Errorf("live: coordinator: %w", err)
+	}
+	return mountWithSession(cl, rank, world, addrs, ds, cfg)
+}
+
+// MountClusterPeers is MountCluster against a replicated coordinator
+// set (dlfsd -coord-peers): peers lists every replica, the client
+// discovers the Raft leader via redirects, and a leader dying mid-mount
+// is survived by re-resolving with backoff and resubmitting the
+// interrupted collective instead of aborting the mount.
+func MountClusterPeers(peers []string, rank, world int, addrs []string, ds *dataset.Dataset, cfg Config) (*FS, error) {
+	cfg = cfg.withDefaults()
+	if err := validateCluster(rank, world, addrs); err != nil {
+		return nil, err
+	}
+	cl, err := coord.JoinCluster(peers, rank, world, coord.Options{
+		DialTimeout: cfg.DialTimeout,
+		WaitTimeout: cfg.CoordWaitTimeout,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("live: coordinator: %w", err)
+	}
+	return mountWithSession(cl, rank, world, addrs, ds, cfg)
+}
+
+func validateCluster(rank, world int, addrs []string) error {
+	if world != len(addrs) {
+		return fmt.Errorf("live: world %d but %d targets (one target per rank)", world, len(addrs))
+	}
+	if rank < 0 || rank >= world {
+		return fmt.Errorf("live: rank %d out of range for world %d", rank, world)
+	}
+	return nil
+}
+
+// mountWithSession runs the mount protocol over an established
+// control-plane session (classic single coordinator or replica set).
+func mountWithSession(cl coord.Session, rank, world int, addrs []string, ds *dataset.Dataset, cfg Config) (*FS, error) {
+	mm := &metrics.Mount{}
+	if cfg.StageHistograms {
+		mm.Hist = &metrics.MountHist{}
 	}
 	fail := func(err error) (*FS, error) {
 		cl.Close() //nolint:errcheck
@@ -226,7 +259,7 @@ func MountCluster(coordAddr string, rank, world int, addrs []string, ds *dataset
 }
 
 // timedBarrier runs one coordinator barrier, accounting the wait.
-func timedBarrier(cl *coord.Client, name string, mm *metrics.Mount) error {
+func timedBarrier(cl coord.Session, name string, mm *metrics.Mount) error {
 	start := time.Now()
 	if err := cl.Barrier(name); err != nil {
 		return err
@@ -241,9 +274,11 @@ func (fs *FS) Rank() int { return fs.rank }
 // World reports the job size (1 for a single-node Mount).
 func (fs *FS) World() int { return fs.world }
 
-// Coordinator exposes the control-plane client of a cluster mount (nil
-// for a single-node Mount), for job-level barriers between epochs.
-func (fs *FS) Coordinator() *coord.Client { return fs.coord }
+// Coordinator exposes the control-plane session of a cluster mount (nil
+// for a single-node Mount), for job-level barriers between epochs. It is
+// a *coord.Client after MountCluster and a *coord.ClusterClient after
+// MountClusterPeers.
+func (fs *FS) Coordinator() coord.Session { return fs.coord }
 
 // MountStats reports the mount phase counters. Single-node mounts
 // return a zero snapshot.
@@ -273,4 +308,68 @@ func (fs *FS) SequenceSlice(seed int64, rank, world int) (*Epoch, error) {
 		return nil, fmt.Errorf("live: bad sequence slice %d/%d", rank, world)
 	}
 	return fs.sequence(seed, rank, world)
+}
+
+// EpochUnits reports how many fetch units one epoch's global order
+// contains — the granularity at which a mid-epoch cut (SequenceRange,
+// ReshardSequence) can be placed. The count depends only on the
+// deterministic placement, never on the seed.
+func (fs *FS) EpochUnits() (int, error) {
+	units, err := fs.buildUnits()
+	if err != nil {
+		return 0, err
+	}
+	return len(units), nil
+}
+
+// SequenceRange starts rank's 1/world slice of the units [lo, hi) of the
+// seeded global order (hi < 0 means the end). Assignment is
+// cut-relative: within the range, unit i goes to the rank with
+// (i-lo) ≡ rank (mod world). That is exactly the resharding rule of
+// DESIGN.md §13: the prefix [0, cut) was consumed under the old
+// membership's assignment, the suffix [cut, M) is repartitioned among
+// the survivors, and the union still covers every unit exactly once.
+func (fs *FS) SequenceRange(seed int64, rank, world, lo, hi int) (*Epoch, error) {
+	if world <= 0 || rank < 0 || rank >= world {
+		return nil, fmt.Errorf("live: bad sequence slice %d/%d", rank, world)
+	}
+	if lo < 0 {
+		return nil, fmt.Errorf("live: negative sequence cut %d", lo)
+	}
+	return fs.sequenceRange(seed, rank, world, lo, hi)
+}
+
+// ReshardSequence resumes the epoch after an elastic membership change:
+// it asks the replicated coordinator for the post-change membership,
+// recomputes this rank's position among the sorted survivors, and
+// consumes its share of the unconsumed suffix [cut, M) of the seeded
+// global order. The mount must have been created with
+// MountClusterPeers; cut is the unit index the job agreed to stop the
+// old assignment at (normally ClusterStatus.DepartCut).
+func (fs *FS) ReshardSequence(seed int64, cut int) (*Epoch, error) {
+	cc, ok := fs.coord.(*coord.ClusterClient)
+	if !ok {
+		return nil, errors.New("live: ReshardSequence needs a replicated coordinator (MountClusterPeers)")
+	}
+	st, err := cc.Status()
+	if err != nil {
+		return nil, fmt.Errorf("live: reshard status: %w", err)
+	}
+	if st.Failed != "" {
+		return nil, fmt.Errorf("live: reshard: job poisoned: %s", st.Failed)
+	}
+	newRank := -1
+	for i, r := range st.Members {
+		if r == fs.rank {
+			newRank = i
+			break
+		}
+	}
+	if newRank < 0 {
+		return nil, fmt.Errorf("live: rank %d is no longer a member (members %v)", fs.rank, st.Members)
+	}
+	if cut < 0 {
+		cut = int(st.DepartCut)
+	}
+	return fs.sequenceRange(seed, newRank, len(st.Members), cut, -1)
 }

@@ -163,7 +163,7 @@ type FS struct {
 	// Cluster state (zero/nil on a single-node Mount).
 	rank   int
 	world  int
-	coord  *coord.Client
+	coord  coord.Session
 	mstats *metrics.Mount
 }
 
@@ -471,6 +471,11 @@ func (fs *FS) Sequence(seed int64) (*Epoch, error) {
 // the identical global order and unit i can be assigned to rank
 // i % world with no coordination.
 func (fs *FS) sequence(seed int64, rank, world int) (*Epoch, error) {
+	return fs.sequenceRange(seed, rank, world, 0, -1)
+}
+
+// buildUnits constructs the deterministic (unshuffled) unit plan.
+func (fs *FS) buildUnits() ([]*unit, error) {
 	if fs.closed {
 		return nil, ErrClosed
 	}
@@ -509,8 +514,29 @@ func (fs *FS) sequence(seed int64, rank, world int) (*Epoch, error) {
 		// share (node, offset) with a chunk; length breaks the tie.
 		return units[i].length < units[j].length
 	})
+	return units, nil
+}
+
+// sequenceRange builds the seeded global unit order, restricts it to
+// units [lo, hi) (hi < 0 means the end), and starts the fetch pipeline
+// over the rank-th of world slices of that range. Assignment within the
+// range is cut-relative — unit i goes to rank (i-lo) % world — so after
+// an elastic membership change the survivors can repartition exactly
+// the unconsumed suffix among themselves (DESIGN.md §13).
+func (fs *FS) sequenceRange(seed int64, rank, world, lo, hi int) (*Epoch, error) {
+	units, err := fs.buildUnits()
+	if err != nil {
+		return nil, err
+	}
 	rng := rand.New(rand.NewSource(seed))
 	rng.Shuffle(len(units), func(i, j int) { units[i], units[j] = units[j], units[i] })
+	if hi < 0 || hi > len(units) {
+		hi = len(units)
+	}
+	if lo > hi {
+		lo = hi
+	}
+	units = units[lo:hi]
 	if world > 1 {
 		slice := units[:0:0]
 		for i := rank; i < len(units); i += world {

@@ -1,0 +1,73 @@
+package metrics
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Consensus aggregates one Raft replica's control-plane counters: the
+// current term and role, election activity, and log progress. One
+// instance belongs to one consensus.Node; snapshots feed the dlfsd
+// stats line and the /metrics exposition. All fields are safe for
+// concurrent use.
+type Consensus struct {
+	Term         atomic.Int64 // current Raft term (gauge)
+	IsLeader     atomic.Int64 // 1 while this replica leads, else 0 (gauge)
+	Elections    atomic.Int64 // elections this replica started (became candidate)
+	LeaderWins   atomic.Int64 // elections this replica won
+	LeaderLost   atomic.Int64 // times this replica stepped down from leading
+	CommitIndex  atomic.Int64 // highest committed log index (gauge)
+	AppliedIndex atomic.Int64 // highest log index applied to the FSM (gauge)
+	LastIndex    atomic.Int64 // highest log index appended (gauge)
+	Proposals    atomic.Int64 // commands proposed through this replica
+	Snapshots    atomic.Int64 // snapshot compactions taken
+	SnapshotsRx  atomic.Int64 // snapshots installed from a leader
+}
+
+// Snapshot returns a consistent-enough point-in-time copy for reporting.
+func (c *Consensus) Snapshot() ConsensusSnapshot {
+	s := ConsensusSnapshot{
+		Term:         c.Term.Load(),
+		IsLeader:     c.IsLeader.Load() != 0,
+		Elections:    c.Elections.Load(),
+		LeaderWins:   c.LeaderWins.Load(),
+		LeaderLost:   c.LeaderLost.Load(),
+		CommitIndex:  c.CommitIndex.Load(),
+		AppliedIndex: c.AppliedIndex.Load(),
+		LastIndex:    c.LastIndex.Load(),
+		Proposals:    c.Proposals.Load(),
+		Snapshots:    c.Snapshots.Load(),
+		SnapshotsRx:  c.SnapshotsRx.Load(),
+	}
+	if lag := s.CommitIndex - s.AppliedIndex; lag > 0 {
+		s.CommitLag = lag
+	}
+	return s
+}
+
+// ConsensusSnapshot is a plain-value copy of Consensus counters.
+// CommitLag is derived: committed-but-not-yet-applied entries.
+type ConsensusSnapshot struct {
+	Term         int64
+	IsLeader     bool
+	Elections    int64
+	LeaderWins   int64
+	LeaderLost   int64
+	CommitIndex  int64
+	AppliedIndex int64
+	LastIndex    int64
+	CommitLag    int64
+	Proposals    int64
+	Snapshots    int64
+	SnapshotsRx  int64
+}
+
+// String renders the snapshot as a single stats line.
+func (s ConsensusSnapshot) String() string {
+	role := "follower"
+	if s.IsLeader {
+		role = "leader"
+	}
+	return fmt.Sprintf("term=%d role=%s elections=%d wins=%d commit=%d applied=%d lag=%d proposals=%d snapshots=%d",
+		s.Term, role, s.Elections, s.LeaderWins, s.CommitIndex, s.AppliedIndex, s.CommitLag, s.Proposals, s.Snapshots)
+}

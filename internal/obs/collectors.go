@@ -49,6 +49,33 @@ func WriteServerSnapshot(w io.Writer, s metrics.ServerSnapshot, labels ...Label)
 	}
 }
 
+// ConsensusCollector renders one coordinator replica's Raft state as
+// dlfs_raft_* series. replica labels every series so one scrape can
+// cover a whole replica set; snap is called per scrape so the gauges
+// (term, leadership, log indexes) track the live node.
+func ConsensusCollector(replica string, snap func() metrics.ConsensusSnapshot) func(io.Writer) {
+	lbl := []Label{{Name: "replica", Value: replica}}
+	return func(w io.Writer) {
+		s := snap()
+		leading := 0.0
+		if s.IsLeader {
+			leading = 1
+		}
+		WriteGauge(w, "dlfs_raft_term", "Current Raft term.", float64(s.Term), lbl...)
+		WriteGauge(w, "dlfs_raft_is_leader", "1 while this replica leads, else 0.", leading, lbl...)
+		WriteCounter(w, "dlfs_raft_elections_total", "Elections this replica started.", s.Elections, lbl...)
+		WriteCounter(w, "dlfs_raft_leader_wins_total", "Elections this replica won.", s.LeaderWins, lbl...)
+		WriteCounter(w, "dlfs_raft_leader_losses_total", "Times this replica stepped down from leading.", s.LeaderLost, lbl...)
+		WriteGauge(w, "dlfs_raft_last_index", "Highest log index appended.", float64(s.LastIndex), lbl...)
+		WriteGauge(w, "dlfs_raft_commit_index", "Highest committed log index.", float64(s.CommitIndex), lbl...)
+		WriteGauge(w, "dlfs_raft_applied_index", "Highest log index applied to the FSM.", float64(s.AppliedIndex), lbl...)
+		WriteGauge(w, "dlfs_raft_commit_lag", "Committed entries not yet applied.", float64(s.CommitLag), lbl...)
+		WriteCounter(w, "dlfs_raft_proposals_total", "Commands proposed through this replica.", s.Proposals, lbl...)
+		WriteCounter(w, "dlfs_raft_snapshots_total", "Snapshot compactions taken.", s.Snapshots, lbl...)
+		WriteCounter(w, "dlfs_raft_snapshots_installed_total", "Snapshots installed from a leader.", s.SnapshotsRx, lbl...)
+	}
+}
+
 // PipelineCollector renders client pipeline counters (and stage
 // histograms when enabled) as dlfs_client_* series. snap is called per
 // scrape so the series track the live pipeline.

@@ -2,7 +2,7 @@ GO ?= go
 BENCH ?= .
 BENCHCOUNT ?= 5
 
-.PHONY: all fmt fmt-check vet build test race chaos chaos-failover bench bench-target bench-json bench-smoke fuzz-smoke check clean
+.PHONY: all fmt fmt-check vet build test race chaos chaos-failover bench bench-target bench-json bench-peers bench-smoke fuzz-smoke check clean
 
 all: check
 
@@ -29,7 +29,7 @@ test:
 
 race:
 	$(GO) test -race ./internal/nvmetcp ./internal/live ./internal/chaos ./internal/bufpool ./internal/blockdev \
-		./internal/consensus ./internal/coord
+		./internal/consensus ./internal/coord ./internal/peercache
 
 # Chaos soak: run the seeded fault-injection epochs twice to shake out
 # scheduling-dependent bugs in the resilience path.
@@ -63,10 +63,17 @@ bench-target:
 		./internal/nvmetcp
 
 # Machine-readable live-path measurement: epoch throughput trajectory,
-# client and server stage latency quantiles, allocator pressure. CI
-# uploads the report as a build artifact.
+# client and server stage latency quantiles, allocator pressure, and the
+# clairvoyant-prefetch cold-vs-warm poll p50. CI uploads the report as a
+# build artifact.
 bench-json:
-	$(GO) run ./cmd/dlfsbench -live -json BENCH_5.json
+	$(GO) run ./cmd/dlfsbench -live -json BENCH_7.json
+
+# Multi-rank cooperative peer cache measurement: per-rank origin wire
+# bytes with the cache off vs on (FanStore's once-per-cluster property,
+# in numbers). CI uploads the report as a build artifact.
+bench-peers:
+	$(GO) run ./cmd/dlfsbench -peers -json BENCH_PEERS.json
 
 # CI smoke: prove the benchmarks still compile and run one iteration,
 # without paying for a real measurement.
@@ -80,6 +87,7 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzReadCapsule -fuzztime 10s ./internal/nvmetcp
 	$(GO) test -run '^$$' -fuzz FuzzScan -fuzztime 10s ./internal/dataset
 	$(GO) test -run '^$$' -fuzz FuzzCoordFrame -fuzztime 10s ./internal/coord
+	$(GO) test -run '^$$' -fuzz FuzzPeerFrame -fuzztime 10s ./internal/peercache
 
 check: fmt-check vet build test race chaos
 

@@ -15,10 +15,11 @@ import (
 )
 
 // The live bench measures the real TCP data path end to end: in-process
-// targets, a live mount with stage histograms on, one warmup epoch, then
-// measured epochs whose throughput trajectory, per-stage latency
-// quantiles (client and server) and allocator pressure land in a
-// machine-readable JSON report (BENCH_5.json in CI).
+// targets, a live mount with stage histograms and clairvoyant
+// cross-epoch prefetch on, one warmup (cold) epoch, then measured warm
+// epochs whose throughput trajectory, per-stage latency quantiles
+// (client and server), allocator pressure, and cold-vs-warm poll p50
+// land in a machine-readable JSON report (BENCH_7.json in CI).
 
 // histJSON is one latency distribution in the report, seconds-valued
 // like the /metrics exposition.
@@ -45,24 +46,29 @@ func toHistJSON(h metrics.HistSnapshot) histJSON {
 }
 
 type epochJSON struct {
-	Epoch         int     `json:"epoch"`
-	Seconds       float64 `json:"seconds"`
-	Samples       int     `json:"samples"`
-	SamplesPerSec float64 `json:"samples_per_sec"`
-	BytesPerSec   float64 `json:"bytes_per_sec"`
+	Epoch            int     `json:"epoch"`
+	Seconds          float64 `json:"seconds"`
+	Samples          int     `json:"samples"`
+	SamplesPerSec    float64 `json:"samples_per_sec"`
+	BytesPerSec      float64 `json:"bytes_per_sec"`
+	PollP50Seconds   float64 `json:"poll_p50_seconds"`
+	WireReads        int64   `json:"wire_reads"`
+	PrefetchHitUnits int64   `json:"prefetch_hit_units"`
 }
 
 type liveReport struct {
 	Bench  string `json:"bench"`
 	Schema int    `json:"schema_version"`
 	Config struct {
-		Targets      int     `json:"targets"`
-		Samples      int     `json:"samples"`
-		SampleBytes  int     `json:"sample_bytes"`
-		ChunkBytes   int     `json:"chunk_bytes"`
-		WarmupEpochs int     `json:"warmup_epochs"`
-		Epochs       int     `json:"epochs"`
-		Scale        float64 `json:"scale"`
+		Targets             int     `json:"targets"`
+		Samples             int     `json:"samples"`
+		SampleBytes         int     `json:"sample_bytes"`
+		ChunkBytes          int     `json:"chunk_bytes"`
+		WarmupEpochs        int     `json:"warmup_epochs"`
+		Epochs              int     `json:"epochs"`
+		Scale               float64 `json:"scale"`
+		CrossEpochPrefetch  bool    `json:"cross_epoch_prefetch"`
+		PrefetchBudgetBytes int64   `json:"prefetch_budget_bytes"`
 	} `json:"config"`
 	Epochs     []epochJSON `json:"epochs"`
 	Throughput struct {
@@ -84,6 +90,17 @@ type liveReport struct {
 		CoalescedUnits int64   `json:"coalesced_units"`
 		PoolHitRate    float64 `json:"pool_hit_rate"`
 	} `json:"pipeline"`
+	// Prefetch is the clairvoyant cross-epoch story in two numbers: the
+	// cold epoch pays the wire (its poll p50), warm epochs open with the
+	// lookahead store full and a poll p50 at or near zero.
+	Prefetch struct {
+		ColdPollP50Seconds float64 `json:"cold_poll_p50_seconds"`
+		WarmPollP50Seconds float64 `json:"warm_poll_p50_seconds"`
+		PrefetchedUnits    int64   `json:"prefetched_units"`
+		PrefetchHitUnits   int64   `json:"prefetch_hit_units"`
+		Evictions          int64   `json:"evictions"`
+		Coverage           float64 `json:"coverage"`
+	} `json:"prefetch"`
 }
 
 // runLiveBench runs the live epoch benchmark and writes the JSON report
@@ -110,30 +127,68 @@ func runLiveBench(out string, scale float64) error {
 		targets[i], addrs[i] = tgt, addr
 	}
 	ds := dataset.Generate(dataset.Config{Label: "bench", Seed: 11, NumSamples: samples, Dist: dataset.Fixed(sampleBytes)})
-	fs, err := live.Mount(addrs, ds, live.Config{ChunkSize: chunkBytes, StageHistograms: true})
+	// Budget the lookahead store for the whole dataset so warm epochs can
+	// open fully resident — the bench is sized to show the ceiling.
+	budget := int64(samples)*sampleBytes + (1 << 20)
+	fs, err := live.Mount(addrs, ds, live.Config{
+		ChunkSize:           chunkBytes,
+		StageHistograms:     true,
+		CrossEpochPrefetch:  true,
+		PrefetchBudgetBytes: budget,
+	})
 	if err != nil {
 		return err
 	}
 	defer fs.Close() //nolint:errcheck
 
+	// Consume the epoch the way a training loop does — batch by batch,
+	// recycling every payload. Dropping items on the floor (Drain without
+	// RecycleItems) starves the buffer pool and reports a bogus
+	// pool_hit_rate of zero.
 	runEpoch := func(seed int64) (int, time.Duration, error) {
 		ep, err := fs.Sequence(seed)
 		if err != nil {
 			return 0, 0, err
 		}
 		start := time.Now()
-		items, err := ep.Drain()
-		return len(items), time.Since(start), err
-	}
-	for w := 0; w < warmup; w++ {
-		if _, _, err := runEpoch(int64(100 + w)); err != nil {
-			return err
+		n := 0
+		for {
+			items, ok, err := ep.NextBatch()
+			n += len(items)
+			fs.RecycleItems(items)
+			if err != nil || !ok {
+				return n, time.Since(start), err
+			}
 		}
+	}
+	// measuredEpoch wraps runEpoch with windowed pipeline deltas, then
+	// lets the background prefetch round finish outside the timed window
+	// so every epoch boundary is deterministic.
+	measuredEpoch := func(label int, seed int64) (epochJSON, error) {
+		before := fs.Stats().Pipeline
+		n, elapsed, err := runEpoch(seed)
+		if err != nil {
+			return epochJSON{}, err
+		}
+		after := fs.Stats().Pipeline
+		sec := elapsed.Seconds()
+		ej := epochJSON{
+			Epoch:            label,
+			Seconds:          sec,
+			Samples:          n,
+			SamplesPerSec:    float64(n) / sec,
+			BytesPerSec:      float64(n) * sampleBytes / sec,
+			PollP50Seconds:   after.Stages.Poll.Sub(before.Stages.Poll).P50().Seconds(),
+			WireReads:        after.WireReads - before.WireReads,
+			PrefetchHitUnits: after.PrefetchHitUnits - before.PrefetchHitUnits,
+		}
+		fs.WaitPrefetch()
+		return ej, nil
 	}
 
 	var rep liveReport
 	rep.Bench = "live-epoch"
-	rep.Schema = 1
+	rep.Schema = 2
 	rep.Config.Targets = nTargets
 	rep.Config.Samples = samples
 	rep.Config.SampleBytes = sampleBytes
@@ -141,6 +196,20 @@ func runLiveBench(out string, scale float64) error {
 	rep.Config.WarmupEpochs = warmup
 	rep.Config.Epochs = epochs
 	rep.Config.Scale = scale
+	rep.Config.CrossEpochPrefetch = true
+	rep.Config.PrefetchBudgetBytes = budget
+
+	// The warmup epoch runs with an empty lookahead store: it is the cold
+	// epoch the prefetch section compares warm epochs against.
+	for w := 0; w < warmup; w++ {
+		ej, err := measuredEpoch(-(w + 1), int64(100+w))
+		if err != nil {
+			return err
+		}
+		if w == 0 {
+			rep.Prefetch.ColdPollP50Seconds = ej.PollP50Seconds
+		}
+	}
 
 	var m0, m1 runtime.MemStats
 	runtime.GC()
@@ -148,20 +217,14 @@ func runLiveBench(out string, scale float64) error {
 	var totalSamples int
 	var totalSeconds float64
 	for e := 0; e < epochs; e++ {
-		n, elapsed, err := runEpoch(int64(200 + e))
+		ej, err := measuredEpoch(e+1, int64(200+e))
 		if err != nil {
 			return err
 		}
-		sec := elapsed.Seconds()
-		rep.Epochs = append(rep.Epochs, epochJSON{
-			Epoch:         e + 1,
-			Seconds:       sec,
-			Samples:       n,
-			SamplesPerSec: float64(n) / sec,
-			BytesPerSec:   float64(n) * sampleBytes / sec,
-		})
-		totalSamples += n
-		totalSeconds += sec
+		rep.Epochs = append(rep.Epochs, ej)
+		totalSamples += ej.Samples
+		totalSeconds += ej.Seconds
+		rep.Prefetch.WarmPollP50Seconds = ej.PollP50Seconds
 	}
 	runtime.ReadMemStats(&m1)
 
@@ -201,6 +264,10 @@ func runLiveBench(out string, scale float64) error {
 	if hm := pipe.PoolHits + pipe.PoolMisses; hm > 0 {
 		rep.Pipeline.PoolHitRate = float64(pipe.PoolHits) / float64(hm)
 	}
+	rep.Prefetch.PrefetchedUnits = pipe.PrefetchedUnits
+	rep.Prefetch.PrefetchHitUnits = pipe.PrefetchHitUnits
+	rep.Prefetch.Evictions = pipe.PrefetchEvictions
+	rep.Prefetch.Coverage = pipe.PrefetchCoverage()
 
 	buf, err := json.MarshalIndent(&rep, "", "  ")
 	if err != nil {
@@ -214,8 +281,10 @@ func runLiveBench(out string, scale float64) error {
 	if err := os.WriteFile(out, buf, 0o644); err != nil {
 		return err
 	}
-	fmt.Printf("dlfsbench: live epoch bench: %d samples x %d epochs, %.0f samples/s (%s/s); wrote %s\n",
+	fmt.Printf("dlfsbench: live epoch bench: %d samples x %d epochs, %.0f samples/s (%s/s); poll p50 cold %.1fus -> warm %.1fus, prefetch coverage %.0f%%; wrote %s\n",
 		samples, epochs, rep.Throughput.SamplesPerSec,
-		metrics.HumanBytes(int64(rep.Throughput.BytesPerSec)), out)
+		metrics.HumanBytes(int64(rep.Throughput.BytesPerSec)),
+		rep.Prefetch.ColdPollP50Seconds*1e6, rep.Prefetch.WarmPollP50Seconds*1e6,
+		100*rep.Prefetch.Coverage, out)
 	return nil
 }

@@ -8,9 +8,14 @@
 //	dlfsbench -fig 6           # one figure
 //	dlfsbench -fig 7a -scale 0.25
 //	dlfsbench -fig ablation    # design-choice ablations
-//	dlfsbench -live -json BENCH_5.json
+//	dlfsbench -live -json BENCH_7.json
 //	                           # live TCP epoch bench: throughput
-//	                           # trajectory + stage quantiles as JSON
+//	                           # trajectory, stage quantiles, and
+//	                           # cold-vs-warm prefetch poll p50 as JSON
+//	dlfsbench -peers -json BENCH_PEERS.json
+//	                           # multi-rank cooperative peer cache bench:
+//	                           # per-rank origin wire bytes with the
+//	                           # cache off vs on
 package main
 
 import (
@@ -61,11 +66,27 @@ func main() {
 	scale := flag.Float64("scale", 1.0, "measurement volume scale (smaller = faster, noisier)")
 	list := flag.Bool("list", false, "list available figures and exit")
 	liveBench := flag.Bool("live", false, "run the live TCP epoch bench instead of the figures")
-	jsonOut := flag.String("json", "BENCH_5.json", "live bench: JSON report path (- for stdout)")
+	peerBench := flag.Bool("peers", false, "run the multi-rank peer-cache wire bench instead of the figures")
+	jsonOut := flag.String("json", "", "bench JSON report path (- for stdout; default BENCH_7.json / BENCH_PEERS.json)")
 	flag.Parse()
 
 	if *liveBench {
-		if err := runLiveBench(*jsonOut, *scale); err != nil {
+		out := *jsonOut
+		if out == "" {
+			out = "BENCH_7.json"
+		}
+		if err := runLiveBench(out, *scale); err != nil {
+			fmt.Fprintln(os.Stderr, "dlfsbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *peerBench {
+		out := *jsonOut
+		if out == "" {
+			out = "BENCH_PEERS.json"
+		}
+		if err := runPeerBench(out, *scale); err != nil {
 			fmt.Fprintln(os.Stderr, "dlfsbench:", err)
 			os.Exit(1)
 		}

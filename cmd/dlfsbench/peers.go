@@ -1,0 +1,205 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"dlfs/internal/blockdev"
+	"dlfs/internal/coord"
+	"dlfs/internal/dataset"
+	"dlfs/internal/live"
+	"dlfs/internal/metrics"
+	"dlfs/internal/nvmetcp"
+)
+
+// The peer bench measures what the cooperative sample cache buys on the
+// storage wire: an in-process cluster of world ranks where every rank
+// reads the full dataset through ReadSample, run twice — once with the
+// peer cache off (every rank pays origin for everything) and once with
+// it on (each sample crosses the storage wire once cluster-wide, every
+// other copy rides the peer fabric). The JSON report (BENCH_PEERS.json
+// in CI) carries per-rank origin bytes for both phases plus the
+// reduction factor.
+
+type peerRankJSON struct {
+	Rank          int   `json:"rank"`
+	OriginReads   int64 `json:"origin_reads"`
+	OriginBytes   int64 `json:"origin_bytes"`
+	PeerHits      int64 `json:"peer_hits"`
+	PeerBytes     int64 `json:"peer_bytes"`
+	PeerFallbacks int64 `json:"peer_fallbacks"`
+	PeerServed    int64 `json:"peer_served"`
+	CacheHits     int64 `json:"cache_hits"`
+}
+
+type peerPhaseJSON struct {
+	PeerCache        bool           `json:"peer_cache"`
+	Seconds          float64        `json:"seconds"`
+	Ranks            []peerRankJSON `json:"ranks"`
+	TotalOriginBytes int64          `json:"total_origin_bytes"`
+	TotalPeerBytes   int64          `json:"total_peer_bytes"`
+}
+
+type peerReport struct {
+	Bench  string `json:"bench"`
+	Schema int    `json:"schema_version"`
+	Config struct {
+		World        int     `json:"world"`
+		Samples      int     `json:"samples"`
+		SampleBytes  int     `json:"sample_bytes"`
+		DatasetBytes int64   `json:"dataset_bytes"`
+		Scale        float64 `json:"scale"`
+	} `json:"config"`
+	Baseline peerPhaseJSON `json:"baseline"`
+	Peer     peerPhaseJSON `json:"peer"`
+	// OriginReduction is baseline total origin bytes over peer-phase
+	// total origin bytes: ~world when the cooperative cache holds.
+	OriginReduction float64 `json:"origin_reduction"`
+}
+
+// runPeerPhase stands up targets + coordinator, mounts world ranks, has
+// every rank read the whole dataset through ReadSample, and returns the
+// per-rank pipeline counters.
+func runPeerPhase(world int, ds *dataset.Dataset, peerCache bool) (peerPhaseJSON, error) {
+	addrs := make([]string, world)
+	for i := range addrs {
+		tgt := nvmetcp.NewTarget(blockdev.New(1<<30), 64)
+		addr, err := tgt.Listen("127.0.0.1:0")
+		if err != nil {
+			return peerPhaseJSON{}, err
+		}
+		defer tgt.Close() //nolint:errcheck
+		addrs[i] = addr
+	}
+	srv := coord.NewServer(world, coord.ServerOptions{})
+	caddr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		return peerPhaseJSON{}, err
+	}
+	defer srv.Close() //nolint:errcheck
+
+	cfg := live.Config{
+		ChunkSize:      16 << 10,
+		ReadCacheBytes: ds.TotalBytes() + (4 << 20), // owners keep their shard resident
+		PeerCache:      peerCache,
+	}
+	type out struct {
+		pl  metrics.PipelineSnapshot
+		err error
+	}
+	outs := make([]out, world)
+	var wg sync.WaitGroup
+	// Ranks must keep their peer service up until every rank has finished
+	// reading, or a fast rank's Close would look like a dead peer to the
+	// slow ones; readers blocks Close until all scans are done.
+	var readers sync.WaitGroup
+	readers.Add(world)
+	start := time.Now()
+	for r := 0; r < world; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			lfs, err := live.MountCluster(caddr, r, world, addrs, ds, cfg)
+			if err != nil {
+				outs[r].err = err
+				readers.Done()
+				return
+			}
+			defer lfs.Close()    //nolint:errcheck
+			defer readers.Wait() // hold the mount open for the other ranks
+			defer readers.Done()
+			// Rotate each rank's scan start so the ranks don't race each
+			// other to the same sample in lockstep: the first rank to
+			// reach a sample seeds its owner's cache, the others hit it.
+			for k := 0; k < ds.Len(); k++ {
+				i := (k + r*ds.Len()/world) % ds.Len()
+				buf, err := lfs.ReadSample(i)
+				if err != nil {
+					outs[r].err = fmt.Errorf("rank %d sample %d: %w", r, i, err)
+					return
+				}
+				if dataset.ChecksumBytes(buf) != ds.Checksum(i) {
+					outs[r].err = fmt.Errorf("rank %d sample %d: checksum mismatch", r, i)
+					return
+				}
+				lfs.Recycle(buf)
+			}
+			outs[r].pl = lfs.Stats().Pipeline
+		}(r)
+	}
+	wg.Wait()
+
+	phase := peerPhaseJSON{PeerCache: peerCache, Seconds: time.Since(start).Seconds()}
+	for r := range outs {
+		if outs[r].err != nil {
+			return peerPhaseJSON{}, outs[r].err
+		}
+		pl := outs[r].pl
+		phase.Ranks = append(phase.Ranks, peerRankJSON{
+			Rank:          r,
+			OriginReads:   pl.OriginReads,
+			OriginBytes:   pl.OriginBytes,
+			PeerHits:      pl.PeerHits,
+			PeerBytes:     pl.PeerBytes,
+			PeerFallbacks: pl.PeerFallbacks,
+			PeerServed:    pl.PeerServed,
+			CacheHits:     pl.CacheHits,
+		})
+		phase.TotalOriginBytes += pl.OriginBytes
+		phase.TotalPeerBytes += pl.PeerBytes
+	}
+	return phase, nil
+}
+
+// runPeerBench runs both phases and writes the JSON report to out ("-"
+// writes to stdout).
+func runPeerBench(out string, scale float64) error {
+	const world = 3
+	const sampleBytes = 16 << 10
+	samples := int(1200 * scale)
+	if samples < 120 {
+		samples = 120
+	}
+	ds := dataset.Generate(dataset.Config{Label: "peers", Seed: 17, NumSamples: samples, Dist: dataset.Fixed(sampleBytes)})
+
+	var rep peerReport
+	rep.Bench = "peer-wire"
+	rep.Schema = 1
+	rep.Config.World = world
+	rep.Config.Samples = samples
+	rep.Config.SampleBytes = sampleBytes
+	rep.Config.DatasetBytes = ds.TotalBytes()
+	rep.Config.Scale = scale
+
+	var err error
+	if rep.Baseline, err = runPeerPhase(world, ds, false); err != nil {
+		return fmt.Errorf("baseline phase: %w", err)
+	}
+	if rep.Peer, err = runPeerPhase(world, ds, true); err != nil {
+		return fmt.Errorf("peer phase: %w", err)
+	}
+	if rep.Peer.TotalOriginBytes > 0 {
+		rep.OriginReduction = float64(rep.Baseline.TotalOriginBytes) / float64(rep.Peer.TotalOriginBytes)
+	}
+
+	buf, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if out == "-" {
+		_, err = os.Stdout.Write(buf)
+		return err
+	}
+	if err := os.WriteFile(out, buf, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("dlfsbench: peer wire bench: %d ranks x %d samples; origin bytes %s -> %s (%.2fx reduction), peer fabric %s; wrote %s\n",
+		world, samples,
+		metrics.HumanBytes(rep.Baseline.TotalOriginBytes), metrics.HumanBytes(rep.Peer.TotalOriginBytes),
+		rep.OriginReduction, metrics.HumanBytes(rep.Peer.TotalPeerBytes), out)
+	return nil
+}

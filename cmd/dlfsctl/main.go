@@ -281,11 +281,13 @@ func cmdCluster(args []string) {
 	n := fs.Int("n", 600, "samples")
 	size := fs.Int("size", 4096, "sample size")
 	seed := fs.Int64("seed", 1, "epoch sequence seed (must match on every rank)")
+	peerCache := fs.Bool("peer-cache", false, "host the cooperative peer sample cache on every rank and run a full ReadSample pass to exercise it")
 	fs.Parse(args) //nolint:errcheck
 
+	cfg := live.Config{StageHistograms: true, PeerCache: *peerCache}
 	ds := dataset.Generate(dataset.Config{Label: "cluster", Seed: 3, NumSamples: *n, Dist: dataset.Fixed(*size)})
 	if *ranks > 0 {
-		runClusterInProcess(*ranks, *replicas, ds, *seed)
+		runClusterInProcess(*ranks, *replicas, ds, *seed, cfg)
 		return
 	}
 	if (*coordAddr == "" && *coordPeers == "") || *world <= 0 || *targetList == "" {
@@ -302,19 +304,44 @@ func cmdCluster(args []string) {
 	mount := func() (*live.FS, error) {
 		if *coordPeers != "" {
 			peers := strings.Split(*coordPeers, ",")
-			return live.MountClusterPeers(peers, *rank, *world, addrs, ds, live.Config{StageHistograms: true})
+			return live.MountClusterPeers(peers, *rank, *world, addrs, ds, cfg)
 		}
-		return live.MountCluster(*coordAddr, *rank, *world, addrs, ds, live.Config{StageHistograms: true})
+		return live.MountCluster(*coordAddr, *rank, *world, addrs, ds, cfg)
 	}
-	if err := runClusterRank(mount, *rank, *world, ds, *seed); err != nil {
+	if err := runClusterRank(mount, *rank, *world, ds, *seed, *peerCache); err != nil {
 		fatal(err)
 	}
+}
+
+// readSamplePass reads the whole dataset through ReadSample (checksummed)
+// — the path the cooperative peer cache accelerates.
+func readSamplePass(lfs *live.FS, ds *dataset.Dataset) error {
+	for i := 0; i < ds.Len(); i++ {
+		buf, err := lfs.ReadSample(i)
+		if err != nil {
+			return fmt.Errorf("sample %d: %w", i, err)
+		}
+		ok := dataset.ChecksumBytes(buf) == ds.Checksum(i)
+		lfs.Recycle(buf)
+		if !ok {
+			return fmt.Errorf("sample %d: checksum mismatch", i)
+		}
+	}
+	return nil
+}
+
+// printPeerBreakdown prints where one rank's ReadSample bytes came from:
+// its own cache, the peer fabric, or the origin targets.
+func printPeerBreakdown(prefix string, pl metrics.PipelineSnapshot) {
+	fmt.Printf("%s reads: cache hits %d, peer %d (%s), origin %d (%s), fallbacks %d; served peers %d\n",
+		prefix, pl.CacheHits, pl.PeerHits, metrics.HumanBytes(pl.PeerBytes),
+		pl.OriginReads, metrics.HumanBytes(pl.OriginBytes), pl.PeerFallbacks, pl.PeerServed)
 }
 
 // runClusterRank mounts one rank, consumes its epoch slice, verifies
 // checksums, and prints the rank's mount and pipeline stats. Against a
 // replicated coordinator it also prints the control-plane view.
-func runClusterRank(mount func() (*live.FS, error), rank, world int, ds *dataset.Dataset, seed int64) error {
+func runClusterRank(mount func() (*live.FS, error), rank, world int, ds *dataset.Dataset, seed int64, peerCache bool) error {
 	start := time.Now()
 	lfs, err := mount()
 	if err != nil {
@@ -341,6 +368,13 @@ func runClusterRank(mount func() (*live.FS, error), rank, world int, ds *dataset
 	}
 	fmt.Printf("rank %d/%d: epoch slice %d/%d samples in %.3fs, %d checksum failures\n",
 		rank, world, len(items), ds.Len(), time.Since(start).Seconds(), bad)
+	if peerCache {
+		fmt.Printf("rank %d/%d: peer cache at %s, full ReadSample pass...\n", rank, world, lfs.PeerAddr())
+		if err := readSamplePass(lfs, ds); err != nil {
+			return err
+		}
+		printPeerBreakdown(fmt.Sprintf("rank %d/%d", rank, world), lfs.Stats().Pipeline)
+	}
 	if cc, ok := lfs.Coordinator().(*coord.ClusterClient); ok {
 		if st, err := cc.Status(); err == nil {
 			fmt.Printf("rank %d/%d: control plane: leader %s, term %d, placement epoch %d, members %v\n",
@@ -355,8 +389,10 @@ func runClusterRank(mount func() (*live.FS, error), rank, world int, ds *dataset
 
 // runClusterInProcess stands up targets + coordinator (a Raft replica
 // set when replicas > 0) and runs every rank as a goroutine — the
-// single-machine smoke of the multi-node path.
-func runClusterInProcess(world, replicas int, ds *dataset.Dataset, seed int64) {
+// single-machine smoke of the multi-node path. With cfg.PeerCache on,
+// every rank follows the epoch with a full ReadSample pass so the
+// cooperative cache traffic shows up in the per-rank breakdown.
+func runClusterInProcess(world, replicas int, ds *dataset.Dataset, seed int64, cfg live.Config) {
 	addrs := make([]string, world)
 	for i := range addrs {
 		tgt := nvmetcp.NewTarget(blockdev.New(1<<30), 64)
@@ -396,11 +432,16 @@ func runClusterInProcess(world, replicas int, ds *dataset.Dataset, seed int64) {
 	type rankOut struct {
 		items []live.Item
 		ms    metrics.MountSnapshot
+		pl    metrics.PipelineSnapshot
 		fp    uint64
 		err   error
 	}
 	outs := make([]rankOut, world)
 	var wg sync.WaitGroup
+	// With the peer cache on, a rank that finishes early must keep its
+	// peer service up until every rank is done reading.
+	var readers sync.WaitGroup
+	readers.Add(world)
 	start := time.Now()
 	for r := 0; r < world; r++ {
 		wg.Add(1)
@@ -409,15 +450,18 @@ func runClusterInProcess(world, replicas int, ds *dataset.Dataset, seed int64) {
 			var lfs *live.FS
 			var err error
 			if peers != nil {
-				lfs, err = live.MountClusterPeers(peers, r, world, addrs, ds, live.Config{StageHistograms: true})
+				lfs, err = live.MountClusterPeers(peers, r, world, addrs, ds, cfg)
 			} else {
-				lfs, err = live.MountCluster(caddr, r, world, addrs, ds, live.Config{StageHistograms: true})
+				lfs, err = live.MountCluster(caddr, r, world, addrs, ds, cfg)
 			}
 			if err != nil {
 				outs[r].err = err
+				readers.Done()
 				return
 			}
-			defer lfs.Close() //nolint:errcheck
+			defer lfs.Close()    //nolint:errcheck
+			defer readers.Wait() // hold the peer service open for the others
+			defer readers.Done()
 			outs[r].fp = lfs.Directory().Fingerprint()
 			outs[r].ms = lfs.MountStats()
 			ep, err := lfs.ClusterSequence(seed)
@@ -426,6 +470,10 @@ func runClusterInProcess(world, replicas int, ds *dataset.Dataset, seed int64) {
 				return
 			}
 			outs[r].items, outs[r].err = ep.Drain()
+			if outs[r].err == nil && cfg.PeerCache {
+				outs[r].err = readSamplePass(lfs, ds)
+			}
+			outs[r].pl = lfs.Stats().Pipeline
 		}(r)
 	}
 	wg.Wait()
@@ -447,6 +495,9 @@ func runClusterInProcess(world, replicas int, ds *dataset.Dataset, seed int64) {
 			}
 		}
 		fmt.Printf("rank %d: %d samples, mount: %s\n", r, len(outs[r].items), outs[r].ms)
+		if cfg.PeerCache {
+			printPeerBreakdown(fmt.Sprintf("rank %d", r), outs[r].pl)
+		}
 	}
 	printMountPhases("rank 0", outs[0].ms)
 	dups := 0

@@ -17,6 +17,11 @@
 //	dlfsd -listen 127.0.0.1:4420 -coord 127.0.0.1:4430 \
 //	      -coord-peers 127.0.0.1:4430,127.0.0.1:4431,127.0.0.1:4432 -coord-world 3
 //
+// Ranks that mount with live.Config.PeerCache additionally exchange
+// their cooperative-cache (DLPC) service addresses through the hosted
+// coordinator — one extra allgather on the mount path, no dlfsd flags
+// needed; the daemon only ever sees the once-per-cluster origin reads.
+//
 // The daemon serves until interrupted, printing a stats line every
 // -stats interval. The line reports the opcode mix, connection health
 // and the RPQ/SCQ engine's per-stage figures, e.g.:

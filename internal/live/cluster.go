@@ -42,6 +42,7 @@ func (e *FingerprintError) Unwrap() error { return ErrFingerprintMismatch }
 const (
 	gatherDirectory   = "dlfs/mount/dir"
 	gatherFingerprint = "dlfs/mount/fp"
+	gatherPeers       = "dlfs/mount/peers"
 	barrierMountStart = "dlfs/mount/start"
 	barrierMountDone  = "dlfs/mount/done"
 )
@@ -255,6 +256,16 @@ func mountWithSession(cl coord.Session, rank, world int, addrs []string, ds *dat
 		mstats:   mm,
 	}
 	fs.finishSetup()
+	// Cooperative peer cache: host this rank's sample service and learn
+	// every peer's address through one more allgather. PeerCache must be
+	// set identically on all ranks or the collective wedges until the
+	// coordinator wait timeout.
+	if cfg.PeerCache && world > 1 {
+		if err := fs.startPeerCache(cl); err != nil {
+			fs.Close() //nolint:errcheck
+			return nil, fmt.Errorf("live: peer cache: %w", err)
+		}
+	}
 	return fs, nil
 }
 

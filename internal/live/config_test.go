@@ -8,10 +8,11 @@ import (
 )
 
 // TestConfigWithDefaults pins the knob-resolution semantics: zero means
-// "take the default" everywhere; the three knobs with a meaningful
-// "off" state (RequestTimeout, ReadCacheBytes, CoordWaitTimeout) treat
-// any negative value as disabled and normalize it to the canonical -1;
-// every other knob treats negatives like zero.
+// "take the default" everywhere; the knobs with a meaningful "off"
+// state (RequestTimeout, ReadCacheBytes, CoordWaitTimeout,
+// PrefetchBudgetBytes, PeerFetchTimeout) treat any negative value as
+// disabled and normalize it to the canonical -1; every other knob
+// treats negatives like zero.
 func TestConfigWithDefaults(t *testing.T) {
 	cases := []struct {
 		name  string
@@ -33,6 +34,15 @@ func TestConfigWithDefaults(t *testing.T) {
 				}
 				if c.CoordWaitTimeout != 60*time.Second {
 					t.Errorf("CoordWaitTimeout = %v, want 60s", c.CoordWaitTimeout)
+				}
+				if c.PrefetchBudgetBytes != 16<<20 {
+					t.Errorf("PrefetchBudgetBytes = %d, want 16MiB", c.PrefetchBudgetBytes)
+				}
+				if c.PeerCacheListen != "127.0.0.1:0" {
+					t.Errorf("PeerCacheListen = %q, want loopback ephemeral", c.PeerCacheListen)
+				}
+				if c.PeerFetchTimeout != 500*time.Millisecond {
+					t.Errorf("PeerFetchTimeout = %v, want 500ms", c.PeerFetchTimeout)
 				}
 			},
 		},
@@ -64,6 +74,24 @@ func TestConfigWithDefaults(t *testing.T) {
 			},
 		},
 		{
+			name: "negative PrefetchBudgetBytes disables, normalized to -1",
+			in:   Config{CrossEpochPrefetch: true, PrefetchBudgetBytes: -64 << 20},
+			check: func(t *testing.T, c Config) {
+				if c.PrefetchBudgetBytes != -1 {
+					t.Errorf("PrefetchBudgetBytes = %d, want canonical -1", c.PrefetchBudgetBytes)
+				}
+			},
+		},
+		{
+			name: "negative PeerFetchTimeout disables, normalized to -1",
+			in:   Config{PeerCache: true, PeerFetchTimeout: -3 * time.Second},
+			check: func(t *testing.T, c Config) {
+				if c.PeerFetchTimeout != -1 {
+					t.Errorf("PeerFetchTimeout = %v, want canonical -1", c.PeerFetchTimeout)
+				}
+			},
+		},
+		{
 			name: "negative default-only knobs fall back to defaults",
 			in:   Config{ChunkSize: -5, CacheBytes: -1, BatchSize: -2, Prefetchers: -3, Window: -4, QueuePairs: -1, CoalesceBytes: -9, DialTimeout: -time.Second, MaxRetries: -1, BreakerThreshold: -1},
 			check: func(t *testing.T, c Config) {
@@ -78,15 +106,22 @@ func TestConfigWithDefaults(t *testing.T) {
 		{
 			name: "explicit positives pass through",
 			in: Config{
-				ChunkSize:        4 << 10,
-				ReadCacheBytes:   1 << 20,
-				RequestTimeout:   3 * time.Second,
-				CoordWaitTimeout: 9 * time.Second,
+				ChunkSize:           4 << 10,
+				ReadCacheBytes:      1 << 20,
+				RequestTimeout:      3 * time.Second,
+				CoordWaitTimeout:    9 * time.Second,
+				PrefetchBudgetBytes: 2 << 20,
+				PeerCacheListen:     "127.0.0.1:7777",
+				PeerFetchTimeout:    250 * time.Millisecond,
 			},
 			check: func(t *testing.T, c Config) {
 				if c.ChunkSize != 4<<10 || c.ReadCacheBytes != 1<<20 ||
 					c.RequestTimeout != 3*time.Second || c.CoordWaitTimeout != 9*time.Second {
 					t.Errorf("explicit values clobbered: %+v", c)
+				}
+				if c.PrefetchBudgetBytes != 2<<20 || c.PeerCacheListen != "127.0.0.1:7777" ||
+					c.PeerFetchTimeout != 250*time.Millisecond {
+					t.Errorf("explicit prefetch/peer values clobbered: %+v", c)
 				}
 			},
 		},

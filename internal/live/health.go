@@ -143,8 +143,9 @@ type TargetHealth struct {
 // pipeline state.
 type Stats struct {
 	CacheHits   int64
-	QueuePairs  int // connections per target
-	CacheShards int // ReadSample cache shards (0 when disabled)
+	QueuePairs  int    // connections per target
+	CacheShards int    // ReadSample cache shards (0 when disabled)
+	PeerAddr    string // this rank's peer-cache service address ("" when off)
 	Pipeline    metrics.PipelineSnapshot
 	Resilience  metrics.ResilienceSnapshot
 	Targets     []TargetHealth
@@ -161,6 +162,9 @@ func (fs *FS) Stats() Stats {
 	}
 	if fs.scache != nil {
 		st.CacheShards = fs.scache.numShards()
+	}
+	if fs.peers != nil {
+		st.PeerAddr = fs.peers.addr
 	}
 	if fs.pool != nil {
 		hits, misses, _ := fs.pool.Stats()

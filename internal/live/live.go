@@ -61,6 +61,22 @@ type Config struct {
 	NoCoalesce    bool  // issue one wire read per chunk (baseline mode)
 	NoBufferPool  bool  // allocate per call instead of pooling (baseline mode)
 
+	// Clairvoyant cross-epoch prefetch: once an epoch's dispatcher has
+	// handed out all fetch groups, a background round fetches the *next*
+	// epoch's predicted unit slice (the seeded order is deterministic)
+	// into a bounded lookahead store, so the next epoch opens warm.
+	CrossEpochPrefetch  bool                   // enable the lookahead round
+	PrefetchBudgetBytes int64                  // lookahead store budget (default 16 MiB; <0 disables)
+	NextEpochSeed       func(seed int64) int64 // predicts the next epoch's seed (default seed+1)
+
+	// Cooperative peer cache (cluster mounts only): each rank hosts a
+	// peercache service over its read cache; ReadSample misses ask the
+	// owning peer before the origin target. Must be set identically on
+	// every rank (the mount runs one extra allgather when enabled).
+	PeerCache        bool          // enable the peer sample service + peer-first misses
+	PeerCacheListen  string        // peer service listen address (default "127.0.0.1:0")
+	PeerFetchTimeout time.Duration // peer dial + round-trip bound (default 500ms; <0 disables)
+
 	// Observability knobs.
 	StageHistograms bool                // record per-stage latency histograms (prep/post/poll/copy, ReadSample, mount phases)
 	Trace           *trace.WallRecorder // wall-clock pipeline trace: post/complete/emit/free events (nil disables)
@@ -76,13 +92,14 @@ type Config struct {
 	AllowDegraded    bool          // skip down targets instead of failing the epoch
 }
 
-// withDefaults resolves zero values to defaults. Two knobs distinguish
-// "unset" from "off": RequestTimeout and ReadCacheBytes (and the
-// cluster-only CoordWaitTimeout) treat zero as "take the default" and
-// any negative value as "disabled". Negative values are normalized to
-// the canonical sentinel -1 so downstream comparisons (and tests) see
-// one disabled representation regardless of which negative the caller
-// passed. Every other knob treats all non-positive values as unset.
+// withDefaults resolves zero values to defaults. A few knobs
+// distinguish "unset" from "off": RequestTimeout, ReadCacheBytes,
+// PrefetchBudgetBytes and PeerFetchTimeout (and the cluster-only
+// CoordWaitTimeout) treat zero as "take the default" and any negative
+// value as "disabled". Negative values are normalized to the canonical
+// sentinel -1 so downstream comparisons (and tests) see one disabled
+// representation regardless of which negative the caller passed. Every
+// other knob treats all non-positive values as unset.
 func (c Config) withDefaults() Config {
 	if c.ChunkSize <= 0 {
 		c.ChunkSize = 256 << 10
@@ -117,6 +134,19 @@ func (c Config) withDefaults() Config {
 	}
 	if c.CoalesceBytes <= 0 {
 		c.CoalesceBytes = 1 << 20
+	}
+	if c.PrefetchBudgetBytes == 0 {
+		c.PrefetchBudgetBytes = 16 << 20
+	} else if c.PrefetchBudgetBytes < 0 {
+		c.PrefetchBudgetBytes = -1
+	}
+	if c.PeerCacheListen == "" {
+		c.PeerCacheListen = "127.0.0.1:0"
+	}
+	if c.PeerFetchTimeout == 0 {
+		c.PeerFetchTimeout = 500 * time.Millisecond
+	} else if c.PeerFetchTimeout < 0 {
+		c.PeerFetchTimeout = -1
 	}
 	if c.DialTimeout <= 0 {
 		c.DialTimeout = 5 * time.Second
@@ -158,13 +188,16 @@ type FS struct {
 	placed   []plan.Placed
 	nodeOf   []uint16
 	keyIdx   map[uint64]int
-	closed   bool
+	closed   atomic.Bool // atomic: the peer-cache server races remote requests against Close
+
+	prefetchState // cross-epoch lookahead (Config.CrossEpochPrefetch)
 
 	// Cluster state (zero/nil on a single-node Mount).
 	rank   int
 	world  int
 	coord  coord.Session
 	mstats *metrics.Mount
+	peers  *peerSet // cooperative peer cache (Config.PeerCache)
 }
 
 // Errors.
@@ -283,6 +316,10 @@ func (fs *FS) finishSetup() {
 	if fs.cfg.ReadCacheBytes > 0 {
 		fs.scache = newSampleCache(fs.cfg.ReadCacheBytes, fs.pipe, fs.alloc, fs.Recycle, fs.setV)
 	}
+	if fs.cfg.CrossEpochPrefetch && fs.cfg.PrefetchBudgetBytes > 0 {
+		fs.prefetch = newPrefetchStore(fs.cfg.PrefetchBudgetBytes, fs.pipe, fs.Recycle)
+	}
+	fs.prefetchStop = make(chan struct{})
 }
 
 // Directory exposes the sample directory.
@@ -325,7 +362,7 @@ func (fs *FS) RecycleItems(items []Item) {
 // target breaker is open the read fails fast with an error matching
 // ErrDegraded.
 func (fs *FS) ReadSample(idx int) ([]byte, error) {
-	if fs.closed {
+	if fs.closed.Load() {
 		return nil, ErrClosed
 	}
 	if idx < 0 || idx >= fs.ds.Len() {
@@ -347,11 +384,29 @@ func (fs *FS) ReadSample(idx int) ([]byte, error) {
 		}
 	}
 	pl := fs.placed[idx]
+	// Cooperative peer cache: the sample's owner is the rank whose
+	// target stores it, so a non-owner asks that peer before touching
+	// the origin wire; any peer failure falls through to origin.
+	if fs.peers != nil {
+		if owner := int(fs.nodeOf[idx]); owner != fs.rank {
+			if buf := fs.peerFetch(owner, idx, int(pl.Len)); buf != nil {
+				if fs.scache != nil {
+					fs.scache.put(idx, buf)
+				}
+				if hist != nil {
+					hist.Read.Observe(time.Since(start))
+				}
+				return buf, nil
+			}
+		}
+	}
 	buf := fs.alloc(int(pl.Len))
 	if err := fs.targets[fs.nodeOf[idx]].read(buf, pl.Offset); err != nil {
 		fs.Recycle(buf)
 		return nil, err
 	}
+	fs.pipe.OriginReads.Add(1)
+	fs.pipe.OriginBytes.Add(int64(pl.Len))
 	if fs.scache != nil {
 		fs.scache.put(idx, buf)
 	}
@@ -384,18 +439,30 @@ func (fs *FS) ReadName(name string, attrs ...string) ([]byte, error) {
 	return fs.ReadSample(idx)
 }
 
-// Close tears down the target connections and, on a cluster mount,
-// departs the coordinator.
+// Close tears down the target connections, stops the cross-epoch
+// prefetcher and peer-cache service, and, on a cluster mount, departs
+// the coordinator.
 func (fs *FS) Close() error {
-	if fs.closed {
+	if fs.closed.Swap(true) {
 		return nil
 	}
-	fs.closed = true
+	if fs.prefetchStop != nil {
+		close(fs.prefetchStop) // abort any in-flight lookahead round
+	}
 	var err error
 	for _, tg := range fs.targets {
 		if cerr := tg.qp.Close(); err == nil {
 			err = cerr
 		}
+	}
+	// Closed queue pairs fail any blocked prefetch read, so this wait is
+	// bounded by one command completion.
+	fs.prefetchWG.Wait()
+	if fs.prefetch != nil {
+		fs.prefetch.drain()
+	}
+	if fs.peers != nil {
+		fs.peers.close()
 	}
 	if fs.coord != nil {
 		if cerr := fs.coord.Close(); err == nil {
@@ -476,7 +543,7 @@ func (fs *FS) sequence(seed int64, rank, world int) (*Epoch, error) {
 
 // buildUnits constructs the deterministic (unshuffled) unit plan.
 func (fs *FS) buildUnits() ([]*unit, error) {
-	if fs.closed {
+	if fs.closed.Load() {
 		return nil, ErrClosed
 	}
 	n := len(fs.targets)
@@ -524,6 +591,10 @@ func (fs *FS) buildUnits() ([]*unit, error) {
 // an elastic membership change the survivors can repartition exactly
 // the unconsumed suffix among themselves (DESIGN.md §13).
 func (fs *FS) sequenceRange(seed int64, rank, world, lo, hi int) (*Epoch, error) {
+	// Cross-epoch prefetch only predicts full-range epochs: a mid-epoch
+	// cut (reshard) changes the assignment rule, so lookahead for it
+	// would be guessing.
+	fullRange := lo == 0 && hi < 0
 	units, err := fs.buildUnits()
 	if err != nil {
 		return nil, err
@@ -601,6 +672,12 @@ func (fs *FS) sequenceRange(seed int64, rank, world, lo, hi int) (*Epoch, error)
 	go func() {
 		ep.dispatch(units, work)
 		close(work)
+		// All of this epoch's groups are handed out: the queue pairs now
+		// mostly idle between completions, which is the window the
+		// clairvoyant prefetcher fills with next-epoch reads.
+		if fs.prefetch != nil && fullRange {
+			fs.maybePrefetch(fs.nextSeed(seed), rank, world)
+		}
 		wg.Wait()
 		close(ep.ready)
 	}()
@@ -675,32 +752,57 @@ func (ep *Epoch) degradedNodes() []int {
 	return nodes
 }
 
-// fetchGroup brings a coalesced group into cache chunks. Prep stage:
-// allocate every unit's chunks from the blocking arena and build the
-// scatter list (one segment per chunk, each pointing into huge-page
-// memory — the response payload lands there with no intermediate
-// copy). Post stage: one vectored command on the target's next queue
-// pair (or one command per chunk in NoCoalesce mode). Poll stage: wait
-// for completion. The target's breaker gates the fetch, and a failure
-// releases every chunk before returning so degraded skips never leak
-// arena memory.
+// fetchGroup brings a coalesced group into cache chunks: lookahead
+// store hits are copied straight in (no wire), the remainder goes
+// through the wire pipeline. A wire failure releases every chunk of
+// the group — including store-served ones — before returning so
+// degraded skips never leak arena memory.
 func (ep *Epoch) fetchGroup(g *fetchGroup) error {
 	fs := ep.fs
-	tg := fs.targets[g.node]
+	misses := g.units
+	if fs.prefetch != nil {
+		misses = ep.serveFromStore(g)
+		if len(misses) == 0 {
+			return nil
+		}
+	}
+	if err := ep.fetchWire(g.node, misses); err != nil {
+		for _, u := range g.units {
+			if u.chunks != nil {
+				fs.arena.Free(u.chunks)
+				u.chunks = nil
+			}
+		}
+		return err
+	}
+	return nil
+}
+
+// fetchWire is the wire half of fetchGroup. Prep stage: allocate every
+// unit's chunks from the blocking arena and build the scatter list (one
+// segment per chunk, each pointing into huge-page memory — the
+// response payload lands there with no intermediate copy). Post stage:
+// one vectored command on the target's next queue pair (or one command
+// per chunk in NoCoalesce mode). Poll stage: wait for completion. The
+// target's breaker gates the fetch; on failure the misses' chunks are
+// freed and nil'ed before returning.
+func (ep *Epoch) fetchWire(node uint16, units []*unit) error {
+	fs := ep.fs
+	tg := fs.targets[node]
 	if !tg.brk.Allow() {
 		return fmt.Errorf("%w: %s circuit open", ErrDegraded, tg.addr)
 	}
 	prep := time.Now()
 	cs := fs.cfg.ChunkSize
 	total := 0
-	for _, u := range g.units {
+	for _, u := range units {
 		total += u.chunkCount(cs)
 	}
 	all := fs.arena.AllocN(total)
 	segs := make([]nvmetcp.Seg, 0, total)
 	k := 0
 	var bytes int64
-	for _, u := range g.units {
+	for _, u := range units {
 		nc := u.chunkCount(cs)
 		u.chunks = all[k : k+nc]
 		k += nc
@@ -714,7 +816,7 @@ func (ep *Epoch) fetchGroup(g *fetchGroup) error {
 		}
 	}
 	fs.pipe.ObservePrep(time.Since(prep))
-	for _, u := range g.units {
+	for _, u := range units {
 		fs.cfg.Trace.Record(trace.KindPost, u.seq, u.node, int(u.length))
 	}
 
@@ -758,14 +860,14 @@ func (ep *Epoch) fetchGroup(g *fetchGroup) error {
 	}
 	if ferr != nil {
 		fs.arena.Free(all)
-		for _, u := range g.units {
+		for _, u := range units {
 			u.chunks = nil
 		}
 		tg.brk.Failure()
 		return ferr
 	}
 	fs.pipe.WireBytes.Add(bytes)
-	for _, u := range g.units {
+	for _, u := range units {
 		fs.cfg.Trace.Record(trace.KindComplete, u.seq, u.node, int(u.length))
 	}
 	tg.brk.Success()

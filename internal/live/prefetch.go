@@ -1,0 +1,314 @@
+package live
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dlfs/internal/metrics"
+	"dlfs/internal/nvmetcp"
+	"dlfs/internal/trace"
+)
+
+// Clairvoyant cross-epoch prefetch (Config.CrossEpochPrefetch).
+//
+// The seeded epoch order is deterministic: every rank can compute the
+// *next* epoch's shuffled unit slice before the current epoch finishes
+// (the property clairvoyant prefetching exploits — the access sequence
+// is known arbitrarily far ahead). Once the current epoch's dispatcher
+// has handed out all of its fetch groups, the queue pairs spend the
+// tail of the epoch mostly idle between completions; the prefetcher
+// fills those gaps with coalesced reads for next-epoch units, parking
+// the payloads in a bounded lookahead store. When the next epoch's
+// fetchGroup finds its unit in the store it copies straight into cache
+// chunks and skips the wire — a warm epoch opens with near-zero poll
+// time.
+//
+// The store is bounded by Config.PrefetchBudgetBytes and best-effort
+// throughout: a full budget stops the prefetcher (it never evicts what
+// it just fetched), a down target skips that node's units via the same
+// circuit breaker the demand path uses, and a consumer running a
+// different seed than predicted simply misses and pays the wire as
+// before. Entries are consumed at most once (take removes them), so a
+// store buffer is owned by exactly one side at a time.
+
+// unitKey identifies a fetch unit by placement. The unit plan is a pure
+// function of the dataset placement, so the same key is derived by the
+// prefetcher (from the predicted epoch) and the consumer (from the
+// actual epoch) independently.
+type unitKey struct {
+	node   uint16
+	offset int64
+	length int32
+}
+
+// prefetchStore is the bounded lookahead region: unit payloads fetched
+// ahead of their epoch, keyed by placement identity. FIFO eviction only
+// reclaims stale leftovers (entries predicted for a seed that was never
+// consumed); within one prefetch round the budget check stops the
+// producer before eviction would be needed.
+type prefetchStore struct {
+	budget int64
+	pipe   *metrics.Pipeline
+	free   func([]byte)
+
+	mu      sync.Mutex
+	entries map[unitKey][]byte
+	order   []unitKey // insertion order; lazily compacted on eviction
+	bytes   int64
+}
+
+func newPrefetchStore(budget int64, pipe *metrics.Pipeline, free func([]byte)) *prefetchStore {
+	return &prefetchStore{
+		budget:  budget,
+		pipe:    pipe,
+		free:    free,
+		entries: make(map[unitKey][]byte),
+	}
+}
+
+// put inserts a fetched payload, taking ownership of data. Entries
+// already present keep the original buffer; oversized inserts evict
+// oldest-first until the budget holds.
+func (s *prefetchStore) put(k unitKey, data []byte) {
+	if int64(len(data)) > s.budget {
+		s.free(data) // can never fit: refuse before evicting anything
+		return
+	}
+	s.mu.Lock()
+	if _, dup := s.entries[k]; dup {
+		s.mu.Unlock()
+		s.free(data)
+		return
+	}
+	for s.bytes+int64(len(data)) > s.budget && len(s.order) > 0 {
+		victim := s.order[0]
+		s.order = s.order[1:]
+		old, ok := s.entries[victim]
+		if !ok {
+			continue // already consumed by take
+		}
+		delete(s.entries, victim)
+		s.bytes -= int64(len(old))
+		s.free(old)
+		s.pipe.PrefetchEvictions.Add(1)
+	}
+	if s.bytes+int64(len(data)) > s.budget {
+		s.mu.Unlock()
+		s.free(data)
+		return
+	}
+	s.entries[k] = data
+	s.order = append(s.order, k)
+	s.bytes += int64(len(data))
+	s.mu.Unlock()
+}
+
+// take removes and returns the payload for k, or nil on miss. The
+// caller owns the returned buffer.
+func (s *prefetchStore) take(k unitKey) []byte {
+	s.mu.Lock()
+	data, ok := s.entries[k]
+	if ok {
+		delete(s.entries, k)
+		s.bytes -= int64(len(data))
+	}
+	s.mu.Unlock()
+	if !ok {
+		return nil
+	}
+	return data
+}
+
+// residentBytes reports the store footprint (tests assert it never
+// exceeds the budget).
+func (s *prefetchStore) residentBytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.bytes
+}
+
+// drain frees every entry (Close).
+func (s *prefetchStore) drain() {
+	s.mu.Lock()
+	for k, data := range s.entries {
+		delete(s.entries, k)
+		s.free(data)
+	}
+	s.order = nil
+	s.bytes = 0
+	s.mu.Unlock()
+}
+
+// nextSeed predicts the next epoch's seed (Config.NextEpochSeed,
+// default seed+1 — the conventional per-epoch reseed).
+func (fs *FS) nextSeed(seed int64) int64 {
+	if fs.cfg.NextEpochSeed != nil {
+		return fs.cfg.NextEpochSeed(seed)
+	}
+	return seed + 1
+}
+
+// maybePrefetch launches one background prefetch round for the
+// predicted epoch (seed, rank, world) unless a round is already
+// running. Called by the dispatcher once the current epoch's groups are
+// all handed out, i.e. when poll gaps start opening.
+func (fs *FS) maybePrefetch(seed int64, rank, world int) {
+	if fs.prefetch == nil || !fs.prefetchBusy.CompareAndSwap(false, true) {
+		return
+	}
+	fs.prefetchWG.Add(1)
+	go func() {
+		defer fs.prefetchWG.Done()
+		defer fs.prefetchBusy.Store(false)
+		fs.runPrefetch(seed, rank, world)
+	}()
+}
+
+// WaitPrefetch blocks until any in-flight prefetch round finishes —
+// benchmarks and tests use it to draw a deterministic line between
+// "epoch N done" and "epoch N+1 starts warm".
+func (fs *FS) WaitPrefetch() { fs.prefetchWG.Wait() }
+
+// runPrefetch computes the predicted epoch's unit slice for this rank
+// and fetches it into the store, coalescing same-target neighbours into
+// vectored reads bounded by CoalesceBytes, until the budget fills or
+// the FS closes.
+func (fs *FS) runPrefetch(seed int64, rank, world int) {
+	units, err := fs.epochSlice(seed, rank, world)
+	if err != nil {
+		return
+	}
+	var group []*unit
+	var groupBytes int64
+	var round int64
+	flush := func() {
+		if len(group) == 0 {
+			return
+		}
+		round += fs.fetchAhead(group, groupBytes)
+		group = group[:0]
+		groupBytes = 0
+	}
+	for _, u := range units {
+		select {
+		case <-fs.prefetchStop:
+			return
+		default:
+		}
+		if round+groupBytes+int64(u.length) > fs.cfg.PrefetchBudgetBytes {
+			break // budget exhausted: never evict this round's own entries
+		}
+		if len(group) > 0 && (group[0].node != u.node || groupBytes+int64(u.length) > fs.cfg.CoalesceBytes) {
+			flush()
+		}
+		group = append(group, u)
+		groupBytes += int64(u.length)
+	}
+	flush()
+}
+
+// fetchAhead reads one coalesced group of predicted units into pooled
+// buffers and parks them in the store. Best-effort: breaker refusals
+// and transport errors drop the group (the next epoch pays the wire for
+// those units as usual). Returns the bytes stored.
+func (fs *FS) fetchAhead(group []*unit, groupBytes int64) int64 {
+	tg := fs.targets[group[0].node]
+	if !tg.brk.Allow() {
+		return 0
+	}
+	bufs := make([][]byte, len(group))
+	segs := make([]nvmetcp.Seg, len(group))
+	for i, u := range group {
+		bufs[i] = fs.alloc(int(u.length))
+		segs[i] = nvmetcp.Seg{Dst: bufs[i], Off: u.offset}
+	}
+	pd, err := tg.qp.ReadVecAsync(segs)
+	if err == nil {
+		_, err = pd.Wait()
+	}
+	if err != nil {
+		for _, b := range bufs {
+			fs.Recycle(b)
+		}
+		tg.brk.Failure()
+		return 0
+	}
+	tg.brk.Success()
+	for i, u := range group {
+		fs.prefetch.put(unitKey{node: u.node, offset: u.offset, length: u.length}, bufs[i])
+	}
+	fs.pipe.PrefetchedUnits.Add(int64(len(group)))
+	fs.pipe.PrefetchedBytes.Add(groupBytes)
+	return groupBytes
+}
+
+// epochSlice computes rank's 1/world slice of the seeded global unit
+// order — the same derivation sequenceRange performs, without starting
+// a pipeline.
+func (fs *FS) epochSlice(seed int64, rank, world int) ([]*unit, error) {
+	units, err := fs.buildUnits()
+	if err != nil {
+		return nil, err
+	}
+	// Must match sequenceRange's shuffle exactly, or the prediction is
+	// systematically wrong.
+	rng := rand.New(rand.NewSource(seed))
+	rng.Shuffle(len(units), func(i, j int) { units[i], units[j] = units[j], units[i] })
+	if world > 1 {
+		slice := units[:0:0]
+		for i := rank; i < len(units); i += world {
+			slice = append(slice, units[i])
+		}
+		units = slice
+	}
+	return units, nil
+}
+
+// serveFromStore satisfies as many of g's units as the lookahead store
+// holds: each hit copies straight from the stored payload into freshly
+// allocated cache chunks (prep-stage work, no wire). Returns the units
+// that missed and must be fetched. Called by fetchGroup.
+func (ep *Epoch) serveFromStore(g *fetchGroup) []*unit {
+	fs := ep.fs
+	cs := fs.cfg.ChunkSize
+	misses := g.units[:0:0]
+	var hit bool
+	prep := time.Now()
+	for _, u := range g.units {
+		data := fs.prefetch.take(unitKey{node: u.node, offset: u.offset, length: u.length})
+		if data == nil {
+			misses = append(misses, u)
+			continue
+		}
+		nc := u.chunkCount(cs)
+		u.chunks = fs.arena.AllocN(nc)
+		for ci := 0; ci < nc; ci++ {
+			end := (ci + 1) * cs
+			if end > int(u.length) {
+				end = int(u.length)
+			}
+			copy(u.chunks[ci].Bytes(), data[ci*cs:end])
+		}
+		fs.Recycle(data)
+		fs.pipe.PrefetchHitUnits.Add(1)
+		fs.pipe.PrefetchHitBytes.Add(int64(u.length))
+		fs.cfg.Trace.Record(trace.KindComplete, u.seq, u.node, int(u.length))
+		hit = true
+	}
+	if hit {
+		fs.pipe.ObservePrep(time.Since(prep))
+	}
+	return misses
+}
+
+// prefetchState is the FS-side bookkeeping for the cross-epoch
+// prefetcher, embedded in FS so single-node and cluster mounts share
+// the wiring.
+type prefetchState struct {
+	prefetch     *prefetchStore // nil unless CrossEpochPrefetch is on
+	prefetchStop chan struct{}  // closed by Close; aborts in-flight rounds
+	prefetchBusy atomic.Bool    // at most one round in flight
+	prefetchWG   sync.WaitGroup
+}

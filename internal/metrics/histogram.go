@@ -146,6 +146,37 @@ func (s HistSnapshot) Merge(o HistSnapshot) HistSnapshot {
 	return out
 }
 
+// Sub returns the observations in s that are not in earlier, where
+// earlier is a previous snapshot of the same histogram — the per-window
+// delta used for epoch-over-epoch stage comparisons (cold vs warm poll
+// quantiles). Counts and Sum subtract exactly; Max cannot be recovered
+// for a window, so the delta conservatively keeps s.Max (the windowed
+// quantiles still derive purely from the subtracted buckets). Buckets
+// whose counts went backwards clamp to zero.
+func (s HistSnapshot) Sub(earlier HistSnapshot) HistSnapshot {
+	out := HistSnapshot{
+		Count: s.Count - earlier.Count,
+		Sum:   s.Sum - earlier.Sum,
+		Max:   s.Max,
+	}
+	if out.Count < 0 {
+		out.Count = 0
+	}
+	if out.Sum < 0 {
+		out.Sum = 0
+	}
+	prev := make(map[int]int64, len(earlier.Counts))
+	for _, b := range earlier.Counts {
+		prev[b.Index] = b.Count
+	}
+	for _, b := range s.Counts {
+		if d := b.Count - prev[b.Index]; d > 0 {
+			out.Counts = append(out.Counts, HistBucket{Index: b.Index, Count: d})
+		}
+	}
+	return out
+}
+
 // Quantile estimates the q-th quantile (0 <= q <= 1) as the upper bound
 // of the bucket holding that rank, overestimating the true value by at
 // most HistRelError. An empty snapshot reports 0.

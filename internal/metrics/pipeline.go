@@ -30,6 +30,26 @@ type Pipeline struct {
 	CacheMisses    atomic.Int64 // ReadSample that went to the wire
 	CacheEvictions atomic.Int64 // V-bit cache CLOCK evictions
 
+	// Cross-epoch clairvoyant prefetch (live.Config.CrossEpochPrefetch):
+	// next-epoch units fetched into the lookahead store during the
+	// current epoch's poll gaps, and epoch units later served from it
+	// without touching the wire.
+	PrefetchedUnits   atomic.Int64 // units fetched ahead into the lookahead store
+	PrefetchedBytes   atomic.Int64 // bytes fetched ahead into the lookahead store
+	PrefetchHitUnits  atomic.Int64 // epoch units served from the lookahead store
+	PrefetchHitBytes  atomic.Int64 // epoch bytes served from the lookahead store
+	PrefetchEvictions atomic.Int64 // lookahead entries evicted before use
+
+	// Cooperative peer cache (live.Config.PeerCache): the ReadSample miss
+	// path's hit/peer/origin breakdown. CacheHits above is the "hit" leg;
+	// these counters split the miss leg between peers and origin targets.
+	PeerHits      atomic.Int64 // samples served by a peer's cache
+	PeerBytes     atomic.Int64 // bytes served by peers
+	PeerFallbacks atomic.Int64 // peer fetches that failed over to origin
+	PeerServed    atomic.Int64 // samples this rank served to its peers
+	OriginReads   atomic.Int64 // ReadSample misses served from the origin target
+	OriginBytes   atomic.Int64 // bytes ReadSample pulled from origin targets
+
 	// Hist, when non-nil, additionally records every stage observation
 	// into per-stage latency histograms. Left nil (the default), the
 	// pipeline pays only the atomic counter adds above.
@@ -132,40 +152,62 @@ func (p *Pipeline) Snapshot() PipelineSnapshot {
 		stages = p.Hist.Snapshot()
 	}
 	return PipelineSnapshot{
-		Stages:         stages,
-		PrepNanos:      p.PrepNanos.Load(),
-		PostNanos:      p.PostNanos.Load(),
-		PollNanos:      p.PollNanos.Load(),
-		CopyNanos:      p.CopyNanos.Load(),
-		WireReads:      p.WireReads.Load(),
-		WireSegments:   p.WireSegments.Load(),
-		WireBytes:      p.WireBytes.Load(),
-		CoalescedUnits: p.CoalescedUnits.Load(),
-		PoolHits:       p.PoolHits.Load(),
-		PoolMisses:     p.PoolMisses.Load(),
-		CacheHits:      p.CacheHits.Load(),
-		CacheMisses:    p.CacheMisses.Load(),
-		CacheEvictions: p.CacheEvictions.Load(),
+		Stages:            stages,
+		PrepNanos:         p.PrepNanos.Load(),
+		PostNanos:         p.PostNanos.Load(),
+		PollNanos:         p.PollNanos.Load(),
+		CopyNanos:         p.CopyNanos.Load(),
+		WireReads:         p.WireReads.Load(),
+		WireSegments:      p.WireSegments.Load(),
+		WireBytes:         p.WireBytes.Load(),
+		CoalescedUnits:    p.CoalescedUnits.Load(),
+		PoolHits:          p.PoolHits.Load(),
+		PoolMisses:        p.PoolMisses.Load(),
+		CacheHits:         p.CacheHits.Load(),
+		CacheMisses:       p.CacheMisses.Load(),
+		CacheEvictions:    p.CacheEvictions.Load(),
+		PrefetchedUnits:   p.PrefetchedUnits.Load(),
+		PrefetchedBytes:   p.PrefetchedBytes.Load(),
+		PrefetchHitUnits:  p.PrefetchHitUnits.Load(),
+		PrefetchHitBytes:  p.PrefetchHitBytes.Load(),
+		PrefetchEvictions: p.PrefetchEvictions.Load(),
+		PeerHits:          p.PeerHits.Load(),
+		PeerBytes:         p.PeerBytes.Load(),
+		PeerFallbacks:     p.PeerFallbacks.Load(),
+		PeerServed:        p.PeerServed.Load(),
+		OriginReads:       p.OriginReads.Load(),
+		OriginBytes:       p.OriginBytes.Load(),
 	}
 }
 
 // PipelineSnapshot is a plain-value copy of Pipeline counters. Stages is
 // non-nil only when stage histograms were enabled.
 type PipelineSnapshot struct {
-	Stages         *PipelineHistSnapshot
-	PrepNanos      int64
-	PostNanos      int64
-	PollNanos      int64
-	CopyNanos      int64
-	WireReads      int64
-	WireSegments   int64
-	WireBytes      int64
-	CoalescedUnits int64
-	PoolHits       int64
-	PoolMisses     int64
-	CacheHits      int64
-	CacheMisses    int64
-	CacheEvictions int64
+	Stages            *PipelineHistSnapshot
+	PrepNanos         int64
+	PostNanos         int64
+	PollNanos         int64
+	CopyNanos         int64
+	WireReads         int64
+	WireSegments      int64
+	WireBytes         int64
+	CoalescedUnits    int64
+	PoolHits          int64
+	PoolMisses        int64
+	CacheHits         int64
+	CacheMisses       int64
+	CacheEvictions    int64
+	PrefetchedUnits   int64
+	PrefetchedBytes   int64
+	PrefetchHitUnits  int64
+	PrefetchHitBytes  int64
+	PrefetchEvictions int64
+	PeerHits          int64
+	PeerBytes         int64
+	PeerFallbacks     int64
+	PeerServed        int64
+	OriginReads       int64
+	OriginBytes       int64
 }
 
 // CoalesceRatio reports chunk segments per wire read — 1.0 means no
@@ -186,12 +228,31 @@ func (s PipelineSnapshot) PoolHitRate() float64 {
 	return float64(s.PoolHits) / float64(s.PoolHits+s.PoolMisses)
 }
 
+// PrefetchCoverage reports the fraction of fetched epoch units served
+// from the cross-epoch lookahead store instead of the wire.
+func (s PipelineSnapshot) PrefetchCoverage() float64 {
+	fetched := s.PrefetchHitUnits + s.WireReads + s.CoalescedUnits
+	if fetched == 0 {
+		return 0
+	}
+	return float64(s.PrefetchHitUnits) / float64(fetched)
+}
+
 // String renders the snapshot as a stats line: per-stage time, then the
-// wire and pool efficiency figures.
+// wire, pool, cache, prefetch and peer efficiency figures.
 func (s PipelineSnapshot) String() string {
-	return fmt.Sprintf(
+	line := fmt.Sprintf(
 		"prep=%v post=%v poll=%v copy=%v wire_reads=%d segments=%d bytes=%d coalesce=%.2fx merged_units=%d pool_hit=%.0f%% cache hit/miss/evict=%d/%d/%d",
 		time.Duration(s.PrepNanos), time.Duration(s.PostNanos), time.Duration(s.PollNanos), time.Duration(s.CopyNanos),
 		s.WireReads, s.WireSegments, s.WireBytes, s.CoalesceRatio(), s.CoalescedUnits,
 		100*s.PoolHitRate(), s.CacheHits, s.CacheMisses, s.CacheEvictions)
+	if s.PrefetchedUnits+s.PrefetchHitUnits > 0 {
+		line += fmt.Sprintf(" prefetch ahead/hit/evict=%d/%d/%d coverage=%.0f%%",
+			s.PrefetchedUnits, s.PrefetchHitUnits, s.PrefetchEvictions, 100*s.PrefetchCoverage())
+	}
+	if s.PeerHits+s.PeerFallbacks+s.PeerServed+s.OriginReads > 0 {
+		line += fmt.Sprintf(" reads local/peer/origin=%d/%d/%d peer_fallbacks=%d peer_served=%d origin_bytes=%d",
+			s.CacheHits, s.PeerHits, s.OriginReads, s.PeerFallbacks, s.PeerServed, s.OriginBytes)
+	}
+	return line
 }

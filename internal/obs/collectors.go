@@ -92,6 +92,17 @@ func PipelineCollector(client string, snap func() metrics.PipelineSnapshot) func
 		WriteCounter(w, "dlfs_client_cache_hits_total", "ReadSample served from the V-bit cache.", s.CacheHits, lbl...)
 		WriteCounter(w, "dlfs_client_cache_misses_total", "ReadSample that went to the wire.", s.CacheMisses, lbl...)
 		WriteCounter(w, "dlfs_client_cache_evictions_total", "V-bit cache CLOCK evictions.", s.CacheEvictions, lbl...)
+		WriteCounter(w, "dlfs_client_prefetched_units_total", "Units fetched ahead into the cross-epoch lookahead store.", s.PrefetchedUnits, lbl...)
+		WriteCounter(w, "dlfs_client_prefetched_bytes_total", "Bytes fetched ahead into the cross-epoch lookahead store.", s.PrefetchedBytes, lbl...)
+		WriteCounter(w, "dlfs_client_prefetch_hit_units_total", "Epoch units served from the lookahead store instead of the wire.", s.PrefetchHitUnits, lbl...)
+		WriteCounter(w, "dlfs_client_prefetch_hit_bytes_total", "Epoch bytes served from the lookahead store.", s.PrefetchHitBytes, lbl...)
+		WriteCounter(w, "dlfs_client_prefetch_evictions_total", "Lookahead entries evicted before use.", s.PrefetchEvictions, lbl...)
+		WriteCounter(w, "dlfs_client_peer_hits_total", "ReadSample misses served by a peer's cache.", s.PeerHits, lbl...)
+		WriteCounter(w, "dlfs_client_peer_bytes_total", "Bytes served by peers.", s.PeerBytes, lbl...)
+		WriteCounter(w, "dlfs_client_peer_fallbacks_total", "Peer fetches that failed over to origin.", s.PeerFallbacks, lbl...)
+		WriteCounter(w, "dlfs_client_peer_served_total", "Samples this rank served to its peers.", s.PeerServed, lbl...)
+		WriteCounter(w, "dlfs_client_origin_reads_total", "ReadSample misses served from the origin target.", s.OriginReads, lbl...)
+		WriteCounter(w, "dlfs_client_origin_bytes_total", "Bytes pulled from origin targets by ReadSample.", s.OriginBytes, lbl...)
 		WriteGauge(w, "dlfs_client_prep_seconds_total", "Cumulative prep stage time.", float64(s.PrepNanos)/1e9, lbl...)
 		WriteGauge(w, "dlfs_client_post_seconds_total", "Cumulative post stage time.", float64(s.PostNanos)/1e9, lbl...)
 		WriteGauge(w, "dlfs_client_poll_seconds_total", "Cumulative poll stage time.", float64(s.PollNanos)/1e9, lbl...)

@@ -320,6 +320,23 @@ func TestEndpointEndToEnd(t *testing.T) {
 	if got, _ := sumOf(ss, "dlfs_client_cache_hits_total", clientLbl); int64(got) != pipe.CacheHits {
 		t.Fatalf("cache hits: scraped %g, snapshot %d", got, pipe.CacheHits)
 	}
+	// The hit/peer/origin breakdown: the ReadSample misses above went to
+	// origin, and the prefetch/peer counters are exported (zero here —
+	// neither feature is on for this mount).
+	if got, n := sumOf(ss, "dlfs_client_origin_reads_total", clientLbl); n != 1 || int64(got) != pipe.OriginReads || got == 0 {
+		t.Fatalf("origin reads: scraped %g (%d series), snapshot %d", got, n, pipe.OriginReads)
+	}
+	if got, _ := sumOf(ss, "dlfs_client_origin_bytes_total", clientLbl); int64(got) != pipe.OriginBytes {
+		t.Fatalf("origin bytes: scraped %g, snapshot %d", got, pipe.OriginBytes)
+	}
+	for _, name := range []string{
+		"dlfs_client_prefetched_units_total", "dlfs_client_prefetch_hit_units_total",
+		"dlfs_client_peer_hits_total", "dlfs_client_peer_fallbacks_total", "dlfs_client_peer_served_total",
+	} {
+		if got, n := sumOf(ss, name, clientLbl); n != 1 || got != 0 {
+			t.Fatalf("%s: scraped %g (%d series), want an exported zero", name, got, n)
+		}
+	}
 
 	// All four client stage histograms (plus whole-read) are present,
 	// populated, and internally consistent.

@@ -2,7 +2,7 @@ GO ?= go
 BENCH ?= .
 BENCHCOUNT ?= 5
 
-.PHONY: all fmt fmt-check vet build test race chaos chaos-failover bench bench-target bench-json bench-peers bench-smoke fuzz-smoke check clean
+.PHONY: all fmt fmt-check vet build test race chaos chaos-failover bench bench-target bench-json bench-peers bench-offload bench-smoke fuzz-smoke check clean
 
 all: check
 
@@ -75,6 +75,13 @@ bench-json:
 bench-peers:
 	$(GO) run ./cmd/dlfsbench -peers -json BENCH_PEERS.json
 
+# Near-data sample assembly measurement: cold-epoch wire bytes and
+# throughput on an edge-heavy layout, opReadVec baseline vs server
+# assembly vs assembly+crc32c. CI uploads the report as a build
+# artifact and cmd/dlfsbench/offload_test.go asserts the committed one.
+bench-offload:
+	$(GO) run ./cmd/dlfsbench -offload -json BENCH_8.json
+
 # CI smoke: prove the benchmarks still compile and run one iteration,
 # without paying for a real measurement.
 bench-smoke:
@@ -85,6 +92,7 @@ bench-smoke:
 # inputs; long exploratory runs stay manual.
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzReadCapsule -fuzztime 10s ./internal/nvmetcp
+	$(GO) test -run '^$$' -fuzz FuzzSampleListFrame -fuzztime 10s ./internal/nvmetcp
 	$(GO) test -run '^$$' -fuzz FuzzScan -fuzztime 10s ./internal/dataset
 	$(GO) test -run '^$$' -fuzz FuzzCoordFrame -fuzztime 10s ./internal/coord
 	$(GO) test -run '^$$' -fuzz FuzzPeerFrame -fuzztime 10s ./internal/peercache

@@ -53,6 +53,7 @@ type epochJSON struct {
 	BytesPerSec      float64 `json:"bytes_per_sec"`
 	PollP50Seconds   float64 `json:"poll_p50_seconds"`
 	WireReads        int64   `json:"wire_reads"`
+	WireBytes        int64   `json:"wire_bytes"` // schema 3: payload bytes this epoch pulled over the wire
 	PrefetchHitUnits int64   `json:"prefetch_hit_units"`
 }
 
@@ -180,6 +181,7 @@ func runLiveBench(out string, scale float64) error {
 			BytesPerSec:      float64(n) * sampleBytes / sec,
 			PollP50Seconds:   after.Stages.Poll.Sub(before.Stages.Poll).P50().Seconds(),
 			WireReads:        after.WireReads - before.WireReads,
+			WireBytes:        after.WireBytes - before.WireBytes,
 			PrefetchHitUnits: after.PrefetchHitUnits - before.PrefetchHitUnits,
 		}
 		fs.WaitPrefetch()
@@ -188,7 +190,7 @@ func runLiveBench(out string, scale float64) error {
 
 	var rep liveReport
 	rep.Bench = "live-epoch"
-	rep.Schema = 2
+	rep.Schema = 3
 	rep.Config.Targets = nTargets
 	rep.Config.Samples = samples
 	rep.Config.SampleBytes = sampleBytes

@@ -16,6 +16,10 @@
 //	                           # multi-rank cooperative peer cache bench:
 //	                           # per-rank origin wire bytes with the
 //	                           # cache off vs on
+//	dlfsbench -offload -json BENCH_8.json
+//	                           # near-data assembly bench: cold-epoch wire
+//	                           # bytes and throughput, opReadVec baseline
+//	                           # vs server assembly on an edge-heavy layout
 package main
 
 import (
@@ -67,7 +71,8 @@ func main() {
 	list := flag.Bool("list", false, "list available figures and exit")
 	liveBench := flag.Bool("live", false, "run the live TCP epoch bench instead of the figures")
 	peerBench := flag.Bool("peers", false, "run the multi-rank peer-cache wire bench instead of the figures")
-	jsonOut := flag.String("json", "", "bench JSON report path (- for stdout; default BENCH_7.json / BENCH_PEERS.json)")
+	offloadBench := flag.Bool("offload", false, "run the near-data sample-assembly wire bench instead of the figures")
+	jsonOut := flag.String("json", "", "bench JSON report path (- for stdout; default BENCH_7.json / BENCH_PEERS.json / BENCH_8.json)")
 	flag.Parse()
 
 	if *liveBench {
@@ -87,6 +92,17 @@ func main() {
 			out = "BENCH_PEERS.json"
 		}
 		if err := runPeerBench(out, *scale); err != nil {
+			fmt.Fprintln(os.Stderr, "dlfsbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *offloadBench {
+		out := *jsonOut
+		if out == "" {
+			out = "BENCH_8.json"
+		}
+		if err := runOffloadBench(out, *scale); err != nil {
 			fmt.Fprintln(os.Stderr, "dlfsbench:", err)
 			os.Exit(1)
 		}

@@ -1,0 +1,215 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"dlfs/internal/blockdev"
+	"dlfs/internal/dataset"
+	"dlfs/internal/live"
+	"dlfs/internal/metrics"
+	"dlfs/internal/nvmetcp"
+)
+
+// The offload bench measures what near-data sample assembly buys on the
+// storage wire: an edge-heavy layout (40 KiB samples on 64 KiB chunks,
+// so every other sample straddles a chunk boundary and the vectored
+// chunk path overfetches padding) drained cold through three mounts —
+// the opReadVec baseline, server assembly with no transform, and server
+// assembly with crc32c end-to-end verification. With assembly on, the
+// response payload is exactly the samples' bytes: the JSON report
+// (BENCH_8.json in CI) records per-mode wire bytes per cold epoch,
+// throughput, and the wire-byte reduction against the baseline.
+
+type offloadModeJSON struct {
+	Mode          string  `json:"mode"`
+	Transform     string  `json:"transform"`
+	Epochs        int     `json:"epochs"`
+	Samples       int     `json:"samples_per_epoch"`
+	Seconds       float64 `json:"seconds"`
+	SamplesPerSec float64 `json:"samples_per_sec"`
+	// WireBytesPerEpoch is the per-cold-epoch payload byte count pulled
+	// over the wire (identical every epoch; the runner verifies that).
+	WireBytesPerEpoch   int64 `json:"wire_bytes_per_epoch"`
+	SampleBytesPerEpoch int64 `json:"sample_bytes_per_epoch"`
+	OffloadCmds         int64 `json:"offload_cmds"`
+	OffloadSamples      int64 `json:"offload_samples"`
+	OffloadSavedBytes   int64 `json:"offload_saved_bytes"`
+	// WireExact reports whether every cold epoch moved exactly the
+	// delivered samples' bytes — the tentpole invariant for the
+	// no-transform assembly mode.
+	WireExact bool `json:"wire_bytes_exact"`
+}
+
+type offloadReport struct {
+	Bench  string `json:"bench"`
+	Schema int    `json:"schema_version"`
+	Config struct {
+		Targets     int     `json:"targets"`
+		Samples     int     `json:"samples"`
+		SampleBytes int     `json:"sample_bytes"`
+		ChunkBytes  int     `json:"chunk_bytes"`
+		Epochs      int     `json:"epochs"`
+		Scale       float64 `json:"scale"`
+	} `json:"config"`
+	Modes []offloadModeJSON `json:"modes"`
+	// WireReductionPct is the percentage of baseline wire traffic the
+	// no-transform assembly mode eliminated.
+	WireReductionPct float64 `json:"wire_reduction_pct"`
+	// ThroughputRatio is assembly-none cold samples/s over baseline.
+	ThroughputRatio float64 `json:"throughput_ratio"`
+}
+
+// runOffloadMode mounts a fresh target set, drains epochs cold epochs
+// (distinct seeds, no cross-epoch prefetch), verifies every checksum,
+// and returns the mode's wire accounting.
+func runOffloadMode(ds *dataset.Dataset, mode string, xform int, serverAssembly bool, chunkBytes, epochs int) (offloadModeJSON, error) {
+	const nTargets = 2
+	addrs := make([]string, nTargets)
+	for i := range addrs {
+		tgt := nvmetcp.NewTarget(blockdev.New(1<<30), 64)
+		addr, err := tgt.Listen("127.0.0.1:0")
+		if err != nil {
+			return offloadModeJSON{}, err
+		}
+		defer tgt.Close() //nolint:errcheck
+		addrs[i] = addr
+	}
+	fs, err := live.Mount(addrs, ds, live.Config{
+		ChunkSize:         chunkBytes,
+		ServerAssembly:    serverAssembly,
+		AssemblyTransform: xform,
+	})
+	if err != nil {
+		return offloadModeJSON{}, err
+	}
+	defer fs.Close() //nolint:errcheck
+
+	mj := offloadModeJSON{
+		Mode:      mode,
+		Transform: nvmetcp.TransformName(byte(xform)),
+		Epochs:    epochs,
+		Samples:   ds.Len(),
+		WireExact: true,
+	}
+	var elapsed time.Duration
+	for e := 0; e < epochs; e++ {
+		before := fs.Stats().Pipeline
+		ep, err := fs.Sequence(int64(300 + e))
+		if err != nil {
+			return offloadModeJSON{}, err
+		}
+		start := time.Now()
+		var sampleBytes int64
+		n := 0
+		for {
+			items, ok, err := ep.NextBatch()
+			if err != nil {
+				return offloadModeJSON{}, err
+			}
+			for _, it := range items {
+				if dataset.ChecksumBytes(it.Data) != ds.Checksum(it.Index) {
+					return offloadModeJSON{}, fmt.Errorf("mode %s epoch %d: checksum mismatch on sample %d", mode, e, it.Index)
+				}
+				sampleBytes += int64(len(it.Data))
+			}
+			n += len(items)
+			fs.RecycleItems(items)
+			if !ok {
+				break
+			}
+		}
+		elapsed += time.Since(start)
+		after := fs.Stats().Pipeline
+		wire := after.WireBytes - before.WireBytes
+		if e == 0 {
+			mj.WireBytesPerEpoch = wire
+			mj.SampleBytesPerEpoch = sampleBytes
+		} else if wire != mj.WireBytesPerEpoch {
+			return offloadModeJSON{}, fmt.Errorf("mode %s: wire bytes drifted across cold epochs: %d then %d", mode, mj.WireBytesPerEpoch, wire)
+		}
+		if wire != sampleBytes {
+			mj.WireExact = false
+		}
+		if n != ds.Len() {
+			return offloadModeJSON{}, fmt.Errorf("mode %s epoch %d: %d/%d samples delivered", mode, e, n, ds.Len())
+		}
+	}
+	pl := fs.Stats().Pipeline
+	mj.Seconds = elapsed.Seconds()
+	mj.SamplesPerSec = float64(epochs*ds.Len()) / elapsed.Seconds()
+	mj.OffloadCmds = pl.OffloadCmds
+	mj.OffloadSamples = pl.OffloadSamples
+	mj.OffloadSavedBytes = pl.OffloadSavedBytes
+	return mj, nil
+}
+
+// runOffloadBench runs the three modes and writes the JSON report to
+// out ("-" writes to stdout).
+func runOffloadBench(out string, scale float64) error {
+	// 40 KiB samples on 64 KiB chunks: the fetch plan alternates whole
+	// chunks with edge reads, so the chunk path moves 104 KiB per 80 KiB
+	// of delivered data — the padding server assembly eliminates.
+	const sampleBytes = 40 << 10
+	const chunkBytes = 64 << 10
+	const epochs = 2
+	samples := int(600 * scale)
+	if samples < 64 {
+		samples = 64
+	}
+	ds := dataset.Generate(dataset.Config{Label: "offload", Seed: 23, NumSamples: samples, Dist: dataset.Fixed(sampleBytes)})
+
+	var rep offloadReport
+	rep.Bench = "offload-wire"
+	rep.Schema = 1
+	rep.Config.Targets = 2
+	rep.Config.Samples = samples
+	rep.Config.SampleBytes = sampleBytes
+	rep.Config.ChunkBytes = chunkBytes
+	rep.Config.Epochs = epochs
+	rep.Config.Scale = scale
+
+	modes := []struct {
+		name     string
+		assembly bool
+		xform    int
+	}{
+		{"readvec-baseline", false, int(nvmetcp.TransformNone)},
+		{"assembly-none", true, int(nvmetcp.TransformNone)},
+		{"assembly-crc32c", true, int(nvmetcp.TransformCRC32C)},
+	}
+	for _, m := range modes {
+		mj, err := runOffloadMode(ds, m.name, m.xform, m.assembly, chunkBytes, epochs)
+		if err != nil {
+			return fmt.Errorf("mode %s: %w", m.name, err)
+		}
+		rep.Modes = append(rep.Modes, mj)
+	}
+	base, none := rep.Modes[0], rep.Modes[1]
+	if base.WireBytesPerEpoch > 0 {
+		rep.WireReductionPct = 100 * float64(base.WireBytesPerEpoch-none.WireBytesPerEpoch) / float64(base.WireBytesPerEpoch)
+	}
+	if base.SamplesPerSec > 0 {
+		rep.ThroughputRatio = none.SamplesPerSec / base.SamplesPerSec
+	}
+
+	buf, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if out == "-" {
+		_, err = os.Stdout.Write(buf)
+		return err
+	}
+	if err := os.WriteFile(out, buf, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("dlfsbench: offload wire bench: %d samples x %d cold epochs; wire %s -> %s per epoch (%.1f%% less), throughput x%.2f; wrote %s\n",
+		samples, epochs,
+		metrics.HumanBytes(base.WireBytesPerEpoch), metrics.HumanBytes(none.WireBytesPerEpoch),
+		rep.WireReductionPct, rep.ThroughputRatio, out)
+	return nil
+}

@@ -1,0 +1,99 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+
+	"dlfs/internal/dataset"
+)
+
+// TestCommittedOffloadBenchReport asserts the acceptance numbers of the
+// committed BENCH_8.json: server assembly must move exactly the
+// delivered samples' bytes per cold epoch (no padding, no edge
+// overfetch), cut at least 20% of the baseline wire traffic on the
+// edge-heavy layout, and never cost throughput.
+func TestCommittedOffloadBenchReport(t *testing.T) {
+	raw, err := os.ReadFile("../../BENCH_8.json")
+	if err != nil {
+		t.Fatalf("committed bench report missing: %v", err)
+	}
+	var rep offloadReport
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("BENCH_8.json does not parse: %v", err)
+	}
+	if rep.Bench != "offload-wire" || rep.Schema != 1 {
+		t.Fatalf("report identity: bench=%q schema=%d", rep.Bench, rep.Schema)
+	}
+	if len(rep.Modes) != 3 {
+		t.Fatalf("want 3 modes, got %d", len(rep.Modes))
+	}
+	byName := map[string]offloadModeJSON{}
+	for _, m := range rep.Modes {
+		byName[m.Mode] = m
+	}
+	base, okB := byName["readvec-baseline"]
+	none, okN := byName["assembly-none"]
+	crc, okC := byName["assembly-crc32c"]
+	if !okB || !okN || !okC {
+		t.Fatalf("missing modes in %v", rep.Modes)
+	}
+
+	// Tentpole invariant: with no transform, the wire carries exactly the
+	// samples — byte for byte, every cold epoch.
+	if !none.WireExact || none.WireBytesPerEpoch != none.SampleBytesPerEpoch {
+		t.Fatalf("assembly-none not wire-exact: wire=%d samples=%d exact=%v",
+			none.WireBytesPerEpoch, none.SampleBytesPerEpoch, none.WireExact)
+	}
+	if base.WireBytesPerEpoch <= none.WireBytesPerEpoch {
+		t.Fatalf("baseline wire %d not above assembly wire %d", base.WireBytesPerEpoch, none.WireBytesPerEpoch)
+	}
+	if rep.WireReductionPct < 20 {
+		t.Fatalf("wire reduction %.2f%%, acceptance floor is 20%%", rep.WireReductionPct)
+	}
+	if rep.ThroughputRatio < 1.0 {
+		t.Fatalf("offload cost throughput: ratio %.3f < 1.0", rep.ThroughputRatio)
+	}
+	if none.OffloadCmds == 0 || none.OffloadSamples == 0 {
+		t.Fatalf("assembly mode recorded no offload commands: %+v", none)
+	}
+	// The crc32c mode pays exactly 4 trailer bytes per record and nothing
+	// else over the exact mode.
+	if got, want := crc.WireBytesPerEpoch-none.WireBytesPerEpoch, int64(4*crc.Samples); got != want {
+		t.Fatalf("crc32c wire overhead %d bytes/epoch, want %d (4/record)", got, want)
+	}
+	if base.OffloadCmds != 0 || base.OffloadSavedBytes != 0 {
+		t.Fatalf("baseline mode recorded offload activity: %+v", base)
+	}
+}
+
+// TestOffloadModeWireExactFresh reruns a miniature assembly-none mode
+// in-process (not from the committed report): the byte-exactness
+// invariant must hold on a fresh measurement, not just the archived
+// one. Throughput is deliberately not asserted here — tiny runs on
+// loaded CI machines are noise.
+func TestOffloadModeWireExactFresh(t *testing.T) {
+	ds := dataset.Generate(dataset.Config{Label: "offload", Seed: 23, NumSamples: 64, Dist: dataset.Fixed(40 << 10)})
+	mj, err := runOffloadMode(ds, "assembly-none", 0, true, 64<<10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mj.WireExact || mj.WireBytesPerEpoch != mj.SampleBytesPerEpoch {
+		t.Fatalf("fresh assembly-none run not wire-exact: %+v", mj)
+	}
+	if mj.WireBytesPerEpoch != int64(ds.Len())*(40<<10) {
+		t.Fatalf("wire %d, want %d", mj.WireBytesPerEpoch, ds.Len()*(40<<10))
+	}
+	if mj.OffloadCmds == 0 || mj.OffloadSamples != int64(ds.Len()) {
+		t.Fatalf("offload counters off: %+v", mj)
+	}
+
+	base, err := runOffloadMode(ds, "readvec-baseline", 0, false, 64<<10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.WireBytesPerEpoch <= mj.WireBytesPerEpoch {
+		t.Fatalf("fresh baseline wire %d not above assembly wire %d",
+			base.WireBytesPerEpoch, mj.WireBytesPerEpoch)
+	}
+}

@@ -128,6 +128,8 @@ func cmdSmoke(args []string) {
 	qps := fs.Int("qps", 0, "queue pairs per target (0 takes the default)")
 	nocoalesce := fs.Bool("no-coalesce", false, "disable request coalescing (one wire read per chunk)")
 	nopool := fs.Bool("no-pool", false, "disable the sample buffer pool")
+	serverAssembly := fs.Bool("server-assembly", false, "offload sample extraction to the targets (opReadSamples)")
+	assemblyXform := fs.Int("assembly-transform", 0, "server-side transform ID (0 none, 1 crc32c-verify, 3 stride-subsample)")
 	chaosSeed := fs.Int64("chaos-seed", 0, "chaos fault schedule seed (0 disables the chaos proxies)")
 	dropProb := fs.Float64("chaos-drop", 0.002, "per-segment connection-kill probability under chaos")
 	delayProb := fs.Float64("chaos-delay-prob", 0.05, "per-segment delay probability under chaos")
@@ -169,7 +171,10 @@ func cmdSmoke(args []string) {
 		fmt.Printf("target %d: %s\n", i, addr)
 	}
 	ds := dataset.Generate(dataset.Config{Label: "smoke", Seed: 2, NumSamples: *n, Dist: dataset.Fixed(*size)})
-	cfg := live.Config{QueuePairs: *qps, NoCoalesce: *nocoalesce, NoBufferPool: *nopool, StageHistograms: true}
+	cfg := live.Config{
+		QueuePairs: *qps, NoCoalesce: *nocoalesce, NoBufferPool: *nopool, StageHistograms: true,
+		ServerAssembly: *serverAssembly, AssemblyTransform: *assemblyXform,
+	}
 	if *dead >= 0 {
 		// A blackholed target never answers; keep the deadlines and the
 		// retry ladder short so the breaker trips quickly, and let the

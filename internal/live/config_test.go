@@ -126,6 +126,39 @@ func TestConfigWithDefaults(t *testing.T) {
 			},
 		},
 		{
+			name: "assembly knobs default and pass through",
+			in:   Config{ServerAssembly: true},
+			check: func(t *testing.T, c Config) {
+				if c.AssemblyTransform != 0 {
+					t.Errorf("AssemblyTransform = %d, want 0 (none)", c.AssemblyTransform)
+				}
+				if c.AssemblySamplesPerCmd != 512 {
+					t.Errorf("AssemblySamplesPerCmd = %d, want 512", c.AssemblySamplesPerCmd)
+				}
+			},
+		},
+		{
+			name: "negative assembly knobs normalize to canonical -1",
+			in:   Config{ServerAssembly: true, AssemblyTransform: -42, AssemblySamplesPerCmd: -9000},
+			check: func(t *testing.T, c Config) {
+				if c.AssemblyTransform != -1 {
+					t.Errorf("AssemblyTransform = %d, want canonical -1 (none)", c.AssemblyTransform)
+				}
+				if c.AssemblySamplesPerCmd != -1 {
+					t.Errorf("AssemblySamplesPerCmd = %d, want canonical -1 (protocol max)", c.AssemblySamplesPerCmd)
+				}
+			},
+		},
+		{
+			name: "explicit assembly values pass through",
+			in:   Config{ServerAssembly: true, AssemblyTransform: 1, AssemblySamplesPerCmd: 64},
+			check: func(t *testing.T, c Config) {
+				if c.AssemblyTransform != 1 || c.AssemblySamplesPerCmd != 64 {
+					t.Errorf("explicit assembly values clobbered: %+v", c)
+				}
+			},
+		},
+		{
 			name: "PrefetchDepth derives from Window",
 			in:   Config{Window: 5},
 			check: func(t *testing.T, c Config) {

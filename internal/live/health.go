@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"dlfs/internal/metrics"
@@ -117,6 +118,13 @@ type target struct {
 	addr string
 	qp   *nvmetcp.QPGroup
 	brk  *breaker
+
+	// noAssembly latches when the target rejects opReadSamples with
+	// statusBadOp (an old-opcode build during a rolling upgrade); all
+	// later fetches to this target use the vectored chunk path. It is
+	// a capability fact, not a health signal — the breaker never sees
+	// the downgrade.
+	noAssembly atomic.Bool
 }
 
 // read runs one synchronous read through the breaker.

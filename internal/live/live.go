@@ -69,6 +69,17 @@ type Config struct {
 	PrefetchBudgetBytes int64                  // lookahead store budget (default 16 MiB; <0 disables)
 	NextEpochSeed       func(seed int64) int64 // predicts the next epoch's seed (default seed+1)
 
+	// Near-data sample assembly (nvmetcp opReadSamples): fetch groups
+	// are posted as offload commands whose responses carry exactly the
+	// samples' post-transform bytes — the target assembles each record
+	// from its extents, so chunk padding and edge-sample overfetch never
+	// cross the NIC and offloaded units skip the client copy stage
+	// entirely. A target that does not speak the opcode (rolling
+	// upgrade) is downgraded per-target to the vectored chunk path.
+	ServerAssembly        bool // offload sample extraction to the targets
+	AssemblyTransform     int  // nvmetcp transform ID applied target-side (default 0 = none; <0 normalized to -1 = none)
+	AssemblySamplesPerCmd int  // sample descriptors per offload command (default 512; <0 normalized to -1 = protocol max)
+
 	// Cooperative peer cache (cluster mounts only): each rank hosts a
 	// peercache service over its read cache; ReadSample misses ask the
 	// owning peer before the origin target. Must be set identically on
@@ -139,6 +150,14 @@ func (c Config) withDefaults() Config {
 		c.PrefetchBudgetBytes = 16 << 20
 	} else if c.PrefetchBudgetBytes < 0 {
 		c.PrefetchBudgetBytes = -1
+	}
+	if c.AssemblyTransform < 0 {
+		c.AssemblyTransform = -1
+	}
+	if c.AssemblySamplesPerCmd == 0 {
+		c.AssemblySamplesPerCmd = 512
+	} else if c.AssemblySamplesPerCmd < 0 {
+		c.AssemblySamplesPerCmd = -1
 	}
 	if c.PeerCacheListen == "" {
 		c.PeerCacheListen = "127.0.0.1:0"
@@ -279,6 +298,17 @@ func Mount(addrs []string, ds *dataset.Dataset, cfg Config) (*FS, error) {
 func dialTargets(addrs []string, cfg Config, counters *metrics.Resilience) ([]*target, error) {
 	if len(addrs) == 0 {
 		return nil, errors.New("live: no targets")
+	}
+	if cfg.ServerAssembly {
+		if x := cfg.AssemblyTransform; x > 0 {
+			if x > 255 || !nvmetcp.TransformValid(byte(x)) {
+				return nil, fmt.Errorf("live: unknown assembly transform %d", x)
+			}
+			if nvmetcp.TransformOutLen(byte(x), 1) < 0 {
+				return nil, fmt.Errorf("live: assembly transform %s has data-dependent output size; the epoch pipeline needs sized destinations",
+					nvmetcp.TransformName(byte(x)))
+			}
+		}
 	}
 	opt := nvmetcp.Options{DialTimeout: cfg.DialTimeout, RequestTimeout: cfg.RequestTimeout}
 	targets := make([]*target, len(addrs))
@@ -487,6 +517,13 @@ type unit struct {
 	samples []plan.Placed
 	chunks  []*hugepage.Chunk
 	next    int
+
+	// assembled holds per-sample pool buffers (parallel to samples)
+	// when the unit was fetched through server assembly: the target
+	// extracted each record, so there are no chunks to copy from and
+	// NextBatch hands the buffers out directly. Entries are nil'ed as
+	// they are emitted; ownership of the remainder stays with the unit.
+	assembled [][]byte
 }
 
 // chunkCount returns how many cache chunks the unit spans.
@@ -646,8 +683,7 @@ func (fs *FS) sequenceRange(seed int64, rank, world, lo, hi int) (*Epoch, error)
 						case ep.ready <- u:
 						case <-ep.abort:
 							for _, v := range g.units[gi:] {
-								ep.fs.arena.Free(v.chunks)
-								v.chunks = nil
+								fs.freeUnit(v)
 							}
 							return
 						}
@@ -768,14 +804,26 @@ func (ep *Epoch) fetchGroup(g *fetchGroup) error {
 	}
 	if err := ep.fetchWire(g.node, misses); err != nil {
 		for _, u := range g.units {
-			if u.chunks != nil {
-				fs.arena.Free(u.chunks)
-				u.chunks = nil
-			}
+			fs.freeUnit(u)
 		}
 		return err
 	}
 	return nil
+}
+
+// freeUnit releases whatever payload a unit holds — arena cache chunks
+// and/or server-assembled sample buffers — after a failure or abort.
+func (fs *FS) freeUnit(u *unit) {
+	if u.chunks != nil {
+		fs.arena.Free(u.chunks)
+		u.chunks = nil
+	}
+	if u.assembled != nil {
+		for _, b := range u.assembled {
+			fs.Recycle(b)
+		}
+		u.assembled = nil
+	}
 }
 
 // fetchWire is the wire half of fetchGroup. Prep stage: allocate every
@@ -791,6 +839,18 @@ func (ep *Epoch) fetchWire(node uint16, units []*unit) error {
 	tg := fs.targets[node]
 	if !tg.brk.Allow() {
 		return fmt.Errorf("%w: %s circuit open", ErrDegraded, tg.addr)
+	}
+	if fs.cfg.ServerAssembly && !tg.noAssembly.Load() {
+		err := ep.fetchAssembled(tg, units)
+		var ue *nvmetcp.UnsupportedOpError
+		if !errors.As(err, &ue) {
+			return err
+		}
+		// Old-opcode target (rolling upgrade): latch the capability,
+		// count the downgrade, and fall through to the vectored chunk
+		// path. The breaker already granted this fetch — no re-Allow.
+		tg.noAssembly.Store(true)
+		fs.pipe.OffloadDowngrades.Add(1)
 	}
 	prep := time.Now()
 	cs := fs.cfg.ChunkSize
@@ -874,6 +934,136 @@ func (ep *Epoch) fetchWire(node uint16, units []*unit) error {
 	return nil
 }
 
+// assemblyTransform resolves the configured offload transform; the
+// canonical negatives (-1) and zero both mean TransformNone.
+func (fs *FS) assemblyTransform() byte {
+	if fs.cfg.AssemblyTransform <= 0 {
+		return nvmetcp.TransformNone
+	}
+	return byte(fs.cfg.AssemblyTransform)
+}
+
+// postSamples submits segs as one or more opReadSamples commands under
+// the configured per-command descriptor cap, returning every in-flight
+// pending. On a submission error the already-submitted pendings are
+// still returned — the caller must Wait them before touching the
+// destination buffers.
+func (fs *FS) postSamples(tg *target, xform byte, segs []nvmetcp.SampleSeg) ([]*nvmetcp.RePending, error) {
+	per := fs.cfg.AssemblySamplesPerCmd
+	if per <= 0 || per > nvmetcp.MaxSampleDescs {
+		per = nvmetcp.MaxSampleDescs
+	}
+	pendings := make([]*nvmetcp.RePending, 0, (len(segs)+per-1)/per)
+	for lo := 0; lo < len(segs); lo += per {
+		hi := lo + per
+		if hi > len(segs) {
+			hi = len(segs)
+		}
+		pd, err := tg.qp.ReadSamplesAsync(xform, segs[lo:hi], nil)
+		if err != nil {
+			return pendings, err
+		}
+		pendings = append(pendings, pd)
+	}
+	return pendings, nil
+}
+
+// verifyAssembled checks and strips each record's crc32c trailer in
+// place when the epoch runs the crc transform. The stripped body
+// aliases the pooled buffer, so recycling stays exact.
+func verifyAssembled(xform byte, units []*unit) error {
+	if xform != nvmetcp.TransformCRC32C {
+		return nil
+	}
+	for _, u := range units {
+		for si, b := range u.assembled {
+			body, ok := nvmetcp.VerifyCRC32C(b)
+			if !ok {
+				return fmt.Errorf("live: crc32c mismatch on sample %d", u.samples[si].Sample)
+			}
+			u.assembled[si] = body
+		}
+	}
+	return nil
+}
+
+// fetchAssembled is the near-data alternative to the chunked wire path:
+// the group is posted as opReadSamples offload commands whose scatter
+// destinations are per-sample pool buffers. The target assembles (and
+// transforms) each record from its extents, so chunk padding and
+// edge-sample overfetch never cross the NIC, and the units skip both
+// arena staging and the client copy stage. An *UnsupportedOpError
+// passes through untouched and without a breaker penalty so fetchWire
+// can downgrade the target; every other failure releases the buffers
+// and feeds the breaker exactly like the chunked path.
+func (ep *Epoch) fetchAssembled(tg *target, units []*unit) error {
+	fs := ep.fs
+	xform := fs.assemblyTransform()
+	prep := time.Now()
+	nsamples := 0
+	for _, u := range units {
+		nsamples += len(u.samples)
+	}
+	segs := make([]nvmetcp.SampleSeg, 0, nsamples)
+	var sampleBytes, unitBytes int64
+	for _, u := range units {
+		u.assembled = make([][]byte, len(u.samples))
+		for si, pl := range u.samples {
+			buf := fs.alloc(nvmetcp.TransformOutLen(xform, int(pl.Len)))
+			u.assembled[si] = buf
+			segs = append(segs, nvmetcp.SampleSeg{Dst: buf, Off: pl.Offset, N: int(pl.Len)})
+			sampleBytes += int64(len(buf))
+		}
+		unitBytes += int64(u.length)
+	}
+	fs.pipe.ObservePrep(time.Since(prep))
+	for _, u := range units {
+		fs.cfg.Trace.Record(trace.KindPost, u.seq, u.node, int(u.length))
+	}
+
+	post := time.Now()
+	pendings, ferr := fs.postSamples(tg, xform, segs)
+	fs.pipe.ObservePost(time.Since(post))
+	poll := time.Now()
+	for _, pd := range pendings {
+		if _, err := pd.Wait(); err != nil && ferr == nil {
+			ferr = err
+		}
+	}
+	fs.pipe.ObservePoll(time.Since(poll))
+	if ferr == nil {
+		ferr = verifyAssembled(xform, units)
+	}
+	if ferr != nil {
+		for _, u := range units {
+			fs.freeUnit(u)
+		}
+		var ue *nvmetcp.UnsupportedOpError
+		if errors.As(ferr, &ue) {
+			return ferr // capability miss, not a health failure
+		}
+		tg.brk.Failure()
+		return ferr
+	}
+	fs.pipe.WireReads.Add(int64(len(pendings)))
+	fs.pipe.WireSegments.Add(int64(len(segs)))
+	// Only the records themselves ride the response payload — WireBytes
+	// counts exactly the post-transform sample bytes, never chunk
+	// padding. The per-record length block is framing, like capsule
+	// headers, and is excluded just as opReadVec excludes its header.
+	fs.pipe.WireBytes.Add(sampleBytes)
+	fs.pipe.OffloadCmds.Add(int64(len(pendings)))
+	fs.pipe.OffloadSamples.Add(int64(len(segs)))
+	if saved := unitBytes - sampleBytes; saved > 0 {
+		fs.pipe.OffloadSavedBytes.Add(saved)
+	}
+	for _, u := range units {
+		fs.cfg.Trace.Record(trace.KindComplete, u.seq, u.node, int(u.length))
+	}
+	tg.brk.Success()
+	return nil
+}
+
 // Total reports the number of samples the epoch plans to deliver.
 func (ep *Epoch) Total() int { return ep.total }
 
@@ -937,18 +1127,30 @@ func (ep *Epoch) NextBatch() ([]Item, bool, error) {
 		}
 		k := ep.rng.Intn(len(ep.resident))
 		u := ep.resident[k]
-		pl := u.samples[u.next]
+		idx := u.next
+		pl := u.samples[idx]
 		u.next++
 		cstart := time.Now()
-		buf := ep.fs.alloc(int(pl.Len))
-		copyFromChunks(u, pl, buf, ep.fs.cfg.ChunkSize)
+		var buf []byte
+		if u.assembled != nil {
+			// Server-assembled unit: the target already extracted the
+			// record into a pool buffer — hand it out, no copy stage.
+			buf = u.assembled[idx]
+			u.assembled[idx] = nil
+		} else {
+			buf = ep.fs.alloc(int(pl.Len))
+			copyFromChunks(u, pl, buf, ep.fs.cfg.ChunkSize)
+		}
 		ep.fs.pipe.ObserveCopy(time.Since(cstart))
 		ep.fs.cfg.Trace.Record(trace.KindEmit, u.seq, u.node, int(pl.Len))
 		items = append(items, Item{Index: pl.Sample, Data: buf})
 		ep.emitted++
 		if u.next == len(u.samples) {
-			ep.fs.arena.Free(u.chunks)
-			u.chunks = nil
+			if u.chunks != nil {
+				ep.fs.arena.Free(u.chunks)
+				u.chunks = nil
+			}
+			u.assembled = nil // every entry already handed out
 			ep.fs.cfg.Trace.Record(trace.KindFree, u.seq, u.node, 0)
 			ep.resident = append(ep.resident[:k], ep.resident[k+1:]...)
 		}

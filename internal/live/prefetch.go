@@ -1,6 +1,8 @@
 package live
 
 import (
+	"errors"
+	"fmt"
 	"math/rand"
 	"sync"
 	"sync/atomic"
@@ -43,6 +45,36 @@ type unitKey struct {
 	length int32
 }
 
+// pfEntry is one parked unit payload. Exactly one form is set: data
+// holds the unit's raw byte range (chunk-path prefetch), samples holds
+// per-record pool buffers parallel to the unit's sample list
+// (server-assembled or peer-served prefetch).
+type pfEntry struct {
+	data    []byte
+	samples [][]byte
+}
+
+// size reports the entry's budget footprint.
+func (e pfEntry) size() int64 {
+	n := int64(len(e.data))
+	for _, b := range e.samples {
+		n += int64(len(b))
+	}
+	return n
+}
+
+// release recycles every buffer the entry owns.
+func (e pfEntry) release(free func([]byte)) {
+	if e.data != nil {
+		free(e.data)
+	}
+	for _, b := range e.samples {
+		if b != nil {
+			free(b)
+		}
+	}
+}
+
 // prefetchStore is the bounded lookahead region: unit payloads fetched
 // ahead of their epoch, keyed by placement identity. FIFO eviction only
 // reclaims stale leftovers (entries predicted for a seed that was never
@@ -54,7 +86,7 @@ type prefetchStore struct {
 	free   func([]byte)
 
 	mu      sync.Mutex
-	entries map[unitKey][]byte
+	entries map[unitKey]pfEntry
 	order   []unitKey // insertion order; lazily compacted on eviction
 	bytes   int64
 }
@@ -64,25 +96,26 @@ func newPrefetchStore(budget int64, pipe *metrics.Pipeline, free func([]byte)) *
 		budget:  budget,
 		pipe:    pipe,
 		free:    free,
-		entries: make(map[unitKey][]byte),
+		entries: make(map[unitKey]pfEntry),
 	}
 }
 
-// put inserts a fetched payload, taking ownership of data. Entries
-// already present keep the original buffer; oversized inserts evict
-// oldest-first until the budget holds.
-func (s *prefetchStore) put(k unitKey, data []byte) {
-	if int64(len(data)) > s.budget {
-		s.free(data) // can never fit: refuse before evicting anything
+// put inserts a fetched payload, taking ownership of the entry's
+// buffers. Entries already present keep the original; oversized inserts
+// evict oldest-first until the budget holds.
+func (s *prefetchStore) put(k unitKey, e pfEntry) {
+	sz := e.size()
+	if sz > s.budget {
+		e.release(s.free) // can never fit: refuse before evicting anything
 		return
 	}
 	s.mu.Lock()
 	if _, dup := s.entries[k]; dup {
 		s.mu.Unlock()
-		s.free(data)
+		e.release(s.free)
 		return
 	}
-	for s.bytes+int64(len(data)) > s.budget && len(s.order) > 0 {
+	for s.bytes+sz > s.budget && len(s.order) > 0 {
 		victim := s.order[0]
 		s.order = s.order[1:]
 		old, ok := s.entries[victim]
@@ -90,35 +123,32 @@ func (s *prefetchStore) put(k unitKey, data []byte) {
 			continue // already consumed by take
 		}
 		delete(s.entries, victim)
-		s.bytes -= int64(len(old))
-		s.free(old)
+		s.bytes -= old.size()
+		old.release(s.free)
 		s.pipe.PrefetchEvictions.Add(1)
 	}
-	if s.bytes+int64(len(data)) > s.budget {
+	if s.bytes+sz > s.budget {
 		s.mu.Unlock()
-		s.free(data)
+		e.release(s.free)
 		return
 	}
-	s.entries[k] = data
+	s.entries[k] = e
 	s.order = append(s.order, k)
-	s.bytes += int64(len(data))
+	s.bytes += sz
 	s.mu.Unlock()
 }
 
-// take removes and returns the payload for k, or nil on miss. The
-// caller owns the returned buffer.
-func (s *prefetchStore) take(k unitKey) []byte {
+// take removes and returns the entry for k; ok is false on miss. The
+// caller owns the returned buffers.
+func (s *prefetchStore) take(k unitKey) (pfEntry, bool) {
 	s.mu.Lock()
-	data, ok := s.entries[k]
+	e, ok := s.entries[k]
 	if ok {
 		delete(s.entries, k)
-		s.bytes -= int64(len(data))
+		s.bytes -= e.size()
 	}
 	s.mu.Unlock()
-	if !ok {
-		return nil
-	}
-	return data
+	return e, ok
 }
 
 // residentBytes reports the store footprint (tests assert it never
@@ -132,9 +162,9 @@ func (s *prefetchStore) residentBytes() int64 {
 // drain frees every entry (Close).
 func (s *prefetchStore) drain() {
 	s.mu.Lock()
-	for k, data := range s.entries {
+	for k, e := range s.entries {
 		delete(s.entries, k)
-		s.free(data)
+		e.release(s.free)
 	}
 	s.order = nil
 	s.bytes = 0
@@ -209,20 +239,39 @@ func (fs *FS) runPrefetch(seed int64, rank, world int) {
 	flush()
 }
 
-// fetchAhead reads one coalesced group of predicted units into pooled
-// buffers and parks them in the store. Best-effort: breaker refusals
-// and transport errors drop the group (the next epoch pays the wire for
+// fetchAhead brings one coalesced group of predicted units into the
+// store. The cooperative peer cache is consulted first (cluster mounts
+// only) — units fully resident on the owning rank park without
+// touching the storage wire; only the residual misses are fetched,
+// through server assembly when the target offers it, else as one
+// vectored read into pooled buffers. Best-effort: breaker refusals and
+// transport errors drop the group (the next epoch pays the wire for
 // those units as usual). Returns the bytes stored.
 func (fs *FS) fetchAhead(group []*unit, groupBytes int64) int64 {
+	group, stored := fs.prefetchFromPeers(group)
+	if len(group) == 0 {
+		return stored
+	}
 	tg := fs.targets[group[0].node]
 	if !tg.brk.Allow() {
-		return 0
+		return stored
+	}
+	if fs.cfg.ServerAssembly && !tg.noAssembly.Load() {
+		n, err := fs.prefetchAssembled(tg, group)
+		var ue *nvmetcp.UnsupportedOpError
+		if !errors.As(err, &ue) {
+			return stored + n
+		}
+		tg.noAssembly.Store(true)
+		fs.pipe.OffloadDowngrades.Add(1)
 	}
 	bufs := make([][]byte, len(group))
 	segs := make([]nvmetcp.Seg, len(group))
+	var bytes int64
 	for i, u := range group {
 		bufs[i] = fs.alloc(int(u.length))
 		segs[i] = nvmetcp.Seg{Dst: bufs[i], Off: u.offset}
+		bytes += int64(u.length)
 	}
 	pd, err := tg.qp.ReadVecAsync(segs)
 	if err == nil {
@@ -233,15 +282,136 @@ func (fs *FS) fetchAhead(group []*unit, groupBytes int64) int64 {
 			fs.Recycle(b)
 		}
 		tg.brk.Failure()
-		return 0
+		return stored
 	}
 	tg.brk.Success()
 	for i, u := range group {
-		fs.prefetch.put(unitKey{node: u.node, offset: u.offset, length: u.length}, bufs[i])
+		fs.prefetch.put(unitKey{node: u.node, offset: u.offset, length: u.length}, pfEntry{data: bufs[i]})
 	}
 	fs.pipe.PrefetchedUnits.Add(int64(len(group)))
-	fs.pipe.PrefetchedBytes.Add(groupBytes)
-	return groupBytes
+	fs.pipe.PrefetchedBytes.Add(bytes)
+	return stored + bytes
+}
+
+// prefetchFromPeers tries to satisfy predicted units from the
+// cooperative peer sample cache before the storage wire (cluster
+// mounts only). All-or-nothing per unit: a unit parks only when the
+// owning rank answers every one of its samples — partial pulls are
+// recycled and the unit stays a miss, so a store hit is always a
+// complete unit. Peer hits, bytes, and fallbacks land on the same
+// counters as the demand path. Skipped entirely when the epoch runs a
+// lossy server transform (peers hold raw records). Returns the
+// residual misses and the bytes parked.
+func (fs *FS) prefetchFromPeers(group []*unit) ([]*unit, int64) {
+	if fs.peers == nil {
+		return group, 0
+	}
+	if x := fs.assemblyTransform(); fs.cfg.ServerAssembly &&
+		x != nvmetcp.TransformNone && x != nvmetcp.TransformCRC32C {
+		return group, 0
+	}
+	misses := group[:0:0]
+	var stored int64
+	for _, u := range group {
+		owner := int(u.node)
+		if owner == fs.rank || owner >= len(fs.peers.clients) || fs.peers.clients[owner] == nil {
+			misses = append(misses, u)
+			continue
+		}
+		samples := make([][]byte, len(u.samples))
+		ok := true
+		var sz int64
+		for si, pl := range u.samples {
+			buf := fs.peerFetch(owner, pl.Sample, int(pl.Len))
+			if buf == nil {
+				ok = false
+				break
+			}
+			samples[si] = buf
+			sz += int64(len(buf))
+		}
+		if !ok {
+			for _, b := range samples {
+				if b != nil {
+					fs.Recycle(b)
+				}
+			}
+			misses = append(misses, u)
+			continue
+		}
+		fs.prefetch.put(unitKey{node: u.node, offset: u.offset, length: u.length}, pfEntry{samples: samples})
+		fs.pipe.PrefetchedUnits.Add(1)
+		fs.pipe.PrefetchedBytes.Add(sz)
+		stored += sz
+	}
+	return misses, stored
+}
+
+// prefetchAssembled fetches the residual misses through opReadSamples
+// and parks the per-record buffers. The caller already holds the
+// breaker's Allow; an *UnsupportedOpError is returned for the caller's
+// downgrade latch (no breaker penalty), any other failure recycles and
+// feeds the breaker. Returns the bytes stored.
+func (fs *FS) prefetchAssembled(tg *target, group []*unit) (int64, error) {
+	xform := fs.assemblyTransform()
+	entries := make([]pfEntry, len(group))
+	var segs []nvmetcp.SampleSeg
+	for i, u := range group {
+		entries[i].samples = make([][]byte, len(u.samples))
+		for si, pl := range u.samples {
+			buf := fs.alloc(nvmetcp.TransformOutLen(xform, int(pl.Len)))
+			entries[i].samples[si] = buf
+			segs = append(segs, nvmetcp.SampleSeg{Dst: buf, Off: pl.Offset, N: int(pl.Len)})
+		}
+	}
+	pendings, ferr := fs.postSamples(tg, xform, segs)
+	for _, pd := range pendings {
+		if _, err := pd.Wait(); err != nil && ferr == nil {
+			ferr = err
+		}
+	}
+	if ferr == nil && xform == nvmetcp.TransformCRC32C {
+		for i := range entries {
+			for si, b := range entries[i].samples {
+				body, ok := nvmetcp.VerifyCRC32C(b)
+				if !ok {
+					ferr = fmt.Errorf("live: crc32c mismatch on prefetched sample %d", group[i].samples[si].Sample)
+					break
+				}
+				entries[i].samples[si] = body
+			}
+			if ferr != nil {
+				break
+			}
+		}
+	}
+	if ferr != nil {
+		for _, e := range entries {
+			e.release(fs.Recycle)
+		}
+		var ue *nvmetcp.UnsupportedOpError
+		if errors.As(ferr, &ue) {
+			return 0, ferr
+		}
+		tg.brk.Failure()
+		return 0, ferr
+	}
+	tg.brk.Success()
+	var stored, unitBytes int64
+	for i, u := range group {
+		sz := entries[i].size()
+		fs.prefetch.put(unitKey{node: u.node, offset: u.offset, length: u.length}, entries[i])
+		stored += sz
+		unitBytes += int64(u.length)
+	}
+	fs.pipe.PrefetchedUnits.Add(int64(len(group)))
+	fs.pipe.PrefetchedBytes.Add(stored)
+	fs.pipe.OffloadCmds.Add(int64(len(pendings)))
+	fs.pipe.OffloadSamples.Add(int64(len(segs)))
+	if saved := unitBytes - stored; saved > 0 {
+		fs.pipe.OffloadSavedBytes.Add(saved)
+	}
+	return stored, nil
 }
 
 // epochSlice computes rank's 1/world slice of the seeded global unit
@@ -267,9 +437,12 @@ func (fs *FS) epochSlice(seed int64, rank, world int) ([]*unit, error) {
 }
 
 // serveFromStore satisfies as many of g's units as the lookahead store
-// holds: each hit copies straight from the stored payload into freshly
-// allocated cache chunks (prep-stage work, no wire). Returns the units
-// that missed and must be fetched. Called by fetchGroup.
+// holds. A raw-range hit copies straight from the stored payload into
+// freshly allocated cache chunks (prep-stage work, no wire); a
+// per-sample hit (server-assembled or peer-served prefetch) hands the
+// record buffers to the unit directly — no chunks, no copy stage.
+// Returns the units that missed and must be fetched. Called by
+// fetchGroup.
 func (ep *Epoch) serveFromStore(g *fetchGroup) []*unit {
 	fs := ep.fs
 	cs := fs.cfg.ChunkSize
@@ -277,21 +450,34 @@ func (ep *Epoch) serveFromStore(g *fetchGroup) []*unit {
 	var hit bool
 	prep := time.Now()
 	for _, u := range g.units {
-		data := fs.prefetch.take(unitKey{node: u.node, offset: u.offset, length: u.length})
-		if data == nil {
+		e, ok := fs.prefetch.take(unitKey{node: u.node, offset: u.offset, length: u.length})
+		if !ok {
 			misses = append(misses, u)
 			continue
 		}
-		nc := u.chunkCount(cs)
-		u.chunks = fs.arena.AllocN(nc)
-		for ci := 0; ci < nc; ci++ {
-			end := (ci + 1) * cs
-			if end > int(u.length) {
-				end = int(u.length)
+		if e.samples != nil {
+			if len(e.samples) == len(u.samples) {
+				u.assembled = e.samples
+			} else {
+				// Predicted sample split diverged from the actual
+				// epoch's (shouldn't happen — the plan is a pure
+				// function of placement); drop rather than mis-emit.
+				e.release(fs.Recycle)
+				misses = append(misses, u)
+				continue
 			}
-			copy(u.chunks[ci].Bytes(), data[ci*cs:end])
+		} else {
+			nc := u.chunkCount(cs)
+			u.chunks = fs.arena.AllocN(nc)
+			for ci := 0; ci < nc; ci++ {
+				end := (ci + 1) * cs
+				if end > int(u.length) {
+					end = int(u.length)
+				}
+				copy(u.chunks[ci].Bytes(), e.data[ci*cs:end])
+			}
+			fs.Recycle(e.data)
 		}
-		fs.Recycle(data)
 		fs.pipe.PrefetchHitUnits.Add(1)
 		fs.pipe.PrefetchHitBytes.Add(int64(u.length))
 		fs.cfg.Trace.Record(trace.KindComplete, u.seq, u.node, int(u.length))

@@ -153,28 +153,28 @@ func TestPrefetchStoreBudget(t *testing.T) {
 	s := newPrefetchStore(100, pipe, func(b []byte) { freed += len(b) })
 
 	k := func(i int) unitKey { return unitKey{node: 0, offset: int64(i * 100), length: 40} }
-	s.put(k(1), make([]byte, 40))
-	s.put(k(2), make([]byte, 40))
+	s.put(k(1), pfEntry{data: make([]byte, 40)})
+	s.put(k(2), pfEntry{data: make([]byte, 40)})
 	if got := s.residentBytes(); got != 80 {
 		t.Fatalf("resident %d, want 80", got)
 	}
 	// Third insert exceeds the budget: the oldest entry is evicted.
-	s.put(k(3), make([]byte, 40))
+	s.put(k(3), pfEntry{data: make([]byte, 40)})
 	if got := s.residentBytes(); got != 80 {
 		t.Fatalf("resident %d after eviction, want 80", got)
 	}
 	if pipe.PrefetchEvictions.Load() != 1 || freed != 40 {
 		t.Fatalf("evictions=%d freed=%d", pipe.PrefetchEvictions.Load(), freed)
 	}
-	if s.take(k(1)) != nil {
+	if _, ok := s.take(k(1)); ok {
 		t.Fatal("evicted entry still resident")
 	}
 	// take consumes: the second take misses, and the bytes are released
 	// from the budget.
-	if s.take(k(2)) == nil {
+	if _, ok := s.take(k(2)); !ok {
 		t.Fatal("entry 2 missing")
 	}
-	if s.take(k(2)) != nil {
+	if _, ok := s.take(k(2)); ok {
 		t.Fatal("take must consume the entry")
 	}
 	if got := s.residentBytes(); got != 40 {
@@ -182,13 +182,13 @@ func TestPrefetchStoreBudget(t *testing.T) {
 	}
 	// A duplicate put keeps the original and frees the newcomer.
 	freed = 0
-	s.put(k(3), make([]byte, 40))
+	s.put(k(3), pfEntry{data: make([]byte, 40)})
 	if freed != 40 {
 		t.Fatal("duplicate put must free the new buffer")
 	}
 	// An entry larger than the whole budget is refused outright.
 	freed = 0
-	s.put(unitKey{node: 9}, make([]byte, 200))
+	s.put(unitKey{node: 9}, pfEntry{data: make([]byte, 200)})
 	if freed != 200 {
 		t.Fatal("over-budget put must free the buffer")
 	}

@@ -50,6 +50,15 @@ type Pipeline struct {
 	OriginReads   atomic.Int64 // ReadSample misses served from the origin target
 	OriginBytes   atomic.Int64 // bytes ReadSample pulled from origin targets
 
+	// Near-data sample assembly (live.Config.ServerAssembly): fetch
+	// groups posted as opReadSamples offload commands whose responses
+	// carry exactly the samples' post-transform bytes, skipping chunk
+	// staging and the client copy stage.
+	OffloadCmds       atomic.Int64 // opReadSamples commands posted
+	OffloadSamples    atomic.Int64 // samples assembled target-side
+	OffloadSavedBytes atomic.Int64 // chunk padding + edge overfetch kept off the wire
+	OffloadDowngrades atomic.Int64 // targets downgraded to opReadVec (old opcode set)
+
 	// Hist, when non-nil, additionally records every stage observation
 	// into per-stage latency histograms. Left nil (the default), the
 	// pipeline pays only the atomic counter adds above.
@@ -177,6 +186,10 @@ func (p *Pipeline) Snapshot() PipelineSnapshot {
 		PeerServed:        p.PeerServed.Load(),
 		OriginReads:       p.OriginReads.Load(),
 		OriginBytes:       p.OriginBytes.Load(),
+		OffloadCmds:       p.OffloadCmds.Load(),
+		OffloadSamples:    p.OffloadSamples.Load(),
+		OffloadSavedBytes: p.OffloadSavedBytes.Load(),
+		OffloadDowngrades: p.OffloadDowngrades.Load(),
 	}
 }
 
@@ -208,6 +221,10 @@ type PipelineSnapshot struct {
 	PeerServed        int64
 	OriginReads       int64
 	OriginBytes       int64
+	OffloadCmds       int64
+	OffloadSamples    int64
+	OffloadSavedBytes int64
+	OffloadDowngrades int64
 }
 
 // CoalesceRatio reports chunk segments per wire read — 1.0 means no
@@ -253,6 +270,10 @@ func (s PipelineSnapshot) String() string {
 	if s.PeerHits+s.PeerFallbacks+s.PeerServed+s.OriginReads > 0 {
 		line += fmt.Sprintf(" reads local/peer/origin=%d/%d/%d peer_fallbacks=%d peer_served=%d origin_bytes=%d",
 			s.CacheHits, s.PeerHits, s.OriginReads, s.PeerFallbacks, s.PeerServed, s.OriginBytes)
+	}
+	if s.OffloadCmds+s.OffloadDowngrades > 0 {
+		line += fmt.Sprintf(" offload cmds/samples=%d/%d saved_bytes=%d downgrades=%d",
+			s.OffloadCmds, s.OffloadSamples, s.OffloadSavedBytes, s.OffloadDowngrades)
 	}
 	return line
 }

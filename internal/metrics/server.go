@@ -24,6 +24,12 @@ type Server struct {
 	StagedBytes   atomic.Int64 // read payload copied through the pool
 	Restaged      atomic.Int64 // views invalidated by a write epoch change
 
+	// Near-data sample assembly (opReadSamples).
+	SampleCmds       atomic.Int64 // offload commands served
+	AssembledSamples atomic.Int64 // sample records assembled by them
+	AssembledBytes   atomic.Int64 // post-transform record bytes flushed
+	TransformNanos   atomic.Int64 // time inside the per-sample transform stage
+
 	// Hist, when non-nil, additionally records per-stage latency
 	// distributions. Left nil (the default), the engine pays only the
 	// atomic counter adds above.
@@ -91,6 +97,14 @@ func (s *Server) ObserveFlush(d time.Duration) {
 	}
 }
 
+// ObserveTransform accounts time spent in one command's per-sample
+// transform stage (zero for TransformNone).
+func (s *Server) ObserveTransform(d time.Duration) {
+	if d > 0 {
+		s.TransformNanos.Add(int64(d))
+	}
+}
+
 // Snapshot returns a point-in-time copy for reporting. When stage
 // histograms are enabled the snapshot carries them in Stages.
 func (s *Server) Snapshot() ServerSnapshot {
@@ -108,6 +122,11 @@ func (s *Server) Snapshot() ServerSnapshot {
 		ZeroCopyBytes:  s.ZeroCopyBytes.Load(),
 		StagedBytes:    s.StagedBytes.Load(),
 		Restaged:       s.Restaged.Load(),
+
+		SampleCmds:       s.SampleCmds.Load(),
+		AssembledSamples: s.AssembledSamples.Load(),
+		AssembledBytes:   s.AssembledBytes.Load(),
+		TransformNanos:   s.TransformNanos.Load(),
 	}
 }
 
@@ -123,6 +142,11 @@ type ServerSnapshot struct {
 	ZeroCopyBytes  int64
 	StagedBytes    int64
 	Restaged       int64
+
+	SampleCmds       int64
+	AssembledSamples int64
+	AssembledBytes   int64
+	TransformNanos   int64
 }
 
 // FlushBatch reports completions per writev — 1.0 means no batching,
@@ -146,9 +170,14 @@ func (s ServerSnapshot) ZeroCopyShare() float64 {
 // String renders the snapshot as a stats line: per-stage time, then the
 // batching and zero-copy efficiency figures.
 func (s ServerSnapshot) String() string {
-	return fmt.Sprintf(
+	line := fmt.Sprintf(
 		"qwait=%v service=%v flush=%v writevs=%d batch=%.1f cmds/flush zero-copy=%s staged=%s (%.0f%% zero-copy) restaged=%d",
 		time.Duration(s.QueueWaitNanos), time.Duration(s.ServiceNanos), time.Duration(s.FlushNanos),
 		s.Flushes, s.FlushBatch(),
 		HumanBytes(s.ZeroCopyBytes), HumanBytes(s.StagedBytes), 100*s.ZeroCopyShare(), s.Restaged)
+	if s.SampleCmds > 0 {
+		line += fmt.Sprintf(" assembly cmds=%d samples=%d bytes=%s xform=%v",
+			s.SampleCmds, s.AssembledSamples, HumanBytes(s.AssembledBytes), time.Duration(s.TransformNanos))
+	}
+	return line
 }

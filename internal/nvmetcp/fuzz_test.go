@@ -66,3 +66,67 @@ func FuzzReadCapsule(f *testing.F) {
 		}
 	})
 }
+
+// FuzzSampleListFrame throws arbitrary bytes at the opReadSamples
+// request decoder: it must never panic, never allocate past the
+// descriptor cap, and anything it accepts must satisfy every invariant
+// it promises (valid transform, bounded count, positive lengths,
+// response under the payload cap) and re-encode byte-identically.
+func FuzzSampleListFrame(f *testing.F) {
+	good := make([]byte, sampleHdrSize+2*sampleDescSize)
+	encodeSampleList(good, TransformCRC32C, []vecSeg{{off: 0, n: 4096}, {off: 1 << 20, n: 40 << 10}})
+	f.Add(good)
+	f.Add([]byte{})
+	f.Add([]byte{TransformNone, 1, 0, 0, 0})          // count promises a desc the frame lacks
+	f.Add(append([]byte(nil), good[:len(good)-3]...)) // truncated mid-descriptor
+
+	overCount := append([]byte(nil), good...)
+	binary.LittleEndian.PutUint32(overCount[1:5], 0xFFFFFFFF) // count would wrap the alloc
+	f.Add(overCount)
+
+	zeroLen := append([]byte(nil), good...)
+	binary.LittleEndian.PutUint32(zeroLen[sampleHdrSize+8:], 0) // zero-length record
+	f.Add(zeroLen)
+
+	negLen := append([]byte(nil), good...)
+	binary.LittleEndian.PutUint32(negLen[sampleHdrSize+8:], 0x80000000) // int32-negative record
+	f.Add(negLen)
+
+	badXform := append([]byte(nil), good...)
+	badXform[0] = numTransforms
+	f.Add(badXform)
+
+	huge := make([]byte, sampleHdrSize+2*sampleDescSize)
+	encodeSampleList(huge, TransformNone, []vecSeg{
+		{off: 0, n: uint32(maxPayload/2 + 1)}, {off: 0, n: uint32(maxPayload/2 + 1)},
+	}) // total past the payload cap
+	f.Add(huge)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		xform, segs, total, err := decodeSampleList(data)
+		if err != nil {
+			return
+		}
+		if !TransformValid(xform) {
+			t.Fatalf("accepted transform %d", xform)
+		}
+		if len(segs) == 0 || len(segs) > MaxSampleDescs {
+			t.Fatalf("accepted %d descriptors", len(segs))
+		}
+		sum := 0
+		for i, s := range segs {
+			if s.n == 0 || int32(s.n) < 0 {
+				t.Fatalf("accepted record %d length %d", i, int32(s.n))
+			}
+			sum += int(s.n)
+		}
+		if sum != total || total+4*len(segs) > maxPayload {
+			t.Fatalf("total %d (sum %d) escapes the payload cap", total, sum)
+		}
+		// Accepted frames must re-encode byte-identically.
+		again := make([]byte, sampleHdrSize+len(segs)*sampleDescSize)
+		if n := encodeSampleList(again, xform, segs); !bytes.Equal(again[:n], data) {
+			t.Fatal("re-encode diverged from accepted frame")
+		}
+	})
+}

@@ -52,9 +52,12 @@ type compl struct {
 // contract of the paper's pipeline: payloads land in their cache chunks,
 // never in a transient allocation.
 type pendingCmd struct {
-	ch  chan compl
-	dst []byte // single-read destination
-	vec []Seg  // vectored-read destinations, scattered in order
+	ch   chan compl
+	dst  []byte      // single-read destination
+	vec  []Seg       // vectored-read destinations, scattered in order
+	smp  []SampleSeg // sample-mode destinations (opReadSamples)
+	lens []int       // caller-owned per-record landed lengths (may be nil)
+	op   byte        // opcode, for typed remote-status mapping
 }
 
 // pcPool recycles pendingCmds (and their 1-buffered channels) so the
@@ -67,7 +70,7 @@ var pcPool = sync.Pool{New: func() any { return &pendingCmd{ch: make(chan compl,
 func getPending() *pendingCmd { return pcPool.Get().(*pendingCmd) }
 
 func putPending(pc *pendingCmd) {
-	pc.dst, pc.vec = nil, nil
+	pc.dst, pc.vec, pc.smp, pc.lens, pc.op = nil, nil, nil, nil, 0
 	pcPool.Put(pc)
 }
 
@@ -237,15 +240,56 @@ func (in *Initiator) receiveLoop() {
 		remaining := n
 		landed := 0
 		var rerr error
+		var serr error // semantic sample-frame violation; stream stays framed
 		if ok && status == statusOK {
-			if pc.dst != nil {
+			switch {
+			case pc.dst != nil:
 				k := min(len(pc.dst), remaining)
 				if k > 0 {
 					_, rerr = io.ReadFull(in.conn, pc.dst[:k])
 					landed += k
 					remaining -= k
 				}
-			} else {
+			case pc.smp != nil:
+				// Sample-mode response: a count×u32 length block, then the
+				// transformed records in request order. A record length
+				// exceeding its destination (or the frame) is a semantic
+				// error — scattering stops and the remainder drains through
+				// scratch below, so the connection survives the bad frame.
+				cnt := len(pc.smp)
+				lb := 4 * cnt
+				if remaining < lb {
+					serr = fmt.Errorf("%w: sample response %d bytes before %d-record length block",
+						ErrRemote, remaining, cnt)
+					break
+				}
+				lbuf := bufpool.Shared.Get(lb)
+				if _, rerr = io.ReadFull(in.conn, lbuf); rerr != nil {
+					bufpool.Shared.Put(lbuf)
+					break
+				}
+				remaining -= lb
+				for i := 0; i < cnt && rerr == nil; i++ {
+					l := int(binary.LittleEndian.Uint32(lbuf[4*i:]))
+					if l > len(pc.smp[i].Dst) || l > remaining {
+						serr = fmt.Errorf("%w: record %d length %d (dst %d, frame %d)",
+							ErrRemote, i, l, len(pc.smp[i].Dst), remaining)
+						break
+					}
+					if pc.lens != nil {
+						pc.lens[i] = l
+					}
+					if l > 0 {
+						_, rerr = io.ReadFull(in.conn, pc.smp[i].Dst[:l])
+						landed += l
+						remaining -= l
+					}
+				}
+				if serr == nil && rerr == nil && remaining != 0 {
+					serr = fmt.Errorf("%w: %d stray bytes after %d records", ErrRemote, remaining, cnt)
+				}
+				bufpool.Shared.Put(lbuf)
+			default:
 				for i := 0; i < len(pc.vec) && remaining > 0 && rerr == nil; i++ {
 					d := pc.vec[i].Dst
 					k := min(len(d), remaining)
@@ -271,7 +315,7 @@ func (in *Initiator) receiveLoop() {
 			return
 		}
 		if ok {
-			pc.ch <- compl{status: status, n: landed}
+			pc.ch <- compl{status: status, n: landed, err: serr}
 		}
 	}
 }
@@ -297,6 +341,7 @@ func (in *Initiator) submit(req *capsule, pc *pendingCmd) (uint64, error) {
 	}
 	in.nextID++
 	req.cmdID = in.nextID
+	pc.op = req.opcode
 	in.pending[req.cmdID] = pc
 	in.mu.Unlock()
 
@@ -371,7 +416,13 @@ func (in *Initiator) finish(c compl, ok bool, pc *pendingCmd, id uint64) (int, e
 		return 0, c.err
 	}
 	if c.status != statusOK {
+		op := pc.op
 		putPending(pc)
+		if c.status == statusBadOp && op == opReadSamples {
+			// statusBadOp on this opcode can only mean a target that does
+			// not speak it: surface the typed downgrade signal.
+			return 0, &UnsupportedOpError{Opcode: op}
+		}
 		return 0, fmt.Errorf("%w: status %d for command %d", ErrRemote, c.status, id)
 	}
 	n := c.n
@@ -450,6 +501,75 @@ func (in *Initiator) ReadVecAsync(segs []Seg) (*Pending, error) {
 // ReadVec performs a synchronous vectored read.
 func (in *Initiator) ReadVec(segs []Seg) (int, error) {
 	pd, err := in.ReadVecAsync(segs)
+	if err != nil {
+		return 0, err
+	}
+	return pd.Wait()
+}
+
+// UnsupportedOpError reports a target that rejected a capsule opcode
+// with statusBadOp — an old target behind a new client during a rolling
+// upgrade. It unwraps to ErrRemote so it is never retried; callers
+// downgrade to an older opcode instead.
+type UnsupportedOpError struct{ Opcode byte }
+
+func (e *UnsupportedOpError) Error() string {
+	return fmt.Sprintf("nvmetcp: opcode %d unsupported by target", e.Opcode)
+}
+
+func (e *UnsupportedOpError) Unwrap() error { return ErrRemote }
+
+// SampleSeg describes one record of a server-assembled read
+// (opReadSamples): N stored bytes at Off, transformed target-side, its
+// output landing in Dst. Dst must hold TransformOutLen(xform, N) bytes
+// for fixed-size transforms, or the expansion bound for TransformFlate.
+type SampleSeg struct {
+	Dst []byte
+	Off int64
+	N   int
+}
+
+// ReadSamplesAsync submits one opReadSamples offload command: the
+// target assembles every described record from its extents, applies the
+// transform, and responds with exactly the post-transform bytes, which
+// scatter directly into the segments' Dst buffers. lens, when non-nil,
+// must have len(segs) entries; the receive loop fills it with each
+// record's landed length (needed by size-changing transforms). A target
+// that does not speak the opcode completes with *UnsupportedOpError.
+func (in *Initiator) ReadSamplesAsync(xform byte, segs []SampleSeg, lens []int) (*Pending, error) {
+	if len(segs) == 0 || len(segs) > MaxSampleDescs {
+		return nil, fmt.Errorf("nvmetcp: sample read of %d records", len(segs))
+	}
+	if !TransformValid(xform) {
+		return nil, fmt.Errorf("nvmetcp: unknown transform %d", xform)
+	}
+	if lens != nil && len(lens) != len(segs) {
+		return nil, fmt.Errorf("nvmetcp: lens holds %d of %d records", len(lens), len(segs))
+	}
+	pay := bufpool.Shared.Get(sampleHdrSize + sampleDescSize*len(segs))
+	pay[0] = xform
+	binary.LittleEndian.PutUint32(pay[1:5], uint32(len(segs)))
+	p := sampleHdrSize
+	for _, s := range segs {
+		binary.LittleEndian.PutUint64(pay[p:p+8], uint64(s.Off))
+		binary.LittleEndian.PutUint32(pay[p+8:p+12], uint32(s.N))
+		p += sampleDescSize
+	}
+	pc := getPending()
+	pc.smp = segs
+	pc.lens = lens
+	id, err := in.submit(&capsule{opcode: opReadSamples, payload: pay[:p]}, pc)
+	bufpool.Shared.Put(pay) // frame fully written (or failed) by now
+	if err != nil {
+		return nil, err
+	}
+	return &Pending{in: in, pc: pc, id: id}, nil
+}
+
+// ReadSamples performs a synchronous server-assembled read, returning
+// the total payload bytes landed.
+func (in *Initiator) ReadSamples(xform byte, segs []SampleSeg, lens []int) (int, error) {
+	pd, err := in.ReadSamplesAsync(xform, segs, lens)
 	if err != nil {
 		return 0, err
 	}

@@ -34,13 +34,18 @@ const (
 	opWrite
 	opFlushStats
 	opReadVec
+	opReadSamples
 )
 
-// Status codes.
+// Status codes. statusBadOp is reserved for "opcode unknown to this
+// target" so a new client can detect an old target and downgrade;
+// malformed opReadSamples payloads are statusRange and transform
+// failures are statusXform.
 const (
 	statusOK byte = iota
 	statusRange
 	statusBadOp
+	statusXform
 )
 
 // capsuleHeaderSize is the fixed frame header length.
@@ -184,4 +189,84 @@ func decodeVec(payload []byte) ([]vecSeg, int, error) {
 		p += vecSegSize
 	}
 	return segs, total, nil
+}
+
+// Sample-list encoding (opReadSamples, the near-data assembly opcode).
+// A request payload is
+//
+//	transform(u8) | count(u32) | count × (offset(u64) | length(u32))
+//
+// where each descriptor names one stored sample record and the
+// transform ID selects the per-sample server-side stage (TransformNone,
+// TransformCRC32C, ...). A successful response payload is
+//
+//	count × outLen(u32) | records
+//
+// — a length block giving every record's post-transform size in request
+// order, followed by the transformed records concatenated in the same
+// order. The length block lets size-changing transforms
+// (flate-decompress, stride-subsample) stay self-describing while the
+// target still flushes the whole response as one vectored write: the
+// pooled length block plus zero-copy extent views.
+
+// sampleHdrSize is the fixed request prefix before the descriptors.
+const sampleHdrSize = 5
+
+// sampleDescSize is the wire size of one (offset, length) descriptor.
+const sampleDescSize = 12
+
+// MaxSampleDescs bounds descriptors per opReadSamples command, enforced
+// before any allocation on the target. Clients split larger fetch
+// groups across commands.
+const MaxSampleDescs = 4096
+
+// encodeSampleList frames a request payload into dst
+// (len >= sampleHdrSize + len(segs)*sampleDescSize) and returns the
+// encoded length.
+func encodeSampleList(dst []byte, xform byte, segs []vecSeg) int {
+	dst[0] = xform
+	binary.LittleEndian.PutUint32(dst[1:5], uint32(len(segs)))
+	p := sampleHdrSize
+	for _, s := range segs {
+		binary.LittleEndian.PutUint64(dst[p:p+8], s.off)
+		binary.LittleEndian.PutUint32(dst[p+8:p+12], s.n)
+		p += sampleDescSize
+	}
+	return p
+}
+
+// decodeSampleList parses an opReadSamples request payload. Every bound
+// — descriptor count, per-record length, total stored bytes plus the
+// response length block — is enforced before the descriptor slice is
+// allocated, so a corrupt count cannot drive a huge allocation.
+func decodeSampleList(payload []byte) (xform byte, segs []vecSeg, total int, err error) {
+	if len(payload) < sampleHdrSize {
+		return 0, nil, 0, ErrShortFrame
+	}
+	xform = payload[0]
+	if xform >= numTransforms {
+		return 0, nil, 0, fmt.Errorf("nvmetcp: unknown transform %d", xform)
+	}
+	n := int(binary.LittleEndian.Uint32(payload[1:5]))
+	if n <= 0 || n > MaxSampleDescs || len(payload) != sampleHdrSize+n*sampleDescSize {
+		return 0, nil, 0, fmt.Errorf("%w: sample count %d payload %d", ErrShortFrame, n, len(payload))
+	}
+	segs = make([]vecSeg, n)
+	p := sampleHdrSize
+	for i := 0; i < n; i++ {
+		segs[i] = vecSeg{
+			off: binary.LittleEndian.Uint64(payload[p : p+8]),
+			n:   binary.LittleEndian.Uint32(payload[p+8 : p+12]),
+		}
+		ln := segs[i].n
+		if ln == 0 || int32(ln) < 0 {
+			return 0, nil, 0, fmt.Errorf("%w: sample %d length %d", ErrShortFrame, i, int32(ln))
+		}
+		total += int(ln)
+		if total+4*n > maxPayload {
+			return 0, nil, 0, fmt.Errorf("%w: sample response %d bytes", ErrTooLarge, total+4*n)
+		}
+		p += sampleDescSize
+	}
+	return xform, segs, total, nil
 }

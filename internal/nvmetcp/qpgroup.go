@@ -75,6 +75,12 @@ func (g *QPGroup) ReadVecAsync(segs []Seg) (*RePending, error) {
 	return g.pick().ReadVecAsync(segs)
 }
 
+// ReadSamplesAsync submits a pipelined server-assembled read on the
+// next queue pair.
+func (g *QPGroup) ReadSamplesAsync(xform byte, segs []SampleSeg, lens []int) (*RePending, error) {
+	return g.pick().ReadSamplesAsync(xform, segs, lens)
+}
+
 // Close tears down every queue pair, returning the first error.
 func (g *QPGroup) Close() error {
 	var err error

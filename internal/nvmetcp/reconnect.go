@@ -217,16 +217,34 @@ func (r *Reconnector) ReadVec(segs []Seg) (int, error) {
 	return n, err
 }
 
+// ReadSamples performs a synchronous server-assembled read
+// (opReadSamples), retrying per policy. Record reads are stateless, so
+// re-landing transformed output in the same destinations is safe. An
+// *UnsupportedOpError is not retryable and returns immediately — the
+// caller's downgrade signal.
+func (r *Reconnector) ReadSamples(xform byte, segs []SampleSeg, lens []int) (int, error) {
+	var n int
+	err := r.do(func(in *Initiator) error {
+		var e error
+		n, e = in.ReadSamples(xform, segs, lens)
+		return e
+	})
+	return n, err
+}
+
 // RePending is an in-flight asynchronous read through a Reconnector.
 // Wait falls back to the retrying synchronous path when the pipelined
 // submission failed or its completion is lost.
 type RePending struct {
-	r    *Reconnector
-	in   *Initiator
-	pd   *Pending
-	dst  []byte
-	off  int64
-	segs []Seg // non-nil for vectored reads
+	r     *Reconnector
+	in    *Initiator
+	pd    *Pending
+	dst   []byte
+	off   int64
+	segs  []Seg       // non-nil for vectored reads
+	smp   []SampleSeg // non-nil for server-assembled reads
+	lens  []int
+	xform byte
 }
 
 // ReadAsync submits a pipelined read. A retryable submission failure is
@@ -242,6 +260,13 @@ func (r *Reconnector) ReadAsync(dst []byte, off int64) (*RePending, error) {
 func (r *Reconnector) ReadVecAsync(segs []Seg) (*RePending, error) {
 	rp := &RePending{r: r, segs: segs}
 	return r.startAsync(rp, func(in *Initiator) (*Pending, error) { return in.ReadVecAsync(segs) })
+}
+
+// ReadSamplesAsync submits a pipelined server-assembled read. Retryable
+// failures recover in Wait via the reconnecting ReadSamples.
+func (r *Reconnector) ReadSamplesAsync(xform byte, segs []SampleSeg, lens []int) (*RePending, error) {
+	rp := &RePending{r: r, smp: segs, lens: lens, xform: xform}
+	return r.startAsync(rp, func(in *Initiator) (*Pending, error) { return in.ReadSamplesAsync(xform, segs, lens) })
 }
 
 func (r *Reconnector) startAsync(rp *RePending, start func(*Initiator) (*Pending, error)) (*RePending, error) {
@@ -276,6 +301,9 @@ func (rp *RePending) Wait() (int, error) {
 		rp.pd = nil
 	}
 	rp.r.counters.Retries.Add(1)
+	if rp.smp != nil {
+		return rp.r.ReadSamples(rp.xform, rp.smp, rp.lens)
+	}
 	if rp.segs != nil {
 		return rp.r.ReadVec(rp.segs)
 	}

@@ -2,6 +2,7 @@ package nvmetcp
 
 import (
 	"bufio"
+	"encoding/binary"
 	"errors"
 	"log"
 	"net"
@@ -53,6 +54,11 @@ type Config struct {
 	// per command, staged payloads, one mutex-serialised socket write
 	// per completion. Kept as the benchmark baseline only.
 	PerCmdGoroutines bool
+
+	// LegacyOps rejects opReadSamples with statusBadOp, emulating a
+	// pre-offload target in rolling-upgrade tests: a new client must
+	// downgrade to opReadVec against such a target, never fail.
+	LegacyOps bool
 }
 
 func (c Config) withDefaults() Config {
@@ -123,6 +129,7 @@ type completion struct {
 	hdr    []byte
 	view   [][]byte // segments aliasing store memory (reads, zero-copy)
 	staged []byte   // pooled copy (writes staged mode / view fallback)
+	aux    []byte   // pooled length block leading view (opReadSamples)
 	epoch  uint64   // store write epoch when view was captured
 	off    uint64   // request offset, for view re-staging
 	vsegs  []vecSeg // vectored request segments, for view re-staging
@@ -398,7 +405,10 @@ func recycleCompletion(c *completion) {
 	if c.staged != nil {
 		bufpool.Shared.Put(c.staged)
 	}
-	c.hdr, c.staged, c.view = nil, nil, nil
+	if c.aux != nil {
+		bufpool.Shared.Put(c.aux)
+	}
+	c.hdr, c.staged, c.view, c.aux = nil, nil, nil, nil
 }
 
 // restage replaces a completion's zero-copy view with a pooled copy read
@@ -409,6 +419,11 @@ func (t *Target) restage(c *completion) {
 	buf := bufpool.Shared.Get(c.n)
 	if c.vsegs != nil {
 		pos := 0
+		// Sample-mode views lead with a pooled length block; it carries
+		// request-derived sizes, not store bytes, so it copies verbatim.
+		if c.aux != nil {
+			pos = copy(buf, c.aux)
+		}
 		for _, s := range c.vsegs {
 			t.store.ReadAt(buf[pos:pos+int(s.n)], int64(s.off)) //nolint:errcheck
 			pos += int(s.n)
@@ -419,6 +434,95 @@ func (t *Target) restage(c *completion) {
 	c.view = nil
 	c.staged = buf
 	t.srv.Restaged.Add(1)
+}
+
+// assembleStaged builds an opReadSamples response — length block plus
+// transformed records — in one pooled staged buffer. Records are read
+// through the store's seqlock (ReadAt), so transformed output cannot
+// tear and never needs re-staging. Returns the buffer, its byte count,
+// and a status.
+func (t *Target) assembleStaged(xform byte, segs []vecSeg) ([]byte, int, byte) {
+	lb := 4 * len(segs)
+	var xt time.Duration
+	if TransformOutLen(xform, 0) >= 0 {
+		// Fixed output size: transform straight into the response buffer.
+		outTotal := 0
+		for _, s := range segs {
+			outTotal += TransformOutLen(xform, int(s.n))
+		}
+		if lb+outTotal > maxPayload {
+			return nil, 0, statusRange
+		}
+		buf := bufpool.Shared.Get(lb + outTotal)
+		pos := lb
+		for i, s := range segs {
+			n := int(s.n)
+			outn := n
+			if xform == TransformNone {
+				if _, err := t.store.ReadAt(buf[pos:pos+n], int64(s.off)); err != nil {
+					bufpool.Shared.Put(buf)
+					return nil, 0, statusRange
+				}
+			} else {
+				src := bufpool.Shared.Get(n)
+				if _, err := t.store.ReadAt(src, int64(s.off)); err != nil {
+					bufpool.Shared.Put(src)
+					bufpool.Shared.Put(buf)
+					return nil, 0, statusRange
+				}
+				outn = TransformOutLen(xform, n)
+				start := time.Now()
+				err := transformInto(xform, src, buf[pos:pos+outn])
+				xt += time.Since(start)
+				bufpool.Shared.Put(src)
+				if err != nil {
+					bufpool.Shared.Put(buf)
+					return nil, 0, statusXform
+				}
+			}
+			binary.LittleEndian.PutUint32(buf[4*i:], uint32(outn))
+			pos += outn
+		}
+		t.srv.ObserveTransform(xt)
+		return buf, pos, statusOK
+	}
+	// Data-dependent output (flate): transform each record into pooled
+	// scratch first, then gather into the response buffer.
+	outs := make([][]byte, 0, len(segs))
+	free := func() {
+		for _, o := range outs {
+			bufpool.Shared.Put(o)
+		}
+	}
+	outTotal := 0
+	for _, s := range segs {
+		n := int(s.n)
+		src := bufpool.Shared.Get(n)
+		if _, err := t.store.ReadAt(src, int64(s.off)); err != nil {
+			bufpool.Shared.Put(src)
+			free()
+			return nil, 0, statusRange
+		}
+		start := time.Now()
+		out, err := transformAlloc(xform, src, maxPayload-lb-outTotal, bufpool.Shared.Get)
+		xt += time.Since(start)
+		bufpool.Shared.Put(src)
+		if err != nil {
+			free()
+			return nil, 0, statusXform
+		}
+		outs = append(outs, out)
+		outTotal += len(out)
+	}
+	t.srv.ObserveTransform(xt)
+	buf := bufpool.Shared.Get(lb + outTotal)
+	pos := lb
+	for i, out := range outs {
+		binary.LittleEndian.PutUint32(buf[4*i:], uint32(len(out)))
+		pos += copy(buf[pos:], out)
+	}
+	free()
+	return buf, pos, statusOK
 }
 
 // readLen decodes a read command's 4-byte little-endian length payload,
@@ -516,6 +620,57 @@ func (t *Target) execute(req *capsule, zeroCopy bool) completion {
 		t.bytes.Add(int64(total))
 		t.vecReads.Add(1)
 		t.vecSegs.Add(int64(len(segs)))
+	case opReadSamples:
+		if t.cfg.LegacyOps {
+			// Emulated pre-offload target: the opcode is unknown here.
+			status = statusBadOp
+			break
+		}
+		xform, segs, total, err := decodeSampleList(req.payload)
+		if err != nil {
+			if len(req.payload) >= sampleHdrSize && !TransformValid(req.payload[0]) {
+				status = statusXform
+			} else {
+				status = statusRange
+			}
+			break
+		}
+		count := len(segs)
+		lb := 4 * count
+		if xform == TransformNone && zeroCopy {
+			// Assemble straight from seqlock extent views: the length
+			// block is the only copied byte in the whole response.
+			aux := bufpool.Shared.Get(lb)
+			epoch := t.store.WriteEpoch()
+			view := [][]byte{aux}
+			for i, s := range segs {
+				binary.LittleEndian.PutUint32(aux[4*i:], s.n)
+				if view, _, err = t.store.View(int64(s.off), int(s.n), view); err != nil {
+					status = statusRange
+					break
+				}
+			}
+			if status != statusOK {
+				bufpool.Shared.Put(aux)
+				break
+			}
+			comp.view, comp.epoch, comp.vsegs, comp.aux = view, epoch, segs, aux
+			comp.n = lb + total
+			t.srv.ZeroCopyBytes.Add(int64(total))
+		} else {
+			out, n, st := t.assembleStaged(xform, segs)
+			if st != statusOK {
+				status = st
+				break
+			}
+			comp.staged = out
+			comp.n = n
+			t.srv.StagedBytes.Add(int64(n))
+		}
+		t.srv.SampleCmds.Add(1)
+		t.srv.AssembledSamples.Add(int64(count))
+		t.srv.AssembledBytes.Add(int64(comp.n - lb))
+		t.bytes.Add(int64(comp.n))
 	case opWrite:
 		if _, err := t.store.WriteAt(req.payload, int64(req.offset)); err != nil {
 			status = statusRange

@@ -39,6 +39,10 @@ func WriteServerSnapshot(w io.Writer, s metrics.ServerSnapshot, labels ...Label)
 	WriteCounter(w, "dlfs_server_zero_copy_bytes_total", "Read payload served as store views.", s.ZeroCopyBytes, labels...)
 	WriteCounter(w, "dlfs_server_staged_bytes_total", "Read payload copied through the pool.", s.StagedBytes, labels...)
 	WriteCounter(w, "dlfs_server_restaged_total", "Views invalidated by a write epoch change.", s.Restaged, labels...)
+	WriteCounter(w, "dlfs_server_sample_cmds_total", "opReadSamples offload commands served.", s.SampleCmds, labels...)
+	WriteCounter(w, "dlfs_server_assembled_samples_total", "Records assembled near-data for offload commands.", s.AssembledSamples, labels...)
+	WriteCounter(w, "dlfs_server_assembled_bytes_total", "Post-transform record bytes returned by offload commands.", s.AssembledBytes, labels...)
+	WriteGauge(w, "dlfs_server_transform_seconds_total", "Cumulative server-side transform time.", float64(s.TransformNanos)/1e9, labels...)
 	WriteGauge(w, "dlfs_server_qwait_seconds_total", "Cumulative RPQ residency.", float64(s.QueueWaitNanos)/1e9, labels...)
 	WriteGauge(w, "dlfs_server_service_seconds_total", "Cumulative command execution time.", float64(s.ServiceNanos)/1e9, labels...)
 	WriteGauge(w, "dlfs_server_flush_seconds_total", "Cumulative completion flush time.", float64(s.FlushNanos)/1e9, labels...)
@@ -101,6 +105,10 @@ func PipelineCollector(client string, snap func() metrics.PipelineSnapshot) func
 		WriteCounter(w, "dlfs_client_peer_bytes_total", "Bytes served by peers.", s.PeerBytes, lbl...)
 		WriteCounter(w, "dlfs_client_peer_fallbacks_total", "Peer fetches that failed over to origin.", s.PeerFallbacks, lbl...)
 		WriteCounter(w, "dlfs_client_peer_served_total", "Samples this rank served to its peers.", s.PeerServed, lbl...)
+		WriteCounter(w, "dlfs_client_offload_cmds_total", "opReadSamples offload commands posted.", s.OffloadCmds, lbl...)
+		WriteCounter(w, "dlfs_client_offload_samples_total", "Samples assembled server-side instead of copied client-side.", s.OffloadSamples, lbl...)
+		WriteCounter(w, "dlfs_client_offload_saved_bytes_total", "Chunk bytes that never crossed the wire thanks to server assembly.", s.OffloadSavedBytes, lbl...)
+		WriteCounter(w, "dlfs_client_offload_downgrades_total", "Targets downgraded to opReadVec after rejecting opReadSamples.", s.OffloadDowngrades, lbl...)
 		WriteCounter(w, "dlfs_client_origin_reads_total", "ReadSample misses served from the origin target.", s.OriginReads, lbl...)
 		WriteCounter(w, "dlfs_client_origin_bytes_total", "Bytes pulled from origin targets by ReadSample.", s.OriginBytes, lbl...)
 		WriteGauge(w, "dlfs_client_prep_seconds_total", "Cumulative prep stage time.", float64(s.PrepNanos)/1e9, lbl...)

@@ -20,6 +20,11 @@
 //	                           # near-data assembly bench: cold-epoch wire
 //	                           # bytes and throughput, opReadVec baseline
 //	                           # vs server assembly on an edge-heavy layout
+//	dlfsbench -tenants -json BENCH_TENANTS.json
+//	                           # multi-tenant isolation bench: a paced
+//	                           # victim's queue-wait p99 solo vs under a
+//	                           # greedy quota-capped co-tenant; fails if
+//	                           # contention inflates it past the bound
 package main
 
 import (
@@ -72,7 +77,8 @@ func main() {
 	liveBench := flag.Bool("live", false, "run the live TCP epoch bench instead of the figures")
 	peerBench := flag.Bool("peers", false, "run the multi-rank peer-cache wire bench instead of the figures")
 	offloadBench := flag.Bool("offload", false, "run the near-data sample-assembly wire bench instead of the figures")
-	jsonOut := flag.String("json", "", "bench JSON report path (- for stdout; default BENCH_7.json / BENCH_PEERS.json / BENCH_8.json)")
+	tenantBench := flag.Bool("tenants", false, "run the multi-tenant isolation bench instead of the figures")
+	jsonOut := flag.String("json", "", "bench JSON report path (- for stdout; default BENCH_7.json / BENCH_PEERS.json / BENCH_8.json / BENCH_TENANTS.json)")
 	flag.Parse()
 
 	if *liveBench {
@@ -103,6 +109,17 @@ func main() {
 			out = "BENCH_8.json"
 		}
 		if err := runOffloadBench(out, *scale); err != nil {
+			fmt.Fprintln(os.Stderr, "dlfsbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *tenantBench {
+		out := *jsonOut
+		if out == "" {
+			out = "BENCH_TENANTS.json"
+		}
+		if err := runTenantBench(out, *scale); err != nil {
 			fmt.Fprintln(os.Stderr, "dlfsbench:", err)
 			os.Exit(1)
 		}

@@ -1,0 +1,367 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"dlfs/internal/blockdev"
+	"dlfs/internal/metrics"
+	"dlfs/internal/nvmetcp"
+)
+
+// The tenant bench measures what the target's deficit-round-robin
+// scheduler and per-tenant quotas buy a well-behaved tenant: a paced
+// victim issues small reads while a greedy co-tenant pipelines large
+// reads as fast as the target's quota lets it. The isolation signal is
+// the victim's server-side queue-wait p99 — under the old single FIFO
+// the victim's commands would park behind the greedy backlog; under
+// per-tenant queues they wait only behind the victim's own (empty)
+// queue plus at most one DRR interleave per worker. The JSON report
+// (BENCH_TENANTS.json in CI) records the victim's p99 solo and under
+// contention; the run fails unless the contended p99 stays within
+// Bound x solo (with a small absolute floor to absorb scheduling
+// noise), so a regression back toward FIFO behaviour fails the gate.
+
+type tenantScenarioJSON struct {
+	Scenario        string  `json:"scenario"`
+	VictimCmds      int64   `json:"victim_cmds"`
+	VictimQwaitP50  float64 `json:"victim_qwait_p50_ms"`
+	VictimQwaitP99  float64 `json:"victim_qwait_p99_ms"`
+	VictimThrottled int64   `json:"victim_throttled"`
+	GreedyCmds      int64   `json:"greedy_cmds"`
+	GreedyBytes     int64   `json:"greedy_bytes"`
+	GreedyThrottled int64   `json:"greedy_throttled"`
+}
+
+type tenantLegacyJSON struct {
+	Cmds          int64 `json:"cmds"`
+	VerifyOK      bool  `json:"verify_ok"`
+	TenantRejects int64 `json:"tenant_rejects"`
+}
+
+type tenantReport struct {
+	Bench  string `json:"bench"`
+	Schema int    `json:"schema_version"`
+	Config struct {
+		Workers           int     `json:"workers"`
+		VictimReadBytes   int     `json:"victim_read_bytes"`
+		GreedyReadBytes   int     `json:"greedy_read_bytes"`
+		PacedReads        int     `json:"paced_reads"`
+		PaceMicros        int     `json:"pace_micros"`
+		TenantBytesPerSec int64   `json:"tenant_bytes_per_sec"`
+		Bound             float64 `json:"bound"`
+		FloorMs           float64 `json:"floor_ms"`
+		Scale             float64 `json:"scale"`
+	} `json:"config"`
+	Solo      tenantScenarioJSON `json:"solo"`
+	Contended tenantScenarioJSON `json:"contended"`
+	Legacy    tenantLegacyJSON   `json:"legacy"`
+	// P99Ratio is contended victim qwait p99 over solo; BoundMs is the
+	// ceiling the contended p99 was held to: max(Bound x solo, FloorMs).
+	P99Ratio float64 `json:"p99_ratio"`
+	BoundMs  float64 `json:"bound_ms"`
+	Isolated bool    `json:"isolated"`
+}
+
+// Bench geometry. The greedy tenant's pipelined megabyte reads would
+// move multiple GiB/s from a memory-backed store; the byte quota caps
+// it far below that so admission control, not the NIC, is what the
+// victim is protected by.
+const (
+	tenantVictimID   = 1
+	tenantGreedyID   = 2
+	tenantWorkers    = 2
+	victimReadBytes  = 64 << 10
+	greedyReadBytes  = 1 << 20
+	greedyWindow     = 16
+	greedyConns      = 2
+	tenantQuotaBPS   = 128 << 20
+	tenantPaceMicros = 2000
+	tenantBound      = 2.0
+	tenantFloorMs    = 2.0
+	tenantStoreBytes = 1 << 28
+)
+
+// newTenantTarget starts one quota-enforcing multi-tenant target.
+func newTenantTarget() (*nvmetcp.Target, string, error) {
+	tgt := nvmetcp.NewTargetConfig(blockdev.New(tenantStoreBytes), nvmetcp.Config{
+		Depth:             64,
+		Workers:           tenantWorkers,
+		MaxTenants:        4,
+		TenantBytesPerSec: tenantQuotaBPS,
+		StageHistograms:   true,
+	})
+	addr, err := tgt.Listen("127.0.0.1:0")
+	if err != nil {
+		return nil, "", err
+	}
+	return tgt, addr, nil
+}
+
+// victimLoop issues pacedReads synchronous small reads, one per pace
+// tick — the well-behaved tenant whose latency the scheduler protects.
+// Its rate (64 KiB / 2 ms = 32 MiB/s) sits far under the byte quota,
+// so any throttle it sees is a bug worth surfacing in the report.
+func victimLoop(in *nvmetcp.Initiator, pacedReads int, pace time.Duration) (cmds, throttled int64, err error) {
+	buf := make([]byte, victimReadBytes)
+	tick := time.NewTicker(pace)
+	defer tick.Stop()
+	off := int64(0)
+	for i := 0; i < pacedReads; i++ {
+		<-tick.C
+		_, rerr := in.ReadAt(buf, off)
+		var te *nvmetcp.ThrottledError
+		switch {
+		case rerr == nil:
+			cmds++
+		case errors.As(rerr, &te):
+			throttled++
+			time.Sleep(te.RetryAfter)
+		default:
+			return cmds, throttled, rerr
+		}
+		off += victimReadBytes
+		if off+victimReadBytes > tenantStoreBytes {
+			off = 0
+		}
+	}
+	return cmds, throttled, nil
+}
+
+// greedyLoop pipelines windows of large reads until stop closes,
+// behaving like a compliant but saturating client: throttles are
+// counted and waited out per the target's retry-after hint.
+func greedyLoop(in *nvmetcp.Initiator, stop <-chan struct{}, cmds, bytes, throttled *int64, mu *sync.Mutex) {
+	bufs := make([][]byte, greedyWindow)
+	for i := range bufs {
+		bufs[i] = make([]byte, greedyReadBytes)
+	}
+	off := int64(0)
+	for {
+		select {
+		case <-stop:
+			return
+		default:
+		}
+		pds := make([]*nvmetcp.Pending, 0, greedyWindow)
+		for i := 0; i < greedyWindow; i++ {
+			pd, err := in.ReadAsync(bufs[i], off)
+			off += greedyReadBytes
+			if off+greedyReadBytes > tenantStoreBytes {
+				off = 0
+			}
+			if err != nil {
+				// Depth pressure on this connection: drain what is
+				// already on the wire and come back.
+				break
+			}
+			pds = append(pds, pd)
+		}
+		var wait time.Duration
+		for _, pd := range pds {
+			n, err := pd.Wait()
+			var te *nvmetcp.ThrottledError
+			switch {
+			case err == nil:
+				mu.Lock()
+				*cmds++
+				*bytes += int64(n)
+				mu.Unlock()
+			case errors.As(err, &te):
+				mu.Lock()
+				*throttled++
+				mu.Unlock()
+				if te.RetryAfter > wait {
+					wait = te.RetryAfter
+				}
+			default:
+				return
+			}
+		}
+		if wait > 0 {
+			time.Sleep(wait)
+		}
+	}
+}
+
+// victimQwait extracts the victim tenant's server-side queue-wait
+// quantiles from the target's per-tenant accounting.
+func victimQwait(tgt *nvmetcp.Target) (p50, p99 time.Duration, cmds int64, err error) {
+	for _, ts := range tgt.TenantStats() {
+		if ts.ID != tenantVictimID {
+			continue
+		}
+		if ts.Server.Stages == nil {
+			return 0, 0, 0, fmt.Errorf("tenant %d has no stage histograms", tenantVictimID)
+		}
+		return ts.Server.Stages.QueueWait.P50(), ts.Server.Stages.QueueWait.P99(), ts.Cmds, nil
+	}
+	return 0, 0, 0, fmt.Errorf("tenant %d served no commands", tenantVictimID)
+}
+
+// runTenantScenario runs the victim against a fresh target, with or
+// without the greedy co-tenant.
+func runTenantScenario(name string, pacedReads int, contended bool) (tenantScenarioJSON, error) {
+	sj := tenantScenarioJSON{Scenario: name}
+	tgt, addr, err := newTenantTarget()
+	if err != nil {
+		return sj, err
+	}
+	defer tgt.Close() //nolint:errcheck
+
+	victim, err := nvmetcp.ConnectOptions(addr, nvmetcp.Options{Tenant: tenantVictimID})
+	if err != nil {
+		return sj, err
+	}
+	defer victim.Close() //nolint:errcheck
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	if contended {
+		var mu sync.Mutex
+		for c := 0; c < greedyConns; c++ {
+			in, err := nvmetcp.ConnectOptions(addr, nvmetcp.Options{Tenant: tenantGreedyID})
+			if err != nil {
+				close(stop)
+				return sj, err
+			}
+			defer in.Close() //nolint:errcheck
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				greedyLoop(in, stop, &sj.GreedyCmds, &sj.GreedyBytes, &sj.GreedyThrottled, &mu)
+			}()
+		}
+		// Let the greedy pipelines fill before the victim starts, so
+		// the victim's whole run sees a loaded target.
+		time.Sleep(50 * time.Millisecond)
+	}
+	_, throttled, err := victimLoop(victim, pacedReads, tenantPaceMicros*time.Microsecond)
+	close(stop)
+	wg.Wait()
+	if err != nil {
+		return sj, fmt.Errorf("victim: %w", err)
+	}
+	sj.VictimThrottled = throttled
+	p50, p99, cmds, err := victimQwait(tgt)
+	if err != nil {
+		return sj, err
+	}
+	sj.VictimCmds = cmds
+	sj.VictimQwaitP50 = float64(p50) / 1e6
+	sj.VictimQwaitP99 = float64(p99) / 1e6
+	return sj, nil
+}
+
+// runTenantLegacy drives a default-options client (tenant 0 on the
+// wire, exactly what every pre-tenant initiator sends) through a
+// write/read/verify pass against the same multi-tenant target config:
+// legacy clients must keep working unchanged, with zero tenant rejects.
+func runTenantLegacy(pacedReads int) (tenantLegacyJSON, error) {
+	lj := tenantLegacyJSON{VerifyOK: true}
+	tgt, addr, err := newTenantTarget()
+	if err != nil {
+		return lj, err
+	}
+	defer tgt.Close() //nolint:errcheck
+	in, err := nvmetcp.Connect(addr)
+	if err != nil {
+		return lj, err
+	}
+	defer in.Close() //nolint:errcheck
+
+	wbuf := make([]byte, victimReadBytes)
+	rbuf := make([]byte, victimReadBytes)
+	for i := 0; i < pacedReads/4; i++ {
+		for j := range wbuf {
+			wbuf[j] = byte(i + j)
+		}
+		off := int64(i) * victimReadBytes
+		if _, err := in.WriteAt(wbuf, off); err != nil {
+			return lj, err
+		}
+		if _, err := in.ReadAt(rbuf, off); err != nil {
+			return lj, err
+		}
+		lj.Cmds += 2
+		for j := range rbuf {
+			if rbuf[j] != wbuf[j] {
+				lj.VerifyOK = false
+				return lj, fmt.Errorf("legacy verify: byte %d mismatch at offset %d", j, off)
+			}
+		}
+	}
+	lj.TenantRejects = tgt.TenantRejects()
+	if lj.TenantRejects != 0 {
+		return lj, fmt.Errorf("legacy client saw %d tenant rejects", lj.TenantRejects)
+	}
+	return lj, nil
+}
+
+// runTenantBench runs the three scenarios, enforces the isolation
+// bound, and writes the JSON report to out ("-" writes to stdout). A
+// violated bound is an error: the bench is the CI gate.
+func runTenantBench(out string, scale float64) error {
+	pacedReads := int(300 * scale)
+	if pacedReads < 50 {
+		pacedReads = 50
+	}
+
+	var rep tenantReport
+	rep.Bench = "tenant-isolation"
+	rep.Schema = 1
+	rep.Config.Workers = tenantWorkers
+	rep.Config.VictimReadBytes = victimReadBytes
+	rep.Config.GreedyReadBytes = greedyReadBytes
+	rep.Config.PacedReads = pacedReads
+	rep.Config.PaceMicros = tenantPaceMicros
+	rep.Config.TenantBytesPerSec = tenantQuotaBPS
+	rep.Config.Bound = tenantBound
+	rep.Config.FloorMs = tenantFloorMs
+	rep.Config.Scale = scale
+
+	var err error
+	if rep.Solo, err = runTenantScenario("solo-victim", pacedReads, false); err != nil {
+		return fmt.Errorf("solo: %w", err)
+	}
+	if rep.Contended, err = runTenantScenario("contended-quotas", pacedReads, true); err != nil {
+		return fmt.Errorf("contended: %w", err)
+	}
+	if rep.Legacy, err = runTenantLegacy(pacedReads); err != nil {
+		return fmt.Errorf("legacy: %w", err)
+	}
+
+	rep.BoundMs = tenantBound * rep.Solo.VictimQwaitP99
+	if rep.BoundMs < tenantFloorMs {
+		rep.BoundMs = tenantFloorMs
+	}
+	if rep.Solo.VictimQwaitP99 > 0 {
+		rep.P99Ratio = rep.Contended.VictimQwaitP99 / rep.Solo.VictimQwaitP99
+	}
+	rep.Isolated = rep.Contended.VictimQwaitP99 <= rep.BoundMs
+
+	buf, merr := json.MarshalIndent(&rep, "", "  ")
+	if merr != nil {
+		return merr
+	}
+	buf = append(buf, '\n')
+	if out == "-" {
+		if _, err := os.Stdout.Write(buf); err != nil {
+			return err
+		}
+	} else if err := os.WriteFile(out, buf, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("dlfsbench: tenant isolation: victim qwait p99 %.3fms solo -> %.3fms contended (bound %.3fms), greedy %s throttled %d times; wrote %s\n",
+		rep.Solo.VictimQwaitP99, rep.Contended.VictimQwaitP99, rep.BoundMs,
+		metrics.HumanBytes(rep.Contended.GreedyBytes), rep.Contended.GreedyThrottled, out)
+	if !rep.Isolated {
+		return fmt.Errorf("isolation bound violated: contended victim qwait p99 %.3fms > %.3fms (%.1fx solo, bound %.1fx with %.1fms floor)",
+			rep.Contended.VictimQwaitP99, rep.BoundMs, rep.P99Ratio, tenantBound, tenantFloorMs)
+	}
+	return nil
+}

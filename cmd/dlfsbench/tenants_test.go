@@ -1,0 +1,65 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+)
+
+// TestCommittedTenantBenchReport asserts the acceptance numbers of the
+// committed BENCH_TENANTS.json: with quotas on, the well-behaved
+// victim's queue-wait p99 under a greedy co-tenant stayed within the
+// configured bound of its solo p99 (or the absolute noise floor), the
+// quota actually bit the greedy tenant, the victim was never throttled,
+// and the legacy tenant-0 client ran verified and unrejected.
+func TestCommittedTenantBenchReport(t *testing.T) {
+	raw, err := os.ReadFile("../../BENCH_TENANTS.json")
+	if err != nil {
+		t.Fatalf("committed bench report missing: %v", err)
+	}
+	var rep tenantReport
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("BENCH_TENANTS.json does not parse: %v", err)
+	}
+	if rep.Bench != "tenant-isolation" || rep.Schema != 1 {
+		t.Fatalf("report identity: bench=%q schema=%d", rep.Bench, rep.Schema)
+	}
+	if !rep.Isolated {
+		t.Fatalf("committed report records an isolation violation: contended p99 %.3fms > bound %.3fms",
+			rep.Contended.VictimQwaitP99, rep.BoundMs)
+	}
+	// The gate must be the documented formula, not a stale hand edit.
+	want := rep.Config.Bound * rep.Solo.VictimQwaitP99
+	if want < rep.Config.FloorMs {
+		want = rep.Config.FloorMs
+	}
+	if rep.BoundMs != want {
+		t.Fatalf("bound_ms %.6f inconsistent with max(%.1f x solo, floor %.1f) = %.6f",
+			rep.BoundMs, rep.Config.Bound, rep.Config.FloorMs, want)
+	}
+	if rep.Contended.VictimQwaitP99 > rep.BoundMs {
+		t.Fatalf("contended victim p99 %.3fms above bound %.3fms yet isolated=true",
+			rep.Contended.VictimQwaitP99, rep.BoundMs)
+	}
+	// The contended scenario must have been a real fight: the greedy
+	// tenant moved traffic and the quota rejected some of it.
+	if rep.Contended.GreedyCmds == 0 || rep.Contended.GreedyBytes == 0 {
+		t.Fatalf("greedy tenant served nothing: %+v", rep.Contended)
+	}
+	if rep.Contended.GreedyThrottled == 0 {
+		t.Fatalf("quota never throttled the greedy tenant: %+v", rep.Contended)
+	}
+	// A paced victim under quota must never be throttled itself.
+	if rep.Solo.VictimThrottled != 0 || rep.Contended.VictimThrottled != 0 {
+		t.Fatalf("victim was throttled: solo=%d contended=%d",
+			rep.Solo.VictimThrottled, rep.Contended.VictimThrottled)
+	}
+	if rep.Solo.VictimCmds == 0 || rep.Contended.VictimCmds == 0 {
+		t.Fatalf("victim served nothing: solo=%d contended=%d",
+			rep.Solo.VictimCmds, rep.Contended.VictimCmds)
+	}
+	// Legacy tenant-0 clients: verified data, zero tenant rejects.
+	if !rep.Legacy.VerifyOK || rep.Legacy.Cmds == 0 || rep.Legacy.TenantRejects != 0 {
+		t.Fatalf("legacy scenario: %+v", rep.Legacy)
+	}
+}

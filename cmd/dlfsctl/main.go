@@ -129,6 +129,7 @@ func cmdSmoke(args []string) {
 	nocoalesce := fs.Bool("no-coalesce", false, "disable request coalescing (one wire read per chunk)")
 	nopool := fs.Bool("no-pool", false, "disable the sample buffer pool")
 	serverAssembly := fs.Bool("server-assembly", false, "offload sample extraction to the targets (opReadSamples)")
+	tenant := fs.Int("tenant", 0, "tenant id stamped on every command (0 = legacy tenant)")
 	assemblyXform := fs.Int("assembly-transform", 0, "server-side transform ID (0 none, 1 crc32c-verify, 3 stride-subsample)")
 	chaosSeed := fs.Int64("chaos-seed", 0, "chaos fault schedule seed (0 disables the chaos proxies)")
 	dropProb := fs.Float64("chaos-drop", 0.002, "per-segment connection-kill probability under chaos")
@@ -141,7 +142,9 @@ func cmdSmoke(args []string) {
 	proxies := make([]*chaos.Proxy, *targets)
 	tgts := make([]*nvmetcp.Target, *targets)
 	for i := range addrs {
-		tgt := nvmetcp.NewTargetConfig(blockdev.New(1<<30), nvmetcp.Config{Depth: 64, StageHistograms: true})
+		tgt := nvmetcp.NewTargetConfig(blockdev.New(1<<30), nvmetcp.Config{
+			Depth: 64, MaxTenants: *tenant + 1, StageHistograms: true,
+		})
 		addr, err := tgt.Listen("127.0.0.1:0")
 		if err != nil {
 			fatal(err)
@@ -173,7 +176,7 @@ func cmdSmoke(args []string) {
 	ds := dataset.Generate(dataset.Config{Label: "smoke", Seed: 2, NumSamples: *n, Dist: dataset.Fixed(*size)})
 	cfg := live.Config{
 		QueuePairs: *qps, NoCoalesce: *nocoalesce, NoBufferPool: *nopool, StageHistograms: true,
-		ServerAssembly: *serverAssembly, AssemblyTransform: *assemblyXform,
+		ServerAssembly: *serverAssembly, AssemblyTransform: *assemblyXform, Tenant: *tenant,
 	}
 	if *dead >= 0 {
 		// A blackholed target never answers; keep the deadlines and the
@@ -256,6 +259,18 @@ func cmdSmoke(args []string) {
 			fmt.Printf("target %d qwait:   %s\n", i, ss.Stages.QueueWait)
 			fmt.Printf("target %d service: %s\n", i, ss.Stages.Service)
 			fmt.Printf("target %d flush:   %s\n", i, ss.Stages.Flush)
+		}
+		// Per-tenant scheduler accounting: the queue-wait quantiles are
+		// the isolation signal — each tenant waits only behind its own
+		// backlog plus the DRR interleave.
+		for _, tst := range tgt.TenantStats() {
+			tline := fmt.Sprintf("target %d tenant %d: cmds=%d bytes=%s throttled=%d",
+				i, tst.ID, tst.Cmds, metrics.HumanBytes(tst.Bytes), tst.Throttled)
+			if tst.Server.Stages != nil {
+				tline += fmt.Sprintf(" qwait p50=%s p99=%s",
+					tst.Server.Stages.QueueWait.P50(), tst.Server.Stages.QueueWait.P99())
+			}
+			fmt.Println(tline)
 		}
 	}
 	if bad > 0 {

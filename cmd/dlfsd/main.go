@@ -5,6 +5,14 @@
 //
 //	dlfsd -listen 127.0.0.1:4420 -capacity 4GiB -depth 64 -workers 4 -queue 256
 //
+// Multiple jobs can share one node under tenant isolation: each client
+// mounts with a tenant id, the target schedules tenants with deficit
+// round robin, and optional per-tenant quotas throttle a greedy job
+// instead of letting it crowd out the others:
+//
+//	dlfsd -listen 127.0.0.1:4420 -max-tenants 4 \
+//	      -tenant-bps 268435456 -tenant-iops 20000
+//
 // For a multi-node job one storage node additionally hosts the mount
 // coordinator (the barrier/allgather control plane of live.MountCluster):
 //
@@ -54,6 +62,10 @@ func main() {
 	workers := flag.Int("workers", 0, "RPQ worker pool size (0 takes the default)")
 	queue := flag.Int("queue", 0, "request-posting queue depth (0 takes the default)")
 	noZeroCopy := flag.Bool("no-zero-copy", false, "stage read payloads instead of serving store views")
+	maxTenants := flag.Int("max-tenants", 0, "tenant ids accepted, 0..n-1 (0 takes the default)")
+	tenantQueue := flag.Int("tenant-queue", 0, "per-tenant scheduler queue depth (0 takes the default, <0 unbounded)")
+	tenantBPS := flag.Int64("tenant-bps", 0, "per-tenant payload byte quota per second (<=0 disables)")
+	tenantIOPS := flag.Int64("tenant-iops", 0, "per-tenant command quota per second (<=0 disables)")
 	stats := flag.Duration("stats", 10*time.Second, "stats print interval (0 disables)")
 	coordAddr := flag.String("coord", "", "also host the multi-node mount coordinator on this address")
 	coordWorld := flag.Int("coord-world", 0, "job size the coordinator waits for (required with -coord)")
@@ -115,6 +127,8 @@ func main() {
 	}
 	cfg := nvmetcp.Config{
 		Depth: *depth, Workers: *workers, QueueDepth: *queue, NoZeroCopy: *noZeroCopy,
+		MaxTenants: *maxTenants, TenantQueueDepth: *tenantQueue,
+		TenantBytesPerSec: *tenantBPS, TenantIOPS: *tenantIOPS,
 		StageHistograms: *metricsAddr != "",
 	}
 	tgt := nvmetcp.NewTargetConfig(blockdev.New(capBytes), cfg)
@@ -186,7 +200,21 @@ func statsLine(tgt *nvmetcp.Target) string {
 		line += fmt.Sprintf(" (%.1f segs/cmd)", float64(vecSegs)/float64(vecReads))
 	}
 	line += fmt.Sprintf(", conns accepted=%d malformed=%d aborted=%d", accepted, malformed, aborted)
-	return line + fmt.Sprintf("\ndlfsd: engine: %s", tgt.ServerStats())
+	line += fmt.Sprintf("\ndlfsd: engine: %s", tgt.ServerStats())
+	tstats := tgt.TenantStats()
+	// Tenant 0 alone with no throttles is the single-tenant steady
+	// state — not worth a line per tick.
+	if !(len(tstats) == 1 && tstats[0].ID == 0 && tstats[0].Throttled == 0) {
+		for _, ts := range tstats {
+			line += fmt.Sprintf("\ndlfsd: tenant %d: cmds=%d bytes=%s throttled=%d queued=%d qwait=%s",
+				ts.ID, ts.Cmds, metrics.HumanBytes(ts.Bytes), ts.Throttled, ts.Queued,
+				time.Duration(ts.Server.QueueWaitNanos))
+		}
+	}
+	if rej := tgt.TenantRejects(); rej > 0 {
+		line += fmt.Sprintf("\ndlfsd: tenant rejects=%d (malformed or unprovisioned ids)", rej)
+	}
+	return line
 }
 
 // parseBytes parses "512", "4KiB", "1MiB", "2GiB" (also accepts KB/MB/GB

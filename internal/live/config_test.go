@@ -167,6 +167,27 @@ func TestConfigWithDefaults(t *testing.T) {
 				}
 			},
 		},
+		{
+			name: "Tenant defaults to the legacy tenant and negatives normalize to it",
+			in:   Config{},
+			check: func(t *testing.T, c Config) {
+				if c.Tenant != 0 {
+					t.Errorf("Tenant = %d, want 0 (legacy tenant)", c.Tenant)
+				}
+				if n := (Config{Tenant: -3}).withDefaults(); n.Tenant != 0 {
+					t.Errorf("negative Tenant = %d, want normalized 0", n.Tenant)
+				}
+			},
+		},
+		{
+			name: "explicit Tenant passes through",
+			in:   Config{Tenant: 5},
+			check: func(t *testing.T, c Config) {
+				if c.Tenant != 5 {
+					t.Errorf("Tenant = %d, want 5", c.Tenant)
+				}
+			},
+		},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) { tc.check(t, tc.in.withDefaults()) })

@@ -127,13 +127,25 @@ type target struct {
 	noAssembly atomic.Bool
 }
 
+// noteFailure feeds a fetch error into the target's circuit breaker.
+// Tenant throttles are exempt: a quota rejection is backpressure from a
+// healthy target — like noAssembly, a fact about policy rather than
+// health — so it must never accumulate toward opening the breaker and
+// cutting a quota-bound tenant off from a working node.
+func (tg *target) noteFailure(err error) {
+	if errors.Is(err, nvmetcp.ErrThrottled) {
+		return
+	}
+	tg.brk.Failure()
+}
+
 // read runs one synchronous read through the breaker.
 func (tg *target) read(p []byte, off int64) error {
 	if !tg.brk.Allow() {
 		return fmt.Errorf("%w: %s circuit open", ErrDegraded, tg.addr)
 	}
 	if _, err := tg.qp.ReadAt(p, off); err != nil {
-		tg.brk.Failure()
+		tg.noteFailure(err)
 		return err
 	}
 	tg.brk.Success()

@@ -92,6 +92,14 @@ type Config struct {
 	StageHistograms bool                // record per-stage latency histograms (prep/post/poll/copy, ReadSample, mount phases)
 	Trace           *trace.WallRecorder // wall-clock pipeline trace: post/complete/emit/free events (nil disables)
 
+	// Multi-tenancy: the tenant id stamped on every command this mount
+	// submits. Zero is the legacy/default tenant, so single-tenant
+	// deployments need no configuration; ids above nvmetcp.MaxTenantID
+	// are rejected at connect. A throttled command (tenant over its
+	// target-side quota) is retried after the target's hint — it is
+	// backpressure, not a failure, and never trips the circuit breaker.
+	Tenant int // tenant id on the wire (default 0 = legacy tenant; negative normalized to 0)
+
 	// Resilience knobs.
 	DialTimeout      time.Duration // target dial + handshake bound (default 5s)
 	RequestTimeout   time.Duration // per-command deadline (default 10s; <0 disables)
@@ -189,6 +197,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.BreakerCooldown <= 0 {
 		c.BreakerCooldown = 500 * time.Millisecond
+	}
+	if c.Tenant < 0 {
+		c.Tenant = 0
 	}
 	return c
 }
@@ -310,7 +321,7 @@ func dialTargets(addrs []string, cfg Config, counters *metrics.Resilience) ([]*t
 			}
 		}
 	}
-	opt := nvmetcp.Options{DialTimeout: cfg.DialTimeout, RequestTimeout: cfg.RequestTimeout}
+	opt := nvmetcp.Options{DialTimeout: cfg.DialTimeout, RequestTimeout: cfg.RequestTimeout, Tenant: cfg.Tenant}
 	targets := make([]*target, len(addrs))
 	for i, a := range addrs {
 		qp, err := nvmetcp.NewQPGroup(a, cfg.QueuePairs, opt, nvmetcp.RetryPolicy{
@@ -923,7 +934,7 @@ func (ep *Epoch) fetchWire(node uint16, units []*unit) error {
 		for _, u := range units {
 			u.chunks = nil
 		}
-		tg.brk.Failure()
+		tg.noteFailure(ferr)
 		return ferr
 	}
 	fs.pipe.WireBytes.Add(bytes)
@@ -1042,7 +1053,7 @@ func (ep *Epoch) fetchAssembled(tg *target, units []*unit) error {
 		if errors.As(ferr, &ue) {
 			return ferr // capability miss, not a health failure
 		}
-		tg.brk.Failure()
+		tg.noteFailure(ferr)
 		return ferr
 	}
 	fs.pipe.WireReads.Add(int64(len(pendings)))

@@ -281,7 +281,7 @@ func (fs *FS) fetchAhead(group []*unit, groupBytes int64) int64 {
 		for _, b := range bufs {
 			fs.Recycle(b)
 		}
-		tg.brk.Failure()
+		tg.noteFailure(err)
 		return stored
 	}
 	tg.brk.Success()
@@ -393,7 +393,7 @@ func (fs *FS) prefetchAssembled(tg *target, group []*unit) (int64, error) {
 		if errors.As(ferr, &ue) {
 			return 0, ferr
 		}
-		tg.brk.Failure()
+		tg.noteFailure(ferr)
 		return 0, ferr
 	}
 	tg.brk.Success()

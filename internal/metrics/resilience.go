@@ -15,6 +15,7 @@ type Resilience struct {
 	Retries         atomic.Int64 // operations re-attempted after a retryable transport error
 	Reconnects      atomic.Int64 // successful re-dials of a lost queue pair
 	Timeouts        atomic.Int64 // commands that hit their per-command deadline
+	Throttles       atomic.Int64 // commands rejected by a tenant quota (retried on a healthy connection)
 	BreakerTrips    atomic.Int64 // circuit breaker transitions to open
 	BreakerProbes   atomic.Int64 // half-open probe attempts after a cooldown
 	DegradedBatches atomic.Int64 // batch deliveries (and the terminal epoch report) observed while degraded
@@ -27,6 +28,7 @@ func (r *Resilience) Snapshot() ResilienceSnapshot {
 		Retries:         r.Retries.Load(),
 		Reconnects:      r.Reconnects.Load(),
 		Timeouts:        r.Timeouts.Load(),
+		Throttles:       r.Throttles.Load(),
 		BreakerTrips:    r.BreakerTrips.Load(),
 		BreakerProbes:   r.BreakerProbes.Load(),
 		DegradedBatches: r.DegradedBatches.Load(),
@@ -39,6 +41,7 @@ type ResilienceSnapshot struct {
 	Retries         int64
 	Reconnects      int64
 	Timeouts        int64
+	Throttles       int64
 	BreakerTrips    int64
 	BreakerProbes   int64
 	DegradedBatches int64
@@ -47,8 +50,8 @@ type ResilienceSnapshot struct {
 
 // String renders the snapshot as a single stats line.
 func (s ResilienceSnapshot) String() string {
-	return fmt.Sprintf("retries=%d reconnects=%d timeouts=%d breaker_trips=%d breaker_probes=%d degraded_batches=%d degraded_samples=%d",
-		s.Retries, s.Reconnects, s.Timeouts, s.BreakerTrips, s.BreakerProbes, s.DegradedBatches, s.DegradedSamples)
+	return fmt.Sprintf("retries=%d reconnects=%d timeouts=%d throttles=%d breaker_trips=%d breaker_probes=%d degraded_batches=%d degraded_samples=%d",
+		s.Retries, s.Reconnects, s.Timeouts, s.Throttles, s.BreakerTrips, s.BreakerProbes, s.DegradedBatches, s.DegradedSamples)
 }
 
 // Healthy reports whether the snapshot shows no degradation at all.

@@ -1,0 +1,119 @@
+package nvmetcp
+
+import "testing"
+
+// TestConfigWithDefaults pins the Config normalization rules, in
+// particular the tenant knobs: zero takes the documented default,
+// any negative collapses to the canonical -1 sentinel, and the legacy
+// QueueDepth seeds the per-tenant bound so old configurations keep an
+// equivalent backpressure point.
+func TestConfigWithDefaults(t *testing.T) {
+	cases := []struct {
+		name  string
+		in    Config
+		check func(t *testing.T, c Config)
+	}{
+		{
+			name: "zero takes defaults",
+			in:   Config{},
+			check: func(t *testing.T, c Config) {
+				if c.Depth != 64 || c.Workers != 4 || c.QueueDepth != 256 {
+					t.Fatalf("engine defaults: %+v", c)
+				}
+				if c.MaxTenants != 8 {
+					t.Fatalf("MaxTenants = %d, want 8", c.MaxTenants)
+				}
+				if c.TenantQueueDepth != 64 {
+					t.Fatalf("TenantQueueDepth = %d, want QueueDepth/4 = 64", c.TenantQueueDepth)
+				}
+				if c.TenantBytesPerSec != -1 || c.TenantIOPS != -1 {
+					t.Fatalf("quotas not canonically off: bps=%d iops=%d", c.TenantBytesPerSec, c.TenantIOPS)
+				}
+			},
+		},
+		{
+			name: "legacy QueueDepth seeds the tenant bound",
+			in:   Config{QueueDepth: 1024},
+			check: func(t *testing.T, c Config) {
+				if c.TenantQueueDepth != 256 {
+					t.Fatalf("TenantQueueDepth = %d, want 1024/4 = 256", c.TenantQueueDepth)
+				}
+			},
+		},
+		{
+			name: "tenant bound floors at 64",
+			in:   Config{QueueDepth: 100},
+			check: func(t *testing.T, c Config) {
+				if c.TenantQueueDepth != 64 {
+					t.Fatalf("TenantQueueDepth = %d, want floor 64", c.TenantQueueDepth)
+				}
+			},
+		},
+		{
+			name: "explicit tenant bound kept",
+			in:   Config{TenantQueueDepth: 17},
+			check: func(t *testing.T, c Config) {
+				if c.TenantQueueDepth != 17 {
+					t.Fatalf("TenantQueueDepth = %d, want 17", c.TenantQueueDepth)
+				}
+			},
+		},
+		{
+			name: "any negative TenantQueueDepth is canonical -1",
+			in:   Config{TenantQueueDepth: -7},
+			check: func(t *testing.T, c Config) {
+				if c.TenantQueueDepth != -1 {
+					t.Fatalf("TenantQueueDepth = %d, want -1", c.TenantQueueDepth)
+				}
+			},
+		},
+		{
+			name: "any negative TenantBytesPerSec is canonical -1",
+			in:   Config{TenantBytesPerSec: -1 << 30},
+			check: func(t *testing.T, c Config) {
+				if c.TenantBytesPerSec != -1 {
+					t.Fatalf("TenantBytesPerSec = %d, want -1", c.TenantBytesPerSec)
+				}
+			},
+		},
+		{
+			name: "any negative TenantIOPS is canonical -1",
+			in:   Config{TenantIOPS: -9},
+			check: func(t *testing.T, c Config) {
+				if c.TenantIOPS != -1 {
+					t.Fatalf("TenantIOPS = %d, want -1", c.TenantIOPS)
+				}
+			},
+		},
+		{
+			name: "positive quotas preserved",
+			in:   Config{TenantBytesPerSec: 1 << 20, TenantIOPS: 500},
+			check: func(t *testing.T, c Config) {
+				if c.TenantBytesPerSec != 1<<20 || c.TenantIOPS != 500 {
+					t.Fatalf("quotas rewritten: bps=%d iops=%d", c.TenantBytesPerSec, c.TenantIOPS)
+				}
+			},
+		},
+		{
+			name: "MaxTenants capped at the protocol id space",
+			in:   Config{MaxTenants: 1000},
+			check: func(t *testing.T, c Config) {
+				if c.MaxTenants != MaxTenantID+1 {
+					t.Fatalf("MaxTenants = %d, want %d", c.MaxTenants, MaxTenantID+1)
+				}
+			},
+		},
+		{
+			name: "negative MaxTenants takes the default",
+			in:   Config{MaxTenants: -3},
+			check: func(t *testing.T, c Config) {
+				if c.MaxTenants != 8 {
+					t.Fatalf("MaxTenants = %d, want 8", c.MaxTenants)
+				}
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) { tc.check(t, tc.in.withDefaults()) })
+	}
+}

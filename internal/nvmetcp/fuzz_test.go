@@ -130,3 +130,71 @@ func FuzzSampleListFrame(f *testing.F) {
 		}
 	})
 }
+
+// FuzzTenantFrame throws arbitrary request frames at the target's
+// tenant-ingestion path — the classifier and the cost estimator that
+// run on every command before any queue or quota state is touched.
+// Invariants: both are cap-enforced before allocation and never panic
+// on malformed payloads; classifyTenant accepts exactly the ids the
+// target provisions (and nothing carrying the reserved high bits); and
+// cmdCost always lands in [1, maxPayload] so a corrupt descriptor block
+// cannot mint a zero- or negative-cost command that slips past the DRR
+// accounting, nor an unbounded one that stalls its tenant forever.
+func FuzzTenantFrame(f *testing.F) {
+	// A legacy frame (tenant slot zero), every boundary id, the reserved
+	// high bits, and tenant ids riding each opcode's payload shape.
+	mk := func(tenant byte, opcode byte, payload []byte) []byte {
+		var b bytes.Buffer
+		writeCapsuleHdr(&b, &capsule{cmdID: 21, opcode: opcode, status: tenant, offset: 0, payload: payload}, make([]byte, capsuleHeaderSize)) //nolint:errcheck
+		return b.Bytes()
+	}
+	f.Add(mk(0, opRead, []byte{0, 16, 0, 0}))
+	f.Add(mk(1, opWrite, []byte("tenant one write")))
+	f.Add(mk(MaxTenantID, opRead, []byte{0, 16, 0, 0}))
+	f.Add(mk(MaxTenantID+1, opRead, []byte{0, 16, 0, 0}))
+	f.Add(mk(0x80, opRead, []byte{0, 16, 0, 0})) // reserved high bit set
+	f.Add(mk(0xFF, opWrite, nil))
+	vec := make([]byte, 4+2*vecSegSize)
+	binary.LittleEndian.PutUint32(vec[0:4], 2)
+	binary.LittleEndian.PutUint32(vec[4+8:], 4096)
+	binary.LittleEndian.PutUint32(vec[4+vecSegSize+8:], 1<<20)
+	f.Add(mk(3, opReadVec, vec))
+	smp := make([]byte, sampleHdrSize+sampleDescSize)
+	encodeSampleList(smp, TransformNone, []vecSeg{{off: 0, n: 40 << 10}})
+	f.Add(mk(5, opReadSamples, smp))
+	// Malformed descriptor blocks: count promising more than the frame
+	// holds, and a count that would overflow the cost loop.
+	badVec := append([]byte(nil), vec...)
+	binary.LittleEndian.PutUint32(badVec[0:4], 0xFFFFFFFF)
+	f.Add(mk(2, opReadVec, badVec))
+	f.Add(mk(2, opReadVec, vec[:7]))
+	for _, s := range corruptSeeds() {
+		f.Add(s)
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, err := readCapsule(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		for _, maxTenants := range []int{1, 8, MaxTenantID + 1} {
+			st := classifyTenant(req.status, maxTenants)
+			inRange := req.status <= MaxTenantID && int(req.status) < maxTenants
+			if inRange && st != statusOK {
+				t.Fatalf("tenant %d rejected by a %d-tenant target", req.status, maxTenants)
+			}
+			if !inRange && st != statusTenant {
+				t.Fatalf("tenant %d accepted by a %d-tenant target (status %d)", req.status, maxTenants, st)
+			}
+		}
+		// Reserved high bits are never silently truncated into another
+		// tenant's id space.
+		if req.status > MaxTenantID && classifyTenant(req.status, MaxTenantID+1) != statusTenant {
+			t.Fatalf("reserved-bit tenant %#x accepted", req.status)
+		}
+		cost := cmdCost(req)
+		if cost < 1 || cost > maxPayload {
+			t.Fatalf("cmdCost(%d, %d payload bytes) = %d escapes [1, maxPayload]", req.opcode, len(req.payload), cost)
+		}
+	})
+}

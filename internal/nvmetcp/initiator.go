@@ -20,6 +20,12 @@ import (
 type Options struct {
 	DialTimeout    time.Duration // dial + handshake bound (default 10s)
 	RequestTimeout time.Duration // per-command deadline (default 30s; <0 disables)
+
+	// Tenant stamps every command with this tenant id (0..MaxTenantID).
+	// Zero — the default — is the legacy tenant, giving old callers the
+	// exact wire frames they always sent. Negative values are treated as
+	// zero; ids above MaxTenantID fail the connect.
+	Tenant int
 }
 
 func (o Options) withDefaults() Options {
@@ -28,6 +34,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.RequestTimeout == 0 {
 		o.RequestTimeout = 30 * time.Second
+	}
+	if o.Tenant < 0 {
+		o.Tenant = 0
 	}
 	return o
 }
@@ -42,8 +51,9 @@ type Seg struct {
 // compl is a command completion delivered from the receive loop.
 type compl struct {
 	status byte
-	n      int   // payload bytes landed in the destination buffers
-	err    error // connection-level failure while receiving the payload
+	n      int    // payload bytes landed in the destination buffers
+	ra     uint64 // retry-after hint in nanoseconds (statusThrottled only)
+	err    error  // connection-level failure while receiving the payload
 }
 
 // pendingCmd tracks one in-flight command: its completion channel and the
@@ -101,18 +111,20 @@ var (
 	ErrDepthLimit = errors.New("nvmetcp: queue depth exceeded")
 	ErrTimeout    = errors.New("nvmetcp: command deadline exceeded")
 	ErrConnLost   = errors.New("nvmetcp: connection lost")
+	ErrThrottled  = errors.New("nvmetcp: tenant quota exceeded")
 )
 
 // IsRetryable classifies an error from this package (or from dialing) as
 // a transient transport condition worth retrying on a fresh connection,
 // as opposed to a deliberate close or a remote semantic error. Timeouts,
-// lost connections, queue-depth pressure and network-level failures are
-// retryable; ErrClosed and ErrRemote are not.
+// lost connections, queue-depth pressure, tenant throttling and
+// network-level failures are retryable; ErrClosed and ErrRemote are not.
 func IsRetryable(err error) bool {
 	if err == nil {
 		return false
 	}
-	if errors.Is(err, ErrTimeout) || errors.Is(err, ErrConnLost) || errors.Is(err, ErrDepthLimit) {
+	if errors.Is(err, ErrTimeout) || errors.Is(err, ErrConnLost) ||
+		errors.Is(err, ErrDepthLimit) || errors.Is(err, ErrThrottled) {
 		return true
 	}
 	if errors.Is(err, ErrClosed) || errors.Is(err, ErrRemote) {
@@ -138,6 +150,9 @@ func Connect(addr string) (*Initiator, error) {
 // hang the caller.
 func ConnectOptions(addr string, opt Options) (*Initiator, error) {
 	opt = opt.withDefaults()
+	if opt.Tenant > MaxTenantID {
+		return nil, fmt.Errorf("nvmetcp: tenant %d above protocol maximum %d", opt.Tenant, MaxTenantID)
+	}
 	conn, err := net.DialTimeout("tcp", addr, opt.DialTimeout)
 	if err != nil {
 		return nil, err
@@ -218,6 +233,12 @@ func (in *Initiator) receiveLoop() {
 		}
 		cmdID := binary.LittleEndian.Uint64(hdr[4:12])
 		status := hdr[13]
+		// The offset field of a throttled completion carries the target's
+		// retry-after hint; on every other status it is unused.
+		var ra uint64
+		if status == statusThrottled {
+			ra = binary.LittleEndian.Uint64(hdr[14:22])
+		}
 		n := int(binary.LittleEndian.Uint32(hdr[22:26]))
 		if n > maxPayload {
 			in.conn.Close() //nolint:errcheck
@@ -315,7 +336,7 @@ func (in *Initiator) receiveLoop() {
 			return
 		}
 		if ok {
-			pc.ch <- compl{status: status, n: landed, err: serr}
+			pc.ch <- compl{status: status, n: landed, ra: ra, err: serr}
 		}
 	}
 }
@@ -341,6 +362,10 @@ func (in *Initiator) submit(req *capsule, pc *pendingCmd) (uint64, error) {
 	}
 	in.nextID++
 	req.cmdID = in.nextID
+	// Request capsules carry the tenant id in the status slot; zero is
+	// the legacy default, so tenant-0 frames are byte-identical to the
+	// pre-tenant protocol.
+	req.status = byte(in.opt.Tenant)
 	pc.op = req.opcode
 	in.pending[req.cmdID] = pc
 	in.mu.Unlock()
@@ -422,6 +447,14 @@ func (in *Initiator) finish(c compl, ok bool, pc *pendingCmd, id uint64) (int, e
 			// statusBadOp on this opcode can only mean a target that does
 			// not speak it: surface the typed downgrade signal.
 			return 0, &UnsupportedOpError{Opcode: op}
+		}
+		if c.status == statusThrottled {
+			// Admission control, not failure: typed, retryable, and
+			// carrying the target's backoff hint. Never a breaker event.
+			return 0, &ThrottledError{Tenant: in.opt.Tenant, RetryAfter: time.Duration(c.ra)}
+		}
+		if c.status == statusTenant {
+			return 0, fmt.Errorf("%w: tenant %d rejected by target (command %d)", ErrRemote, in.opt.Tenant, id)
 		}
 		return 0, fmt.Errorf("%w: status %d for command %d", ErrRemote, c.status, id)
 	}
@@ -506,6 +539,23 @@ func (in *Initiator) ReadVec(segs []Seg) (int, error) {
 	}
 	return pd.Wait()
 }
+
+// ThrottledError reports a command rejected by the target's per-tenant
+// admission control: the tenant is over its byte or IOPS quota, and the
+// target suggests retrying after RetryAfter. It unwraps to ErrThrottled,
+// which IsRetryable accepts, so the Reconnector's ordinary retry ladder
+// absorbs throttling — without retiring the (healthy) connection and
+// without the client's circuit breaker ever seeing it.
+type ThrottledError struct {
+	Tenant     int
+	RetryAfter time.Duration
+}
+
+func (e *ThrottledError) Error() string {
+	return fmt.Sprintf("nvmetcp: tenant %d throttled, retry after %v", e.Tenant, e.RetryAfter)
+}
+
+func (e *ThrottledError) Unwrap() error { return ErrThrottled }
 
 // UnsupportedOpError reports a target that rejected a capsule opcode
 // with statusBadOp — an old target behind a new client during a rolling

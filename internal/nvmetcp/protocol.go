@@ -12,9 +12,12 @@
 //	           offset(u64) | length(u32) | payload(length bytes)
 //
 // Requests carry a payload only for writes; responses only for successful
-// reads. The connection handshake exchanges a hello capsule whose offset
-// field carries the queue depth and whose length carries the capacity's
-// low 32 bits (capacity also echoed in cmdID for full 64-bit range).
+// reads. On request capsules the status slot carries the submitting
+// tenant's id (zero = legacy/default tenant); on responses it carries the
+// completion status. The connection handshake exchanges a hello capsule
+// whose offset field carries the queue depth and whose length carries the
+// capacity's low 32 bits (capacity also echoed in cmdID for full 64-bit
+// range).
 package nvmetcp
 
 import (
@@ -40,13 +43,39 @@ const (
 // Status codes. statusBadOp is reserved for "opcode unknown to this
 // target" so a new client can detect an old target and downgrade;
 // malformed opReadSamples payloads are statusRange and transform
-// failures are statusXform.
+// failures are statusXform. statusThrottled rejects a command that
+// exceeded its tenant's byte/IOPS quota — the response's offset field
+// carries a retry-after hint in nanoseconds — and statusTenant rejects
+// a command whose tenant id is malformed or not provisioned on the
+// target.
 const (
 	statusOK byte = iota
 	statusRange
 	statusBadOp
 	statusXform
+	statusThrottled
+	statusTenant
 )
+
+// Tenant identity. Request capsules never used their status slot (it
+// was always zero on the wire), so that byte now carries the submitting
+// tenant's id: zero is the legacy/default tenant, which keeps every
+// old initiator working unchanged against a multi-tenant target.
+// MaxTenantID bounds the id space; the two bits above it are reserved,
+// and a request carrying them is rejected as malformed (statusTenant),
+// never silently truncated into another tenant's budget.
+const MaxTenantID = 63
+
+// classifyTenant maps a request capsule's tenant slot to an admission
+// status for a target provisioned with maxTenants tenants (ids
+// 0..maxTenants-1). It allocates nothing: the check runs on every
+// ingested command before any queue or quota state is touched.
+func classifyTenant(id byte, maxTenants int) byte {
+	if id > MaxTenantID || int(id) >= maxTenants {
+		return statusTenant
+	}
+	return statusOK
+}
 
 // capsuleHeaderSize is the fixed frame header length.
 const capsuleHeaderSize = 4 + 8 + 1 + 1 + 8 + 4

@@ -147,18 +147,25 @@ func (r *Reconnector) backoff(attempt int) time.Duration {
 }
 
 // noteFailure records counters for err and retires the queue pair when
-// the error indicates the connection itself is suspect (everything
-// retryable except pure queue-depth pressure).
+// the error indicates the connection itself is suspect — everything
+// retryable except pure queue-depth pressure and tenant throttling,
+// which are healthy connections saying "not now".
 func (r *Reconnector) noteFailure(in *Initiator, err error) {
 	if errors.Is(err, ErrTimeout) {
 		r.counters.Timeouts.Add(1)
 	}
-	if !errors.Is(err, ErrDepthLimit) {
+	if errors.Is(err, ErrThrottled) {
+		r.counters.Throttles.Add(1)
+	}
+	if !errors.Is(err, ErrDepthLimit) && !errors.Is(err, ErrThrottled) {
 		r.invalidate(in)
 	}
 }
 
-// do runs op against the current queue pair, retrying per policy.
+// do runs op against the current queue pair, retrying per policy. A
+// throttled command waits out the larger of the backoff step and the
+// target's retry-after hint, so the retry lands after the tenant's
+// token bucket has refilled instead of burning attempts against it.
 func (r *Reconnector) do(op func(*Initiator) error) error {
 	for attempt := 0; ; attempt++ {
 		in, err := r.initiator()
@@ -176,7 +183,12 @@ func (r *Reconnector) do(op func(*Initiator) error) error {
 		}
 		r.noteFailure(in, err)
 		r.counters.Retries.Add(1)
-		time.Sleep(r.backoff(attempt))
+		d := r.backoff(attempt)
+		var te *ThrottledError
+		if errors.As(err, &te) && te.RetryAfter > d {
+			d = te.RetryAfter
+		}
+		time.Sleep(d)
 	}
 }
 

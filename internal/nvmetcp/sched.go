@@ -1,0 +1,313 @@
+package nvmetcp
+
+import (
+	"encoding/binary"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dlfs/internal/metrics"
+)
+
+// This file is the multi-tenant request scheduler that replaced the
+// target's single FIFO request-posting queue. Connection readers admit
+// each command against its tenant's token-bucket quotas, then enqueue it
+// on the tenant's bounded queue; the shared worker pool drains the
+// queues through a deficit-round-robin scan, so a tenant blasting
+// megabyte reads cannot park a paced tenant's commands behind its
+// backlog. Per-tenant stage counters (and histograms when enabled) make
+// the isolation measurable: the qwait distribution of each tenant is
+// exactly what the DRR protects.
+
+// drrQuantum is the deficit added to a tenant's budget per scheduler
+// round — the classic DRR quantum, in payload bytes. One quantum covers
+// a typical coalesced chunk read, so well-behaved tenants usually clear
+// their head command in a single visit.
+const drrQuantum = 256 << 10
+
+// maxRetryAfter caps the throttle hint returned to clients. The hint is
+// advisory — a client that comes back early is simply throttled again
+// with a fresh hint — so a long quota debt is reported in bounded slices
+// rather than as one multi-second sleep.
+const maxRetryAfter = time.Second
+
+// tenantState is one tenant's scheduling and accounting state. Queue
+// and quota fields are guarded by the owning drrSched's mutex; the
+// metrics are atomics, safe to read while the engine runs.
+type tenantState struct {
+	id int
+
+	// srv mirrors the target-wide engine counters for this tenant alone
+	// (queue wait and service time; flushes are per-connection, not
+	// per-tenant). Hist is attached when Config.StageHistograms is set.
+	srv metrics.Server
+
+	cmds      atomic.Int64
+	bytes     atomic.Int64
+	throttled atomic.Int64
+
+	// FIFO command queue: items[head:] are pending. The slice is
+	// compacted when the dead prefix outgrows the live tail.
+	items []rpqItem
+	head  int
+
+	// deficit is the DRR byte budget accumulated across scheduler
+	// rounds. It is spent on dequeue and reset when the queue drains,
+	// so an idle tenant cannot bank credit.
+	deficit int64
+	active  bool // tenant is on the scheduler's active ring
+
+	// Token buckets, refilled lazily on admission. Debt model: a command
+	// is admitted whenever its bucket is positive and may overdraw it,
+	// so one command larger than the burst allowance still eventually
+	// passes instead of starving forever.
+	byteTokens float64
+	iopsTokens float64
+	lastRefill time.Time
+
+	notFull sync.Cond // enqueue backpressure, one waiter set per tenant
+}
+
+// queued reports the tenant's pending command count (sched.mu held).
+func (ts *tenantState) queued() int { return len(ts.items) - ts.head }
+
+// drrSched multiplexes per-tenant bounded queues onto the worker pool
+// with deficit round robin. All scheduling state hangs off one mutex:
+// the critical sections are a few comparisons and slice ops, far below
+// the cost of the socket reads and store copies around them.
+type drrSched struct {
+	mu       sync.Mutex
+	notEmpty sync.Cond
+
+	tenants []*tenantState // index = tenant id, fixed at construction
+	ring    []int          // active tenant ids in round-robin order
+
+	queueDepth  int     // per-tenant queue bound (<0 = unbounded)
+	bytesPerSec float64 // per-tenant byte quota (<=0 = off)
+	iops        float64 // per-tenant command quota (<=0 = off)
+
+	closed bool
+}
+
+func newDRRSched(cfg Config) *drrSched {
+	s := &drrSched{
+		tenants:     make([]*tenantState, cfg.MaxTenants),
+		queueDepth:  cfg.TenantQueueDepth,
+		bytesPerSec: float64(cfg.TenantBytesPerSec),
+		iops:        float64(cfg.TenantIOPS),
+	}
+	s.notEmpty.L = &s.mu
+	now := time.Now()
+	for i := range s.tenants {
+		ts := &tenantState{id: i, lastRefill: now}
+		// Buckets open with one burst allowance so a tenant's first
+		// commands are never throttled by an empty bucket.
+		ts.byteTokens = s.bytesPerSec
+		ts.iopsTokens = s.iops
+		ts.notFull.L = &s.mu
+		if cfg.StageHistograms {
+			ts.srv.Hist = &metrics.ServerHist{}
+		}
+		s.tenants[i] = ts
+	}
+	return s
+}
+
+// refill tops up ts's buckets for the time elapsed since the last
+// admission, capped at one second of rate (the burst allowance).
+// Caller holds s.mu.
+func (s *drrSched) refill(ts *tenantState, now time.Time) {
+	dt := now.Sub(ts.lastRefill).Seconds()
+	if dt <= 0 {
+		return
+	}
+	ts.lastRefill = now
+	if s.bytesPerSec > 0 {
+		ts.byteTokens += dt * s.bytesPerSec
+		if ts.byteTokens > s.bytesPerSec {
+			ts.byteTokens = s.bytesPerSec
+		}
+	}
+	if s.iops > 0 {
+		ts.iopsTokens += dt * s.iops
+		if ts.iopsTokens > s.iops {
+			ts.iopsTokens = s.iops
+		}
+	}
+}
+
+// admit charges one command of the given byte cost against ts's quotas.
+// It returns zero when the command may proceed, or a positive
+// retry-after hint when the tenant is over budget. Admission never
+// blocks: throttling is reported to the client, which owns the backoff.
+func (s *drrSched) admit(ts *tenantState, cost int64) time.Duration {
+	if s.bytesPerSec <= 0 && s.iops <= 0 {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.refill(ts, time.Now())
+	if s.iops > 0 && ts.iopsTokens <= 0 {
+		return retryAfter(-ts.iopsTokens+1, s.iops)
+	}
+	if s.bytesPerSec > 0 && ts.byteTokens <= 0 {
+		return retryAfter(-ts.byteTokens+1, s.bytesPerSec)
+	}
+	if s.iops > 0 {
+		ts.iopsTokens--
+	}
+	if s.bytesPerSec > 0 {
+		ts.byteTokens -= float64(cost)
+	}
+	return 0
+}
+
+// retryAfter converts a token debt at a refill rate into a bounded
+// positive duration hint.
+func retryAfter(debt, rate float64) time.Duration {
+	d := time.Duration(debt / rate * float64(time.Second))
+	if d <= 0 {
+		d = time.Millisecond
+	}
+	if d > maxRetryAfter {
+		d = maxRetryAfter
+	}
+	return d
+}
+
+// enqueue appends it to ts's queue, blocking while the queue is at its
+// bound (backpressure lands on the tenant's own connections via the TCP
+// window, exactly like the old single RPQ — but now per tenant). It
+// returns false only if the scheduler closed while waiting.
+func (s *drrSched) enqueue(ts *tenantState, it rpqItem) bool {
+	s.mu.Lock()
+	for s.queueDepth > 0 && ts.queued() >= s.queueDepth && !s.closed {
+		ts.notFull.Wait()
+	}
+	if s.closed {
+		s.mu.Unlock()
+		return false
+	}
+	if ts.head > 0 && ts.head*2 >= len(ts.items) {
+		n := copy(ts.items, ts.items[ts.head:])
+		for i := n; i < len(ts.items); i++ {
+			ts.items[i] = rpqItem{} // release payload references
+		}
+		ts.items = ts.items[:n]
+		ts.head = 0
+	}
+	ts.items = append(ts.items, it)
+	if !ts.active {
+		ts.active = true
+		ts.deficit = 0
+		s.ring = append(s.ring, ts.id)
+	}
+	s.mu.Unlock()
+	s.notEmpty.Signal()
+	return true
+}
+
+// next hands one command to a worker, scanning the active ring with
+// deficit round robin: the head tenant earns a quantum when its deficit
+// does not cover its head command's cost, serves one command when it
+// does, and rotates to the ring tail either way — so a tenant can never
+// hold the head across calls and bank unlimited quanta while others
+// wait. Leftover deficit carries across rotations (a tenant of small
+// commands amortises one quantum over many of them) but is forfeited
+// when the queue drains, so an idle tenant cannot save up credit. next
+// blocks while every queue is empty and returns false once the
+// scheduler is closed and fully drained — workers never abandon
+// admitted commands.
+func (s *drrSched) next() (rpqItem, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		for len(s.ring) > 0 {
+			ts := s.tenants[s.ring[0]]
+			it := ts.items[ts.head]
+			if ts.deficit < it.cost {
+				ts.deficit += drrQuantum
+				if ts.deficit < it.cost {
+					// Not yet affordable: rotate and let the other tenants
+					// run. With a single active tenant this loop just
+					// accumulates quanta until the command clears.
+					s.ring = append(s.ring[1:], s.ring[0])
+					continue
+				}
+			}
+			ts.deficit -= it.cost
+			ts.items[ts.head] = rpqItem{}
+			ts.head++
+			if ts.queued() == 0 {
+				ts.items = ts.items[:0]
+				ts.head = 0
+				ts.active = false
+				ts.deficit = 0
+				s.ring = s.ring[1:]
+			} else {
+				s.ring = append(s.ring[1:], s.ring[0])
+			}
+			ts.notFull.Signal()
+			return it, true
+		}
+		if s.closed {
+			return rpqItem{}, false
+		}
+		s.notEmpty.Wait()
+	}
+}
+
+// close wakes every blocked worker and enqueuer. Pending items remain
+// dequeueable so the worker pool drains admitted work before exiting.
+func (s *drrSched) close() {
+	s.mu.Lock()
+	s.closed = true
+	for _, ts := range s.tenants {
+		ts.notFull.Broadcast()
+	}
+	s.mu.Unlock()
+	s.notEmpty.Broadcast()
+}
+
+// cmdCost estimates one command's payload byte cost for DRR accounting
+// and byte quotas — response bytes for reads, request bytes for writes.
+// It parses descriptor lengths in place without allocating, tolerates
+// malformed payloads (execute rejects those later; cost just needs a
+// floor), and never returns less than 1 so zero-byte commands still
+// consume scheduling budget.
+func cmdCost(req *capsule) int64 {
+	var cost int64
+	switch req.opcode {
+	case opRead:
+		if len(req.payload) == 4 {
+			cost = int64(int32(binary.LittleEndian.Uint32(req.payload)))
+		}
+	case opWrite:
+		cost = int64(len(req.payload))
+	case opReadVec:
+		if len(req.payload) >= 4 {
+			n := int(binary.LittleEndian.Uint32(req.payload[0:4]))
+			if n > 0 && n <= maxVecSegs && len(req.payload) == 4+n*vecSegSize {
+				for i := 0; i < n; i++ {
+					cost += int64(binary.LittleEndian.Uint32(req.payload[4+i*vecSegSize+8:]))
+				}
+			}
+		}
+	case opReadSamples:
+		if len(req.payload) >= sampleHdrSize {
+			n := int(binary.LittleEndian.Uint32(req.payload[1:5]))
+			if n > 0 && n <= MaxSampleDescs && len(req.payload) == sampleHdrSize+n*sampleDescSize {
+				for i := 0; i < n; i++ {
+					cost += int64(binary.LittleEndian.Uint32(req.payload[sampleHdrSize+i*sampleDescSize+8:]))
+				}
+			}
+		}
+	}
+	if cost < 1 || cost > maxPayload {
+		if cost > maxPayload {
+			return maxPayload
+		}
+		return 1
+	}
+	return cost
+}

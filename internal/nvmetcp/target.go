@@ -32,7 +32,38 @@ type Config struct {
 	// connection readers block instead of spawning goroutines, so
 	// overload pushes back on the TCP window rather than on the Go
 	// scheduler. Default 256.
+	//
+	// Deprecated-in-spirit: with the per-tenant scheduler the engine
+	// bound is TenantQueueDepth per tenant; QueueDepth is kept as the
+	// legacy single-queue knob and seeds TenantQueueDepth when that is
+	// unset, so existing configurations keep their backpressure point.
 	QueueDepth int
+
+	// MaxTenants is the number of tenant ids this target provisions:
+	// commands carrying tenant 0..MaxTenants-1 are accepted, anything
+	// above (or above the protocol's MaxTenantID) is rejected with
+	// statusTenant. Default 8; capped at MaxTenantID+1.
+	MaxTenants int
+
+	// TenantQueueDepth bounds each tenant's request queue. When a
+	// tenant's queue fills, only that tenant's connection readers block
+	// — its overload pushes back on its own TCP windows while other
+	// tenants keep posting. Zero takes QueueDepth/4 (min 64) so legacy
+	// QueueDepth configurations keep an equivalent aggregate bound;
+	// negative disables the bound (normalized to the canonical -1).
+	TenantQueueDepth int
+
+	// TenantBytesPerSec is the per-tenant payload byte quota enforced at
+	// admission by a token bucket with a one-second burst allowance.
+	// Commands over budget are rejected with statusThrottled and a
+	// retry-after hint rather than queued. Zero or negative disables
+	// (normalized to the canonical -1).
+	TenantBytesPerSec int64
+
+	// TenantIOPS is the per-tenant command-rate quota, enforced like
+	// TenantBytesPerSec. Zero or negative disables (normalized to the
+	// canonical -1).
+	TenantIOPS int64
 
 	// WriteTimeout bounds one completion flush to a connection. A peer
 	// that stops reading long enough to trip it has its connection
@@ -74,6 +105,26 @@ func (c Config) withDefaults() Config {
 	if c.WriteTimeout == 0 {
 		c.WriteTimeout = 30 * time.Second
 	}
+	if c.MaxTenants <= 0 {
+		c.MaxTenants = 8
+	}
+	if c.MaxTenants > MaxTenantID+1 {
+		c.MaxTenants = MaxTenantID + 1
+	}
+	if c.TenantQueueDepth == 0 {
+		c.TenantQueueDepth = c.QueueDepth / 4
+		if c.TenantQueueDepth < 64 {
+			c.TenantQueueDepth = 64
+		}
+	} else if c.TenantQueueDepth < 0 {
+		c.TenantQueueDepth = -1
+	}
+	if c.TenantBytesPerSec <= 0 {
+		c.TenantBytesPerSec = -1
+	}
+	if c.TenantIOPS <= 0 {
+		c.TenantIOPS = -1
+	}
 	return c
 }
 
@@ -83,11 +134,13 @@ func (c Config) withDefaults() Config {
 // completion order (not submission order), as on real NVMe.
 //
 // Internally the data path is a request-posting queue / completion queue
-// engine: connection readers post decoded commands onto a bounded RPQ
-// shared by a fixed worker pool; workers execute against the store and
-// hand completions — header plus zero-copy store-view segments for reads
-// — to the connection's completion queue, which a dedicated flusher
-// drains into coalesced vectored writes.
+// engine: connection readers admit decoded commands against their
+// tenant's quotas and post them onto the tenant's bounded queue; a fixed
+// worker pool drains the queues through a deficit-round-robin scheduler,
+// executes against the store and hands completions — header plus
+// zero-copy store-view segments for reads — to the connection's
+// completion queue, which a dedicated flusher drains into coalesced
+// vectored writes.
 type Target struct {
 	store *blockdev.Store
 	cfg   Config
@@ -99,7 +152,7 @@ type Target struct {
 
 	connWG   sync.WaitGroup // accept loop, readers, flushers, closers
 	workerWG sync.WaitGroup
-	rpq      chan rpqItem
+	sched    *drrSched
 
 	srv metrics.Server
 
@@ -113,13 +166,17 @@ type Target struct {
 	writes   atomic.Int64 // write commands served
 	vecReads atomic.Int64 // vectored read commands served
 	vecSegs  atomic.Int64 // segments carried by those vectored reads
+
+	tenantRejects atomic.Int64 // commands with malformed/unprovisioned tenant ids
 }
 
-// rpqItem is one command posted on the request queue.
+// rpqItem is one command posted on a tenant's request queue.
 type rpqItem struct {
-	tc  *targetConn
-	req *capsule
-	enq time.Time
+	tc   *targetConn
+	ts   *tenantState
+	req  *capsule
+	cost int64 // estimated payload bytes, the DRR/quota currency
+	enq  time.Time
 }
 
 // completion is one finished command on a connection's completion queue:
@@ -161,7 +218,7 @@ func NewTargetConfig(store *blockdev.Store, cfg Config) *Target {
 		store: store,
 		cfg:   cfg,
 		conns: make(map[net.Conn]struct{}),
-		rpq:   make(chan rpqItem, cfg.QueueDepth),
+		sched: newDRRSched(cfg),
 	}
 	if cfg.StageHistograms {
 		t.srv.Hist = &metrics.ServerHist{}
@@ -297,8 +354,34 @@ func (t *Target) serveConn(conn net.Conn) {
 			}
 			break
 		}
+		// Tenant admission runs here on the reader, before any queue or
+		// worker state is touched: a rejected command costs one header
+		// frame on the completion queue and nothing else. The reader is
+		// alive, so tc.scq cannot close under these sends.
+		if st := classifyTenant(req.status, t.cfg.MaxTenants); st != statusOK {
+			t.tenantRejects.Add(1)
+			bufpool.Shared.Put(req.payload)
+			tc.reject(req.cmdID, req.opcode, st, 0)
+			continue
+		}
+		ts := t.sched.tenants[req.status]
+		cost := cmdCost(req)
+		if ra := t.sched.admit(ts, cost); ra > 0 {
+			// Over quota: reject with a retry-after hint in the offset
+			// field instead of queueing — admission control keeps the
+			// worker pool for tenants inside their budget.
+			ts.throttled.Add(1)
+			bufpool.Shared.Put(req.payload)
+			tc.reject(req.cmdID, req.opcode, statusThrottled, uint64(ra))
+			continue
+		}
 		tc.inflight.Add(1)
-		t.rpq <- rpqItem{tc: tc, req: req, enq: time.Now()}
+		if !t.sched.enqueue(ts, rpqItem{tc: tc, ts: ts, req: req, cost: cost, enq: time.Now()}) {
+			// Scheduler closed mid-enqueue (target shutdown).
+			bufpool.Shared.Put(req.payload)
+			tc.inflight.Done()
+			break
+		}
 	}
 	// No more submissions can arrive. Once in-flight commands drain,
 	// close the completion queue so the flusher exits and tears the
@@ -311,21 +394,43 @@ func (t *Target) serveConn(conn net.Conn) {
 	}()
 }
 
-// worker drains the shared request-posting queue: execute against the
-// store, then hand the completion to the owning connection's queue. The
-// flusher always consumes the queue until it is closed, so this send
-// cannot deadlock even when the connection is dead.
+// worker drains the tenant queues through the DRR scheduler: execute
+// against the store, then hand the completion to the owning connection's
+// queue. The flusher always consumes the queue until it is closed, so
+// this send cannot deadlock even when the connection is dead. Stage
+// times are observed twice — into the target-wide engine counters and
+// into the command's tenant — so per-tenant qwait is first-class.
 func (t *Target) worker() {
 	defer t.workerWG.Done()
-	for it := range t.rpq {
-		t.srv.ObserveQueueWait(time.Since(it.enq))
+	for {
+		it, ok := t.sched.next()
+		if !ok {
+			return
+		}
+		qwait := time.Since(it.enq)
+		t.srv.ObserveQueueWait(qwait)
+		it.ts.srv.ObserveQueueWait(qwait)
 		start := time.Now()
 		comp := t.execute(it.req, !t.cfg.NoZeroCopy)
 		bufpool.Shared.Put(it.req.payload)
-		t.srv.ObserveService(time.Since(start))
+		service := time.Since(start)
+		t.srv.ObserveService(service)
+		it.ts.srv.ObserveService(service)
+		it.ts.cmds.Add(1)
+		it.ts.bytes.Add(int64(comp.n))
 		it.tc.scq <- comp
 		it.tc.inflight.Done()
 	}
+}
+
+// reject synthesizes a payload-free error completion straight onto the
+// connection's completion queue, bypassing the scheduler. Only the
+// connection's reader calls this, so the queue is guaranteed open; the
+// offset field carries the retry-after hint for statusThrottled.
+func (tc *targetConn) reject(cmdID uint64, opcode, status byte, offset uint64) {
+	hdr := hdrPool.Get().([]byte)
+	encodeHdr(hdr, cmdID, opcode, status, offset, 0)
+	tc.scq <- completion{hdr: hdr}
 }
 
 // flushLoop drains one connection's completion queue, coalescing every
@@ -760,7 +865,51 @@ func (t *Target) Close() error {
 		c.Close() //nolint:errcheck
 	}
 	t.connWG.Wait()
-	close(t.rpq)
+	t.sched.close()
 	t.workerWG.Wait()
 	return err
 }
+
+// TenantStats is one tenant's serving account: commands and payload
+// bytes executed, commands rejected at admission for being over quota,
+// the current queue backlog, and the tenant's own engine stage counters
+// (queue wait and service; histograms when the target runs with
+// Config.StageHistograms).
+type TenantStats struct {
+	ID        int
+	Cmds      int64
+	Bytes     int64
+	Throttled int64
+	Queued    int
+	Server    metrics.ServerSnapshot
+}
+
+// TenantStats reports per-tenant accounting for every tenant that has
+// seen traffic (executed, queued, or throttled commands), in tenant-id
+// order. Idle provisioned tenants are omitted so exports stay compact.
+func (t *Target) TenantStats() []TenantStats {
+	var out []TenantStats
+	for _, ts := range t.sched.tenants {
+		t.sched.mu.Lock()
+		queued := ts.queued()
+		t.sched.mu.Unlock()
+		st := TenantStats{
+			ID:        ts.id,
+			Cmds:      ts.cmds.Load(),
+			Bytes:     ts.bytes.Load(),
+			Throttled: ts.throttled.Load(),
+			Queued:    queued,
+		}
+		if st.Cmds == 0 && st.Throttled == 0 && st.Queued == 0 {
+			continue
+		}
+		st.Server = ts.srv.Snapshot()
+		out = append(out, st)
+	}
+	return out
+}
+
+// TenantRejects reports commands refused at ingestion because their
+// tenant id was malformed (above MaxTenantID) or not provisioned on
+// this target.
+func (t *Target) TenantRejects() int64 { return t.tenantRejects.Load() }

@@ -1,0 +1,297 @@
+package nvmetcp
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"dlfs/internal/blockdev"
+	"dlfs/internal/metrics"
+)
+
+// startTenantTarget starts a target with the given tenant provisioning
+// and quotas.
+func startTenantTarget(t *testing.T, cfg Config) (*Target, string) {
+	t.Helper()
+	tgt := NewTargetConfig(blockdev.New(1<<26), cfg)
+	addr, err := tgt.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { tgt.Close() }) //nolint:errcheck
+	return tgt, addr
+}
+
+// TestLegacyTenantZeroUnchanged: a default-options initiator (tenant 0
+// on the wire — byte-identical frames to the pre-tenant protocol) runs
+// a write/read round trip against a multi-tenant, quota-enabled target
+// with no rejects and correct data.
+func TestLegacyTenantZeroUnchanged(t *testing.T) {
+	tgt, addr := startTenantTarget(t, Config{Depth: 8, MaxTenants: 4, TenantBytesPerSec: 1 << 30})
+	in, err := Connect(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer in.Close() //nolint:errcheck
+
+	want := []byte("legacy tenant zero payload")
+	if _, err := in.WriteAt(want, 4096); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(want))
+	if _, err := in.ReadAt(got, 4096); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(want) {
+		t.Fatalf("round trip: got %q want %q", got, want)
+	}
+	if rej := tgt.TenantRejects(); rej != 0 {
+		t.Fatalf("legacy client caused %d tenant rejects", rej)
+	}
+	found := false
+	for _, ts := range tgt.TenantStats() {
+		if ts.ID == 0 && ts.Cmds >= 2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("tenant 0 accounting missing: %+v", tgt.TenantStats())
+	}
+}
+
+// TestTenantQuotaThrottleTyped: a tenant over its IOPS quota gets a
+// typed *ThrottledError carrying a positive retry-after, matching both
+// ErrThrottled and the retryable class, and the command succeeds once
+// the bucket refills.
+func TestTenantQuotaThrottleTyped(t *testing.T) {
+	// Burst allowance = one second of rate = 2 commands; the third
+	// command inside the same second must throttle.
+	_, addr := startTenantTarget(t, Config{Depth: 8, MaxTenants: 4, TenantIOPS: 2})
+	in, err := ConnectOptions(addr, Options{Tenant: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer in.Close() //nolint:errcheck
+
+	buf := make([]byte, 512)
+	var te *ThrottledError
+	throttledAt := -1
+	for i := 0; i < 5; i++ {
+		if _, err := in.ReadAt(buf, 0); err != nil {
+			if !errors.As(err, &te) {
+				t.Fatalf("read %d: %v, want *ThrottledError", i, err)
+			}
+			throttledAt = i
+			break
+		}
+	}
+	if throttledAt < 0 {
+		t.Fatal("five immediate commands never hit the 2 IOPS quota")
+	}
+	if te.Tenant != 1 || te.RetryAfter <= 0 {
+		t.Fatalf("throttle error fields: %+v", te)
+	}
+	if !errors.Is(te, ErrThrottled) {
+		t.Fatal("ThrottledError does not unwrap to ErrThrottled")
+	}
+	if !IsRetryable(te) {
+		t.Fatal("throttle not classified retryable")
+	}
+	// Waiting out the hint (the bucket debt) must clear the command.
+	time.Sleep(te.RetryAfter)
+	if _, err := in.ReadAt(buf, 0); err != nil {
+		t.Fatalf("read after retry-after: %v", err)
+	}
+}
+
+// TestReconnectorThrottleKeepsConnection: a throttled command must ride
+// the retry ladder on the SAME connection — no invalidation, no
+// re-dial — and succeed once the quota refills, counted under
+// Throttles, never as a breaker-feeding transport failure.
+func TestReconnectorThrottleKeepsConnection(t *testing.T) {
+	tgt, addr := startTenantTarget(t, Config{Depth: 8, MaxTenants: 4, TenantIOPS: 10})
+	counters := &metrics.Resilience{}
+	r, err := NewReconnector(addr, Options{Tenant: 2}, RetryPolicy{MaxRetries: 6, Seed: 1}, counters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close() //nolint:errcheck
+
+	// Burn the 10-command burst, then keep going: the reconnector must
+	// absorb the throttles by waiting, not by re-dialing.
+	buf := make([]byte, 256)
+	for i := 0; i < 14; i++ {
+		if _, err := r.ReadAt(buf, 0); err != nil {
+			t.Fatalf("read %d through reconnector: %v", i, err)
+		}
+	}
+	if got := counters.Throttles.Load(); got == 0 {
+		t.Fatal("no throttles recorded; quota never engaged")
+	}
+	if got := counters.Reconnects.Load(); got != 0 {
+		t.Fatalf("throttling caused %d reconnects; must be zero", got)
+	}
+	accepted, _, _ := tgt.ConnStats()
+	if accepted != 1 {
+		t.Fatalf("target accepted %d connections, want the original 1", accepted)
+	}
+}
+
+// TestUnprovisionedTenantRejected: a tenant id that is protocol-valid
+// but beyond the target's MaxTenants fails with a remote (permanent,
+// non-retryable) error; the connection survives and the reject is
+// counted.
+func TestUnprovisionedTenantRejected(t *testing.T) {
+	tgt, addr := startTenantTarget(t, Config{Depth: 8, MaxTenants: 2})
+	in, err := ConnectOptions(addr, Options{Tenant: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer in.Close() //nolint:errcheck
+
+	buf := make([]byte, 64)
+	_, rerr := in.ReadAt(buf, 0)
+	if rerr == nil {
+		t.Fatal("unprovisioned tenant 3 read succeeded on a MaxTenants=2 target")
+	}
+	if !errors.Is(rerr, ErrRemote) {
+		t.Fatalf("want ErrRemote, got %v", rerr)
+	}
+	if IsRetryable(rerr) {
+		t.Fatalf("tenant rejection must be permanent, got retryable %v", rerr)
+	}
+	if rej := tgt.TenantRejects(); rej == 0 {
+		t.Fatal("reject not counted")
+	}
+	// The connection is still healthy for... nothing (every command from
+	// this tenant is refused), but the refusal must be per-command, not
+	// a connection teardown.
+	if _, rerr := in.ReadAt(buf, 0); rerr == nil || !errors.Is(rerr, ErrRemote) {
+		t.Fatalf("second command: %v, want ErrRemote again", rerr)
+	}
+}
+
+// TestConnectRejectsMalformedTenantID: ids above MaxTenantID never
+// reach the wire; negatives normalize to the legacy tenant.
+func TestConnectRejectsMalformedTenantID(t *testing.T) {
+	_, addr := startTenantTarget(t, Config{Depth: 8})
+	if _, err := ConnectOptions(addr, Options{Tenant: MaxTenantID + 1}); err == nil {
+		t.Fatalf("tenant %d accepted at connect", MaxTenantID+1)
+	}
+	in, err := ConnectOptions(addr, Options{Tenant: -5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer in.Close() //nolint:errcheck
+	buf := make([]byte, 64)
+	if _, err := in.ReadAt(buf, 0); err != nil {
+		t.Fatalf("negative tenant (normalized to 0): %v", err)
+	}
+}
+
+// TestTenantAccountingSplit: two tenants' traffic lands in their own
+// TenantStats rows and sums to the target-wide counters.
+func TestTenantAccountingSplit(t *testing.T) {
+	tgt, addr := startTenantTarget(t, Config{Depth: 8, MaxTenants: 4})
+	buf := make([]byte, 1024)
+	for _, tenant := range []int{1, 2} {
+		in, err := ConnectOptions(addr, Options{Tenant: tenant})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 3*tenant; i++ { // 3 cmds for tenant 1, 6 for tenant 2
+			if _, err := in.ReadAt(buf, 0); err != nil {
+				t.Fatal(err)
+			}
+		}
+		in.Close() //nolint:errcheck
+	}
+	var perTenant [4]int64
+	var sum int64
+	for _, ts := range tgt.TenantStats() {
+		perTenant[ts.ID] = ts.Cmds
+		sum += ts.Cmds
+	}
+	if perTenant[1] != 3 || perTenant[2] != 6 {
+		t.Fatalf("per-tenant cmds: %v, want tenant1=3 tenant2=6", perTenant)
+	}
+	cmds, _ := tgt.Served()
+	if sum != cmds {
+		t.Fatalf("tenant cmds sum %d != target served %d", sum, cmds)
+	}
+}
+
+// TestDRRSchedulerInterleaves drives the scheduler directly: a small
+// command from a second tenant, enqueued behind a deep backlog of
+// megabyte commands from the first, must be handed to a worker on the
+// very next scheduling round — the deficit-round-robin guarantee the
+// single FIFO could not give. Each 1 MiB head command needs four
+// 256 KiB quanta, so the ring rotates to the small tenant (one quantum
+// covers its 512-byte cost) before the bulk head ever becomes
+// affordable.
+func TestDRRSchedulerInterleaves(t *testing.T) {
+	s := newDRRSched(Config{MaxTenants: 4}.withDefaults())
+	bulk, small := s.tenants[1], s.tenants[2]
+	const backlog = 10
+	for i := 0; i < backlog; i++ {
+		if !s.enqueue(bulk, rpqItem{ts: bulk, cost: 1 << 20}) {
+			t.Fatal("enqueue on open scheduler returned false")
+		}
+	}
+	if !s.enqueue(small, rpqItem{ts: small, cost: 512}) {
+		t.Fatal("enqueue on open scheduler returned false")
+	}
+	var order []int
+	for i := 0; i < backlog+1; i++ {
+		it, ok := s.next()
+		if !ok {
+			t.Fatal("scheduler reported closed with items pending")
+		}
+		order = append(order, it.ts.id)
+	}
+	if order[0] != small.id {
+		t.Fatalf("small tenant's command scheduled at %v, want first", order)
+	}
+	for i, id := range order[1:] {
+		if id != bulk.id {
+			t.Fatalf("pop %d came from tenant %d, want the bulk backlog: %v", i+1, id, order)
+		}
+	}
+	if got := bulk.queued() + small.queued(); got != 0 {
+		t.Fatalf("%d items left queued after full drain", got)
+	}
+}
+
+// TestDRRSchedulerFairShare: two tenants with equal-cost backlogs are
+// served in strict alternation — neither can run ahead by more than the
+// quantum allows.
+func TestDRRSchedulerFairShare(t *testing.T) {
+	s := newDRRSched(Config{MaxTenants: 4}.withDefaults())
+	a, b := s.tenants[1], s.tenants[2]
+	const each = 8
+	for i := 0; i < each; i++ {
+		if !s.enqueue(a, rpqItem{ts: a, cost: drrQuantum}) || !s.enqueue(b, rpqItem{ts: b, cost: drrQuantum}) {
+			t.Fatal("enqueue on open scheduler returned false")
+		}
+	}
+	lead := map[int]int{}
+	maxLead := 0
+	for i := 0; i < 2*each; i++ {
+		it, ok := s.next()
+		if !ok {
+			t.Fatal("scheduler reported closed with items pending")
+		}
+		lead[it.ts.id]++
+		if d := lead[a.id] - lead[b.id]; d > maxLead {
+			maxLead = d
+		} else if -d > maxLead {
+			maxLead = -d
+		}
+	}
+	if lead[a.id] != each || lead[b.id] != each {
+		t.Fatalf("drain mismatch: %v", lead)
+	}
+	if maxLead > 1 {
+		t.Fatalf("one tenant ran %d commands ahead; quantum-cost items must alternate", maxLead)
+	}
+}

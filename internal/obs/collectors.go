@@ -2,16 +2,18 @@ package obs
 
 import (
 	"io"
+	"strconv"
 
 	"dlfs/internal/metrics"
 	"dlfs/internal/nvmetcp"
 )
 
 // TargetCollector renders one nvmetcp.Target as dlfs_server_* series:
-// the serving counters, the RPQ/SCQ engine counters, and — when the
-// target runs with Config.StageHistograms — the qwait/service/flush
-// latency histograms. target labels every series so one scrape can
-// aggregate several stores.
+// the serving counters, the RPQ/SCQ engine counters, per-tenant
+// dlfs_server_tenant_* accounting (tenant-labelled; idle tenants are
+// omitted), and — when the target runs with Config.StageHistograms —
+// the qwait/service/flush latency histograms. target labels every
+// series so one scrape can aggregate several stores.
 func TargetCollector(target string, tgt *nvmetcp.Target) func(io.Writer) {
 	lbl := []Label{{Name: "target", Value: target}}
 	return func(w io.Writer) {
@@ -28,6 +30,20 @@ func TargetCollector(target string, tgt *nvmetcp.Target) func(io.Writer) {
 		WriteCounter(w, "dlfs_server_vec_reads_total", "Vectored read commands served.", vecReads, lbl...)
 		WriteCounter(w, "dlfs_server_vec_segments_total", "Segments carried by vectored reads.", vecSegs, lbl...)
 		WriteServerSnapshot(w, tgt.ServerStats(), lbl...)
+		WriteCounter(w, "dlfs_server_tenant_rejects_total", "Commands refused for a malformed or unprovisioned tenant id.", tgt.TenantRejects(), lbl...)
+		for _, ts := range tgt.TenantStats() {
+			tl := append([]Label{{Name: "tenant", Value: strconv.Itoa(ts.ID)}}, lbl...)
+			WriteCounter(w, "dlfs_server_tenant_commands_total", "Commands completed per tenant.", ts.Cmds, tl...)
+			WriteCounter(w, "dlfs_server_tenant_bytes_total", "Payload bytes moved per tenant.", ts.Bytes, tl...)
+			WriteCounter(w, "dlfs_server_tenant_throttled_total", "Commands rejected by the tenant's byte/IOPS quota.", ts.Throttled, tl...)
+			WriteGauge(w, "dlfs_server_tenant_queue_depth", "Commands waiting in the tenant's scheduler queue.", float64(ts.Queued), tl...)
+			WriteGauge(w, "dlfs_server_tenant_qwait_seconds_total", "Cumulative tenant-queue residency.", float64(ts.Server.QueueWaitNanos)/1e9, tl...)
+			WriteGauge(w, "dlfs_server_tenant_service_seconds_total", "Cumulative command execution time per tenant.", float64(ts.Server.ServiceNanos)/1e9, tl...)
+			if ts.Server.Stages != nil {
+				WriteHistogram(w, "dlfs_server_tenant_qwait_seconds", "Per-command tenant-queue residency.", ts.Server.Stages.QueueWait, tl...)
+				WriteHistogram(w, "dlfs_server_tenant_service_seconds", "Per-command execution time per tenant.", ts.Server.Stages.Service, tl...)
+			}
+		}
 	}
 }
 

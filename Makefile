@@ -2,7 +2,7 @@ GO ?= go
 BENCH ?= .
 BENCHCOUNT ?= 5
 
-.PHONY: all fmt fmt-check vet staticcheck build test race chaos chaos-failover bench bench-target bench-json bench-peers bench-offload bench-tenants bench-smoke fuzz-smoke check clean
+.PHONY: all fmt fmt-check vet staticcheck build test race chaos chaos-failover bench bench-target bench-json bench-peers bench-offload bench-tenants bench-ckpt bench-smoke fuzz-smoke check clean
 
 all: check
 
@@ -101,6 +101,15 @@ bench-tenants:
 	$(GO) run ./cmd/dlfsbench -tenants -json BENCH_TENANTS.json
 	$(GO) test -run TestCommittedTenantBenchReport -count=1 ./cmd/dlfsbench
 
+# Checkpoint-ingest gate: interleaved read-epoch vs sharded-save rounds
+# on the 2-target config; the bench exits non-zero when the median
+# ingest rate falls under the ratio floor or the read-back diverges, so
+# this target IS the CI gate; the committed-report invariants are then
+# re-asserted by cmd/dlfsbench/checkpoint_test.go.
+bench-ckpt:
+	$(GO) run ./cmd/dlfsbench -checkpoint -json BENCH_CKPT.json
+	$(GO) test -run TestCommittedCkptBenchReport -count=1 ./cmd/dlfsbench
+
 # CI smoke: prove the benchmarks still compile and run one iteration,
 # without paying for a real measurement.
 bench-smoke:
@@ -113,6 +122,7 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzReadCapsule -fuzztime 10s ./internal/nvmetcp
 	$(GO) test -run '^$$' -fuzz FuzzSampleListFrame -fuzztime 10s ./internal/nvmetcp
 	$(GO) test -run '^$$' -fuzz FuzzTenantFrame -fuzztime 10s ./internal/nvmetcp
+	$(GO) test -run '^$$' -fuzz FuzzWriteFrame -fuzztime 10s ./internal/nvmetcp
 	$(GO) test -run '^$$' -fuzz FuzzScan -fuzztime 10s ./internal/dataset
 	$(GO) test -run '^$$' -fuzz FuzzCoordFrame -fuzztime 10s ./internal/coord
 	$(GO) test -run '^$$' -fuzz FuzzPeerFrame -fuzztime 10s ./internal/peercache

@@ -1,0 +1,282 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"time"
+
+	"dlfs/internal/blockdev"
+	"dlfs/internal/dataset"
+	"dlfs/internal/live"
+	"dlfs/internal/metrics"
+	"dlfs/internal/nvmetcp"
+)
+
+// The checkpoint bench measures the write half of the training I/O
+// story on the same 2-target wire the read benches use. After warmup,
+// it alternates measurement rounds — one epoch drain through the read
+// path, one sharded checkpoint save through the gathered-write
+// pipeline (opWriteVec batches, per-target opFlush barriers, manifest
+// commit) — and gates on the ratio of the two median rates.
+// Interleaving matters: the box the bench runs on is time-shared, and
+// phases measured minutes apart sample different contention; adjacent
+// rounds see the same machine. The gate is twofold: checkpoint ingest
+// must sustain at least MinRatio of the read-path GB/s, and the
+// post-save read-back must be byte-exact — either failure exits
+// non-zero.
+
+// ckptMinRatio is the acceptance floor for ckpt/read throughput.
+const ckptMinRatio = 0.8
+
+type ckptReport struct {
+	Bench  string `json:"bench"`
+	Schema int    `json:"schema_version"`
+	Config struct {
+		Targets     int     `json:"targets"`
+		Samples     int     `json:"samples"`
+		SampleBytes int     `json:"sample_bytes"`
+		StateBytes  int     `json:"state_bytes"`
+		ShardBytes  int     `json:"shard_bytes"`
+		SegsPerCmd  int     `json:"segs_per_cmd"`
+		DataCRC     bool    `json:"data_crc"`
+		WarmupSaves int     `json:"warmup_saves"`
+		Rounds      int     `json:"rounds"`
+		Scale       float64 `json:"scale"`
+		MinRatio    float64 `json:"min_ratio"`
+	} `json:"config"`
+	Read struct {
+		Seconds     float64 `json:"seconds"`
+		BytesPerSec float64 `json:"bytes_per_sec"`
+	} `json:"read"`
+	Ckpt struct {
+		Seconds     float64  `json:"seconds"`
+		BytesPerSec float64  `json:"bytes_per_sec"`
+		WriteCmds   int64    `json:"write_cmds"`
+		WriteSegs   int64    `json:"write_segs"`
+		Flushes     int64    `json:"flushes"`
+		Downgrades  int64    `json:"downgrades"`
+		WriteHist   histJSON `json:"write_hist"`
+	} `json:"ckpt"`
+	Server struct {
+		WriteBytes     int64   `json:"write_bytes"`
+		VecWriteCmds   int64   `json:"vec_write_cmds"`
+		VecWriteSegs   int64   `json:"vec_write_segs"`
+		AdoptedExtents int64   `json:"adopted_extents"`
+		FlushCmds      int64   `json:"flush_cmds"`
+		CowClones      int64   `json:"cow_clones"`
+		FlushWaitSec   float64 `json:"flush_wait_seconds"`
+	} `json:"server"`
+	Ratio    float64 `json:"ckpt_to_read_ratio"`
+	RatioOK  bool    `json:"ratio_ok"`
+	Verified bool    `json:"read_back_verified"`
+}
+
+// medianDur returns the median of ds (ds is reordered in place).
+func medianDur(ds []time.Duration) time.Duration {
+	sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+	return ds[len(ds)/2]
+}
+
+// runCkptBench runs the checkpoint-ingest benchmark and writes the JSON
+// report to out ("-" writes to stdout). It returns an error — and the
+// caller exits non-zero — when the read-back diverges or the ingest
+// rate falls under the ratio floor.
+func runCkptBench(out string, scale float64) error {
+	const nTargets = 2
+	samples := int(4000 * scale)
+	if samples < 100 {
+		samples = 100
+	}
+	const sampleBytes = 16 << 10
+	stateBytes := int(float64(128<<20) * scale)
+	if stateBytes < 8<<20 {
+		stateBytes = 8 << 20
+	}
+	const shardBytes = 1 << 20
+	const segsPerCmd = 16
+	// Warmup saves touch both double-buffer slots, so the measured
+	// rounds run against a warm extent map and a primed buffer pool;
+	// the first measured rounds still trend down as TCP windows open,
+	// which the median absorbs.
+	const warmupSaves, rounds = 2, 5
+
+	addrs := make([]string, nTargets)
+	targets := make([]*nvmetcp.Target, nTargets)
+	stores := make([]*blockdev.Store, nTargets)
+	for i := range addrs {
+		stores[i] = blockdev.New(1 << 30)
+		tgt := nvmetcp.NewTargetConfig(stores[i], nvmetcp.Config{StageHistograms: true})
+		addr, err := tgt.Listen("127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		defer tgt.Close() //nolint:errcheck
+		targets[i], addrs[i] = tgt, addr
+	}
+	ds := dataset.Generate(dataset.Config{Label: "ckptbench", Seed: 17, NumSamples: samples, Dist: dataset.Fixed(sampleBytes)})
+	// The sample cache is capped far under the dataset so the measured
+	// epochs stream from the targets: the baseline is the wire read
+	// path, not client cache hits.
+	fs, err := live.Mount(addrs, ds, live.Config{StageHistograms: true, CacheBytes: 2 << 20})
+	if err != nil {
+		return err
+	}
+	defer fs.Close() //nolint:errcheck
+
+	var rep ckptReport
+	rep.Bench = "checkpoint-ingest"
+	rep.Schema = 1
+	rep.Config.Targets = nTargets
+	rep.Config.Samples = samples
+	rep.Config.SampleBytes = sampleBytes
+	rep.Config.StateBytes = stateBytes
+	rep.Config.ShardBytes = shardBytes
+	rep.Config.SegsPerCmd = segsPerCmd
+	rep.Config.DataCRC = false
+	rep.Config.WarmupSaves = warmupSaves
+	rep.Config.Rounds = rounds
+	rep.Config.Scale = scale
+	rep.Config.MinRatio = ckptMinRatio
+
+	runEpoch := func(seed int64) (time.Duration, error) {
+		ep, err := fs.Sequence(seed)
+		if err != nil {
+			return 0, err
+		}
+		start := time.Now()
+		for {
+			items, ok, err := ep.NextBatch()
+			fs.RecycleItems(items)
+			if err != nil {
+				return 0, err
+			}
+			if !ok {
+				return time.Since(start), nil
+			}
+		}
+	}
+
+	// NoDataCRC: the gate compares the write pipeline against the read
+	// pipeline, and the read path checksums nothing — a whole-state CRC
+	// pass on every save would bill the comparison for an integrity
+	// feature the baseline does not carry. Crash consistency stays
+	// structural (invalidate-first commit), and the bench's own
+	// read-back check below still verifies every byte.
+	ck, err := fs.Checkpointer(live.CheckpointConfig{
+		ShardBytes:      shardBytes,
+		SegsPerCmd:      segsPerCmd,
+		RankRegionBytes: int64(stateBytes)*2 + (16 << 20),
+		NoDataCRC:       true,
+	})
+	if err != nil {
+		return err
+	}
+	state := make([]byte, stateBytes)
+	rng := rand.New(rand.NewSource(23)) //nolint:gosec // bench data, not crypto
+	rng.Read(state)                     //nolint:errcheck
+
+	// Warmup: one epoch drain, then saves into both slots.
+	if _, err := runEpoch(100); err != nil {
+		return err
+	}
+	step := uint64(0)
+	for w := 0; w < warmupSaves; w++ {
+		step++
+		if err := ck.Save(step, state); err != nil {
+			return fmt.Errorf("warmup save %d: %w", step, err)
+		}
+	}
+
+	// Measurement rounds: epoch drain, then save, back to back.
+	before := fs.Stats().Pipeline
+	epochDurs := make([]time.Duration, 0, rounds)
+	saveDurs := make([]time.Duration, 0, rounds)
+	for r := 0; r < rounds; r++ {
+		d, err := runEpoch(200 + int64(r))
+		if err != nil {
+			return err
+		}
+		epochDurs = append(epochDurs, d)
+		step++
+		// Each save writes distinct bytes so read-back cannot pass on
+		// stale slot contents.
+		state[r] ^= 0xA5
+		t0 := time.Now()
+		if err := ck.Save(step, state); err != nil {
+			return fmt.Errorf("measured save %d: %w", step, err)
+		}
+		saveDurs = append(saveDurs, time.Since(t0))
+	}
+	after := fs.Stats().Pipeline
+
+	var readTotal, ckptTotal time.Duration
+	for _, d := range epochDurs {
+		readTotal += d
+	}
+	for _, d := range saveDurs {
+		ckptTotal += d
+	}
+	rep.Read.Seconds = readTotal.Seconds()
+	rep.Read.BytesPerSec = float64(samples) * sampleBytes / medianDur(epochDurs).Seconds()
+	rep.Ckpt.Seconds = ckptTotal.Seconds()
+	rep.Ckpt.BytesPerSec = float64(stateBytes) / medianDur(saveDurs).Seconds()
+	rep.Ckpt.WriteCmds = after.CkptWriteCmds - before.CkptWriteCmds
+	rep.Ckpt.WriteSegs = after.CkptWriteSegs - before.CkptWriteSegs
+	rep.Ckpt.Flushes = after.CkptFlushes - before.CkptFlushes
+	rep.Ckpt.Downgrades = after.CkptDowngrades
+	if after.Stages != nil {
+		rep.Ckpt.WriteHist = toHistJSON(after.Stages.Ckpt)
+	}
+
+	// Byte-exact read-back of the newest committed checkpoint.
+	got, gotStep, err := ck.Load()
+	if err != nil {
+		return fmt.Errorf("read-back: %w", err)
+	}
+	rep.Verified = gotStep == step && bytes.Equal(got, state)
+	fs.Recycle(got)
+
+	for i, tgt := range targets {
+		ss := tgt.ServerStats()
+		rep.Server.WriteBytes += ss.WriteBytes
+		rep.Server.VecWriteCmds += ss.VecWriteCmds
+		rep.Server.VecWriteSegs += ss.VecWriteSegs
+		rep.Server.AdoptedExtents += ss.AdoptedExtents
+		rep.Server.FlushCmds += ss.FlushCmds
+		rep.Server.FlushWaitSec += float64(ss.FlushWaitNanos) / 1e9
+		rep.Server.CowClones += stores[i].CowClones()
+	}
+	rep.Ratio = rep.Ckpt.BytesPerSec / rep.Read.BytesPerSec
+	rep.RatioOK = rep.Ratio >= ckptMinRatio
+
+	buf, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if out == "-" {
+		if _, err := os.Stdout.Write(buf); err != nil {
+			return err
+		}
+	} else if err := os.WriteFile(out, buf, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("dlfsbench: checkpoint bench: read %s/s, ckpt %s/s (%.2fx, floor %.1fx), %d cmds / %d segs / %d flushes / %d adopted, read-back %s; wrote %s\n",
+		metrics.HumanBytes(int64(rep.Read.BytesPerSec)),
+		metrics.HumanBytes(int64(rep.Ckpt.BytesPerSec)),
+		rep.Ratio, ckptMinRatio,
+		rep.Ckpt.WriteCmds, rep.Ckpt.WriteSegs, rep.Ckpt.Flushes, rep.Server.AdoptedExtents,
+		map[bool]string{true: "verified", false: "DIVERGED"}[rep.Verified], out)
+	if !rep.Verified {
+		return fmt.Errorf("checkpoint read-back diverged from the saved state")
+	}
+	if !rep.RatioOK {
+		return fmt.Errorf("checkpoint ingest %.2fx of read throughput, below the %.1fx floor",
+			rep.Ratio, ckptMinRatio)
+	}
+	return nil
+}

@@ -1,0 +1,69 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+)
+
+// TestCommittedCkptBenchReport asserts the acceptance numbers of the
+// committed BENCH_CKPT.json: checkpoint ingest on the 2-target config
+// sustained at least the MinRatio fraction of the read-path rate, the
+// post-save read-back verified byte-exact, the saves really rode the
+// gathered write pipeline (opWriteVec commands with multiple segments,
+// flush barriers, extent adoption on the targets) and never downgraded
+// to the per-extent legacy path.
+func TestCommittedCkptBenchReport(t *testing.T) {
+	raw, err := os.ReadFile("../../BENCH_CKPT.json")
+	if err != nil {
+		t.Fatalf("committed bench report missing: %v", err)
+	}
+	var rep ckptReport
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("BENCH_CKPT.json does not parse: %v", err)
+	}
+	if rep.Bench != "checkpoint-ingest" || rep.Schema != 1 {
+		t.Fatalf("report identity: bench=%q schema=%d", rep.Bench, rep.Schema)
+	}
+	if rep.Config.Targets != 2 {
+		t.Fatalf("acceptance config is 2 targets, report has %d", rep.Config.Targets)
+	}
+	if !rep.Verified {
+		t.Fatal("committed report records a diverged read-back")
+	}
+	if !rep.RatioOK {
+		t.Fatalf("committed report below the floor: %.3fx < %.1fx", rep.Ratio, rep.Config.MinRatio)
+	}
+	// The gate must be the documented formula, not a stale hand edit.
+	if rep.Read.BytesPerSec <= 0 || rep.Ckpt.BytesPerSec <= 0 {
+		t.Fatalf("throughputs not positive: read %.0f ckpt %.0f", rep.Read.BytesPerSec, rep.Ckpt.BytesPerSec)
+	}
+	wantRatio := rep.Ckpt.BytesPerSec / rep.Read.BytesPerSec
+	if diff := rep.Ratio - wantRatio; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("ratio %.6f inconsistent with ckpt/read = %.6f", rep.Ratio, wantRatio)
+	}
+	if rep.Ratio < rep.Config.MinRatio {
+		t.Fatalf("ratio %.3f below floor %.1f yet ratio_ok=true", rep.Ratio, rep.Config.MinRatio)
+	}
+	// The measured saves must have been real gathered-pipeline traffic.
+	if rep.Ckpt.WriteCmds == 0 || rep.Ckpt.WriteSegs <= rep.Ckpt.WriteCmds {
+		t.Fatalf("gathered accounting off: %d cmds / %d segs", rep.Ckpt.WriteCmds, rep.Ckpt.WriteSegs)
+	}
+	if rep.Ckpt.Flushes == 0 {
+		t.Fatal("no durability barriers recorded")
+	}
+	if rep.Ckpt.Downgrades != 0 {
+		t.Fatalf("saves downgraded to the legacy path %d times on a current-protocol target", rep.Ckpt.Downgrades)
+	}
+	// Server side: vectored ingest landed the bytes, and extent-aligned
+	// shards landed zero-copy via buffer adoption.
+	if rep.Server.WriteBytes == 0 || rep.Server.VecWriteCmds == 0 || rep.Server.VecWriteSegs == 0 {
+		t.Fatalf("server write counters empty: %+v", rep.Server)
+	}
+	if rep.Server.AdoptedExtents == 0 {
+		t.Fatal("no extents adopted: the zero-copy ingest path did not engage")
+	}
+	if rep.Server.FlushCmds == 0 {
+		t.Fatal("no opFlush commands reached the targets")
+	}
+}

@@ -25,6 +25,11 @@
 //	                           # victim's queue-wait p99 solo vs under a
 //	                           # greedy quota-capped co-tenant; fails if
 //	                           # contention inflates it past the bound
+//	dlfsbench -checkpoint -json BENCH_CKPT.json
+//	                           # checkpoint-ingest bench: sharded saves
+//	                           # through the gathered-write pipeline vs
+//	                           # the read-path baseline; fails below the
+//	                           # ratio floor or on read-back divergence
 package main
 
 import (
@@ -78,7 +83,8 @@ func main() {
 	peerBench := flag.Bool("peers", false, "run the multi-rank peer-cache wire bench instead of the figures")
 	offloadBench := flag.Bool("offload", false, "run the near-data sample-assembly wire bench instead of the figures")
 	tenantBench := flag.Bool("tenants", false, "run the multi-tenant isolation bench instead of the figures")
-	jsonOut := flag.String("json", "", "bench JSON report path (- for stdout; default BENCH_7.json / BENCH_PEERS.json / BENCH_8.json / BENCH_TENANTS.json)")
+	ckptBench := flag.Bool("checkpoint", false, "run the checkpoint-ingest write-path bench instead of the figures")
+	jsonOut := flag.String("json", "", "bench JSON report path (- for stdout; default BENCH_7.json / BENCH_PEERS.json / BENCH_8.json / BENCH_TENANTS.json / BENCH_CKPT.json)")
 	flag.Parse()
 
 	if *liveBench {
@@ -120,6 +126,17 @@ func main() {
 			out = "BENCH_TENANTS.json"
 		}
 		if err := runTenantBench(out, *scale); err != nil {
+			fmt.Fprintln(os.Stderr, "dlfsbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *ckptBench {
+		out := *jsonOut
+		if out == "" {
+			out = "BENCH_CKPT.json"
+		}
+		if err := runCkptBench(out, *scale); err != nil {
 			fmt.Fprintln(os.Stderr, "dlfsbench:", err)
 			os.Exit(1)
 		}

@@ -3,6 +3,8 @@
 //	dlfsctl info -nodes 8 -n 100000        # mount in simulation, print directory stats
 //	dlfsctl smoke -targets 3 -n 500        # live path: spin up local TCP targets,
 //	                                       # mount, read an epoch, verify checksums
+//	dlfsctl smoke -targets 2 -write        # checkpoint ingest: sharded save through
+//	                                       # the write path, flush, verified read-back
 //	dlfsctl cluster -ranks 3 -n 600        # multi-node live mount: in-process job of
 //	                                       # N ranks over a TCP coordinator + targets
 //	dlfsctl cluster -rank 1 -world 3 -coord host:4430 -targets a:4420,b:4420,c:4420
@@ -136,6 +138,8 @@ func cmdSmoke(args []string) {
 	delayProb := fs.Float64("chaos-delay-prob", 0.05, "per-segment delay probability under chaos")
 	delay := fs.Duration("chaos-delay", time.Millisecond, "injected per-segment delay under chaos")
 	dead := fs.Int("dead", -1, "blackhole this target index after mount (degraded-mode demo)")
+	write := fs.Bool("write", false, "exercise the checkpoint write path after the epoch: sharded save, durability barrier, verified read-back")
+	ckptBytes := fs.Int("ckpt-bytes", 8<<20, "checkpoint state size for -write")
 	fs.Parse(args) //nolint:errcheck
 
 	addrs := make([]string, *targets)
@@ -226,6 +230,34 @@ func cmdSmoke(args []string) {
 	fmt.Printf("epoch: %d samples in %.3fs (%s), %d checksum failures\n",
 		len(items), elapsed.Seconds(),
 		metrics.HumanRate(float64(len(items))/elapsed.Seconds()), bad)
+	if *write {
+		ck, err := lfs.Checkpointer(live.CheckpointConfig{})
+		if err != nil {
+			fatal(err)
+		}
+		state := make([]byte, *ckptBytes)
+		for i := range state {
+			state[i] = byte(i*2654435761 + 17)
+		}
+		start = time.Now()
+		if err := ck.Save(1, state); err != nil {
+			fatal(fmt.Errorf("checkpoint save: %w", err))
+		}
+		saveSecs := time.Since(start).Seconds()
+		got, step, err := ck.Load()
+		if err != nil {
+			fatal(fmt.Errorf("checkpoint read-back: %w", err))
+		}
+		verified := step == 1 && string(got) == string(state)
+		lfs.Recycle(got)
+		if !verified {
+			fmt.Fprintln(os.Stderr, "dlfsctl: checkpoint read-back diverged from saved state")
+			os.Exit(1)
+		}
+		fmt.Printf("checkpoint: %s saved + flushed in %.3fs (%s/s), read-back verified\n",
+			metrics.HumanBytes(int64(len(state))), saveSecs,
+			metrics.HumanBytes(int64(float64(len(state))/saveSecs)))
+	}
 	st := lfs.Stats()
 	fmt.Printf("pipeline (%d QPs/target, %d cache shards): %s\n", st.QueuePairs, st.CacheShards, st.Pipeline)
 	if hs := st.Pipeline.Stages; hs != nil {

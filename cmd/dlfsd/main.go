@@ -199,8 +199,16 @@ func statsLine(tgt *nvmetcp.Target) string {
 	if vecReads > 0 {
 		line += fmt.Sprintf(" (%.1f segs/cmd)", float64(vecSegs)/float64(vecReads))
 	}
+	ss := tgt.ServerStats()
+	if ss.VecWriteCmds > 0 {
+		line += fmt.Sprintf(" vec-writes=%d (%.1f segs/cmd)",
+			ss.VecWriteCmds, float64(ss.VecWriteSegs)/float64(ss.VecWriteCmds))
+	}
+	if ss.FlushCmds > 0 {
+		line += fmt.Sprintf(" flushes=%d", ss.FlushCmds)
+	}
 	line += fmt.Sprintf(", conns accepted=%d malformed=%d aborted=%d", accepted, malformed, aborted)
-	line += fmt.Sprintf("\ndlfsd: engine: %s", tgt.ServerStats())
+	line += fmt.Sprintf("\ndlfsd: engine: %s", ss)
 	tstats := tgt.TenantStats()
 	// Tenant 0 alone with no throttles is the single-tenant steady
 	// state — not worth a line per tick.

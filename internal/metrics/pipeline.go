@@ -59,6 +59,16 @@ type Pipeline struct {
 	OffloadSavedBytes atomic.Int64 // chunk padding + edge overfetch kept off the wire
 	OffloadDowngrades atomic.Int64 // targets downgraded to opReadVec (old opcode set)
 
+	// Checkpoint write path (live.Checkpointer): sharded state streamed
+	// through gathered writes with a durability barrier per save.
+	CkptSaves      atomic.Int64 // Save calls completed
+	CkptBytes      atomic.Int64 // checkpoint payload bytes shipped
+	CkptWriteCmds  atomic.Int64 // write commands posted (vec or per-extent)
+	CkptWriteSegs  atomic.Int64 // extents carried by those commands
+	CkptFlushes    atomic.Int64 // per-target durability barriers issued
+	CkptDowngrades atomic.Int64 // targets downgraded to per-extent opWrite
+	CkptNanos      atomic.Int64 // wall time inside Save
+
 	// Hist, when non-nil, additionally records every stage observation
 	// into per-stage latency histograms. Left nil (the default), the
 	// pipeline pays only the atomic counter adds above.
@@ -74,6 +84,7 @@ type PipelineHist struct {
 	Poll Hist // waiting for completions, per fetch group
 	Copy Hist // copying one sample out of cache chunks
 	Read Hist // whole synchronous ReadSample calls (hit or miss)
+	Ckpt Hist // one checkpoint write command, post to completion
 }
 
 // Snapshot copies all stage histograms.
@@ -84,12 +95,13 @@ func (h *PipelineHist) Snapshot() *PipelineHistSnapshot {
 		Poll: h.Poll.Snapshot(),
 		Copy: h.Copy.Snapshot(),
 		Read: h.Read.Snapshot(),
+		Ckpt: h.Ckpt.Snapshot(),
 	}
 }
 
 // PipelineHistSnapshot is a plain-value copy of PipelineHist.
 type PipelineHistSnapshot struct {
-	Prep, Post, Poll, Copy, Read HistSnapshot
+	Prep, Post, Poll, Copy, Read, Ckpt HistSnapshot
 }
 
 // Merge combines per-stage distributions across clients or ranks.
@@ -106,6 +118,7 @@ func (s *PipelineHistSnapshot) Merge(o *PipelineHistSnapshot) *PipelineHistSnaps
 		Poll: s.Poll.Merge(o.Poll),
 		Copy: s.Copy.Merge(o.Copy),
 		Read: s.Read.Merge(o.Read),
+		Ckpt: s.Ckpt.Merge(o.Ckpt),
 	}
 }
 
@@ -153,6 +166,17 @@ func (p *Pipeline) ObserveRead(d time.Duration) {
 	}
 }
 
+// ObserveCkptWrite accounts one checkpoint write command: its byte and
+// segment payload plus its post-to-completion latency.
+func (p *Pipeline) ObserveCkptWrite(bytes, segs int64, d time.Duration) {
+	p.CkptBytes.Add(bytes)
+	p.CkptWriteCmds.Add(1)
+	p.CkptWriteSegs.Add(segs)
+	if p.Hist != nil {
+		p.Hist.Ckpt.Observe(d)
+	}
+}
+
 // Snapshot returns a point-in-time copy for reporting. When stage
 // histograms are enabled the snapshot carries them in Stages.
 func (p *Pipeline) Snapshot() PipelineSnapshot {
@@ -190,6 +214,13 @@ func (p *Pipeline) Snapshot() PipelineSnapshot {
 		OffloadSamples:    p.OffloadSamples.Load(),
 		OffloadSavedBytes: p.OffloadSavedBytes.Load(),
 		OffloadDowngrades: p.OffloadDowngrades.Load(),
+		CkptSaves:         p.CkptSaves.Load(),
+		CkptBytes:         p.CkptBytes.Load(),
+		CkptWriteCmds:     p.CkptWriteCmds.Load(),
+		CkptWriteSegs:     p.CkptWriteSegs.Load(),
+		CkptFlushes:       p.CkptFlushes.Load(),
+		CkptDowngrades:    p.CkptDowngrades.Load(),
+		CkptNanos:         p.CkptNanos.Load(),
 	}
 }
 
@@ -225,6 +256,13 @@ type PipelineSnapshot struct {
 	OffloadSamples    int64
 	OffloadSavedBytes int64
 	OffloadDowngrades int64
+	CkptSaves         int64
+	CkptBytes         int64
+	CkptWriteCmds     int64
+	CkptWriteSegs     int64
+	CkptFlushes       int64
+	CkptDowngrades    int64
+	CkptNanos         int64
 }
 
 // CoalesceRatio reports chunk segments per wire read — 1.0 means no
@@ -274,6 +312,11 @@ func (s PipelineSnapshot) String() string {
 	if s.OffloadCmds+s.OffloadDowngrades > 0 {
 		line += fmt.Sprintf(" offload cmds/samples=%d/%d saved_bytes=%d downgrades=%d",
 			s.OffloadCmds, s.OffloadSamples, s.OffloadSavedBytes, s.OffloadDowngrades)
+	}
+	if s.CkptSaves > 0 {
+		line += fmt.Sprintf(" ckpt saves=%d bytes=%d cmds/segs=%d/%d flushes=%d downgrades=%d time=%v",
+			s.CkptSaves, s.CkptBytes, s.CkptWriteCmds, s.CkptWriteSegs, s.CkptFlushes,
+			s.CkptDowngrades, time.Duration(s.CkptNanos))
 	}
 	return line
 }

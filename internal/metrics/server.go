@@ -30,6 +30,14 @@ type Server struct {
 	AssembledBytes   atomic.Int64 // post-transform record bytes flushed
 	TransformNanos   atomic.Int64 // time inside the per-sample transform stage
 
+	// Write path (opWrite / opWriteVec / opFlush): checkpoint ingest.
+	WriteBytes     atomic.Int64 // payload bytes landed in the store
+	VecWriteCmds   atomic.Int64 // gathered-write commands served
+	VecWriteSegs   atomic.Int64 // extents carried by those commands
+	FlushCmds      atomic.Int64 // durability barriers served
+	FlushWaitNanos atomic.Int64 // time barriers waited for prior writes
+	AdoptedExtents atomic.Int64 // extents landed zero-copy by buffer adoption
+
 	// Hist, when non-nil, additionally records per-stage latency
 	// distributions. Left nil (the default), the engine pays only the
 	// atomic counter adds above.
@@ -42,6 +50,7 @@ type ServerHist struct {
 	QueueWait Hist // per command: RPQ enqueue to worker pickup
 	Service   Hist // per command: execution inside a worker
 	Flush     Hist // per writev: building + writing one completion batch
+	Write     Hist // per write command: store landing time
 }
 
 // Snapshot copies all stage histograms.
@@ -50,12 +59,13 @@ func (h *ServerHist) Snapshot() *ServerHistSnapshot {
 		QueueWait: h.QueueWait.Snapshot(),
 		Service:   h.Service.Snapshot(),
 		Flush:     h.Flush.Snapshot(),
+		Write:     h.Write.Snapshot(),
 	}
 }
 
 // ServerHistSnapshot is a plain-value copy of ServerHist.
 type ServerHistSnapshot struct {
-	QueueWait, Service, Flush HistSnapshot
+	QueueWait, Service, Flush, Write HistSnapshot
 }
 
 // Merge combines per-stage distributions across targets.
@@ -70,6 +80,7 @@ func (s *ServerHistSnapshot) Merge(o *ServerHistSnapshot) *ServerHistSnapshot {
 		QueueWait: s.QueueWait.Merge(o.QueueWait),
 		Service:   s.Service.Merge(o.Service),
 		Flush:     s.Flush.Merge(o.Flush),
+		Write:     s.Write.Merge(o.Write),
 	}
 }
 
@@ -105,6 +116,21 @@ func (s *Server) ObserveTransform(d time.Duration) {
 	}
 }
 
+// ObserveWrite accounts one write command's store landing: payload bytes
+// plus the time spent inside the store write.
+func (s *Server) ObserveWrite(bytes int64, d time.Duration) {
+	s.WriteBytes.Add(bytes)
+	if s.Hist != nil {
+		s.Hist.Write.Observe(d)
+	}
+}
+
+// ObserveFlushWait accounts the time one durability barrier spent
+// waiting for the connection's prior writes to land before syncing.
+func (s *Server) ObserveFlushWait(d time.Duration) {
+	s.FlushWaitNanos.Add(int64(d))
+}
+
 // Snapshot returns a point-in-time copy for reporting. When stage
 // histograms are enabled the snapshot carries them in Stages.
 func (s *Server) Snapshot() ServerSnapshot {
@@ -127,6 +153,13 @@ func (s *Server) Snapshot() ServerSnapshot {
 		AssembledSamples: s.AssembledSamples.Load(),
 		AssembledBytes:   s.AssembledBytes.Load(),
 		TransformNanos:   s.TransformNanos.Load(),
+
+		WriteBytes:     s.WriteBytes.Load(),
+		VecWriteCmds:   s.VecWriteCmds.Load(),
+		VecWriteSegs:   s.VecWriteSegs.Load(),
+		FlushCmds:      s.FlushCmds.Load(),
+		FlushWaitNanos: s.FlushWaitNanos.Load(),
+		AdoptedExtents: s.AdoptedExtents.Load(),
 	}
 }
 
@@ -147,6 +180,13 @@ type ServerSnapshot struct {
 	AssembledSamples int64
 	AssembledBytes   int64
 	TransformNanos   int64
+
+	WriteBytes     int64
+	VecWriteCmds   int64
+	VecWriteSegs   int64
+	FlushCmds      int64
+	FlushWaitNanos int64
+	AdoptedExtents int64
 }
 
 // FlushBatch reports completions per writev — 1.0 means no batching,
@@ -178,6 +218,10 @@ func (s ServerSnapshot) String() string {
 	if s.SampleCmds > 0 {
 		line += fmt.Sprintf(" assembly cmds=%d samples=%d bytes=%s xform=%v",
 			s.SampleCmds, s.AssembledSamples, HumanBytes(s.AssembledBytes), time.Duration(s.TransformNanos))
+	}
+	if s.WriteBytes > 0 || s.FlushCmds > 0 {
+		line += fmt.Sprintf(" write=%s vec-cmds=%d vec-segs=%d adopted=%d syncs=%d sync-wait=%v",
+			HumanBytes(s.WriteBytes), s.VecWriteCmds, s.VecWriteSegs, s.AdoptedExtents, s.FlushCmds, time.Duration(s.FlushWaitNanos))
 	}
 	return line
 }

@@ -198,3 +198,88 @@ func FuzzTenantFrame(f *testing.F) {
 		}
 	})
 }
+
+// FuzzWriteFrame throws arbitrary opWriteVec request frames at the
+// gathered-write decoder — the caps-before-alloc gate between the wire
+// and the store's write path. Invariants: the decoder never panics and
+// never allocates descriptors past maxVecSegs; anything it accepts has a
+// positive in-cap count, nonzero int32-positive extent lengths, a
+// descriptor sum exactly matching the trailing data bytes, and
+// re-encodes byte-identically; and reserved tenant bits on the frame are
+// still rejected before any write-side state is touched.
+func FuzzWriteFrame(f *testing.F) {
+	mk := func(tenant byte, payload []byte) []byte {
+		var b bytes.Buffer
+		writeCapsuleHdr(&b, &capsule{cmdID: 33, opcode: opWriteVec, status: tenant, offset: 0, payload: payload}, make([]byte, capsuleHeaderSize)) //nolint:errcheck
+		return b.Bytes()
+	}
+	vecPayload := func(segs []vecSeg, data []byte) []byte {
+		p := make([]byte, writeVecHdrSize+len(segs)*vecSegSize+len(data))
+		n := encodeWriteVec(p, segs)
+		copy(p[n:], data)
+		return p
+	}
+
+	good := vecPayload([]vecSeg{{off: 0, n: 512}, {off: 1 << 20, n: 512}}, make([]byte, 1024))
+	f.Add(mk(0, good))
+	f.Add(mk(MaxTenantID, good))
+	f.Add(mk(0x80, good)) // reserved tenant bit set
+	f.Add(mk(0xFF, good))
+
+	zeroLen := vecPayload([]vecSeg{{off: 0, n: 0}}, nil) // zero-length extent
+	f.Add(mk(1, zeroLen))
+	negLen := vecPayload([]vecSeg{{off: 0, n: 0x80000000}}, nil) // int32-negative extent
+	f.Add(mk(1, negLen))
+
+	overCount := append([]byte(nil), good...) // count overflows the descriptor cap
+	binary.LittleEndian.PutUint32(overCount[0:4], 0xFFFFFFFF)
+	f.Add(mk(1, overCount))
+	zeroCount := append([]byte(nil), good...)
+	binary.LittleEndian.PutUint32(zeroCount[0:4], 0)
+	f.Add(mk(1, zeroCount))
+
+	short := vecPayload([]vecSeg{{off: 0, n: 1024}}, make([]byte, 512)) // descriptors promise more data than shipped
+	f.Add(mk(1, short))
+	long := vecPayload([]vecSeg{{off: 0, n: 512}}, make([]byte, 1024)) // trailing bytes no descriptor claims
+	f.Add(mk(1, long))
+	f.Add(mk(1, good[:writeVecHdrSize+vecSegSize/2])) // truncated mid-descriptor
+	f.Add(mk(1, nil))
+	for _, s := range corruptSeeds() {
+		f.Add(s)
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, err := readCapsule(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if req.status > MaxTenantID && classifyTenant(req.status, MaxTenantID+1) != statusTenant {
+			t.Fatalf("reserved-bit tenant %#x reached the write path", req.status)
+		}
+		if req.opcode != opWriteVec {
+			return
+		}
+		segs, body, derr := decodeWriteVec(req.payload)
+		if derr != nil {
+			return
+		}
+		if len(segs) == 0 || len(segs) > maxVecSegs {
+			t.Fatalf("accepted %d descriptors", len(segs))
+		}
+		sum := 0
+		for i, s := range segs {
+			if s.n == 0 || int32(s.n) < 0 {
+				t.Fatalf("accepted extent %d length %d", i, int32(s.n))
+			}
+			sum += int(s.n)
+		}
+		if sum != len(body) {
+			t.Fatalf("descriptor sum %d != %d gathered bytes", sum, len(body))
+		}
+		// Accepted frames must re-encode byte-identically.
+		again := make([]byte, writeVecHdrSize+len(segs)*vecSegSize)
+		if n := encodeWriteVec(again, segs); !bytes.Equal(again[:n], req.payload[:n]) {
+			t.Fatal("re-encode diverged from accepted frame")
+		}
+	})
+}

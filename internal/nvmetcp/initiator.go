@@ -443,9 +443,9 @@ func (in *Initiator) finish(c compl, ok bool, pc *pendingCmd, id uint64) (int, e
 	if c.status != statusOK {
 		op := pc.op
 		putPending(pc)
-		if c.status == statusBadOp && op == opReadSamples {
-			// statusBadOp on this opcode can only mean a target that does
-			// not speak it: surface the typed downgrade signal.
+		if c.status == statusBadOp && (op == opReadSamples || op == opWriteVec || op == opFlush) {
+			// statusBadOp on these opcodes can only mean a target that does
+			// not speak them: surface the typed downgrade signal.
 			return 0, &UnsupportedOpError{Opcode: op}
 		}
 		if c.status == statusThrottled {
@@ -475,15 +475,118 @@ func (in *Initiator) ReadAt(p []byte, off int64) (int, error) {
 
 // WriteAt writes p at off on the remote store.
 func (in *Initiator) WriteAt(p []byte, off int64) (int, error) {
-	pc := getPending()
-	id, err := in.submit(&capsule{opcode: opWrite, offset: uint64(off), payload: p}, pc)
+	pd, err := in.WriteAsync(p, off)
 	if err != nil {
 		return 0, err
 	}
-	if _, err := in.await(pc, id); err != nil {
+	if _, err := pd.Wait(); err != nil {
 		return 0, err
 	}
 	return len(p), nil
+}
+
+// WriteAsync submits a write of p at off without waiting. The payload
+// is fully on the wire when WriteAsync returns, so the caller may reuse
+// p immediately; Wait() confirms the store landing.
+func (in *Initiator) WriteAsync(p []byte, off int64) (*Pending, error) {
+	pc := getPending()
+	id, err := in.submit(&capsule{opcode: opWrite, offset: uint64(off), payload: p}, pc)
+	if err != nil {
+		return nil, err
+	}
+	return &Pending{in: in, pc: pc, id: id}, nil
+}
+
+// WSeg is one gather segment of a vectored write: len(Src) bytes
+// destined for byte offset Off on the remote store.
+type WSeg struct {
+	Src []byte
+	Off int64
+}
+
+// WriteVecAsync submits one gathered write covering every segment — a
+// single wire command whose payload carries the extents' descriptors
+// and bytes, landed by the target under a single seqlock epoch so a
+// multi-extent checkpoint stripe becomes visible atomically. Only the
+// descriptor block is staged; the data segments are gathered straight
+// from the caller's buffers into a single vectored socket write, so no
+// client-side copy of the payload is made. The payload is fully on the
+// wire when WriteVecAsync returns, so source buffers are free for
+// immediate reuse. A target that does not speak the opcode completes
+// with *UnsupportedOpError; callers downgrade to per-extent WriteAt.
+func (in *Initiator) WriteVecAsync(segs []WSeg) (*Pending, error) {
+	if len(segs) == 0 || len(segs) > maxVecSegs {
+		return nil, fmt.Errorf("nvmetcp: vectored write of %d segments", len(segs))
+	}
+	total := 0
+	for i, s := range segs {
+		if len(s.Src) == 0 {
+			return nil, fmt.Errorf("nvmetcp: vectored write segment %d is empty", i)
+		}
+		total += len(s.Src)
+	}
+	framed := writeVecHdrSize + vecSegSize*len(segs) + total
+	if framed > maxPayload {
+		return nil, fmt.Errorf("%w: vectored write of %d bytes", ErrTooLarge, framed)
+	}
+	vsegs := make([]vecSeg, len(segs))
+	for i, s := range segs {
+		vsegs[i] = vecSeg{off: uint64(s.Off), n: uint32(len(s.Src))}
+	}
+	desc := bufpool.Shared.Get(writeVecHdrSize + vecSegSize*len(segs))
+	n := encodeWriteVec(desc, vsegs)
+	gather := make(net.Buffers, 0, len(segs)+1)
+	gather = append(gather, desc[:n])
+	for _, s := range segs {
+		gather = append(gather, s.Src)
+	}
+	pc := getPending()
+	id, err := in.submit(&capsule{opcode: opWriteVec, gather: gather}, pc)
+	bufpool.Shared.Put(desc) // descriptors on the wire (or failed) by now
+	if err != nil {
+		return nil, err
+	}
+	return &Pending{in: in, pc: pc, id: id}, nil
+}
+
+// WriteVec performs a synchronous gathered write, returning the total
+// data bytes written.
+func (in *Initiator) WriteVec(segs []WSeg) (int, error) {
+	pd, err := in.WriteVecAsync(segs)
+	if err != nil {
+		return 0, err
+	}
+	if _, err := pd.Wait(); err != nil {
+		return 0, err
+	}
+	n := 0
+	for _, s := range segs {
+		n += len(s.Src)
+	}
+	return n, nil
+}
+
+// FlushAsync submits a durability barrier: it completes only once
+// every write submitted on this connection before it has been applied
+// and the store synced. A target that does not speak the opcode
+// completes with *UnsupportedOpError.
+func (in *Initiator) FlushAsync() (*Pending, error) {
+	pc := getPending()
+	id, err := in.submit(&capsule{opcode: opFlush}, pc)
+	if err != nil {
+		return nil, err
+	}
+	return &Pending{in: in, pc: pc, id: id}, nil
+}
+
+// Flush performs a synchronous durability barrier.
+func (in *Initiator) Flush() error {
+	pd, err := in.FlushAsync()
+	if err != nil {
+		return err
+	}
+	_, err = pd.Wait()
+	return err
 }
 
 // Pending is an in-flight asynchronous read.

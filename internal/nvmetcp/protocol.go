@@ -25,6 +25,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"net"
 )
 
 // Magic guards against cross-protocol connections.
@@ -38,6 +39,8 @@ const (
 	opFlushStats
 	opReadVec
 	opReadSamples
+	opWriteVec // gathered multi-extent write (checkpoint ingest)
+	opFlush    // durability barrier over this connection's prior writes
 )
 
 // Status codes. statusBadOp is reserved for "opcode unknown to this
@@ -84,13 +87,28 @@ const capsuleHeaderSize = 4 + 8 + 1 + 1 + 8 + 4
 // length fields).
 const maxPayload = 64 << 20
 
-// capsule is one frame in either direction.
+// capsule is one frame in either direction. A request whose payload is
+// scattered across caller buffers sets gather instead of payload: the
+// segments go to the socket in one vectored write, so the client never
+// stages a gathered command's data into a contiguous frame.
 type capsule struct {
 	cmdID   uint64
 	opcode  byte
 	status  byte
 	offset  uint64
 	payload []byte
+	gather  net.Buffers
+
+	// Server-side gathered ingest (engine path only): an opWriteVec
+	// frame's payload is validated descriptor-first and read as one
+	// pooled buffer per segment, so vsegs/vecs carry the command instead
+	// of payload and aligned segments can be adopted by the store with
+	// no copy. vecStatus, when non-zero, is the completion status an
+	// ingest-time validation failure deferred to the worker (the frame
+	// was drained to keep the stream aligned).
+	vsegs     []vecSeg
+	vecs      [][]byte
+	vecStatus byte
 }
 
 // Errors.
@@ -123,6 +141,22 @@ func encodeHdr(hdr []byte, cmdID uint64, opcode, status byte, offset uint64, pay
 // and hdr.
 func writeCapsuleHdr(w io.Writer, c *capsule, hdr []byte) error {
 	hdr = hdr[:capsuleHeaderSize]
+	if c.gather != nil {
+		total := 0
+		for _, s := range c.gather {
+			total += len(s)
+		}
+		encodeHdr(hdr, c.cmdID, c.opcode, c.status, c.offset, total)
+		// One writev covering header, descriptor block and every data
+		// segment: the payload goes from the caller's buffers to the
+		// socket without a staging copy. WriteTo consumes the slice, so
+		// build the iovec fresh each send.
+		bufs := make(net.Buffers, 0, len(c.gather)+1)
+		bufs = append(bufs, hdr)
+		bufs = append(bufs, c.gather...)
+		_, err := bufs.WriteTo(w)
+		return err
+	}
 	encodeHdr(hdr, c.cmdID, c.opcode, c.status, c.offset, len(c.payload))
 	if _, err := w.Write(hdr); err != nil {
 		return err
@@ -298,4 +332,74 @@ func decodeSampleList(payload []byte) (xform byte, segs []vecSeg, total int, err
 		p += sampleDescSize
 	}
 	return xform, segs, total, nil
+}
+
+// Gathered-write encoding (opWriteVec, the checkpoint-ingest opcode). A
+// request payload is
+//
+//	count(u32) | count × (offset(u64) | length(u32)) | data
+//
+// where data is every extent's bytes concatenated in descriptor order,
+// so one wire command lands a whole sharded checkpoint stripe. A
+// successful response is header-only. The durability barrier opFlush
+// carries no payload at all: it completes only once every write
+// admitted before it on the same connection has been applied to the
+// store.
+
+// writeVecHdrSize is the fixed request prefix before the descriptors.
+const writeVecHdrSize = 4
+
+// encodeWriteVec frames the descriptor block of a gathered write into
+// dst (len >= writeVecHdrSize + len(segs)*vecSegSize) and returns the
+// encoded length; the caller appends the gathered data after it.
+func encodeWriteVec(dst []byte, segs []vecSeg) int {
+	binary.LittleEndian.PutUint32(dst[0:4], uint32(len(segs)))
+	p := writeVecHdrSize
+	for _, s := range segs {
+		binary.LittleEndian.PutUint64(dst[p:p+8], s.off)
+		binary.LittleEndian.PutUint32(dst[p+8:p+12], s.n)
+		p += vecSegSize
+	}
+	return p
+}
+
+// decodeWriteVec parses an opWriteVec request payload and returns the
+// descriptors plus the gathered data bytes that follow them. Mirroring
+// decodeSampleList, every bound — descriptor count, per-extent length,
+// and the exact match between the descriptor total and the trailing
+// data — is enforced before the descriptor slice is allocated, so a
+// corrupt count cannot drive a huge allocation and a short payload can
+// never alias bytes outside the frame.
+func decodeWriteVec(payload []byte) (segs []vecSeg, data []byte, err error) {
+	if len(payload) < writeVecHdrSize {
+		return nil, nil, ErrShortFrame
+	}
+	n := int(binary.LittleEndian.Uint32(payload[0:4]))
+	if n <= 0 || n > maxVecSegs || len(payload) < writeVecHdrSize+n*vecSegSize {
+		return nil, nil, fmt.Errorf("%w: write-vec count %d payload %d", ErrShortFrame, n, len(payload))
+	}
+	descEnd := writeVecHdrSize + n*vecSegSize
+	want := len(payload) - descEnd // gathered data bytes the frame actually carries
+	segs = make([]vecSeg, n)
+	total := 0
+	p := writeVecHdrSize
+	for i := 0; i < n; i++ {
+		segs[i] = vecSeg{
+			off: binary.LittleEndian.Uint64(payload[p : p+8]),
+			n:   binary.LittleEndian.Uint32(payload[p+8 : p+12]),
+		}
+		ln := segs[i].n
+		if ln == 0 || int32(ln) < 0 {
+			return nil, nil, fmt.Errorf("%w: write-vec extent %d length %d", ErrShortFrame, i, int32(ln))
+		}
+		total += int(ln)
+		if total > want {
+			return nil, nil, fmt.Errorf("%w: write-vec total %d exceeds %d data bytes", ErrShortFrame, total, want)
+		}
+		p += vecSegSize
+	}
+	if total != want {
+		return nil, nil, fmt.Errorf("%w: write-vec total %d != %d data bytes", ErrShortFrame, total, want)
+	}
+	return segs, payload[descEnd:], nil
 }

@@ -81,6 +81,30 @@ func (g *QPGroup) ReadSamplesAsync(xform byte, segs []SampleSeg, lens []int) (*R
 	return g.pick().ReadSamplesAsync(xform, segs, lens)
 }
 
+// WriteAsync submits a pipelined write on the next queue pair.
+func (g *QPGroup) WriteAsync(p []byte, off int64) (*RePending, error) {
+	return g.pick().WriteAsync(p, off)
+}
+
+// WriteVecAsync submits a pipelined gathered write on the next queue
+// pair.
+func (g *QPGroup) WriteVecAsync(segs []WSeg) (*RePending, error) {
+	return g.pick().WriteVecAsync(segs)
+}
+
+// Flush issues a durability barrier on every queue pair in the group —
+// writes stripe across the pairs, so only the full fan-out covers them
+// all. The first error wins but every pair is still flushed.
+func (g *QPGroup) Flush() error {
+	var err error
+	for _, rc := range g.qps {
+		if ferr := rc.Flush(); err == nil {
+			err = ferr
+		}
+	}
+	return err
+}
+
 // Close tears down every queue pair, returning the first error.
 func (g *QPGroup) Close() error {
 	var err error

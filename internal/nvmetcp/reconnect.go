@@ -215,6 +215,31 @@ func (r *Reconnector) WriteAt(p []byte, off int64) (int, error) {
 	return n, err
 }
 
+// WriteVec performs a synchronous gathered write, retrying per policy.
+// Like WriteAt, every extent lands at a fixed offset, so re-issuing the
+// whole vector after a lost connection is idempotent. An
+// *UnsupportedOpError is not retryable and returns immediately — the
+// caller's downgrade signal to per-extent WriteAt.
+func (r *Reconnector) WriteVec(segs []WSeg) (int, error) {
+	var n int
+	err := r.do(func(in *Initiator) error {
+		var e error
+		n, e = in.WriteVec(segs)
+		return e
+	})
+	return n, err
+}
+
+// Flush issues a durability barrier, retrying per policy. A barrier
+// re-issued on a fresh connection still covers the caller's prior
+// writes: writes that completed before Flush was called have already
+// been applied by the target (their completions prove it), so the
+// fresh connection's barrier — trivially past its own zero admitted
+// writes — syncs the store they landed in.
+func (r *Reconnector) Flush() error {
+	return r.do(func(in *Initiator) error { return in.Flush() })
+}
+
 // ReadVec performs a synchronous vectored read, retrying per policy. The
 // whole vector is re-issued on a fresh connection after a retryable
 // failure; segment reads are stateless, so re-landing bytes in the same
@@ -257,6 +282,8 @@ type RePending struct {
 	smp   []SampleSeg // non-nil for server-assembled reads
 	lens  []int
 	xform byte
+	wsrc  []byte // non-nil for single writes (recovery re-sends from it)
+	wsegs []WSeg // non-nil for gathered writes
 }
 
 // ReadAsync submits a pipelined read. A retryable submission failure is
@@ -279,6 +306,22 @@ func (r *Reconnector) ReadVecAsync(segs []Seg) (*RePending, error) {
 func (r *Reconnector) ReadSamplesAsync(xform byte, segs []SampleSeg, lens []int) (*RePending, error) {
 	rp := &RePending{r: r, smp: segs, lens: lens, xform: xform}
 	return r.startAsync(rp, func(in *Initiator) (*Pending, error) { return in.ReadSamplesAsync(xform, segs, lens) })
+}
+
+// WriteAsync submits a pipelined write. Recovery in Wait re-sends from
+// p, so the caller must keep p intact until Wait returns — the price of
+// idempotent resubmission after a mid-write connection loss.
+func (r *Reconnector) WriteAsync(p []byte, off int64) (*RePending, error) {
+	rp := &RePending{r: r, wsrc: p, off: off}
+	return r.startAsync(rp, func(in *Initiator) (*Pending, error) { return in.WriteAsync(p, off) })
+}
+
+// WriteVecAsync submits a pipelined gathered write. Recovery in Wait
+// re-sends the whole vector from the segments' Src buffers, so they
+// must stay intact until Wait returns.
+func (r *Reconnector) WriteVecAsync(segs []WSeg) (*RePending, error) {
+	rp := &RePending{r: r, wsegs: segs}
+	return r.startAsync(rp, func(in *Initiator) (*Pending, error) { return in.WriteVecAsync(segs) })
 }
 
 func (r *Reconnector) startAsync(rp *RePending, start func(*Initiator) (*Pending, error)) (*RePending, error) {
@@ -318,6 +361,12 @@ func (rp *RePending) Wait() (int, error) {
 	}
 	if rp.segs != nil {
 		return rp.r.ReadVec(rp.segs)
+	}
+	if rp.wsegs != nil {
+		return rp.r.WriteVec(rp.wsegs)
+	}
+	if rp.wsrc != nil {
+		return rp.r.WriteAt(rp.wsrc, rp.off)
 	}
 	return rp.r.ReadAt(rp.dst, rp.off)
 }

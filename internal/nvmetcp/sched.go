@@ -157,7 +157,22 @@ func (s *drrSched) admit(ts *tenantState, cost int64) time.Duration {
 		ts.iopsTokens--
 	}
 	if s.bytesPerSec > 0 {
-		ts.byteTokens -= float64(cost)
+		// Clamp the charged cost at one burst (1s of rate). The debt
+		// model admits any command while the bucket is positive, but an
+		// uncapped charge for a command larger than the burst would sink
+		// the bucket cost/rate seconds deep while every retry-after hint
+		// is capped at maxRetryAfter — so clients would burn their whole
+		// retry ladder against a bucket that cannot possibly refill in
+		// time, starving exactly the checkpoint-sized writes the quota is
+		// not meant to forbid. Charging at most one burst keeps the debt
+		// repayable within a single hint window; sustained oversized
+		// commands still pace at bytesPerSec because each one must wait
+		// for the bucket to climb back above zero.
+		charge := float64(cost)
+		if charge > s.bytesPerSec {
+			charge = s.bytesPerSec
+		}
+		ts.byteTokens -= charge
 	}
 	return 0
 }
@@ -282,8 +297,18 @@ func cmdCost(req *capsule) int64 {
 		if len(req.payload) == 4 {
 			cost = int64(int32(binary.LittleEndian.Uint32(req.payload)))
 		}
-	case opWrite:
+	case opWrite, opWriteVec:
+		// Writes are charged by request payload bytes; for opWriteVec
+		// that covers descriptors plus gathered data, a faithful upper
+		// bound on the store work without re-parsing the frame here.
+		// Engine-ingested gathered writes carry per-segment buffers
+		// instead of one payload; charge their sum.
 		cost = int64(len(req.payload))
+		for _, v := range req.vecs {
+			cost += int64(len(v))
+		}
+	case opFlush:
+		cost = 1 // barrier: no data moved, minimum scheduling cost
 	case opReadVec:
 		if len(req.payload) >= 4 {
 			n := int(binary.LittleEndian.Uint32(req.payload[0:4]))

@@ -4,6 +4,8 @@ import (
 	"bufio"
 	"encoding/binary"
 	"errors"
+	"fmt"
+	"io"
 	"log"
 	"net"
 	"sync"
@@ -86,9 +88,10 @@ type Config struct {
 	// per completion. Kept as the benchmark baseline only.
 	PerCmdGoroutines bool
 
-	// LegacyOps rejects opReadSamples with statusBadOp, emulating a
-	// pre-offload target in rolling-upgrade tests: a new client must
-	// downgrade to opReadVec against such a target, never fail.
+	// LegacyOps rejects opReadSamples, opWriteVec and opFlush with
+	// statusBadOp, emulating an older target in rolling-upgrade tests: a
+	// new client must downgrade (to opReadVec / per-extent opWrite),
+	// never fail.
 	LegacyOps bool
 }
 
@@ -172,11 +175,12 @@ type Target struct {
 
 // rpqItem is one command posted on a tenant's request queue.
 type rpqItem struct {
-	tc   *targetConn
-	ts   *tenantState
-	req  *capsule
-	cost int64 // estimated payload bytes, the DRR/quota currency
-	enq  time.Time
+	tc      *targetConn
+	ts      *tenantState
+	req     *capsule
+	cost    int64 // estimated payload bytes, the DRR/quota currency
+	barrier int64 // opFlush: writes admitted on the connection before it
+	enq     time.Time
 }
 
 // completion is one finished command on a connection's completion queue:
@@ -198,6 +202,43 @@ type targetConn struct {
 	conn     net.Conn
 	scq      chan completion
 	inflight sync.WaitGroup
+
+	// Durability-barrier bookkeeping. wAdmitted counts write commands
+	// (opWrite/opWriteVec) the connection's reader has posted onto the
+	// scheduler; it is touched only by the reader goroutine, so a flush
+	// command's barrier — the admitted count at its own admission — is a
+	// plain read. wApplied counts those writes the workers have finished
+	// executing against the store (success or failure; a rejected write
+	// must not wedge a barrier). An opFlush completes only once
+	// wApplied has caught up with its barrier, i.e. once every write
+	// submitted before it on this connection has landed.
+	wAdmitted int64
+	wMu       sync.Mutex
+	wCond     sync.Cond // signals wApplied advancing
+	wApplied  int64
+}
+
+// writeApplied records one admitted write finishing execution and wakes
+// any barrier waiting on it.
+func (tc *targetConn) writeApplied() {
+	tc.wMu.Lock()
+	tc.wApplied++
+	tc.wMu.Unlock()
+	tc.wCond.Broadcast()
+}
+
+// awaitWrites blocks until the connection's applied-write count reaches
+// barrier, returning how long it waited. Admitted writes are always
+// executed — the scheduler drains its queues even through shutdown — so
+// the wait terminates.
+func (tc *targetConn) awaitWrites(barrier int64) time.Duration {
+	start := time.Now()
+	tc.wMu.Lock()
+	for tc.wApplied < barrier {
+		tc.wCond.Wait()
+	}
+	tc.wMu.Unlock()
+	return time.Since(start)
 }
 
 // hdrPool recycles completion header frames.
@@ -326,6 +367,7 @@ func (t *Target) serveConn(conn net.Conn) {
 	}
 
 	tc := &targetConn{conn: conn, scq: make(chan completion, t.cfg.Depth)}
+	tc.wCond.L = &tc.wMu
 	t.connWG.Add(1)
 	go func() {
 		defer t.connWG.Done()
@@ -344,7 +386,7 @@ func (t *Target) serveConn(conn net.Conn) {
 	for {
 		// Request payloads (write data, vec descriptors) come from the
 		// shared pool and go back once the command is served.
-		req, err := readCapsuleHdr(br, rhdr, bufpool.Shared.Get)
+		req, err := t.readRequest(br, rhdr)
 		if err != nil {
 			// io.EOF and closed connections are normal teardown; only a
 			// malformed frame is worth a log line.
@@ -360,7 +402,7 @@ func (t *Target) serveConn(conn net.Conn) {
 		// alive, so tc.scq cannot close under these sends.
 		if st := classifyTenant(req.status, t.cfg.MaxTenants); st != statusOK {
 			t.tenantRejects.Add(1)
-			bufpool.Shared.Put(req.payload)
+			releaseRequest(req)
 			tc.reject(req.cmdID, req.opcode, st, 0)
 			continue
 		}
@@ -371,16 +413,26 @@ func (t *Target) serveConn(conn net.Conn) {
 			// field instead of queueing — admission control keeps the
 			// worker pool for tenants inside their budget.
 			ts.throttled.Add(1)
-			bufpool.Shared.Put(req.payload)
+			releaseRequest(req)
 			tc.reject(req.cmdID, req.opcode, statusThrottled, uint64(ra))
 			continue
 		}
 		tc.inflight.Add(1)
-		if !t.sched.enqueue(ts, rpqItem{tc: tc, ts: ts, req: req, cost: cost, enq: time.Now()}) {
+		// A flush's barrier snapshots the writes admitted on this
+		// connection so far; it is stamped here, on the reader, so the
+		// ordering it promises is exactly the client's submission order.
+		it := rpqItem{tc: tc, ts: ts, req: req, cost: cost, enq: time.Now()}
+		if req.opcode == opFlush {
+			it.barrier = tc.wAdmitted
+		}
+		if !t.sched.enqueue(ts, it) {
 			// Scheduler closed mid-enqueue (target shutdown).
-			bufpool.Shared.Put(req.payload)
+			releaseRequest(req)
 			tc.inflight.Done()
 			break
+		}
+		if req.opcode == opWrite || req.opcode == opWriteVec {
+			tc.wAdmitted++
 		}
 	}
 	// No more submissions can arrive. Once in-flight commands drain,
@@ -392,6 +444,129 @@ func (t *Target) serveConn(conn net.Conn) {
 		tc.inflight.Wait()
 		close(tc.scq)
 	}()
+}
+
+// readRequest reads one request frame for the engine path. Most opcodes
+// land contiguously through the pool; an opWriteVec frame's payload is
+// instead ingested descriptor-first as one pooled buffer per segment
+// (readWriteVec), so aligned segments can be adopted by the store with
+// no landing copy.
+func (t *Target) readRequest(r io.Reader, hdr []byte) (*capsule, error) {
+	hdr = hdr[:capsuleHeaderSize]
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return nil, err
+	}
+	if binary.LittleEndian.Uint32(hdr[0:4]) != Magic {
+		return nil, ErrBadMagic
+	}
+	c := &capsule{
+		cmdID:  binary.LittleEndian.Uint64(hdr[4:12]),
+		opcode: hdr[12],
+		status: hdr[13],
+		offset: binary.LittleEndian.Uint64(hdr[14:22]),
+	}
+	n := binary.LittleEndian.Uint32(hdr[22:26])
+	if n > maxPayload {
+		return nil, fmt.Errorf("%w: %d bytes", ErrTooLarge, n)
+	}
+	if c.opcode == opWriteVec && n > 0 && !t.cfg.LegacyOps {
+		if err := t.readWriteVec(r, c, int(n)); err != nil {
+			return nil, err
+		}
+		return c, nil
+	}
+	if n > 0 {
+		c.payload = bufpool.Shared.Get(int(n))
+		if _, err := io.ReadFull(r, c.payload); err != nil {
+			bufpool.Shared.Put(c.payload)
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// readWriteVec ingests one gathered-write payload of n bytes: caps
+// before alloc — the descriptor count, every per-extent length, the
+// exact match between descriptor totals and trailing data, and the
+// device range are all validated before any segment buffer is
+// allocated, so a corrupt frame can neither drive a huge allocation
+// nor land a byte. A frame that fails validation is drained to keep the
+// stream aligned and completes from the worker with the deferred
+// status in c.vecStatus. Each valid segment then lands in its own
+// pooled buffer, sized so whole-extent segments are adopted by the
+// store as backing arrays instead of being copied.
+func (t *Target) readWriteVec(r io.Reader, c *capsule, n int) error {
+	bad := func(st byte, consumed int) error {
+		c.vecStatus = st
+		_, err := io.CopyN(io.Discard, r, int64(n-consumed))
+		return err
+	}
+	if n < writeVecHdrSize {
+		return bad(statusBadOp, 0)
+	}
+	var hb [writeVecHdrSize]byte
+	if _, err := io.ReadFull(r, hb[:]); err != nil {
+		return err
+	}
+	consumed := writeVecHdrSize
+	count := int(binary.LittleEndian.Uint32(hb[0:4]))
+	if count <= 0 || count > maxVecSegs || n < writeVecHdrSize+count*vecSegSize {
+		return bad(statusBadOp, consumed)
+	}
+	desc := bufpool.Shared.Get(count * vecSegSize)
+	defer bufpool.Shared.Put(desc)
+	if _, err := io.ReadFull(r, desc); err != nil {
+		return err
+	}
+	consumed += len(desc)
+	want := n - consumed
+	segs := make([]vecSeg, count)
+	capacity := t.store.Capacity()
+	total := 0
+	for i := range segs {
+		p := i * vecSegSize
+		segs[i] = vecSeg{
+			off: binary.LittleEndian.Uint64(desc[p : p+8]),
+			n:   binary.LittleEndian.Uint32(desc[p+8 : p+12]),
+		}
+		ln := segs[i].n
+		if ln == 0 || int32(ln) < 0 {
+			return bad(statusBadOp, consumed)
+		}
+		if off := int64(segs[i].off); off < 0 || off+int64(ln) > capacity {
+			return bad(statusRange, consumed)
+		}
+		total += int(ln)
+		if total > want {
+			return bad(statusBadOp, consumed)
+		}
+	}
+	if total != want {
+		return bad(statusBadOp, consumed)
+	}
+	c.vsegs = segs
+	c.vecs = make([][]byte, count)
+	for i, sg := range segs {
+		buf := bufpool.Shared.Get(int(sg.n))
+		if _, err := io.ReadFull(r, buf); err != nil {
+			bufpool.Shared.Put(buf)
+			releaseRequest(c)
+			return err
+		}
+		c.vecs[i] = buf
+	}
+	return nil
+}
+
+// releaseRequest returns a request's pooled buffers once the command is
+// served or rejected. Buffers the store adopted were cleared from the
+// capsule by execute and stay out of the pool.
+func releaseRequest(req *capsule) {
+	bufpool.Shared.Put(req.payload)
+	for _, b := range req.vecs {
+		bufpool.Shared.Put(b)
+	}
+	req.payload, req.vecs = nil, nil
 }
 
 // worker drains the tenant queues through the DRR scheduler: execute
@@ -410,17 +585,47 @@ func (t *Target) worker() {
 		qwait := time.Since(it.enq)
 		t.srv.ObserveQueueWait(qwait)
 		it.ts.srv.ObserveQueueWait(qwait)
+		if it.req.opcode == opFlush && !t.cfg.LegacyOps {
+			// Durability barriers park off-pool: the barrier's writes may
+			// still be queued behind other tenants, and a worker blocked
+			// here could be the one meant to apply them. The goroutine is
+			// bounded by the connection's command depth and covered by
+			// tc.inflight, so teardown still waits for it.
+			go t.completeFlush(it)
+			continue
+		}
 		start := time.Now()
 		comp := t.execute(it.req, !t.cfg.NoZeroCopy)
-		bufpool.Shared.Put(it.req.payload)
+		releaseRequest(it.req)
 		service := time.Since(start)
 		t.srv.ObserveService(service)
 		it.ts.srv.ObserveService(service)
 		it.ts.cmds.Add(1)
 		it.ts.bytes.Add(int64(comp.n))
+		if it.req.opcode == opWrite || it.req.opcode == opWriteVec {
+			it.tc.writeApplied()
+		}
 		it.tc.scq <- comp
 		it.tc.inflight.Done()
 	}
+}
+
+// completeFlush serves one durability barrier: wait for the
+// connection's prior writes to apply, sync the store, and complete.
+// Runs on its own goroutine so barrier waits never occupy the worker
+// pool (see worker).
+func (t *Target) completeFlush(it rpqItem) {
+	waited := it.tc.awaitWrites(it.barrier)
+	t.srv.ObserveFlushWait(waited)
+	start := time.Now()
+	comp := t.execute(it.req, false)
+	releaseRequest(it.req)
+	service := time.Since(start)
+	t.srv.ObserveService(service)
+	it.ts.srv.ObserveService(service)
+	it.ts.cmds.Add(1)
+	it.tc.scq <- comp
+	it.tc.inflight.Done()
 }
 
 // reject synthesizes a payload-free error completion straight onto the
@@ -463,8 +668,20 @@ func (t *Target) flushLoop(tc *targetConn) {
 		}
 		start := time.Now()
 		scratch = scratch[:0]
+		pinned := false
 		for i := range batch {
 			c := &batch[i]
+			if c.view != nil && !pinned {
+				// Pin before the epoch check: from here until Unpin,
+				// writers go copy-on-write instead of mutating extents
+				// these views may alias. Seq-cst ordering over the two
+				// atomics makes the race two-sided safe — a writer that
+				// slipped past our epoch check below must have seen the
+				// pin (and cloned), and a writer we miss pinning against
+				// must have bumped the epoch first (and we restage).
+				pinned = true
+				t.store.PinViews()
+			}
 			// Seqlock check: a write epoch change since view capture
 			// means the segments may no longer carry the bytes the
 			// command read — re-stage them under the store lock.
@@ -483,6 +700,9 @@ func (t *Target) flushLoop(tc *targetConn) {
 		}
 		v := scratch // WriteTo consumes its receiver; keep scratch's header
 		_, err := v.WriteTo(tc.conn)
+		if pinned {
+			t.store.UnpinViews()
+		}
 		t.srv.ObserveFlush(time.Since(start))
 		t.srv.Flushes.Add(1)
 		t.srv.FlushedCmds.Add(int64(len(batch)))
@@ -777,12 +997,91 @@ func (t *Target) execute(req *capsule, zeroCopy bool) completion {
 		t.srv.AssembledBytes.Add(int64(comp.n - lb))
 		t.bytes.Add(int64(comp.n))
 	case opWrite:
+		start := time.Now()
 		if _, err := t.store.WriteAt(req.payload, int64(req.offset)); err != nil {
 			status = statusRange
 			break
 		}
+		t.srv.ObserveWrite(int64(len(req.payload)), time.Since(start))
 		t.bytes.Add(int64(len(req.payload)))
 		t.writes.Add(1)
+	case opWriteVec:
+		if t.cfg.LegacyOps {
+			// Emulated pre-write-path target: the opcode is unknown here
+			// and the client downgrades to per-extent opWrite.
+			status = statusBadOp
+			break
+		}
+		if req.vecStatus != 0 {
+			// Ingest-time validation failed; the frame was drained and
+			// the deferred status completes here.
+			status = req.vecStatus
+			break
+		}
+		var total, nsegs, adopted int
+		start := time.Now()
+		if req.vecs != nil {
+			// Engine ingest: per-segment pooled buffers. Aligned segments
+			// are adopted as extent backing — no landing copy — and the
+			// store hands back every buffer it did not keep (copied
+			// inputs, displaced extents) for recycling.
+			offs := make([]int64, len(req.vsegs))
+			for i, s := range req.vsegs {
+				offs[i] = int64(s.off)
+			}
+			n, ad, recycle, err := t.store.WriteVecAdoptSegs(req.vecs, offs)
+			if err != nil {
+				status = statusRange
+				break
+			}
+			req.vecs = nil // ownership resolved: adopted by store or recycled here
+			for _, b := range recycle {
+				bufpool.Shared.Put(b)
+			}
+			total, nsegs, adopted = n, len(req.vsegs), ad
+		} else {
+			// Legacy per-command-goroutine path: one contiguous payload.
+			segs, data, err := decodeWriteVec(req.payload)
+			if err != nil {
+				status = statusBadOp
+				break
+			}
+			offs := make([]int64, len(segs))
+			lens := make([]int, len(segs))
+			for i, s := range segs {
+				offs[i] = int64(s.off)
+				lens[i] = int(s.n)
+			}
+			n, ad, err := t.store.WriteVecAdopt(data, offs, lens)
+			if err != nil {
+				status = statusRange
+				break
+			}
+			if ad > 0 {
+				// Sub-slices of this payload are now extent backing: the
+				// buffer is transferred and must never return to the pool.
+				req.payload = nil
+			}
+			total, nsegs, adopted = n, len(segs), ad
+		}
+		t.srv.ObserveWrite(int64(total), time.Since(start))
+		t.srv.VecWriteCmds.Add(1)
+		t.srv.VecWriteSegs.Add(int64(nsegs))
+		t.srv.AdoptedExtents.Add(int64(adopted))
+		t.bytes.Add(int64(total))
+		t.writes.Add(1)
+	case opFlush:
+		if t.cfg.LegacyOps {
+			status = statusBadOp
+			break
+		}
+		// The barrier wait over the connection's prior writes already
+		// happened (completeFlush); what remains is the media sync.
+		if err := t.store.Sync(); err != nil {
+			status = statusRange
+			break
+		}
+		t.srv.FlushCmds.Add(1)
 	default:
 		status = statusBadOp
 	}
@@ -819,7 +1118,7 @@ func (t *Target) serveLegacy(conn net.Conn) {
 			defer cwg.Done()
 			defer func() { <-sem }()
 			comp := t.execute(req, false)
-			bufpool.Shared.Put(req.payload)
+			releaseRequest(req)
 			wmu.Lock()
 			var err error
 			if dead.Load() {

@@ -295,3 +295,50 @@ func TestDRRSchedulerFairShare(t *testing.T) {
 		t.Fatalf("one tenant ran %d commands ahead; quantum-cost items must alternate", maxLead)
 	}
 }
+
+// TestThrottleBurstClamp is the regression test for the oversized-
+// command starvation bug: a command whose byte cost exceeds the token-
+// bucket burst (one second of rate) used to be charged in full, sinking
+// the bucket cost/rate seconds into debt while every retry-after hint is
+// capped at maxRetryAfter — a client honouring the hints would exhaust
+// its whole retry ladder against a bucket that could not possibly
+// surface in time. The charge is now clamped at one burst, so the debt
+// always repays within a single hint window.
+func TestThrottleBurstClamp(t *testing.T) {
+	const rate = 1 << 20
+	s := newDRRSched(Config{MaxTenants: 4, TenantBytesPerSec: rate}.withDefaults())
+	ts := s.tenants[1]
+
+	// A command 10x the burst admits off the initial burst allowance...
+	if d := s.admit(ts, 10*rate); d != 0 {
+		t.Fatalf("first command throttled for %v; debt model must admit on a positive bucket", d)
+	}
+	// ...and may charge at most one burst, never the full oversized cost.
+	if ts.byteTokens < -float64(rate) {
+		t.Fatalf("bucket sunk %v tokens deep; charge clamp failed (max debt is one burst = %d)",
+			ts.byteTokens, rate)
+	}
+
+	// Pin the bucket at exactly one burst of debt — the deepest state
+	// the clamp permits (relying on the residue of the admit above would
+	// race the refill clock). The drained tenant is throttled with a
+	// bounded, honest hint.
+	ts.byteTokens = -float64(rate)
+	ts.lastRefill = time.Now()
+	d := s.admit(ts, 512)
+	if d <= 0 {
+		t.Fatal("second command admitted with the bucket drained")
+	}
+	if d > maxRetryAfter {
+		t.Fatalf("retry-after %v exceeds the %v cap", d, maxRetryAfter)
+	}
+
+	// A client that honours the hint is admitted on its next attempt:
+	// rewind the refill clock by the hinted wait and retry. Before the
+	// clamp this needed up to cost/rate seconds (10 here) against a hint
+	// capped at one.
+	ts.lastRefill = ts.lastRefill.Add(-d - 10*time.Millisecond)
+	if d2 := s.admit(ts, 512); d2 != 0 {
+		t.Fatalf("command throttled for %v after honouring the %v hint", d2, d)
+	}
+}

@@ -59,6 +59,12 @@ func WriteServerSnapshot(w io.Writer, s metrics.ServerSnapshot, labels ...Label)
 	WriteCounter(w, "dlfs_server_assembled_samples_total", "Records assembled near-data for offload commands.", s.AssembledSamples, labels...)
 	WriteCounter(w, "dlfs_server_assembled_bytes_total", "Post-transform record bytes returned by offload commands.", s.AssembledBytes, labels...)
 	WriteGauge(w, "dlfs_server_transform_seconds_total", "Cumulative server-side transform time.", float64(s.TransformNanos)/1e9, labels...)
+	WriteCounter(w, "dlfs_server_write_bytes_total", "Write payload bytes landed in the store.", s.WriteBytes, labels...)
+	WriteCounter(w, "dlfs_server_write_vec_cmds_total", "Gathered write commands served.", s.VecWriteCmds, labels...)
+	WriteCounter(w, "dlfs_server_write_vec_segments_total", "Extents carried by gathered writes.", s.VecWriteSegs, labels...)
+	WriteCounter(w, "dlfs_server_write_adopted_extents_total", "Extents landed zero-copy by buffer adoption.", s.AdoptedExtents, labels...)
+	WriteCounter(w, "dlfs_server_write_flushes_total", "Durability barriers served.", s.FlushCmds, labels...)
+	WriteGauge(w, "dlfs_server_write_flush_wait_seconds_total", "Cumulative time barriers waited for prior writes.", float64(s.FlushWaitNanos)/1e9, labels...)
 	WriteGauge(w, "dlfs_server_qwait_seconds_total", "Cumulative RPQ residency.", float64(s.QueueWaitNanos)/1e9, labels...)
 	WriteGauge(w, "dlfs_server_service_seconds_total", "Cumulative command execution time.", float64(s.ServiceNanos)/1e9, labels...)
 	WriteGauge(w, "dlfs_server_flush_seconds_total", "Cumulative completion flush time.", float64(s.FlushNanos)/1e9, labels...)
@@ -66,6 +72,7 @@ func WriteServerSnapshot(w io.Writer, s metrics.ServerSnapshot, labels ...Label)
 		WriteHistogram(w, "dlfs_server_qwait_seconds", "Per-command RPQ residency.", s.Stages.QueueWait, labels...)
 		WriteHistogram(w, "dlfs_server_service_seconds", "Per-command execution time.", s.Stages.Service, labels...)
 		WriteHistogram(w, "dlfs_server_flush_seconds", "Per-writev completion flush time.", s.Stages.Flush, labels...)
+		WriteHistogram(w, "dlfs_server_write_seconds", "Per-write-command store landing time.", s.Stages.Write, labels...)
 	}
 }
 
@@ -127,6 +134,13 @@ func PipelineCollector(client string, snap func() metrics.PipelineSnapshot) func
 		WriteCounter(w, "dlfs_client_offload_downgrades_total", "Targets downgraded to opReadVec after rejecting opReadSamples.", s.OffloadDowngrades, lbl...)
 		WriteCounter(w, "dlfs_client_origin_reads_total", "ReadSample misses served from the origin target.", s.OriginReads, lbl...)
 		WriteCounter(w, "dlfs_client_origin_bytes_total", "Bytes pulled from origin targets by ReadSample.", s.OriginBytes, lbl...)
+		WriteCounter(w, "dlfs_client_ckpt_saves_total", "Checkpoint saves completed.", s.CkptSaves, lbl...)
+		WriteCounter(w, "dlfs_client_ckpt_bytes_total", "Checkpoint payload bytes shipped.", s.CkptBytes, lbl...)
+		WriteCounter(w, "dlfs_client_ckpt_write_cmds_total", "Checkpoint write commands posted.", s.CkptWriteCmds, lbl...)
+		WriteCounter(w, "dlfs_client_ckpt_write_segments_total", "Extents carried by checkpoint writes.", s.CkptWriteSegs, lbl...)
+		WriteCounter(w, "dlfs_client_ckpt_flushes_total", "Per-target durability barriers issued by checkpoint saves.", s.CkptFlushes, lbl...)
+		WriteCounter(w, "dlfs_client_ckpt_downgrades_total", "Targets downgraded to per-extent writes after rejecting opWriteVec.", s.CkptDowngrades, lbl...)
+		WriteGauge(w, "dlfs_client_ckpt_seconds_total", "Cumulative wall time inside checkpoint saves.", float64(s.CkptNanos)/1e9, lbl...)
 		WriteGauge(w, "dlfs_client_prep_seconds_total", "Cumulative prep stage time.", float64(s.PrepNanos)/1e9, lbl...)
 		WriteGauge(w, "dlfs_client_post_seconds_total", "Cumulative post stage time.", float64(s.PostNanos)/1e9, lbl...)
 		WriteGauge(w, "dlfs_client_poll_seconds_total", "Cumulative poll stage time.", float64(s.PollNanos)/1e9, lbl...)
@@ -137,6 +151,7 @@ func PipelineCollector(client string, snap func() metrics.PipelineSnapshot) func
 			WriteHistogram(w, "dlfs_client_poll_seconds", "Per-fetch-group poll latency.", s.Stages.Poll, lbl...)
 			WriteHistogram(w, "dlfs_client_copy_seconds", "Per-sample copy latency.", s.Stages.Copy, lbl...)
 			WriteHistogram(w, "dlfs_client_read_seconds", "Whole synchronous ReadSample latency.", s.Stages.Read, lbl...)
+			WriteHistogram(w, "dlfs_client_ckpt_write_seconds", "Per-checkpoint-write-command post-to-completion latency.", s.Stages.Ckpt, lbl...)
 		}
 	}
 }

@@ -13,8 +13,11 @@ package live
 //
 // Commit ordering (the crash-consistency argument):
 //
-//  1. shard data lands in slot step%2 (the *other* slot than the last
-//     completed save), via gathered writes;
+//  1. shard data lands in the slot NOT holding the newest committed
+//     checkpoint, via gathered writes. Saves alternate slots no matter
+//     what step cadence the caller uses; the first save of a
+//     Checkpointer's lifetime derives the slot from the on-target
+//     manifests, so a restarted rank resumes the alternation;
 //  2. every written target is flushed — opFlush completes only after
 //     the target applied this connection's writes and synced;
 //  3. the manifest (magic, step, length, CRC of the data) is written
@@ -137,6 +140,12 @@ type Checkpointer struct {
 	cfg  CheckpointConfig
 	base int64 // this rank's region base on every target
 
+	// nextSlot is the double-buffer slot (0 or 1) the next save commits
+	// into; -1 until derived from the on-target manifests by the first
+	// save. It only advances when a save commits, so a failed save
+	// retries into the same slot rather than clobbering the good one.
+	nextSlot int
+
 	// noVec latches per target when it rejects opWriteVec with
 	// statusBadOp (an old-opcode build during a rolling upgrade): later
 	// saves use per-extent opWrite against it. Like the read path's
@@ -168,10 +177,11 @@ func (fs *FS) Checkpointer(cfg CheckpointConfig) (*Checkpointer, error) {
 		}
 	}
 	return &Checkpointer{
-		fs:    fs,
-		cfg:   cfg,
-		base:  cfg.BaseOffset + int64(fs.rank)*cfg.RankRegionBytes,
-		noVec: make([]atomic.Bool, len(fs.targets)),
+		fs:       fs,
+		cfg:      cfg,
+		base:     cfg.BaseOffset + int64(fs.rank)*cfg.RankRegionBytes,
+		nextSlot: -1,
+		noVec:    make([]atomic.Bool, len(fs.targets)),
 	}, nil
 }
 
@@ -188,10 +198,42 @@ func (fs *FS) dataHighWater() int64 {
 	return hw
 }
 
-// slotBase returns the base offset of the double-buffer slot a given
-// step commits into.
-func (c *Checkpointer) slotBase(step uint64) int64 {
-	return c.base + int64(step%2)*(c.cfg.RankRegionBytes/2)
+// slotBase returns the base offset of double-buffer slot idx (0 or 1).
+func (c *Checkpointer) slotBase(idx int) int64 {
+	return c.base + int64(idx)*(c.cfg.RankRegionBytes/2)
+}
+
+// saveSlot picks the slot the next save commits into: always the one
+// NOT holding the newest committed checkpoint, so a crash mid-save can
+// only tear the slot being replaced, never the one Load falls back to.
+// Keying on the caller's step would break this — a same-parity cadence
+// like Save(1000), Save(2000), Save(3000) would reuse one slot for
+// every save and overwrite the only previous checkpoint before the new
+// manifest commits. The first save of a Checkpointer's lifetime derives
+// the slot from the on-target manifests, so a restarted rank — or a
+// different process — resumes the alternation instead of blindly
+// reusing slot 0.
+func (c *Checkpointer) saveSlot() (int, error) {
+	if c.nextSlot >= 0 {
+		return c.nextSlot, nil
+	}
+	committed, newest := -1, uint64(0)
+	for s := 0; s < 2; s++ {
+		m, err := c.readManifest(c.slotBase(s))
+		if err != nil {
+			if errors.Is(err, ErrNoCheckpoint) {
+				continue
+			}
+			return 0, err
+		}
+		if committed == -1 || m.step > newest {
+			committed, newest = s, m.step
+		}
+	}
+	if committed == 0 {
+		return 1, nil
+	}
+	return 0, nil
 }
 
 // ckptLayout is the deterministic shard placement of one save: shard i
@@ -215,7 +257,11 @@ func (c *Checkpointer) Save(step uint64, state []byte) error {
 	}
 	start := time.Now()
 	fs := c.fs
-	slot := c.slotBase(step)
+	slotIdx, err := c.saveSlot()
+	if err != nil {
+		return fmt.Errorf("live: deriving checkpoint slot: %w", err)
+	}
+	slot := c.slotBase(slotIdx)
 	nT := len(fs.targets)
 	shards := (len(state) + c.cfg.ShardBytes - 1) / c.cfg.ShardBytes
 	perTarget := int64((shards+nT-1)/nT) * int64(c.cfg.ShardBytes)
@@ -318,6 +364,10 @@ func (c *Checkpointer) Save(step uint64, state []byte) error {
 	if err := c.flushTarget(0); err != nil {
 		return err
 	}
+	// The manifest is durable: this slot now holds the newest committed
+	// checkpoint, so the next save targets the other one. Flipping only
+	// here means a failed save retries into the same slot.
+	c.nextSlot = 1 - slotIdx
 
 	// Epoch-consistent snapshot: on cluster mounts no rank's Save
 	// returns until every rank committed, so a job restarting from step
@@ -495,19 +545,23 @@ func (c *Checkpointer) readManifest(slot int64) (ckptManifest, error) {
 	return m, nil
 }
 
-// Load restores this rank's newest committed checkpoint: it picks the
-// slot with the highest committed step, re-reads the sharded data
-// through the vectored read path, and verifies it byte-exact against
-// the manifest CRC. The returned buffer comes from the mount's pool —
-// hand it back with Recycle when done.
+// Load restores this rank's newest committed checkpoint: it orders the
+// slots by committed step, re-reads the sharded data through the
+// vectored read path, and verifies it byte-exact against the manifest
+// CRC. A slot whose committed data fails that check — torn by a crash
+// the manifest survived, or rotted at rest — is skipped in favour of
+// the other slot's older but intact checkpoint; ErrCheckpointCorrupt
+// is returned only when no committed slot verifies. The returned
+// buffer comes from the mount's pool — hand it back with Recycle when
+// done.
 func (c *Checkpointer) Load() (state []byte, step uint64, err error) {
 	type cand struct {
 		slot int64
 		ckptManifest
 	}
-	var best *cand
-	for s := int64(0); s < 2; s++ {
-		slot := c.base + s*(c.cfg.RankRegionBytes/2)
+	var cands []cand
+	for s := 0; s < 2; s++ {
+		slot := c.slotBase(s)
 		m, merr := c.readManifest(slot)
 		if merr != nil {
 			if errors.Is(merr, ErrNoCheckpoint) {
@@ -515,21 +569,41 @@ func (c *Checkpointer) Load() (state []byte, step uint64, err error) {
 			}
 			return nil, 0, merr
 		}
-		if best == nil || m.step > best.step {
-			best = &cand{slot: slot, ckptManifest: m}
+		cands = append(cands, cand{slot: slot, ckptManifest: m})
+	}
+	if len(cands) == 2 && cands[1].step > cands[0].step {
+		cands[0], cands[1] = cands[1], cands[0]
+	}
+	var corrupt error
+	for _, cd := range cands {
+		buf, lerr := c.loadSlot(cd.slot, cd.ckptManifest)
+		if lerr == nil {
+			return buf, cd.step, nil
 		}
+		if errors.Is(lerr, ErrCheckpointCorrupt) {
+			corrupt = lerr
+			continue
+		}
+		return nil, 0, lerr
 	}
-	if best == nil {
-		return nil, 0, ErrNoCheckpoint
+	if corrupt != nil {
+		return nil, 0, corrupt
 	}
+	return nil, 0, ErrNoCheckpoint
+}
+
+// loadSlot reads back one committed slot's sharded data and verifies it
+// against the manifest's whole-state CRC (when the manifest carries
+// one). The buffer is recycled on any failure.
+func (c *Checkpointer) loadSlot(slot int64, m ckptManifest) ([]byte, error) {
 	fs := c.fs
 	nT := len(fs.targets)
-	layout := ckptLayout{dataBase: best.slot + ckptManifestReserve, shardBytes: best.shardBytes, targets: nT}
-	buf := fs.alloc(best.totalLen)
+	layout := ckptLayout{dataBase: slot + ckptManifestReserve, shardBytes: m.shardBytes, targets: nT}
+	buf := fs.alloc(m.totalLen)
 	segsOf := make([][]nvmetcp.Seg, nT)
-	for s := 0; s < best.shards; s++ {
-		lo := s * best.shardBytes
-		hi := min(lo+best.shardBytes, best.totalLen)
+	for s := 0; s < m.shards; s++ {
+		lo := s * m.shardBytes
+		hi := min(lo+m.shardBytes, m.totalLen)
 		tgt, off := layout.place(s)
 		segsOf[tgt] = append(segsOf[tgt], nvmetcp.Seg{Dst: buf[lo:hi], Off: off})
 	}
@@ -565,12 +639,12 @@ func (c *Checkpointer) Load() (state []byte, step uint64, err error) {
 	for t, terr := range errs {
 		if terr != nil {
 			fs.Recycle(buf)
-			return nil, 0, fmt.Errorf("live: checkpoint read from target %d: %w", t, terr)
+			return nil, fmt.Errorf("live: checkpoint read from target %d: %w", t, terr)
 		}
 	}
-	if best.hasCRC && crc32.Checksum(buf, ckptCRCTable) != best.dataCRC {
+	if m.hasCRC && crc32.Checksum(buf, ckptCRCTable) != m.dataCRC {
 		fs.Recycle(buf)
-		return nil, 0, fmt.Errorf("%w: step %d slot at %d", ErrCheckpointCorrupt, best.step, best.slot)
+		return nil, fmt.Errorf("%w: step %d slot at %d", ErrCheckpointCorrupt, m.step, slot)
 	}
-	return buf, best.step, nil
+	return buf, nil
 }

@@ -38,8 +38,9 @@ func TestCheckpointSaveLoadRoundTrip(t *testing.T) {
 		t.Fatalf("fresh region Load = %v, want ErrNoCheckpoint", err)
 	}
 
-	// Three saves walk both double-buffer slots (step parity 1,0,1);
-	// each Load must return the newest committed state byte-exact.
+	// Three saves walk both double-buffer slots (0, 1, 0 — saves
+	// alternate regardless of step numbering); each Load must return the
+	// newest committed state byte-exact.
 	for step := uint64(1); step <= 3; step++ {
 		state := ckptState(int64(step), 1<<20+12345*int(step))
 		if err := ck.Save(step, state); err != nil {
@@ -152,14 +153,15 @@ func TestCheckpointDetectsCorruption(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	// Shard 0 of step 1 (slot 1) lives on target 0 just past the
-	// manifest reserve. Flip a byte through a raw connection.
+	// Shard 0 of step 1 (the first save lands in slot 0) lives on
+	// target 0 just past the manifest reserve. Flip a byte through a raw
+	// connection.
 	in, err := nvmetcp.Connect(addrs[0])
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer in.Close() //nolint:errcheck
-	off := int64(base) + 1*(int64(8<<20)/2) + ckptManifestReserve + 100
+	off := int64(base) + ckptManifestReserve + 100
 	evil := make([]byte, 1)
 	if _, err := in.ReadAt(evil, off); err != nil {
 		t.Fatal(err)
@@ -316,10 +318,11 @@ func TestCheckpointNoDataCRC(t *testing.T) {
 		}
 	}
 
-	// Invalidate-first: simulate the prefix of a step-3 save (slot 1,
-	// overwriting step 1) by voiding that slot's manifest the way Save
-	// does, then scribbling over its data. Load must not trust the torn
-	// slot — it falls back to step 2 in the other slot.
+	// Invalidate-first: simulate a save torn right after its void-the-
+	// manifest prefix by zeroing the newest slot's manifest the way Save
+	// does (step 2 landed in slot 1), then scribbling over its data.
+	// Load must not trust the torn slot — it falls back to step 1 in the
+	// other slot.
 	in, err := nvmetcp.Connect(addrs[0])
 	if err != nil {
 		t.Fatal(err)
@@ -337,10 +340,10 @@ func TestCheckpointNoDataCRC(t *testing.T) {
 	if err != nil {
 		t.Fatalf("load after torn slot: %v", err)
 	}
-	if gotStep != 2 {
-		t.Fatalf("load after torn slot returned step %d, want fallback to 2", gotStep)
+	if gotStep != 1 {
+		t.Fatalf("load after torn slot returned step %d, want fallback to 1", gotStep)
 	}
-	if !bytes.Equal(got, ckptState(2, 600<<10+2)) {
+	if !bytes.Equal(got, ckptState(1, 600<<10+1)) {
 		t.Fatal("fallback state diverged")
 	}
 	fs.Recycle(got)
@@ -372,4 +375,99 @@ func TestCheckpointNoDataCRC(t *testing.T) {
 	if !m.hasCRC {
 		t.Fatal("CRC'd save did not record a data CRC")
 	}
+}
+
+// TestCheckpointSameParityStepsAlternateSlots is the regression test
+// for the slot-selection bug: slots used to be keyed on step%2, so a
+// same-parity cadence — Save(1000), Save(2000), Save(3000), the normal
+// every-N-steps pattern — reused one slot for every save, overwriting
+// the only previous committed checkpoint before the new manifest
+// landed. Saves must alternate slots regardless of step numbering,
+// a restarted rank must resume the alternation from the on-target
+// manifests, and a corrupted newest slot must make Load fall back to
+// the older slot's intact checkpoint instead of failing.
+func TestCheckpointSameParityStepsAlternateSlots(t *testing.T) {
+	addrs := startTargets(t, 2)
+	ds := testDS(10, 1000)
+	fs, err := Mount(addrs, ds, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Close() //nolint:errcheck
+
+	const base = 128 << 20
+	cfg := CheckpointConfig{ShardBytes: 64 << 10, BaseOffset: base, RankRegionBytes: 8 << 20}
+	ck, err := fs.Checkpointer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	state2000 := ckptState(2, 500<<10+7)
+	if err := ck.Save(1000, ckptState(1, 500<<10)); err != nil {
+		t.Fatal(err)
+	}
+	if err := ck.Save(2000, state2000); err != nil {
+		t.Fatal(err)
+	}
+	m0, err := ck.readManifest(ck.slotBase(0))
+	if err != nil {
+		t.Fatalf("slot 0 manifest after two even-step saves: %v", err)
+	}
+	m1, err := ck.readManifest(ck.slotBase(1))
+	if err != nil {
+		t.Fatalf("slot 1 manifest after two even-step saves: %v", err)
+	}
+	if m0.step != 1000 || m1.step != 2000 {
+		t.Fatalf("slots hold steps %d/%d, want 1000/2000: same-parity saves did not alternate", m0.step, m1.step)
+	}
+
+	// A restarted rank (fresh Checkpointer over the same region) must
+	// derive the slot from the manifests and replace step 1000 — not
+	// reset to a fixed slot and clobber the newest save.
+	ck2, err := fs.Checkpointer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ck2.Save(3000, ckptState(3, 500<<10+9)); err != nil {
+		t.Fatal(err)
+	}
+	m0, err = ck.readManifest(ck.slotBase(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1, err = ck.readManifest(ck.slotBase(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m0.step != 3000 || m1.step != 2000 {
+		t.Fatalf("slots hold steps %d/%d after restart save, want 3000/2000", m0.step, m1.step)
+	}
+
+	// Corrupt the newest slot's data out of band: Load must fall back
+	// to step 2000 in the other slot, byte-exact, rather than surface
+	// ErrCheckpointCorrupt while an intact checkpoint exists.
+	in, err := nvmetcp.Connect(addrs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer in.Close() //nolint:errcheck
+	off := int64(base) + ckptManifestReserve + 50 // shard 0 of slot 0, target 0
+	evil := make([]byte, 1)
+	if _, err := in.ReadAt(evil, off); err != nil {
+		t.Fatal(err)
+	}
+	evil[0] ^= 0xFF
+	if _, err := in.WriteAt(evil, off); err != nil {
+		t.Fatal(err)
+	}
+	got, step, err := ck.Load()
+	if err != nil {
+		t.Fatalf("load with corrupt newest slot: %v, want fallback to the intact slot", err)
+	}
+	if step != 2000 {
+		t.Fatalf("fallback load returned step %d, want 2000", step)
+	}
+	if !bytes.Equal(got, state2000) {
+		t.Fatal("fallback state diverged")
+	}
+	fs.Recycle(got)
 }

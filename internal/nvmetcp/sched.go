@@ -25,12 +25,6 @@ import (
 // their head command in a single visit.
 const drrQuantum = 256 << 10
 
-// maxRetryAfter caps the throttle hint returned to clients. The hint is
-// advisory — a client that comes back early is simply throttled again
-// with a fresh hint — so a long quota debt is reported in bounded slices
-// rather than as one multi-second sleep.
-const maxRetryAfter = time.Second
-
 // tenantState is one tenant's scheduling and accounting state. Queue
 // and quota fields are guarded by the owning drrSched's mutex; the
 // metrics are atomics, safe to read while the engine runs.
@@ -157,35 +151,33 @@ func (s *drrSched) admit(ts *tenantState, cost int64) time.Duration {
 		ts.iopsTokens--
 	}
 	if s.bytesPerSec > 0 {
-		// Clamp the charged cost at one burst (1s of rate). The debt
-		// model admits any command while the bucket is positive, but an
-		// uncapped charge for a command larger than the burst would sink
-		// the bucket cost/rate seconds deep while every retry-after hint
-		// is capped at maxRetryAfter — so clients would burn their whole
-		// retry ladder against a bucket that cannot possibly refill in
-		// time, starving exactly the checkpoint-sized writes the quota is
-		// not meant to forbid. Charging at most one burst keeps the debt
-		// repayable within a single hint window; sustained oversized
-		// commands still pace at bytesPerSec because each one must wait
-		// for the bucket to climb back above zero.
-		charge := float64(cost)
-		if charge > s.bytesPerSec {
-			charge = s.bytesPerSec
-		}
-		ts.byteTokens -= charge
+		// Charge the full cost, even past the burst allowance. The debt
+		// model admits any command while the bucket is positive, so an
+		// over-burst command still lands — but it sinks the bucket
+		// cost/rate seconds deep, and nothing else admits until the whole
+		// debt refills. Clamping the charge at one burst looked friendlier
+		// but gutted the quota: each oversized command cost one burst no
+		// matter its size, so a tenant issuing burst-dwarfing commands
+		// back to back ran at cost/burst times its provisioned rate. The
+		// honest charge keeps sustained oversized commands paced at
+		// bytesPerSec, and the retry-after hint reports the true refill
+		// time so the client sleeps the debt out in one wait.
+		ts.byteTokens -= float64(cost)
 	}
 	return 0
 }
 
-// retryAfter converts a token debt at a refill rate into a bounded
-// positive duration hint.
+// retryAfter converts a token debt at a refill rate into a positive
+// duration hint: the time until the bucket climbs back above zero. The
+// hint is honest even for the multi-second debts an admitted over-burst
+// command leaves behind — a capped hint would send a client that
+// honours it back while the bucket is still underwater, burning its
+// retry budget round-trip by round-trip against a wait whose true
+// length the target knew all along.
 func retryAfter(debt, rate float64) time.Duration {
 	d := time.Duration(debt / rate * float64(time.Second))
 	if d <= 0 {
 		d = time.Millisecond
-	}
-	if d > maxRetryAfter {
-		d = maxRetryAfter
 	}
 	return d
 }

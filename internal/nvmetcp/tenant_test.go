@@ -296,47 +296,46 @@ func TestDRRSchedulerFairShare(t *testing.T) {
 	}
 }
 
-// TestThrottleBurstClamp is the regression test for the oversized-
-// command starvation bug: a command whose byte cost exceeds the token-
-// bucket burst (one second of rate) used to be charged in full, sinking
-// the bucket cost/rate seconds into debt while every retry-after hint is
-// capped at maxRetryAfter — a client honouring the hints would exhaust
-// its whole retry ladder against a bucket that could not possibly
-// surface in time. The charge is now clamped at one burst, so the debt
-// always repays within a single hint window.
-func TestThrottleBurstClamp(t *testing.T) {
+// TestThrottleOverBurstCharge is the regression test for the quota-
+// evasion bug: a command whose byte cost exceeds the token-bucket burst
+// (one second of rate) used to be charged only one burst, so a tenant
+// issuing burst-dwarfing commands back to back — each admitted as soon
+// as the bucket refilled to positive, about once a second — sustained
+// cost/burst times its provisioned rate. The full cost is charged now
+// and the retry-after hint reports the true refill time, so an
+// over-burst command is paced at the provisioned byte rate like any
+// other and a client honouring the hint is admitted on its next try.
+func TestThrottleOverBurstCharge(t *testing.T) {
 	const rate = 1 << 20
 	s := newDRRSched(Config{MaxTenants: 4, TenantBytesPerSec: rate}.withDefaults())
 	ts := s.tenants[1]
 
-	// A command 10x the burst admits off the initial burst allowance...
+	// A command 10x the burst admits off the initial burst allowance
+	// (debt model: a positive bucket admits)...
 	if d := s.admit(ts, 10*rate); d != 0 {
 		t.Fatalf("first command throttled for %v; debt model must admit on a positive bucket", d)
 	}
-	// ...and may charge at most one burst, never the full oversized cost.
-	if ts.byteTokens < -float64(rate) {
-		t.Fatalf("bucket sunk %v tokens deep; charge clamp failed (max debt is one burst = %d)",
-			ts.byteTokens, rate)
+	// ...and is charged in full, sinking the bucket ~9 bursts deep.
+	if ts.byteTokens > -8*float64(rate) {
+		t.Fatalf("bucket at %v tokens after a 10x-burst command; full cost must be charged", ts.byteTokens)
 	}
 
-	// Pin the bucket at exactly one burst of debt — the deepest state
-	// the clamp permits (relying on the residue of the admit above would
-	// race the refill clock). The drained tenant is throttled with a
-	// bounded, honest hint.
-	ts.byteTokens = -float64(rate)
-	ts.lastRefill = time.Now()
-	d := s.admit(ts, 512)
+	// One burst window later — the point where the old clamp had the
+	// bucket positive again — the next oversized command must still be
+	// throttled, or the tenant runs at 10x its quota.
+	ts.lastRefill = ts.lastRefill.Add(-time.Second)
+	d := s.admit(ts, 10*rate)
 	if d <= 0 {
-		t.Fatal("second command admitted with the bucket drained")
+		t.Fatal("second oversized command admitted one burst window after the first: quota evaded")
 	}
-	if d > maxRetryAfter {
-		t.Fatalf("retry-after %v exceeds the %v cap", d, maxRetryAfter)
+	// The hint is honest: the ~8 remaining seconds of debt, far past the
+	// one-second cap the hints used to carry.
+	if d < 7*time.Second || d > 9*time.Second {
+		t.Fatalf("retry-after %v, want the true ~8s refill time", d)
 	}
 
-	// A client that honours the hint is admitted on its next attempt:
-	// rewind the refill clock by the hinted wait and retry. Before the
-	// clamp this needed up to cost/rate seconds (10 here) against a hint
-	// capped at one.
+	// A client that sleeps out the hint is admitted on its next attempt:
+	// rewind the refill clock by the hinted wait and retry.
 	ts.lastRefill = ts.lastRefill.Add(-d - 10*time.Millisecond)
 	if d2 := s.admit(ts, 512); d2 != 0 {
 		t.Fatalf("command throttled for %v after honouring the %v hint", d2, d)
